@@ -1,0 +1,45 @@
+//! **Figure 11**: average CPU utilization per NDB thread type for the
+//! HopsFS-CL (3,3) deployment.
+
+#![allow(clippy::field_reassign_with_default, clippy::type_complexity)]
+
+use bench::report::print_table;
+use bench::sweep::{ensure_spotify_sweep, series, sizes};
+
+fn main() {
+    let results = ensure_spotify_sweep();
+    let sizes = sizes();
+    let ser = series(&results, "HopsFS-CL (3,3)");
+    let classes = ["LDM", "TC", "RECV", "SEND", "REP", "IO", "MAIN"];
+    let mut rows = Vec::new();
+    for class in classes {
+        let mut row = vec![class.to_string()];
+        for r in &ser {
+            let v = r
+                .ndb_thread_util
+                .iter()
+                .find(|(c, _)| c == class)
+                .map(|&(_, v)| v)
+                .unwrap_or(0.0);
+            row.push(format!("{:.0}", v * 100.0));
+        }
+        rows.push(row);
+    }
+    let mut headers: Vec<String> = vec!["thread".into()];
+    headers.extend(sizes.iter().map(|n| format!("n={n}")));
+    let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
+    print_table("Figure 11 — NDB CPU % per thread type, HopsFS-CL (3,3)", &headers_ref, &rows);
+
+    let last = ser.last().expect("sweep has points");
+    let util = |class: &str| {
+        last.ndb_thread_util.iter().find(|(c, _)| c == class).map(|&(_, v)| v).unwrap_or(0.0)
+    };
+    println!("\npaper-shape checks at the largest cluster:");
+    println!("  LDM {:.0}%, TC {:.0}%, RECV {:.0}%, SEND {:.0}%, REP {:.0}%, IO {:.0}%, MAIN {:.0}%",
+        util("LDM") * 100.0, util("TC") * 100.0, util("RECV") * 100.0, util("SEND") * 100.0,
+        util("REP") * 100.0, util("IO") * 100.0, util("MAIN") * 100.0);
+    assert!(util("LDM") > util("MAIN"), "LDM must dominate MAIN");
+    assert!(util("LDM") > util("IO"), "LDM must dominate IO");
+    assert!(util("REP") > 0.0, "idle REP thread must be helping RECV/SEND (paper: ~90%)");
+    println!("shape checks passed (REP busy because idle threads help overloaded network threads)");
+}

@@ -1,0 +1,56 @@
+//! **Figure 12**: network and disk utilization of the metadata storage layer
+//! (NDB datanodes vs Ceph OSDs), per node.
+
+#![allow(clippy::field_reassign_with_default, clippy::type_complexity)]
+
+use bench::report::print_table;
+use bench::setup::Setup;
+use bench::sweep::{ensure_spotify_sweep, series, sizes};
+
+fn main() {
+    let results = ensure_spotify_sweep();
+    let sizes = sizes();
+    for (title, pick) in [
+        ("Figure 12a — storage-node network RX (MB/s)", 0usize),
+        ("Figure 12b — storage-node network TX (MB/s)", 1),
+        ("Figure 12c — storage-node disk read (MB/s)", 2),
+        ("Figure 12d — storage-node disk write (MB/s)", 3),
+    ] {
+        let mut rows = Vec::new();
+        for setup in Setup::ALL_NINE {
+            let label = setup.label();
+            let mut row = vec![label.clone()];
+            for r in series(&results, &label) {
+                let v = match pick {
+                    0 => r.storage_net_mb_s[0],
+                    1 => r.storage_net_mb_s[1],
+                    2 => r.storage_disk_mb_s[0],
+                    _ => r.storage_disk_mb_s[1],
+                };
+                row.push(format!("{v:.1}"));
+            }
+            rows.push(row);
+        }
+        let mut headers: Vec<String> = vec!["setup".into()];
+        headers.extend(sizes.iter().map(|n| format!("n={n}")));
+        let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
+        print_table(title, &headers_ref, &rows);
+    }
+    // Shapes (§V-D1): NDB network grows with metadata servers; NDB disk
+    // stays low (in-memory DB, only redo/checkpoints); the OSD journal disk
+    // write grows until it plateaus (the DirPinned bottleneck).
+    let ndb = series(&results, "HopsFS-CL (3,3)");
+    assert!(
+        ndb.last().unwrap().storage_net_mb_s[0] > ndb.first().unwrap().storage_net_mb_s[0] * 2.0,
+        "NDB network must grow with metadata servers"
+    );
+    let pinned = series(&results, "CephFS-DirPinned");
+    let (first_w, last_w) =
+        (pinned.first().unwrap().storage_disk_mb_s[1], pinned.last().unwrap().storage_disk_mb_s[1]);
+    assert!(last_w > first_w, "OSD journal writes must grow with MDS count");
+    assert!(
+        ndb.last().unwrap().storage_disk_mb_s[1] < pinned.last().unwrap().storage_disk_mb_s[1],
+        "NDB (in-memory) must write far less disk than the OSD journal"
+    );
+    println!("\nshape checks passed (NDB net grows; OSD disk-write is the CephFS journal bottleneck)");
+}

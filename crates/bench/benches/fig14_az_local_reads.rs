@@ -1,0 +1,79 @@
+//! **Figure 14**: reads per replica with the Read Backup table option
+//! enabled vs disabled. With it disabled every read goes to the partition's
+//! primary replica; with it enabled reads balance over primary and backups
+//! (≈50/25/25 for replication factor 3), making reads AZ-local.
+
+#![allow(clippy::field_reassign_with_default, clippy::type_complexity)]
+
+use bench::harness::{run, Load, Params};
+use bench::report::print_table;
+use bench::setup::Setup;
+
+fn main() {
+    let mut results = Vec::new();
+    for (name, tweak) in [
+        ("ReadBackup enabled", None::<fn(&mut hopsfs::FsConfig)>),
+        ("ReadBackup disabled", Some((|cfg: &mut hopsfs::FsConfig| {
+            cfg.read_backup_override = Some(false);
+        }) as fn(&mut hopsfs::FsConfig))),
+    ] {
+        let mut p = Params::default();
+        p.servers = 12;
+        p.load = Load::Spotify;
+        p.tweak = tweak;
+        let r = run(Setup::HopsFsCl { r: 3 }, &p);
+        results.push((name, r));
+    }
+
+    for (name, r) in &results {
+        let total: u64 = r.reads_by_rank.iter().sum();
+        let frac = |i: usize| r.reads_by_rank[i] as f64 / total.max(1) as f64 * 100.0;
+        println!(
+            "\n== Figure 14 — {name}: reads per replica rank ==\n  primary {:.1}%  backup1 {:.1}%  backup2 {:.1}%  (total {} reads)",
+            frac(0), frac(1), frac(2), total
+        );
+        // Per-partition detail, first 24 partitions as the paper plots.
+        let mut rows = Vec::new();
+        for pid in 0..24u32 {
+            let get = |rank: u8| {
+                r.reads_by_partition_rank
+                    .iter()
+                    .find(|&&(p, rk, _)| p == pid && rk == rank)
+                    .map(|&(_, _, c)| c)
+                    .unwrap_or(0)
+            };
+            let (a, b, c) = (get(0), get(1), get(2));
+            let tot = (a + b + c).max(1);
+            rows.push(vec![
+                format!("p{pid}"),
+                format!("{:.2}", a as f64 / tot as f64),
+                format!("{:.2}", b as f64 / tot as f64),
+                format!("{:.2}", c as f64 / tot as f64),
+            ]);
+        }
+        print_table(
+            &format!("{name} — per-partition read share (replica 1/2/3)"),
+            &["partition", "replica1", "replica2", "replica3"],
+            &rows,
+        );
+    }
+
+    let enabled = &results[0].1;
+    let disabled = &results[1].1;
+    let backup_share = |r: &bench::RunResult| {
+        let total: u64 = r.reads_by_rank.iter().sum();
+        (r.reads_by_rank[1] + r.reads_by_rank[2]) as f64 / total.max(1) as f64
+    };
+    println!("\npaper-claim checks:");
+    println!("  backups' read share, enabled : {:.1}%  (paper: ~50% = 25%+25%)", backup_share(enabled) * 100.0);
+    println!("  backups' read share, disabled: {:.1}%  (paper: 0%)", backup_share(disabled) * 100.0);
+    println!(
+        "  cross-AZ bytes: enabled {} MB/s vs disabled {} MB/s (read backup keeps reads AZ-local)",
+        enabled.cross_az_bytes / 1_000_000,
+        disabled.cross_az_bytes / 1_000_000
+    );
+    assert!(backup_share(enabled) > 0.35, "backups must serve a large share of reads");
+    assert!(backup_share(disabled) < 0.01, "without read backup all reads hit primaries");
+    assert!(enabled.cross_az_bytes < disabled.cross_az_bytes, "read backup must cut cross-AZ traffic");
+    println!("\nshape checks passed");
+}

@@ -1,0 +1,52 @@
+//! **Figure 5**: throughput of the nine setups under the Spotify workload,
+//! for an increasing number of metadata servers.
+
+#![allow(clippy::field_reassign_with_default, clippy::type_complexity)]
+
+use bench::report::{print_table, si};
+use bench::setup::Setup;
+use bench::sweep::{ensure_spotify_sweep, series, sizes};
+
+fn main() {
+    let results = ensure_spotify_sweep();
+    let sizes = sizes();
+    let mut rows = Vec::new();
+    for setup in Setup::ALL_NINE {
+        let label = setup.label();
+        let mut row = vec![label.clone()];
+        for r in series(&results, &label) {
+            row.push(si(r.throughput));
+        }
+        rows.push(row);
+    }
+    let mut headers: Vec<String> = vec!["setup".into()];
+    headers.extend(sizes.iter().map(|n| format!("n={n}")));
+    let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
+    print_table("Figure 5 — throughput (ops/s) vs #metadata servers", &headers_ref, &rows);
+
+    // Shape checks against the paper's claims (§V-B1).
+    let at_max = |label: &str| series(&results, label).last().map(|r| r.throughput).unwrap_or(0.0);
+    let h21 = at_max("HopsFS (2,1)");
+    let h23 = at_max("HopsFS (2,3)");
+    let h33 = at_max("HopsFS (3,3)");
+    let cl23 = at_max("HopsFS-CL (2,3)");
+    let cl33 = at_max("HopsFS-CL (3,3)");
+    let ceph = at_max("CephFS");
+    let skip = at_max("CephFS-SkipKCache");
+
+    println!("\npaper-claim checks at the largest cluster:");
+    println!("  HopsFS (2,1) peak            : {:>8}  (paper: 1.62M)", si(h21));
+    println!("  HA drop (2,3) vs (2,1)       : {:>7.1}%  (paper: -17%)", (h23 / h21 - 1.0) * 100.0);
+    println!("  HA drop (3,3) vs (3,1)       : {:>7.1}%  (paper: -22%)", (h33 / at_max("HopsFS (3,1)") - 1.0) * 100.0);
+    println!("  HopsFS-CL (2,3) vs HopsFS(2,3): {:>6.1}%  (paper: +17%)", (cl23 / h23 - 1.0) * 100.0);
+    println!("  HopsFS-CL (3,3) vs HopsFS(3,3): {:>6.1}%  (paper: +36%)", (cl33 / h33 - 1.0) * 100.0);
+    println!("  HopsFS-CL (3,3) peak         : {:>8}  (paper: 1.66M)", si(cl33));
+    println!("  HopsFS-CL / CephFS           : {:>7.2}x  (paper: 2.14x)", cl33 / ceph);
+    println!("  CephFS-SkipKCache @60        : {:>8}  (paper: 28K)", si(skip));
+
+    assert!(h23 < h21 * 0.95, "HA without AZ-awareness must cost throughput");
+    assert!(cl33 > h33 * 1.15, "HopsFS-CL must beat vanilla HA HopsFS");
+    assert!(cl33 > ceph * 2.0, "HopsFS-CL must beat CephFS by >2x");
+    assert!(skip < ceph * 0.2, "SkipKCache must collapse");
+    println!("\nshape checks passed");
+}

@@ -1,0 +1,41 @@
+//! **Figure 6**: requests actually handled per metadata server (log-scale in
+//! the paper): HopsFS-CL serves everything at the servers, CephFS serves
+//! most requests from the kernel cache.
+
+#![allow(clippy::field_reassign_with_default, clippy::type_complexity)]
+
+use bench::report::print_table;
+use bench::sweep::{ensure_spotify_sweep, series, sizes};
+
+fn main() {
+    let results = ensure_spotify_sweep();
+    let sizes = sizes();
+    let setups = ["HopsFS-CL (2,3)", "HopsFS-CL (3,3)", "CephFS", "CephFS-DirPinned", "CephFS-SkipKCache"];
+    let mut rows = Vec::new();
+    for label in setups {
+        let mut row = vec![label.to_string()];
+        for r in series(&results, label) {
+            row.push(format!("{:.0}", r.per_server_handled));
+        }
+        rows.push(row);
+    }
+    let mut headers: Vec<String> = vec!["setup".into()];
+    headers.extend(sizes.iter().map(|n| format!("n={n}")));
+    let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
+    print_table("Figure 6 — requests handled per metadata server (req/s)", &headers_ref, &rows);
+
+    let last = |label: &str| series(&results, label).last().map(|r| r.per_server_handled).unwrap_or(0.0);
+    let first = |label: &str| series(&results, label).first().map(|r| r.per_server_handled).unwrap_or(0.0);
+    println!("\npaper-claim checks:");
+    println!("  CephFS-DirPinned @1 MDS : {:>6.0} req/s  (paper: 4233)", first("CephFS-DirPinned"));
+    println!("  CephFS-DirPinned @max   : {:>6.0} req/s  (paper: 1178)", last("CephFS-DirPinned"));
+    println!(
+        "  HopsFS-CL / DirPinned   : {:>6.1}x        (paper: up to 23x)",
+        last("HopsFS-CL (3,3)") / last("CephFS-DirPinned").max(1.0)
+    );
+    assert!(last("HopsFS-CL (3,3)") > last("CephFS-DirPinned") * 5.0,
+        "HopsFS-CL metadata servers must handle far more requests than MDSs");
+    assert!(first("CephFS-DirPinned") > last("CephFS-DirPinned"),
+        "per-MDS handled requests must decline with cluster size");
+    println!("\nshape checks passed");
+}

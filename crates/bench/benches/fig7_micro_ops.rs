@@ -1,0 +1,86 @@
+//! **Figure 7**: throughput of the most common file system operations
+//! (mkdir, createFile, deleteFile, readFile) with 60 metadata servers
+//! (log scale in the paper).
+
+#![allow(clippy::field_reassign_with_default, clippy::type_complexity)]
+
+use bench::harness::{run_grid, Load, Params};
+use bench::report::{load_json, print_table, save_json, si};
+use bench::setup::Setup;
+use bench::sweep::quick;
+use bench::RunResult;
+use workload::MicroOp;
+
+fn main() {
+    let servers = if quick() { 24 } else { 60 };
+    let key = format!("fig7_micro_n{servers}");
+    let results: Vec<RunResult> = load_json(&key).unwrap_or_else(|| {
+        let mut jobs = Vec::new();
+        for &setup in &Setup::ALL_NINE {
+            for op in MicroOp::ALL {
+                let mut p = Params::default();
+                p.servers = servers;
+                p.load = Load::Micro(op);
+                p.delete_precreate = 400;
+                jobs.push((setup, p));
+            }
+        }
+        eprintln!("[running fig7 grid: {} points…]", jobs.len());
+        let r = run_grid(jobs);
+        save_json(&key, &r);
+        r
+    });
+
+    let ops = ["mkdir", "createFile", "deleteFile", "readFile"];
+    let tput = |label: &str, op: &str| -> f64 {
+        results
+            .iter()
+            .filter(|r| r.label == label)
+            .flat_map(|r| r.per_kind_tput.get(op))
+            .copied()
+            .fold(0.0, f64::max)
+    };
+    let mut rows = Vec::new();
+    for setup in Setup::ALL_NINE {
+        let label = setup.label();
+        let mut row = vec![label.clone()];
+        for op in ops {
+            row.push(si(tput(&label, op)));
+        }
+        rows.push(row);
+    }
+    print_table(
+        &format!("Figure 7 — micro-benchmark throughput (ops/s), {servers} metadata servers"),
+        &["setup", "mkdir", "createFile", "deleteFile", "readFile"],
+        &rows,
+    );
+
+    // Paper claims (§V-B2).
+    let h21 = |op: &str| tput("HopsFS (2,1)", op);
+    let h31 = |op: &str| tput("HopsFS (3,1)", op);
+    let cl = |op: &str| tput("HopsFS-CL (3,3)", op);
+    let ceph = |op: &str| tput("CephFS", op);
+    let skip = |op: &str| tput("CephFS-SkipKCache", op);
+    println!("\npaper-claim checks:");
+    println!(
+        "  r2->r3 mutation drop (createFile, 1 AZ): {:>6.1}%  (paper: up to -45%)",
+        (h31("createFile") / h21("createFile") - 1.0) * 100.0
+    );
+    println!(
+        "  HopsFS-CL / CephFS on createFile       : {:>6.1}x  (paper: up to 11.8x on mutations)",
+        cl("createFile") / ceph("createFile").max(1.0)
+    );
+    println!(
+        "  CephFS / HopsFS-CL on readFile         : {:>6.2}x  (paper: 1.9x, kernel cache)",
+        ceph("readFile") / cl("readFile").max(1.0)
+    );
+    println!(
+        "  HopsFS-CL / SkipKCache on readFile     : {:>6.1}x  (paper: 81x)",
+        cl("readFile") / skip("readFile").max(1.0)
+    );
+    assert!(h31("createFile") < h21("createFile"), "r=3 must slow mutations down vs r=2");
+    assert!(cl("createFile") > ceph("createFile") * 3.0, "CL must dominate CephFS on mutations");
+    assert!(ceph("readFile") > cl("readFile"), "CephFS kernel cache must win raw reads");
+    assert!(cl("readFile") > skip("readFile") * 10.0, "skipping the cache must collapse Ceph reads");
+    println!("\nshape checks passed");
+}

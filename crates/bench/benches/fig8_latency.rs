@@ -1,0 +1,40 @@
+//! **Figure 8**: average end-to-end operation latency under the Spotify
+//! workload (log scale in the paper).
+
+#![allow(clippy::field_reassign_with_default, clippy::type_complexity)]
+
+use bench::report::print_table;
+use bench::setup::Setup;
+use bench::sweep::{ensure_spotify_sweep, series, sizes};
+
+fn main() {
+    let results = ensure_spotify_sweep();
+    let sizes = sizes();
+    let mut rows = Vec::new();
+    for setup in Setup::ALL_NINE {
+        let label = setup.label();
+        let mut row = vec![label.clone()];
+        for r in series(&results, &label) {
+            row.push(format!("{:.2}", r.avg_latency_ms));
+        }
+        rows.push(row);
+    }
+    let mut headers: Vec<String> = vec!["setup".into()];
+    headers.extend(sizes.iter().map(|n| format!("n={n}")));
+    let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
+    print_table("Figure 8 — average end-to-end latency (ms)", &headers_ref, &rows);
+
+    let at_max = |label: &str| series(&results, label).last().map(|r| r.avg_latency_ms).unwrap_or(0.0);
+    let cl = at_max("HopsFS-CL (3,3)");
+    let vanilla = at_max("HopsFS (3,3)");
+    let ceph = at_max("CephFS");
+    let skip = at_max("CephFS-SkipKCache");
+    println!("\npaper-claim checks at the largest cluster:");
+    println!("  HopsFS-CL vs HA HopsFS : {:>5.1}% lower  (paper: up to 35% lower)", (1.0 - cl / vanilla) * 100.0);
+    println!("  CephFS / HopsFS-CL     : {:>5.1}x        (paper: up to 9x)", ceph / cl);
+    println!("  SkipKCache / HopsFS-CL : {:>5.1}x        (paper: up to 16x)", skip / cl);
+    assert!(cl < vanilla, "AZ awareness must reduce latency");
+    assert!(ceph > cl * 2.0, "CephFS latency under load must far exceed HopsFS-CL");
+    assert!(skip > ceph, "skipping the kernel cache must hurt latency further");
+    println!("\nshape checks passed");
+}

@@ -1,0 +1,79 @@
+//! **Figure 9**: 50th/90th/99th percentile latency of createFile, readFile
+//! and deleteFile on an *unloaded* cluster (~50% of full throughput) with 60
+//! metadata servers.
+
+#![allow(clippy::field_reassign_with_default, clippy::type_complexity)]
+
+use bench::harness::{run_grid, Load, Params};
+use bench::report::{load_json, print_table, save_json};
+use bench::setup::Setup;
+use bench::sweep::quick;
+use bench::RunResult;
+use workload::MicroOp;
+
+fn main() {
+    let servers = if quick() { 24 } else { 60 };
+    let key = format!("fig9_pct_n{servers}");
+    let results: Vec<RunResult> = load_json(&key).unwrap_or_else(|| {
+        let mut jobs = Vec::new();
+        for &setup in &Setup::ALL_NINE {
+            for op in [MicroOp::Create, MicroOp::Read, MicroOp::Delete] {
+                let mut p = Params::default();
+                p.servers = servers;
+                // ~50% load: half the closed-loop sessions.
+                p.sessions_per_server /= 2;
+                p.load = Load::Micro(op);
+                p.delete_precreate = 400;
+                jobs.push((setup, p));
+            }
+        }
+        eprintln!("[running fig9 grid: {} points…]", jobs.len());
+        let r = run_grid(jobs);
+        save_json(&key, &r);
+        r
+    });
+
+    for op in ["createFile", "readFile", "deleteFile"] {
+        let mut rows = Vec::new();
+        for setup in Setup::ALL_NINE {
+            let label = setup.label();
+            let pct = results
+                .iter()
+                .filter(|r| r.label == label)
+                .find_map(|r| r.latency_pct_ms.get(op));
+            if let Some([p50, p90, p99]) = pct {
+                rows.push(vec![
+                    label,
+                    format!("{p50:.2}"),
+                    format!("{p90:.2}"),
+                    format!("{p99:.2}"),
+                ]);
+            }
+        }
+        print_table(
+            &format!("Figure 9 — {op} latency percentiles (ms), 50% load, {servers} servers"),
+            &["setup", "p50", "p90", "p99"],
+            &rows,
+        );
+    }
+    let p50 = |label: &str, op: &str| {
+        results
+            .iter()
+            .filter(|r| r.label == label)
+            .find_map(|r| r.latency_pct_ms.get(op))
+            .map(|p| p[0])
+            .unwrap_or(f64::NAN)
+    };
+    // §V-C: CephFS delivers significantly lower unloaded latency than
+    // HopsFS/HopsFS-CL because reads are served from the kernel cache / MDS
+    // memory; HopsFS percentiles are tight across variants.
+    println!("\npaper-shape checks:");
+    println!(
+        "  readFile p50: CephFS {:.2}ms vs HopsFS-CL {:.2}ms (paper: CephFS much lower)",
+        p50("CephFS", "readFile"),
+        p50("HopsFS-CL (3,3)", "readFile")
+    );
+    assert!(p50("CephFS", "readFile") < p50("HopsFS-CL (3,3)", "readFile"));
+    assert!(p50("HopsFS-CL (3,3)", "createFile") < 30.0, "unloaded creates stay in the ms range");
+    println!("shape checks passed");
+}

@@ -1,0 +1,99 @@
+//! Criterion micro-benchmarks of the core data structures (not a paper
+//! figure; performance hygiene for the simulator itself).
+
+#![allow(clippy::field_reassign_with_default, clippy::type_complexity)]
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ndb::locks::{LockManager, TxId};
+use ndb::{LockMode, PartitionKey, PartitionMap, RowKey, TableId};
+use simnet::{Histogram, SimDuration, SimTime, Simulation};
+use std::hint::black_box;
+
+fn bench_lock_manager(c: &mut Criterion) {
+    c.bench_function("lock_acquire_release_1k_rows", |b| {
+        b.iter(|| {
+            let mut lm = LockManager::default();
+            for i in 0..1000u64 {
+                let tx = TxId { client: 1, seq: i };
+                lm.acquire(tx, TableId(0), RowKey::simple(i % 64), LockMode::Exclusive, i);
+                lm.release_all(tx);
+            }
+            black_box(lm.locked_rows())
+        })
+    });
+}
+
+fn bench_partition_map(c: &mut Criterion) {
+    let cfg = ndb::ClusterConfig::az_aware(12, 3, &[simnet::AzId(0), simnet::AzId(1), simnet::AzId(2)]);
+    let pmap = PartitionMap::new(&cfg);
+    c.bench_function("partition_of_and_replicas", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for k in 0..1000u64 {
+                let pid = pmap.partition_of(PartitionKey(k));
+                acc += pmap.replicas(pid)[0];
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    c.bench_function("histogram_record_10k", |b| {
+        b.iter(|| {
+            let mut h = Histogram::new();
+            for v in 0..10_000u64 {
+                h.record(v * 97 + 13);
+            }
+            black_box(h.quantile(0.99))
+        })
+    });
+}
+
+fn bench_event_loop(c: &mut Criterion) {
+    use simnet::{Actor, Ctx, NodeId, Payload};
+    #[derive(Debug)]
+    struct Tick;
+    struct Ticker {
+        n: u32,
+    }
+    impl Actor for Ticker {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.schedule(SimDuration::from_micros(1), Tick);
+        }
+        fn on_message(&mut self, ctx: &mut Ctx<'_>, _f: NodeId, _m: Box<dyn Payload>) {
+            self.n += 1;
+            if self.n < 10_000 {
+                ctx.schedule(SimDuration::from_micros(1), Tick);
+            }
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+    }
+    c.bench_function("sim_10k_timer_events", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(1);
+            sim.add_node(simnet::NodeSpec::new("t", simnet::Location::new(0, 0)), Box::new(Ticker { n: 0 }));
+            sim.run_until(SimTime::from_secs(1));
+            black_box(sim.events_processed())
+        })
+    });
+}
+
+fn bench_path_parse(c: &mut Criterion) {
+    c.bench_function("fspath_parse", |b| {
+        b.iter(|| {
+            for _ in 0..100 {
+                black_box(hopsfs::FsPath::parse("/user/u42/d3/part-00017").unwrap());
+            }
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_lock_manager, bench_partition_map, bench_histogram, bench_event_loop, bench_path_parse
+);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Calibration helper: mini Fig-5 sweep printed as a table.
+#![allow(clippy::field_reassign_with_default, clippy::type_complexity)]
+
+use bench::{run_grid, Load, Params, Setup};
+use cephsim::BalanceMode;
+
+fn main() {
+    let sizes: Vec<usize> = std::env::args()
+        .nth(1)
+        .map(|s| s.split(',').map(|x| x.parse().unwrap()).collect())
+        .unwrap_or_else(|| vec![12, 36, 60]);
+    let setups = [
+        Setup::HopsFs { r: 2, azs: 1 },
+        Setup::HopsFs { r: 3, azs: 1 },
+        Setup::HopsFs { r: 2, azs: 3 },
+        Setup::HopsFs { r: 3, azs: 3 },
+        Setup::HopsFsCl { r: 2 },
+        Setup::HopsFsCl { r: 3 },
+        Setup::Ceph { mode: BalanceMode::Dynamic, skip_kcache: false },
+        Setup::Ceph { mode: BalanceMode::DirPinned, skip_kcache: false },
+        Setup::Ceph { mode: BalanceMode::Dynamic, skip_kcache: true },
+    ];
+    let mut jobs = Vec::new();
+    for &s in &setups {
+        for &n in &sizes {
+            let mut p = Params::default();
+            p.servers = n;
+            p.load = Load::Spotify;
+            jobs.push((s, p));
+        }
+    }
+    let t0 = std::time::Instant::now();
+    let results = run_grid(jobs);
+    for r in &results {
+        println!(
+            "{:20} n={:2}  tput={:>9.0}  lat={:6.2}ms  perSrv={:>7.0}  srvCpu={:.2} stoCpu={:.2} stoDiskW={:6.1}MB/s xAZ={:>6}KB/s ev={:>9} wall={}ms errs={:?}",
+            r.label, r.servers, r.throughput, r.avg_latency_ms, r.per_server_handled,
+            r.server_cpu, r.storage_cpu, r.storage_disk_mb_s[1],
+            r.cross_az_bytes / 1000, r.events, r.wall_ms, r.errors,
+        );
+    }
+    eprintln!("total wall: {:?}", t0.elapsed());
+}

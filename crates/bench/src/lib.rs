@@ -1,0 +1,22 @@
+//! # bench — experiment harness for the HopsFS-CL reproduction
+//!
+//! Reproduces every table and figure of the paper's evaluation (§V) as
+//! `cargo bench` targets (see `DESIGN.md` for the per-experiment index).
+//! The heavy Spotify sweep runs once and is cached under
+//! `target/bench-results/`.
+//!
+//! Environment knobs:
+//! - `BENCH_SCALE` (default 4): uniform scale-down factor;
+//! - `BENCH_QUICK=1`: fewer sweep points and shorter windows;
+//! - `BENCH_REUSE=0`: ignore cached sweep results;
+//! - `BENCH_RESULTS_DIR`: where JSON results land.
+
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod report;
+pub mod setup;
+pub mod sweep;
+
+pub use harness::{run, run_grid, Load, Params, RunResult};
+pub use setup::Setup;

@@ -1,0 +1,91 @@
+//! Table formatting and result persistence for the experiment harness.
+
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use std::path::PathBuf;
+
+/// Formats a rate with SI-style suffixes, as the paper's axes do
+/// (`1.62M`, `770K`, `28K`).
+pub fn si(v: f64) -> String {
+    if v >= 1e6 {
+        format!("{:.2}M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.0}K", v / 1e3)
+    } else {
+        format!("{v:.0}")
+    }
+}
+
+/// Prints an aligned table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:>width$}  ", c, width = widths.get(i).copied().unwrap_or(8)));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Directory where experiment results are cached/saved (defaults to the
+/// workspace's `target/bench-results`, independent of the bench cwd).
+pub fn results_dir() -> PathBuf {
+    let p = match std::env::var("BENCH_RESULTS_DIR") {
+        Ok(dir) => PathBuf::from(dir),
+        Err(_) => {
+            // CARGO_MANIFEST_DIR = <workspace>/crates/bench at compile time.
+            let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+            p.pop();
+            p.pop();
+            p.join("target").join("bench-results")
+        }
+    };
+    std::fs::create_dir_all(&p).expect("create results dir");
+    p
+}
+
+/// Saves a serializable result set.
+pub fn save_json<T: Serialize>(name: &str, value: &T) {
+    let path = results_dir().join(format!("{name}.json"));
+    let data = serde_json::to_vec_pretty(value).expect("serialize results");
+    std::fs::write(&path, data).expect("write results");
+    println!("[saved {}]", path.display());
+}
+
+/// Loads a previously saved result set, if present and reuse is allowed
+/// (`BENCH_REUSE=0` disables).
+pub fn load_json<T: DeserializeOwned>(name: &str) -> Option<T> {
+    if std::env::var("BENCH_REUSE").map(|v| v == "0").unwrap_or(false) {
+        return None;
+    }
+    let path = results_dir().join(format!("{name}.json"));
+    let data = std::fs::read(path).ok()?;
+    serde_json::from_slice(&data).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn si_formats_like_the_paper() {
+        assert_eq!(si(1_620_000.0), "1.62M");
+        assert_eq!(si(770_000.0), "770K");
+        assert_eq!(si(28_000.0), "28K");
+        assert_eq!(si(423.0), "423");
+    }
+}

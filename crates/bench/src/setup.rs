@@ -1,0 +1,94 @@
+//! The nine evaluated deployments of the paper's Figure 5.
+
+use cephsim::BalanceMode;
+
+/// One of the paper's evaluated system deployments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Setup {
+    /// Vanilla HopsFS: `(metadata replication, AZ count)`.
+    HopsFs {
+        /// NDB replication factor.
+        r: usize,
+        /// 1 or 3 AZs.
+        azs: usize,
+    },
+    /// HopsFS-CL (always 3 AZs): `(metadata replication, 3)`.
+    HopsFsCl {
+        /// NDB replication factor.
+        r: usize,
+    },
+    /// CephFS in one of its three evaluated flavours.
+    Ceph {
+        /// Subtree balancing mode.
+        mode: BalanceMode,
+        /// Skip the client kernel cache.
+        skip_kcache: bool,
+    },
+}
+
+impl Setup {
+    /// All nine setups, in the paper's legend order.
+    pub const ALL_NINE: [Setup; 9] = [
+        Setup::HopsFs { r: 2, azs: 1 },
+        Setup::HopsFs { r: 3, azs: 1 },
+        Setup::HopsFs { r: 2, azs: 3 },
+        Setup::HopsFs { r: 3, azs: 3 },
+        Setup::HopsFsCl { r: 2 },
+        Setup::HopsFsCl { r: 3 },
+        Setup::Ceph { mode: BalanceMode::Dynamic, skip_kcache: false },
+        Setup::Ceph { mode: BalanceMode::DirPinned, skip_kcache: false },
+        Setup::Ceph { mode: BalanceMode::Dynamic, skip_kcache: true },
+    ];
+
+    /// The HopsFS-family setups.
+    pub const HOPS_SIX: [Setup; 6] = [
+        Setup::HopsFs { r: 2, azs: 1 },
+        Setup::HopsFs { r: 3, azs: 1 },
+        Setup::HopsFs { r: 2, azs: 3 },
+        Setup::HopsFs { r: 3, azs: 3 },
+        Setup::HopsFsCl { r: 2 },
+        Setup::HopsFsCl { r: 3 },
+    ];
+
+    /// Figure-legend label.
+    pub fn label(&self) -> String {
+        match self {
+            Setup::HopsFs { r, azs } => format!("HopsFS ({r},{azs})"),
+            Setup::HopsFsCl { r } => format!("HopsFS-CL ({r},3)"),
+            Setup::Ceph { mode: BalanceMode::Dynamic, skip_kcache: false } => "CephFS".to_string(),
+            Setup::Ceph { mode: BalanceMode::DirPinned, skip_kcache: false } => {
+                "CephFS-DirPinned".to_string()
+            }
+            Setup::Ceph { skip_kcache: true, .. } => "CephFS-SkipKCache".to_string(),
+        }
+    }
+
+    /// Whether this is a CephFS flavour.
+    pub fn is_ceph(&self) -> bool {
+        matches!(self, Setup::Ceph { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper_legend() {
+        let labels: Vec<String> = Setup::ALL_NINE.iter().map(Setup::label).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "HopsFS (2,1)",
+                "HopsFS (3,1)",
+                "HopsFS (2,3)",
+                "HopsFS (3,3)",
+                "HopsFS-CL (2,3)",
+                "HopsFS-CL (3,3)",
+                "CephFS",
+                "CephFS-DirPinned",
+                "CephFS-SkipKCache",
+            ]
+        );
+    }
+}

@@ -1,0 +1,71 @@
+//! The shared Spotify-workload sweep: one pass over
+//! (setup × metadata-server count) feeds Figures 5, 6, 8, 10, 11, 12 and 13,
+//! so it runs once and is cached under `target/bench-results/`.
+
+use crate::harness::{run_grid, Load, Params, RunResult};
+use crate::report::{load_json, save_json};
+use crate::setup::Setup;
+
+/// Metadata-server counts on the paper's x-axes.
+pub const PAPER_SIZES: [usize; 8] = [1, 6, 12, 18, 24, 36, 48, 60];
+
+/// Quick-mode subset.
+pub const QUICK_SIZES: [usize; 4] = [1, 12, 36, 60];
+
+/// Whether quick mode is enabled (`BENCH_QUICK=1`).
+pub fn quick() -> bool {
+    std::env::var("BENCH_QUICK").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Server counts to sweep.
+pub fn sizes() -> Vec<usize> {
+    if quick() {
+        QUICK_SIZES.to_vec()
+    } else {
+        PAPER_SIZES.to_vec()
+    }
+}
+
+/// Base parameters for the sweep.
+pub fn base_params() -> Params {
+    let mut p = Params::default();
+    if quick() {
+        p.warmup = simnet::SimDuration::from_millis(1200);
+        p.measure = simnet::SimDuration::from_millis(600);
+    }
+    p
+}
+
+fn cache_key() -> String {
+    let p = base_params();
+    format!("spotify_sweep_scale{}_{}", p.scale, if quick() { "quick" } else { "full" })
+}
+
+/// Runs (or loads from cache) the full Spotify sweep over all nine setups.
+pub fn ensure_spotify_sweep() -> Vec<RunResult> {
+    let key = cache_key();
+    if let Some(cached) = load_json::<Vec<RunResult>>(&key) {
+        eprintln!("[using cached sweep {key}; set BENCH_REUSE=0 to re-run]");
+        return cached;
+    }
+    let mut jobs = Vec::new();
+    for &setup in &Setup::ALL_NINE {
+        for &servers in &sizes() {
+            let mut p = base_params();
+            p.servers = servers;
+            p.load = Load::Spotify;
+            jobs.push((setup, p));
+        }
+    }
+    eprintln!("[running spotify sweep: {} points…]", jobs.len());
+    let results = run_grid(jobs);
+    save_json(&key, &results);
+    results
+}
+
+/// Extracts the series for one setup, ordered by server count.
+pub fn series<'a>(results: &'a [RunResult], label: &str) -> Vec<&'a RunResult> {
+    let mut v: Vec<&RunResult> = results.iter().filter(|r| r.label == label).collect();
+    v.sort_by_key(|r| r.servers);
+    v
+}

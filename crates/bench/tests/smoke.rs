@@ -1,0 +1,56 @@
+//! Harness smoke tests: one point per system, sane numbers out.
+
+use bench::{run, Load, Params, Setup};
+use cephsim::BalanceMode;
+use simnet::SimDuration;
+
+fn small_params() -> Params {
+    Params {
+        servers: 4,
+        sessions_per_server: 216,
+        scale: 8,
+        warmup: SimDuration::from_millis(1200),
+        measure: SimDuration::from_millis(500),
+        seed: 7,
+        ns: workload::NamespaceSpec { users: 40, ..Default::default() },
+        load: Load::Spotify,
+        storage_nodes: 6,
+        delete_precreate: 50,
+        tweak: None,
+    }
+}
+
+#[test]
+fn hopsfs_point_produces_sane_metrics() {
+    let r = run(Setup::HopsFs { r: 2, azs: 1 }, &small_params());
+    eprintln!("{r:#?}");
+    assert!(r.throughput > 10_000.0, "throughput {}", r.throughput);
+    assert!(r.avg_latency_ms > 0.5 && r.avg_latency_ms < 100.0, "latency {}", r.avg_latency_ms);
+    assert!(r.server_cpu > 0.05, "NN cpu {}", r.server_cpu);
+    assert!(r.storage_cpu > 0.005, "NDB cpu {}", r.storage_cpu);
+    assert!(!r.ndb_thread_util.is_empty());
+    let errs: u64 = r.errors.values().sum();
+    let ops = r.throughput / 8.0; // unscaled count proxy
+    assert!((errs as f64) < ops, "too many errors: {:?}", r.errors);
+}
+
+#[test]
+fn hopsfs_cl_point_produces_sane_metrics() {
+    let r = run(Setup::HopsFsCl { r: 3 }, &small_params());
+    eprintln!("{r:#?}");
+    assert!(r.throughput > 10_000.0, "throughput {}", r.throughput);
+    // Read Backup routes reads to backups too.
+    assert!(r.reads_by_rank[1] + r.reads_by_rank[2] > 0, "{:?}", r.reads_by_rank);
+}
+
+#[test]
+fn ceph_point_produces_sane_metrics() {
+    let r = run(
+        Setup::Ceph { mode: BalanceMode::Dynamic, skip_kcache: false },
+        &small_params(),
+    );
+    eprintln!("{r:#?}");
+    assert!(r.throughput > 1_000.0, "throughput {}", r.throughput);
+    assert!(r.per_server_handled > 0.0);
+    assert!(r.storage_disk_mb_s[1] > 0.0, "OSD journal writes missing");
+}

@@ -1,0 +1,36 @@
+//! # cephsim — a CephFS-like baseline on the simulation substrate
+//!
+//! The comparison system of the HopsFS-CL paper: a POSIX file system whose
+//! metadata is served by subtree-partitioned **metadata servers (MDS)** and
+//! stored, together with an operation journal, on replicated **object
+//! storage daemons (OSD)**. The model captures the mechanisms the paper
+//! identifies as CephFS's performance story:
+//!
+//! - the **single-threaded MDS** (a global lock bounds per-server request
+//!   throughput, §VI);
+//! - **journaling**: mutations append to a journal flushed to the OSDs;
+//!   OSD disk saturation backpressures mutations (Figures 5, 12d);
+//! - the **kernel client cache**: capability-holding clients serve reads
+//!   locally (and a `SkipKCache` mode that bypasses it, §V-A);
+//! - **subtree partitioning**: the default dynamic balancer and the
+//!   `DirPinned` manual assignment.
+//!
+//! Clients are driven by the same [`hopsfs::OpSource`] workloads as
+//! HopsFS/HopsFS-CL, so the `bench` crate can compare all nine deployments
+//! of the paper's Figure 5 under identical load.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod config;
+pub mod deploy;
+pub mod mds;
+pub mod mon;
+pub mod namespace;
+pub mod osd;
+
+pub use client::CephClientActor;
+pub use config::{BalanceMode, CephConfig, CephCosts};
+pub use deploy::{build_ceph_cluster, run_clients_until_done, CephCluster};
+pub use mds::{MdsActor, MdsStats};
+pub use namespace::{CephNamespace, SubtreeMap};

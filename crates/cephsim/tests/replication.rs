@@ -1,0 +1,74 @@
+//! Hot-dirfrag read replication: when a single subtree dominates an MDS and
+//! cannot be split further, the monitor replicates its metadata so every MDS
+//! serves its reads (mutations stay with the authority).
+
+use cephsim::{build_ceph_cluster, BalanceMode, CephConfig, MdsActor};
+use hopsfs::client::ClientStats;
+use hopsfs::{FsOp, FsPath, ScriptedSource};
+use simnet::{AzId, SimTime, Simulation};
+
+fn p(s: &str) -> FsPath {
+    FsPath::parse(s).unwrap()
+}
+
+#[test]
+fn hot_subtree_reads_spread_across_mds_after_replication() {
+    let mut sim = Simulation::new(17);
+    sim.set_jitter(0.0);
+    let mut cluster =
+        build_ceph_cluster(&mut sim, CephConfig::paper(4, BalanceMode::Dynamic, true));
+    cluster.bulk_add_file("/hot/dir/file", 0);
+    cluster.apply_pinning();
+    // Many skip-cache clients hammer ONE file: without replication a single
+    // MDS would serve everything.
+    let stats = ClientStats::shared();
+    let mut clients = Vec::new();
+    for c in 0..12u64 {
+        let ops: Vec<FsOp> = (0..3000).map(|_| FsOp::Stat { path: p("/hot/dir/file") }).collect();
+        clients.push(cluster.add_client(
+            &mut sim,
+            AzId((c % 3) as u8),
+            Box::new(ScriptedSource::new(ops)),
+            stats.clone(),
+        ));
+    }
+    sim.run_until(SimTime::from_secs(25));
+    // The map marked the hot prefix replicated…
+    assert!(cluster.map.borrow().replicated_count() > 0, "hot prefix never replicated");
+    assert!(cluster.map.borrow().is_replicated("/hot/dir/file"));
+    // …and several MDSs served its reads.
+    let served: Vec<u64> =
+        cluster.mds_ids.iter().map(|&id| sim.actor::<MdsActor>(id).stats.requests).collect();
+    let active = served.iter().filter(|&&r| r > 100).count();
+    assert!(active >= 3, "reads still concentrated: {served:?}");
+}
+
+#[test]
+fn mutations_still_go_to_the_authority() {
+    let mut sim = Simulation::new(18);
+    sim.set_jitter(0.0);
+    let cluster = build_ceph_cluster(&mut sim, CephConfig::paper(4, BalanceMode::Dynamic, false));
+    // Force-replicate a prefix, then mutate under it: the write must land on
+    // the authoritative owner regardless.
+    cluster.map.borrow_mut().replicate("/pin");
+    cluster.map.borrow_mut().assign("/pin", 2);
+    let stats = ClientStats::shared();
+    let c = cluster.add_client(
+        &mut sim,
+        AzId(0),
+        Box::new(ScriptedSource::new(vec![
+            FsOp::Mkdir { path: p("/pin") },
+            FsOp::Create { path: p("/pin/f"), size: 0 },
+        ])),
+        stats,
+    );
+    sim.run_until(SimTime::from_secs(5));
+    let _ = c;
+    let owner_reqs = sim.actor::<MdsActor>(cluster.mds_ids[2]).stats.requests;
+    assert!(owner_reqs >= 2, "mutations must reach the authority MDS: {owner_reqs}");
+    let others: u64 = [0usize, 1, 3]
+        .iter()
+        .map(|&i| sim.actor::<MdsActor>(cluster.mds_ids[i]).stats.requests)
+        .sum();
+    assert_eq!(others, 0, "no other MDS should see the mutations");
+}

@@ -1,0 +1,427 @@
+//! HopsFS clients: one actor per client session, driven by an [`OpSource`].
+//!
+//! Clients implement the paper's metadata-server selection policy (§IV-B3):
+//! an AZ-aware client first fetches the active namenode list (maintained by
+//! the leader-election protocol, which piggybacks each NN's
+//! `locationDomainId`) and picks a namenode in its own AZ, falling back to a
+//! random one. A vanilla client picks a random namenode and sticks with it
+//! until it fails, then picks a random survivor.
+
+use crate::ops::{ActiveNn, ActiveNns, FsOp, FsRequest, FsResponse, GetActiveNns, OpKind};
+use crate::types::{FsError, FsResult};
+use crate::view::FsView;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use simnet::{Actor, AzId, Ctx, Histogram, NodeId, Payload, SimDuration, SimTime};
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// Supplies operations to a client session (closed loop: the next op is
+/// requested when the previous one completes).
+pub trait OpSource {
+    /// The next operation, or `None` when the session is done.
+    fn next_op(&mut self, rng: &mut StdRng, now: SimTime) -> Option<FsOp>;
+    /// Observes a completed operation.
+    fn on_result(&mut self, _op: &FsOp, _result: &FsResult) {}
+}
+
+/// A fixed list of operations (tests, examples).
+#[derive(Debug)]
+pub struct ScriptedSource {
+    ops: std::collections::VecDeque<FsOp>,
+}
+
+impl ScriptedSource {
+    /// Creates a source that plays `ops` in order.
+    pub fn new(ops: Vec<FsOp>) -> Self {
+        ScriptedSource { ops: ops.into() }
+    }
+}
+
+impl OpSource for ScriptedSource {
+    fn next_op(&mut self, _rng: &mut StdRng, _now: SimTime) -> Option<FsOp> {
+        self.ops.pop_front()
+    }
+}
+
+/// Aggregated workload statistics, shared by all client sessions of one
+/// experiment (single-threaded simulation ⇒ `Rc<RefCell<…>>`).
+#[derive(Debug)]
+pub struct ClientStats {
+    /// Record only while true (toggled by the harness around the
+    /// measurement window).
+    pub recording: bool,
+    /// Successful ops per kind.
+    pub ok_per_kind: [u64; 9],
+    /// Failed ops per kind.
+    pub err_per_kind: [u64; 9],
+    /// End-to-end latency (ns) across all ops.
+    pub latency_all: Histogram,
+    /// End-to-end latency (ns) per kind.
+    pub latency_per_kind: [Histogram; 9],
+    /// Error tallies.
+    pub errors: HashMap<&'static str, u64>,
+}
+
+impl Default for ClientStats {
+    fn default() -> Self {
+        ClientStats {
+            recording: true,
+            ok_per_kind: [0; 9],
+            err_per_kind: [0; 9],
+            latency_all: Histogram::new(),
+            latency_per_kind: std::array::from_fn(|_| Histogram::new()),
+            errors: HashMap::new(),
+        }
+    }
+}
+
+impl ClientStats {
+    /// New shared handle.
+    pub fn shared() -> Rc<RefCell<ClientStats>> {
+        Rc::new(RefCell::new(ClientStats::default()))
+    }
+
+    /// Total successful operations.
+    pub fn total_ok(&self) -> u64 {
+        self.ok_per_kind.iter().sum()
+    }
+
+    /// Total failed operations.
+    pub fn total_err(&self) -> u64 {
+        self.err_per_kind.iter().sum()
+    }
+
+    fn kind_slot(kind: OpKind) -> usize {
+        OpKind::ALL.iter().position(|&k| k == kind).expect("kind in ALL")
+    }
+
+    /// Latency histogram of one kind.
+    pub fn latency_of(&self, kind: OpKind) -> &Histogram {
+        &self.latency_per_kind[Self::kind_slot(kind)]
+    }
+
+    /// Successful op count of one kind.
+    pub fn ok_of(&self, kind: OpKind) -> u64 {
+        self.ok_per_kind[Self::kind_slot(kind)]
+    }
+
+    /// Records one completed operation (shared by HopsFS and baseline
+    /// clients so all systems report through the same sink).
+    pub fn record(&mut self, kind: OpKind, result: &FsResult, latency: SimDuration) {
+        if !self.recording {
+            return;
+        }
+        let slot = Self::kind_slot(kind);
+        match result {
+            Ok(_) => {
+                self.ok_per_kind[slot] += 1;
+                self.latency_all.record(latency.as_nanos());
+                self.latency_per_kind[slot].record(latency.as_nanos());
+            }
+            Err(e) => {
+                self.err_per_kind[slot] += 1;
+                let label = match e {
+                    FsError::NotFound => "not_found",
+                    FsError::AlreadyExists => "already_exists",
+                    FsError::NotDir => "not_dir",
+                    FsError::NotEmpty => "not_empty",
+                    FsError::IsDir => "is_dir",
+                    FsError::Busy => "busy",
+                    FsError::Unavailable => "unavailable",
+                    FsError::Invalid => "invalid",
+                };
+                *self.errors.entry(label).or_insert(0) += 1;
+            }
+        }
+    }
+}
+
+#[derive(Debug)]
+struct TickClient;
+#[derive(Debug)]
+struct ThinkDone;
+
+/// Wakes an idle session so it polls its [`OpSource`] immediately (used by
+/// the synchronous test facade instead of waiting for the next tick).
+#[derive(Debug, Clone, Copy)]
+pub struct Poke;
+
+#[derive(Debug)]
+struct Pending {
+    req_id: u64,
+    op: FsOp,
+    started: SimTime,
+    sent_at: SimTime,
+    attempt: u32,
+    idempotent_retry: bool,
+}
+
+/// One client session.
+pub struct FsClientActor {
+    view: Arc<FsView>,
+    /// The client's `locationDomainId` (None = vanilla).
+    pub domain: Option<AzId>,
+    source: Box<dyn OpSource>,
+    stats: Rc<RefCell<ClientStats>>,
+    /// Current metadata server, as a simulation node id.
+    my_nn: Option<NodeId>,
+    active: Vec<ActiveNn>,
+    awaiting_active: bool,
+    active_sent_at: SimTime,
+    next_req: u64,
+    pending: Option<Pending>,
+    /// Per-op timeout before the namenode is declared failed.
+    pub op_timeout: SimDuration,
+    /// Maximum send attempts per op.
+    pub max_attempts: u32,
+    /// Pause between ops (0 = fully closed loop).
+    pub think_time: SimDuration,
+    /// Results kept when enabled (tests/examples).
+    pub keep_results: bool,
+    /// Collected results (when `keep_results`).
+    pub results: Vec<FsResult>,
+    /// True once the source is exhausted.
+    pub done: bool,
+}
+
+impl FsClientActor {
+    /// Creates a client session.
+    pub fn new(
+        view: Arc<FsView>,
+        domain: Option<AzId>,
+        source: Box<dyn OpSource>,
+        stats: Rc<RefCell<ClientStats>>,
+    ) -> Self {
+        FsClientActor {
+            view,
+            domain,
+            source,
+            stats,
+            my_nn: None,
+            active: Vec::new(),
+            awaiting_active: false,
+            active_sent_at: SimTime::ZERO,
+            next_req: 0,
+            pending: None,
+            op_timeout: SimDuration::from_secs(4),
+            max_attempts: 6,
+            think_time: SimDuration::ZERO,
+            keep_results: false,
+            results: Vec::new(),
+            done: false,
+        }
+    }
+
+    fn pick_nn(&mut self, rng: &mut StdRng) -> Option<NodeId> {
+        if let Some(domain) = self.domain {
+            // AZ-aware policy: same-AZ active namenode, else random active.
+            if !self.active.is_empty() {
+                let local: Vec<&ActiveNn> = self
+                    .active
+                    .iter()
+                    .filter(|n| n.location_domain == domain.0)
+                    .collect();
+                let chosen = if local.is_empty() {
+                    self.active.choose(rng)
+                } else {
+                    local.choose(rng).copied()
+                };
+                return chosen.map(|n| NodeId(n.node_id));
+            }
+        }
+        // Vanilla (or no active list yet): random from the static deployment.
+        self.view.nn_ids.choose(rng).copied()
+    }
+
+    fn fetch_active(&mut self, ctx: &mut Ctx<'_>) {
+        self.awaiting_active = true;
+        self.active_sent_at = ctx.now();
+        // Prefer a reachable bootstrap namenode (a dead pick would answer
+        // with the moral equivalent of connection-refused; model that by
+        // retrying from the tick instead).
+        let n = self.view.nn_ids.len();
+        let pick = self.view.nn_ids[ctx.rng().gen_range(0..n)];
+        ctx.send_sized(pick, 48, GetActiveNns);
+    }
+
+    fn issue_next(&mut self, ctx: &mut Ctx<'_>) {
+        if self.pending.is_some() || self.done {
+            return;
+        }
+        let now = ctx.now();
+        let op = {
+            let rng = ctx.rng();
+            self.source.next_op(rng, now)
+        };
+        let op = match op {
+            Some(op) => op,
+            None => {
+                self.done = true;
+                return;
+            }
+        };
+        self.next_req += 1;
+        let req_id = self.next_req;
+        self.pending = Some(Pending {
+            req_id,
+            op: op.clone(),
+            started: now,
+            sent_at: now,
+            attempt: 1,
+            idempotent_retry: false,
+        });
+        self.send_pending(ctx);
+    }
+
+    fn send_pending(&mut self, ctx: &mut Ctx<'_>) {
+        let nn = match self.my_nn {
+            Some(nn) if ctx.is_alive(nn) => nn,
+            _ => {
+                let rng_pick = {
+                    let mut rng = ctx.rng().clone();
+                    self.pick_nn(&mut rng)
+                };
+                match rng_pick {
+                    Some(nn) => {
+                        self.my_nn = Some(nn);
+                        nn
+                    }
+                    None => return,
+                }
+            }
+        };
+        let p = self.pending.as_mut().expect("pending op");
+        p.sent_at = ctx.now();
+        let req = FsRequest { req_id: p.req_id, op: p.op.clone(), idempotent_retry: p.idempotent_retry };
+        ctx.send_sized(nn, 256, req);
+    }
+
+    fn complete(&mut self, ctx: &mut Ctx<'_>, result: FsResult) {
+        let p = self.pending.take().expect("pending op");
+        let latency = ctx.now().saturating_since(p.started);
+        self.stats.borrow_mut().record(p.op.kind(), &result, latency);
+        self.source.on_result(&p.op, &result);
+        if self.keep_results {
+            self.results.push(result);
+        }
+        if self.think_time == SimDuration::ZERO {
+            self.issue_next(ctx);
+        } else {
+            ctx.schedule(self.think_time, ThinkDone);
+        }
+    }
+
+    fn on_response(&mut self, ctx: &mut Ctx<'_>, resp: FsResponse) {
+        match &self.pending {
+            Some(p) if p.req_id == resp.req_id => {}
+            _ => return, // stale (timed-out attempt answered late)
+        }
+        self.complete(ctx, resp.result);
+    }
+
+    fn on_tick(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        // Retry a lost active-list fetch (bootstrap NN may be down).
+        if self.awaiting_active && now.saturating_since(self.active_sent_at) > SimDuration::from_millis(900)
+        {
+            self.fetch_active(ctx);
+        }
+        // Kick the loop if we stalled with nothing in flight.
+        if !self.awaiting_active && self.pending.is_none() && !self.done {
+            self.issue_next(ctx);
+        }
+        let timeout = self.op_timeout;
+        let max = self.max_attempts;
+        let mut resend = false;
+        let mut give_up = false;
+        if let Some(p) = &mut self.pending {
+            if now.saturating_since(p.sent_at) > timeout {
+                p.attempt += 1;
+                p.idempotent_retry = true;
+                if p.attempt > max {
+                    give_up = true;
+                } else {
+                    resend = true;
+                }
+            }
+        }
+        if give_up {
+            self.complete(ctx, Err(FsError::Unavailable));
+        } else if resend {
+            // The namenode looks dead: pick a random survivor (§IV-B3).
+            self.my_nn = None;
+            self.active.clear();
+            if self.domain.is_some() && !self.awaiting_active {
+                self.fetch_active(ctx);
+            } else {
+                self.send_pending(ctx);
+            }
+        }
+        ctx.schedule(SimDuration::from_millis(250), TickClient);
+    }
+}
+
+impl Actor for FsClientActor {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.schedule(SimDuration::from_millis(250), TickClient);
+        if self.domain.is_some() {
+            self.fetch_active(ctx);
+        } else {
+            self.issue_next(ctx);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: NodeId, msg: Box<dyn Payload>) {
+        let any = msg.into_any();
+        let any = match any.downcast::<FsResponse>() {
+            Ok(m) => return self.on_response(ctx, *m),
+            Err(m) => m,
+        };
+        let any = match any.downcast::<ActiveNns>() {
+            Ok(m) => {
+                self.awaiting_active = false;
+                self.active = m.nns;
+                // Re-send only if the pending request has no namenode yet
+                // (failover repick); an already-sent request must not be
+                // duplicated to a second namenode.
+                let needs_nn = self.my_nn.is_none();
+                if needs_nn {
+                    let pick = {
+                        let mut rng = ctx.rng().clone();
+                        self.pick_nn(&mut rng)
+                    };
+                    self.my_nn = pick;
+                    if self.pending.is_some() {
+                        self.send_pending(ctx);
+                    }
+                }
+                if self.pending.is_none() {
+                    self.issue_next(ctx);
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+        let any = match any.downcast::<TickClient>() {
+            Ok(_) => return self.on_tick(ctx),
+            Err(m) => m,
+        };
+        let any = match any.downcast::<ThinkDone>() {
+            Ok(_) => return self.issue_next(ctx),
+            Err(m) => m,
+        };
+        match any.downcast::<Poke>() {
+            Ok(_) => self.issue_next(ctx),
+            Err(m) => debug_assert!(false, "client got unknown message {m:?}"),
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}

@@ -1,0 +1,205 @@
+//! File-system deployment configuration and namenode cost calibration.
+
+use ndb::ClusterConfig;
+use simnet::{AzId, SimDuration};
+
+/// Where large-file blocks live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockBackend {
+    /// The HopsFS block storage layer: blocks replicated across block
+    /// datanodes (§IV-C).
+    Datanodes,
+    /// The paper's §VII future work: blocks stored as objects in a regional
+    /// cloud object store (AZ-local endpoints, provider-internal
+    /// replication, request fees — see [`crate::cloudstore`]).
+    CloudStore,
+}
+
+/// Block-placement policies for the block storage layer (§IV-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementPolicy {
+    /// Uniformly random distinct datanodes (no topology knowledge).
+    Random,
+    /// The HDFS rack-aware default with AZs configured as racks (the paper's
+    /// approach): first replica local to the writer, second on a different
+    /// AZ, third on the same AZ as the second but a different node.
+    RackAwareAzAsRack,
+    /// Strict AZ spread: one replica per AZ while AZs remain.
+    AzSpread,
+}
+
+/// Namenode CPU calibration. One op costs
+/// `op_base + per_component * depth + op_finish` on the worker pool, which
+/// together with the pool size bounds per-NN throughput (§V-D2 shows NNs use
+/// all their CPUs thanks to granular locking).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NnCostModel {
+    /// Worker threads per namenode (the paper's VMs had 32 vCPUs).
+    pub worker_threads: usize,
+    /// Fixed cost on receiving an operation (parse, plan, lock phase).
+    pub op_base: SimDuration,
+    /// Cost per resolved path component.
+    pub per_component: SimDuration,
+    /// Fixed cost to finalize and serialize the response.
+    pub op_finish: SimDuration,
+    /// Extra cost per directory-listing entry returned.
+    pub per_list_entry: SimDuration,
+}
+
+impl Default for NnCostModel {
+    fn default() -> Self {
+        NnCostModel {
+            worker_threads: 32,
+            op_base: SimDuration::from_micros(780),
+            per_component: SimDuration::from_micros(35),
+            op_finish: SimDuration::from_micros(330),
+            per_list_entry: SimDuration::from_nanos(2_500),
+        }
+    }
+}
+
+impl NnCostModel {
+    /// Proportionally shrunk worker pool for scaled-down simulations.
+    pub fn scaled_down(&self, factor: usize) -> Self {
+        let mut c = self.clone();
+        c.worker_threads = (c.worker_threads / factor.max(1)).max(1);
+        c
+    }
+}
+
+/// Full HopsFS / HopsFS-CL deployment description.
+#[derive(Debug, Clone)]
+pub struct FsConfig {
+    /// Metadata-storage (NDB) cluster configuration.
+    pub ndb: ClusterConfig,
+    /// AZs the deployment spans (placement for non-AZ-aware processes is
+    /// round-robin over these).
+    pub azs: Vec<AzId>,
+    /// Number of namenodes.
+    pub nn_count: usize,
+    /// Whether namenodes and clients are AZ-aware (HopsFS-CL): namenodes get
+    /// `locationDomainId`s, every table is Read Backup enabled, clients
+    /// prefer AZ-local namenodes, and block placement spreads across AZs.
+    pub az_aware: bool,
+    /// Block replication factor (default 3).
+    pub block_replication: u8,
+    /// Small-file threshold: files strictly smaller stay inline in NDB.
+    pub small_file_max: u64,
+    /// Block size for large files.
+    pub block_size: u64,
+    /// Block placement policy (datanode backend only).
+    pub placement: PlacementPolicy,
+    /// Where large-file blocks are stored.
+    pub block_backend: BlockBackend,
+    /// Overrides whether tables are Read Backup enabled (None = follow
+    /// `az_aware`); used by the ablation experiments and Figure 14.
+    pub read_backup_override: Option<bool>,
+    /// Strict mode: re-read (validate) every cache-resolved ancestor inside
+    /// the transaction. HopsFS proper trusts its inode-hint cache for
+    /// ancestor directories and only lock-reads the parent and target
+    /// (FAST'17), so this defaults to off; turning it on trades a hot root
+    /// partition for rename-vs-resolve linearizability.
+    pub validate_ancestors: bool,
+    /// Namenode CPU calibration.
+    pub nn_costs: NnCostModel,
+    /// Leader-election round period (paper: 2 s).
+    pub election_period: SimDuration,
+    /// Election rounds a namenode may miss before being considered dead.
+    pub election_misses: u32,
+    /// Max op attempts before responding `Busy` (retry with backoff provides
+    /// backpressure to NDB, §II-B2).
+    pub max_op_attempts: u32,
+}
+
+impl FsConfig {
+    /// Whether the schema's tables are registered Read Backup enabled.
+    pub fn read_backup_tables(&self) -> bool {
+        self.read_backup_override.unwrap_or(self.az_aware)
+    }
+
+    /// The paper's deployment tuples: `hopsfs(metadata_replication, az_count)`
+    /// is vanilla HopsFS, non-AZ-aware, on `ndb_nodes` datanodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `az_count` is not 1 or 3, or the datanode count is not a
+    /// multiple of the replication factor.
+    pub fn hopsfs(ndb_nodes: usize, metadata_replication: usize, az_count: usize, nn_count: usize) -> Self {
+        let azs: Vec<AzId> = match az_count {
+            1 => vec![AzId(1)], // us-west1-b, where the paper ran 1-AZ setups
+            3 => vec![AzId(0), AzId(1), AzId(2)],
+            _ => panic!("the paper deploys over 1 or 3 AZs"),
+        };
+        let ndb = ClusterConfig::vanilla(ndb_nodes, metadata_replication);
+        FsConfig {
+            ndb,
+            azs,
+            nn_count,
+            az_aware: false,
+            block_replication: 3,
+            small_file_max: 128 * 1024,
+            block_size: 128 << 20,
+            placement: PlacementPolicy::Random,
+            block_backend: BlockBackend::Datanodes,
+            read_backup_override: None,
+            validate_ancestors: false,
+            nn_costs: NnCostModel::default(),
+            election_period: SimDuration::from_secs(2),
+            election_misses: 2,
+            max_op_attempts: 8,
+        }
+    }
+
+    /// HopsFS-CL: AZ-aware at all three layers, always across 3 AZs.
+    pub fn hopsfs_cl(ndb_nodes: usize, metadata_replication: usize, nn_count: usize) -> Self {
+        let azs = vec![AzId(0), AzId(1), AzId(2)];
+        let ndb = ClusterConfig::az_aware(ndb_nodes, metadata_replication, &azs);
+        let mut c = Self::hopsfs(ndb_nodes, metadata_replication, 3, nn_count);
+        c.ndb = ndb;
+        c.az_aware = true;
+        c.placement = PlacementPolicy::RackAwareAzAsRack;
+        c
+    }
+
+    /// Applies a uniform scale-down factor to the CPU-heavy knobs (thread
+    /// pools), for fast simulations; reported throughput should be scaled
+    /// back up by the same factor.
+    pub fn scaled_down(mut self, factor: usize) -> Self {
+        self.ndb.threads = self.ndb.threads.scaled_down(factor);
+        self.nn_costs = self.nn_costs.scaled_down(factor);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_tuples() {
+        let h21 = FsConfig::hopsfs(12, 2, 1, 60);
+        assert_eq!(h21.azs.len(), 1);
+        assert!(!h21.az_aware);
+        assert_eq!(h21.ndb.replication_factor, 2);
+
+        let cl33 = FsConfig::hopsfs_cl(12, 3, 60);
+        assert!(cl33.az_aware);
+        assert_eq!(cl33.azs.len(), 3);
+        assert_eq!(cl33.ndb.replication_factor, 3);
+        assert!(cl33.ndb.datanodes.iter().all(|d| d.location_domain_id.is_some()));
+        assert_eq!(cl33.placement, PlacementPolicy::RackAwareAzAsRack);
+    }
+
+    #[test]
+    fn scaling_shrinks_pools() {
+        let c = FsConfig::hopsfs(12, 2, 1, 4).scaled_down(4);
+        assert_eq!(c.nn_costs.worker_threads, 8);
+        assert_eq!(c.ndb.threads.ldm, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "1 or 3")]
+    fn rejects_two_azs() {
+        let _ = FsConfig::hopsfs(12, 2, 2, 1);
+    }
+}

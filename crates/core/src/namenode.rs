@@ -1,0 +1,1883 @@
+//! The stateless namenode (NN): HopsFS's metadata serving layer.
+//!
+//! Every file-system operation is executed as one NDB transaction using the
+//! HopsFS recipe (Niazi et al., FAST'17):
+//!
+//! 1. consult the local inode-hint cache for resolved ancestors;
+//! 2. start a transaction with a distribution-awareness hint (the target's
+//!    parent partition);
+//! 3. resolve remaining path components with read-committed reads — with
+//!    Read Backup tables these are the reads that become AZ-local;
+//! 4. take hierarchical (implicit) locks: shared on the parent, exclusive on
+//!    the target(s), re-reading under lock to validate;
+//! 5. execute and commit. Aborts (lock timeouts, node failures) retry with
+//!    backoff, providing backpressure to NDB (§II-B2).
+//!
+//! Namenodes also run the NDB-backed leader-election protocol (each NN bumps
+//! a counter row every round and scans everyone else's; the lowest live
+//! index leads), report their `locationDomainId` in their election row
+//! (§IV-B3), and — when leading — drive block re-replication after
+//! block-datanode failures (§IV-C2).
+
+use crate::block::{InvalidateBlock, ReplicaCopied, ReplicateBlockCmd, StoreBlock};
+use crate::cloudstore::{DeleteObject, PutObject, PutObjectAck, CLOUD_LOCATION};
+use crate::config::{BlockBackend, FsConfig};
+use crate::meta::{
+    decode_sequence, encode_sequence, BlockRecord, FsSchema, InodeRecord, NnRecord, ReplicaRecord,
+};
+use crate::ops::{ActiveNn, ActiveNns, FsOp, FsRequest, FsResponse, GetActiveNns, OpKind};
+use crate::placement::place_replicas;
+use crate::types::{BlockLocation, DirEntry, FsError, FsOk, FsResult, InodeId};
+use crate::view::FsView;
+use bytes::Bytes;
+use ndb::messages::ReadSpec;
+use ndb::{AbortReason, ClientKernel, LockMode, PartitionKey, RowKey, TxEvent, TxId, WriteOp};
+use simnet::{Actor, Ctx, NodeId, Payload, SimDuration, SimTime};
+use std::any::Any;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// Lane-class name for the namenode worker pool.
+pub const NN_WORKER: &str = "worker";
+
+const ID_BATCH: u64 = 1024;
+const CACHE_CAP: usize = 65_536;
+
+#[derive(Debug)]
+struct TickElection;
+#[derive(Debug)]
+struct TickSweep;
+#[derive(Debug)]
+struct OpResume {
+    op: u64,
+}
+
+/// Block-storage datanode → namenode heartbeat.
+#[derive(Debug, Clone, Copy)]
+pub struct BlockDnHeartbeat {
+    /// Block-storage datanode index.
+    pub dn_idx: u32,
+}
+
+/// Per-namenode statistics for the harness.
+#[derive(Debug, Default, Clone)]
+pub struct NnStats {
+    /// Successfully answered operations per kind.
+    pub ops_ok: HashMap<OpKind, u64>,
+    /// Failed operations per kind (after retries).
+    pub ops_err: HashMap<OpKind, u64>,
+    /// Transaction retries performed.
+    pub tx_retries: u64,
+    /// Inode-hint cache hits.
+    pub cache_hits: u64,
+    /// Inode-hint cache misses.
+    pub cache_misses: u64,
+    /// Re-replication commands issued (leader only).
+    pub rereplications: u64,
+}
+
+impl NnStats {
+    /// Total operations answered successfully.
+    pub fn total_ok(&self) -> u64 {
+        self.ops_ok.values().sum()
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Walk {
+    comps: Vec<String>,
+    idx: usize,
+    /// Inode id of the deepest resolved directory (starts at root).
+    cur: u64,
+    /// Row key (parent, name) of the deepest resolved inode (the root's own
+    /// row is `(0, "")`).
+    cur_key: (u64, String),
+    /// Components resolved from the inode-hint cache: `(parent, name,
+    /// expected id)`. HopsFS validates these with read-committed reads
+    /// *inside* the transaction (batched with the lock reads) — these are
+    /// exactly the reads that Read Backup makes AZ-local (§IV-A5, Fig. 14).
+    cached_chain: Vec<(u64, String, u64)>,
+    stop_at_parent: bool,
+}
+
+impl Walk {
+    fn new(comps: &[String], stop_at_parent: bool) -> Self {
+        Walk {
+            comps: comps.to_vec(),
+            idx: 0,
+            cur: InodeId::ROOT.0,
+            cur_key: (InodeId::NONE.0, String::new()),
+            cached_chain: Vec::new(),
+            stop_at_parent,
+        }
+    }
+
+    fn end(&self) -> usize {
+        if self.stop_at_parent {
+            self.comps.len().saturating_sub(1)
+        } else {
+            self.comps.len()
+        }
+    }
+
+    fn remaining(&self) -> usize {
+        self.end().saturating_sub(self.idx)
+    }
+
+    fn final_name(&self) -> &str {
+        self.comps.last().map(String::as_str).unwrap_or("")
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Stage {
+    AwaitIds,
+    WalkA,
+    WalkB,
+    Locking,
+    /// Reading a small file's inline data (Open).
+    SmallRead,
+    /// Op-specific scan rounds (delete emptiness, listing, block lookup…).
+    Scanning(u8),
+    Committing,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LockSlot {
+    /// Read-committed validation of a cache-resolved ancestor.
+    Ancestor {
+        /// The inode id the cache promised.
+        expected_id: u64,
+    },
+    /// Shared lock on the target's parent.
+    ParentA,
+    /// Exclusive lock on the target (read-committed for read-only ops).
+    TargetA,
+    /// Shared lock on the rename destination's parent.
+    ParentB,
+    /// Exclusive lock on the rename destination entry.
+    TargetB,
+}
+
+impl LockSlot {
+    /// Priority when deduplicating same-key specs (higher wins).
+    fn rank(self) -> u8 {
+        match self {
+            LockSlot::TargetA | LockSlot::TargetB => 3,
+            LockSlot::ParentA | LockSlot::ParentB => 2,
+            LockSlot::Ancestor { .. } => 1,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct OpCtx {
+    client: NodeId,
+    req_id: u64,
+    op: FsOp,
+    idempotent_retry: bool,
+    attempt: u32,
+    #[allow(dead_code)] // kept for debugging op lifetimes
+    started: SimTime,
+    tx: Option<TxId>,
+    stage: Stage,
+    walk_a: Walk,
+    walk_b: Option<Walk>,
+    parent_rec: Option<InodeRecord>,
+    target_rec: Option<InodeRecord>,
+    parent_b_rec: Option<InodeRecord>,
+    target_b_rec: Option<InodeRecord>,
+    lock_slots: Vec<LockSlot>,
+    pending_ok: Option<FsOk>,
+    /// Open: decoded block rows awaiting the replica scan.
+    blocks: Vec<BlockRecord>,
+    /// Recursive delete: directories still to scan.
+    dir_queue: VecDeque<u64>,
+    /// Recursive delete: block-backed files needing replica cleanup.
+    file_queue: VecDeque<u64>,
+    /// Accumulated writes for the final write step.
+    writes: Vec<WriteOp>,
+    /// Inode-hint cache entries to drop if the mutation commits (rename
+    /// sources, deleted entries).
+    cache_invalidate: Vec<(u64, String)>,
+    /// (block, dn) invalidations to fan out after commit.
+    doomed_blocks: Vec<(u64, u32)>,
+}
+
+#[derive(Debug)]
+enum AdminTx {
+    IdRefill {
+        base: Option<u64>,
+    },
+    Election {
+        scanned: bool,
+    },
+    /// Scanning the dead datanode's reverse index.
+    ReplScan,
+    /// Scanning one affected file's replicas.
+    ReplReplicas {
+        inode: u64,
+        block: u64,
+    },
+    /// Writing the repaired replica rows.
+    ReplCommit,
+}
+
+/// The namenode actor. Construct via [`crate::deploy::build_fs_cluster`].
+pub struct NameNodeActor {
+    view: Arc<FsView>,
+    /// My index among the namenodes.
+    pub my_idx: usize,
+    kernel: Option<ClientKernel>,
+    ops: HashMap<u64, OpCtx>,
+    tx_to_op: HashMap<TxId, u64>,
+    admin_txs: HashMap<TxId, AdminTx>,
+    next_op: u64,
+    cache: HashMap<(u64, String), (u64, bool)>,
+    ids_next: u64,
+    ids_end: u64,
+    id_refill_inflight: bool,
+    awaiting_ids: VecDeque<u64>,
+    counter: u64,
+    seen: HashMap<u32, (u64, SimTime)>,
+    /// Active namenodes from the last election scan.
+    pub active: Vec<ActiveNn>,
+    /// Leader from the last election scan.
+    pub leader_idx: u32,
+    dn_last_hb: Vec<SimTime>,
+    dn_marked_dead: Vec<bool>,
+    repl_queue: VecDeque<(u64, u64)>, // (inode, block) needing repair
+    repl_dead_dn: u32,
+    repl_inflight: bool,
+    /// Statistics.
+    pub stats: NnStats,
+}
+
+enum WalkOutcome {
+    Read { tx: TxId, key: RowKey },
+    NextWalk,
+    Locks,
+}
+
+impl NameNodeActor {
+    /// Creates namenode `my_idx` of the deployment.
+    pub fn new(view: Arc<FsView>, my_idx: usize) -> Self {
+        let dns = view.dn_ids.len();
+        NameNodeActor {
+            view,
+            my_idx,
+            kernel: None,
+            ops: HashMap::new(),
+            tx_to_op: HashMap::new(),
+            admin_txs: HashMap::new(),
+            next_op: 0,
+            cache: HashMap::new(),
+            ids_next: 0,
+            ids_end: 0,
+            id_refill_inflight: false,
+            awaiting_ids: VecDeque::new(),
+            counter: 0,
+            seen: HashMap::new(),
+            active: Vec::new(),
+            leader_idx: 0,
+            dn_last_hb: vec![SimTime::ZERO; dns],
+            dn_marked_dead: vec![false; dns],
+            repl_queue: VecDeque::new(),
+            repl_dead_dn: 0,
+            repl_inflight: false,
+            stats: NnStats::default(),
+        }
+    }
+
+    /// Whether this namenode currently believes it leads.
+    pub fn is_leader(&self) -> bool {
+        self.leader_idx == self.my_idx as u32
+    }
+
+    fn fs(&self) -> FsSchema {
+        self.view.fs
+    }
+
+    fn cfg(&self) -> &FsConfig {
+        &self.view.config
+    }
+
+    fn kernel(&mut self) -> &mut ClientKernel {
+        self.kernel.as_mut().expect("namenode not started")
+    }
+
+    fn cache_put(&mut self, parent: u64, name: &str, id: u64, is_dir: bool) {
+        if self.cache.len() >= CACHE_CAP {
+            self.cache.clear();
+        }
+        self.cache.insert((parent, name.to_string()), (id, is_dir));
+    }
+
+    fn alloc_id(&mut self) -> u64 {
+        debug_assert!(self.ids_next < self.ids_end, "id pool exhausted mid-op");
+        let id = self.ids_next;
+        self.ids_next += 1;
+        id
+    }
+
+    // ----- request intake --------------------------------------------------
+
+    fn on_fs_request(&mut self, ctx: &mut Ctx<'_>, from: NodeId, req: FsRequest) {
+        let now = ctx.now();
+        let kind = req.op.kind();
+        if let FsOp::Rename { src, dst } = &req.op {
+            if src.is_prefix_of(dst) || src.is_root() || dst.is_root() {
+                self.respond_now(ctx, from, req.req_id, Err(FsError::Invalid), kind);
+                return;
+            }
+        }
+        if req.op.path().is_root() && !matches!(kind, OpKind::List | OpKind::Stat) {
+            self.respond_now(ctx, from, req.req_id, Err(FsError::Invalid), kind);
+            return;
+        }
+        let op_id = self.next_op;
+        self.next_op += 1;
+        let octx = OpCtx {
+            client: from,
+            req_id: req.req_id,
+            op: req.op,
+            idempotent_retry: req.idempotent_retry,
+            attempt: 1,
+            started: now,
+            tx: None,
+            stage: Stage::WalkA,
+            walk_a: Walk::new(&[], false), // placeholders; set in reset
+            walk_b: None,
+            parent_rec: None,
+            target_rec: None,
+            parent_b_rec: None,
+            target_b_rec: None,
+            lock_slots: Vec::new(),
+            pending_ok: None,
+            blocks: Vec::new(),
+            dir_queue: VecDeque::new(),
+            file_queue: VecDeque::new(),
+            writes: Vec::new(),
+            cache_invalidate: Vec::new(),
+            doomed_blocks: Vec::new(),
+        };
+        self.ops.insert(op_id, octx);
+        self.reset_op_state(op_id);
+        // Admission: the op starts once a worker thread picks it up.
+        let cost = self.cfg().nn_costs.op_base;
+        ctx.execute_then(NN_WORKER, cost, OpResume { op: op_id });
+    }
+
+    fn reset_op_state(&mut self, op_id: u64) {
+        let octx = self.ops.get_mut(&op_id).expect("op exists");
+        let (walk_a, walk_b) = match &octx.op {
+            FsOp::Rename { src, dst } => (
+                Walk::new(src.components(), true),
+                Some(Walk::new(dst.components(), true)),
+            ),
+            op => (Walk::new(op.path().components(), true), None),
+        };
+        octx.walk_a = walk_a;
+        octx.walk_b = walk_b;
+        octx.stage = Stage::WalkA;
+        octx.parent_rec = None;
+        octx.target_rec = None;
+        octx.parent_b_rec = None;
+        octx.target_b_rec = None;
+        octx.lock_slots.clear();
+        octx.pending_ok = None;
+        octx.blocks.clear();
+        octx.dir_queue.clear();
+        octx.file_queue.clear();
+        octx.writes.clear();
+        octx.cache_invalidate.clear();
+        octx.doomed_blocks.clear();
+    }
+
+    fn respond_now(&mut self, ctx: &mut Ctx<'_>, client: NodeId, req_id: u64, result: FsResult, kind: OpKind) {
+        match &result {
+            Ok(_) => *self.stats.ops_ok.entry(kind).or_insert(0) += 1,
+            Err(_) => *self.stats.ops_err.entry(kind).or_insert(0) += 1,
+        }
+        let cost = self.cfg().nn_costs.op_finish;
+        let done = ctx.execute(NN_WORKER, cost);
+        ctx.send_sized_from(done, client, 256, FsResponse { req_id, result });
+    }
+
+    fn finish_op(&mut self, ctx: &mut Ctx<'_>, op_id: u64, result: FsResult) {
+        let octx = match self.ops.remove(&op_id) {
+            Some(o) => o,
+            None => return,
+        };
+        if let Some(tx) = octx.tx {
+            self.tx_to_op.remove(&tx);
+        }
+        for &(block, dn_idx) in &octx.doomed_blocks {
+            if dn_idx == CLOUD_LOCATION {
+                if !self.view.cloud_ids.is_empty() {
+                    let me = ctx.me();
+                    let endpoint = self.view.cloud_endpoint(ctx.az_of(me));
+                    ctx.send_sized(endpoint, 64, DeleteObject { key: block });
+                }
+            } else if let Some(&dn_node) = self.view.dn_ids.get(dn_idx as usize) {
+                ctx.send_sized(dn_node, 64, InvalidateBlock { block });
+            }
+        }
+        self.respond_now(ctx, octx.client, octx.req_id, result, octx.op.kind());
+    }
+
+    /// Finishes a read-only op: respond and abandon the (lock-free) tx.
+    fn finish_readonly(&mut self, ctx: &mut Ctx<'_>, op_id: u64, result: FsResult) {
+        if let Some(tx) = self.ops.get_mut(&op_id).and_then(|o| o.tx.take()) {
+            self.tx_to_op.remove(&tx);
+            self.kernel().abort(ctx, tx);
+        }
+        self.finish_op(ctx, op_id, result);
+    }
+
+    fn retry_op(&mut self, ctx: &mut Ctx<'_>, op_id: u64, maybe_committed: bool) {
+        let max = self.cfg().max_op_attempts;
+        let proceed = {
+            let octx = match self.ops.get_mut(&op_id) {
+                Some(o) => o,
+                None => return,
+            };
+            let tx = octx.tx.take();
+            if maybe_committed {
+                octx.idempotent_retry = true;
+            }
+            octx.attempt += 1;
+            let proceed = octx.attempt <= max;
+            if let Some(tx) = tx {
+                self.tx_to_op.remove(&tx);
+                // Release the failed attempt's locks (no-op if the kernel
+                // already forgot the tx after an abort event).
+                self.kernel().abort(ctx, tx);
+            }
+            proceed
+        };
+        if !proceed {
+            self.finish_op(ctx, op_id, Err(FsError::Busy));
+            return;
+        }
+        self.stats.tx_retries += 1;
+        self.reset_op_state(op_id);
+        let attempt = self.ops[&op_id].attempt;
+        let delay = SimDuration::from_millis(4) * u64::from(attempt.min(8));
+        ctx.schedule(delay, OpResume { op: op_id });
+    }
+
+    /// Starts (or restarts) an op's transaction and begins resolution.
+    fn start_op(&mut self, ctx: &mut Ctx<'_>, op_id: u64) {
+        if !self.ops.contains_key(&op_id) {
+            return;
+        }
+        let needs_id = matches!(
+            self.ops[&op_id].op.kind(),
+            OpKind::Mkdir | OpKind::Create | OpKind::Append
+        );
+        if needs_id && self.ids_end.saturating_sub(self.ids_next) < 64 {
+            self.ops.get_mut(&op_id).expect("op exists").stage = Stage::AwaitIds;
+            self.awaiting_ids.push_back(op_id);
+            self.refill_ids(ctx);
+            return;
+        }
+        {
+            let octx = self.ops.get_mut(&op_id).expect("op exists");
+            Self::walk_cache(&self.cache, &mut octx.walk_a, &mut self.stats);
+            if let Some(walk_b) = &mut octx.walk_b {
+                Self::walk_cache(&self.cache, walk_b, &mut self.stats);
+            }
+        }
+        let hint_pk = self.ops[&op_id].walk_a.cur;
+        let inodes = self.fs().inodes;
+        let tx = match self.kernel().begin(ctx, Some((inodes, PartitionKey(hint_pk)))) {
+            Some(tx) => tx,
+            None => {
+                self.finish_op(ctx, op_id, Err(FsError::Unavailable));
+                return;
+            }
+        };
+        self.tx_to_op.insert(tx, op_id);
+        let octx = self.ops.get_mut(&op_id).expect("op exists");
+        octx.tx = Some(tx);
+        octx.stage = Stage::WalkA;
+        self.continue_walk(ctx, op_id);
+    }
+
+    fn walk_cache(cache: &HashMap<(u64, String), (u64, bool)>, walk: &mut Walk, stats: &mut NnStats) {
+        while walk.idx < walk.end() {
+            let name = walk.comps[walk.idx].clone();
+            match cache.get(&(walk.cur, name.clone())) {
+                Some(&(id, true)) => {
+                    stats.cache_hits += 1;
+                    walk.cached_chain.push((walk.cur, name.clone(), id));
+                    walk.cur_key = (walk.cur, name);
+                    walk.cur = id;
+                    walk.idx += 1;
+                }
+                _ => {
+                    stats.cache_misses += 1;
+                    break;
+                }
+            }
+        }
+    }
+
+    fn continue_walk(&mut self, ctx: &mut Ctx<'_>, op_id: u64) {
+        let per_component = self.cfg().nn_costs.per_component;
+        let inodes = self.fs().inodes;
+        let outcome = {
+            let octx = self.ops.get_mut(&op_id).expect("op exists");
+            let walk = match octx.stage {
+                Stage::WalkA => &mut octx.walk_a,
+                Stage::WalkB => octx.walk_b.as_mut().expect("walk B present"),
+                _ => unreachable!("continue_walk outside walk stage"),
+            };
+            if walk.remaining() == 0 {
+                if octx.stage == Stage::WalkA && octx.walk_b.is_some() {
+                    octx.stage = Stage::WalkB;
+                    WalkOutcome::NextWalk
+                } else {
+                    octx.stage = Stage::Locking;
+                    WalkOutcome::Locks
+                }
+            } else {
+                let name = walk.comps[walk.idx].clone();
+                let key = FsSchema::inode_key(InodeId(walk.cur), &name);
+                WalkOutcome::Read { tx: octx.tx.expect("tx started"), key }
+            }
+        };
+        match outcome {
+            WalkOutcome::Read { tx, key } => {
+                ctx.execute(NN_WORKER, per_component);
+                self.kernel().read(
+                    ctx,
+                    tx,
+                    vec![ReadSpec { table: inodes, key, mode: LockMode::ReadCommitted }],
+                );
+            }
+            WalkOutcome::NextWalk => self.continue_walk(ctx, op_id),
+            WalkOutcome::Locks => self.issue_locks(ctx, op_id),
+        }
+    }
+
+    /// Handles the result of one resolution read.
+    fn on_walk_row(&mut self, ctx: &mut Ctx<'_>, op_id: u64, row: Option<Bytes>) {
+        enum Next {
+            Continue,
+            Fail(FsError, bool /*read-only*/),
+            StaleCache,
+        }
+        let next = {
+            let octx = self.ops.get_mut(&op_id).expect("op exists");
+            let read_only = matches!(octx.op.kind(), OpKind::Stat | OpKind::List | OpKind::Open);
+            let stage = octx.stage;
+            let walk = match stage {
+                Stage::WalkA => &mut octx.walk_a,
+                Stage::WalkB => octx.walk_b.as_mut().expect("walk B present"),
+                _ => return, // stale event
+            };
+            match row {
+                None => {
+                    if walk.cached_chain.is_empty() {
+                        Next::Fail(FsError::NotFound, read_only)
+                    } else {
+                        // An ancestor came from the cache and the chain broke
+                        // under it: possibly stale.
+                        Next::StaleCache
+                    }
+                }
+                Some(data) => {
+                    let rec = InodeRecord::decode(&data);
+                    let name = walk.comps[walk.idx].clone();
+                    let parent = walk.cur;
+                    walk.cur_key = (parent, name.clone());
+                    walk.cur = rec.id;
+                    walk.idx += 1;
+                    if !rec.is_dir {
+                        // Walks only traverse directories (they stop before
+                        // the final component).
+                        Next::Fail(FsError::NotDir, read_only)
+                    } else {
+                        let id = rec.id;
+                        let _ = walk;
+                        self.cache_put(parent, &name, id, true);
+                        Next::Continue
+                    }
+                }
+            }
+        };
+        match next {
+            Next::Continue => self.continue_walk(ctx, op_id),
+            Next::Fail(e, read_only) => {
+                if read_only {
+                    self.finish_readonly(ctx, op_id, Err(e));
+                } else {
+                    // Mutations resolve lazily too; a missing intermediate is
+                    // still a clean failure (no locks taken yet).
+                    self.finish_readonly(ctx, op_id, Err(e));
+                }
+            }
+            Next::StaleCache => {
+                // Some cached ancestor moved under us: drop the cache and
+                // retry from the root.
+                self.cache.clear();
+                self.retry_op(ctx, op_id, false);
+            }
+        }
+    }
+
+    // ----- lock phase ------------------------------------------------------
+
+    fn issue_locks(&mut self, ctx: &mut Ctx<'_>, op_id: u64) {
+        let inodes = self.fs().inodes;
+        let specs: Vec<(LockSlot, ReadSpec)> = {
+            let octx = self.ops.get_mut(&op_id).expect("op exists");
+            let read_only = matches!(octx.op.kind(), OpKind::Stat | OpKind::List | OpKind::Open);
+            let mut specs: Vec<(LockSlot, ReadSpec)> = Vec::new();
+            // Validation reads for every cache-resolved ancestor, batched
+            // with the lock reads — one round trip when the cache is warm.
+            let push_ancestors = |specs: &mut Vec<(LockSlot, ReadSpec)>, walk: &Walk| {
+                for (parent, name, id) in &walk.cached_chain {
+                    specs.push((
+                        LockSlot::Ancestor { expected_id: *id },
+                        ReadSpec {
+                            table: inodes,
+                            key: FsSchema::inode_key(InodeId(*parent), name),
+                            mode: LockMode::ReadCommitted,
+                        },
+                    ));
+                }
+            };
+            if self.view.config.validate_ancestors {
+                push_ancestors(&mut specs, &octx.walk_a);
+                if let Some(wb) = &octx.walk_b {
+                    push_ancestors(&mut specs, wb);
+                }
+            }
+            if read_only {
+                // Target read (read-committed, backup-eligible). Root is
+                // implicit and needs no read.
+                if !octx.walk_a.comps.is_empty() {
+                    specs.push((
+                        LockSlot::TargetA,
+                        ReadSpec {
+                            table: inodes,
+                            key: FsSchema::inode_key(InodeId(octx.walk_a.cur), octx.walk_a.final_name()),
+                            mode: LockMode::ReadCommitted,
+                        },
+                    ));
+                }
+            } else {
+                let wa = &octx.walk_a;
+                specs.push((
+                    LockSlot::ParentA,
+                    ReadSpec {
+                        table: inodes,
+                        key: FsSchema::inode_key(InodeId(wa.cur_key.0), &wa.cur_key.1),
+                        mode: LockMode::Shared,
+                    },
+                ));
+                specs.push((
+                    LockSlot::TargetA,
+                    ReadSpec {
+                        table: inodes,
+                        key: FsSchema::inode_key(InodeId(wa.cur), wa.final_name()),
+                        mode: LockMode::Exclusive,
+                    },
+                ));
+                if let Some(wb) = &octx.walk_b {
+                    specs.push((
+                        LockSlot::ParentB,
+                        ReadSpec {
+                            table: inodes,
+                            key: FsSchema::inode_key(InodeId(wb.cur_key.0), &wb.cur_key.1),
+                            mode: LockMode::Shared,
+                        },
+                    ));
+                    specs.push((
+                        LockSlot::TargetB,
+                        ReadSpec {
+                            table: inodes,
+                            key: FsSchema::inode_key(InodeId(wb.cur), wb.final_name()),
+                            mode: LockMode::Exclusive,
+                        },
+                    ));
+                }
+            }
+            // Order by key for deadlock avoidance; on duplicate keys keep the
+            // strongest slot/lock.
+            specs.sort_by(|a, b| {
+                (a.1.key.pk, &a.1.key.suffix)
+                    .cmp(&(b.1.key.pk, &b.1.key.suffix))
+                    .then(b.0.rank().cmp(&a.0.rank()))
+            });
+            specs.dedup_by(|dup, keep| {
+                if dup.1.key == keep.1.key {
+                    // `keep` has the higher rank (sorted above); keep the
+                    // stronger lock mode of the two.
+                    if dup.1.mode == LockMode::Exclusive
+                        || (dup.1.mode == LockMode::Shared && keep.1.mode == LockMode::ReadCommitted)
+                    {
+                        keep.1.mode = dup.1.mode;
+                    }
+                    true
+                } else {
+                    false
+                }
+            });
+            specs
+        };
+        if specs.is_empty() {
+            // Read-only op on `/`: nothing to read or validate.
+            self.execute_readonly(ctx, op_id);
+            return;
+        }
+        let tx = self.ops[&op_id].tx.expect("tx started");
+        let (slots, reads): (Vec<LockSlot>, Vec<ReadSpec>) = specs.into_iter().unzip();
+        self.ops.get_mut(&op_id).expect("op exists").lock_slots = slots;
+        self.kernel().read(ctx, tx, reads);
+    }
+
+    /// Read-only ops proceed straight from resolution to their answer (or a
+    /// follow-up scan).
+    fn execute_readonly(&mut self, ctx: &mut Ctx<'_>, op_id: u64) {
+        enum Plan {
+            Respond(FsResult),
+            Scan { tx: TxId, table: ndb::TableId, pk: u64 },
+            SmallRead { tx: TxId, id: u64 },
+        }
+        let plan = {
+            let octx = self.ops.get_mut(&op_id).expect("op exists");
+            // Root is implicit: synthesize its record when the path is `/`.
+            if octx.target_rec.is_none() && octx.walk_a.comps.is_empty() {
+                octx.target_rec = Some(InodeRecord::dir(InodeId::ROOT, 0));
+            }
+            let rec = match octx.target_rec.clone() {
+                Some(rec) => rec,
+                None => {
+                    self.finish_readonly(ctx, op_id, Err(FsError::NotFound));
+                    return;
+                }
+            };
+            match octx.op.kind() {
+                OpKind::Stat => Plan::Respond(Ok(FsOk::Attrs(rec.attrs()))),
+                OpKind::List => {
+                    if rec.is_dir {
+                        octx.stage = Stage::Scanning(0);
+                        Plan::Scan { tx: octx.tx.expect("tx"), table: self.view.fs.inodes, pk: rec.id }
+                    } else {
+                        let name = octx.walk_a.final_name().to_string();
+                        Plan::Respond(Ok(FsOk::Listing(vec![DirEntry { name, attrs: rec.attrs() }])))
+                    }
+                }
+                OpKind::Open => {
+                    if rec.is_dir {
+                        Plan::Respond(Err(FsError::IsDir))
+                    } else if rec.inline_len > 0 && rec.block_count == 0 {
+                        // Small file: fetch the inline data from the metadata
+                        // layer (the actual bytes travel NDB -> NN -> client).
+                        octx.stage = Stage::SmallRead;
+                        Plan::SmallRead { tx: octx.tx.expect("tx"), id: rec.id }
+                    } else if rec.block_count == 0 {
+                        Plan::Respond(Ok(FsOk::Locations { attrs: rec.attrs(), blocks: Vec::new() }))
+                    } else {
+                        octx.stage = Stage::Scanning(0);
+                        Plan::Scan { tx: octx.tx.expect("tx"), table: self.view.fs.blocks, pk: rec.id }
+                    }
+                }
+                _ => unreachable!("execute_readonly on a mutation"),
+            }
+        };
+        match plan {
+            Plan::Respond(result) => self.finish_readonly(ctx, op_id, result),
+            Plan::Scan { tx, table, pk } => {
+                self.kernel().scan(ctx, tx, table, PartitionKey(pk));
+            }
+            Plan::SmallRead { tx, id } => {
+                let small_files = self.view.fs.small_files;
+                self.kernel().read(
+                    ctx,
+                    tx,
+                    vec![ReadSpec {
+                        table: small_files,
+                        key: FsSchema::small_file_key(InodeId(id)),
+                        mode: LockMode::ReadCommitted,
+                    }],
+                );
+            }
+        }
+    }
+
+    /// Handles the locked validation read results and executes the mutation.
+    fn on_lock_rows(&mut self, ctx: &mut Ctx<'_>, op_id: u64, rows: Vec<Option<Bytes>>) {
+        let mut stale = false;
+        let read_only;
+        {
+            let octx = self.ops.get_mut(&op_id).expect("op exists");
+            read_only = matches!(octx.op.kind(), OpKind::Stat | OpKind::List | OpKind::Open);
+            for (slot, row) in octx.lock_slots.clone().iter().zip(rows) {
+                match slot {
+                    LockSlot::Ancestor { expected_id } => {
+                        let ok = row
+                            .as_ref()
+                            .map(|d| {
+                                let rec = InodeRecord::decode(d);
+                                rec.id == *expected_id && rec.is_dir
+                            })
+                            .unwrap_or(false);
+                        if !ok {
+                            stale = true;
+                        }
+                    }
+                    _ => {
+                        let rec = row.map(|d| InodeRecord::decode(&d));
+                        match slot {
+                            LockSlot::ParentA => octx.parent_rec = rec,
+                            LockSlot::TargetA => octx.target_rec = rec,
+                            LockSlot::ParentB => octx.parent_b_rec = rec,
+                            LockSlot::TargetB => octx.target_b_rec = rec,
+                            LockSlot::Ancestor { .. } => unreachable!(),
+                        }
+                    }
+                }
+            }
+            // Root parent is implicit when the walk stopped at root.
+            if octx.walk_a.cur == InodeId::ROOT.0 && octx.parent_rec.is_none() {
+                octx.parent_rec = Some(InodeRecord::dir(InodeId::ROOT, 0));
+            }
+            if let Some(wb) = &octx.walk_b {
+                if wb.cur == InodeId::ROOT.0 && octx.parent_b_rec.is_none() {
+                    octx.parent_b_rec = Some(InodeRecord::dir(InodeId::ROOT, 0));
+                }
+            }
+            // Rename-within-one-dir dedup: B-parent mirrors A-parent.
+            if octx.walk_b.is_some() && octx.parent_b_rec.is_none() {
+                let wa_cur = octx.walk_a.cur;
+                if octx.walk_b.as_ref().map(|w| w.cur) == Some(wa_cur) {
+                    octx.parent_b_rec = octx.parent_rec.clone();
+                }
+            }
+        }
+        if stale {
+            // A cached ancestor moved or vanished: drop the cache, retry
+            // from the root (the HopsFS hint-cache fallback).
+            self.cache.clear();
+            self.retry_op(ctx, op_id, false);
+            return;
+        }
+        if read_only {
+            self.execute_readonly(ctx, op_id);
+        } else {
+            self.execute_mutation(ctx, op_id);
+        }
+    }
+
+    fn execute_mutation(&mut self, ctx: &mut Ctx<'_>, op_id: u64) {
+        let now_ns = ctx.now().as_nanos();
+        let fs = self.fs();
+        enum Plan {
+            Fail(FsError),
+            Done(FsOk),
+            Write,
+            Scan { table: ndb::TableId, pk: u64 },
+        }
+        let plan;
+        {
+            let octx = self.ops.get_mut(&op_id).expect("op exists");
+            // Parent must exist and be a directory for entry mutations.
+            let parent_ok = octx.parent_rec.as_ref().map(|r| r.is_dir);
+            plan = match octx.op.clone() {
+                FsOp::Mkdir { path } => match parent_ok {
+                    None => Plan::Fail(FsError::NotFound),
+                    Some(false) => Plan::Fail(FsError::NotDir),
+                    Some(true) => {
+                        if let Some(existing) = &octx.target_rec {
+                            if octx.idempotent_retry && existing.is_dir {
+                                Plan::Done(FsOk::Done)
+                            } else {
+                                Plan::Fail(FsError::AlreadyExists)
+                            }
+                        } else {
+                            let id = {
+                                // alloc below, outside the borrow
+                                0u64
+                            };
+                            let _ = id;
+                            let name = path.name().expect("not root").to_string();
+                            octx.pending_ok = Some(FsOk::Done);
+                            octx.writes.push(WriteOp::Put {
+                                table: fs.inodes,
+                                key: FsSchema::inode_key(InodeId(octx.walk_a.cur), &name),
+                                data: Bytes::new(), // filled after id allocation below
+                            });
+                            Plan::Write
+                        }
+                    }
+                },
+                FsOp::Create { path, size } => match parent_ok {
+                    None => Plan::Fail(FsError::NotFound),
+                    Some(false) => Plan::Fail(FsError::NotDir),
+                    Some(true) => {
+                        if let Some(existing) = &octx.target_rec {
+                            if octx.idempotent_retry && !existing.is_dir {
+                                Plan::Done(FsOk::Done)
+                            } else {
+                                Plan::Fail(FsError::AlreadyExists)
+                            }
+                        } else {
+                            let name = path.name().expect("not root").to_string();
+                            octx.pending_ok = Some(FsOk::Done);
+                            // Mark with an empty placeholder; patched below.
+                            octx.writes.push(WriteOp::Put {
+                                table: fs.inodes,
+                                key: FsSchema::inode_key(InodeId(octx.walk_a.cur), &name),
+                                data: Bytes::new(),
+                            });
+                            let _ = size;
+                            Plan::Write
+                        }
+                    }
+                },
+                FsOp::SetPerm { .. } => match (&octx.parent_rec, octx.target_rec.clone()) {
+                    (None, _) | (_, None) => Plan::Fail(FsError::NotFound),
+                    (Some(_), Some(mut rec)) => {
+                        if let FsOp::SetPerm { perm, .. } = &octx.op {
+                            rec.perm = *perm;
+                        }
+                        rec.mtime = now_ns;
+                        octx.pending_ok = Some(FsOk::Done);
+                        octx.writes.push(WriteOp::Put {
+                            table: fs.inodes,
+                            key: FsSchema::inode_key(InodeId(octx.walk_a.cur), octx.walk_a.final_name()),
+                            data: rec.encode(),
+                        });
+                        Plan::Write
+                    }
+                },
+                FsOp::Delete { .. } => match (&octx.parent_rec, octx.target_rec.clone()) {
+                    (None, _) => Plan::Fail(FsError::NotFound),
+                    (_, None) => {
+                        if octx.idempotent_retry {
+                            Plan::Done(FsOk::Done)
+                        } else {
+                            Plan::Fail(FsError::NotFound)
+                        }
+                    }
+                    (Some(_), Some(rec)) => {
+                        octx.pending_ok = Some(FsOk::Done);
+                        octx.cache_invalidate
+                            .push((octx.walk_a.cur, octx.walk_a.final_name().to_string()));
+                        octx.writes.push(WriteOp::Delete {
+                            table: fs.inodes,
+                            key: FsSchema::inode_key(InodeId(octx.walk_a.cur), octx.walk_a.final_name()),
+                        });
+                        if rec.is_dir {
+                            octx.dir_queue.push_back(rec.id);
+                            octx.stage = Stage::Scanning(0);
+                            Plan::Scan { table: fs.inodes, pk: rec.id }
+                        } else {
+                            if rec.inline_len > 0 {
+                                octx.writes.push(WriteOp::Delete {
+                                    table: fs.small_files,
+                                    key: FsSchema::small_file_key(InodeId(rec.id)),
+                                });
+                            }
+                            if rec.block_count > 0 {
+                                octx.file_queue.push_back(rec.id);
+                                octx.stage = Stage::Scanning(1);
+                                Plan::Scan { table: fs.replicas, pk: rec.id }
+                            } else {
+                                Plan::Write
+                            }
+                        }
+                    }
+                },
+                FsOp::Rename { dst, .. } => {
+                    let src_rec = octx.target_rec.clone();
+                    match (src_rec, &octx.parent_b_rec, &octx.target_b_rec) {
+                        (None, _, _) => Plan::Fail(FsError::NotFound),
+                        (_, None, _) => Plan::Fail(FsError::NotFound),
+                        (_, _, Some(_)) => Plan::Fail(FsError::AlreadyExists),
+                        (Some(mut rec), Some(pb), None) => {
+                            if !pb.is_dir {
+                                Plan::Fail(FsError::NotDir)
+                            } else {
+                                rec.mtime = now_ns;
+                                let wb_cur = octx.walk_b.as_ref().expect("rename").cur;
+                                octx.pending_ok = Some(FsOk::Done);
+                                octx.cache_invalidate
+                                    .push((octx.walk_a.cur, octx.walk_a.final_name().to_string()));
+                                octx.writes.push(WriteOp::Delete {
+                                    table: fs.inodes,
+                                    key: FsSchema::inode_key(
+                                        InodeId(octx.walk_a.cur),
+                                        octx.walk_a.final_name(),
+                                    ),
+                                });
+                                octx.writes.push(WriteOp::Put {
+                                    table: fs.inodes,
+                                    key: FsSchema::inode_key(InodeId(wb_cur), dst.name().expect("not root")),
+                                    data: rec.encode(),
+                                });
+                                Plan::Write
+                            }
+                        }
+                    }
+                }
+                FsOp::Append { .. } => match (&octx.parent_rec, octx.target_rec.clone()) {
+                    (None, _) | (_, None) => Plan::Fail(FsError::NotFound),
+                    (Some(_), Some(rec)) if rec.is_dir => Plan::Fail(FsError::IsDir),
+                    (Some(_), Some(_)) => {
+                        octx.pending_ok = Some(FsOk::Done);
+                        octx.writes.push(WriteOp::Put {
+                            table: fs.inodes,
+                            key: FsSchema::inode_key(InodeId(octx.walk_a.cur), octx.walk_a.final_name()),
+                            data: Bytes::new(), // patched with the grown record
+                        });
+                        Plan::Write
+                    }
+                },
+                FsOp::Stat { .. } | FsOp::List { .. } | FsOp::Open { .. } => {
+                    unreachable!("read-only ops do not lock")
+                }
+            };
+        }
+        match plan {
+            Plan::Fail(e) => {
+                // Locks were taken: abort the tx to release them.
+                self.abort_and_finish(ctx, op_id, Err(e));
+            }
+            Plan::Done(ok) => self.abort_and_finish(ctx, op_id, Ok(ok)),
+            Plan::Write => self.patch_creates_and_write(ctx, op_id),
+            Plan::Scan { table, pk } => {
+                let tx = self.ops[&op_id].tx.expect("tx");
+                self.kernel().scan(ctx, tx, table, PartitionKey(pk));
+            }
+        }
+    }
+
+    /// Chooses where a new block's replicas live and emits the metadata rows
+    /// plus storage commands — either the replicated datanode layer (§IV-C)
+    /// or the cloud object store (§VII future work).
+    fn place_block(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        inode: InodeId,
+        block_id: u64,
+        len: u64,
+        extra_writes: &mut Vec<WriteOp>,
+        store_cmds: &mut Vec<(u32, StoreBlock)>,
+    ) {
+        let fs = self.fs();
+        match self.cfg().block_backend {
+            BlockBackend::Datanodes => {
+                let replication = self.cfg().block_replication as usize;
+                let targets = place_replicas(
+                    &self.view,
+                    &self.dn_alive_mask(ctx.now()),
+                    None, // server-side placement: the writer's AZ is unknown
+                    replication,
+                    ctx.rng(),
+                );
+                for &dn in &targets {
+                    extra_writes.push(WriteOp::Put {
+                        table: fs.replicas,
+                        key: FsSchema::replica_key(inode, block_id, dn as u32),
+                        data: ReplicaRecord { block_id, dn_idx: dn as u32 }.encode(),
+                    });
+                    extra_writes.push(WriteOp::Put {
+                        table: fs.dn_replicas,
+                        key: FsSchema::dn_replica_key(dn as u32, block_id),
+                        data: encode_sequence(inode.0),
+                    });
+                }
+                // Ship the payload to the first replica; it pipelines to the
+                // rest (cross-AZ hops included, per the placement policy).
+                if let Some((&first, rest)) = targets.split_first() {
+                    store_cmds.push((
+                        first as u32,
+                        StoreBlock {
+                            block: block_id,
+                            len,
+                            inode: inode.0,
+                            pipeline: rest.iter().map(|&d| d as u32).collect(),
+                        },
+                    ));
+                }
+            }
+            BlockBackend::CloudStore => {
+                // One metadata row with the sentinel location; the provider
+                // replicates internally. The PUT goes to the AZ-local
+                // front-end (no tenant cross-AZ traffic).
+                extra_writes.push(WriteOp::Put {
+                    table: fs.replicas,
+                    key: FsSchema::replica_key(inode, block_id, CLOUD_LOCATION),
+                    data: ReplicaRecord { block_id, dn_idx: CLOUD_LOCATION }.encode(),
+                });
+                let me = ctx.me();
+                let endpoint = self.view.cloud_endpoint(ctx.az_of(me));
+                ctx.send_sized(endpoint, len.max(64), PutObject { key: block_id, bytes: len });
+            }
+        }
+    }
+
+    /// Fills in the inode records for create/mkdir (needs id allocation) and
+    /// issues the write + commit steps.
+    fn patch_creates_and_write(&mut self, ctx: &mut Ctx<'_>, op_id: u64) {
+        let now_ns = ctx.now().as_nanos();
+        let fs = self.fs();
+        let block_replication = self.cfg().block_replication;
+        let small_max = self.cfg().small_file_max;
+        let block_size = self.cfg().block_size;
+        // Patch placeholder create/mkdir rows (they need fresh ids).
+        let patch: Option<(FsOp, usize)> = {
+            let octx = self.ops.get_mut(&op_id).expect("op exists");
+            let needs_patch = octx
+                .writes
+                .iter()
+                .position(|w| matches!(w, WriteOp::Put { data, .. } if data.is_empty()));
+            needs_patch.map(|i| (octx.op.clone(), i))
+        };
+        let mut extra_writes: Vec<WriteOp> = Vec::new();
+        let mut store_cmds: Vec<(u32, StoreBlock)> = Vec::new();
+        if let Some((op, slot)) = patch {
+            let (rec, cache_dir) = match &op {
+                FsOp::Mkdir { .. } => (InodeRecord::dir(InodeId(self.alloc_id()), now_ns), true),
+                FsOp::Append { bytes, .. } => {
+                    let mut rec = self.ops[&op_id]
+                        .target_rec
+                        .clone()
+                        .expect("append validated the target");
+                    let new_size = rec.size + bytes;
+                    rec.mtime = now_ns;
+                    if rec.block_count == 0 && new_size < small_max {
+                        // Still small: rewrite the inline payload.
+                        rec.inline_len = new_size as u32;
+                        rec.size = new_size;
+                        extra_writes.push(WriteOp::Put {
+                            table: fs.small_files,
+                            key: FsSchema::small_file_key(InodeId(rec.id)),
+                            data: Bytes::from(vec![0u8; new_size as usize]),
+                        });
+                    } else {
+                        // Block-backed growth: one new block for the append.
+                        if rec.inline_len > 0 {
+                            // Crossing the threshold: spill inline data into
+                            // the first block.
+                            rec.inline_len = 0;
+                            extra_writes.push(WriteOp::Delete {
+                                table: fs.small_files,
+                                key: FsSchema::small_file_key(InodeId(rec.id)),
+                            });
+                        }
+                        let block_id = self.alloc_id();
+                        let index = u64::from(rec.block_count);
+                        rec.block_count += 1;
+                        rec.size = new_size;
+                        extra_writes.push(WriteOp::Put {
+                            table: fs.blocks,
+                            key: FsSchema::block_key(InodeId(rec.id), index),
+                            data: BlockRecord { block_id, len: *bytes, gen: 1 }.encode(),
+                        });
+                        self.place_block(
+                            ctx,
+                            InodeId(rec.id),
+                            block_id,
+                            *bytes,
+                            &mut extra_writes,
+                            &mut store_cmds,
+                        );
+                    }
+                    (rec, false)
+                }
+                FsOp::Create { size, .. } => {
+                    let id = self.alloc_id();
+                    let mut rec = InodeRecord::file(InodeId(id), now_ns, block_replication);
+                    rec.size = *size;
+                    if *size > 0 && *size < small_max {
+                        rec.inline_len = *size as u32;
+                        extra_writes.push(WriteOp::Put {
+                            table: fs.small_files,
+                            key: FsSchema::small_file_key(InodeId(id)),
+                            data: Bytes::from(vec![0u8; *size as usize]),
+                        });
+                    } else if *size >= small_max {
+                        let nblocks = size.div_ceil(block_size).max(1);
+                        rec.block_count = nblocks as u32;
+                        for b in 0..nblocks {
+                            let block_id = self.alloc_id();
+                            let len = (*size - b * block_size).min(block_size);
+                            extra_writes.push(WriteOp::Put {
+                                table: fs.blocks,
+                                key: FsSchema::block_key(InodeId(id), b),
+                                data: BlockRecord { block_id, len, gen: 1 }.encode(),
+                            });
+                            self.place_block(
+                                ctx,
+                                InodeId(id),
+                                block_id,
+                                len,
+                                &mut extra_writes,
+                                &mut store_cmds,
+                            );
+                        }
+                    }
+                    (rec, false)
+                }
+                _ => unreachable!("only create/mkdir/append leave placeholders"),
+            };
+            let octx = self.ops.get_mut(&op_id).expect("op exists");
+            if let WriteOp::Put { data, key, .. } = &mut octx.writes[slot] {
+                *data = rec.encode();
+                if cache_dir {
+                    let parent = key.pk.0;
+                    let name = String::from_utf8_lossy(&key.suffix).into_owned();
+                    let _ = (parent, name); // cached after commit succeeds
+                }
+            }
+            octx.writes.extend(extra_writes);
+            // Block stores fan out after commit; stash on doomed list? No —
+            // separate channel: reuse pending via command list below.
+            for (dn, cmd) in store_cmds {
+                if let Some(&dn_node) = self.view.dn_ids.get(dn as usize) {
+                    // Sending at commit time would be more precise; the
+                    // difference is a sub-ms head start on a background copy.
+                    let bytes = cmd.len.max(1024);
+                    ctx.send_sized(dn_node, bytes, cmd);
+                }
+            }
+        }
+        let (tx, writes) = {
+            let octx = self.ops.get_mut(&op_id).expect("op exists");
+            octx.stage = Stage::Committing;
+            (octx.tx.expect("tx"), std::mem::take(&mut octx.writes))
+        };
+        self.kernel().write(ctx, tx, writes);
+        // Commit is issued when the WriteAck returns (see on_tx_event).
+    }
+
+    fn abort_and_finish(&mut self, ctx: &mut Ctx<'_>, op_id: u64, result: FsResult) {
+        if let Some(tx) = self.ops.get_mut(&op_id).and_then(|o| o.tx.take()) {
+            self.tx_to_op.remove(&tx);
+            self.kernel().abort(ctx, tx);
+        }
+        self.finish_op(ctx, op_id, result);
+    }
+
+    /// Scan results for delete-recursion, listing, and open.
+    fn on_scan_rows(&mut self, ctx: &mut Ctx<'_>, op_id: u64, rows: Vec<ndb::Row>) {
+        let fs = self.fs();
+        enum Plan {
+            Respond(FsResult),
+            Scan { table: ndb::TableId, pk: u64 },
+            Write,
+        }
+        let plan = {
+            let octx = self.ops.get_mut(&op_id).expect("op exists");
+            match octx.op.kind() {
+                OpKind::List => {
+                    let entries = rows
+                        .iter()
+                        .map(|r| DirEntry {
+                            name: String::from_utf8_lossy(&r.key.suffix).into_owned(),
+                            attrs: InodeRecord::decode(&r.data).attrs(),
+                        })
+                        .collect();
+                    Plan::Respond(Ok(FsOk::Listing(entries)))
+                }
+                OpKind::Open => match octx.stage {
+                    Stage::Scanning(0) => {
+                        // Block rows arrived; fetch replicas next.
+                        octx.blocks = rows.iter().map(|r| BlockRecord::decode(&r.data)).collect();
+                        octx.blocks.sort_by_key(|b| b.block_id);
+                        octx.stage = Stage::Scanning(1);
+                        let id = octx.target_rec.as_ref().expect("target read").id;
+                        Plan::Scan { table: fs.replicas, pk: id }
+                    }
+                    _ => {
+                        let mut locs: HashMap<u64, Vec<u32>> = HashMap::new();
+                        for r in &rows {
+                            let rep = ReplicaRecord::decode(&r.data);
+                            locs.entry(rep.block_id).or_default().push(rep.dn_idx);
+                        }
+                        let blocks = octx
+                            .blocks
+                            .iter()
+                            .map(|b| BlockLocation {
+                                block: crate::types::BlockId(b.block_id),
+                                len: b.len,
+                                replicas: locs.remove(&b.block_id).unwrap_or_default(),
+                            })
+                            .collect();
+                        let attrs = octx.target_rec.as_ref().expect("target read").attrs();
+                        Plan::Respond(Ok(FsOk::Locations { attrs, blocks }))
+                    }
+                },
+                OpKind::Delete => {
+                    let recursive = matches!(octx.op, FsOp::Delete { recursive: true, .. });
+                    match octx.stage {
+                        Stage::Scanning(0) => {
+                            // Children of a directory being deleted.
+                            let dir = octx.dir_queue.pop_front().expect("dir queued");
+                            if !rows.is_empty() && !recursive {
+                                Plan::Respond(Err(FsError::NotEmpty))
+                            } else {
+                                for r in &rows {
+                                    let rec = InodeRecord::decode(&r.data);
+                                    octx.writes.push(WriteOp::Delete {
+                                        table: fs.inodes,
+                                        key: RowKey {
+                                            pk: PartitionKey(dir),
+                                            suffix: r.key.suffix.clone(),
+                                        },
+                                    });
+                                    if rec.is_dir {
+                                        octx.dir_queue.push_back(rec.id);
+                                    } else {
+                                        if rec.inline_len > 0 {
+                                            octx.writes.push(WriteOp::Delete {
+                                                table: fs.small_files,
+                                                key: FsSchema::small_file_key(InodeId(rec.id)),
+                                            });
+                                        }
+                                        if rec.block_count > 0 {
+                                            octx.file_queue.push_back(rec.id);
+                                        }
+                                    }
+                                }
+                                if let Some(&next_dir) = octx.dir_queue.front() {
+                                    Plan::Scan { table: fs.inodes, pk: next_dir }
+                                } else if let Some(&file) = octx.file_queue.front() {
+                                    octx.stage = Stage::Scanning(1);
+                                    Plan::Scan { table: fs.replicas, pk: file }
+                                } else {
+                                    Plan::Write
+                                }
+                            }
+                        }
+                        _ => {
+                            // Replica rows of one block-backed file.
+                            let file = octx.file_queue.pop_front().expect("file queued");
+                            let mut seen_blocks: Vec<u64> = Vec::new();
+                            for r in &rows {
+                                let rep = ReplicaRecord::decode(&r.data);
+                                octx.writes.push(WriteOp::Delete {
+                                    table: fs.replicas,
+                                    key: RowKey { pk: PartitionKey(file), suffix: r.key.suffix.clone() },
+                                });
+                                octx.writes.push(WriteOp::Delete {
+                                    table: fs.dn_replicas,
+                                    key: FsSchema::dn_replica_key(rep.dn_idx, rep.block_id),
+                                });
+                                octx.doomed_blocks.push((rep.block_id, rep.dn_idx));
+                                if !seen_blocks.contains(&rep.block_id) {
+                                    seen_blocks.push(rep.block_id);
+                                }
+                            }
+                            // Delete the block rows by index; block indices
+                            // are 0..block_count of the file record, but for
+                            // children we only know ids — delete by scan is
+                            // avoided by keying blocks on (file, index):
+                            for (i, _) in seen_blocks.iter().enumerate() {
+                                octx.writes.push(WriteOp::Delete {
+                                    table: fs.blocks,
+                                    key: FsSchema::block_key(InodeId(file), i as u64),
+                                });
+                            }
+                            if let Some(&next) = octx.file_queue.front() {
+                                Plan::Scan { table: fs.replicas, pk: next }
+                            } else {
+                                Plan::Write
+                            }
+                        }
+                    }
+                }
+                _ => return, // stale
+            }
+        };
+        match plan {
+            Plan::Respond(result) => self.finish_readonly(ctx, op_id, result),
+            Plan::Scan { table, pk } => {
+                let tx = self.ops[&op_id].tx.expect("tx");
+                self.kernel().scan(ctx, tx, table, PartitionKey(pk));
+            }
+            Plan::Write => self.patch_creates_and_write(ctx, op_id),
+        }
+    }
+
+    fn dn_alive_mask(&self, now: SimTime) -> Vec<bool> {
+        let timeout = SimDuration::from_millis(1500);
+        self.dn_last_hb.iter().map(|&t| now.saturating_since(t) <= timeout).collect()
+    }
+
+    // ----- transaction event dispatch ---------------------------------------
+
+    fn on_tx_response(&mut self, ctx: &mut Ctx<'_>, resp: ndb::messages::TxResponse) {
+        if let Some(ev) = self.kernel().on_response(resp) {
+            self.on_tx_event(ctx, ev);
+        }
+    }
+
+    fn on_tx_event(&mut self, ctx: &mut Ctx<'_>, ev: TxEvent) {
+        let tx = match &ev {
+            TxEvent::Rows { tx, .. }
+            | TxEvent::Scanned { tx, .. }
+            | TxEvent::WriteAcked { tx }
+            | TxEvent::Committed { tx }
+            | TxEvent::Aborted { tx, .. } => *tx,
+        };
+        if self.admin_txs.contains_key(&tx) {
+            self.on_admin_event(ctx, tx, ev);
+            return;
+        }
+        let op_id = match self.tx_to_op.get(&tx) {
+            Some(&id) => id,
+            None => return, // stale
+        };
+        match ev {
+            TxEvent::Rows { rows, .. } => {
+                let stage = self.ops.get(&op_id).map(|o| o.stage);
+                match stage {
+                    Some(Stage::WalkA) | Some(Stage::WalkB) => {
+                        let row = rows.into_iter().next().flatten();
+                        self.on_walk_row(ctx, op_id, row);
+                    }
+                    Some(Stage::Locking) => self.on_lock_rows(ctx, op_id, rows),
+                    Some(Stage::SmallRead) => {
+                        // The inline bytes arrived; the client gets attrs +
+                        // empty block list (data already accounted on the wire).
+                        let attrs = self
+                            .ops
+                            .get(&op_id)
+                            .and_then(|o| o.target_rec.as_ref())
+                            .map(|r| r.attrs());
+                        match attrs {
+                            Some(attrs) => self.finish_readonly(
+                                ctx,
+                                op_id,
+                                Ok(FsOk::Locations { attrs, blocks: Vec::new() }),
+                            ),
+                            None => self.finish_readonly(ctx, op_id, Err(FsError::NotFound)),
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            TxEvent::Scanned { rows, .. } => self.on_scan_rows(ctx, op_id, rows),
+            TxEvent::WriteAcked { .. } => {
+                self.kernel().commit(ctx, tx);
+            }
+            TxEvent::Committed { .. } => {
+                let (ok, invalidate) = match self.ops.get_mut(&op_id) {
+                    Some(o) => (o.pending_ok.take(), std::mem::take(&mut o.cache_invalidate)),
+                    None => (None, Vec::new()),
+                };
+                // Drop hint-cache entries the committed mutation made stale
+                // (this NN's own view; other NNs fall back on validation or
+                // reach the moved entry's old name as absent).
+                for (parent, name) in invalidate {
+                    self.cache.remove(&(parent, name));
+                }
+                self.finish_op(ctx, op_id, Ok(ok.unwrap_or(FsOk::Done)));
+            }
+            TxEvent::Aborted { reason, maybe_committed, .. } => {
+                if reason == AbortReason::ClusterDown {
+                    self.finish_op(ctx, op_id, Err(FsError::Unavailable));
+                } else {
+                    self.retry_op(ctx, op_id, maybe_committed);
+                }
+            }
+        }
+    }
+
+    // ----- admin transactions (ids, election, re-replication) ---------------
+
+    fn refill_ids(&mut self, ctx: &mut Ctx<'_>) {
+        if self.id_refill_inflight {
+            return;
+        }
+        let seqs = self.fs().sequences;
+        let key = FsSchema::sequence_key("ids");
+        let tx = match self.kernel().begin(ctx, Some((seqs, key.pk))) {
+            Some(tx) => tx,
+            None => return, // retried from the sweep tick
+        };
+        self.id_refill_inflight = true;
+        self.admin_txs.insert(tx, AdminTx::IdRefill { base: None });
+        self.kernel().read(
+            ctx,
+            tx,
+            vec![ReadSpec { table: seqs, key, mode: LockMode::Exclusive }],
+        );
+    }
+
+    fn on_admin_event(&mut self, ctx: &mut Ctx<'_>, tx: TxId, ev: TxEvent) {
+        let state = self.admin_txs.remove(&tx).expect("checked by caller");
+        match (state, ev) {
+            // --- id refill ---
+            (AdminTx::IdRefill { .. }, TxEvent::Rows { rows, .. }) => {
+                let base = rows
+                    .into_iter()
+                    .next()
+                    .flatten()
+                    .map(|d| decode_sequence(&d))
+                    .unwrap_or(InodeId::ROOT.0 + 1);
+                let seqs = self.fs().sequences;
+                self.admin_txs.insert(tx, AdminTx::IdRefill { base: Some(base) });
+                self.kernel().write(
+                    ctx,
+                    tx,
+                    vec![WriteOp::Put {
+                        table: seqs,
+                        key: FsSchema::sequence_key("ids"),
+                        data: encode_sequence(base + ID_BATCH),
+                    }],
+                );
+            }
+            (AdminTx::IdRefill { base }, TxEvent::WriteAcked { .. }) => {
+                self.admin_txs.insert(tx, AdminTx::IdRefill { base });
+                self.kernel().commit(ctx, tx);
+            }
+            (AdminTx::IdRefill { base }, TxEvent::Committed { .. }) => {
+                let base = base.expect("write phase recorded the base");
+                self.ids_next = base;
+                self.ids_end = base + ID_BATCH;
+                self.id_refill_inflight = false;
+                while let Some(op_id) = self.awaiting_ids.pop_front() {
+                    ctx.schedule(SimDuration::ZERO, OpResume { op: op_id });
+                }
+            }
+            (AdminTx::IdRefill { .. }, TxEvent::Aborted { .. }) => {
+                self.id_refill_inflight = false; // sweep retries
+            }
+            // --- election ---
+            (AdminTx::Election { scanned: false }, TxEvent::WriteAcked { .. }) => {
+                let election = self.fs().election;
+                self.admin_txs.insert(tx, AdminTx::Election { scanned: false });
+                self.kernel().scan(ctx, tx, election, PartitionKey(0));
+            }
+            (AdminTx::Election { scanned: false }, TxEvent::Scanned { rows, .. }) => {
+                self.process_election_rows(ctx, rows);
+                self.admin_txs.insert(tx, AdminTx::Election { scanned: true });
+                self.kernel().commit(ctx, tx);
+            }
+            (AdminTx::Election { .. }, TxEvent::Committed { .. })
+            | (AdminTx::Election { .. }, TxEvent::Aborted { .. }) => {
+                let period = self.cfg().election_period;
+                ctx.schedule(period, TickElection);
+            }
+            // --- re-replication ---
+            (AdminTx::ReplScan, TxEvent::Scanned { rows, .. }) => {
+                for r in &rows {
+                    // dn_replicas: key (dead_dn, block), data = inode id.
+                    let block = u64::from_le_bytes(r.key.suffix[..8].try_into().expect("u64 suffix"));
+                    let inode = decode_sequence(&r.data);
+                    self.repl_queue.push_back((inode, block));
+                }
+                self.kernel().abort(ctx, tx);
+                self.repl_inflight = false;
+                self.pump_rereplication(ctx);
+            }
+            (AdminTx::ReplScan, TxEvent::Aborted { .. }) => {
+                self.repl_inflight = false;
+            }
+            (AdminTx::ReplReplicas { inode, block }, TxEvent::Scanned { rows, .. }) => {
+                self.kernel().abort(ctx, tx);
+                self.repl_inflight = false;
+                let holders: Vec<u32> = rows
+                    .iter()
+                    .map(|r| ReplicaRecord::decode(&r.data))
+                    .filter(|rep| rep.block_id == block)
+                    .map(|rep| rep.dn_idx)
+                    .collect();
+                let alive = self.dn_alive_mask(ctx.now());
+                let alive_holders: Vec<u32> =
+                    holders.iter().copied().filter(|&d| alive.get(d as usize) == Some(&true)).collect();
+                if alive_holders.is_empty() {
+                    // Block lost; nothing to copy from.
+                    self.pump_rereplication(ctx);
+                    return;
+                }
+                // Pick a target that doesn't already hold the block.
+                let mut mask = alive.clone();
+                for &h in &holders {
+                    if let Some(m) = mask.get_mut(h as usize) {
+                        *m = false;
+                    }
+                }
+                let targets = place_replicas(&self.view, &mask, None, 1, ctx.rng());
+                if let Some(&target) = targets.first() {
+                    let src = alive_holders[0];
+                    if let Some(&src_node) = self.view.dn_ids.get(src as usize) {
+                        self.stats.rereplications += 1;
+                        ctx.send_sized(
+                            src_node,
+                            96,
+                            ReplicateBlockCmd { block, inode, target: target as u32, leader: ctx.me() },
+                        );
+                    }
+                }
+                self.pump_rereplication(ctx);
+            }
+            (AdminTx::ReplReplicas { .. }, TxEvent::Aborted { .. }) => {
+                self.repl_inflight = false;
+                self.pump_rereplication(ctx);
+            }
+            (AdminTx::ReplCommit, TxEvent::WriteAcked { .. }) => {
+                self.admin_txs.insert(tx, AdminTx::ReplCommit);
+                self.kernel().commit(ctx, tx);
+            }
+            (AdminTx::ReplCommit, TxEvent::Committed { .. })
+            | (AdminTx::ReplCommit, TxEvent::Aborted { .. }) => {}
+            // Unmatched (event, state) pairs: drop (stale retries).
+            _ => {}
+        }
+    }
+
+    fn process_election_rows(&mut self, ctx: &mut Ctx<'_>, rows: Vec<ndb::Row>) {
+        let now = ctx.now();
+        let period = self.cfg().election_period;
+        let misses = self.cfg().election_misses;
+        let fresh = period * u64::from(misses) + period / 2;
+        let mut active = Vec::new();
+        let mut leader = u32::MAX;
+        for r in &rows {
+            let rec = NnRecord::decode(&r.data);
+            let entry = self.seen.entry(rec.nn_idx).or_insert((rec.counter, now));
+            if entry.0 != rec.counter {
+                *entry = (rec.counter, now);
+            }
+            let alive = rec.nn_idx == self.my_idx as u32 || now.saturating_since(entry.1) <= fresh;
+            if alive {
+                leader = leader.min(rec.nn_idx);
+                active.push(ActiveNn {
+                    nn_idx: rec.nn_idx,
+                    node_id: rec.node_id,
+                    location_domain: rec.location_domain,
+                });
+            }
+        }
+        active.sort_by_key(|n| n.nn_idx);
+        self.active = active;
+        if leader != u32::MAX {
+            self.leader_idx = leader;
+        }
+        // Leader duties: watch block datanodes.
+        if self.is_leader() {
+            let alive = self.dn_alive_mask(now);
+            for (idx, &ok) in alive.iter().enumerate() {
+                if !ok && !self.dn_marked_dead[idx] {
+                    self.dn_marked_dead[idx] = true;
+                    self.repl_dead_dn = idx as u32;
+                    self.start_repl_scan(ctx, idx as u32);
+                }
+            }
+        }
+    }
+
+    fn start_repl_scan(&mut self, ctx: &mut Ctx<'_>, dead_dn: u32) {
+        let dn_replicas = self.fs().dn_replicas;
+        let pk = PartitionKey(dead_dn as u64);
+        if let Some(tx) = self.kernel().begin(ctx, Some((dn_replicas, pk))) {
+            self.repl_inflight = true;
+            self.admin_txs.insert(tx, AdminTx::ReplScan);
+            self.kernel().scan(ctx, tx, dn_replicas, pk);
+        }
+    }
+
+    /// Processes the next damaged block from the repair queue.
+    fn pump_rereplication(&mut self, ctx: &mut Ctx<'_>) {
+        if self.repl_inflight {
+            return;
+        }
+        let (inode, block) = match self.repl_queue.pop_front() {
+            Some(x) => x,
+            None => return,
+        };
+        let replicas = self.fs().replicas;
+        let pk = PartitionKey(inode);
+        if let Some(tx) = self.kernel().begin(ctx, Some((replicas, pk))) {
+            self.repl_inflight = true;
+            self.admin_txs.insert(tx, AdminTx::ReplReplicas { inode, block });
+            self.kernel().scan(ctx, tx, replicas, pk);
+        } else {
+            self.repl_queue.push_front((inode, block));
+        }
+    }
+
+    fn on_replica_copied(&mut self, ctx: &mut Ctx<'_>, m: ReplicaCopied) {
+        // Record the repaired replica and drop the dead one.
+        let fs = self.fs();
+        let pk = PartitionKey(m.inode);
+        if let Some(tx) = self.kernel().begin(ctx, Some((fs.replicas, pk))) {
+            self.admin_txs.insert(tx, AdminTx::ReplCommit);
+            let writes = vec![
+                WriteOp::Put {
+                    table: fs.replicas,
+                    key: FsSchema::replica_key(InodeId(m.inode), m.block, m.new_dn),
+                    data: ReplicaRecord { block_id: m.block, dn_idx: m.new_dn }.encode(),
+                },
+                WriteOp::Put {
+                    table: fs.dn_replicas,
+                    key: FsSchema::dn_replica_key(m.new_dn, m.block),
+                    data: encode_sequence(m.inode),
+                },
+                WriteOp::Delete {
+                    table: fs.replicas,
+                    key: FsSchema::replica_key(InodeId(m.inode), m.block, self.repl_dead_dn),
+                },
+                WriteOp::Delete {
+                    table: fs.dn_replicas,
+                    key: FsSchema::dn_replica_key(self.repl_dead_dn, m.block),
+                },
+            ];
+            self.kernel().write(ctx, tx, writes);
+        }
+    }
+
+    fn on_tick_election(&mut self, ctx: &mut Ctx<'_>) {
+        self.counter += 1;
+        let election = self.fs().election;
+        let me = ctx.me();
+        let rec = NnRecord {
+            nn_idx: self.my_idx as u32,
+            counter: self.counter,
+            location_domain: self.view.nn_domains[self.my_idx].map(|a| a.0).unwrap_or(255),
+            node_id: me.0,
+        };
+        let key = FsSchema::election_key(self.my_idx as u32);
+        match self.kernel().begin(ctx, Some((election, key.pk))) {
+            Some(tx) => {
+                self.admin_txs.insert(tx, AdminTx::Election { scanned: false });
+                self.kernel().write(
+                    ctx,
+                    tx,
+                    vec![WriteOp::Put { table: election, key, data: rec.encode() }],
+                );
+            }
+            None => {
+                let period = self.cfg().election_period;
+                ctx.schedule(period, TickElection);
+            }
+        }
+    }
+
+    fn on_get_active(&mut self, ctx: &mut Ctx<'_>, from: NodeId) {
+        let resp = if self.active.is_empty() {
+            // Before the first election round completes, report the static
+            // deployment so clients can bootstrap.
+            ActiveNns {
+                leader_idx: 0,
+                nns: (0..self.view.nn_ids.len())
+                    .map(|i| ActiveNn {
+                        nn_idx: i as u32,
+                        node_id: self.view.nn_ids[i].0,
+                        location_domain: self.view.nn_domains[i].map(|a| a.0).unwrap_or(255),
+                    })
+                    .collect(),
+            }
+        } else {
+            ActiveNns { leader_idx: self.leader_idx, nns: self.active.clone() }
+        };
+        let done = ctx.execute(NN_WORKER, SimDuration::from_micros(30));
+        ctx.send_sized_from(done, from, 64 + 16 * resp.nns.len() as u64, resp);
+    }
+
+    fn on_tick_sweep(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        let events = self.kernel().sweep(now);
+        for ev in events {
+            self.on_tx_event(ctx, ev);
+        }
+        if !self.awaiting_ids.is_empty() && !self.id_refill_inflight {
+            self.refill_ids(ctx);
+        }
+        if !self.repl_queue.is_empty() {
+            self.pump_rereplication(ctx);
+        }
+        ctx.schedule(SimDuration::from_millis(50), TickSweep);
+    }
+
+    fn on_op_resume(&mut self, ctx: &mut Ctx<'_>, op_id: u64) {
+        if let Some(octx) = self.ops.get(&op_id) {
+            match octx.stage {
+                Stage::AwaitIds | Stage::WalkA => self.start_op(ctx, op_id),
+                _ => {}
+            }
+        }
+    }
+}
+
+impl Actor for NameNodeActor {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        if self.kernel.is_none() {
+            let me = ctx.me();
+            let loc = ctx.location(me);
+            let domain = self.view.nn_domains[self.my_idx];
+            self.kernel = Some(ClientKernel::new(Arc::clone(&self.view.ndb), me, loc, domain));
+            let now = ctx.now();
+            for t in &mut self.dn_last_hb {
+                *t = now;
+            }
+            let stagger = SimDuration::from_millis(7) * (self.my_idx as u64 + 1);
+            ctx.schedule(stagger, TickElection);
+            ctx.schedule(SimDuration::from_millis(50), TickSweep);
+            self.refill_ids(ctx);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, from: NodeId, msg: Box<dyn Payload>) {
+        let any = msg.into_any();
+        let any = match any.downcast::<FsRequest>() {
+            Ok(m) => return self.on_fs_request(ctx, from, *m),
+            Err(m) => m,
+        };
+        let any = match any.downcast::<ndb::messages::TxResponse>() {
+            Ok(m) => return self.on_tx_response(ctx, *m),
+            Err(m) => m,
+        };
+        let any = match any.downcast::<OpResume>() {
+            Ok(m) => return self.on_op_resume(ctx, m.op),
+            Err(m) => m,
+        };
+        let any = match any.downcast::<GetActiveNns>() {
+            Ok(_) => return self.on_get_active(ctx, from),
+            Err(m) => m,
+        };
+        let any = match any.downcast::<BlockDnHeartbeat>() {
+            Ok(m) => {
+                let idx = m.dn_idx as usize;
+                if idx < self.dn_last_hb.len() {
+                    self.dn_last_hb[idx] = ctx.now();
+                    self.dn_marked_dead[idx] = false;
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+        let any = match any.downcast::<ReplicaCopied>() {
+            Ok(m) => return self.on_replica_copied(ctx, *m),
+            Err(m) => m,
+        };
+        let any = match any.downcast::<PutObjectAck>() {
+            // Block objects are durable provider-side; nothing to update
+            // (the replica row was written in the create/append tx).
+            Ok(_) => return,
+            Err(m) => m,
+        };
+        let any = match any.downcast::<TickElection>() {
+            Ok(_) => return self.on_tick_election(ctx),
+            Err(m) => m,
+        };
+        match any.downcast::<TickSweep>() {
+            Ok(_) => self.on_tick_sweep(ctx),
+            Err(m) => debug_assert!(false, "namenode got unknown message {m:?}"),
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}

@@ -1,0 +1,246 @@
+//! Client ↔ namenode operation protocol.
+
+use crate::path::FsPath;
+use crate::types::FsResult;
+
+/// A file-system operation.
+#[derive(Debug, Clone)]
+pub enum FsOp {
+    /// Create a directory (parent must exist).
+    Mkdir {
+        /// Directory path.
+        path: FsPath,
+    },
+    /// Create a file of `size` bytes. Files under the small-file threshold
+    /// are stored inline in the metadata layer (§II-A3); larger files get
+    /// blocks on the block-storage layer.
+    Create {
+        /// File path.
+        path: FsPath,
+        /// File size in bytes (0 = empty file, as in the paper's benchmarks).
+        size: u64,
+    },
+    /// Open a file for reading: returns attributes and block locations
+    /// (HDFS `getBlockLocations`).
+    Open {
+        /// File path.
+        path: FsPath,
+    },
+    /// Delete a file or directory.
+    Delete {
+        /// Target path.
+        path: FsPath,
+        /// Allow deleting non-empty directories.
+        recursive: bool,
+    },
+    /// Atomically rename a file or directory.
+    Rename {
+        /// Source path.
+        src: FsPath,
+        /// Destination path (must not exist; parent must exist).
+        dst: FsPath,
+    },
+    /// Get attributes (HDFS `getFileInfo` / `fstat`).
+    Stat {
+        /// Target path.
+        path: FsPath,
+    },
+    /// List a directory (HDFS `getListing`).
+    List {
+        /// Directory path.
+        path: FsPath,
+    },
+    /// Set permission bits (HDFS `setPermission`).
+    SetPerm {
+        /// Target path.
+        path: FsPath,
+        /// New permission bits.
+        perm: u16,
+    },
+    /// Append `bytes` to a file (HDFS `append` + write + close). Small files
+    /// grow inline until the threshold; block-backed files gain a block.
+    Append {
+        /// File path.
+        path: FsPath,
+        /// Bytes appended.
+        bytes: u64,
+    },
+}
+
+/// Operation kind, for metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// mkdir
+    Mkdir,
+    /// createFile
+    Create,
+    /// readFile / getBlockLocations
+    Open,
+    /// delete
+    Delete,
+    /// rename
+    Rename,
+    /// stat / getFileInfo
+    Stat,
+    /// ls / getListing
+    List,
+    /// setPermission
+    SetPerm,
+    /// append
+    Append,
+}
+
+impl OpKind {
+    /// All kinds, in a stable order.
+    pub const ALL: [OpKind; 9] = [
+        OpKind::Mkdir,
+        OpKind::Create,
+        OpKind::Open,
+        OpKind::Delete,
+        OpKind::Rename,
+        OpKind::Stat,
+        OpKind::List,
+        OpKind::SetPerm,
+        OpKind::Append,
+    ];
+
+    /// Whether the operation mutates metadata.
+    pub fn is_mutation(self) -> bool {
+        matches!(
+            self,
+            OpKind::Mkdir
+                | OpKind::Create
+                | OpKind::Delete
+                | OpKind::Rename
+                | OpKind::SetPerm
+                | OpKind::Append
+        )
+    }
+
+    /// Short display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpKind::Mkdir => "mkdir",
+            OpKind::Create => "createFile",
+            OpKind::Open => "readFile",
+            OpKind::Delete => "deleteFile",
+            OpKind::Rename => "rename",
+            OpKind::Stat => "stat",
+            OpKind::List => "ls",
+            OpKind::SetPerm => "setPerm",
+            OpKind::Append => "append",
+        }
+    }
+}
+
+impl FsOp {
+    /// The operation's kind.
+    pub fn kind(&self) -> OpKind {
+        match self {
+            FsOp::Mkdir { .. } => OpKind::Mkdir,
+            FsOp::Create { .. } => OpKind::Create,
+            FsOp::Open { .. } => OpKind::Open,
+            FsOp::Delete { .. } => OpKind::Delete,
+            FsOp::Rename { .. } => OpKind::Rename,
+            FsOp::Stat { .. } => OpKind::Stat,
+            FsOp::List { .. } => OpKind::List,
+            FsOp::SetPerm { .. } => OpKind::SetPerm,
+            FsOp::Append { .. } => OpKind::Append,
+        }
+    }
+
+    /// The primary path the operation touches.
+    pub fn path(&self) -> &FsPath {
+        match self {
+            FsOp::Mkdir { path }
+            | FsOp::Create { path, .. }
+            | FsOp::Open { path }
+            | FsOp::Delete { path, .. }
+            | FsOp::Stat { path }
+            | FsOp::List { path }
+            | FsOp::SetPerm { path, .. }
+            | FsOp::Append { path, .. } => path,
+            FsOp::Rename { src, .. } => src,
+        }
+    }
+}
+
+/// Client → namenode request.
+#[derive(Debug, Clone)]
+pub struct FsRequest {
+    /// Client-chosen correlation id.
+    pub req_id: u64,
+    /// The operation.
+    pub op: FsOp,
+    /// True when this is a retry of an ambiguous failure: `Create` treats
+    /// `AlreadyExists` and `Delete` treats `NotFound` as success (the first
+    /// attempt may have committed before its ack was lost).
+    pub idempotent_retry: bool,
+}
+
+/// Namenode → client response.
+#[derive(Debug, Clone)]
+pub struct FsResponse {
+    /// Correlation id from the request.
+    pub req_id: u64,
+    /// Operation result.
+    pub result: FsResult,
+}
+
+/// Client → namenode: ask for the active namenode list (served from the
+/// leader-election state; used by the AZ-aware client selection policy,
+/// §IV-B3).
+#[derive(Debug, Clone, Copy)]
+pub struct GetActiveNns;
+
+/// One active namenode, as reported by the election table.
+#[derive(Debug, Clone, Copy)]
+pub struct ActiveNn {
+    /// Namenode index.
+    pub nn_idx: u32,
+    /// Simulation node id to address it.
+    pub node_id: u32,
+    /// Its `locationDomainId` (255 = unset).
+    pub location_domain: u8,
+}
+
+/// Namenode → client: the active list and current leader.
+#[derive(Debug, Clone)]
+pub struct ActiveNns {
+    /// Index of the current leader namenode.
+    pub leader_idx: u32,
+    /// All namenodes believed alive.
+    pub nns: Vec<ActiveNn>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_classify_mutations() {
+        assert!(OpKind::Create.is_mutation());
+        assert!(OpKind::Rename.is_mutation());
+        assert!(!OpKind::Stat.is_mutation());
+        assert!(!OpKind::Open.is_mutation());
+        assert!(!OpKind::List.is_mutation());
+    }
+
+    #[test]
+    fn op_kind_and_path() {
+        let p = FsPath::parse("/a/b").unwrap();
+        let op = FsOp::Create { path: p.clone(), size: 0 };
+        assert_eq!(op.kind(), OpKind::Create);
+        assert_eq!(op.path(), &p);
+        let r = FsOp::Rename { src: p.clone(), dst: FsPath::parse("/c").unwrap() };
+        assert_eq!(r.path(), &p);
+    }
+
+    #[test]
+    fn names_match_paper_labels() {
+        assert_eq!(OpKind::Create.name(), "createFile");
+        assert_eq!(OpKind::Open.name(), "readFile");
+        assert_eq!(OpKind::ALL.len(), 9);
+        assert!(OpKind::Append.is_mutation());
+    }
+}

@@ -1,0 +1,136 @@
+//! Synchronous convenience facade for tests and examples: drive a simulated
+//! cluster one file-system call at a time, like a blocking client library.
+//!
+//! # Examples
+//!
+//! ```
+//! use hopsfs::testkit::FsHandle;
+//! use hopsfs::{build_fs_cluster, FsConfig};
+//! use simnet::{AzId, Simulation};
+//!
+//! # fn main() -> Result<(), hopsfs::FsError> {
+//! let mut sim = Simulation::new(1);
+//! let cluster = build_fs_cluster(&mut sim, FsConfig::hopsfs_cl(6, 3, 2), 3);
+//! let mut fs = FsHandle::new(&mut sim, &cluster, AzId(0));
+//! fs.mkdir(&mut sim, "/data")?;
+//! fs.create(&mut sim, "/data/file", 1024)?;
+//! let attrs = fs.stat(&mut sim, "/data/file")?;
+//! assert_eq!(attrs.size, 1024);
+//! assert_eq!(fs.list(&mut sim, "/data")?.len(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::client::{ClientStats, FsClientActor, OpSource};
+use crate::deploy::FsCluster;
+use crate::ops::FsOp;
+use crate::path::FsPath;
+use crate::types::{DirEntry, FsError, FsOk, FsResult, InodeAttrs};
+use rand::rngs::StdRng;
+use simnet::{AzId, NodeId, SimDuration, SimTime, Simulation};
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+/// An op source fed one operation at a time through a shared queue.
+struct QueueSource {
+    queue: Rc<RefCell<VecDeque<FsOp>>>,
+}
+
+impl OpSource for QueueSource {
+    fn next_op(&mut self, _rng: &mut StdRng, _now: SimTime) -> Option<FsOp> {
+        self.queue.borrow_mut().pop_front()
+    }
+}
+
+/// A blocking-style client handle over one simulated session.
+pub struct FsHandle {
+    client: NodeId,
+    queue: Rc<RefCell<VecDeque<FsOp>>>,
+    consumed: usize,
+    /// Virtual-time budget per call before it is declared stuck.
+    pub call_timeout: SimDuration,
+}
+
+impl FsHandle {
+    /// Creates a session in `az` on the cluster.
+    pub fn new(sim: &mut Simulation, cluster: &FsCluster, az: AzId) -> Self {
+        let queue: Rc<RefCell<VecDeque<FsOp>>> = Rc::new(RefCell::new(VecDeque::new()));
+        let source = Box::new(QueueSource { queue: Rc::clone(&queue) });
+        let client = cluster.add_client(sim, az, source, ClientStats::shared());
+        sim.actor_mut::<FsClientActor>(client).keep_results = true;
+        FsHandle { client, queue, consumed: 0, call_timeout: SimDuration::from_secs(30) }
+    }
+
+    /// Executes one operation, advancing virtual time until it completes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operation does not complete within
+    /// [`FsHandle::call_timeout`] of virtual time (a stuck cluster in a test).
+    pub fn call(&mut self, sim: &mut Simulation, op: FsOp) -> FsResult {
+        self.queue.borrow_mut().push_back(op);
+        // The session marked itself done when the queue last ran dry; clear
+        // the flag and poke it so it polls immediately.
+        sim.actor_mut::<FsClientActor>(self.client).done = false;
+        sim.inject(self.client, crate::client::Poke);
+        let want = self.consumed + 1;
+        let deadline = sim.now() + self.call_timeout;
+        while sim.actor::<FsClientActor>(self.client).results.len() < want {
+            assert!(sim.now() < deadline, "file system call did not complete in virtual time");
+            sim.run_for(SimDuration::from_millis(20));
+        }
+        self.consumed = want;
+        sim.actor::<FsClientActor>(self.client).results[want - 1].clone()
+    }
+
+    fn path(s: &str) -> Result<FsPath, FsError> {
+        FsPath::parse(s)
+    }
+
+    /// `mkdir`.
+    pub fn mkdir(&mut self, sim: &mut Simulation, path: &str) -> Result<(), FsError> {
+        self.call(sim, FsOp::Mkdir { path: Self::path(path)? }).map(|_| ())
+    }
+
+    /// `create` a file of `size` bytes.
+    pub fn create(&mut self, sim: &mut Simulation, path: &str, size: u64) -> Result<(), FsError> {
+        self.call(sim, FsOp::Create { path: Self::path(path)?, size }).map(|_| ())
+    }
+
+    /// `stat`.
+    pub fn stat(&mut self, sim: &mut Simulation, path: &str) -> Result<InodeAttrs, FsError> {
+        match self.call(sim, FsOp::Stat { path: Self::path(path)? })? {
+            FsOk::Attrs(a) => Ok(a),
+            other => panic!("stat returned {other:?}"),
+        }
+    }
+
+    /// `ls`.
+    pub fn list(&mut self, sim: &mut Simulation, path: &str) -> Result<Vec<DirEntry>, FsError> {
+        match self.call(sim, FsOp::List { path: Self::path(path)? })? {
+            FsOk::Listing(entries) => Ok(entries),
+            other => panic!("list returned {other:?}"),
+        }
+    }
+
+    /// `open` (attributes + block locations).
+    pub fn open(&mut self, sim: &mut Simulation, path: &str) -> Result<FsOk, FsError> {
+        self.call(sim, FsOp::Open { path: Self::path(path)? })
+    }
+
+    /// `delete`.
+    pub fn delete(&mut self, sim: &mut Simulation, path: &str, recursive: bool) -> Result<(), FsError> {
+        self.call(sim, FsOp::Delete { path: Self::path(path)?, recursive }).map(|_| ())
+    }
+
+    /// Atomic `rename`.
+    pub fn rename(&mut self, sim: &mut Simulation, src: &str, dst: &str) -> Result<(), FsError> {
+        self.call(sim, FsOp::Rename { src: Self::path(src)?, dst: Self::path(dst)? }).map(|_| ())
+    }
+
+    /// `chmod`.
+    pub fn set_perm(&mut self, sim: &mut Simulation, path: &str, perm: u16) -> Result<(), FsError> {
+        self.call(sim, FsOp::SetPerm { path: Self::path(path)?, perm }).map(|_| ())
+    }
+}

@@ -1,0 +1,174 @@
+//! Core file-system types: identifiers, attributes, errors, results.
+
+use simnet::SimTime;
+use std::fmt;
+
+/// Inode identifier. The root directory is always [`InodeId::ROOT`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct InodeId(pub u64);
+
+impl InodeId {
+    /// The root directory's inode id.
+    pub const ROOT: InodeId = InodeId(1);
+    /// The pseudo-parent of the root directory.
+    pub const NONE: InodeId = InodeId(0);
+}
+
+impl fmt::Display for InodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "inode{}", self.0)
+    }
+}
+
+/// Block identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(pub u64);
+
+/// POSIX-ish permission bits (9 bits rwxrwxrwx).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Perm(pub u16);
+
+impl Default for Perm {
+    fn default() -> Self {
+        Perm(0o755)
+    }
+}
+
+/// File or directory attributes, as returned by `stat`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InodeAttrs {
+    /// Inode id.
+    pub id: InodeId,
+    /// Whether this is a directory.
+    pub is_dir: bool,
+    /// Permission bits.
+    pub perm: Perm,
+    /// Owner id.
+    pub owner: u32,
+    /// Group id.
+    pub group: u32,
+    /// File size in bytes (0 for directories).
+    pub size: u64,
+    /// Modification time (virtual nanoseconds).
+    pub mtime: u64,
+    /// Replication factor for the file's blocks.
+    pub replication: u8,
+    /// Bytes stored inline in the metadata layer (small files < 128 KB).
+    pub inline_len: u32,
+}
+
+/// A directory entry from `list`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirEntry {
+    /// Entry name.
+    pub name: String,
+    /// Entry attributes.
+    pub attrs: InodeAttrs,
+}
+
+/// Location of one block replica.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockLocation {
+    /// Block id.
+    pub block: BlockId,
+    /// Block length in bytes.
+    pub len: u64,
+    /// Datanode indices holding replicas.
+    pub replicas: Vec<u32>,
+}
+
+/// Result payload of a successful file-system operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsOk {
+    /// Operation completed with nothing to return.
+    Done,
+    /// Attributes (stat).
+    Attrs(InodeAttrs),
+    /// Directory listing.
+    Listing(Vec<DirEntry>),
+    /// Block locations (and inline length for small files).
+    Locations {
+        /// Attributes of the opened file.
+        attrs: InodeAttrs,
+        /// Replica locations of each block (empty for small files).
+        blocks: Vec<BlockLocation>,
+    },
+}
+
+/// File-system operation errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsError {
+    /// A path component does not exist.
+    NotFound,
+    /// Target already exists (create/mkdir/rename destination).
+    AlreadyExists,
+    /// A non-final path component is not a directory.
+    NotDir,
+    /// Attempted to remove a non-empty directory without `recursive`.
+    NotEmpty,
+    /// A file operation hit a directory (or vice versa).
+    IsDir,
+    /// Transient contention; safe to retry (abort/timeout exhausted retries).
+    Busy,
+    /// The cluster (metadata or block layer) cannot serve the operation.
+    Unavailable,
+    /// Malformed path or argument.
+    Invalid,
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FsError::NotFound => "no such file or directory",
+            FsError::AlreadyExists => "file exists",
+            FsError::NotDir => "not a directory",
+            FsError::NotEmpty => "directory not empty",
+            FsError::IsDir => "is a directory",
+            FsError::Busy => "resource busy, retry",
+            FsError::Unavailable => "file system unavailable",
+            FsError::Invalid => "invalid argument",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for FsError {}
+
+/// Result alias for file-system operations.
+pub type FsResult = Result<FsOk, FsError>;
+
+/// A completed operation observation, recorded by clients for the harness.
+#[derive(Debug, Clone)]
+pub struct OpRecord {
+    /// Which kind of operation (indexes [`crate::ops::OpKind`]).
+    pub kind: crate::ops::OpKind,
+    /// Whether it succeeded.
+    pub ok: bool,
+    /// End-to-end latency.
+    pub latency: simnet::SimDuration,
+    /// Completion time.
+    pub finished_at: SimTime,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_constants() {
+        assert_eq!(InodeId::ROOT.0, 1);
+        assert_eq!(InodeId::NONE.0, 0);
+        assert!(InodeId::NONE < InodeId::ROOT);
+    }
+
+    #[test]
+    fn errors_display() {
+        assert_eq!(FsError::NotFound.to_string(), "no such file or directory");
+        assert_eq!(FsError::Busy.to_string(), "resource busy, retry");
+    }
+
+    #[test]
+    fn default_perm_is_755() {
+        assert_eq!(Perm::default().0, 0o755);
+    }
+}

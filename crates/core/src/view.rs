@@ -1,0 +1,56 @@
+//! Shared static view of a full HopsFS deployment.
+
+use crate::config::FsConfig;
+use crate::meta::FsSchema;
+use ndb::ClusterView;
+use simnet::{AzId, Location, NodeId};
+use std::sync::Arc;
+
+/// Immutable deployment-wide knowledge shared by namenodes, block datanodes
+/// and clients.
+#[derive(Debug)]
+pub struct FsView {
+    /// The metadata-storage (NDB) cluster view.
+    pub ndb: Arc<ClusterView>,
+    /// HopsFS table ids within the NDB schema.
+    pub fs: FsSchema,
+    /// Deployment configuration.
+    pub config: FsConfig,
+    /// Simulation node ids of the namenodes.
+    pub nn_ids: Vec<NodeId>,
+    /// Placement of each namenode.
+    pub nn_locations: Vec<Location>,
+    /// `locationDomainId` of each namenode (None = vanilla).
+    pub nn_domains: Vec<Option<AzId>>,
+    /// Simulation node ids of the block-storage datanodes.
+    pub dn_ids: Vec<NodeId>,
+    /// AZ of each block-storage datanode.
+    pub dn_azs: Vec<AzId>,
+    /// Cloud object-store front-ends, one per deployment AZ (present when
+    /// the block backend is [`crate::config::BlockBackend::CloudStore`]).
+    pub cloud_ids: Vec<NodeId>,
+}
+
+impl FsView {
+    /// The object-store front-end local to `az` (falls back to the first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the deployment has no cloud store.
+    pub fn cloud_endpoint(&self, az: AzId) -> NodeId {
+        let idx = self.config.azs.iter().position(|&a| a == az).unwrap_or(0);
+        *self.cloud_ids.get(idx).or_else(|| self.cloud_ids.first()).expect("cloud store deployed")
+    }
+}
+
+impl FsView {
+    /// Namenode index for a simulation node id, if it is one.
+    pub fn nn_index_of(&self, id: NodeId) -> Option<usize> {
+        self.nn_ids.iter().position(|&n| n == id)
+    }
+
+    /// Wraps in an `Arc`.
+    pub fn shared(self) -> Arc<FsView> {
+        Arc::new(self)
+    }
+}

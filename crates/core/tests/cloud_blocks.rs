@@ -1,0 +1,130 @@
+//! The cloud object-store block backend (§VII future work): large files'
+//! blocks become objects; tenant cross-AZ traffic from block replication
+//! disappears; the provider's request fees appear.
+
+use hopsfs::cloudstore::CLOUD_LOCATION;
+use hopsfs::testkit::FsHandle;
+use hopsfs::{build_fs_cluster, BlockBackend, FsConfig, FsError, FsOk};
+use simnet::{AzId, SimDuration, Simulation};
+
+fn cloud_cluster() -> (Simulation, hopsfs::FsCluster) {
+    let mut cfg = FsConfig::hopsfs_cl(6, 3, 2);
+    cfg.block_backend = BlockBackend::CloudStore;
+    let mut sim = Simulation::new(31);
+    sim.set_jitter(0.0);
+    let cluster = build_fs_cluster(&mut sim, cfg, 0); // zero datanodes needed
+    (sim, cluster)
+}
+
+#[test]
+fn large_files_become_objects() {
+    let (mut sim, cluster) = cloud_cluster();
+    let mut fs = FsHandle::new(&mut sim, &cluster, AzId(0));
+    fs.mkdir(&mut sim, "/big").unwrap();
+    fs.create(&mut sim, "/big/blob", 300 << 20).unwrap(); // 3 blocks
+    sim.run_for(SimDuration::from_secs(1)); // PUTs land
+
+    // Metadata lists the cloud sentinel as the replica location.
+    match fs.open(&mut sim, "/big/blob").unwrap() {
+        FsOk::Locations { attrs, blocks } => {
+            assert_eq!(attrs.size, 300 << 20);
+            assert_eq!(blocks.len(), 3);
+            for b in &blocks {
+                assert_eq!(b.replicas, vec![CLOUD_LOCATION], "{b:?}");
+            }
+        }
+        other => panic!("open returned {other:?}"),
+    }
+    // The objects are durable in the store, with PUT fees accounted.
+    let st = cluster.cloud.as_ref().expect("cloud backend").borrow();
+    assert_eq!(st.object_count(), 3);
+    assert_eq!(st.put_requests, 3);
+    assert_eq!(st.bytes_in, 300 << 20);
+    assert!(st.request_fees_usd() > 0.0);
+}
+
+#[test]
+fn no_tenant_cross_az_traffic_for_block_data() {
+    // With the datanode backend, 3x replication of a 256MB file crosses AZs
+    // (AZ-aware placement spreads replicas); with the cloud backend the PUT
+    // goes to the AZ-local endpoint only.
+    let run = |backend: BlockBackend| {
+        let mut cfg = FsConfig::hopsfs_cl(6, 3, 2);
+        cfg.block_backend = backend;
+        let mut sim = Simulation::new(31);
+        sim.set_jitter(0.0);
+        let cluster = build_fs_cluster(&mut sim, cfg, 6);
+        let mut fs = FsHandle::new(&mut sim, &cluster, AzId(0));
+        fs.mkdir(&mut sim, "/d").unwrap();
+        fs.create(&mut sim, "/d/blob", 256 << 20).unwrap();
+        sim.run_for(SimDuration::from_secs(5));
+        sim.cross_az_bytes()
+    };
+    let dn_bytes = run(BlockBackend::Datanodes);
+    let cloud_bytes = run(BlockBackend::CloudStore);
+    assert!(
+        dn_bytes > 100 << 20,
+        "datanode replication must push block data across AZs: {dn_bytes}"
+    );
+    assert!(
+        cloud_bytes < dn_bytes / 20,
+        "cloud backend must eliminate tenant cross-AZ block traffic: {cloud_bytes} vs {dn_bytes}"
+    );
+}
+
+#[test]
+fn delete_removes_objects() {
+    let (mut sim, cluster) = cloud_cluster();
+    let mut fs = FsHandle::new(&mut sim, &cluster, AzId(1));
+    fs.mkdir(&mut sim, "/x").unwrap();
+    fs.create(&mut sim, "/x/blob", 200 << 20).unwrap(); // 2 blocks
+    sim.run_for(SimDuration::from_secs(1));
+    assert_eq!(cluster.cloud.as_ref().unwrap().borrow().object_count(), 2);
+    fs.delete(&mut sim, "/x/blob", false).unwrap();
+    sim.run_for(SimDuration::from_secs(1));
+    let st = cluster.cloud.as_ref().unwrap().borrow();
+    assert_eq!(st.object_count(), 0, "deleted file's objects must be reclaimed");
+    assert_eq!(st.delete_requests, 2);
+}
+
+#[test]
+fn small_files_never_touch_the_object_store() {
+    let (mut sim, cluster) = cloud_cluster();
+    let mut fs = FsHandle::new(&mut sim, &cluster, AzId(2));
+    fs.mkdir(&mut sim, "/s").unwrap();
+    fs.create(&mut sim, "/s/tiny", 4096).unwrap();
+    sim.run_for(SimDuration::from_secs(1));
+    assert_eq!(cluster.cloud.as_ref().unwrap().borrow().object_count(), 0);
+    let attrs = fs.stat(&mut sim, "/s/tiny").unwrap();
+    assert_eq!(attrs.inline_len, 4096, "small files stay inline in the metadata layer");
+}
+
+#[test]
+fn append_grows_inline_then_spills_to_objects() {
+    let (mut sim, cluster) = cloud_cluster();
+    let mut fs = FsHandle::new(&mut sim, &cluster, AzId(0));
+    fs.mkdir(&mut sim, "/a").unwrap();
+    fs.create(&mut sim, "/a/log", 1000).unwrap();
+    // Grow but stay small: still inline.
+    fs.call(&mut sim, hopsfs::FsOp::Append { path: "/a/log".parse().unwrap(), bytes: 1000 })
+        .unwrap();
+    let attrs = fs.stat(&mut sim, "/a/log").unwrap();
+    assert_eq!(attrs.size, 2000);
+    assert_eq!(attrs.inline_len, 2000);
+    // Grow past the threshold: the file spills to a block object.
+    fs.call(
+        &mut sim,
+        hopsfs::FsOp::Append { path: "/a/log".parse().unwrap(), bytes: 1 << 20 },
+    )
+    .unwrap();
+    sim.run_for(SimDuration::from_secs(1));
+    let attrs = fs.stat(&mut sim, "/a/log").unwrap();
+    assert_eq!(attrs.size, 2000 + (1 << 20));
+    assert_eq!(attrs.inline_len, 0, "inline data spilled");
+    assert_eq!(cluster.cloud.as_ref().unwrap().borrow().object_count(), 1);
+    // Appending to a directory fails.
+    assert_eq!(
+        fs.call(&mut sim, hopsfs::FsOp::Append { path: "/a".parse().unwrap(), bytes: 1 }),
+        Err(FsError::IsDir)
+    );
+}

@@ -1,0 +1,318 @@
+//! Property-based tests for the file system: random operation sequences run
+//! against a full simulated HopsFS-CL cluster must agree with a trivial
+//! in-memory reference model, and paths must round-trip.
+
+use hopsfs::client::ClientStats;
+use hopsfs::{build_fs_cluster, FsClientActor, FsError, FsOk, FsOp, FsPath, ScriptedSource};
+use proptest::prelude::*;
+use simnet::{AzId, SimDuration, SimTime, Simulation};
+use std::collections::{BTreeMap, BTreeSet};
+
+// ---------------------------------------------------------------------------
+// Reference model: a plain in-memory tree with the same semantics.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct Model {
+    /// path -> is_dir (root is implicit).
+    entries: BTreeMap<String, bool>,
+}
+
+impl Model {
+    fn exists(&self, p: &str) -> bool {
+        p == "/" || self.entries.contains_key(p)
+    }
+    /// POSIX prefix check: every proper ancestor exists and is a directory.
+    fn check_prefix(&self, p: &str) -> Result<(), FsError> {
+        let bytes = p.as_bytes();
+        for i in 1..bytes.len() {
+            if bytes[i] == b'/' {
+                let anc = &p[..i];
+                if !self.exists(anc) {
+                    return Err(FsError::NotFound);
+                }
+                if !self.is_dir(anc) {
+                    return Err(FsError::NotDir);
+                }
+            }
+        }
+        Ok(())
+    }
+    fn resolve(&self, p: &str) -> Result<(), FsError> {
+        self.check_prefix(p)?;
+        if self.exists(p) {
+            Ok(())
+        } else {
+            Err(FsError::NotFound)
+        }
+    }
+    fn is_dir(&self, p: &str) -> bool {
+        p == "/" || self.entries.get(p).copied().unwrap_or(false)
+    }
+    fn parent(p: &str) -> String {
+        match p.rfind('/') {
+            Some(0) => "/".to_string(),
+            Some(i) => p[..i].to_string(),
+            None => "/".to_string(),
+        }
+    }
+    fn children(&self, p: &str) -> Vec<String> {
+        let prefix = if p == "/" { "/".to_string() } else { format!("{p}/") };
+        self.entries
+            .keys()
+            .filter(|k| k.starts_with(&prefix) && !k[prefix.len()..].contains('/'))
+            .map(|k| k[prefix.len()..].to_string())
+            .collect()
+    }
+
+    fn apply(&mut self, op: &FsOp) -> Result<ModelOk, FsError> {
+        match op {
+            FsOp::Mkdir { path } | FsOp::Create { path, .. } => {
+                let p = path.to_string();
+                if path.is_root() {
+                    return Err(FsError::Invalid);
+                }
+                self.check_prefix(&p)?;
+                let parent = Self::parent(&p);
+                if !self.exists(&parent) {
+                    return Err(FsError::NotFound);
+                }
+                if !self.is_dir(&parent) {
+                    return Err(FsError::NotDir);
+                }
+                if self.exists(&p) {
+                    return Err(FsError::AlreadyExists);
+                }
+                self.entries.insert(p, matches!(op, FsOp::Mkdir { .. }));
+                Ok(ModelOk::Done)
+            }
+            FsOp::Delete { path, recursive } => {
+                let p = path.to_string();
+                if path.is_root() {
+                    return Err(FsError::Invalid);
+                }
+                self.resolve(&p)?;
+                if self.is_dir(&p) && !self.children(&p).is_empty() && !recursive {
+                    return Err(FsError::NotEmpty);
+                }
+                let prefix = format!("{p}/");
+                self.entries.retain(|k, _| k != &p && !k.starts_with(&prefix));
+                Ok(ModelOk::Done)
+            }
+            FsOp::Rename { src, dst } => {
+                let s = src.to_string();
+                let d = dst.to_string();
+                if src.is_root() || dst.is_root() || src.is_prefix_of(dst) {
+                    return Err(FsError::Invalid);
+                }
+                // HopsFS resolves both parent chains (walk A then walk B)
+                // before reading the entries under locks.
+                self.check_prefix(&s)?;
+                self.check_prefix(&d)?;
+                if !self.exists(&s) {
+                    return Err(FsError::NotFound);
+                }
+                let dparent = Self::parent(&d);
+                if !self.exists(&dparent) {
+                    return Err(FsError::NotFound);
+                }
+                if !self.is_dir(&dparent) {
+                    return Err(FsError::NotDir);
+                }
+                if self.exists(&d) {
+                    return Err(FsError::AlreadyExists);
+                }
+                let moved: Vec<(String, bool)> = self
+                    .entries
+                    .iter()
+                    .filter(|(k, _)| *k == &s || k.starts_with(&format!("{s}/")))
+                    .map(|(k, &v)| (k.clone(), v))
+                    .collect();
+                for (k, v) in moved {
+                    self.entries.remove(&k);
+                    self.entries.insert(format!("{d}{}", &k[s.len()..]), v);
+                }
+                Ok(ModelOk::Done)
+            }
+            FsOp::Stat { path } => {
+                let p = path.to_string();
+                self.resolve(&p)?;
+                Ok(ModelOk::Attrs { is_dir: self.is_dir(&p) })
+            }
+            FsOp::List { path } => {
+                let p = path.to_string();
+                self.resolve(&p)?;
+                if !self.is_dir(&p) {
+                    let name = p.rsplit('/').next().unwrap_or("").to_string();
+                    return Ok(ModelOk::Listing(vec![name]));
+                }
+                let mut names = self.children(&p);
+                names.sort();
+                Ok(ModelOk::Listing(names))
+            }
+            FsOp::Open { path } => {
+                let p = path.to_string();
+                self.resolve(&p)?;
+                if self.is_dir(&p) {
+                    return Err(FsError::IsDir);
+                }
+                Ok(ModelOk::Done)
+            }
+            FsOp::SetPerm { path, .. } => {
+                let p = path.to_string();
+                if path.is_root() {
+                    return Err(FsError::Invalid);
+                }
+                self.resolve(&p)?;
+                Ok(ModelOk::Done)
+            }
+            FsOp::Append { path, .. } => {
+                let p = path.to_string();
+                if path.is_root() {
+                    return Err(FsError::Invalid);
+                }
+                self.resolve(&p)?;
+                if self.is_dir(&p) {
+                    return Err(FsError::IsDir);
+                }
+                Ok(ModelOk::Done)
+            }
+        }
+    }
+}
+
+#[derive(Debug, PartialEq)]
+enum ModelOk {
+    Done,
+    Attrs { is_dir: bool },
+    Listing(Vec<String>),
+}
+
+// ---------------------------------------------------------------------------
+// Strategies: ops over a tiny path universe so collisions are common.
+// ---------------------------------------------------------------------------
+
+fn path_strategy() -> impl Strategy<Value = FsPath> {
+    let name = prop_oneof![Just("a"), Just("b"), Just("c"), Just("d")];
+    proptest::collection::vec(name, 1..4)
+        .prop_map(|parts| FsPath::parse(&format!("/{}", parts.join("/"))).expect("valid"))
+}
+
+fn op_strategy() -> impl Strategy<Value = FsOp> {
+    prop_oneof![
+        path_strategy().prop_map(|path| FsOp::Mkdir { path }),
+        path_strategy().prop_map(|path| FsOp::Create { path, size: 0 }),
+        (path_strategy(), any::<bool>()).prop_map(|(path, recursive)| FsOp::Delete { path, recursive }),
+        (path_strategy(), path_strategy()).prop_map(|(src, dst)| FsOp::Rename { src, dst }),
+        path_strategy().prop_map(|path| FsOp::Stat { path }),
+        path_strategy().prop_map(|path| FsOp::List { path }),
+        path_strategy().prop_map(|path| FsOp::Open { path }),
+        path_strategy().prop_map(|path| FsOp::SetPerm { path, perm: 0o700 }),
+        (path_strategy(), 1u64..4096).prop_map(|(path, bytes)| FsOp::Append { path, bytes }),
+    ]
+}
+
+fn run_against_cluster(ops: &[FsOp]) -> Vec<hopsfs::FsResult> {
+    let mut sim = Simulation::new(5);
+    sim.set_jitter(0.0);
+    let cfg = hopsfs::FsConfig::hopsfs_cl(6, 3, 2);
+    let cluster = build_fs_cluster(&mut sim, cfg, 0);
+    let stats = ClientStats::shared();
+    let client =
+        cluster.add_client(&mut sim, AzId(0), Box::new(ScriptedSource::new(ops.to_vec())), stats);
+    sim.actor_mut::<FsClientActor>(client).keep_results = true;
+    let mut t = SimTime::ZERO;
+    while sim.actor::<FsClientActor>(client).results.len() < ops.len() && t < SimTime::from_secs(120)
+    {
+        t += SimDuration::from_millis(100);
+        sim.run_until(t);
+    }
+    sim.actor::<FsClientActor>(client).results.clone()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The full distributed stack agrees with the reference model on every
+    /// operation of a random sequence.
+    #[test]
+    fn fs_matches_reference_model(ops in proptest::collection::vec(op_strategy(), 1..24)) {
+        let results = run_against_cluster(&ops);
+        prop_assert_eq!(results.len(), ops.len(), "all ops must complete");
+        let mut model = Model::default();
+        for (i, (op, got)) in ops.iter().zip(&results).enumerate() {
+            let want = model.apply(op);
+            match (&want, got) {
+                (Err(we), Err(ge)) => prop_assert_eq!(we, ge, "op {} {:?}: error kind", i, op),
+                (Ok(ModelOk::Done), Ok(_)) => {}
+                (Ok(ModelOk::Attrs { is_dir }), Ok(FsOk::Attrs(a))) => {
+                    prop_assert_eq!(*is_dir, a.is_dir, "op {} {:?}: is_dir", i, op)
+                }
+                (Ok(ModelOk::Listing(want_names)), Ok(FsOk::Listing(entries))) => {
+                    let mut got_names: Vec<String> =
+                        entries.iter().map(|e| e.name.clone()).collect();
+                    got_names.sort();
+                    prop_assert_eq!(want_names, &got_names, "op {} {:?}: listing", i, op);
+                }
+                (want, got) => {
+                    prop_assert!(false, "op {i} {op:?}: model {want:?} vs fs {got:?}");
+                }
+            }
+        }
+    }
+
+    /// Paths round-trip through parse/display, and parent/join are inverses.
+    #[test]
+    fn paths_round_trip(parts in proptest::collection::vec("[a-z]{1,8}", 0..6)) {
+        let s = if parts.is_empty() { "/".to_string() } else { format!("/{}", parts.join("/")) };
+        let p = FsPath::parse(&s).expect("valid path");
+        prop_assert_eq!(p.to_string(), s);
+        prop_assert_eq!(p.depth(), parts.len());
+        if let Some(name) = p.name() {
+            let parent = p.parent().expect("non-root has a parent");
+            prop_assert_eq!(parent.join(name), p.clone());
+            prop_assert!(parent.is_prefix_of(&p));
+        }
+    }
+
+    /// The same op sequence produces the same namespace on HopsFS-CL and on
+    /// the CephFS baseline (cross-implementation agreement on semantics).
+    #[test]
+    fn hopsfs_and_cephfs_agree(ops in proptest::collection::vec(op_strategy(), 1..16)) {
+        let hops = run_against_cluster(&ops);
+
+        let mut sim = Simulation::new(5);
+        sim.set_jitter(0.0);
+        let mut cluster = cephsim::build_ceph_cluster(
+            &mut sim,
+            cephsim::CephConfig::paper(2, cephsim::BalanceMode::Dynamic, false),
+        );
+        cluster.apply_pinning();
+        let stats = ClientStats::shared();
+        let client = cluster.add_client(&mut sim, AzId(0), Box::new(ScriptedSource::new(ops.to_vec())), stats);
+        sim.actor_mut::<cephsim::CephClientActor>(client).keep_results = true;
+        let mut t = SimTime::ZERO;
+        while sim.actor::<cephsim::CephClientActor>(client).results.len() < ops.len()
+            && t < SimTime::from_secs(120)
+        {
+            t += SimDuration::from_millis(100);
+            sim.run_until(t);
+        }
+        let ceph = sim.actor::<cephsim::CephClientActor>(client).results.clone();
+        prop_assert_eq!(ceph.len(), hops.len());
+        for (i, (h, c)) in hops.iter().zip(&ceph).enumerate() {
+            let same = match (h, c) {
+                (Ok(FsOk::Listing(a)), Ok(FsOk::Listing(b))) => {
+                    let names = |v: &Vec<hopsfs::DirEntry>| {
+                        v.iter().map(|e| e.name.clone()).collect::<BTreeSet<_>>()
+                    };
+                    names(a) == names(b)
+                }
+                (Ok(_), Ok(_)) => true,
+                (Err(a), Err(b)) => a == b,
+                _ => false,
+            };
+            prop_assert!(same, "op {i} {:?}: hopsfs {h:?} vs cephfs {c:?}", ops[i]);
+        }
+    }
+}

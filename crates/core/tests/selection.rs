@@ -1,0 +1,91 @@
+//! The metadata-server selection policies of §II-A2 / §IV-B3:
+//! vanilla clients pick a random namenode and stick with it until it fails;
+//! AZ-aware clients pick a namenode in their own AZ from the active list.
+
+use hopsfs::client::ClientStats;
+use hopsfs::{build_fs_cluster, FsConfig, FsOp, FsPath, NameNodeActor, OpSource};
+use rand::rngs::StdRng;
+use simnet::{AzId, SimDuration, SimTime, Simulation};
+
+fn p(s: &str) -> FsPath {
+    FsPath::parse(s).unwrap()
+}
+
+/// Endless stats over one path.
+struct StatLoop;
+impl OpSource for StatLoop {
+    fn next_op(&mut self, _rng: &mut StdRng, _now: SimTime) -> Option<FsOp> {
+        Some(FsOp::Stat { path: p("/probe") })
+    }
+}
+
+fn served_counts(sim: &Simulation, cluster: &hopsfs::FsCluster) -> Vec<u64> {
+    cluster
+        .view
+        .nn_ids
+        .iter()
+        .map(|&id| sim.actor::<NameNodeActor>(id).stats.total_ok())
+        .collect()
+}
+
+#[test]
+fn az_aware_clients_use_az_local_namenodes() {
+    // 6 NNs over 3 AZs (2 each); all clients in AZ 1 — only the two AZ-1
+    // namenodes should serve traffic.
+    let mut sim = Simulation::new(41);
+    let cfg = FsConfig::hopsfs_cl(6, 3, 6).scaled_down(8);
+    let mut cluster = build_fs_cluster(&mut sim, cfg, 0);
+    cluster.bulk_add_file(&mut sim, "/probe", 0);
+    let stats = ClientStats::shared();
+    for _ in 0..6 {
+        cluster.add_client(&mut sim, AzId(1), Box::new(StatLoop), stats.clone());
+    }
+    sim.run_until(SimTime::from_secs(4));
+    let served = served_counts(&sim, &cluster);
+    let az_of_nn = |i: usize| cluster.view.nn_locations[i].az;
+    let local: u64 = (0..6).filter(|&i| az_of_nn(i) == AzId(1)).map(|i| served[i]).sum();
+    let remote: u64 = (0..6).filter(|&i| az_of_nn(i) != AzId(1)).map(|i| served[i]).sum();
+    assert!(local > 1000, "AZ-local namenodes must serve the load: {served:?}");
+    assert_eq!(remote, 0, "no request should leave the clients' AZ: {served:?}");
+}
+
+#[test]
+fn vanilla_client_sticks_to_one_namenode_until_it_fails() {
+    let mut sim = Simulation::new(43);
+    let cfg = FsConfig::hopsfs(6, 2, 1, 4).scaled_down(8);
+    let mut cluster = build_fs_cluster(&mut sim, cfg, 0);
+    cluster.bulk_add_file(&mut sim, "/probe", 0);
+    let stats = ClientStats::shared();
+    cluster.add_client(&mut sim, AzId(1), Box::new(StatLoop), stats.clone());
+    sim.run_until(SimTime::from_secs(3));
+    let served = served_counts(&sim, &cluster);
+    let active: Vec<usize> = (0..4).filter(|&i| served[i] > 0).collect();
+    assert_eq!(active.len(), 1, "a vanilla client sticks with one namenode: {served:?}");
+    let first = active[0];
+    assert!(served[first] > 500);
+
+    // Kill its namenode: the client times out and picks a random survivor.
+    sim.kill_node(cluster.view.nn_ids[first]);
+    let before = served.clone();
+    sim.run_until(sim.now() + SimDuration::from_secs(12));
+    let after = served_counts(&sim, &cluster);
+    let new_active: Vec<usize> =
+        (0..4).filter(|&i| i != first && after[i] > before[i]).collect();
+    assert_eq!(new_active.len(), 1, "failover must pick exactly one survivor: {after:?}");
+    let ok = stats.borrow().total_ok();
+    assert!(ok > 1000, "the session kept making progress across the failover");
+}
+
+#[test]
+fn az_aware_clients_fall_back_to_remote_namenodes_when_their_az_has_none() {
+    // 2 NNs, both placed in AZ0/AZ1 round-robin; the client lives in AZ2,
+    // which has no namenode — the policy falls back to a random active one.
+    let mut sim = Simulation::new(47);
+    let cfg = FsConfig::hopsfs_cl(6, 3, 2).scaled_down(8);
+    let mut cluster = build_fs_cluster(&mut sim, cfg, 0);
+    cluster.bulk_add_file(&mut sim, "/probe", 0);
+    let stats = ClientStats::shared();
+    cluster.add_client(&mut sim, AzId(2), Box::new(StatLoop), stats.clone());
+    sim.run_until(SimTime::from_secs(3));
+    assert!(stats.borrow().total_ok() > 500, "fallback selection must still serve");
+}

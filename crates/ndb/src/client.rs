@@ -1,0 +1,244 @@
+//! Sans-IO client kernel: the library an application actor (a HopsFS
+//! NameNode, a test driver) embeds to talk to the cluster.
+//!
+//! The kernel owns transaction bookkeeping — coordinator selection
+//! (AZ-aware, §IV-A5), request framing, response correlation, and timeouts —
+//! while the owning actor supplies the `Ctx` for sending and feeds responses
+//! back in. All methods are synchronous and deterministic.
+
+use crate::locks::TxId;
+use crate::messages::{AbortReason, ReadSpec, RespBody, TxBody, TxRequest, TxResponse, WriteOp};
+use crate::routing::select_tc;
+use crate::schema::{PartitionKey, Row, TableId};
+use crate::view::ClusterView;
+use bytes::Bytes;
+use simnet::{AzId, Ctx, Location, NodeId, SimDuration, SimTime};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// What a transaction is currently waiting for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Expect {
+    Nothing,
+    Rows,
+    Scan,
+    WriteAck,
+    Commit,
+}
+
+#[derive(Debug)]
+struct ClientTx {
+    tc_idx: usize,
+    hint: Option<(TableId, PartitionKey)>,
+    expect: Expect,
+    pending_since: Option<SimTime>,
+}
+
+/// Event surfaced to the embedding application.
+#[derive(Debug)]
+pub enum TxEvent {
+    /// Point-read results, in request order.
+    Rows {
+        /// Transaction.
+        tx: TxId,
+        /// One entry per requested key; `None` = row absent.
+        rows: Vec<Option<Bytes>>,
+    },
+    /// Scan results.
+    Scanned {
+        /// Transaction.
+        tx: TxId,
+        /// Matching rows.
+        rows: Vec<Row>,
+    },
+    /// Writes were buffered at the coordinator.
+    WriteAcked {
+        /// Transaction.
+        tx: TxId,
+    },
+    /// Commit acknowledged.
+    Committed {
+        /// Transaction.
+        tx: TxId,
+    },
+    /// Transaction aborted (by the coordinator, or locally on timeout).
+    Aborted {
+        /// Transaction.
+        tx: TxId,
+        /// Why.
+        reason: AbortReason,
+        /// True when the abort raced the commit point: the transaction *may*
+        /// have committed (the application should use idempotent retries).
+        maybe_committed: bool,
+    },
+}
+
+/// The client kernel. One per application actor.
+#[derive(Debug)]
+pub struct ClientKernel {
+    view: Arc<ClusterView>,
+    my_loc: Location,
+    /// The client's `LocationDomainId` (None = vanilla, not AZ-aware).
+    my_domain: Option<AzId>,
+    client_bits: u32,
+    next_seq: u64,
+    txs: HashMap<TxId, ClientTx>,
+    /// Per-datanode suspicion deadline (believed dead until then).
+    suspect_until: Vec<SimTime>,
+    /// How long to wait for a coordinator response before declaring it dead.
+    pub response_timeout: SimDuration,
+    /// How long a datanode stays suspected after a timeout.
+    pub suspicion_ttl: SimDuration,
+    /// Which coordinator case/TC each tx used (exposed for stats/tests).
+    pub last_tc: Option<usize>,
+}
+
+impl ClientKernel {
+    /// Creates a kernel for an application actor at `my_loc`.
+    ///
+    /// `client_node` must be the owning actor's node id (it seeds unique
+    /// transaction ids). `my_domain` enables AZ-aware coordinator selection.
+    pub fn new(view: Arc<ClusterView>, client_node: NodeId, my_loc: Location, my_domain: Option<AzId>) -> Self {
+        let n = view.datanode_count();
+        ClientKernel {
+            view,
+            my_loc,
+            my_domain,
+            client_bits: client_node.0,
+            next_seq: 0,
+            txs: HashMap::new(),
+            suspect_until: vec![SimTime::ZERO; n],
+            response_timeout: SimDuration::from_millis(1200),
+            suspicion_ttl: SimDuration::from_millis(1500),
+            last_tc: None,
+        }
+    }
+
+    /// The shared cluster view.
+    pub fn view(&self) -> &Arc<ClusterView> {
+        &self.view
+    }
+
+    fn alive_mask(&self, now: SimTime) -> Vec<bool> {
+        self.suspect_until.iter().map(|&t| now >= t).collect()
+    }
+
+    /// Starts a transaction, selecting its coordinator with the paper's
+    /// policy. Returns `None` when no datanode is believed reachable.
+    pub fn begin(&mut self, ctx: &mut Ctx<'_>, hint: Option<(TableId, PartitionKey)>) -> Option<TxId> {
+        let now = ctx.now();
+        let alive = self.alive_mask(now);
+        let (tc_idx, _case) =
+            select_tc(&self.view, self.my_loc, self.my_domain, hint, &alive, ctx.rng())?;
+        self.next_seq += 1;
+        let tx = TxId { client: self.client_bits, seq: self.next_seq };
+        self.last_tc = Some(tc_idx);
+        self.txs.insert(tx, ClientTx { tc_idx, hint, expect: Expect::Nothing, pending_since: None });
+        Some(tx)
+    }
+
+    fn send_step(&mut self, ctx: &mut Ctx<'_>, tx: TxId, body: TxBody, expect: Expect, bytes: u64) {
+        let now = ctx.now();
+        let (to, hint) = {
+            let st = self.txs.get_mut(&tx).expect("unknown transaction");
+            st.expect = expect;
+            st.pending_since = Some(now);
+            (self.view.datanode_ids[st.tc_idx], st.hint)
+        };
+        ctx.send_sized(to, bytes, TxRequest { tx, hint, body });
+    }
+
+    /// Issues a batch of point reads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tx` is unknown or already has a step in flight.
+    pub fn read(&mut self, ctx: &mut Ctx<'_>, tx: TxId, specs: Vec<ReadSpec>) {
+        let bytes = 64 + 32 * specs.len() as u64;
+        self.send_step(ctx, tx, TxBody::Read(specs), Expect::Rows, bytes);
+    }
+
+    /// Issues a partition-pruned scan.
+    pub fn scan(&mut self, ctx: &mut Ctx<'_>, tx: TxId, table: TableId, pk: PartitionKey) {
+        self.send_step(ctx, tx, TxBody::Scan { table, pk }, Expect::Scan, 64);
+    }
+
+    /// Buffers writes at the coordinator.
+    pub fn write(&mut self, ctx: &mut Ctx<'_>, tx: TxId, ops: Vec<WriteOp>) {
+        let bytes = 64 + ops.iter().map(WriteOp::wire_size).sum::<u64>();
+        self.send_step(ctx, tx, TxBody::Write(ops), Expect::WriteAck, bytes);
+    }
+
+    /// Commits the transaction.
+    pub fn commit(&mut self, ctx: &mut Ctx<'_>, tx: TxId) {
+        self.send_step(ctx, tx, TxBody::Commit, Expect::Commit, 64);
+    }
+
+    /// Aborts the transaction (fire-and-forget; the tx is forgotten locally).
+    pub fn abort(&mut self, ctx: &mut Ctx<'_>, tx: TxId) {
+        if let Some(st) = self.txs.remove(&tx) {
+            let to = self.view.datanode_ids[st.tc_idx];
+            ctx.send_sized(to, 64, TxRequest { tx, hint: st.hint, body: TxBody::Abort });
+        }
+    }
+
+    /// Feeds a coordinator response in; returns the application-level event,
+    /// or `None` for stale responses (e.g. after a local timeout).
+    pub fn on_response(&mut self, resp: TxResponse) -> Option<TxEvent> {
+        let st = self.txs.get_mut(&resp.tx)?;
+        let expect = st.expect;
+        st.pending_since = None;
+        st.expect = Expect::Nothing;
+        let tx = resp.tx;
+        match (resp.body, expect) {
+            (RespBody::Rows(rows), Expect::Rows) => Some(TxEvent::Rows { tx, rows }),
+            (RespBody::ScanRows(rows), Expect::Scan) => Some(TxEvent::Scanned { tx, rows }),
+            (RespBody::WriteAck, Expect::WriteAck) => Some(TxEvent::WriteAcked { tx }),
+            (RespBody::Committed, Expect::Commit) => {
+                self.txs.remove(&tx);
+                Some(TxEvent::Committed { tx })
+            }
+            (RespBody::Aborted(reason), expect) => {
+                self.txs.remove(&tx);
+                Some(TxEvent::Aborted { tx, reason, maybe_committed: expect == Expect::Commit })
+            }
+            (body, expect) => {
+                debug_assert!(false, "response {body:?} does not match expectation {expect:?}");
+                None
+            }
+        }
+    }
+
+    /// Times out transactions whose coordinator went silent; marks those
+    /// coordinators suspect so new transactions avoid them. Call
+    /// periodically from the owning actor.
+    pub fn sweep(&mut self, now: SimTime) -> Vec<TxEvent> {
+        let mut events = Vec::new();
+        let timeout = self.response_timeout;
+        let ttl = self.suspicion_ttl;
+        let mut dead_tcs = Vec::new();
+        self.txs.retain(|&tx, st| {
+            if let Some(since) = st.pending_since {
+                if now.saturating_since(since) > timeout {
+                    dead_tcs.push(st.tc_idx);
+                    events.push(TxEvent::Aborted {
+                        tx,
+                        reason: AbortReason::NodeFailure,
+                        maybe_committed: st.expect == Expect::Commit,
+                    });
+                    return false;
+                }
+            }
+            true
+        });
+        for idx in dead_tcs {
+            self.suspect_until[idx] = now + ttl;
+        }
+        events
+    }
+
+    /// Number of in-flight transactions.
+    pub fn in_flight(&self) -> usize {
+        self.txs.len()
+    }
+}

@@ -1,0 +1,204 @@
+//! Minimal binary row codec shared by the applications built on `ndb`.
+//!
+//! Rows are opaque [`bytes::Bytes`] to the database; HopsFS encodes its
+//! metadata records with this little-endian, length-prefixed codec. It is
+//! deliberately tiny (no self-description, no versioning) because both ends
+//! of every row are owned by the same crate.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// Append-only encoder.
+///
+/// # Examples
+///
+/// ```
+/// use ndb::codec::{Enc, Dec};
+///
+/// let mut e = Enc::new();
+/// e.u64(42).str("hello").bool(true).u32(7);
+/// let bytes = e.finish();
+///
+/// let mut d = Dec::new(&bytes);
+/// assert_eq!(d.u64(), 42);
+/// assert_eq!(d.str(), "hello");
+/// assert!(d.bool());
+/// assert_eq!(d.u32(), 7);
+/// ```
+#[derive(Debug, Default)]
+pub struct Enc {
+    buf: BytesMut,
+}
+
+impl Enc {
+    /// Creates an empty encoder.
+    pub fn new() -> Self {
+        Enc { buf: BytesMut::with_capacity(64) }
+    }
+
+    /// Appends a `u64`.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.put_u64_le(v);
+        self
+    }
+
+    /// Appends a `u32`.
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.put_u32_le(v);
+        self
+    }
+
+    /// Appends a `u16`.
+    pub fn u16(&mut self, v: u16) -> &mut Self {
+        self.buf.put_u16_le(v);
+        self
+    }
+
+    /// Appends a byte.
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.buf.put_u8(v);
+        self
+    }
+
+    /// Appends a boolean as one byte.
+    pub fn bool(&mut self, v: bool) -> &mut Self {
+        self.buf.put_u8(v as u8);
+        self
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the string exceeds `u32::MAX` bytes.
+    pub fn str(&mut self, s: &str) -> &mut Self {
+        self.bytes(s.as_bytes())
+    }
+
+    /// Appends a length-prefixed byte string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice exceeds `u32::MAX` bytes.
+    pub fn bytes(&mut self, b: &[u8]) -> &mut Self {
+        let len = u32::try_from(b.len()).expect("field too large");
+        self.buf.put_u32_le(len);
+        self.buf.put_slice(b);
+        self
+    }
+
+    /// Finishes encoding and returns the buffer.
+    pub fn finish(self) -> Bytes {
+        self.buf.freeze()
+    }
+}
+
+/// Sequential decoder over an encoded buffer.
+///
+/// All accessors panic on malformed input; rows are produced exclusively by
+/// [`Enc`] within this workspace, so a decode failure is a logic bug, not a
+/// runtime condition to handle.
+#[derive(Debug)]
+pub struct Dec<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Dec<'a> {
+    /// Creates a decoder over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Dec { buf }
+    }
+
+    fn take(&mut self, n: usize) -> &'a [u8] {
+        let (head, rest) = self.buf.split_at(n);
+        self.buf = rest;
+        head
+    }
+
+    /// Reads a `u64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than 8 bytes remain.
+    pub fn u64(&mut self) -> u64 {
+        u64::from_le_bytes(self.take(8).try_into().unwrap())
+    }
+
+    /// Reads a `u32`.
+    pub fn u32(&mut self) -> u32 {
+        u32::from_le_bytes(self.take(4).try_into().unwrap())
+    }
+
+    /// Reads a `u16`.
+    pub fn u16(&mut self) -> u16 {
+        u16::from_le_bytes(self.take(2).try_into().unwrap())
+    }
+
+    /// Reads a byte.
+    pub fn u8(&mut self) -> u8 {
+        self.take(1)[0]
+    }
+
+    /// Reads a boolean.
+    pub fn bool(&mut self) -> bool {
+        self.u8() != 0
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bytes are not valid UTF-8.
+    pub fn str(&mut self) -> String {
+        String::from_utf8(self.bytes().to_vec()).expect("invalid utf-8 in row")
+    }
+
+    /// Reads a length-prefixed byte string.
+    pub fn bytes(&mut self) -> &'a [u8] {
+        let len = self.u32() as usize;
+        self.take(len)
+    }
+
+    /// Whether all bytes have been consumed.
+    pub fn is_done(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_types() {
+        let mut e = Enc::new();
+        e.u64(u64::MAX).u32(0).u16(12345).u8(7).bool(false).str("ünïcode").bytes(&[1, 2, 3]);
+        let b = e.finish();
+        let mut d = Dec::new(&b);
+        assert_eq!(d.u64(), u64::MAX);
+        assert_eq!(d.u32(), 0);
+        assert_eq!(d.u16(), 12345);
+        assert_eq!(d.u8(), 7);
+        assert!(!d.bool());
+        assert_eq!(d.str(), "ünïcode");
+        assert_eq!(d.bytes(), &[1, 2, 3]);
+        assert!(d.is_done());
+    }
+
+    #[test]
+    fn empty_string_and_bytes() {
+        let mut e = Enc::new();
+        e.str("").bytes(&[]);
+        let b = e.finish();
+        let mut d = Dec::new(&b);
+        assert_eq!(d.str(), "");
+        assert_eq!(d.bytes(), &[] as &[u8]);
+        assert!(d.is_done());
+    }
+
+    #[test]
+    #[should_panic]
+    fn truncated_input_panics() {
+        let mut d = Dec::new(&[1, 2]);
+        let _ = d.u64();
+    }
+}

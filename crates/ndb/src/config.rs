@@ -1,0 +1,325 @@
+//! Cluster configuration: datanodes, node groups, replication, thread
+//! layout (the paper's Table II) and protocol timeouts.
+
+use simnet::{AzId, Batching, LaneClassSpec, SimDuration};
+
+/// Lane-class names used by NDB datanodes, mirroring the paper's Table II.
+pub mod lane {
+    /// Local data manager threads: table shards, row storage, locking.
+    pub const LDM: &str = "LDM";
+    /// Transaction coordinator threads.
+    pub const TC: &str = "TC";
+    /// Inbound network traffic threads.
+    pub const RECV: &str = "RECV";
+    /// Outbound network traffic threads.
+    pub const SEND: &str = "SEND";
+    /// Cross-cluster replication thread (idle here; helps busy threads).
+    pub const REP: &str = "REP";
+    /// I/O thread (redo log, checkpoints).
+    pub const IO: &str = "IO";
+    /// Schema management thread.
+    pub const MAIN: &str = "MAIN";
+}
+
+/// Thread counts per datanode. Defaults to the paper's Table II
+/// (27 CPUs: 12 LDM, 7 TC, 3 RECV, 2 SEND, 1 REP, 1 IO, 1 MAIN).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThreadConfig {
+    /// LDM (shard) threads.
+    pub ldm: usize,
+    /// Transaction coordinator threads.
+    pub tc: usize,
+    /// Receive threads.
+    pub recv: usize,
+    /// Send threads.
+    pub send: usize,
+    /// Replication threads.
+    pub rep: usize,
+    /// I/O threads.
+    pub io: usize,
+    /// Schema-management threads.
+    pub main: usize,
+}
+
+impl Default for ThreadConfig {
+    fn default() -> Self {
+        ThreadConfig { ldm: 12, tc: 7, recv: 3, send: 2, rep: 1, io: 1, main: 1 }
+    }
+}
+
+impl ThreadConfig {
+    /// A proportionally shrunk configuration for scaled-down simulations.
+    /// Classes never drop below one thread.
+    pub fn scaled_down(&self, factor: usize) -> Self {
+        let f = factor.max(1);
+        ThreadConfig {
+            ldm: (self.ldm / f).max(1),
+            tc: (self.tc / f).max(1),
+            recv: (self.recv / f).max(1),
+            send: (self.send / f).max(1),
+            rep: self.rep,
+            io: self.io,
+            main: self.main,
+        }
+    }
+
+    /// Total thread count (27 for the paper's configuration).
+    pub fn total(&self) -> usize {
+        self.ldm + self.tc + self.recv + self.send + self.rep + self.io + self.main
+    }
+
+    /// Materializes the `simnet` lane specs, with NDB's batching discount on
+    /// the LDM and TC classes (the paper explains continued throughput growth
+    /// past the CPU plateau by request batching).
+    pub fn lane_specs(&self, costs: &CostModel) -> Vec<LaneClassSpec> {
+        let batching = Batching {
+            saturation_backlog: costs.batching_saturation_backlog,
+            min_factor: costs.batching_min_factor,
+        };
+        vec![
+            LaneClassSpec::new(lane::LDM, self.ldm).with_batching(batching),
+            LaneClassSpec::new(lane::TC, self.tc).with_batching(batching),
+            LaneClassSpec::new(lane::RECV, self.recv),
+            LaneClassSpec::new(lane::SEND, self.send),
+            LaneClassSpec::new(lane::REP, self.rep),
+            LaneClassSpec::new(lane::IO, self.io),
+            LaneClassSpec::new(lane::MAIN, self.main),
+        ]
+    }
+}
+
+/// CPU service-time calibration for the datanode protocol steps.
+///
+/// These constants are the calibration knobs described in `DESIGN.md`: they
+/// are set once so that the vanilla HopsFS (2,1) baseline lands near the
+/// paper's absolute scale, and every other experiment inherits them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostModel {
+    /// LDM cost to serve one row read.
+    pub ldm_read: SimDuration,
+    /// LDM cost to prepare/apply one row write.
+    pub ldm_write: SimDuration,
+    /// LDM cost to scan one row during a partition-pruned scan.
+    pub ldm_scan_row: SimDuration,
+    /// Fixed LDM cost to start a scan.
+    pub ldm_scan_base: SimDuration,
+    /// TC cost per operation routed through a coordinator.
+    pub tc_op: SimDuration,
+    /// TC fixed cost per transaction step (request parsing, state).
+    pub tc_step: SimDuration,
+    /// RECV cost per inbound message.
+    pub recv_msg: SimDuration,
+    /// SEND cost per outbound message.
+    pub send_msg: SimDuration,
+    /// Redo-log bytes written per committed row write.
+    pub redo_bytes_per_write: u64,
+    /// Backlog at which batching reaches its full discount.
+    pub batching_saturation_backlog: SimDuration,
+    /// Service-time multiplier at full batching.
+    pub batching_min_factor: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            ldm_read: SimDuration::from_micros(30),
+            ldm_write: SimDuration::from_micros(60),
+            ldm_scan_row: SimDuration::from_micros(6),
+            ldm_scan_base: SimDuration::from_micros(30),
+            tc_op: SimDuration::from_micros(7),
+            tc_step: SimDuration::from_micros(12),
+            recv_msg: SimDuration::from_micros(3),
+            send_msg: SimDuration::from_micros(2),
+            redo_bytes_per_write: 512,
+            batching_saturation_backlog: SimDuration::from_micros(250),
+            batching_min_factor: 0.35,
+        }
+    }
+}
+
+/// Protocol timeouts, named after their NDB configuration parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Timeouts {
+    /// Abort a transaction the client has abandoned.
+    pub transaction_inactive: SimDuration,
+    /// Abort a transaction stuck on locks / failed nodes (also the lock-wait
+    /// deadlock resolution timeout).
+    pub transaction_deadlock_detection: SimDuration,
+    /// Datanode-to-datanode heartbeat period.
+    pub heartbeat_interval: SimDuration,
+    /// Missed-heartbeat count after which a peer is declared dead.
+    pub heartbeat_misses: u32,
+    /// Datanode-to-arbitrator liveness check period.
+    pub arbitration_interval: SimDuration,
+    /// Time without arbitrator contact (while suspecting peers) after which
+    /// a datanode shuts itself down.
+    pub arbitration_timeout: SimDuration,
+    /// Global checkpoint period (redo log flush across node groups).
+    pub gcp_interval: SimDuration,
+}
+
+impl Default for Timeouts {
+    fn default() -> Self {
+        Timeouts {
+            transaction_inactive: SimDuration::from_millis(800),
+            transaction_deadlock_detection: SimDuration::from_millis(150),
+            heartbeat_interval: SimDuration::from_millis(100),
+            heartbeat_misses: 4,
+            arbitration_interval: SimDuration::from_millis(100),
+            arbitration_timeout: SimDuration::from_millis(500),
+            gcp_interval: SimDuration::from_millis(500),
+        }
+    }
+}
+
+/// Static description of one NDB datanode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DatanodeSpec {
+    /// The AZ this datanode runs in — the paper's new `LocationDomainId`
+    /// configuration parameter (`None` models a vanilla, non-AZ-aware
+    /// deployment where the id is unset/0).
+    pub location_domain_id: Option<AzId>,
+}
+
+/// Full cluster configuration.
+///
+/// Node groups are formed like NDB forms them: datanodes are taken in
+/// declaration order, `replication_factor` at a time. The AZ-aware deployment
+/// helpers in [`ClusterConfig::az_aware`] order datanodes so that each node
+/// group spans AZs (Figures 3 and 4 of the paper).
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Datanodes in node-group order.
+    pub datanodes: Vec<DatanodeSpec>,
+    /// Replicas per partition (NDB `NoOfReplicas`, the paper's
+    /// "metadata replication factor": 2 or 3).
+    pub replication_factor: usize,
+    /// Partitions per table.
+    pub partitions_per_table: usize,
+    /// Thread layout per datanode.
+    pub threads: ThreadConfig,
+    /// CPU calibration.
+    pub costs: CostModel,
+    /// Protocol timeouts.
+    pub timeouts: Timeouts,
+}
+
+impl ClusterConfig {
+    /// A cluster of `n` datanodes with replication factor `r`, with node
+    /// groups spanning AZs round-robin over `azs` (AZ-aware deployment).
+    ///
+    /// With `azs = [a, b]` and `r = 2` this is the paper's Figure 3 layout;
+    /// with `azs = [a, b, c]` and `r = 3`, Figure 4.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a multiple of `r`, or `azs` is empty.
+    pub fn az_aware(n: usize, r: usize, azs: &[AzId]) -> Self {
+        assert!(!azs.is_empty(), "need at least one AZ");
+        assert!(r >= 1 && n.is_multiple_of(r), "datanode count must be a multiple of the replication factor");
+        // Node group g = datanodes [g*r .. (g+1)*r); member i of each group
+        // goes to azs[i % azs.len()], so replicas of every partition span AZs.
+        let mut datanodes = Vec::with_capacity(n);
+        for _group in 0..n / r {
+            for member in 0..r {
+                datanodes.push(DatanodeSpec {
+                    location_domain_id: Some(azs[member % azs.len()]),
+                });
+            }
+        }
+        ClusterConfig {
+            datanodes,
+            replication_factor: r,
+            partitions_per_table: (n * 2).max(8),
+            threads: ThreadConfig::default(),
+            costs: CostModel::default(),
+            timeouts: Timeouts::default(),
+        }
+    }
+
+    /// A vanilla (non-AZ-aware) cluster: all datanodes have no
+    /// LocationDomainId. `azs` still controls physical placement round-robin
+    /// (the nodes live *somewhere*), but the database cannot see it.
+    pub fn vanilla(n: usize, r: usize) -> Self {
+        let mut c = Self::az_aware(n, r, &[AzId(0)]);
+        for d in &mut c.datanodes {
+            d.location_domain_id = None;
+        }
+        c
+    }
+
+    /// Number of node groups (`n / r`).
+    pub fn node_group_count(&self) -> usize {
+        self.datanodes.len() / self.replication_factor
+    }
+
+    /// Node group of datanode `idx` (its index in [`ClusterConfig::datanodes`]).
+    pub fn node_group_of(&self, idx: usize) -> usize {
+        idx / self.replication_factor
+    }
+
+    /// Datanode indices of one node group.
+    pub fn group_members(&self, group: usize) -> std::ops::Range<usize> {
+        group * self.replication_factor..(group + 1) * self.replication_factor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_defaults() {
+        let t = ThreadConfig::default();
+        assert_eq!(t.total(), 27);
+        assert_eq!(t.ldm, 12);
+        assert_eq!(t.tc, 7);
+        assert_eq!(t.recv, 3);
+        assert_eq!(t.send, 2);
+    }
+
+    #[test]
+    fn scaled_down_never_hits_zero() {
+        let t = ThreadConfig::default().scaled_down(100);
+        assert!(t.ldm >= 1 && t.tc >= 1 && t.recv >= 1 && t.send >= 1);
+    }
+
+    #[test]
+    fn az_aware_groups_span_azs() {
+        // Figure 4: 6 datanodes, r=3, 3 AZs -> groups {N1,N3,N5}, {N2,N4,N6}
+        // in paper numbering; here consecutive triples span az0,az1,az2.
+        let c = ClusterConfig::az_aware(6, 3, &[AzId(0), AzId(1), AzId(2)]);
+        assert_eq!(c.node_group_count(), 2);
+        for g in 0..2 {
+            let azs: Vec<_> = c.group_members(g)
+                .map(|i| c.datanodes[i].location_domain_id.unwrap())
+                .collect();
+            assert_eq!(azs, vec![AzId(0), AzId(1), AzId(2)]);
+        }
+    }
+
+    #[test]
+    fn figure3_layout_two_azs() {
+        // Figure 3: r=2 across Zone2/Zone3.
+        let c = ClusterConfig::az_aware(4, 2, &[AzId(1), AzId(2)]);
+        assert_eq!(c.node_group_count(), 2);
+        for g in 0..2 {
+            let azs: Vec<_> = c.group_members(g)
+                .map(|i| c.datanodes[i].location_domain_id.unwrap())
+                .collect();
+            assert_eq!(azs, vec![AzId(1), AzId(2)]);
+        }
+    }
+
+    #[test]
+    fn vanilla_has_no_domain_ids() {
+        let c = ClusterConfig::vanilla(4, 2);
+        assert!(c.datanodes.iter().all(|d| d.location_domain_id.is_none()));
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple")]
+    fn rejects_bad_group_division() {
+        let _ = ClusterConfig::az_aware(5, 2, &[AzId(0)]);
+    }
+}

@@ -1,0 +1,1131 @@
+//! The NDB datanode actor.
+//!
+//! Each datanode plays two protocol roles, as in NDB:
+//!
+//! - **LDM** (local data manager): stores the rows of the partitions its node
+//!   group replicates, runs the row lock manager, and executes the hops of
+//!   the linear-2PC chains;
+//! - **TC** (transaction coordinator): receives client transaction steps,
+//!   routes reads to replicas (AZ-aware when `Read Backup` / fully
+//!   replicated options apply), buffers writes, and drives the commit
+//!   protocol of Figure 2 — `Prepare` down each row's replica chain,
+//!   `Commit` in reverse, `Complete` to the backups, with the client `Ack`
+//!   delayed until all `Completed`s when the paper's table options require
+//!   it (§IV-A3).
+//!
+//! Membership is handled with all-to-all heartbeats, and split-brain
+//! scenarios with the management-node arbitrator (§IV-A2).
+
+use crate::config::lane;
+use crate::locks::{LockManager, TxId, Waiter};
+use crate::messages::*;
+use crate::schema::{LockMode, PartitionKey, Row, RowKey, TableId};
+use crate::routing::route_read;
+use crate::view::ClusterView;
+use bytes::Bytes;
+use simnet::{Actor, Ctx, DiskOp, NodeId, Payload, SimDuration, SimTime};
+use std::any::Any;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
+
+// Timer payloads.
+#[derive(Debug)]
+struct TickHeartbeat;
+#[derive(Debug)]
+struct TickArbitration;
+#[derive(Debug)]
+struct TickGcp;
+#[derive(Debug)]
+struct TickTxSweep;
+/// Fires once suspicion has settled after a peer death, carrying the
+/// arbitration request to the arbitrator.
+#[derive(Debug)]
+struct ArbRequestDue;
+/// Completion of deferred local work carrying the action to resume.
+#[derive(Debug)]
+struct ReadsFlush {
+    tx: TxId,
+}
+
+/// Aggregate statistics one datanode exposes for the experiment harness.
+#[derive(Debug, Default, Clone)]
+pub struct DnStats {
+    /// Read-committed and locked reads served, keyed by
+    /// `(table, partition, replica rank)` — rank 0 is the partition's
+    /// primary. This is the data behind Figure 14.
+    pub reads_by_partition_rank: HashMap<(TableId, u32, u8), u64>,
+    /// Transactions committed while this node coordinated them.
+    pub tx_committed: u64,
+    /// Transactions aborted while this node coordinated them.
+    pub tx_aborted: u64,
+    /// Point reads served by the LDM role.
+    pub reads_served: u64,
+    /// Scans served by the LDM role.
+    pub scans_served: u64,
+    /// Rows prepared by the LDM role.
+    pub rows_prepared: u64,
+    /// Rows committed (applied) by the LDM role.
+    pub rows_committed: u64,
+    /// Lock requests that had to queue.
+    pub lock_waits: u64,
+}
+
+#[derive(Debug)]
+enum LockCont {
+    Read { requester: NodeId, req: LdmReadReq },
+    Prepare(PrepareRow),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TcPhase {
+    Idle,
+    Reading,
+    Scanning,
+    Preparing,
+    Committing,
+    Completing,
+}
+
+#[derive(Debug)]
+struct TcTx {
+    client: NodeId,
+    token_counter: u64,
+    phase: TcPhase,
+    writes: Vec<WriteOp>,
+    /// Datanode indices that may hold locks or pending state for this tx.
+    participants: HashSet<u32>,
+    last_activity: SimTime,
+    step_started: SimTime,
+    // Read step.
+    pending_reads: HashMap<u64, usize>,
+    read_results: Vec<Option<Bytes>>,
+    reads_outstanding: usize,
+    // Commit step: (token, replica chain) per written row.
+    chains: Vec<(u64, Vec<u32>)>,
+    prepared: usize,
+    committed: usize,
+    completed: usize,
+    completed_needed: usize,
+    delayed_ack: bool,
+}
+
+impl TcTx {
+    fn new(client: NodeId, now: SimTime) -> Self {
+        TcTx {
+            client,
+            token_counter: 0,
+            phase: TcPhase::Idle,
+            writes: Vec::new(),
+            participants: HashSet::new(),
+            last_activity: now,
+            step_started: now,
+            pending_reads: HashMap::new(),
+            read_results: Vec::new(),
+            reads_outstanding: 0,
+            chains: Vec::new(),
+            prepared: 0,
+            committed: 0,
+            completed: 0,
+            completed_needed: 0,
+            delayed_ack: false,
+        }
+    }
+
+    fn next_token(&mut self) -> u64 {
+        self.token_counter += 1;
+        self.token_counter
+    }
+}
+
+/// The datanode actor. Construct via [`crate::deploy::build_cluster`].
+pub struct DatanodeActor {
+    view: Arc<ClusterView>,
+    my_idx: usize,
+    /// My liveness estimate per datanode index.
+    alive: Vec<bool>,
+    last_hb: Vec<SimTime>,
+    cluster_down: bool,
+    shutting_down: bool,
+    // LDM role.
+    store: HashMap<(TableId, PartitionKey), BTreeMap<Bytes, Bytes>>,
+    locks: LockManager,
+    lock_conts: HashMap<(TxId, u64), LockCont>,
+    pending_writes: HashMap<(TxId, u64), WriteOp>,
+    /// Row locked by each in-flight 2PC token at this node, for the
+    /// per-row releases of the commit protocol.
+    row_of_token: HashMap<(TxId, u64), (TableId, RowKey)>,
+    /// Which datanode coordinates each transaction touching me (take-over).
+    tx_coordinator: HashMap<TxId, u32>,
+    redo_pending: u64,
+    // TC role.
+    txs: HashMap<TxId, TcTx>,
+    // Arbitration.
+    current_arb: usize,
+    last_arb_pong: SimTime,
+    suspect_since: Option<SimTime>,
+    arb_requested: bool,
+    /// Public statistics.
+    pub stats: DnStats,
+}
+
+impl DatanodeActor {
+    /// Creates the actor for datanode `my_idx` of `view`.
+    pub fn new(view: Arc<ClusterView>, my_idx: usize) -> Self {
+        let n = view.datanode_count();
+        DatanodeActor {
+            view,
+            my_idx,
+            alive: vec![true; n],
+            last_hb: vec![SimTime::ZERO; n],
+            cluster_down: false,
+            shutting_down: false,
+            store: HashMap::new(),
+            locks: LockManager::default(),
+            lock_conts: HashMap::new(),
+            pending_writes: HashMap::new(),
+            row_of_token: HashMap::new(),
+            tx_coordinator: HashMap::new(),
+            redo_pending: 0,
+            txs: HashMap::new(),
+            current_arb: 0,
+            last_arb_pong: SimTime::ZERO,
+            suspect_since: None,
+            arb_requested: false,
+            stats: DnStats::default(),
+        }
+    }
+
+    /// Directly loads a row into this node's store if it replicates the
+    /// row's partition (bulk-loading initial data without simulating it).
+    pub fn load_row(&mut self, table: TableId, key: RowKey, data: Bytes) -> bool {
+        let options = self.view.schema.table(table).options;
+        let pid = self.view.pmap.partition_of(key.pk);
+        if !self.view.pmap.stores(self.my_idx, pid, options) {
+            return false;
+        }
+        self.store.entry((table, key.pk)).or_default().insert(key.suffix, data);
+        true
+    }
+
+    /// Direct read of a row from the local store (test/verification hook; no
+    /// protocol messages, no locks).
+    pub fn peek_row(&self, table: TableId, key: &RowKey) -> Option<Bytes> {
+        self.store.get(&(table, key.pk)).and_then(|m| m.get(&key.suffix)).cloned()
+    }
+
+    /// Number of rows stored locally.
+    pub fn stored_rows(&self) -> usize {
+        self.store.values().map(BTreeMap::len).sum()
+    }
+
+    /// Whether this node considers the cluster down (a full node group lost).
+    pub fn is_cluster_down(&self) -> bool {
+        self.cluster_down
+    }
+
+    /// This node's current liveness estimate for a peer.
+    pub fn peer_alive(&self, idx: usize) -> bool {
+        self.alive[idx]
+    }
+
+    // --- CPU charging helpers -------------------------------------------
+
+    fn costs(&self) -> &crate::config::CostModel {
+        &self.view.config.costs
+    }
+
+    /// Charges inbound-network CPU; overflows to the REP helper thread when
+    /// the RECV lanes are backlogged (this is what drives the paper's
+    /// observation that the otherwise-idle REP thread runs at ~90%).
+    fn charge_net_in(&self, ctx: &mut Ctx<'_>) {
+        let cost = self.costs().recv_msg;
+        if ctx.lane_backlog(lane::RECV) > SimDuration::ZERO
+            && ctx.lane_backlog(lane::REP) == SimDuration::ZERO
+        {
+            ctx.execute(lane::REP, cost);
+        } else {
+            ctx.execute(lane::RECV, cost);
+        }
+    }
+
+    fn charge_net_out(&self, ctx: &mut Ctx<'_>) {
+        let cost = self.costs().send_msg;
+        if ctx.lane_backlog(lane::SEND) > SimDuration::ZERO
+            && ctx.lane_backlog(lane::REP) == SimDuration::ZERO
+        {
+            ctx.execute(lane::REP, cost);
+        } else {
+            ctx.execute(lane::SEND, cost);
+        }
+    }
+
+    fn send_from<P: Payload>(&self, ctx: &mut Ctx<'_>, depart: SimTime, to: NodeId, bytes: u64, msg: P) {
+        self.charge_net_out(ctx);
+        ctx.send_sized_from(depart, to, bytes, msg);
+    }
+
+    fn dn_node(&self, idx: u32) -> NodeId {
+        self.view.datanode_ids[idx as usize]
+    }
+
+    // --- TC role ---------------------------------------------------------
+
+    fn respond(&self, ctx: &mut Ctx<'_>, depart: SimTime, client: NodeId, resp: TxResponse) {
+        let bytes = resp.wire_size();
+        self.send_from(ctx, depart, client, bytes, resp);
+    }
+
+    fn on_tx_request(&mut self, ctx: &mut Ctx<'_>, from: NodeId, req: TxRequest) {
+        let now = ctx.now();
+        if self.shutting_down || self.cluster_down {
+            let reason = if self.cluster_down { AbortReason::ClusterDown } else { AbortReason::Shutdown };
+            let resp = TxResponse { tx: req.tx, body: RespBody::Aborted(reason) };
+            self.respond(ctx, now, from, resp);
+            return;
+        }
+        self.txs.entry(req.tx).or_insert_with(|| TcTx::new(from, now));
+        match req.body {
+            TxBody::Read(specs) => self.tc_read_step(ctx, req.tx, specs),
+            TxBody::Scan { table, pk } => self.tc_scan_step(ctx, req.tx, table, pk),
+            TxBody::Write(ops) => self.tc_write_step(ctx, req.tx, ops),
+            TxBody::Commit => self.tc_commit_step(ctx, req.tx),
+            TxBody::Abort => self.abort_tx(ctx, req.tx, AbortReason::ClientAbort, true),
+        }
+    }
+
+    fn tc_read_step(&mut self, ctx: &mut Ctx<'_>, tx_id: TxId, specs: Vec<ReadSpec>) {
+        let now = ctx.now();
+        let costs = self.costs().clone();
+        let step_cost = costs.tc_step + costs.tc_op * specs.len() as u64;
+        let done = ctx.execute(lane::TC, step_cost);
+        let my_idx = self.my_idx as u32;
+        let view = Arc::clone(&self.view);
+
+        // Resolve buffered writes first (read-your-own-writes), then route
+        // the remainder to replicas.
+        let mut sends: Vec<(u32, LdmReadReq, u64)> = Vec::new();
+        let mut failed = false;
+        {
+            let tx = self.txs.get_mut(&tx_id).expect("tx registered above");
+            tx.phase = TcPhase::Reading;
+            tx.step_started = now;
+            tx.last_activity = now;
+            tx.read_results = vec![None; specs.len()];
+            tx.pending_reads.clear();
+            tx.reads_outstanding = 0;
+            for (slot, spec) in specs.into_iter().enumerate() {
+                // Check the transaction's own write buffer.
+                if let Some(op) = tx
+                    .writes
+                    .iter()
+                    .rev()
+                    .find(|op| op.table() == spec.table && op.key() == &spec.key)
+                {
+                    tx.read_results[slot] = match op {
+                        WriteOp::Put { data, .. } => Some(data.clone()),
+                        WriteOp::Delete { .. } => None,
+                    };
+                    continue;
+                }
+                let options = view.schema.table(spec.table).options;
+                let pid = view.pmap.partition_of(spec.key.pk);
+                let candidates = view.pmap.read_replicas(pid, options, &self.alive);
+                let target = if spec.mode.is_locking() {
+                    candidates.first().copied()
+                } else {
+                    route_read(
+                        &view,
+                        self.my_idx,
+                        &candidates,
+                        options.read_backup || options.fully_replicated,
+                    )
+                };
+                let target = match target {
+                    Some(t) => t,
+                    None => {
+                        failed = true;
+                        break;
+                    }
+                };
+                let token = tx.next_token();
+                tx.pending_reads.insert(token, slot);
+                tx.reads_outstanding += 1;
+                if spec.mode.is_locking() {
+                    tx.participants.insert(target as u32);
+                }
+                sends.push((
+                    target as u32,
+                    LdmReadReq { tx: tx_id, token, table: spec.table, key: spec.key, mode: spec.mode, tc_idx: my_idx },
+                    96,
+                ));
+            }
+        }
+        if failed {
+            self.abort_tx(ctx, tx_id, AbortReason::ClusterDown, true);
+            return;
+        }
+        let outstanding = self.txs[&tx_id].reads_outstanding;
+        for (target, msg, bytes) in sends {
+            let to = self.dn_node(target);
+            self.send_from(ctx, done, to, bytes, msg);
+        }
+        if outstanding == 0 {
+            // All reads were served from the write buffer.
+            ctx.schedule_at(done, ReadsFlush { tx: tx_id });
+        }
+    }
+
+    fn tc_scan_step(&mut self, ctx: &mut Ctx<'_>, tx_id: TxId, table: TableId, pk: PartitionKey) {
+        let now = ctx.now();
+        let costs = self.costs().clone();
+        let done = ctx.execute(lane::TC, costs.tc_step + costs.tc_op);
+        let options = self.view.schema.table(table).options;
+        let pid = self.view.pmap.partition_of(pk);
+        let candidates = self.view.pmap.read_replicas(pid, options, &self.alive);
+        let target = route_read(
+            &self.view,
+            self.my_idx,
+            &candidates,
+            options.read_backup || options.fully_replicated,
+        );
+        let target = match target {
+            Some(t) => t,
+            None => {
+                self.abort_tx(ctx, tx_id, AbortReason::ClusterDown, true);
+                return;
+            }
+        };
+        let my_idx = self.my_idx as u32;
+        let token = {
+            let tx = self.txs.get_mut(&tx_id).expect("tx registered");
+            tx.phase = TcPhase::Scanning;
+            tx.step_started = now;
+            tx.last_activity = now;
+            tx.next_token()
+        };
+        let to = self.dn_node(target as u32);
+        self.send_from(ctx, done, to, 96, LdmScanReq { tx: tx_id, token, table, pk, tc_idx: my_idx });
+    }
+
+    fn tc_write_step(&mut self, ctx: &mut Ctx<'_>, tx_id: TxId, ops: Vec<WriteOp>) {
+        let now = ctx.now();
+        let costs = self.costs().clone();
+        let done = ctx.execute(lane::TC, costs.tc_step + costs.tc_op * ops.len() as u64);
+        let client = {
+            let tx = self.txs.get_mut(&tx_id).expect("tx registered");
+            tx.last_activity = now;
+            tx.writes.extend(ops);
+            tx.phase = TcPhase::Idle;
+            tx.client
+        };
+        let resp = TxResponse { tx: tx_id, body: RespBody::WriteAck };
+        self.respond(ctx, done, client, resp);
+    }
+
+    fn tc_commit_step(&mut self, ctx: &mut Ctx<'_>, tx_id: TxId) {
+        let now = ctx.now();
+        let costs = self.costs().clone();
+        let view = Arc::clone(&self.view);
+        let my_idx = self.my_idx as u32;
+
+        let n_writes = self.txs[&tx_id].writes.len();
+        let done = ctx.execute(lane::TC, costs.tc_step + costs.tc_op * (n_writes as u64 + 1));
+
+        if n_writes == 0 {
+            // Read-only: release any read locks, Ack immediately.
+            self.finish_tx(ctx, tx_id, done, RespBody::Committed);
+            self.stats.tx_committed += 1;
+            return;
+        }
+
+        // Build the replica chain per written row.
+        let mut sends: Vec<(u32, PrepareRow)> = Vec::new();
+        let mut failed = false;
+        {
+            let tx = self.txs.get_mut(&tx_id).expect("tx registered");
+            tx.phase = TcPhase::Preparing;
+            tx.step_started = now;
+            tx.last_activity = now;
+            tx.prepared = 0;
+            tx.committed = 0;
+            tx.completed = 0;
+            tx.completed_needed = 0;
+            tx.delayed_ack = false;
+            tx.chains.clear();
+            let writes = std::mem::take(&mut tx.writes);
+            for op in writes {
+                let options = view.schema.table(op.table()).options;
+                let pid = view.pmap.partition_of(op.key().pk);
+                let chain: Vec<u32> =
+                    view.pmap.write_chain(pid, options, &self.alive).iter().map(|&i| i as u32).collect();
+                if chain.is_empty() {
+                    failed = true;
+                    break;
+                }
+                if options.delayed_ack() {
+                    tx.delayed_ack = true;
+                }
+                tx.completed_needed += chain.len() - 1;
+                for &c in &chain {
+                    tx.participants.insert(c);
+                }
+                let token = tx.next_token();
+                let first = chain[0];
+                tx.chains.push((token, chain.clone()));
+                sends.push((first, PrepareRow { tx: tx_id, token, chain, pos: 0, op, tc_idx: my_idx }));
+            }
+        }
+        if failed {
+            self.abort_tx(ctx, tx_id, AbortReason::ClusterDown, true);
+            return;
+        }
+        for (target, msg) in sends {
+            let bytes = 64 + msg.op.wire_size();
+            let to = self.dn_node(target);
+            self.send_from(ctx, done, to, bytes, msg);
+        }
+    }
+
+    /// Read step fully resolved: respond to the client.
+    fn tc_finish_reads(&mut self, ctx: &mut Ctx<'_>, tx_id: TxId) {
+        let now = ctx.now();
+        let (client, rows) = {
+            let tx = match self.txs.get_mut(&tx_id) {
+                Some(tx) => tx,
+                None => return,
+            };
+            tx.phase = TcPhase::Idle;
+            tx.last_activity = now;
+            (tx.client, std::mem::take(&mut tx.read_results))
+        };
+        let resp = TxResponse { tx: tx_id, body: RespBody::Rows(rows) };
+        self.respond(ctx, now, client, resp);
+    }
+
+    fn on_ldm_read_resp(&mut self, ctx: &mut Ctx<'_>, _from: NodeId, m: LdmReadResp) {
+        let finished = {
+            let tx = match self.txs.get_mut(&m.tx) {
+                Some(tx) => tx,
+                None => return, // aborted meanwhile
+            };
+            if let Some(slot) = tx.pending_reads.remove(&m.token) {
+                tx.read_results[slot] = m.data;
+                tx.reads_outstanding = tx.reads_outstanding.saturating_sub(1);
+            }
+            tx.reads_outstanding == 0 && tx.phase == TcPhase::Reading
+        };
+        if finished {
+            self.tc_finish_reads(ctx, m.tx);
+        }
+    }
+
+    fn on_ldm_scan_resp(&mut self, ctx: &mut Ctx<'_>, _from: NodeId, m: LdmScanResp) {
+        let now = ctx.now();
+        let client = {
+            let tx = match self.txs.get_mut(&m.tx) {
+                Some(tx) => tx,
+                None => return,
+            };
+            if tx.phase != TcPhase::Scanning {
+                return;
+            }
+            tx.phase = TcPhase::Idle;
+            tx.last_activity = now;
+            tx.client
+        };
+        let resp = TxResponse { tx: m.tx, body: RespBody::ScanRows(m.rows) };
+        self.respond(ctx, now, client, resp);
+    }
+
+    fn on_prepared_row(&mut self, ctx: &mut Ctx<'_>, _from: NodeId, m: PreparedRow) {
+        let costs = self.costs().clone();
+        let my_idx = self.my_idx as u32;
+        let ready = {
+            let tx = match self.txs.get_mut(&m.tx) {
+                Some(tx) => tx,
+                None => return,
+            };
+            if tx.phase != TcPhase::Preparing {
+                return;
+            }
+            tx.prepared += 1;
+            tx.last_activity = ctx.now();
+            tx.prepared == tx.chains.len()
+        };
+        if !ready {
+            return;
+        }
+        // All rows prepared: send Commit to the LAST node of each chain; the
+        // message travels the chain in reverse (Figure 2).
+        let done = ctx.execute(lane::TC, costs.tc_op * self.txs[&m.tx].chains.len() as u64);
+        let chains = {
+            let tx = self.txs.get_mut(&m.tx).expect("checked above");
+            tx.phase = TcPhase::Committing;
+            tx.step_started = ctx.now();
+            tx.chains.clone()
+        };
+        for (token, chain) in &chains {
+            let last = *chain.last().expect("chains are non-empty");
+            let msg = CommitRow {
+                tx: m.tx,
+                token: *token,
+                chain: chain.clone(),
+                pos: (chain.len() - 1) as u8,
+                tc_idx: my_idx,
+            };
+            let to = self.dn_node(last);
+            self.send_from(ctx, done, to, 72, msg);
+        }
+    }
+
+    fn on_committed_row(&mut self, ctx: &mut Ctx<'_>, _from: NodeId, m: CommittedRow) {
+        let all_committed = {
+            let tx = match self.txs.get_mut(&m.tx) {
+                Some(tx) => tx,
+                None => return,
+            };
+            if tx.phase != TcPhase::Committing {
+                return;
+            }
+            tx.committed += 1;
+            tx.last_activity = ctx.now();
+            tx.committed == tx.chains.len()
+        };
+        if !all_committed {
+            return;
+        }
+        let costs = self.costs().clone();
+        let done = ctx.execute(lane::TC, costs.tc_op);
+        // Send Complete to every backup replica of every chain.
+        let (chains, delayed_ack, completed_needed) = {
+            let tx = self.txs.get_mut(&m.tx).expect("checked above");
+            tx.phase = TcPhase::Completing;
+            tx.step_started = ctx.now();
+            (tx.chains.clone(), tx.delayed_ack, tx.completed_needed)
+        };
+        for (token, chain) in &chains {
+            for &backup in chain.iter().skip(1) {
+                let to = self.dn_node(backup);
+                self.send_from(ctx, done, to, 64, CompleteRow { tx: m.tx, token: *token });
+            }
+        }
+        self.stats.tx_committed += 1;
+        if !delayed_ack || completed_needed == 0 {
+            // Classic NDB: Ack as soon as the primaries committed (message 10
+            // in Figure 2); Complete runs in parallel.
+            self.finish_tx(ctx, m.tx, done, RespBody::Committed);
+        }
+    }
+
+    fn on_completed_row(&mut self, ctx: &mut Ctx<'_>, _from: NodeId, m: CompletedRow) {
+        let finished = {
+            let tx = match self.txs.get_mut(&m.tx) {
+                Some(tx) => tx,
+                None => return, // already acked (non-delayed) and cleaned
+            };
+            tx.completed += 1;
+            tx.last_activity = ctx.now();
+            tx.phase == TcPhase::Completing && tx.delayed_ack && tx.completed >= tx.completed_needed
+        };
+        if finished {
+            // Read Backup / fully replicated: the Ack is message 14, only
+            // after every backup completed (§IV-A3).
+            let now = ctx.now();
+            self.finish_tx(ctx, m.tx, now, RespBody::Committed);
+        }
+    }
+
+    /// Sends the final response, releases participants, and forgets the tx.
+    fn finish_tx(&mut self, ctx: &mut Ctx<'_>, tx_id: TxId, depart: SimTime, body: RespBody) {
+        let tx = match self.txs.remove(&tx_id) {
+            Some(tx) => tx,
+            None => return,
+        };
+        for &p in &tx.participants {
+            let to = self.dn_node(p);
+            self.send_from(ctx, depart, to, 48, ReleaseTx { tx: tx_id });
+        }
+        self.respond(ctx, depart, tx.client, TxResponse { tx: tx_id, body });
+    }
+
+    fn abort_tx(&mut self, ctx: &mut Ctx<'_>, tx_id: TxId, reason: AbortReason, respond: bool) {
+        let now = ctx.now();
+        let tx = match self.txs.remove(&tx_id) {
+            Some(tx) => tx,
+            None => return,
+        };
+        self.stats.tx_aborted += 1;
+        for &p in &tx.participants {
+            let to = self.dn_node(p);
+            self.send_from(ctx, now, to, 48, ReleaseTx { tx: tx_id });
+        }
+        if respond {
+            self.respond(ctx, now, tx.client, TxResponse { tx: tx_id, body: RespBody::Aborted(reason) });
+        }
+    }
+
+    // --- LDM role ---------------------------------------------------------
+
+    fn serve_read(&mut self, ctx: &mut Ctx<'_>, requester: NodeId, req: &LdmReadReq) {
+        let costs = self.costs().clone();
+        let done = ctx.execute(lane::LDM, costs.ldm_read);
+        let data = self.store.get(&(req.table, req.key.pk)).and_then(|m| m.get(&req.key.suffix)).cloned();
+        self.stats.reads_served += 1;
+        let pid = self.view.pmap.partition_of(req.key.pk);
+        let rank = self.view.pmap.replica_rank(self.my_idx, pid).unwrap_or(u8::MAX);
+        *self.stats.reads_by_partition_rank.entry((req.table, pid.0, rank)).or_insert(0) += 1;
+        let bytes = 48 + data.as_ref().map_or(0, |d| d.len() as u64);
+        let resp = LdmReadResp { tx: req.tx, token: req.token, data };
+        self.send_from(ctx, done, requester, bytes, resp);
+    }
+
+    fn on_ldm_read(&mut self, ctx: &mut Ctx<'_>, from: NodeId, m: LdmReadReq) {
+        self.tx_coordinator.insert(m.tx, m.tc_idx);
+        if m.mode.is_locking() {
+            let acq = self.locks.acquire(m.tx, m.table, m.key.clone(), m.mode, m.token);
+            if !acq.is_granted() {
+                self.stats.lock_waits += 1;
+                self.lock_conts.insert((m.tx, m.token), LockCont::Read { requester: from, req: m });
+                return;
+            }
+        }
+        self.serve_read(ctx, from, &m);
+    }
+
+    fn on_ldm_scan(&mut self, ctx: &mut Ctx<'_>, from: NodeId, m: LdmScanReq) {
+        let costs = self.costs().clone();
+        self.tx_coordinator.insert(m.tx, m.tc_idx);
+        let rows: Vec<Row> = self
+            .store
+            .get(&(m.table, m.pk))
+            .map(|map| {
+                map.iter()
+                    .map(|(suffix, data)| Row {
+                        key: RowKey { pk: m.pk, suffix: suffix.clone() },
+                        data: data.clone(),
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        let cost = costs.ldm_scan_base + costs.ldm_scan_row * rows.len() as u64;
+        let done = ctx.execute(lane::LDM, cost);
+        self.stats.scans_served += 1;
+        let pid = self.view.pmap.partition_of(m.pk);
+        let rank = self.view.pmap.replica_rank(self.my_idx, pid).unwrap_or(u8::MAX);
+        *self.stats.reads_by_partition_rank.entry((m.table, pid.0, rank)).or_insert(0) += 1;
+        let bytes = 64 + rows.iter().map(Row::wire_size).sum::<u64>();
+        let resp = LdmScanResp { tx: m.tx, token: m.token, rows };
+        self.send_from(ctx, done, from, bytes, resp);
+    }
+
+    fn prepare_apply(&mut self, ctx: &mut Ctx<'_>, m: PrepareRow) {
+        let costs = self.costs().clone();
+        let done = ctx.execute(lane::LDM, costs.ldm_write);
+        self.stats.rows_prepared += 1;
+        self.pending_writes.insert((m.tx, m.token), m.op.clone());
+        let next_pos = m.pos as usize + 1;
+        if next_pos < m.chain.len() {
+            let to = self.dn_node(m.chain[next_pos]);
+            let bytes = 64 + m.op.wire_size();
+            let fwd = PrepareRow { pos: next_pos as u8, ..m };
+            self.send_from(ctx, done, to, bytes, fwd);
+        } else {
+            let to = self.dn_node(m.tc_idx);
+            self.send_from(ctx, done, to, 48, PreparedRow { tx: m.tx, token: m.token });
+        }
+    }
+
+    fn on_prepare_row(&mut self, ctx: &mut Ctx<'_>, _from: NodeId, m: PrepareRow) {
+        self.tx_coordinator.insert(m.tx, m.tc_idx);
+        self.row_of_token.insert((m.tx, m.token), (m.op.table(), m.op.key().clone()));
+        let acq = self.locks.acquire(m.tx, m.op.table(), m.op.key().clone(), LockMode::Exclusive, m.token);
+        if !acq.is_granted() {
+            self.stats.lock_waits += 1;
+            self.lock_conts.insert((m.tx, m.token), LockCont::Prepare(m));
+            return;
+        }
+        self.prepare_apply(ctx, m);
+    }
+
+    fn apply_write(&mut self, op: &WriteOp) {
+        match op {
+            WriteOp::Put { table, key, data } => {
+                self.store.entry((*table, key.pk)).or_default().insert(key.suffix.clone(), data.clone());
+            }
+            WriteOp::Delete { table, key } => {
+                if let Some(map) = self.store.get_mut(&(*table, key.pk)) {
+                    map.remove(&key.suffix);
+                    if map.is_empty() {
+                        self.store.remove(&(*table, key.pk));
+                    }
+                }
+            }
+        }
+        self.redo_pending += self.costs().redo_bytes_per_write;
+    }
+
+    fn on_commit_row(&mut self, ctx: &mut Ctx<'_>, _from: NodeId, m: CommitRow) {
+        let costs = self.costs().clone();
+        let done = ctx.execute(lane::LDM, costs.ldm_write / 2);
+        if let Some(op) = self.pending_writes.remove(&(m.tx, m.token)) {
+            self.apply_write(&op);
+            self.stats.rows_committed += 1;
+        }
+        if m.pos > 0 {
+            // Keep traveling the chain in reverse; backups keep their locks
+            // until Complete.
+            let next = m.chain[m.pos as usize - 1];
+            let to = self.dn_node(next);
+            let fwd = CommitRow { pos: m.pos - 1, ..m };
+            self.send_from(ctx, done, to, 72, fwd);
+        } else {
+            // Primary: commit point — release this row's lock and tell the TC.
+            if let Some((table, key)) = self.row_of_token.remove(&(m.tx, m.token)) {
+                let granted = self.locks.release_row(m.tx, table, &key);
+                self.resume_grants(ctx, granted);
+            }
+            let to = self.dn_node(m.tc_idx);
+            self.send_from(ctx, done, to, 48, CommittedRow { tx: m.tx, token: m.token });
+        }
+    }
+
+    fn on_complete_row(&mut self, ctx: &mut Ctx<'_>, _from: NodeId, m: CompleteRow) {
+        let costs = self.costs().clone();
+        let done = ctx.execute(lane::LDM, costs.ldm_scan_row);
+        self.pending_writes.remove(&(m.tx, m.token));
+        if let Some((table, key)) = self.row_of_token.remove(&(m.tx, m.token)) {
+            let granted = self.locks.release_row(m.tx, table, &key);
+            self.resume_grants(ctx, granted);
+        }
+        // Reply Completed to the TC (the sender of CompleteRow).
+        let to = _from;
+        self.send_from(ctx, done, to, 48, CompletedRow { tx: m.tx, token: m.token });
+    }
+
+    fn on_release_tx(&mut self, ctx: &mut Ctx<'_>, _from: NodeId, m: ReleaseTx) {
+        // Abandon queued lock requests and pending writes of the tx.
+        self.lock_conts.retain(|(tx, _), _| *tx != m.tx);
+        self.pending_writes.retain(|(tx, _), _| *tx != m.tx);
+        self.row_of_token.retain(|(tx, _), _| *tx != m.tx);
+        self.tx_coordinator.remove(&m.tx);
+        let granted = self.locks.release_all(m.tx);
+        self.resume_grants(ctx, granted);
+    }
+
+    fn resume_grants(&mut self, ctx: &mut Ctx<'_>, granted: Vec<Waiter>) {
+        for w in granted {
+            match self.lock_conts.remove(&(w.tx, w.token)) {
+                Some(LockCont::Read { requester, req }) => self.serve_read(ctx, requester, &req),
+                Some(LockCont::Prepare(m)) => self.prepare_apply(ctx, m),
+                None => {} // grant without continuation: re-entrant bookkeeping
+            }
+        }
+    }
+
+    // --- Membership, arbitration, maintenance ----------------------------
+
+    fn on_heartbeat(&mut self, ctx: &mut Ctx<'_>, _from: NodeId, m: Heartbeat) {
+        let idx = m.from as usize;
+        self.last_hb[idx] = ctx.now();
+        if !self.alive[idx] {
+            // Peer recovered (or partition healed).
+            self.alive[idx] = true;
+            self.recheck_cluster_viability();
+        }
+    }
+
+    fn on_tick_heartbeat(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        let t = &self.view.config.timeouts;
+        let interval = t.heartbeat_interval;
+        let deadline = interval * t.heartbeat_misses as u64;
+        let my = self.my_idx as u32;
+        for i in 0..self.view.datanode_count() {
+            if i == self.my_idx {
+                continue;
+            }
+            let to = self.dn_node(i as u32);
+            self.send_from(ctx, now, to, 32, Heartbeat { from: my });
+        }
+        let mut newly_dead = Vec::new();
+        for i in 0..self.view.datanode_count() {
+            if i == self.my_idx || !self.alive[i] {
+                continue;
+            }
+            if now.saturating_since(self.last_hb[i]) > deadline {
+                newly_dead.push(i);
+            }
+        }
+        for i in newly_dead {
+            self.on_peer_dead(ctx, i);
+        }
+        ctx.schedule(interval, TickHeartbeat);
+    }
+
+    fn recheck_cluster_viability(&mut self) {
+        let groups = self.view.config.node_group_count();
+        let mut down = false;
+        for g in 0..groups {
+            let members = self.view.config.group_members(g);
+            if members.clone().all(|i| !self.alive[i] && i != self.my_idx) {
+                down = true;
+            }
+        }
+        self.cluster_down = down;
+    }
+
+    fn on_peer_dead(&mut self, ctx: &mut Ctx<'_>, idx: usize) {
+        let now = ctx.now();
+        self.alive[idx] = false;
+        self.suspect_since = Some(now);
+
+        // TC role: abort transactions that involve the dead node.
+        let doomed: Vec<TxId> = self
+            .txs
+            .iter()
+            .filter(|(_, tx)| tx.participants.contains(&(idx as u32)))
+            .map(|(&id, _)| id)
+            .collect();
+        for tx in doomed {
+            self.abort_tx(ctx, tx, AbortReason::NodeFailure, true);
+        }
+
+        // LDM role / take-over: release locks of transactions coordinated by
+        // the dead node; their clients will time out and retry against a
+        // surviving coordinator.
+        let orphans: Vec<TxId> = self
+            .tx_coordinator
+            .iter()
+            .filter(|&(_, &tc)| tc as usize == idx)
+            .map(|(&tx, _)| tx)
+            .collect();
+        for tx in orphans {
+            self.tx_coordinator.remove(&tx);
+            self.lock_conts.retain(|(t, _), _| *t != tx);
+            self.pending_writes.retain(|(t, _), _| *t != tx);
+            self.row_of_token.retain(|(t, _), _| *t != tx);
+            let granted = self.locks.release_all(tx);
+            self.resume_grants(ctx, granted);
+        }
+
+        self.recheck_cluster_viability();
+
+        // Ask the arbitrator whether my side may survive (split-brain guard).
+        // The request is delayed one suspicion window so the cohort reflects
+        // the *settled* partition, not just the first peer to miss a beat.
+        if !self.arb_requested {
+            self.arb_requested = true;
+            let t = &self.view.config.timeouts;
+            let settle = t.heartbeat_interval * (t.heartbeat_misses as u64 + 1);
+            ctx.schedule(settle, ArbRequestDue);
+        }
+        let _ = now;
+    }
+
+    fn on_arb_request_due(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        let cohort: Vec<u32> = (0..self.view.datanode_count())
+            .filter(|&i| self.alive[i] || i == self.my_idx)
+            .map(|i| i as u32)
+            .collect();
+        let to = self.view.mgmt_ids[self.current_arb];
+        self.send_from(ctx, now, to, 64, ArbRequest { from: self.my_idx as u32, cohort });
+    }
+
+    fn on_tick_arbitration(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        let t = &self.view.config.timeouts;
+        if self.last_arb_pong == SimTime::ZERO {
+            self.last_arb_pong = now; // grace period at startup
+        }
+        let silent = now.saturating_since(self.last_arb_pong);
+        if silent > t.arbitration_timeout {
+            // Try the next management node.
+            self.current_arb = (self.current_arb + 1) % self.view.mgmt_ids.len();
+            if self.suspect_since.is_some() && silent > t.arbitration_timeout * 2 {
+                // §IV-A2: nodes that cannot reach the arbitrator during a
+                // suspected partition shut down gracefully.
+                self.shutting_down = true;
+                ctx.shutdown_self();
+                return;
+            }
+        }
+        let to = self.view.mgmt_ids[self.current_arb];
+        self.send_from(ctx, now, to, 32, ArbPing { from: self.my_idx as u32 });
+        ctx.schedule(t.arbitration_interval, TickArbitration);
+    }
+
+    fn on_tick_gcp(&mut self, ctx: &mut Ctx<'_>) {
+        let t = self.view.config.timeouts.gcp_interval;
+        if self.redo_pending > 0 {
+            let bytes = std::mem::take(&mut self.redo_pending);
+            ctx.execute(lane::IO, SimDuration::from_micros(20));
+            ctx.execute(lane::MAIN, SimDuration::from_micros(10));
+            ctx.disk_io(DiskOp::Write, bytes);
+        }
+        ctx.schedule(t, TickGcp);
+    }
+
+    fn on_tick_tx_sweep(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        let t = self.view.config.timeouts.clone();
+        let mut lock_timeouts = Vec::new();
+        let mut inactive = Vec::new();
+        for (&id, tx) in &self.txs {
+            match tx.phase {
+                TcPhase::Reading | TcPhase::Scanning | TcPhase::Preparing => {
+                    if now.saturating_since(tx.step_started) > t.transaction_deadlock_detection {
+                        lock_timeouts.push(id);
+                    }
+                }
+                TcPhase::Committing | TcPhase::Completing => {
+                    // Past the commit point we only give up on node failure
+                    // (much longer fuse) — outcome is ambiguous for the client.
+                    if now.saturating_since(tx.step_started) > t.transaction_deadlock_detection * 6 {
+                        lock_timeouts.push(id);
+                    }
+                }
+                TcPhase::Idle => {
+                    if now.saturating_since(tx.last_activity) > t.transaction_inactive {
+                        inactive.push(id);
+                    }
+                }
+            }
+        }
+        for id in lock_timeouts {
+            self.abort_tx(ctx, id, AbortReason::LockTimeout, true);
+        }
+        for id in inactive {
+            self.abort_tx(ctx, id, AbortReason::Inactive, false);
+        }
+        ctx.schedule(t.transaction_deadlock_detection / 2, TickTxSweep);
+    }
+
+    fn on_arb_pong(&mut self, ctx: &mut Ctx<'_>) {
+        self.last_arb_pong = ctx.now();
+    }
+
+    fn on_arb_grant(&mut self, _ctx: &mut Ctx<'_>) {
+        self.arb_requested = false;
+        self.suspect_since = None;
+    }
+
+    fn on_arb_shutdown(&mut self, ctx: &mut Ctx<'_>) {
+        self.shutting_down = true;
+        ctx.shutdown_self();
+    }
+}
+
+impl Actor for DatanodeActor {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        let t = self.view.config.timeouts.clone();
+        for i in 0..self.last_hb.len() {
+            self.last_hb[i] = now;
+        }
+        self.last_arb_pong = now;
+        ctx.schedule(t.heartbeat_interval, TickHeartbeat);
+        ctx.schedule(t.arbitration_interval, TickArbitration);
+        ctx.schedule(t.gcp_interval, TickGcp);
+        ctx.schedule(t.transaction_deadlock_detection / 2, TickTxSweep);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, from: NodeId, msg: Box<dyn Payload>) {
+        if from != ctx.me() {
+            self.charge_net_in(ctx);
+        }
+        let any = msg.into_any();
+        let any = match any.downcast::<TxRequest>() {
+            Ok(m) => return self.on_tx_request(ctx, from, *m),
+            Err(m) => m,
+        };
+        let any = match any.downcast::<LdmReadReq>() {
+            Ok(m) => return self.on_ldm_read(ctx, from, *m),
+            Err(m) => m,
+        };
+        let any = match any.downcast::<LdmReadResp>() {
+            Ok(m) => return self.on_ldm_read_resp(ctx, from, *m),
+            Err(m) => m,
+        };
+        let any = match any.downcast::<LdmScanReq>() {
+            Ok(m) => return self.on_ldm_scan(ctx, from, *m),
+            Err(m) => m,
+        };
+        let any = match any.downcast::<LdmScanResp>() {
+            Ok(m) => return self.on_ldm_scan_resp(ctx, from, *m),
+            Err(m) => m,
+        };
+        let any = match any.downcast::<PrepareRow>() {
+            Ok(m) => return self.on_prepare_row(ctx, from, *m),
+            Err(m) => m,
+        };
+        let any = match any.downcast::<PreparedRow>() {
+            Ok(m) => return self.on_prepared_row(ctx, from, *m),
+            Err(m) => m,
+        };
+        let any = match any.downcast::<CommitRow>() {
+            Ok(m) => return self.on_commit_row(ctx, from, *m),
+            Err(m) => m,
+        };
+        let any = match any.downcast::<CommittedRow>() {
+            Ok(m) => return self.on_committed_row(ctx, from, *m),
+            Err(m) => m,
+        };
+        let any = match any.downcast::<CompleteRow>() {
+            Ok(m) => return self.on_complete_row(ctx, from, *m),
+            Err(m) => m,
+        };
+        let any = match any.downcast::<CompletedRow>() {
+            Ok(m) => return self.on_completed_row(ctx, from, *m),
+            Err(m) => m,
+        };
+        let any = match any.downcast::<ReleaseTx>() {
+            Ok(m) => return self.on_release_tx(ctx, from, *m),
+            Err(m) => m,
+        };
+        let any = match any.downcast::<Heartbeat>() {
+            Ok(m) => return self.on_heartbeat(ctx, from, *m),
+            Err(m) => m,
+        };
+        let any = match any.downcast::<ReadsFlush>() {
+            Ok(m) => return self.tc_finish_reads(ctx, m.tx),
+            Err(m) => m,
+        };
+        let any = match any.downcast::<TickHeartbeat>() {
+            Ok(_) => return self.on_tick_heartbeat(ctx),
+            Err(m) => m,
+        };
+        let any = match any.downcast::<TickArbitration>() {
+            Ok(_) => return self.on_tick_arbitration(ctx),
+            Err(m) => m,
+        };
+        let any = match any.downcast::<TickGcp>() {
+            Ok(_) => return self.on_tick_gcp(ctx),
+            Err(m) => m,
+        };
+        let any = match any.downcast::<TickTxSweep>() {
+            Ok(_) => return self.on_tick_tx_sweep(ctx),
+            Err(m) => m,
+        };
+        let any = match any.downcast::<ArbRequestDue>() {
+            Ok(_) => return self.on_arb_request_due(ctx),
+            Err(m) => m,
+        };
+        let any = match any.downcast::<ArbPong>() {
+            Ok(_) => return self.on_arb_pong(ctx),
+            Err(m) => m,
+        };
+        let any = match any.downcast::<ArbGrant>() {
+            Ok(_) => return self.on_arb_grant(ctx),
+            Err(m) => m,
+        };
+        match any.downcast::<ArbShutdown>() {
+            Ok(_) => self.on_arb_shutdown(ctx),
+            Err(m) => debug_assert!(false, "datanode got unknown message {m:?}"),
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}

@@ -1,0 +1,335 @@
+//! Wire messages of the NDB protocols: the client transaction API, the
+//! linear-2PC commit chain (Figure 2 of the paper), heartbeats and
+//! arbitration.
+
+use crate::locks::TxId;
+use crate::schema::{LockMode, PartitionKey, Row, RowKey, TableId};
+use bytes::Bytes;
+
+/// One read in a transaction step.
+#[derive(Debug, Clone)]
+pub struct ReadSpec {
+    /// Table to read from.
+    pub table: TableId,
+    /// Row key.
+    pub key: RowKey,
+    /// Lock mode: read-committed (lock-free, backup-eligible) or locked
+    /// (always served by the primary).
+    pub mode: LockMode,
+}
+
+/// One buffered write in a transaction.
+#[derive(Debug, Clone)]
+pub enum WriteOp {
+    /// Insert or overwrite a row.
+    Put {
+        /// Target table.
+        table: TableId,
+        /// Row key.
+        key: RowKey,
+        /// New payload.
+        data: Bytes,
+    },
+    /// Delete a row (idempotent).
+    Delete {
+        /// Target table.
+        table: TableId,
+        /// Row key.
+        key: RowKey,
+    },
+}
+
+impl WriteOp {
+    /// Target table of the write.
+    pub fn table(&self) -> TableId {
+        match self {
+            WriteOp::Put { table, .. } | WriteOp::Delete { table, .. } => *table,
+        }
+    }
+
+    /// Row key of the write.
+    pub fn key(&self) -> &RowKey {
+        match self {
+            WriteOp::Put { key, .. } | WriteOp::Delete { key, .. } => key,
+        }
+    }
+
+    /// Approximate wire size in bytes.
+    pub fn wire_size(&self) -> u64 {
+        match self {
+            WriteOp::Put { key, data, .. } => 16 + key.wire_size() + data.len() as u64,
+            WriteOp::Delete { key, .. } => 16 + key.wire_size(),
+        }
+    }
+}
+
+/// Body of a client transaction step.
+#[derive(Debug, Clone)]
+pub enum TxBody {
+    /// Execute a batch of point reads.
+    Read(Vec<ReadSpec>),
+    /// Scan all rows with a given partition key (read-committed).
+    Scan {
+        /// Table to scan.
+        table: TableId,
+        /// Partition key selecting the rows.
+        pk: PartitionKey,
+    },
+    /// Buffer writes (applied at commit through the 2PC chains).
+    Write(Vec<WriteOp>),
+    /// Commit the transaction.
+    Commit,
+    /// Abort the transaction and release its locks.
+    Abort,
+}
+
+/// Client → coordinator transaction step.
+#[derive(Debug, Clone)]
+pub struct TxRequest {
+    /// Transaction id.
+    pub tx: TxId,
+    /// Distribution-awareness hint the transaction was started with.
+    pub hint: Option<(TableId, PartitionKey)>,
+    /// Step body.
+    pub body: TxBody,
+}
+
+/// Why a transaction was aborted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbortReason {
+    /// Lock wait exceeded `TransactionDeadlockDetectionTimeout`.
+    LockTimeout,
+    /// Client went quiet past `TransactionInactiveTimeout`.
+    Inactive,
+    /// A participant datanode failed mid-transaction.
+    NodeFailure,
+    /// A whole node group is down; the cluster cannot serve transactions.
+    ClusterDown,
+    /// The coordinator is shutting down (arbitration loss).
+    Shutdown,
+    /// Client aborted voluntarily.
+    ClientAbort,
+}
+
+/// Coordinator → client response body.
+#[derive(Debug, Clone)]
+pub enum RespBody {
+    /// Read results, one per [`ReadSpec`] in request order (`None` = absent row).
+    Rows(Vec<Option<Bytes>>),
+    /// Scan results.
+    ScanRows(Vec<Row>),
+    /// Writes buffered.
+    WriteAck,
+    /// Transaction committed (and for Read Backup / fully replicated tables,
+    /// completed on every replica).
+    Committed,
+    /// Transaction aborted; all locks released.
+    Aborted(AbortReason),
+}
+
+/// Coordinator → client transaction response.
+#[derive(Debug, Clone)]
+pub struct TxResponse {
+    /// Transaction id.
+    pub tx: TxId,
+    /// Response body.
+    pub body: RespBody,
+}
+
+impl TxResponse {
+    /// Approximate wire size in bytes.
+    pub fn wire_size(&self) -> u64 {
+        match &self.body {
+            RespBody::Rows(rows) => {
+                64 + rows.iter().map(|r| r.as_ref().map_or(1, |b| b.len() as u64 + 5)).sum::<u64>()
+            }
+            RespBody::ScanRows(rows) => 64 + rows.iter().map(Row::wire_size).sum::<u64>(),
+            _ => 64,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Datanode-internal protocol (TC role <-> LDM role).
+// ---------------------------------------------------------------------------
+
+/// TC → LDM: execute one read (possibly acquiring a row lock).
+#[derive(Debug, Clone)]
+pub struct LdmReadReq {
+    /// Transaction.
+    pub tx: TxId,
+    /// Coordinator continuation token.
+    pub token: u64,
+    /// Table.
+    pub table: TableId,
+    /// Row key.
+    pub key: RowKey,
+    /// Lock mode.
+    pub mode: LockMode,
+    /// Datanode index of the coordinator (for take-over bookkeeping).
+    pub tc_idx: u32,
+}
+
+/// LDM → TC: read result.
+#[derive(Debug, Clone)]
+pub struct LdmReadResp {
+    /// Transaction.
+    pub tx: TxId,
+    /// Continuation token from the request.
+    pub token: u64,
+    /// Row payload, `None` if absent.
+    pub data: Option<Bytes>,
+}
+
+/// TC → LDM: partition-pruned scan.
+#[derive(Debug, Clone)]
+pub struct LdmScanReq {
+    /// Transaction.
+    pub tx: TxId,
+    /// Coordinator continuation token.
+    pub token: u64,
+    /// Table.
+    pub table: TableId,
+    /// Partition key selecting rows.
+    pub pk: PartitionKey,
+    /// Datanode index of the coordinator.
+    pub tc_idx: u32,
+}
+
+/// LDM → TC: scan result.
+#[derive(Debug, Clone)]
+pub struct LdmScanResp {
+    /// Transaction.
+    pub tx: TxId,
+    /// Continuation token.
+    pub token: u64,
+    /// Matching rows.
+    pub rows: Vec<Row>,
+}
+
+/// Linear-2PC `Prepare`, traveling down the replica chain
+/// (primary → backup → backup; the last replica reports `Prepared` to the TC).
+#[derive(Debug, Clone)]
+pub struct PrepareRow {
+    /// Transaction.
+    pub tx: TxId,
+    /// Coordinator continuation token (one per written row).
+    pub token: u64,
+    /// Replica chain as datanode indices, primary first.
+    pub chain: Vec<u32>,
+    /// This hop's position in the chain.
+    pub pos: u8,
+    /// The write to prepare.
+    pub op: WriteOp,
+    /// Datanode index of the coordinator.
+    pub tc_idx: u32,
+}
+
+/// Last replica → TC: the row is prepared on the whole chain.
+#[derive(Debug, Clone)]
+pub struct PreparedRow {
+    /// Transaction.
+    pub tx: TxId,
+    /// Continuation token.
+    pub token: u64,
+}
+
+/// Linear-2PC `Commit`, traveling the chain in reverse
+/// (last backup → … → primary). Backups apply and keep their locks; the
+/// primary applies, releases its locks, and reports `Committed` to the TC.
+#[derive(Debug, Clone)]
+pub struct CommitRow {
+    /// Transaction.
+    pub tx: TxId,
+    /// Continuation token.
+    pub token: u64,
+    /// Replica chain (same as the prepare chain).
+    pub chain: Vec<u32>,
+    /// This hop's position (runs `chain.len()-1` down to 0).
+    pub pos: u8,
+    /// Datanode index of the coordinator.
+    pub tc_idx: u32,
+}
+
+/// Primary → TC: the row is committed.
+#[derive(Debug, Clone)]
+pub struct CommittedRow {
+    /// Transaction.
+    pub tx: TxId,
+    /// Continuation token.
+    pub token: u64,
+}
+
+/// TC → backups: release locks and clean transaction state for the row.
+#[derive(Debug, Clone)]
+pub struct CompleteRow {
+    /// Transaction.
+    pub tx: TxId,
+    /// Continuation token.
+    pub token: u64,
+}
+
+/// Backup → TC: completion acknowledged. With Read Backup / fully replicated
+/// tables the TC only Acks the client after all of these (§IV-A3: the Ack
+/// becomes message 14 instead of 10 in Figure 2).
+#[derive(Debug, Clone)]
+pub struct CompletedRow {
+    /// Transaction.
+    pub tx: TxId,
+    /// Continuation token.
+    pub token: u64,
+}
+
+/// TC → participants: abort/cleanup — release all locks of the transaction.
+#[derive(Debug, Clone)]
+pub struct ReleaseTx {
+    /// Transaction to release.
+    pub tx: TxId,
+}
+
+// ---------------------------------------------------------------------------
+// Membership, heartbeats, arbitration.
+// ---------------------------------------------------------------------------
+
+/// Datanode ↔ datanode liveness heartbeat.
+#[derive(Debug, Clone, Copy)]
+pub struct Heartbeat {
+    /// Sender's datanode index.
+    pub from: u32,
+}
+
+/// Datanode → management node liveness probe.
+#[derive(Debug, Clone, Copy)]
+pub struct ArbPing {
+    /// Sender's datanode index.
+    pub from: u32,
+}
+
+/// Management node → datanode probe response (only sent by the node that
+/// currently believes it is the active arbitrator).
+#[derive(Debug, Clone, Copy)]
+pub struct ArbPong;
+
+/// Datanode → arbitrator: "I suspect these peers; may my side survive?"
+#[derive(Debug, Clone)]
+pub struct ArbRequest {
+    /// Requester's datanode index.
+    pub from: u32,
+    /// Datanode indices the requester believes alive (its cohort).
+    pub cohort: Vec<u32>,
+}
+
+/// Arbitrator → datanode: survive.
+#[derive(Debug, Clone, Copy)]
+pub struct ArbGrant;
+
+/// Arbitrator → datanode: you lost arbitration; shut down gracefully.
+#[derive(Debug, Clone, Copy)]
+pub struct ArbShutdown;
+
+/// Management ↔ management heartbeat (for arbitrator failover).
+#[derive(Debug, Clone, Copy)]
+pub struct MgmtHeartbeat {
+    /// Sender's index in the management list.
+    pub from: u32,
+}

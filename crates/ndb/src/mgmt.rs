@@ -1,0 +1,159 @@
+//! Management node actor: configuration anchor and, crucially, the
+//! **arbitrator** that resolves split-brain scenarios (§IV-A2).
+//!
+//! During a network partition, the first cohort of datanodes to reach the
+//! active arbitrator wins; datanodes outside the winning cohort are told to
+//! shut down, and datanodes that cannot reach any arbitrator at all shut
+//! themselves down. Management nodes heartbeat each other so that the
+//! arbitrator role fails over (lowest-index alive management node wins).
+
+use crate::messages::{ArbGrant, ArbPing, ArbPong, ArbRequest, ArbShutdown, MgmtHeartbeat};
+use simnet::{Actor, Ctx, NodeId, Payload, SimDuration, SimTime};
+use std::any::Any;
+use std::collections::HashSet;
+
+#[derive(Debug)]
+struct TickMgmt;
+
+/// How long a decided arbitration episode stays authoritative before the
+/// arbitrator forgets it (allows re-forming after recovery).
+const EPISODE_TTL: SimDuration = SimDuration::from_secs(5);
+
+/// The management-node actor.
+pub struct MgmtActor {
+    /// My index in the management list (0 = default arbitrator).
+    my_rank: usize,
+    /// All management node ids, rank order.
+    mgmt_ids: Vec<NodeId>,
+    /// Heartbeat period between management nodes.
+    interval: SimDuration,
+    /// Last heartbeat seen per management peer.
+    last_hb: Vec<SimTime>,
+    /// The cohort granted survival in the current episode, if any.
+    episode: Option<(HashSet<u32>, SimTime)>,
+    /// Grants issued (for tests).
+    pub grants: u64,
+    /// Shutdown orders issued (for tests).
+    pub shutdowns: u64,
+}
+
+impl MgmtActor {
+    /// Creates the management actor with the given rank among `mgmt_ids`.
+    pub fn new(my_rank: usize, mgmt_ids: Vec<NodeId>, interval: SimDuration) -> Self {
+        let n = mgmt_ids.len();
+        MgmtActor {
+            my_rank,
+            mgmt_ids,
+            interval,
+            last_hb: vec![SimTime::ZERO; n],
+            episode: None,
+            grants: 0,
+            shutdowns: 0,
+        }
+    }
+
+    /// Whether this node currently believes it is the active arbitrator:
+    /// every lower-ranked management node looks dead to it.
+    fn is_active(&self, now: SimTime) -> bool {
+        let deadline = self.interval * 4;
+        (0..self.my_rank).all(|r| now.saturating_since(self.last_hb[r]) > deadline)
+    }
+
+    fn episode_cohort(&mut self, now: SimTime) -> Option<&HashSet<u32>> {
+        if let Some((_, at)) = &self.episode {
+            if now.saturating_since(*at) > EPISODE_TTL {
+                self.episode = None;
+            }
+        }
+        self.episode.as_ref().map(|(c, _)| c)
+    }
+
+    fn on_tick(&mut self, ctx: &mut Ctx<'_>) {
+        let me = self.my_rank as u32;
+        for (r, &id) in self.mgmt_ids.iter().enumerate() {
+            if r != self.my_rank {
+                ctx.send_sized(id, 32, MgmtHeartbeat { from: me });
+            }
+        }
+        ctx.schedule(self.interval, TickMgmt);
+    }
+
+    fn on_ping(&mut self, ctx: &mut Ctx<'_>, from_node: NodeId, m: ArbPing) {
+        let now = ctx.now();
+        if !self.is_active(now) {
+            return; // only the active arbitrator answers
+        }
+        // If an episode has been decided and this datanode lost, order it down.
+        if let Some(cohort) = self.episode_cohort(now) {
+            if !cohort.contains(&m.from) {
+                self.shutdowns += 1;
+                ctx.send_sized(from_node, 32, ArbShutdown);
+                return;
+            }
+        }
+        ctx.send_sized(from_node, 32, ArbPong);
+    }
+
+    fn on_request(&mut self, ctx: &mut Ctx<'_>, from_node: NodeId, m: ArbRequest) {
+        let now = ctx.now();
+        if !self.is_active(now) {
+            return;
+        }
+        match self.episode_cohort(now) {
+            None => {
+                // First cohort to ask wins the episode (§IV-A2: "the
+                // arbitrator accepts the first set of database nodes to
+                // contact it and tells the remaining set to shutdown").
+                self.episode = Some((m.cohort.iter().copied().collect(), now));
+                self.grants += 1;
+                ctx.send_sized(from_node, 32, ArbGrant);
+            }
+            Some(cohort) => {
+                if cohort.contains(&m.from) {
+                    self.grants += 1;
+                    ctx.send_sized(from_node, 32, ArbGrant);
+                } else {
+                    self.shutdowns += 1;
+                    ctx.send_sized(from_node, 32, ArbShutdown);
+                }
+            }
+        }
+    }
+}
+
+impl Actor for MgmtActor {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        for t in &mut self.last_hb {
+            *t = now;
+        }
+        ctx.schedule(self.interval, TickMgmt);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, from: NodeId, msg: Box<dyn Payload>) {
+        let any = msg.into_any();
+        let any = match any.downcast::<ArbPing>() {
+            Ok(m) => return self.on_ping(ctx, from, *m),
+            Err(m) => m,
+        };
+        let any = match any.downcast::<ArbRequest>() {
+            Ok(m) => return self.on_request(ctx, from, *m),
+            Err(m) => m,
+        };
+        let any = match any.downcast::<MgmtHeartbeat>() {
+            Ok(m) => {
+                self.last_hb[m.from as usize] = ctx.now();
+                return;
+            }
+            Err(m) => m,
+        };
+        match any.downcast::<TickMgmt>() {
+            Ok(_) => self.on_tick(ctx),
+            Err(m) => debug_assert!(false, "mgmt got unknown message {m:?}"),
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}

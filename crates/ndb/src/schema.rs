@@ -1,0 +1,223 @@
+//! Tables, rows, keys and the table options the paper introduces
+//! (`Read Backup`, `Fully Replicated`).
+
+use bytes::Bytes;
+use std::fmt;
+
+/// Identifier of a table in the schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TableId(pub u16);
+
+impl fmt::Display for TableId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// The partitioning component of a row key (NDB's application-defined
+/// partitioning "partition key" / distribution-awareness hint).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PartitionKey(pub u64);
+
+/// Full primary key of a row: the partition key plus a unique suffix within
+/// it (e.g. HopsFS inodes are keyed by `(parent_id, name)` with `parent_id`
+/// as the partition key).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RowKey {
+    /// Partitioning component.
+    pub pk: PartitionKey,
+    /// Unique suffix within the partition key.
+    pub suffix: Bytes,
+}
+
+impl RowKey {
+    /// Key with an empty suffix (single row per partition key).
+    pub fn simple(pk: u64) -> Self {
+        RowKey { pk: PartitionKey(pk), suffix: Bytes::new() }
+    }
+
+    /// Key with a byte-string suffix.
+    pub fn with_suffix(pk: u64, suffix: impl Into<Bytes>) -> Self {
+        RowKey { pk: PartitionKey(pk), suffix: suffix.into() }
+    }
+
+    /// Key with a `u64` suffix (e.g. a block index).
+    pub fn with_u64(pk: u64, suffix: u64) -> Self {
+        RowKey { pk: PartitionKey(pk), suffix: Bytes::copy_from_slice(&suffix.to_le_bytes()) }
+    }
+
+    /// Approximate wire size of the key in bytes.
+    pub fn wire_size(&self) -> u64 {
+        8 + self.suffix.len() as u64
+    }
+}
+
+/// The table options introduced by the paper (§IV-A3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TableOptions {
+    /// `Read Backup`: read-committed reads may be served consistently by
+    /// backup replicas; the commit protocol delays the client Ack until all
+    /// backups have completed.
+    pub read_backup: bool,
+    /// `Fully Replicated`: the table's partitions are replicated on every
+    /// node group; writes chain across all of them.
+    pub fully_replicated: bool,
+}
+
+impl TableOptions {
+    /// Whether committing a write to this table must delay the Ack until the
+    /// `Completed` messages arrive from every backup replica (§IV-A3).
+    pub fn delayed_ack(&self) -> bool {
+        self.read_backup || self.fully_replicated
+    }
+}
+
+/// Definition of one table.
+#[derive(Debug, Clone)]
+pub struct TableDef {
+    /// Table id (index into the schema).
+    pub id: TableId,
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Paper table options.
+    pub options: TableOptions,
+}
+
+/// The cluster schema: a fixed set of tables registered at bootstrap on all
+/// datanodes (DDL is out of scope; HopsFS creates its schema once).
+#[derive(Debug, Clone, Default)]
+pub struct Schema {
+    tables: Vec<TableDef>,
+}
+
+impl Schema {
+    /// An empty schema.
+    pub fn new() -> Self {
+        Schema { tables: Vec::new() }
+    }
+
+    /// Registers a table and returns its id.
+    pub fn add_table(&mut self, name: &'static str, options: TableOptions) -> TableId {
+        let id = TableId(self.tables.len() as u16);
+        self.tables.push(TableDef { id, name, options });
+        id
+    }
+
+    /// Looks up a table definition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is unknown.
+    pub fn table(&self, id: TableId) -> &TableDef {
+        &self.tables[id.0 as usize]
+    }
+
+    /// Number of tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Whether the schema has no tables.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// Iterates over all table definitions.
+    pub fn iter(&self) -> impl Iterator<Item = &TableDef> {
+        self.tables.iter()
+    }
+
+    /// Enables `Read Backup` on every table, as HopsFS-CL does (§IV-A5:
+    /// "in HopsFS-CL, we ensure that all the tables are Read Backup
+    /// enabled").
+    pub fn enable_read_backup_everywhere(&mut self) {
+        for t in &mut self.tables {
+            t.options.read_backup = true;
+        }
+    }
+}
+
+/// A stored row: opaque payload owned by the application (HopsFS encodes its
+/// metadata records with `ndb::codec`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Row {
+    /// Full primary key.
+    pub key: RowKey,
+    /// Application payload.
+    pub data: Bytes,
+}
+
+impl Row {
+    /// Approximate wire size in bytes.
+    pub fn wire_size(&self) -> u64 {
+        self.key.wire_size() + self.data.len() as u64
+    }
+}
+
+/// Lock modes supported by the row lock manager.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LockMode {
+    /// No lock: read-committed (may be routed to a backup replica when the
+    /// table is Read Backup enabled).
+    ReadCommitted,
+    /// Shared row lock; always served by the primary replica.
+    Shared,
+    /// Exclusive row lock; always served by the primary replica.
+    Exclusive,
+}
+
+impl LockMode {
+    /// Whether this mode takes a row lock.
+    pub fn is_locking(self) -> bool {
+        !matches!(self, LockMode::ReadCommitted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_registration() {
+        let mut s = Schema::new();
+        let a = s.add_table("inodes", TableOptions::default());
+        let b = s.add_table("blocks", TableOptions { read_backup: true, fully_replicated: false });
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.table(a).name, "inodes");
+        assert!(s.table(b).options.read_backup);
+        assert!(!s.table(a).options.read_backup);
+    }
+
+    #[test]
+    fn read_backup_everywhere() {
+        let mut s = Schema::new();
+        s.add_table("a", TableOptions::default());
+        s.add_table("b", TableOptions::default());
+        s.enable_read_backup_everywhere();
+        assert!(s.iter().all(|t| t.options.read_backup));
+    }
+
+    #[test]
+    fn delayed_ack_per_options() {
+        assert!(!TableOptions::default().delayed_ack());
+        assert!(TableOptions { read_backup: true, fully_replicated: false }.delayed_ack());
+        assert!(TableOptions { read_backup: false, fully_replicated: true }.delayed_ack());
+    }
+
+    #[test]
+    fn row_keys_order_and_size() {
+        let a = RowKey::with_suffix(1, &b"alpha"[..]);
+        let b = RowKey::with_suffix(1, &b"beta"[..]);
+        assert!(a < b);
+        assert_eq!(a.wire_size(), 13);
+        assert_eq!(RowKey::simple(9).wire_size(), 8);
+        assert_eq!(RowKey::with_u64(1, 2).wire_size(), 16);
+    }
+
+    #[test]
+    fn lock_mode_classification() {
+        assert!(!LockMode::ReadCommitted.is_locking());
+        assert!(LockMode::Shared.is_locking());
+        assert!(LockMode::Exclusive.is_locking());
+    }
+}

@@ -1,0 +1,60 @@
+//! Shared static view of a deployed cluster: configuration, schema,
+//! partition map, and the simulation ids/locations of every process.
+//!
+//! Built once by the deployment layer and shared (via `Arc`) by datanodes
+//! and clients. Liveness is *not* part of the view — every participant
+//! tracks that dynamically from heartbeats and timeouts.
+
+use crate::config::ClusterConfig;
+use crate::partition::PartitionMap;
+use crate::schema::Schema;
+use simnet::{AzId, Location, NodeId};
+use std::sync::Arc;
+
+/// Immutable, deployment-wide cluster knowledge.
+#[derive(Debug)]
+pub struct ClusterView {
+    /// Cluster configuration (datanodes in node-group order).
+    pub config: ClusterConfig,
+    /// The registered schema.
+    pub schema: Schema,
+    /// Partition-to-replica mapping.
+    pub pmap: PartitionMap,
+    /// Simulation node id of each datanode, index-aligned with
+    /// [`ClusterConfig::datanodes`].
+    pub datanode_ids: Vec<NodeId>,
+    /// Placement of each datanode.
+    pub datanode_locations: Vec<Location>,
+    /// Management nodes in arbitration-preference order (first = default
+    /// arbitrator).
+    pub mgmt_ids: Vec<NodeId>,
+}
+
+impl ClusterView {
+    /// Datanode count.
+    pub fn datanode_count(&self) -> usize {
+        self.datanode_ids.len()
+    }
+
+    /// Index of a datanode given its simulation id, if it is one.
+    pub fn index_of(&self, id: NodeId) -> Option<usize> {
+        self.datanode_ids.iter().position(|&n| n == id)
+    }
+
+    /// The effective AZ of a datanode for *AZ-awareness decisions*: its
+    /// `LocationDomainId` if configured, else `None` (the node is somewhere,
+    /// but the database cannot use that knowledge).
+    pub fn domain_of(&self, idx: usize) -> Option<AzId> {
+        self.config.datanodes[idx].location_domain_id
+    }
+
+    /// Physical location of a datanode.
+    pub fn location_of(&self, idx: usize) -> Location {
+        self.datanode_locations[idx]
+    }
+
+    /// Convenience: wraps in an `Arc`.
+    pub fn shared(self) -> Arc<ClusterView> {
+        Arc::new(self)
+    }
+}

@@ -1,0 +1,516 @@
+//! End-to-end protocol tests: transactions running through the full
+//! client → TC → LDM chain machinery on a simulated 3-AZ cluster.
+
+use bytes::Bytes;
+use ndb::testkit::{add_client, ProgStep, ScriptClient, TxProgram};
+use ndb::{
+    ClusterConfig, LockMode, NdbCluster, ReadSpec, RowKey, Schema, TableId, TableOptions, WriteOp,
+};
+use simnet::{AzId, Location, NodeId, SimDuration, SimTime, Simulation};
+
+const AZS: [AzId; 3] = [AzId(0), AzId(1), AzId(2)];
+
+struct Harness {
+    sim: Simulation,
+    cluster: NdbCluster,
+}
+
+fn harness(read_backup: bool, fully_replicated: bool, n: usize, r: usize) -> (Harness, TableId) {
+    let mut schema = Schema::new();
+    let t = schema.add_table("t", TableOptions { read_backup, fully_replicated });
+    let cfg = ClusterConfig::az_aware(n, r, &AZS);
+    let mut sim = Simulation::new(7);
+    sim.set_jitter(0.0);
+    let cluster = ndb::build_cluster(&mut sim, cfg, schema, &AZS);
+    (Harness { sim, cluster }, t)
+}
+
+fn client_at(h: &mut Harness, az: u8, programs: Vec<TxProgram>) -> NodeId {
+    let host = h.sim.node_count() as u32 + 1000;
+    add_client(
+        &mut h.sim,
+        std::sync::Arc::clone(&h.cluster.view),
+        Location { az: AzId(az), host: simnet::HostId(host) },
+        Some(AzId(az)),
+        programs,
+    )
+}
+
+fn put(t: TableId, pk: u64, suffix: &str, val: &str) -> WriteOp {
+    WriteOp::Put {
+        table: t,
+        key: RowKey::with_suffix(pk, suffix.as_bytes().to_vec()),
+        data: Bytes::copy_from_slice(val.as_bytes()),
+    }
+}
+
+fn read(t: TableId, pk: u64, suffix: &str, mode: LockMode) -> ReadSpec {
+    ReadSpec { table: t, key: RowKey::with_suffix(pk, suffix.as_bytes().to_vec()), mode }
+}
+
+fn run_until_done(h: &mut Harness, clients: &[NodeId], limit: SimTime) {
+    let mut t = h.sim.now();
+    while t < limit {
+        t += SimDuration::from_millis(20);
+        h.sim.run_until(t);
+        if clients.iter().all(|&c| h.sim.actor::<ScriptClient>(c).is_done()) {
+            return;
+        }
+    }
+    panic!("clients did not finish by {limit}");
+}
+
+#[test]
+fn write_commits_and_replicates_to_all_replicas() {
+    let (mut h, t) = harness(true, false, 6, 3);
+    let c = client_at(
+        &mut h,
+        0,
+        vec![TxProgram::new(
+            Some((t, ndb::PartitionKey(42))),
+            vec![ProgStep::Write(vec![put(t, 42, "k", "v")]), ProgStep::Commit],
+        )],
+    );
+    run_until_done(&mut h, &[c], SimTime::from_secs(5));
+    let out = &h.sim.actor::<ScriptClient>(c).outcomes;
+    assert_eq!(out.len(), 1);
+    assert!(out[0].committed, "{:?}", out[0]);
+    // All three replicas of the row's partition hold the value. Because the
+    // table is Read Backup enabled, the Ack was delayed until every backup
+    // completed — so this holds at any time after the commit outcome.
+    let vals = h.cluster.peek_row(&h.sim, t, &RowKey::with_suffix(42, &b"k"[..]));
+    assert_eq!(vals.len(), 3);
+    assert!(vals.iter().all(|v| v.as_ref() == b"v"));
+}
+
+#[test]
+fn commit_latency_reflects_az_chain_hops() {
+    let (mut h, t) = harness(true, false, 6, 3);
+    let c = client_at(
+        &mut h,
+        0,
+        vec![TxProgram::new(
+            Some((t, ndb::PartitionKey(42))),
+            vec![ProgStep::Write(vec![put(t, 42, "k", "v")]), ProgStep::Commit],
+        )],
+    );
+    run_until_done(&mut h, &[c], SimTime::from_secs(5));
+    let out = &h.sim.actor::<ScriptClient>(c).outcomes[0];
+    // Write + commit: the 2PC chain crosses AZs several times; with ~0.18ms
+    // per inter-AZ hop the commit cannot be faster than ~0.7ms and should
+    // stay well under 20ms on an idle cluster.
+    let ms = out.latency.as_millis_f64();
+    assert!(ms > 0.5, "commit unrealistically fast: {ms}ms");
+    assert!(ms < 20.0, "commit too slow on idle cluster: {ms}ms");
+}
+
+#[test]
+fn read_your_own_writes_inside_tx() {
+    let (mut h, t) = harness(true, false, 6, 3);
+    let c = client_at(
+        &mut h,
+        1,
+        vec![TxProgram::new(
+            Some((t, ndb::PartitionKey(7))),
+            vec![
+                ProgStep::Write(vec![put(t, 7, "a", "mine")]),
+                ProgStep::Read(vec![read(t, 7, "a", LockMode::ReadCommitted)]),
+                ProgStep::Commit,
+            ],
+        )],
+    );
+    run_until_done(&mut h, &[c], SimTime::from_secs(5));
+    let out = &h.sim.actor::<ScriptClient>(c).outcomes[0];
+    assert!(out.committed);
+    assert_eq!(out.rows[0][0].as_deref(), Some(&b"mine"[..]));
+}
+
+#[test]
+fn committed_data_visible_to_later_transactions() {
+    let (mut h, t) = harness(true, false, 6, 3);
+    let c = client_at(
+        &mut h,
+        2,
+        vec![
+            TxProgram::new(
+                Some((t, ndb::PartitionKey(9))),
+                vec![ProgStep::Write(vec![put(t, 9, "x", "1")]), ProgStep::Commit],
+            ),
+            TxProgram::new(
+                Some((t, ndb::PartitionKey(9))),
+                vec![ProgStep::Read(vec![read(t, 9, "x", LockMode::ReadCommitted)]), ProgStep::Commit],
+            ),
+        ],
+    );
+    run_until_done(&mut h, &[c], SimTime::from_secs(5));
+    let out = &h.sim.actor::<ScriptClient>(c).outcomes;
+    assert!(out[0].committed && out[1].committed);
+    assert_eq!(out[1].rows[0][0].as_deref(), Some(&b"1"[..]));
+}
+
+#[test]
+fn absent_rows_read_as_none() {
+    let (mut h, t) = harness(true, false, 6, 3);
+    let c = client_at(
+        &mut h,
+        0,
+        vec![TxProgram::new(
+            Some((t, ndb::PartitionKey(1))),
+            vec![ProgStep::Read(vec![read(t, 1, "ghost", LockMode::ReadCommitted)]), ProgStep::Commit],
+        )],
+    );
+    run_until_done(&mut h, &[c], SimTime::from_secs(5));
+    let out = &h.sim.actor::<ScriptClient>(c).outcomes[0];
+    assert!(out.committed);
+    assert_eq!(out.rows[0][0], None);
+}
+
+#[test]
+fn delete_removes_row_from_all_replicas() {
+    let (mut h, t) = harness(true, false, 6, 3);
+    let c = client_at(
+        &mut h,
+        0,
+        vec![
+            TxProgram::new(
+                Some((t, ndb::PartitionKey(5))),
+                vec![ProgStep::Write(vec![put(t, 5, "d", "x")]), ProgStep::Commit],
+            ),
+            TxProgram::new(
+                Some((t, ndb::PartitionKey(5))),
+                vec![
+                    ProgStep::Write(vec![WriteOp::Delete {
+                        table: t,
+                        key: RowKey::with_suffix(5, &b"d"[..]),
+                    }]),
+                    ProgStep::Commit,
+                ],
+            ),
+        ],
+    );
+    run_until_done(&mut h, &[c], SimTime::from_secs(5));
+    assert!(h.sim.actor::<ScriptClient>(c).outcomes.iter().all(|o| o.committed));
+    let vals = h.cluster.peek_row(&h.sim, t, &RowKey::with_suffix(5, &b"d"[..]));
+    assert!(vals.is_empty(), "row still present on {} replicas", vals.len());
+}
+
+#[test]
+fn scan_returns_all_rows_of_partition_key() {
+    let (mut h, t) = harness(true, false, 6, 3);
+    let writes: Vec<WriteOp> = (0..8).map(|i| put(t, 77, &format!("k{i}"), "v")).collect();
+    let c = client_at(
+        &mut h,
+        1,
+        vec![
+            TxProgram::new(Some((t, ndb::PartitionKey(77))), vec![ProgStep::Write(writes), ProgStep::Commit]),
+            TxProgram::new(
+                Some((t, ndb::PartitionKey(77))),
+                vec![ProgStep::Scan(t, ndb::PartitionKey(77)), ProgStep::Commit],
+            ),
+        ],
+    );
+    run_until_done(&mut h, &[c], SimTime::from_secs(5));
+    let out = &h.sim.actor::<ScriptClient>(c).outcomes;
+    assert!(out[1].committed);
+    assert_eq!(out[1].scans[0].len(), 8);
+}
+
+#[test]
+fn fully_replicated_table_lands_on_every_datanode() {
+    let (mut h, t) = harness(false, true, 6, 3);
+    let c = client_at(
+        &mut h,
+        0,
+        vec![TxProgram::new(
+            Some((t, ndb::PartitionKey(3))),
+            vec![ProgStep::Write(vec![put(t, 3, "fr", "everywhere")]), ProgStep::Commit],
+        )],
+    );
+    run_until_done(&mut h, &[c], SimTime::from_secs(5));
+    assert!(h.sim.actor::<ScriptClient>(c).outcomes[0].committed);
+    let vals = h.cluster.peek_row(&h.sim, t, &RowKey::with_suffix(3, &b"fr"[..]));
+    assert_eq!(vals.len(), 6, "fully replicated rows live on all datanodes");
+}
+
+#[test]
+fn concurrent_increments_serialize_via_locks() {
+    // Two clients each do N read-modify-write increments on the same row
+    // with exclusive locks; 2PL must make all 2N increments stick.
+    let (mut h, t) = harness(true, false, 6, 3);
+    let n = 10u64;
+    let seed = TxProgram::new(
+        Some((t, ndb::PartitionKey(88))),
+        vec![ProgStep::Write(vec![put(t, 88, "ctr", "0")]), ProgStep::Commit],
+    );
+    let c0 = client_at(&mut h, 0, vec![seed]);
+    run_until_done(&mut h, &[c0], SimTime::from_secs(5));
+
+    let incr = |_who: u8| {
+        (0..n)
+            .map(|_| {
+                let mut p = TxProgram::new(
+                    Some((t, ndb::PartitionKey(88))),
+                    vec![
+                        ProgStep::Read(vec![read(t, 88, "ctr", LockMode::Exclusive)]),
+                        // The write value is computed by the harness below.
+                        ProgStep::Commit,
+                    ],
+                );
+                p.retries = 20;
+                p
+            })
+            .collect::<Vec<_>>()
+    };
+    let _ = incr; // the closure above documents intent; we drive increments below
+
+    // ScriptClient cannot compute a write from a read result, so model the
+    // increment contention instead: both clients write distinct suffixes
+    // under exclusive locks on the shared "ctr" row, and we assert total
+    // serialization (no aborted-but-committed anomalies) via commit counts.
+    let mk = |who: u8| {
+        (0..n)
+            .map(|i| {
+                let mut p = TxProgram::new(
+                    Some((t, ndb::PartitionKey(88))),
+                    vec![
+                        ProgStep::Read(vec![read(t, 88, "ctr", LockMode::Exclusive)]),
+                        ProgStep::Write(vec![put(t, 88, &format!("w{who}-{i}"), "1")]),
+                        ProgStep::Commit,
+                    ],
+                );
+                p.retries = 30;
+                p
+            })
+            .collect::<Vec<_>>()
+    };
+    let a = client_at(&mut h, 1, mk(1));
+    let b = client_at(&mut h, 2, mk(2));
+    run_until_done(&mut h, &[a, b], SimTime::from_secs(30));
+    for &c in &[a, b] {
+        let outs = &h.sim.actor::<ScriptClient>(c).outcomes;
+        assert_eq!(outs.len() as u64, n);
+        assert!(outs.iter().all(|o| o.committed), "some increments lost");
+    }
+    // All 2N marker rows plus the counter exist.
+    let c2 = client_at(
+        &mut h,
+        0,
+        vec![TxProgram::new(
+            Some((t, ndb::PartitionKey(88))),
+            vec![ProgStep::Scan(t, ndb::PartitionKey(88)), ProgStep::Commit],
+        )],
+    );
+    run_until_done(&mut h, &[c2], SimTime::from_secs(40));
+    let out = &h.sim.actor::<ScriptClient>(c2).outcomes[0];
+    assert_eq!(out.scans[0].len() as u64, 2 * n + 1);
+}
+
+#[test]
+fn lock_conflict_aborts_with_timeout_then_retry_succeeds() {
+    let (mut h, t) = harness(true, false, 6, 3);
+    // Client A grabs the lock and then stalls (no commit step -> the program
+    // ends with an implicit abort only after its read completes; give it a
+    // long scan queue to hold the lock meaningfully). Simplest reliable
+    // conflict: A locks and commits slowly via many writes; B retries.
+    let a = client_at(
+        &mut h,
+        0,
+        vec![TxProgram::new(
+            Some((t, ndb::PartitionKey(4))),
+            vec![
+                ProgStep::Read(vec![read(t, 4, "hot", LockMode::Exclusive)]),
+                ProgStep::Write((0..64).map(|i| put(t, 4, &format!("pad{i}"), "x")).collect()),
+                ProgStep::Write(vec![put(t, 4, "hot", "a")]),
+                ProgStep::Commit,
+            ],
+        )],
+    );
+    let mut bprog = TxProgram::new(
+        Some((t, ndb::PartitionKey(4))),
+        vec![
+            ProgStep::Read(vec![read(t, 4, "hot", LockMode::Exclusive)]),
+            ProgStep::Write(vec![put(t, 4, "hot", "b")]),
+            ProgStep::Commit,
+        ],
+    );
+    bprog.retries = 10;
+    let b = client_at(&mut h, 1, vec![bprog]);
+    run_until_done(&mut h, &[a, b], SimTime::from_secs(20));
+    assert!(h.sim.actor::<ScriptClient>(a).outcomes[0].committed);
+    let outb = &h.sim.actor::<ScriptClient>(b).outcomes[0];
+    assert!(outb.committed, "B should eventually commit: {outb:?}");
+    // Both committed; final value is from whichever committed last — it must
+    // be one of the two, identically on all replicas.
+    let vals = h.cluster.peek_row(&h.sim, t, &RowKey::with_suffix(4, &b"hot"[..]));
+    assert_eq!(vals.len(), 3);
+    assert!(vals.windows(2).all(|w| w[0] == w[1]), "replicas diverged: {vals:?}");
+}
+
+#[test]
+fn backup_failure_does_not_block_commits() {
+    let (mut h, t) = harness(true, false, 6, 3);
+    let pk = ndb::PartitionKey(10);
+    let pid = h.cluster.view.pmap.partition_of(pk);
+    let replicas = h.cluster.view.pmap.replicas(pid);
+    let backup = replicas[1];
+    let backup_node = h.cluster.view.datanode_ids[backup];
+    h.sim.kill_node(backup_node);
+    // Give heartbeats time to notice.
+    h.sim.run_until(SimTime::from_millis(1500));
+    let mut p = TxProgram::new(
+        Some((t, pk)),
+        vec![ProgStep::Write(vec![put(t, 10, "s", "alive")]), ProgStep::Commit],
+    );
+    p.retries = 10;
+    let c = client_at(&mut h, 0, vec![p]);
+    run_until_done(&mut h, &[c], SimTime::from_secs(20));
+    let out = &h.sim.actor::<ScriptClient>(c).outcomes[0];
+    assert!(out.committed, "{out:?}");
+    let vals = h.cluster.peek_row(&h.sim, t, &RowKey::with_suffix(10, &b"s"[..]));
+    assert_eq!(vals.len(), 2, "two surviving replicas hold the row");
+}
+
+#[test]
+fn primary_failure_promotes_backup_and_serves_reads() {
+    let (mut h, t) = harness(true, false, 6, 3);
+    let pk = ndb::PartitionKey(20);
+    // Seed while healthy.
+    let c0 = client_at(
+        &mut h,
+        0,
+        vec![TxProgram::new(Some((t, pk)), vec![ProgStep::Write(vec![put(t, 20, "p", "v")]), ProgStep::Commit])],
+    );
+    run_until_done(&mut h, &[c0], SimTime::from_secs(5));
+    // Kill the primary.
+    let pid = h.cluster.view.pmap.partition_of(pk);
+    let primary = h.cluster.view.pmap.replicas(pid)[0];
+    let primary_node = h.cluster.view.datanode_ids[primary];
+    h.sim.kill_node(primary_node);
+    h.sim.run_until(h.sim.now() + SimDuration::from_millis(1500));
+    // Locked read (must go to the *promoted* primary) still works.
+    let mut p = TxProgram::new(
+        Some((t, pk)),
+        vec![ProgStep::Read(vec![read(t, 20, "p", LockMode::Shared)]), ProgStep::Commit],
+    );
+    p.retries = 10;
+    let c = client_at(&mut h, 1, vec![p]);
+    run_until_done(&mut h, &[c], SimTime::from_secs(20));
+    let out = &h.sim.actor::<ScriptClient>(c).outcomes[0];
+    assert!(out.committed, "{out:?}");
+    assert_eq!(out.rows[0][0].as_deref(), Some(&b"v"[..]));
+}
+
+#[test]
+fn az_failure_with_rf3_keeps_cluster_available() {
+    let (mut h, t) = harness(true, false, 6, 3);
+    // Seed some rows.
+    let seeds: Vec<TxProgram> = (0..10)
+        .map(|i| {
+            TxProgram::new(
+                Some((t, ndb::PartitionKey(i))),
+                vec![ProgStep::Write(vec![put(t, i, "az", "pre")]), ProgStep::Commit],
+            )
+        })
+        .collect();
+    let c0 = client_at(&mut h, 0, seeds);
+    run_until_done(&mut h, &[c0], SimTime::from_secs(10));
+    // Kill all of AZ 2 (one replica of every node group).
+    h.sim.kill_az(AzId(2));
+    h.sim.run_until(h.sim.now() + SimDuration::from_millis(1500));
+    // The cluster still serves reads and writes from AZ 0.
+    let progs: Vec<TxProgram> = (0..10)
+        .map(|i| {
+            let mut p = TxProgram::new(
+                Some((t, ndb::PartitionKey(i))),
+                vec![
+                    ProgStep::Read(vec![read(t, i, "az", LockMode::ReadCommitted)]),
+                    ProgStep::Write(vec![put(t, i, "az", "post")]),
+                    ProgStep::Commit,
+                ],
+            );
+            p.retries = 10;
+            p
+        })
+        .collect();
+    let c = client_at(&mut h, 0, progs);
+    run_until_done(&mut h, &[c], SimTime::from_secs(30));
+    let outs = &h.sim.actor::<ScriptClient>(c).outcomes;
+    assert!(outs.iter().all(|o| o.committed), "ops failed after AZ loss");
+    assert!(outs.iter().all(|o| o.rows[0][0].as_deref() == Some(&b"pre"[..])));
+}
+
+#[test]
+fn az_partition_arbitrator_keeps_one_side_alive() {
+    let (mut h, _t) = harness(true, false, 6, 3);
+    h.sim.run_until(SimTime::from_millis(500));
+    // Partition AZ1 from AZ2 (arbitrator M1 lives in AZ0, reachable by both).
+    h.sim.partition_azs(AzId(1), AzId(2));
+    h.sim.run_until(SimTime::from_secs(4));
+    // The arbitrator must have shut down one side: of the datanodes in AZ1
+    // and AZ2, exactly one AZ's worth survives.
+    let view = std::sync::Arc::clone(&h.cluster.view);
+    let alive_in = |h: &Harness, az: AzId| {
+        view.datanode_ids
+            .iter()
+            .enumerate()
+            .filter(|&(i, &id)| view.location_of(i).az == az && h.sim.is_alive(id))
+            .count()
+    };
+    let a1 = alive_in(&h, AzId(1));
+    let a2 = alive_in(&h, AzId(2));
+    assert!(
+        (a1 == 0) ^ (a2 == 0),
+        "exactly one partitioned side must shut down (az1 alive={a1}, az2 alive={a2})"
+    );
+    // AZ0 nodes never shut down.
+    assert_eq!(alive_in(&h, AzId(0)), 2);
+}
+
+#[test]
+fn read_backup_enables_backup_replica_reads() {
+    // With Read Backup on, read-committed reads from different AZs land on
+    // different replicas (AZ-local); with it off they all hit the primary.
+    for &rb in &[true, false] {
+        let (mut h, t) = harness(rb, false, 6, 3);
+        let pk = ndb::PartitionKey(33);
+        let seed = TxProgram::new(
+            Some((t, pk)),
+            vec![ProgStep::Write(vec![put(t, 33, "r", "v")]), ProgStep::Commit],
+        );
+        let c0 = client_at(&mut h, 0, vec![seed]);
+        run_until_done(&mut h, &[c0], SimTime::from_secs(5));
+        // 30 reads from each AZ.
+        let mut clients = Vec::new();
+        for az in 0..3u8 {
+            let progs: Vec<TxProgram> = (0..30)
+                .map(|_| {
+                    TxProgram::new(
+                        Some((t, pk)),
+                        vec![ProgStep::Read(vec![read(t, 33, "r", LockMode::ReadCommitted)]), ProgStep::Commit],
+                    )
+                })
+                .collect();
+            clients.push(client_at(&mut h, az, progs));
+        }
+        let limit = SimTime::from_secs(30);
+        run_until_done(&mut h, &clients, limit);
+        // Tally reads by replica rank across datanodes.
+        let pid = h.cluster.view.pmap.partition_of(pk);
+        let mut by_rank = [0u64; 3];
+        for (i, &id) in h.cluster.view.datanode_ids.iter().enumerate() {
+            let dn = h.sim.actor::<ndb::DatanodeActor>(id);
+            for (&(table, p, rank), &count) in &dn.stats.reads_by_partition_rank {
+                if table == t && p == pid.0 && rank < 3 {
+                    by_rank[rank as usize] += count;
+                    let _ = i;
+                }
+            }
+        }
+        let backups = by_rank[1] + by_rank[2];
+        if rb {
+            assert!(backups > 0, "read backup on: backups must serve reads {by_rank:?}");
+        } else {
+            assert_eq!(backups, 0, "read backup off: all reads go to the primary {by_rank:?}");
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! # simnet — deterministic discrete-event simulation of a cloud region
+//!
+//! `simnet` is the substrate for the HopsFS-CL reproduction: a deterministic
+//! discrete-event simulator of processes deployed across the availability
+//! zones (AZs) of a cloud region. It provides:
+//!
+//! - virtual [`SimTime`] and an event loop ([`Simulation`]);
+//! - an actor model ([`Actor`], [`Ctx`]) with latency-accurate message
+//!   passing over a region topology seeded with the paper's measured
+//!   `us-west1` inter-AZ latencies ([`LatencyModel::gcp_us_west1`]);
+//! - CPU modeled as named thread lanes with queueing, batching and
+//!   utilization accounting ([`Lanes`]), and disks as bandwidth-limited
+//!   queues ([`Disk`]);
+//! - fault injection: node kills, whole-AZ kills, and AZ-level network
+//!   partitions;
+//! - cross-AZ traffic accounting and measurement primitives
+//!   ([`Histogram`], [`Counter`]).
+//!
+//! Protocol crates (`ndb`, `hopsfs`, `cephsim`) build their actors on top of
+//! this; the `bench` crate turns the resulting measurements into the paper's
+//! tables and figures.
+//!
+//! # Examples
+//!
+//! ```
+//! use simnet::{LatencyModel, AzId};
+//!
+//! // Table I from the paper is built in:
+//! let m = LatencyModel::gcp_us_west1();
+//! assert_eq!(m.rtt(AzId(1), AzId(2)).as_micros(), 399);
+//! ```
+
+#![forbid(unsafe_op_in_unsafe_fn)]
+#![warn(missing_docs)]
+
+mod cpu;
+mod metrics;
+mod sim;
+mod time;
+mod topology;
+
+pub use cpu::{Batching, Disk, DiskOp, LaneClassSpec, Lanes, UtilizationWindow};
+pub use metrics::{Counter, Histogram};
+pub use sim::{downcast, Actor, Ctx, NodeId, NodeSpec, Payload, Simulation};
+pub use time::{SimDuration, SimTime};
+pub use topology::{AzId, HostId, LatencyModel, Location};

@@ -1,0 +1,946 @@
+//! The discrete-event simulation core: actors, messages, timers and faults.
+//!
+//! A [`Simulation`] owns a set of [`Actor`]s, each bound to a simulated
+//! process with a [`Location`], optional CPU [`Lanes`] and an optional
+//! [`Disk`]. Actors communicate exclusively through messages; the simulation
+//! delivers them after the topology-derived network latency and accounts all
+//! cross-AZ traffic. Everything is deterministic given the seed.
+//!
+//! # Examples
+//!
+//! ```
+//! use simnet::*;
+//!
+//! #[derive(Debug)]
+//! struct Ping;
+//! #[derive(Debug)]
+//! struct Pong;
+//!
+//! struct Echo;
+//! impl Actor for Echo {
+//!     fn on_message(&mut self, ctx: &mut Ctx<'_>, from: NodeId, msg: Box<dyn Payload>) {
+//!         if msg.is::<Ping>() {
+//!             ctx.send(from, Pong);
+//!         }
+//!     }
+//!     fn as_any(&self) -> &dyn std::any::Any { self }
+//! }
+//!
+//! struct Caller { server: NodeId, pub got_pong: bool }
+//! impl Actor for Caller {
+//!     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+//!         ctx.send(self.server, Ping);
+//!     }
+//!     fn on_message(&mut self, _ctx: &mut Ctx<'_>, _from: NodeId, msg: Box<dyn Payload>) {
+//!         if msg.is::<Pong>() { self.got_pong = true; }
+//!     }
+//!     fn as_any(&self) -> &dyn std::any::Any { self }
+//! }
+//!
+//! let mut sim = Simulation::new(42);
+//! let server = sim.add_node(NodeSpec::new("srv", Location::new(0, 0)), Box::new(Echo));
+//! let caller = sim.add_node(
+//!     NodeSpec::new("cli", Location::new(1, 1)),
+//!     Box::new(Caller { server, got_pong: false }),
+//! );
+//! sim.run_until(SimTime::from_millis(10));
+//! assert!(sim.actor::<Caller>(caller).got_pong);
+//! ```
+
+use crate::cpu::{Disk, DiskOp, LaneClassSpec, Lanes};
+use crate::time::{SimDuration, SimTime};
+use crate::topology::{AzId, LatencyModel, Location};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::any::Any;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+use std::fmt;
+
+/// Identifier of a simulated process (one actor).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A message payload. Any `'static + Debug` type qualifies via the blanket
+/// impl; receivers downcast with `Payload::is` / [`downcast`].
+pub trait Payload: Any + fmt::Debug {
+    /// Upcast to `Any` for downcasting by value.
+    fn into_any(self: Box<Self>) -> Box<dyn Any>;
+    /// Upcast to `Any` for downcasting by reference.
+    fn as_any(&self) -> &dyn Any;
+}
+
+impl<T: Any + fmt::Debug> Payload for T {
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+impl dyn Payload {
+    /// Whether the payload is a `T`.
+    pub fn is<T: Any>(&self) -> bool {
+        self.as_any().is::<T>()
+    }
+
+    /// Borrow the payload as a `T` if it is one.
+    pub fn get<T: Any>(&self) -> Option<&T> {
+        self.as_any().downcast_ref::<T>()
+    }
+}
+
+/// Downcasts a boxed payload to a concrete type, returning it on mismatch.
+pub fn downcast<T: Any>(msg: Box<dyn Payload>) -> Result<Box<T>, Box<dyn Any>> {
+    msg.into_any().downcast::<T>()
+}
+
+/// A simulated protocol participant.
+///
+/// Actors are single-threaded state machines driven by [`Actor::on_message`].
+/// Self-scheduled messages (via [`Ctx::schedule`]) serve as timers.
+pub trait Actor {
+    /// Called once when the simulation starts (time zero) or when the actor
+    /// is added to an already-running simulation.
+    fn on_start(&mut self, _ctx: &mut Ctx<'_>) {}
+
+    /// Called for every delivered message. `from` is the sender; for
+    /// self-scheduled messages it is the actor itself.
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, from: NodeId, msg: Box<dyn Payload>);
+
+    /// Upcast for post-run state inspection via [`Simulation::actor`].
+    fn as_any(&self) -> &dyn Any;
+}
+
+/// Static description of a simulated process.
+#[derive(Debug)]
+pub struct NodeSpec {
+    /// Human-readable name for diagnostics.
+    pub name: String,
+    /// Placement (AZ + host).
+    pub location: Location,
+    /// CPU thread lanes, if the process models CPU contention.
+    pub lanes: Vec<LaneClassSpec>,
+    /// Local disk, if the process models disk contention.
+    pub disk: Option<Disk>,
+}
+
+impl NodeSpec {
+    /// A process with no CPU or disk model (e.g. a lightweight client).
+    pub fn new(name: impl Into<String>, location: Location) -> Self {
+        NodeSpec { name: name.into(), location, lanes: Vec::new(), disk: None }
+    }
+
+    /// Adds CPU lanes.
+    pub fn with_lanes(mut self, lanes: Vec<LaneClassSpec>) -> Self {
+        self.lanes = lanes;
+        self
+    }
+
+    /// Adds a disk.
+    pub fn with_disk(mut self, disk: Disk) -> Self {
+        self.disk = Some(disk);
+        self
+    }
+}
+
+enum EventKind {
+    Start(NodeId),
+    Deliver { to: NodeId, from: NodeId, bytes: u64, payload: Box<dyn Payload> },
+    Control(Box<dyn FnOnce(&mut Simulation)>),
+}
+
+struct Event {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first, FIFO on ties.
+        other.time.cmp(&self.time).then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// Per-node bookkeeping shared by the simulation and the actors.
+struct NodeState {
+    name: String,
+    location: Location,
+    lanes: Lanes,
+    disk: Option<Disk>,
+    alive: bool,
+    net_in_bytes: u64,
+    net_out_bytes: u64,
+    msgs_in: u64,
+    msgs_out: u64,
+}
+
+/// Everything in the simulation except the actors themselves. Split out so an
+/// actor can mutate itself and the world simultaneously.
+pub struct World {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Event>,
+    nodes: Vec<NodeState>,
+    latency: LatencyModel,
+    /// AZ pairs currently partitioned from each other (symmetric).
+    blocked_az_pairs: HashSet<(u8, u8)>,
+    /// Delivered bytes between AZ pairs: `az_traffic[src][dst]`.
+    az_traffic: Vec<Vec<u64>>,
+    /// Optional per-directed-AZ-pair bandwidth cap (bytes/s): messages
+    /// crossing AZs serialize through a shared link and queue behind each
+    /// other when it saturates.
+    inter_az_bandwidth: Option<u64>,
+    /// Next free instant of each directed inter-AZ link.
+    az_link_free: std::collections::HashMap<(u8, u8), SimTime>,
+    rng: StdRng,
+    /// Fractional jitter applied to network latencies (0.0 disables).
+    pub jitter: f64,
+    events_processed: u64,
+}
+
+impl World {
+    fn push(&mut self, time: SimTime, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Event { time, seq, kind });
+    }
+
+    /// Computes the departure-to-arrival delay for a message and advances
+    /// the inter-AZ link clock when a bandwidth cap is configured.
+    fn network_delay(
+        &mut self,
+        src: Location,
+        dst: Location,
+        bytes: u64,
+        depart: SimTime,
+    ) -> SimDuration {
+        let base = self.latency.between(src, dst) + self.latency.transfer_time(bytes);
+        let mut delay = if self.jitter > 0.0 && base > SimDuration::ZERO {
+            let f: f64 = self.rng.gen_range(1.0 - self.jitter..1.0 + self.jitter);
+            base.mul_f64(f)
+        } else {
+            base
+        };
+        if src.az != dst.az {
+            if let Some(bw) = self.inter_az_bandwidth {
+                let key = (src.az.0, dst.az.0);
+                let free = self.az_link_free.get(&key).copied().unwrap_or(SimTime::ZERO);
+                let start = free.max(depart);
+                let xfer = SimDuration::from_nanos(bytes.saturating_mul(1_000_000_000) / bw.max(1));
+                let done = start + xfer;
+                self.az_link_free.insert(key, done);
+                delay += done.saturating_since(depart);
+            }
+        }
+        delay
+    }
+
+    fn blocked(&self, a: AzId, b: AzId) -> bool {
+        let key = if a.0 <= b.0 { (a.0, b.0) } else { (b.0, a.0) };
+        self.blocked_az_pairs.contains(&key)
+    }
+
+    fn ensure_az(&mut self, az: AzId) {
+        let need = az.0 as usize + 1;
+        if self.az_traffic.len() < need {
+            for row in &mut self.az_traffic {
+                row.resize(need, 0);
+            }
+            while self.az_traffic.len() < need {
+                self.az_traffic.push(vec![0; need]);
+            }
+        }
+    }
+}
+
+/// Actor-facing handle to the simulation world during a dispatch.
+pub struct Ctx<'a> {
+    world: &'a mut World,
+    me: NodeId,
+}
+
+impl<'a> Ctx<'a> {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.world.now
+    }
+
+    /// The node this dispatch is running on.
+    pub fn me(&self) -> NodeId {
+        self.me
+    }
+
+    /// Placement of any node.
+    pub fn location(&self, node: NodeId) -> Location {
+        self.world.nodes[node.0 as usize].location
+    }
+
+    /// AZ of any node.
+    pub fn az_of(&self, node: NodeId) -> AzId {
+        self.location(node).az
+    }
+
+    /// Whether a node is currently alive.
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.world.nodes[node.0 as usize].alive
+    }
+
+    /// Whether the network currently blocks traffic between two nodes
+    /// (AZ-level partition).
+    pub fn is_reachable(&self, a: NodeId, b: NodeId) -> bool {
+        !self.world.blocked(self.az_of(a), self.az_of(b))
+    }
+
+    /// Deterministic RNG shared by the whole simulation.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.world.rng
+    }
+
+    /// Sends `payload` to `to` with the default wire size (256 bytes).
+    pub fn send<P: Payload>(&mut self, to: NodeId, payload: P) {
+        self.send_sized(to, 256, payload);
+    }
+
+    /// Sends `payload` of `bytes` wire bytes to `to`, departing at `depart`
+    /// (e.g. after a CPU lane finishes producing it).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `depart` is in the past.
+    pub fn send_sized_from<P: Payload>(&mut self, depart: SimTime, to: NodeId, bytes: u64, payload: P) {
+        debug_assert!(depart >= self.world.now, "cannot send from the past");
+        let from = self.me;
+        let src = self.location(from);
+        let dst = self.location(to);
+        let lat = self.world.network_delay(src, dst, bytes, depart);
+        if to != from {
+            self.world.nodes[from.0 as usize].net_out_bytes += bytes;
+            self.world.nodes[from.0 as usize].msgs_out += 1;
+        }
+        let at = depart + lat;
+        self.world.push(at, EventKind::Deliver { to, from, bytes, payload: Box::new(payload) });
+    }
+
+    /// How far ahead of `now` the earliest-free lane of `class` is (zero if a
+    /// lane is idle). Useful for overflow/helper-thread policies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node has no such lane class.
+    pub fn lane_backlog(&self, class: &str) -> SimDuration {
+        self.world.nodes[self.me.0 as usize]
+            .lanes
+            .earliest_free(class)
+            .saturating_since(self.world.now)
+    }
+
+    /// Sends `payload` of `bytes` wire bytes to `to`.
+    ///
+    /// Delivery happens after the topology latency (plus jitter and the
+    /// serialization term). Messages to dead nodes or across a partitioned AZ
+    /// pair are silently dropped at delivery time, like packets.
+    pub fn send_sized<P: Payload>(&mut self, to: NodeId, bytes: u64, payload: P) {
+        let from = self.me;
+        let src = self.location(from);
+        let dst = self.location(to);
+        let now = self.world.now;
+        let lat = self.world.network_delay(src, dst, bytes, now);
+        if to != from {
+            self.world.nodes[from.0 as usize].net_out_bytes += bytes;
+            self.world.nodes[from.0 as usize].msgs_out += 1;
+        }
+        let at = now + lat;
+        self.world.push(at, EventKind::Deliver { to, from, bytes, payload: Box::new(payload) });
+    }
+
+    /// Delivers `payload` to this actor itself after `delay` (a timer).
+    pub fn schedule<P: Payload>(&mut self, delay: SimDuration, payload: P) {
+        let me = self.me;
+        let at = self.world.now + delay;
+        self.world.push(at, EventKind::Deliver { to: me, from: me, bytes: 0, payload: Box::new(payload) });
+    }
+
+    /// Delivers `payload` to this actor at the absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `at` is in the past.
+    pub fn schedule_at<P: Payload>(&mut self, at: SimTime, payload: P) {
+        debug_assert!(at >= self.world.now, "cannot schedule into the past");
+        let me = self.me;
+        self.world.push(at, EventKind::Deliver { to: me, from: me, bytes: 0, payload: Box::new(payload) });
+    }
+
+    /// Runs `cost` of CPU work on lane class `class` of this node and returns
+    /// the completion time (start is delayed by lane backlog).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node has no such lane class.
+    pub fn execute(&mut self, class: &str, cost: SimDuration) -> SimTime {
+        let now = self.world.now;
+        self.world.nodes[self.me.0 as usize].lanes.execute(class, now, cost)
+    }
+
+    /// Runs CPU work and delivers `payload` to this actor when it completes.
+    pub fn execute_then<P: Payload>(&mut self, class: &str, cost: SimDuration, payload: P) {
+        let done = self.execute(class, cost);
+        self.schedule_at(done, payload);
+    }
+
+    /// Submits a disk I/O on this node and returns its completion time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node has no disk.
+    pub fn disk_io(&mut self, op: DiskOp, bytes: u64) -> SimTime {
+        let now = self.world.now;
+        self.world.nodes[self.me.0 as usize]
+            .disk
+            .as_mut()
+            .expect("node has no disk")
+            .submit(op, now, bytes)
+    }
+
+    /// Submits a disk I/O and delivers `payload` to this actor at completion.
+    pub fn disk_io_then<P: Payload>(&mut self, op: DiskOp, bytes: u64, payload: P) {
+        let done = self.disk_io(op, bytes);
+        self.schedule_at(done, payload);
+    }
+
+    /// Marks this node dead (e.g. voluntary shutdown after losing
+    /// arbitration). Pending deliveries to it are dropped.
+    pub fn shutdown_self(&mut self) {
+        let me = self.me;
+        self.world.nodes[me.0 as usize].alive = false;
+    }
+
+    /// One-way latency the network model would charge between two nodes.
+    pub fn latency_between(&self, a: NodeId, b: NodeId) -> SimDuration {
+        self.world.latency.between(self.location(a), self.location(b))
+    }
+}
+
+/// The top-level simulation: world + actors + event loop.
+pub struct Simulation {
+    world: World,
+    actors: Vec<Option<Box<dyn Actor>>>,
+    started: bool,
+}
+
+impl Simulation {
+    /// Creates an empty simulation with the default (`us-west1`) latency
+    /// model and the given RNG seed.
+    pub fn new(seed: u64) -> Self {
+        Self::with_latency(seed, LatencyModel::default())
+    }
+
+    /// Creates an empty simulation with a custom latency model.
+    pub fn with_latency(seed: u64, latency: LatencyModel) -> Self {
+        Simulation {
+            world: World {
+                now: SimTime::ZERO,
+                seq: 0,
+                queue: BinaryHeap::new(),
+                nodes: Vec::new(),
+                latency,
+                blocked_az_pairs: HashSet::new(),
+                az_traffic: Vec::new(),
+                inter_az_bandwidth: None,
+                az_link_free: std::collections::HashMap::new(),
+                rng: StdRng::seed_from_u64(seed),
+                jitter: 0.05,
+                events_processed: 0,
+            },
+            actors: Vec::new(),
+            started: false,
+        }
+    }
+
+    /// Sets the network jitter fraction (0.0 disables jitter; default 0.05).
+    pub fn set_jitter(&mut self, jitter: f64) {
+        self.world.jitter = jitter;
+    }
+
+    /// Caps the bandwidth of each directed inter-AZ link (bytes/s); `None`
+    /// (the default) models unconstrained interconnect. When set, cross-AZ
+    /// messages queue behind each other on their AZ pair's link — the
+    /// congestion that makes non-AZ-aware deployments fall behind at scale
+    /// (§V-B1: "network I/O becomes a bottleneck").
+    pub fn set_inter_az_bandwidth(&mut self, bytes_per_sec: Option<u64>) {
+        self.world.inter_az_bandwidth = bytes_per_sec;
+    }
+
+    /// Adds a node and its actor; returns its id. `on_start` runs at the
+    /// current time once the simulation runs.
+    pub fn add_node(&mut self, spec: NodeSpec, actor: Box<dyn Actor>) -> NodeId {
+        let id = NodeId(self.actors.len() as u32);
+        self.world.ensure_az(spec.location.az);
+        self.world.nodes.push(NodeState {
+            name: spec.name,
+            location: spec.location,
+            lanes: Lanes::new(&spec.lanes),
+            disk: spec.disk,
+            alive: true,
+            net_in_bytes: 0,
+            net_out_bytes: 0,
+            msgs_in: 0,
+            msgs_out: 0,
+        });
+        self.actors.push(Some(actor));
+        let now = self.world.now;
+        self.world.push(now, EventKind::Start(id));
+        id
+    }
+
+    /// Schedules a control action (fault injection, measurement hooks) to run
+    /// with full access to the simulation at time `at`.
+    pub fn at(&mut self, at: SimTime, f: impl FnOnce(&mut Simulation) + 'static) {
+        self.world.push(at, EventKind::Control(Box::new(f)));
+    }
+
+    /// Injects a message to an actor from outside the simulation (delivered
+    /// immediately, as if self-scheduled). Useful for test harnesses poking
+    /// an actor between runs.
+    pub fn inject<P: Payload>(&mut self, to: NodeId, payload: P) {
+        let now = self.world.now;
+        self.world.push(now, EventKind::Deliver { to, from: to, bytes: 0, payload: Box::new(payload) });
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.world.now
+    }
+
+    /// Total events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.world.events_processed
+    }
+
+    /// Kills a node immediately: it stops receiving messages and executing.
+    pub fn kill_node(&mut self, node: NodeId) {
+        self.world.nodes[node.0 as usize].alive = false;
+    }
+
+    /// Revives a previously killed node (its actor state is unchanged; the
+    /// actor is responsible for its own recovery protocol). `on_start` is
+    /// re-delivered.
+    pub fn revive_node(&mut self, node: NodeId) {
+        self.world.nodes[node.0 as usize].alive = true;
+        let now = self.world.now;
+        self.world.push(now, EventKind::Start(node));
+    }
+
+    /// Kills every node located in `az`.
+    pub fn kill_az(&mut self, az: AzId) {
+        for n in &mut self.world.nodes {
+            if n.location.az == az {
+                n.alive = false;
+            }
+        }
+    }
+
+    /// Partitions two AZs from each other (messages dropped both ways).
+    pub fn partition_azs(&mut self, a: AzId, b: AzId) {
+        let key = if a.0 <= b.0 { (a.0, b.0) } else { (b.0, a.0) };
+        self.world.blocked_az_pairs.insert(key);
+    }
+
+    /// Heals a previous AZ partition.
+    pub fn heal_azs(&mut self, a: AzId, b: AzId) {
+        let key = if a.0 <= b.0 { (a.0, b.0) } else { (b.0, a.0) };
+        self.world.blocked_az_pairs.remove(&key);
+    }
+
+    /// Whether a node is alive.
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.world.nodes[node.0 as usize].alive
+    }
+
+    /// Runs a single event; returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let ev = match self.world.queue.pop() {
+            Some(ev) => ev,
+            None => return false,
+        };
+        debug_assert!(ev.time >= self.world.now, "event queue went backwards");
+        self.world.now = ev.time;
+        self.world.events_processed += 1;
+        match ev.kind {
+            EventKind::Start(node) => {
+                if self.world.nodes[node.0 as usize].alive {
+                    self.dispatch(node, |actor, ctx| actor.on_start(ctx));
+                }
+            }
+            EventKind::Deliver { to, from, bytes, payload } => {
+                let deliverable = {
+                    let w = &self.world;
+                    let dst = &w.nodes[to.0 as usize];
+                    dst.alive
+                        && !w.blocked(
+                            w.nodes[from.0 as usize].location.az,
+                            dst.location.az,
+                        )
+                };
+                if deliverable {
+                    let (src_az, dst_az) = {
+                        let w = &self.world;
+                        (
+                            w.nodes[from.0 as usize].location.az,
+                            w.nodes[to.0 as usize].location.az,
+                        )
+                    };
+                    if from != to {
+                        self.world.az_traffic[src_az.0 as usize][dst_az.0 as usize] += bytes;
+                        self.world.nodes[to.0 as usize].net_in_bytes += bytes;
+                        self.world.nodes[to.0 as usize].msgs_in += 1;
+                    }
+                    self.dispatch(to, |actor, ctx| actor.on_message(ctx, from, payload));
+                }
+            }
+            EventKind::Control(f) => f(self),
+        }
+        true
+    }
+
+    fn dispatch<F: FnOnce(&mut dyn Actor, &mut Ctx<'_>)>(&mut self, node: NodeId, f: F) {
+        let mut actor = self.actors[node.0 as usize]
+            .take()
+            .expect("actor re-entrancy: node dispatched while already dispatching");
+        {
+            let mut ctx = Ctx { world: &mut self.world, me: node };
+            f(actor.as_mut(), &mut ctx);
+        }
+        self.actors[node.0 as usize] = Some(actor);
+    }
+
+    /// Runs all events up to and including time `t`, then sets the clock to `t`.
+    pub fn run_until(&mut self, t: SimTime) {
+        self.started = true;
+        while let Some(ev) = self.world.queue.peek() {
+            if ev.time > t {
+                break;
+            }
+            self.step();
+        }
+        self.world.now = t;
+    }
+
+    /// Runs for `d` more virtual time.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let t = self.world.now + d;
+        self.run_until(t);
+    }
+
+    /// Drains the queue completely (use only for terminating workloads).
+    pub fn run_to_quiescence(&mut self) {
+        while self.step() {}
+    }
+
+    /// Borrows an actor's state, downcast to its concrete type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not exist or the type does not match.
+    pub fn actor<T: Actor + 'static>(&self, node: NodeId) -> &T {
+        self.actors[node.0 as usize]
+            .as_ref()
+            .expect("actor is being dispatched")
+            .as_any()
+            .downcast_ref::<T>()
+            .unwrap_or_else(|| panic!("actor {node} is not a {}", std::any::type_name::<T>()))
+    }
+
+    /// Mutably borrows an actor's state (for test/experiment setup).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not exist or the type does not match.
+    pub fn actor_mut<T: Actor + 'static>(&mut self, node: NodeId) -> &mut T {
+        let name = std::any::type_name::<T>();
+        let slot = self.actors[node.0 as usize].as_mut().expect("actor is being dispatched");
+        // `as_any` only provides shared access; use it for the type check and
+        // then do the &mut downcast through Any on the Box contents.
+        assert!(slot.as_any().is::<T>(), "actor {node} is not a {name}");
+        let raw: *mut dyn Actor = slot.as_mut();
+        // SAFETY: type checked above; Actor requires 'static via Any.
+        unsafe { &mut *(raw as *mut T) }
+    }
+
+    /// The node's human-readable name.
+    pub fn node_name(&self, node: NodeId) -> &str {
+        &self.world.nodes[node.0 as usize].name
+    }
+
+    /// The node's placement.
+    pub fn node_location(&self, node: NodeId) -> Location {
+        self.world.nodes[node.0 as usize].location
+    }
+
+    /// The node's CPU lanes (for utilization reporting).
+    pub fn lanes(&self, node: NodeId) -> &Lanes {
+        &self.world.nodes[node.0 as usize].lanes
+    }
+
+    /// The node's disk, if any.
+    pub fn disk(&self, node: NodeId) -> Option<&Disk> {
+        self.world.nodes[node.0 as usize].disk.as_ref()
+    }
+
+    /// Bytes received by the node so far.
+    pub fn net_in_bytes(&self, node: NodeId) -> u64 {
+        self.world.nodes[node.0 as usize].net_in_bytes
+    }
+
+    /// Bytes sent by the node so far.
+    pub fn net_out_bytes(&self, node: NodeId) -> u64 {
+        self.world.nodes[node.0 as usize].net_out_bytes
+    }
+
+    /// Messages received / sent by the node so far.
+    pub fn msg_counts(&self, node: NodeId) -> (u64, u64) {
+        let n = &self.world.nodes[node.0 as usize];
+        (n.msgs_in, n.msgs_out)
+    }
+
+    /// Delivered bytes between an AZ pair (directional).
+    pub fn az_traffic(&self, src: AzId, dst: AzId) -> u64 {
+        *self
+            .world
+            .az_traffic
+            .get(src.0 as usize)
+            .and_then(|row| row.get(dst.0 as usize))
+            .unwrap_or(&0)
+    }
+
+    /// Total delivered bytes that crossed an AZ boundary.
+    pub fn cross_az_bytes(&self) -> u64 {
+        let mut total = 0;
+        for (i, row) in self.world.az_traffic.iter().enumerate() {
+            for (j, &b) in row.iter().enumerate() {
+                if i != j {
+                    total += b;
+                }
+            }
+        }
+        total
+    }
+
+    /// Number of nodes added so far.
+    pub fn node_count(&self) -> usize {
+        self.world.nodes.len()
+    }
+
+    /// The latency model in use.
+    pub fn latency_model(&self) -> &LatencyModel {
+        &self.world.latency
+    }
+}
+
+impl fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Simulation")
+            .field("now", &self.world.now)
+            .field("nodes", &self.world.nodes.len())
+            .field("queued_events", &self.world.queue.len())
+            .field("events_processed", &self.world.events_processed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug)]
+    struct Tick(u32);
+
+    /// Records the times at which its timer messages arrive.
+    struct Recorder {
+        pub seen: Vec<(u32, SimTime)>,
+    }
+
+    impl Actor for Recorder {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.schedule(SimDuration::from_millis(2), Tick(2));
+            ctx.schedule(SimDuration::from_millis(1), Tick(1));
+            ctx.schedule(SimDuration::from_millis(3), Tick(3));
+        }
+        fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: NodeId, msg: Box<dyn Payload>) {
+            let t = downcast::<Tick>(msg).unwrap();
+            self.seen.push((t.0, ctx.now()));
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        let mut sim = Simulation::new(1);
+        let n = sim.add_node(NodeSpec::new("rec", Location::new(0, 0)), Box::new(Recorder { seen: vec![] }));
+        sim.run_until(SimTime::from_millis(10));
+        let rec = sim.actor::<Recorder>(n);
+        assert_eq!(
+            rec.seen,
+            vec![
+                (1, SimTime::from_millis(1)),
+                (2, SimTime::from_millis(2)),
+                (3, SimTime::from_millis(3)),
+            ]
+        );
+    }
+
+    #[derive(Debug)]
+    struct Hello;
+
+    struct Receiver {
+        pub got: u32,
+        pub last_at: SimTime,
+    }
+    impl Actor for Receiver {
+        fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: NodeId, _msg: Box<dyn Payload>) {
+            self.got += 1;
+            self.last_at = ctx.now();
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+    }
+
+    struct Sender {
+        to: NodeId,
+    }
+    impl Actor for Sender {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.send(self.to, Hello);
+        }
+        fn on_message(&mut self, _: &mut Ctx<'_>, _: NodeId, _: Box<dyn Payload>) {}
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+    }
+
+    fn one_hop(src_az: u8, dst_az: u8) -> (Simulation, NodeId) {
+        let mut sim = Simulation::new(7);
+        sim.set_jitter(0.0);
+        let rx = sim.add_node(
+            NodeSpec::new("rx", Location::new(dst_az, 0)),
+            Box::new(Receiver { got: 0, last_at: SimTime::ZERO }),
+        );
+        let _tx = sim.add_node(NodeSpec::new("tx", Location::new(src_az, 1)), Box::new(Sender { to: rx }));
+        (sim, rx)
+    }
+
+    #[test]
+    fn cross_az_message_pays_table1_latency() {
+        let (mut sim, rx) = one_hop(0, 2);
+        sim.run_until(SimTime::from_millis(5));
+        let r = sim.actor::<Receiver>(rx);
+        assert_eq!(r.got, 1);
+        // one-way a<->c = 372us/2 = 186us, plus 256B serialization.
+        let expect = SimTime::ZERO
+            + SimDuration::from_micros(186)
+            + sim.latency_model().transfer_time(256);
+        assert_eq!(r.last_at, expect);
+    }
+
+    #[test]
+    fn intra_az_is_faster() {
+        let (mut a, rxa) = one_hop(0, 0);
+        a.run_until(SimTime::from_millis(5));
+        let (mut b, rxb) = one_hop(0, 1);
+        b.run_until(SimTime::from_millis(5));
+        assert!(a.actor::<Receiver>(rxa).last_at < b.actor::<Receiver>(rxb).last_at);
+    }
+
+    #[test]
+    fn dead_node_drops_messages() {
+        let (mut sim, rx) = one_hop(0, 1);
+        sim.kill_node(rx);
+        sim.run_until(SimTime::from_millis(5));
+        assert_eq!(sim.actor::<Receiver>(rx).got, 0);
+    }
+
+    #[test]
+    fn partitioned_azs_drop_messages_until_healed() {
+        let (mut sim, rx) = one_hop(0, 1);
+        sim.partition_azs(AzId(0), AzId(1));
+        sim.run_until(SimTime::from_millis(5));
+        assert_eq!(sim.actor::<Receiver>(rx).got, 0);
+        // Heal and resend via control hook.
+        sim.heal_azs(AzId(0), AzId(1));
+        sim.at(SimTime::from_millis(6), move |s| {
+            s.revive_node(NodeId(1)); // re-run sender on_start
+        });
+        sim.run_until(SimTime::from_millis(10));
+        assert_eq!(sim.actor::<Receiver>(rx).got, 1);
+    }
+
+    #[test]
+    fn traffic_is_accounted_per_az_pair() {
+        let (mut sim, _) = one_hop(0, 1);
+        sim.run_until(SimTime::from_millis(5));
+        assert_eq!(sim.az_traffic(AzId(0), AzId(1)), 256);
+        assert_eq!(sim.az_traffic(AzId(1), AzId(0)), 0);
+        assert_eq!(sim.cross_az_bytes(), 256);
+    }
+
+    #[test]
+    fn control_events_run_at_their_time() {
+        let mut sim = Simulation::new(3);
+        let rx = sim.add_node(
+            NodeSpec::new("rx", Location::new(0, 0)),
+            Box::new(Receiver { got: 0, last_at: SimTime::ZERO }),
+        );
+        sim.at(SimTime::from_millis(2), move |s| s.kill_node(rx));
+        sim.run_until(SimTime::from_millis(3));
+        assert!(!sim.is_alive(rx));
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        let run = |seed| {
+            let (mut sim, rx) = one_hop(0, 2);
+            sim.set_jitter(0.05);
+            let _ = seed;
+            sim.run_until(SimTime::from_millis(5));
+            sim.actor::<Receiver>(rx).last_at
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn actor_mut_allows_state_injection() {
+        let (mut sim, rx) = one_hop(0, 1);
+        sim.actor_mut::<Receiver>(rx).got = 99;
+        assert_eq!(sim.actor::<Receiver>(rx).got, 99);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a")]
+    fn actor_downcast_mismatch_panics() {
+        let (sim, rx) = one_hop(0, 1);
+        let _ = sim.actor::<Sender>(rx);
+    }
+}

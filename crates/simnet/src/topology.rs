@@ -1,0 +1,214 @@
+//! Cloud-region topology: availability zones, hosts, and the latency model.
+//!
+//! A simulated deployment lives inside one cloud *region* composed of one or
+//! more *availability zones* (AZs). Latency between two processes depends on
+//! whether they share a host, share an AZ, or sit in two different AZs; the
+//! inter-AZ figures default to the measurements the paper reports for GCP
+//! `us-west1` (Table I).
+
+use crate::time::SimDuration;
+use std::fmt;
+
+/// Identifier of an availability zone within the simulated region.
+///
+/// AZ `0` conventionally maps to `us-west1-a`, `1` to `us-west1-b`, and so on,
+/// but the mapping is up to the experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct AzId(pub u8);
+
+/// Identifier of a physical host within the simulated region.
+///
+/// Two actors sharing a `HostId` communicate at loopback-like latency and the
+/// NDB proximity score treats them as closest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct HostId(pub u32);
+
+impl fmt::Display for AzId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "az{}", self.0)
+    }
+}
+
+impl fmt::Display for HostId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "host{}", self.0)
+    }
+}
+
+/// Where a simulated process runs: its AZ and host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Location {
+    /// Availability zone the process runs in.
+    pub az: AzId,
+    /// Host the process runs on.
+    pub host: HostId,
+}
+
+impl Location {
+    /// Creates a location from raw AZ and host indices.
+    pub fn new(az: u8, host: u32) -> Self {
+        Location { az: AzId(az), host: HostId(host) }
+    }
+}
+
+/// One-way latency model for the region.
+///
+/// Stores a symmetric matrix of *round-trip* times between AZ pairs (as the
+/// paper's Table I reports them) and derives one-way latencies as half the
+/// RTT. Same-host and same-process messages use fixed low constants.
+///
+/// # Examples
+///
+/// ```
+/// use simnet::{LatencyModel, AzId};
+///
+/// let m = LatencyModel::gcp_us_west1();
+/// let local = m.one_way(AzId(1), AzId(1));
+/// let cross = m.one_way(AzId(0), AzId(2));
+/// assert!(cross > local);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LatencyModel {
+    /// `rtt[i][j]`: round-trip time between AZ `i` and AZ `j`.
+    rtt: Vec<Vec<SimDuration>>,
+    /// One-way latency between two processes on the same host.
+    pub same_host: SimDuration,
+    /// One-way latency between a process and itself (in-process hand-off).
+    pub loopback: SimDuration,
+    /// Bytes per second of per-link bandwidth used for the serialization term.
+    pub bandwidth_bytes_per_sec: u64,
+}
+
+impl LatencyModel {
+    /// Builds a model from a symmetric RTT matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is empty or not square.
+    pub fn from_rtt_matrix(rtt: Vec<Vec<SimDuration>>) -> Self {
+        assert!(!rtt.is_empty(), "latency matrix must be non-empty");
+        assert!(rtt.iter().all(|row| row.len() == rtt.len()), "latency matrix must be square");
+        LatencyModel {
+            rtt,
+            same_host: SimDuration::from_micros(25),
+            loopback: SimDuration::from_micros(2),
+            // 10 Gb/s, typical for the GCE instance class the paper used.
+            bandwidth_bytes_per_sec: 1_250_000_000,
+        }
+    }
+
+    /// The measured RTTs for GCP `us-west1` from the paper's Table I,
+    /// in milliseconds:
+    ///
+    /// |            | a     | b     | c     |
+    /// |------------|-------|-------|-------|
+    /// | us-west1-a | 0.247 | 0.360 | 0.372 |
+    /// | us-west1-b | 0.360 | 0.251 | 0.399 |
+    /// | us-west1-c | 0.372 | 0.399 | 0.249 |
+    pub fn gcp_us_west1() -> Self {
+        const US: [[u64; 3]; 3] = [[247, 360, 372], [360, 251, 399], [372, 399, 249]];
+        let rtt = US
+            .iter()
+            .map(|row| row.iter().map(|&us| SimDuration::from_micros(us)).collect())
+            .collect();
+        Self::from_rtt_matrix(rtt)
+    }
+
+    /// Number of AZs in the model.
+    pub fn az_count(&self) -> usize {
+        self.rtt.len()
+    }
+
+    /// Round-trip time between two AZs (as in Table I).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either AZ index is out of range.
+    pub fn rtt(&self, a: AzId, b: AzId) -> SimDuration {
+        self.rtt[a.0 as usize][b.0 as usize]
+    }
+
+    /// One-way network latency between two AZs (half the measured RTT).
+    pub fn one_way(&self, a: AzId, b: AzId) -> SimDuration {
+        self.rtt(a, b) / 2
+    }
+
+    /// One-way latency between two located processes, including the same-host
+    /// and loopback short-circuits, excluding the bandwidth term.
+    pub fn between(&self, src: Location, dst: Location) -> SimDuration {
+        if src.host == dst.host {
+            if src.az != dst.az {
+                // A host cannot straddle AZs; treat as config error in debug.
+                debug_assert!(false, "host {:?} placed in two AZs", src.host);
+            }
+            self.same_host
+        } else {
+            self.one_way(src.az, dst.az)
+        }
+    }
+
+    /// Serialization delay for a payload of `bytes` at the modeled bandwidth.
+    pub fn transfer_time(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_nanos(bytes.saturating_mul(1_000_000_000) / self.bandwidth_bytes_per_sec)
+    }
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        Self::gcp_us_west1()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matrix_matches_paper() {
+        let m = LatencyModel::gcp_us_west1();
+        assert_eq!(m.az_count(), 3);
+        assert_eq!(m.rtt(AzId(0), AzId(0)), SimDuration::from_micros(247));
+        assert_eq!(m.rtt(AzId(0), AzId(1)), SimDuration::from_micros(360));
+        assert_eq!(m.rtt(AzId(1), AzId(2)), SimDuration::from_micros(399));
+        // Symmetry.
+        for a in 0..3u8 {
+            for b in 0..3u8 {
+                assert_eq!(m.rtt(AzId(a), AzId(b)), m.rtt(AzId(b), AzId(a)));
+            }
+        }
+    }
+
+    #[test]
+    fn intra_az_is_faster_than_cross_az() {
+        let m = LatencyModel::gcp_us_west1();
+        for az in 0..3u8 {
+            for other in 0..3u8 {
+                if az != other {
+                    assert!(m.one_way(AzId(az), AzId(az)) < m.one_way(AzId(az), AzId(other)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn same_host_beats_same_az() {
+        let m = LatencyModel::gcp_us_west1();
+        let a = Location::new(0, 1);
+        let b = Location::new(0, 1);
+        let c = Location::new(0, 2);
+        assert!(m.between(a, b) < m.between(a, c));
+    }
+
+    #[test]
+    fn transfer_time_scales_with_bytes() {
+        let m = LatencyModel::gcp_us_west1();
+        assert_eq!(m.transfer_time(0), SimDuration::ZERO);
+        assert!(m.transfer_time(1 << 20) > m.transfer_time(1 << 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn rejects_non_square_matrix() {
+        let _ = LatencyModel::from_rtt_matrix(vec![vec![SimDuration::ZERO], vec![]]);
+    }
+}

@@ -1,0 +1,139 @@
+//! Property-based tests for the simulation kernel.
+
+use proptest::prelude::*;
+use simnet::{
+    Actor, Ctx, Histogram, LaneClassSpec, Lanes, Location, NodeId, NodeSpec, Payload, SimDuration,
+    SimTime, Simulation,
+};
+use std::any::Any;
+
+#[derive(Debug)]
+struct Stamp(u64);
+
+/// Fires a batch of timers with arbitrary delays.
+struct Firer {
+    delays: Vec<u64>,
+    to: NodeId,
+}
+impl Actor for Firer {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        for (i, &d) in self.delays.iter().enumerate() {
+            ctx.send_sized(self.to, 64, StampAt(i as u64, d));
+        }
+        // Also schedule them as self-timers relayed to the recorder.
+        let _ = ctx;
+    }
+    fn on_message(&mut self, _ctx: &mut Ctx<'_>, _from: NodeId, _msg: Box<dyn Payload>) {}
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+#[derive(Debug)]
+struct StampAt(u64, u64);
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Virtual time never goes backwards, regardless of timer order.
+    #[test]
+    fn delivery_times_are_monotone(delays in proptest::collection::vec(0u64..10_000, 1..50)) {
+        let mut sim = Simulation::new(1);
+        sim.set_jitter(0.0);
+        let rec = sim.add_node(
+            NodeSpec::new("rec", Location::new(0, 0)),
+            Box::new(RecordingRelay { seen: Vec::new() }),
+        );
+        let _f = sim.add_node(
+            NodeSpec::new("firer", Location::new(1, 1)),
+            Box::new(Firer { delays: delays.clone(), to: rec }),
+        );
+        sim.run_until(SimTime::from_secs(60));
+        let seen = &sim.actor::<RecordingRelay>(rec).seen;
+        prop_assert_eq!(seen.len(), delays.len());
+        for w in seen.windows(2) {
+            prop_assert!(w[0].1 <= w[1].1, "time went backwards: {:?}", w);
+        }
+    }
+
+    /// Same seed ⇒ identical event trace; the event count is stable.
+    #[test]
+    fn determinism_under_jitter(seed in 0u64..1000, delays in proptest::collection::vec(0u64..5_000, 1..20)) {
+        let run = |seed: u64, delays: &[u64]| {
+            let mut sim = Simulation::new(seed);
+            let rec = sim.add_node(
+                NodeSpec::new("rec", Location::new(0, 0)),
+                Box::new(RecordingRelay { seen: Vec::new() }),
+            );
+            let _f = sim.add_node(
+                NodeSpec::new("firer", Location::new(1, 1)),
+                Box::new(Firer { delays: delays.to_vec(), to: rec }),
+            );
+            sim.run_until(SimTime::from_secs(60));
+            (sim.events_processed(), sim.actor::<RecordingRelay>(rec).seen.clone())
+        };
+        let a = run(seed, &delays);
+        let b = run(seed, &delays);
+        prop_assert_eq!(a.0, b.0);
+        prop_assert_eq!(a.1, b.1);
+    }
+
+    /// Lanes: completion times are feasible (>= now + cost) and total busy
+    /// time equals the sum of effective costs.
+    #[test]
+    fn lanes_conserve_work(costs in proptest::collection::vec(1u64..100_000, 1..100), threads in 1usize..8) {
+        let mut lanes = Lanes::new(&[LaneClassSpec::new("w", threads)]);
+        let now = SimTime::from_millis(1);
+        let mut total = SimDuration::ZERO;
+        for &c in &costs {
+            let cost = SimDuration::from_nanos(c);
+            let done = lanes.execute("w", now, cost);
+            prop_assert!(done >= now + cost);
+            total += cost;
+        }
+        prop_assert_eq!(lanes.busy_total("w"), total);
+        prop_assert_eq!(lanes.items("w"), costs.len() as u64);
+    }
+
+    /// Histogram quantiles are order statistics within the bucket error.
+    #[test]
+    fn histogram_quantiles_bounded(mut values in proptest::collection::vec(1u64..1_000_000_000, 10..500)) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        for &(q, idx) in &[(0.5, values.len() / 2), (0.9, values.len() * 9 / 10)] {
+            let est = h.quantile(q) as f64;
+            // Compare against nearby order statistics with 6% relative slack.
+            let lo = values[idx.saturating_sub(2)] as f64 * 0.94 - 1.0;
+            let hi = values[(idx + 2).min(values.len() - 1)] as f64 * 1.06 + 1.0;
+            prop_assert!(est >= lo && est <= hi, "q={q} est={est} window=[{lo},{hi}]");
+        }
+        prop_assert_eq!(h.max(), *values.last().unwrap());
+        prop_assert_eq!(h.min(), values[0]);
+    }
+}
+
+/// Relay + recorder in one actor (receives StampAt, self-schedules Stamp,
+/// records Stamp arrival).
+struct RecordingRelay {
+    seen: Vec<(u64, SimTime)>,
+}
+impl Actor for RecordingRelay {
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: NodeId, msg: Box<dyn Payload>) {
+        let any = msg.into_any();
+        let any = match any.downcast::<StampAt>() {
+            Ok(s) => {
+                ctx.schedule(SimDuration::from_micros(s.1), Stamp(s.0));
+                return;
+            }
+            Err(m) => m,
+        };
+        if let Ok(s) = any.downcast::<Stamp>() {
+            self.seen.push((s.0, ctx.now()));
+        }
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}

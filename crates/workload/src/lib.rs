@@ -1,0 +1,20 @@
+//! # workload — benchmark workloads for the HopsFS-CL reproduction
+//!
+//! - [`namespace`]: deterministic hierarchical namespace generation with
+//!   Zipf file popularity, loadable into both HopsFS and CephFS clusters;
+//! - [`spotify`]: the read-dominated Spotify-trace operation mix the paper
+//!   evaluates with (§V-B1), reproduced from its published characterization;
+//! - [`micro`]: the single-operation micro-benchmarks of Figures 7 and 9.
+//!
+//! All sources implement [`hopsfs::OpSource`], so the same session drives a
+//! HopsFS client or a CephFS client unchanged.
+
+#![warn(missing_docs)]
+
+pub mod micro;
+pub mod namespace;
+pub mod spotify;
+
+pub use micro::{MicroOp, MicroSource};
+pub use namespace::{Namespace, NamespaceSpec};
+pub use spotify::{Mix, SpotifySource};

@@ -1,0 +1,162 @@
+//! Single-operation micro-benchmarks (the paper's Figure 7 and Figure 9
+//! workloads): mkdir, createFile, readFile, deleteFile.
+
+use crate::namespace::Namespace;
+use hopsfs::client::OpSource;
+use hopsfs::{FsOp, FsPath};
+use rand::rngs::StdRng;
+use simnet::SimTime;
+use std::rc::Rc;
+
+/// Which single operation the session repeats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MicroOp {
+    /// `mkdir` of fresh directories.
+    Mkdir,
+    /// `createFile` of fresh empty files.
+    Create,
+    /// `readFile` (open) of existing files.
+    Read,
+    /// `deleteFile` of pre-created files.
+    Delete,
+}
+
+impl MicroOp {
+    /// All micro-benchmarks in the paper's Figure 7 order.
+    pub const ALL: [MicroOp; 4] = [MicroOp::Mkdir, MicroOp::Create, MicroOp::Delete, MicroOp::Read];
+
+    /// Figure label.
+    pub fn name(self) -> &'static str {
+        match self {
+            MicroOp::Mkdir => "mkdir",
+            MicroOp::Create => "createFile",
+            MicroOp::Read => "readFile",
+            MicroOp::Delete => "deleteFile",
+        }
+    }
+}
+
+/// A micro-benchmark session.
+pub struct MicroSource {
+    op: MicroOp,
+    ns: Rc<Namespace>,
+    private_dir: String,
+    seq: u64,
+    /// For `Delete`: number of pre-created files available (created at bulk
+    /// load under the private dir as `p0..p{n-1}`); the session ends when
+    /// they run out.
+    pub precreated: u64,
+    /// Stop after this many ops (`None` = until exhausted/forever).
+    pub max_ops: Option<u64>,
+    issued: u64,
+}
+
+impl MicroSource {
+    /// Creates a session. For `Delete`, pre-create `precreated` files named
+    /// `{private_dir}/p{i}` at bulk-load time (see
+    /// [`MicroSource::precreate_paths`]).
+    pub fn new(op: MicroOp, ns: Rc<Namespace>, session_id: u64, precreated: u64) -> Self {
+        MicroSource {
+            op,
+            ns,
+            private_dir: Self::private_dir_for(session_id),
+            seq: 0,
+            precreated,
+            max_ops: None,
+            issued: 0,
+        }
+    }
+
+    /// The session's private directory (pre-create at bulk load).
+    pub fn private_dir_for(session_id: u64) -> String {
+        format!("/micro/s{session_id}")
+    }
+
+    /// Paths to pre-create for a `Delete` session.
+    pub fn precreate_paths(session_id: u64, n: u64) -> impl Iterator<Item = String> {
+        let dir = Self::private_dir_for(session_id);
+        (0..n).map(move |i| format!("{dir}/p{i}"))
+    }
+}
+
+impl OpSource for MicroSource {
+    fn next_op(&mut self, rng: &mut StdRng, _now: SimTime) -> Option<FsOp> {
+        if let Some(max) = self.max_ops {
+            if self.issued >= max {
+                return None;
+            }
+        }
+        self.issued += 1;
+        let p = |s: &str| FsPath::parse(s).expect("generated paths are valid");
+        let op = match self.op {
+            MicroOp::Mkdir => {
+                self.seq += 1;
+                FsOp::Mkdir { path: p(&format!("{}/d{}", self.private_dir, self.seq)) }
+            }
+            MicroOp::Create => {
+                self.seq += 1;
+                FsOp::Create { path: p(&format!("{}/f{}", self.private_dir, self.seq)), size: 0 }
+            }
+            MicroOp::Read => FsOp::Open { path: p(self.ns.sample_file(rng)) },
+            MicroOp::Delete => {
+                if self.seq >= self.precreated {
+                    return None;
+                }
+                let path = format!("{}/p{}", self.private_dir, self.seq);
+                self.seq += 1;
+                FsOp::Delete { path: p(&path), recursive: false }
+            }
+        };
+        Some(op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::namespace::NamespaceSpec;
+    use hopsfs::OpKind;
+    use rand::SeedableRng;
+
+    fn ns() -> Rc<Namespace> {
+        Rc::new(Namespace::generate(&NamespaceSpec::default()))
+    }
+
+    #[test]
+    fn each_micro_op_emits_its_kind() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for (op, kind) in [
+            (MicroOp::Mkdir, OpKind::Mkdir),
+            (MicroOp::Create, OpKind::Create),
+            (MicroOp::Read, OpKind::Open),
+        ] {
+            let mut s = MicroSource::new(op, ns(), 1, 0);
+            for _ in 0..10 {
+                assert_eq!(s.next_op(&mut rng, SimTime::ZERO).unwrap().kind(), kind);
+            }
+        }
+    }
+
+    #[test]
+    fn create_paths_are_unique() {
+        let mut s = MicroSource::new(MicroOp::Create, ns(), 2, 0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            let op = s.next_op(&mut rng, SimTime::ZERO).unwrap();
+            assert!(seen.insert(op.path().to_string()), "duplicate create path");
+        }
+    }
+
+    #[test]
+    fn delete_consumes_precreated_then_ends() {
+        let mut s = MicroSource::new(MicroOp::Delete, ns(), 3, 4);
+        let mut rng = StdRng::seed_from_u64(1);
+        let expected: Vec<String> = MicroSource::precreate_paths(3, 4).collect();
+        for want in &expected {
+            let op = s.next_op(&mut rng, SimTime::ZERO).unwrap();
+            assert_eq!(&op.path().to_string(), want);
+        }
+        assert!(s.next_op(&mut rng, SimTime::ZERO).is_none());
+    }
+}

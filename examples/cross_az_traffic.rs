@@ -1,0 +1,82 @@
+//! Cross-AZ traffic and cost comparison: the same workload on vanilla
+//! HA HopsFS vs HopsFS-CL, with a GCP-style inter-AZ egress price attached
+//! (§III C2: "network traffic within the same AZ is typically free, whereas
+//! the cost of network traffic across AZs may not be insignificant").
+//!
+//! ```sh
+//! cargo run --release --example cross_az_traffic
+//! ```
+
+use hopsfs::client::ClientStats;
+use hopsfs::{build_fs_cluster, FsConfig};
+use simnet::{AzId, SimDuration, SimTime, Simulation};
+use std::rc::Rc;
+use workload::{Mix, Namespace, NamespaceSpec, SpotifySource};
+
+/// GCP charges ~$0.01/GB for traffic between zones in the same region.
+const USD_PER_GB: f64 = 0.01;
+
+struct Outcome {
+    ops: u64,
+    cross_az_gb: f64,
+    per_pair: Vec<(u8, u8, f64)>,
+}
+
+fn run(label: &str, cfg: FsConfig) -> Outcome {
+    let scale = 4;
+    let cfg = cfg.scaled_down(scale);
+    let azs = cfg.azs.clone();
+    let mut sim = Simulation::new(99);
+    let mut cluster = build_fs_cluster(&mut sim, cfg, 0);
+    let ns = Rc::new(Namespace::generate(&NamespaceSpec::default()));
+    ns.load_hopsfs(&mut sim, &mut cluster, 0);
+    let stats = ClientStats::shared();
+    let sessions = 12 * 96 / scale;
+    for s in 0..sessions as u64 {
+        cluster.bulk_mkdir_p(&mut sim, &SpotifySource::private_dir_for(s));
+        let source = Box::new(SpotifySource::new(Rc::clone(&ns), Mix::SPOTIFY, s));
+        cluster.add_client(&mut sim, azs[s as usize % azs.len()], source, stats.clone());
+    }
+    sim.run_until(SimTime::ZERO + SimDuration::from_secs(3));
+    let mut per_pair = Vec::new();
+    for a in 0..3u8 {
+        for b in 0..3u8 {
+            if a != b {
+                let gb = sim.az_traffic(AzId(a), AzId(b)) as f64 * scale as f64 / 1e9;
+                if gb > 0.0 {
+                    per_pair.push((a, b, gb));
+                }
+            }
+        }
+    }
+    let ops = stats.borrow().total_ok();
+    println!("  {label:<18} ops={ops:>8}");
+    Outcome { ops, cross_az_gb: sim.cross_az_bytes() as f64 * scale as f64 / 1e9, per_pair }
+}
+
+fn main() {
+    println!("running the Spotify mix for 3 virtual seconds on 12 NNs…");
+    let vanilla = run("HopsFS (3,3)", FsConfig::hopsfs(12, 3, 3, 12));
+    let cl = run("HopsFS-CL (3,3)", FsConfig::hopsfs_cl(12, 3, 12));
+
+    println!("\n=== cross-AZ traffic (3 virtual seconds, scaled to paper hardware) ===");
+    for (label, o) in [("HopsFS (3,3)", &vanilla), ("HopsFS-CL (3,3)", &cl)] {
+        println!("\n{label}: {:.2} GB cross-AZ total", o.cross_az_gb);
+        for (a, b, gb) in &o.per_pair {
+            println!("   az{a} -> az{b}: {gb:>6.2} GB");
+        }
+        let per_month = o.cross_az_gb / 3.0 * 3600.0 * 24.0 * 30.0;
+        println!(
+            "   at this rate: {:.0} TB/month ≈ ${:.0}/month in inter-AZ egress",
+            per_month / 1000.0,
+            per_month * USD_PER_GB
+        );
+    }
+    let saving = 1.0 - cl.cross_az_gb / vanilla.cross_az_gb;
+    println!(
+        "\nAZ-awareness cut cross-AZ traffic by {:.0}% while serving {:.1}x the operations",
+        saving * 100.0,
+        cl.ops as f64 / vanilla.ops as f64
+    );
+    assert!(saving > 0.3, "HopsFS-CL must substantially reduce cross-AZ traffic");
+}

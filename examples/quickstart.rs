@@ -1,0 +1,74 @@
+//! Quickstart: deploy a 3-AZ HopsFS-CL cluster, run file-system operations
+//! through the client API, and inspect the results.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use hopsfs::client::ClientStats;
+use hopsfs::{build_fs_cluster, FsClientActor, FsConfig, FsOk, FsOp, FsPath, ScriptedSource};
+use simnet::{AzId, SimDuration, SimTime, Simulation};
+
+fn p(s: &str) -> FsPath {
+    FsPath::parse(s).expect("valid path")
+}
+
+fn main() {
+    // A deterministic simulated cloud region (3 AZs, `us-west1` latencies).
+    let mut sim = Simulation::new(42);
+
+    // HopsFS-CL: 6 NDB datanodes with metadata replication 3 (one replica
+    // per AZ), 3 namenodes (one per AZ), 3 block datanodes — all AZ-aware.
+    let cfg = FsConfig::hopsfs_cl(6, 3, 3);
+    let cluster = build_fs_cluster(&mut sim, cfg, 3);
+
+    // One client session in us-west1-a running a script of operations.
+    let ops = vec![
+        FsOp::Mkdir { path: p("/music") },
+        FsOp::Mkdir { path: p("/music/playlists") },
+        FsOp::Create { path: p("/music/playlists/road-trip"), size: 4096 },
+        FsOp::Create { path: p("/music/playlists/focus"), size: 0 },
+        FsOp::Stat { path: p("/music/playlists/road-trip") },
+        FsOp::List { path: p("/music/playlists") },
+        FsOp::Rename { src: p("/music/playlists/focus"), dst: p("/music/playlists/deep-focus") },
+        FsOp::Open { path: p("/music/playlists/road-trip") },
+        FsOp::Delete { path: p("/music/playlists/deep-focus"), recursive: false },
+        FsOp::List { path: p("/music/playlists") },
+    ];
+    let n_ops = ops.len();
+    let stats = ClientStats::shared();
+    let client = cluster.add_client(&mut sim, AzId(0), Box::new(ScriptedSource::new(ops)), stats);
+    sim.actor_mut::<FsClientActor>(client).keep_results = true;
+
+    // Run the virtual cluster until the script completes.
+    let mut t = SimTime::ZERO;
+    while sim.actor::<FsClientActor>(client).results.len() < n_ops && t < SimTime::from_secs(30) {
+        t += SimDuration::from_millis(100);
+        sim.run_until(t);
+    }
+
+    println!("HopsFS-CL quickstart — results:\n");
+    let results = &sim.actor::<FsClientActor>(client).results;
+    for (i, r) in results.iter().enumerate() {
+        match r {
+            Ok(FsOk::Done) => println!("  [{i}] ok"),
+            Ok(FsOk::Attrs(a)) => {
+                println!("  [{i}] stat: inode {} size {} {}", a.id, a.size, if a.is_dir { "dir" } else { "file" })
+            }
+            Ok(FsOk::Listing(entries)) => {
+                let names: Vec<&str> = entries.iter().map(|e| e.name.as_str()).collect();
+                println!("  [{i}] ls: {names:?}");
+            }
+            Ok(FsOk::Locations { attrs, blocks }) => {
+                println!("  [{i}] open: {} bytes, {} inline, {} blocks", attrs.size, attrs.inline_len, blocks.len())
+            }
+            Err(e) => println!("  [{i}] error: {e}"),
+        }
+    }
+    assert!(results.iter().all(|r| r.is_ok()), "all quickstart ops should succeed");
+    println!(
+        "\nvirtual time elapsed: {} — every operation was a distributed transaction on the\n\
+         simulated NDB cluster, replicated across three availability zones.",
+        sim.now()
+    );
+}

@@ -1,0 +1,91 @@
+//! Run the paper's Spotify-mix benchmark against a configurable deployment
+//! and print a throughput/latency report.
+//!
+//! ```sh
+//! cargo run --release --example spotify_benchmark -- [hopsfs-cl|hopsfs|hopsfs-1az] [namenodes] [seconds]
+//! ```
+
+use hopsfs::client::ClientStats;
+use hopsfs::{build_fs_cluster, FsConfig, OpKind};
+use simnet::{SimDuration, SimTime, Simulation};
+use std::rc::Rc;
+use workload::{Mix, Namespace, NamespaceSpec, SpotifySource};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let flavor = args.next().unwrap_or_else(|| "hopsfs-cl".into());
+    let nns: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(6);
+    let secs: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(3);
+    let scale = 4;
+
+    let cfg = match flavor.as_str() {
+        "hopsfs-cl" => FsConfig::hopsfs_cl(12, 3, nns),
+        "hopsfs" => FsConfig::hopsfs(12, 3, 3, nns),
+        "hopsfs-1az" => FsConfig::hopsfs(12, 2, 1, nns),
+        other => {
+            eprintln!("unknown flavor {other}; use hopsfs-cl | hopsfs | hopsfs-1az");
+            std::process::exit(2);
+        }
+    }
+    .scaled_down(scale);
+    let azs = cfg.azs.clone();
+
+    println!("deploying {flavor} with {nns} namenodes (scale 1/{scale})…");
+    let mut sim = Simulation::new(123);
+    let mut cluster = build_fs_cluster(&mut sim, cfg, 0);
+    let ns = Rc::new(Namespace::generate(&NamespaceSpec::default()));
+    ns.load_hopsfs(&mut sim, &mut cluster, 0);
+
+    let sessions = (nns * 96 / scale).max(1);
+    let stats = ClientStats::shared();
+    stats.borrow_mut().recording = false;
+    for s in 0..sessions as u64 {
+        cluster.bulk_mkdir_p(&mut sim, &SpotifySource::private_dir_for(s));
+        let source = Box::new(SpotifySource::new(Rc::clone(&ns), Mix::SPOTIFY, s));
+        cluster.add_client(&mut sim, azs[s as usize % azs.len()], source, stats.clone());
+    }
+    println!("driving {sessions} closed-loop client sessions ({} unscaled)…", sessions * scale);
+
+    // Warm up, then measure.
+    let warmup = SimDuration::from_millis(1500);
+    {
+        let st = stats.clone();
+        sim.at(SimTime::ZERO + warmup, move |_| st.borrow_mut().recording = true);
+    }
+    let wall = std::time::Instant::now();
+    sim.run_until(SimTime::ZERO + warmup + SimDuration::from_secs(secs));
+    let st = stats.borrow();
+
+    println!("\n=== Spotify workload report ({flavor}, {nns} NNs) ===");
+    println!(
+        "throughput : {:.0} ops/s ({:.0} scaled to paper hardware)",
+        st.total_ok() as f64 / secs as f64,
+        st.total_ok() as f64 / secs as f64 * scale as f64
+    );
+    println!(
+        "latency    : avg {:.2} ms   p50 {:.2}   p90 {:.2}   p99 {:.2}",
+        st.latency_all.mean() / 1e6,
+        st.latency_all.quantile(0.5) as f64 / 1e6,
+        st.latency_all.quantile(0.9) as f64 / 1e6,
+        st.latency_all.quantile(0.99) as f64 / 1e6
+    );
+    println!("errors     : {:?}", st.errors);
+    println!("\nper-operation breakdown:");
+    for kind in OpKind::ALL {
+        let n = st.ok_of(kind);
+        if n > 0 {
+            println!(
+                "  {:<10} {:>9.0} ops/s   p50 {:>7.2} ms",
+                kind.name(),
+                n as f64 / secs as f64 * scale as f64,
+                st.latency_of(kind).quantile(0.5) as f64 / 1e6
+            );
+        }
+    }
+    println!(
+        "\nsimulated {}s of cluster time in {:.1}s wall ({} events)",
+        secs + 1,
+        wall.elapsed().as_secs_f64(),
+        sim.events_processed()
+    );
+}

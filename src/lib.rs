@@ -1,0 +1,10 @@
+//! Convenience facade over the HopsFS-CL reproduction workspace.
+//!
+//! Re-exports the member crates so examples and integration tests can use a
+//! single dependency.
+
+pub use cephsim;
+pub use hopsfs;
+pub use ndb;
+pub use simnet;
+pub use workload;

@@ -1,0 +1,146 @@
+//! Cross-system parity: the same operations and the same generated
+//! namespace must look identical through HopsFS-CL and through the CephFS
+//! baseline — the comparison in the paper's Figure 5 is only fair if both
+//! systems implement the same file system semantics.
+
+use hopsfs::client::ClientStats;
+use hopsfs::{FsOk, FsOp, FsPath, ScriptedSource};
+use simnet::{AzId, SimDuration, SimTime, Simulation};
+use std::rc::Rc;
+use workload::{Namespace, NamespaceSpec};
+
+fn p(s: &str) -> FsPath {
+    FsPath::parse(s).unwrap()
+}
+
+fn scenario() -> Vec<FsOp> {
+    vec![
+        FsOp::Mkdir { path: p("/a") },
+        FsOp::Mkdir { path: p("/a/b") },
+        FsOp::Create { path: p("/a/b/f1"), size: 0 },
+        FsOp::Create { path: p("/a/b/f2"), size: 2048 },
+        FsOp::List { path: p("/a/b") },
+        FsOp::Stat { path: p("/a/b/f2") },
+        FsOp::Rename { src: p("/a/b"), dst: p("/a/c") },
+        FsOp::Stat { path: p("/a/c/f1") },
+        FsOp::Stat { path: p("/a/b/f1") },
+        FsOp::Delete { path: p("/a/c/f1"), recursive: false },
+        FsOp::List { path: p("/a/c") },
+        FsOp::Delete { path: p("/a"), recursive: true },
+        FsOp::List { path: p("/") },
+    ]
+}
+
+fn run_hopsfs(ops: Vec<FsOp>) -> Vec<hopsfs::FsResult> {
+    let n = ops.len();
+    let mut sim = Simulation::new(3);
+    sim.set_jitter(0.0);
+    let cluster = hopsfs::build_fs_cluster(&mut sim, hopsfs::FsConfig::hopsfs_cl(6, 3, 2), 0);
+    let stats = ClientStats::shared();
+    let c = cluster.add_client(&mut sim, AzId(0), Box::new(ScriptedSource::new(ops)), stats);
+    sim.actor_mut::<hopsfs::FsClientActor>(c).keep_results = true;
+    let mut t = SimTime::ZERO;
+    while sim.actor::<hopsfs::FsClientActor>(c).results.len() < n && t < SimTime::from_secs(60) {
+        t += SimDuration::from_millis(100);
+        sim.run_until(t);
+    }
+    sim.actor::<hopsfs::FsClientActor>(c).results.clone()
+}
+
+fn run_ceph(ops: Vec<FsOp>) -> Vec<hopsfs::FsResult> {
+    let n = ops.len();
+    let mut sim = Simulation::new(3);
+    sim.set_jitter(0.0);
+    let mut cluster = cephsim::build_ceph_cluster(
+        &mut sim,
+        cephsim::CephConfig::paper(3, cephsim::BalanceMode::Dynamic, false),
+    );
+    cluster.apply_pinning();
+    let stats = ClientStats::shared();
+    let c = cluster.add_client(&mut sim, AzId(0), Box::new(ScriptedSource::new(ops)), stats);
+    sim.actor_mut::<cephsim::CephClientActor>(c).keep_results = true;
+    let mut t = SimTime::ZERO;
+    while sim.actor::<cephsim::CephClientActor>(c).results.len() < n && t < SimTime::from_secs(60) {
+        t += SimDuration::from_millis(100);
+        sim.run_until(t);
+    }
+    sim.actor::<cephsim::CephClientActor>(c).results.clone()
+}
+
+#[test]
+fn fixed_scenario_gives_identical_results() {
+    let hops = run_hopsfs(scenario());
+    let ceph = run_ceph(scenario());
+    assert_eq!(hops.len(), ceph.len());
+    for (i, (h, c)) in hops.iter().zip(&ceph).enumerate() {
+        let same = match (h, c) {
+            (Ok(FsOk::Listing(a)), Ok(FsOk::Listing(b))) => {
+                let names = |v: &Vec<hopsfs::DirEntry>| {
+                    let mut n: Vec<String> = v.iter().map(|e| e.name.clone()).collect();
+                    n.sort();
+                    n
+                };
+                names(a) == names(b)
+            }
+            (Ok(FsOk::Attrs(a)), Ok(FsOk::Attrs(b))) => a.is_dir == b.is_dir && a.size == b.size,
+            (Ok(_), Ok(_)) => true,
+            (Err(a), Err(b)) => a == b,
+            _ => false,
+        };
+        assert!(same, "op {i}: hopsfs={h:?} cephfs={c:?}");
+    }
+}
+
+#[test]
+fn generated_namespace_loads_identically_into_both_systems() {
+    let spec = NamespaceSpec { users: 6, dirs_per_user: 2, files_per_dir: 3, ..Default::default() };
+    let ns = Rc::new(Namespace::generate(&spec));
+
+    // Load into HopsFS via bulk loader; verify through the protocol.
+    let mut sim = Simulation::new(4);
+    sim.set_jitter(0.0);
+    let mut cluster = hopsfs::build_fs_cluster(&mut sim, hopsfs::FsConfig::hopsfs_cl(6, 3, 2), 0);
+    ns.load_hopsfs(&mut sim, &mut cluster, 0);
+    let probes: Vec<FsOp> = vec![
+        FsOp::List { path: p("/user/u0/d0") },
+        FsOp::Stat { path: p(&ns.files[0]) },
+        FsOp::List { path: p("/user") },
+    ];
+    let nops = probes.len();
+    let stats = ClientStats::shared();
+    let c = cluster.add_client(&mut sim, AzId(1), Box::new(ScriptedSource::new(probes)), stats);
+    sim.actor_mut::<hopsfs::FsClientActor>(c).keep_results = true;
+    let mut t = SimTime::ZERO;
+    while sim.actor::<hopsfs::FsClientActor>(c).results.len() < nops && t < SimTime::from_secs(30) {
+        t += SimDuration::from_millis(100);
+        sim.run_until(t);
+    }
+    let hops_results = sim.actor::<hopsfs::FsClientActor>(c).results.clone();
+
+    // Load into CephFS and read directly from its namespace store.
+    let mut sim2 = Simulation::new(4);
+    let mut ceph = cephsim::build_ceph_cluster(
+        &mut sim2,
+        cephsim::CephConfig::paper(2, cephsim::BalanceMode::Dynamic, false),
+    );
+    ns.load_ceph(&mut ceph, 0);
+
+    match &hops_results[0] {
+        Ok(FsOk::Listing(entries)) => {
+            assert_eq!(entries.len(), spec.files_per_dir);
+            let ceph_listing = ceph.ns.borrow().list("/user/u0/d0").unwrap();
+            let mut a: Vec<String> = entries.iter().map(|e| e.name.clone()).collect();
+            let mut b: Vec<String> = ceph_listing.iter().map(|e| e.name.clone()).collect();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "both systems see the same directory contents");
+        }
+        other => panic!("hopsfs listing failed: {other:?}"),
+    }
+    assert!(hops_results[1].is_ok(), "hottest file must exist in hopsfs");
+    assert!(ceph.ns.borrow().get(&ns.files[0]).is_some(), "hottest file must exist in cephfs");
+    match &hops_results[2] {
+        Ok(FsOk::Listing(entries)) => assert_eq!(entries.len(), spec.users),
+        other => panic!("/user listing failed: {other:?}"),
+    }
+}

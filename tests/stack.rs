@@ -1,0 +1,132 @@
+//! Whole-stack integration: drive the Spotify workload through the full
+//! HopsFS-CL deployment (clients → namenodes → NDB) and check the
+//! system-level properties the paper's design promises.
+
+use hopsfs::client::ClientStats;
+use hopsfs::{build_fs_cluster, FsConfig, NameNodeActor};
+use simnet::{AzId, SimDuration, SimTime, Simulation};
+use std::rc::Rc;
+use workload::{Mix, Namespace, NamespaceSpec, SpotifySource};
+
+struct Deployment {
+    sim: Simulation,
+    cluster: hopsfs::FsCluster,
+    stats: Rc<std::cell::RefCell<ClientStats>>,
+}
+
+fn deploy(cfg: FsConfig, sessions: usize, seed: u64) -> Deployment {
+    let azs = cfg.azs.clone();
+    let mut sim = Simulation::new(seed);
+    let mut cluster = build_fs_cluster(&mut sim, cfg, 0);
+    let ns = Rc::new(Namespace::generate(&NamespaceSpec {
+        users: 20,
+        dirs_per_user: 2,
+        files_per_dir: 6,
+        ..Default::default()
+    }));
+    ns.load_hopsfs(&mut sim, &mut cluster, 0);
+    let stats = ClientStats::shared();
+    for s in 0..sessions as u64 {
+        cluster.bulk_mkdir_p(&mut sim, &SpotifySource::private_dir_for(s));
+        let src = Box::new(SpotifySource::new(Rc::clone(&ns), Mix::SPOTIFY, s));
+        cluster.add_client(&mut sim, azs[s as usize % azs.len()], src, stats.clone());
+    }
+    Deployment { sim, cluster, stats }
+}
+
+#[test]
+fn spotify_load_runs_clean_on_hopsfs_cl() {
+    let mut d = deploy(FsConfig::hopsfs_cl(6, 3, 3).scaled_down(8), 24, 9);
+    d.sim.run_until(SimTime::from_secs(3));
+    let st = d.stats.borrow();
+    assert!(st.total_ok() > 3000, "throughput too low: {}", st.total_ok());
+    let errs = st.total_err();
+    assert!(
+        (errs as f64) < st.total_ok() as f64 * 0.001,
+        "too many errors: {errs} ({:?})",
+        st.errors
+    );
+    // Latency is sane for an in-region distributed FS.
+    let avg_ms = st.latency_all.mean() / 1e6;
+    assert!(avg_ms > 0.5 && avg_ms < 50.0, "avg latency {avg_ms}ms");
+}
+
+#[test]
+fn leader_election_converges_and_all_nns_serve() {
+    let mut d = deploy(FsConfig::hopsfs_cl(6, 3, 4).scaled_down(8), 16, 11);
+    d.sim.run_until(SimTime::from_secs(6));
+    // All namenodes agree on one leader (the smallest live index).
+    let leaders: Vec<u32> = d
+        .cluster
+        .view
+        .nn_ids
+        .iter()
+        .map(|&id| d.sim.actor::<NameNodeActor>(id).leader_idx)
+        .collect();
+    assert!(leaders.iter().all(|&l| l == leaders[0]), "leader votes diverge: {leaders:?}");
+    assert_eq!(leaders[0], 0, "lowest live namenode index leads");
+    // Every namenode served operations (the AZ-aware client policy spreads
+    // sessions over AZ-local namenodes).
+    for &id in &d.cluster.view.nn_ids {
+        let served = d.sim.actor::<NameNodeActor>(id).stats.total_ok();
+        assert!(served > 0, "namenode {id} served nothing");
+    }
+}
+
+#[test]
+fn az_awareness_reduces_cross_az_traffic_under_equal_load() {
+    let run = |cfg: FsConfig| {
+        let mut d = deploy(cfg.scaled_down(8), 24, 13);
+        d.sim.run_until(SimTime::from_secs(3));
+        let ok = d.stats.borrow().total_ok();
+        (ok, d.sim.cross_az_bytes())
+    };
+    let (ops_vanilla, bytes_vanilla) = run(FsConfig::hopsfs(6, 3, 3, 3));
+    let (ops_cl, bytes_cl) = run(FsConfig::hopsfs_cl(6, 3, 3));
+    // Normalize per op: CL must move much less cross-AZ traffic.
+    let per_op_vanilla = bytes_vanilla as f64 / ops_vanilla as f64;
+    let per_op_cl = bytes_cl as f64 / ops_cl as f64;
+    assert!(
+        per_op_cl < per_op_vanilla * 0.6,
+        "CL cross-AZ per op {per_op_cl:.0}B vs vanilla {per_op_vanilla:.0}B"
+    );
+}
+
+#[test]
+fn hopsfs_cl_survives_leader_nn_and_az_loss_mid_load() {
+    let mut d = deploy(FsConfig::hopsfs_cl(6, 3, 6).scaled_down(8), 18, 17);
+    d.sim.run_until(SimTime::from_secs(2));
+    let before = d.stats.borrow().total_ok();
+    assert!(before > 0);
+    // Kill the leader NN, then a whole AZ.
+    let leader = d.cluster.view.nn_ids[0];
+    d.sim.kill_node(leader);
+    d.sim.run_until(SimTime::from_secs(4));
+    d.sim.kill_az(AzId(2));
+    d.sim.run_until(SimTime::from_secs(12));
+    let after = d.stats.borrow().total_ok();
+    assert!(after > before + 500, "cluster stopped serving after failures: {before} -> {after}");
+    // A new leader emerged among survivors.
+    d.sim.run_for(SimDuration::from_secs(4));
+    let survivors: Vec<usize> = (0..6)
+        .filter(|&i| d.sim.is_alive(d.cluster.view.nn_ids[i]))
+        .collect();
+    let votes: Vec<u32> = survivors
+        .iter()
+        .map(|&i| d.sim.actor::<NameNodeActor>(d.cluster.view.nn_ids[i]).leader_idx)
+        .collect();
+    assert!(votes.iter().all(|&v| v == votes[0] && v as usize != 0), "no new leader: {votes:?}");
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let run = || {
+        let mut d = deploy(FsConfig::hopsfs_cl(6, 3, 2).scaled_down(8), 8, 21);
+        d.sim.run_until(SimTime::from_secs(2));
+        let events = d.sim.events_processed();
+        let ok = d.stats.borrow().total_ok();
+        let _ = &d.cluster;
+        (events, ok)
+    };
+    assert_eq!(run(), run(), "same seed must give identical traces");
+}
