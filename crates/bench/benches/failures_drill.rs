@@ -1,13 +1,17 @@
 //! **§V-F (failures)**: availability drill on a HA HopsFS-CL (3,3)
 //! deployment — namenode kill, AZ kill, and an AZ network partition resolved
-//! by the NDB arbitrator — printing an availability timeline.
+//! by the NDB arbitrator — printing an availability timeline plus
+//! quantitative recovery metrics (time-to-failover, unavailability window,
+//! client-visible errors, re-replication completion), saved as JSON.
 
 #![allow(clippy::field_reassign_with_default, clippy::type_complexity)]
 
-use hopsfs::client::ClientStats;
-use hopsfs::{build_fs_cluster, FsConfig, FsOp, FsPath, OpSource};
+use bench::report::save_json;
+use hopsfs::block::BlockDnActor;
+use hopsfs::client::{ClientStats, FsClientActor};
+use hopsfs::{build_fs_cluster, FsConfig, FsOp, FsPath, OpSource, ScriptedSource};
 use rand::rngs::StdRng;
-use simnet::{AzId, SimTime, Simulation};
+use simnet::{AzId, SimDuration, SimTime, Simulation};
 
 /// Endless stat/create mix over a tiny namespace (availability probe).
 struct Probe {
@@ -26,19 +30,77 @@ impl OpSource for Probe {
     }
 }
 
+/// Quantitative recovery metrics of one drill run (saved as JSON).
+#[derive(serde::Serialize)]
+struct DrillMetrics {
+    /// Pre-fault throughput, ops/s over [1 s, 4 s).
+    steady_ops_per_s: f64,
+    /// Seconds from the leader-NN kill until throughput first reaches 90%
+    /// of the post-fault plateau (kills permanently remove NN capacity, so
+    /// the plateau — not the pre-fault steady state — is the recovery bar).
+    nn_kill_recovery_s: f64,
+    /// Seconds from the AZ kill until throughput reaches its plateau likewise.
+    az_kill_recovery_s: f64,
+    /// Seconds from the partition until throughput reaches its plateau.
+    partition_recovery_s: f64,
+    /// Total time inside the fault window [4 s, 24 s) with ZERO successful
+    /// operations (100 ms resolution).
+    unavailability_s: f64,
+    /// Operations that surfaced an error to a client during the drill.
+    client_visible_errors: u64,
+    /// Seconds from the AZ kill until every block lost with it is back at
+    /// full replication on surviving datanodes.
+    rereplication_done_s: f64,
+    /// Throughput over the 4 s after the drill window.
+    post_heal_ops_per_s: f64,
+}
+
 fn main() {
     let scale = 4;
     let mut sim = Simulation::new(33);
     let cfg = FsConfig::hopsfs_cl(12, 3, 9).scaled_down(scale);
     let mut cluster = build_fs_cluster(&mut sim, cfg, 9);
     cluster.bulk_add_file(&mut sim, "/probe/canary", 0);
+    cluster.bulk_mkdir_p(&mut sim, "/drill");
+
+    // A 512 MB file (4 blocks x 3 replicas) so the AZ kill costs real block
+    // copies and the drill can time their re-replication. Written from az2:
+    // rack-aware placement keeps the first replica writer-local, so every
+    // block is guaranteed to lose a copy with the AZ.
+    let blob = cluster.add_client(
+        &mut sim,
+        AzId(2),
+        Box::new(ScriptedSource::new(vec![FsOp::Create {
+            path: FsPath::parse("/drill/blob").expect("valid"),
+            size: 512u64 << 20,
+        }])),
+        ClientStats::shared(),
+    );
+    sim.actor_mut::<FsClientActor>(blob).keep_results = true;
+    while sim.actor::<FsClientActor>(blob).results.is_empty() {
+        sim.run_for(SimDuration::from_millis(50));
+    }
+    assert!(sim.now() < SimTime::from_secs(1), "blob creation ran long");
+    let view = std::sync::Arc::clone(&cluster.view);
+    let block_copies = |sim: &Simulation| -> usize {
+        view.dn_ids
+            .iter()
+            .filter(|&&id| sim.is_alive(id))
+            .map(|&id| sim.actor::<BlockDnActor>(id).block_count())
+            .sum()
+    };
+    let full_copies = 12; // 4 blocks x 3 replicas
+    while block_copies(&sim) < full_copies {
+        sim.run_for(SimDuration::from_millis(50));
+        assert!(sim.now() < SimTime::from_secs(1), "block copies never landed");
+    }
+
     let stats = ClientStats::shared();
     for s in 0..24u64 {
         cluster.bulk_mkdir_p(&mut sim, &format!("/probe/s{s}"));
         cluster.add_client(&mut sim, AzId((s % 3) as u8), Box::new(Probe { i: 0, id: s }), stats.clone());
     }
 
-    let view = std::sync::Arc::clone(&cluster.view);
     // t=4s: kill one namenode (the leader candidate nn-0).
     let nn0 = view.nn_ids[0];
     sim.at(SimTime::from_secs(4), move |s| {
@@ -60,19 +122,58 @@ fn main() {
         s.heal_azs(AzId(0), AzId(1));
     });
 
-    // Availability timeline: ops completed per second.
-    println!("\n  time   ops-ok/s   errors/s");
+    // Drive the drill in 100 ms buckets, recording successful ops per bucket
+    // and watching the block-copy count for the re-replication clock.
+    const BUCKETS: usize = 240; // 24 s
+    let mut ok_hist = vec![0u64; BUCKETS];
     let mut last_ok = 0u64;
-    let mut last_err = 0u64;
-    for sec in 1..=24u64 {
-        sim.run_until(SimTime::from_secs(sec));
-        let st = stats.borrow();
-        let ok = st.total_ok();
-        let err = st.total_err();
-        println!("  {:>3}s   {:>8}   {:>8}", sec, ok - last_ok, err - last_err);
+    let mut copies_dropped = false;
+    let mut rereplicated_at: Option<f64> = None;
+    for (b, slot) in ok_hist.iter_mut().enumerate() {
+        let t = SimTime::from_millis(100 * (b as u64 + 1));
+        if t > sim.now() {
+            sim.run_until(t);
+        }
+        let ok = stats.borrow().total_ok();
+        *slot = ok - last_ok;
         last_ok = ok;
-        last_err = err;
+        if t >= SimTime::from_secs(8) && rereplicated_at.is_none() {
+            let copies = block_copies(&sim);
+            if copies < full_copies {
+                copies_dropped = true;
+            } else if copies_dropped {
+                rereplicated_at = Some((b as f64 + 1.0) / 10.0);
+            }
+        }
     }
+    assert!(copies_dropped, "the AZ kill must cost block copies");
+
+    // Availability timeline: ops completed per second.
+    println!("\n  time   ops-ok/s");
+    for sec in 0..24 {
+        let ok: u64 = ok_hist[sec * 10..(sec + 1) * 10].iter().sum();
+        println!("  {:>3}s   {:>8}", sec + 1, ok);
+    }
+
+    let steady_bucket =
+        ok_hist[10..40].iter().sum::<u64>() as f64 / 30.0; // [1 s, 4 s)
+    // Recovery = time from the fault until throughput first reaches 90% of
+    // the plateau it stabilizes at before the next fault (plateau window
+    // given in seconds).
+    let recovery_after = |t0: f64, plateau: std::ops::Range<usize>| -> f64 {
+        let (p0, p1) = (plateau.start * 10, plateau.end * 10);
+        let plateau_bucket = ok_hist[p0..p1].iter().sum::<u64>() as f64 / (p1 - p0) as f64;
+        ok_hist
+            .iter()
+            .enumerate()
+            .skip((t0 * 10.0) as usize)
+            .find(|&(_, &ok)| ok as f64 >= 0.9 * plateau_bucket)
+            .map(|(b, _)| (b as f64 + 1.0) / 10.0 - t0)
+            .unwrap_or(f64::INFINITY)
+    };
+    let unavailability_s =
+        ok_hist[40..].iter().filter(|&&ok| ok == 0).count() as f64 / 10.0;
+    let errors_in_drill = stats.borrow().total_err();
 
     // Invariants: the file system survived every injected failure.
     let ok = stats.borrow().total_ok();
@@ -91,7 +192,35 @@ fn main() {
     let before = stats.borrow().total_ok();
     sim.run_until(SimTime::from_secs(28));
     let after = stats.borrow().total_ok();
-    println!("ops served in 4s after heal: {}", after - before);
+
+    let metrics = DrillMetrics {
+        steady_ops_per_s: steady_bucket * 10.0,
+        nn_kill_recovery_s: recovery_after(4.0, 6..8),
+        az_kill_recovery_s: recovery_after(8.0, 12..14),
+        partition_recovery_s: recovery_after(14.0, 18..20),
+        unavailability_s,
+        client_visible_errors: errors_in_drill,
+        rereplication_done_s: rereplicated_at.map_or(f64::INFINITY, |t| t - 8.0),
+        post_heal_ops_per_s: (after - before) as f64 / 4.0,
+    };
+    println!("\n== recovery metrics ==");
+    println!("  steady state          {:>8.0} ops/s", metrics.steady_ops_per_s);
+    println!("  NN-kill failover      {:>8.1} s", metrics.nn_kill_recovery_s);
+    println!("  AZ-kill recovery      {:>8.1} s", metrics.az_kill_recovery_s);
+    println!("  partition recovery    {:>8.1} s", metrics.partition_recovery_s);
+    println!("  unavailability        {:>8.1} s", metrics.unavailability_s);
+    println!("  client-visible errors {:>8}", metrics.client_visible_errors);
+    println!("  re-replication done   {:>8.1} s after AZ kill", metrics.rereplication_done_s);
+    println!("  post-heal             {:>8.0} ops/s", metrics.post_heal_ops_per_s);
+
+    assert!(metrics.nn_kill_recovery_s.is_finite(), "no recovery after NN kill");
+    assert!(metrics.az_kill_recovery_s.is_finite(), "no recovery after AZ kill");
+    assert!(metrics.partition_recovery_s.is_finite(), "no recovery after partition");
+    assert!(
+        metrics.rereplication_done_s.is_finite(),
+        "blocks never returned to full replication"
+    );
     assert!(after > before, "service must continue after the partition heals");
+    save_json("failures_drill_metrics", &metrics);
     println!("\ndrill passed: NN failover, AZ loss and split-brain arbitration all kept the FS available");
 }

@@ -52,7 +52,7 @@ fn bench_histogram(c: &mut Criterion) {
 
 fn bench_event_loop(c: &mut Criterion) {
     use simnet::{Actor, Ctx, NodeId, Payload};
-    #[derive(Debug)]
+    #[derive(Debug, Clone)]
     struct Tick;
     struct Ticker {
         n: u32,

@@ -9,15 +9,15 @@ use bench::report::print_table;
 use simnet::{Actor, Ctx, Location, NodeId, Payload, SimDuration, SimTime, Simulation};
 use std::any::Any;
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Ping {
     seq: u32,
 }
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Pong {
     seq: u32,
 }
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Kick;
 
 /// Sends N pings to a target and records the mean RTT.

@@ -18,9 +18,9 @@ use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct TickClient;
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct CacheServed;
 
 #[derive(Debug)]

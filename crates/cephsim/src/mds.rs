@@ -21,9 +21,9 @@ use std::rc::Rc;
 /// Lane-class name of the single MDS request thread.
 pub const MDS_LANE: &str = "mds";
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct TickJournal;
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct TickReport;
 
 /// Client → MDS request.

@@ -9,7 +9,7 @@ use std::any::Any;
 use std::cell::RefCell;
 use std::rc::Rc;
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct TickBalance;
 
 /// The monitor actor.

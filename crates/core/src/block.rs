@@ -17,7 +17,7 @@ pub fn dn_lane() -> &'static str {
     "io"
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct TickHb;
 
 /// Namenode → datanode: persist a block (server-side placement path). The

@@ -1,0 +1,159 @@
+//! Chaos invariant checking: machine-checkable statements about what a
+//! HopsFS-CL cluster must guarantee across injected faults.
+//!
+//! The nemesis (`simnet::Schedule`) makes things go wrong; this module says
+//! what "still correct" means. It provides:
+//!
+//! - [`TrackedSource`], an [`OpSource`] decorator that records every
+//!   **acknowledged mutation** into a shared [`ChaosLog`] — the ground truth
+//!   for the no-acked-loss safety check;
+//! - [`audit_ops`], which turns that log into a verification script (one
+//!   `Stat` per acked path) to replay after the faults heal;
+//! - [`InvariantReport`] / [`check_invariants`], a point-in-time scan of the
+//!   cluster for the singleton invariants: at most one acting namenode
+//!   leader and exactly one NDB arbitrator among alive management nodes,
+//!   plus client liveness (every submitted op eventually terminates, so no
+//!   session is left stuck in flight).
+//!
+//! Tests (`tests/chaos.rs` at the workspace root) combine these with a
+//! seeded fault schedule and assert the report is clean after heal.
+
+use crate::client::{FsClientActor, OpSource};
+use crate::namenode::NameNodeActor;
+use crate::ops::FsOp;
+use crate::types::FsResult;
+use crate::view::FsView;
+use ndb::mgmt::MgmtActor;
+use rand::rngs::StdRng;
+use simnet::{NodeId, SimTime, Simulation};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Ground truth of acknowledged mutations, shared by every [`TrackedSource`]
+/// of an experiment.
+#[derive(Debug, Default)]
+pub struct ChaosLog {
+    /// Paths whose `Create` was acknowledged (must exist afterwards).
+    pub acked_creates: Vec<String>,
+    /// Paths whose `Mkdir` was acknowledged (must exist afterwards).
+    pub acked_mkdirs: Vec<String>,
+    /// Paths whose `Delete` was acknowledged (tracked for completeness; a
+    /// later re-create may legitimately bring the path back).
+    pub acked_deletes: Vec<String>,
+    /// Completed operations, successful or not.
+    pub completed: u64,
+    /// Completed operations that returned an error.
+    pub errors: u64,
+}
+
+impl ChaosLog {
+    /// A fresh shared log.
+    pub fn shared() -> Rc<RefCell<ChaosLog>> {
+        Rc::new(RefCell::new(ChaosLog::default()))
+    }
+}
+
+/// [`OpSource`] decorator recording acked mutations into a [`ChaosLog`].
+pub struct TrackedSource {
+    inner: Box<dyn OpSource>,
+    log: Rc<RefCell<ChaosLog>>,
+}
+
+impl TrackedSource {
+    /// Wraps `inner`, recording into `log`.
+    pub fn new(inner: Box<dyn OpSource>, log: Rc<RefCell<ChaosLog>>) -> Self {
+        TrackedSource { inner, log }
+    }
+}
+
+impl OpSource for TrackedSource {
+    fn next_op(&mut self, rng: &mut StdRng, now: SimTime) -> Option<FsOp> {
+        self.inner.next_op(rng, now)
+    }
+
+    fn on_result(&mut self, op: &FsOp, result: &FsResult) {
+        self.inner.on_result(op, result);
+        let mut log = self.log.borrow_mut();
+        log.completed += 1;
+        if result.is_err() {
+            log.errors += 1;
+            return;
+        }
+        match op {
+            FsOp::Create { path, .. } => log.acked_creates.push(path.to_string()),
+            FsOp::Mkdir { path } => log.acked_mkdirs.push(path.to_string()),
+            FsOp::Delete { path, .. } => log.acked_deletes.push(path.to_string()),
+            _ => {}
+        }
+    }
+}
+
+/// Builds the audit script for a log: one `Stat` per acked create/mkdir
+/// whose path was not subsequently acked-deleted. Every op in the returned
+/// script must succeed, or an acknowledged mutation was lost.
+pub fn audit_ops(log: &ChaosLog) -> Vec<FsOp> {
+    let deleted: std::collections::HashSet<&str> =
+        log.acked_deletes.iter().map(String::as_str).collect();
+    log.acked_mkdirs
+        .iter()
+        .chain(log.acked_creates.iter())
+        .filter(|p| !deleted.contains(p.as_str()))
+        .map(|p| FsOp::Stat { path: crate::path::FsPath::parse(p).expect("logged path") })
+        .collect()
+}
+
+/// Point-in-time invariant scan result; produced by [`check_invariants`].
+#[derive(Debug)]
+pub struct InvariantReport {
+    /// Indices of alive namenodes that currently believe they lead.
+    pub leaders: Vec<usize>,
+    /// Ranks of alive NDB management nodes that currently believe they are
+    /// the active arbitrator.
+    pub arbitrators: Vec<usize>,
+    /// Clients with an op still in flight (non-empty = liveness violation
+    /// if the workload has drained).
+    pub busy_clients: Vec<NodeId>,
+}
+
+impl InvariantReport {
+    /// Whether the singleton invariants hold and no client is stuck.
+    pub fn clean(&self) -> bool {
+        self.leaders.len() <= 1 && self.arbitrators.len() == 1 && self.busy_clients.is_empty()
+    }
+}
+
+/// Scans the cluster: which alive namenodes believe they lead, which alive
+/// management nodes believe they arbitrate, and which of `clients` still
+/// have work in flight.
+///
+/// Call this *after* partitions heal and elections settle. During a
+/// partition, two namenodes may transiently believe they lead (the NDB
+/// arbitrator guarantees only one can commit); after heal and an election
+/// round, at most one alive namenode and exactly one management node may
+/// hold their role.
+pub fn check_invariants(sim: &Simulation, view: &FsView, clients: &[NodeId]) -> InvariantReport {
+    let now = sim.now();
+    let leaders = view
+        .nn_ids
+        .iter()
+        .enumerate()
+        .filter(|&(_, &id)| sim.is_alive(id))
+        .filter(|&(_, &id)| sim.actor::<NameNodeActor>(id).is_leader())
+        .map(|(i, _)| i)
+        .collect();
+    let arbitrators = view
+        .ndb
+        .mgmt_ids
+        .iter()
+        .enumerate()
+        .filter(|&(_, &id)| sim.is_alive(id))
+        .filter(|&(_, &id)| sim.actor::<MgmtActor>(id).believes_active(now))
+        .map(|(r, _)| r)
+        .collect();
+    let busy_clients = clients
+        .iter()
+        .filter(|&&id| !sim.actor::<FsClientActor>(id).idle())
+        .copied()
+        .collect();
+    InvariantReport { leaders, arbitrators, busy_clients }
+}

@@ -13,7 +13,7 @@ use crate::view::FsView;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::Rng;
-use simnet::{Actor, AzId, Ctx, Histogram, NodeId, Payload, SimDuration, SimTime};
+use simnet::{Actor, AzId, Ctx, Histogram, NodeId, Payload, RetryPolicy, SimDuration, SimTime};
 use std::any::Any;
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -141,10 +141,17 @@ impl ClientStats {
     }
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct TickClient;
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct ThinkDone;
+/// Backoff expired: resend the pending request if it is still the same
+/// attempt (a response or a newer timeout invalidates the resend).
+#[derive(Debug, Clone)]
+struct RetryNow {
+    req_id: u64,
+    attempt: u32,
+}
 
 /// Wakes an idle session so it polls its [`OpSource`] immediately (used by
 /// the synchronous test facade instead of waiting for the next tick).
@@ -179,6 +186,10 @@ pub struct FsClientActor {
     pub op_timeout: SimDuration,
     /// Maximum send attempts per op.
     pub max_attempts: u32,
+    /// Backoff between failover resends (jittered per client so a namenode
+    /// crash does not stampede every client onto the same survivor at the
+    /// same instant). The retry budget stays in `max_attempts`.
+    pub retry: RetryPolicy,
     /// Pause between ops (0 = fully closed loop).
     pub think_time: SimDuration,
     /// Results kept when enabled (tests/examples).
@@ -210,6 +221,7 @@ impl FsClientActor {
             pending: None,
             op_timeout: SimDuration::from_secs(4),
             max_attempts: 6,
+            retry: RetryPolicy::new(SimDuration::from_millis(50), SimDuration::from_millis(800)),
             think_time: SimDuration::ZERO,
             keep_results: false,
             results: Vec::new(),
@@ -337,7 +349,9 @@ impl FsClientActor {
         }
         let timeout = self.op_timeout;
         let max = self.max_attempts;
-        let mut resend = false;
+        let retry = self.retry;
+        let me = u64::from(ctx.me().0);
+        let mut backoff = None;
         let mut give_up = false;
         if let Some(p) = &mut self.pending {
             if now.saturating_since(p.sent_at) > timeout {
@@ -346,23 +360,45 @@ impl FsClientActor {
                 if p.attempt > max {
                     give_up = true;
                 } else {
-                    resend = true;
+                    // Back off before hammering a survivor; the salt keeps
+                    // the jitter deterministic but decorrelated per client.
+                    let d = retry
+                        .delay(p.attempt.saturating_sub(2), p.req_id ^ (me << 32))
+                        .unwrap_or(retry.cap);
+                    // Mask the timeout window until the resend fires.
+                    p.sent_at = now + d;
+                    backoff = Some((d, RetryNow { req_id: p.req_id, attempt: p.attempt }));
                 }
             }
         }
         if give_up {
             self.complete(ctx, Err(FsError::Unavailable));
-        } else if resend {
-            // The namenode looks dead: pick a random survivor (§IV-B3).
+        } else if let Some((d, resend)) = backoff {
+            // The namenode looks dead: pick a random survivor (§IV-B3)
+            // once the backoff expires.
             self.my_nn = None;
             self.active.clear();
-            if self.domain.is_some() && !self.awaiting_active {
-                self.fetch_active(ctx);
-            } else {
-                self.send_pending(ctx);
-            }
+            ctx.schedule(d, resend);
         }
         ctx.schedule(SimDuration::from_millis(250), TickClient);
+    }
+
+    fn on_retry_now(&mut self, ctx: &mut Ctx<'_>, m: RetryNow) {
+        match &self.pending {
+            Some(p) if p.req_id == m.req_id && p.attempt == m.attempt => {}
+            _ => return, // answered or superseded while backing off
+        }
+        if self.domain.is_some() && !self.awaiting_active {
+            self.fetch_active(ctx);
+        } else {
+            self.send_pending(ctx);
+        }
+    }
+
+    /// Whether the session has nothing in flight and nothing queued — used
+    /// by the chaos liveness checker ("every submitted op terminates").
+    pub fn idle(&self) -> bool {
+        self.pending.is_none() && !self.awaiting_active
     }
 }
 
@@ -413,6 +449,10 @@ impl Actor for FsClientActor {
         };
         let any = match any.downcast::<ThinkDone>() {
             Ok(_) => return self.issue_next(ctx),
+            Err(m) => m,
+        };
+        let any = match any.downcast::<RetryNow>() {
+            Ok(m) => return self.on_retry_now(ctx, *m),
             Err(m) => m,
         };
         match any.downcast::<Poke>() {

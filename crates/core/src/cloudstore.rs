@@ -191,7 +191,7 @@ mod tests {
     use super::*;
     use simnet::{Location, NodeSpec, Simulation};
 
-    #[derive(Debug)]
+    #[derive(Debug, Clone)]
     struct Go;
 
     struct Tenant {

@@ -1,7 +1,7 @@
 //! File-system deployment configuration and namenode cost calibration.
 
 use ndb::ClusterConfig;
-use simnet::{AzId, SimDuration};
+use simnet::{AzId, RetryPolicy, SimDuration};
 
 /// Where large-file blocks live.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -109,6 +109,13 @@ pub struct FsConfig {
     /// Max op attempts before responding `Busy` (retry with backoff provides
     /// backpressure to NDB, §II-B2).
     pub max_op_attempts: u32,
+    /// Backoff policy for namenode-side op retries after NDB aborts
+    /// (deadlocks, transient node failures). The budget comes from
+    /// [`FsConfig::max_op_attempts`], not from the policy.
+    pub op_retry: RetryPolicy,
+    /// How long since the last heartbeat a block datanode is still counted
+    /// alive when choosing replica placements and re-replication targets.
+    pub dn_heartbeat_window: SimDuration,
 }
 
 impl FsConfig {
@@ -147,6 +154,9 @@ impl FsConfig {
             election_period: SimDuration::from_secs(2),
             election_misses: 2,
             max_op_attempts: 8,
+            op_retry: RetryPolicy::new(SimDuration::from_millis(4), SimDuration::from_millis(32))
+                .with_jitter(0.0),
+            dn_heartbeat_window: SimDuration::from_millis(1500),
         }
     }
 

@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod block;
+pub mod chaos;
 pub mod client;
 pub mod cloudstore;
 pub mod config;
@@ -37,6 +38,7 @@ pub mod testkit;
 pub mod types;
 pub mod view;
 
+pub use chaos::{audit_ops, check_invariants, ChaosLog, InvariantReport, TrackedSource};
 pub use client::{ClientStats, FsClientActor, OpSource, ScriptedSource};
 pub use config::{BlockBackend, FsConfig, NnCostModel, PlacementPolicy};
 pub use deploy::{build_fs_cluster, FsCluster};

@@ -43,11 +43,11 @@ pub const NN_WORKER: &str = "worker";
 const ID_BATCH: u64 = 1024;
 const CACHE_CAP: usize = 65_536;
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct TickElection;
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct TickSweep;
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct OpResume {
     op: u64,
 }
@@ -463,7 +463,15 @@ impl NameNodeActor {
         self.stats.tx_retries += 1;
         self.reset_op_state(op_id);
         let attempt = self.ops[&op_id].attempt;
-        let delay = SimDuration::from_millis(4) * u64::from(attempt.min(8));
+        // Shared backoff policy; the budget check above (max_op_attempts)
+        // already gated the retry, so the policy only shapes the delay. The
+        // salt decorrelates jitter (if configured) across ops and namenodes.
+        let salt = op_id ^ ((self.my_idx as u64) << 32);
+        let delay = self
+            .cfg()
+            .op_retry
+            .delay(attempt.saturating_sub(1), salt)
+            .unwrap_or(self.cfg().op_retry.cap);
         ctx.schedule(delay, OpResume { op: op_id });
     }
 
@@ -1408,7 +1416,7 @@ impl NameNodeActor {
     }
 
     fn dn_alive_mask(&self, now: SimTime) -> Vec<bool> {
-        let timeout = SimDuration::from_millis(1500);
+        let timeout = self.cfg().dn_heartbeat_window;
         self.dn_last_hb.iter().map(|&t| now.saturating_since(t) <= timeout).collect()
     }
 
@@ -1826,6 +1834,17 @@ impl Actor for NameNodeActor {
             ctx.schedule(SimDuration::from_millis(50), TickSweep);
             self.refill_ids(ctx);
         }
+    }
+
+    fn on_restart(&mut self, _ctx: &mut Ctx<'_>) {
+        // A restarted namenode is stateless by design: all metadata lives in
+        // NDB. Drop every piece of volatile state — NDB connections,
+        // in-flight ops, the inode-hint cache, leased ID ranges, election
+        // view — and let `on_start` rebuild from scratch. Cumulative stats
+        // survive: they belong to the measurement harness, not the process.
+        let stats = std::mem::take(&mut self.stats);
+        *self = NameNodeActor::new(Arc::clone(&self.view), self.my_idx);
+        self.stats = stats;
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_>, from: NodeId, msg: Box<dyn Payload>) {

@@ -12,7 +12,7 @@ use crate::routing::select_tc;
 use crate::schema::{PartitionKey, Row, TableId};
 use crate::view::ClusterView;
 use bytes::Bytes;
-use simnet::{AzId, Ctx, Location, NodeId, SimDuration, SimTime};
+use simnet::{AzId, Ctx, Location, NodeId, RetryPolicy, SimDuration, SimTime};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -85,10 +85,15 @@ pub struct ClientKernel {
     txs: HashMap<TxId, ClientTx>,
     /// Per-datanode suspicion deadline (believed dead until then).
     suspect_until: Vec<SimTime>,
+    /// Consecutive timeouts per datanode; indexes the suspicion backoff and
+    /// resets on the first successful response.
+    tc_failures: Vec<u32>,
     /// How long to wait for a coordinator response before declaring it dead.
     pub response_timeout: SimDuration,
-    /// How long a datanode stays suspected after a timeout.
-    pub suspicion_ttl: SimDuration,
+    /// Suspicion backoff: a datanode that keeps timing out is avoided for
+    /// exponentially longer (base = the configured suspicion TTL), so a
+    /// gray, flapping coordinator stops re-capturing traffic every TTL.
+    pub suspicion: RetryPolicy,
     /// Which coordinator case/TC each tx used (exposed for stats/tests).
     pub last_tc: Option<usize>,
 }
@@ -100,17 +105,21 @@ impl ClientKernel {
     /// transaction ids). `my_domain` enables AZ-aware coordinator selection.
     pub fn new(view: Arc<ClusterView>, client_node: NodeId, my_loc: Location, my_domain: Option<AzId>) -> Self {
         let n = view.datanode_count();
+        let t = &view.config.timeouts;
+        let response_timeout = t.client_response_timeout;
+        let ttl = t.client_suspicion_ttl;
         ClientKernel {
-            view,
             my_loc,
             my_domain,
             client_bits: client_node.0,
             next_seq: 0,
             txs: HashMap::new(),
             suspect_until: vec![SimTime::ZERO; n],
-            response_timeout: SimDuration::from_millis(1200),
-            suspicion_ttl: SimDuration::from_millis(1500),
+            tc_failures: vec![0; n],
+            response_timeout,
+            suspicion: RetryPolicy::new(ttl, ttl * 8).with_jitter(0.0),
             last_tc: None,
+            view,
         }
     }
 
@@ -189,6 +198,9 @@ impl ClientKernel {
         let expect = st.expect;
         st.pending_since = None;
         st.expect = Expect::Nothing;
+        // The coordinator answered: clear its consecutive-failure streak so
+        // the suspicion backoff starts over next time.
+        self.tc_failures[st.tc_idx] = 0;
         let tx = resp.tx;
         match (resp.body, expect) {
             (RespBody::Rows(rows), Expect::Rows) => Some(TxEvent::Rows { tx, rows }),
@@ -215,24 +227,36 @@ impl ClientKernel {
     pub fn sweep(&mut self, now: SimTime) -> Vec<TxEvent> {
         let mut events = Vec::new();
         let timeout = self.response_timeout;
-        let ttl = self.suspicion_ttl;
         let mut dead_tcs = Vec::new();
-        self.txs.retain(|&tx, st| {
-            if let Some(since) = st.pending_since {
-                if now.saturating_since(since) > timeout {
-                    dead_tcs.push(st.tc_idx);
-                    events.push(TxEvent::Aborted {
-                        tx,
-                        reason: AbortReason::NodeFailure,
-                        maybe_committed: st.expect == Expect::Commit,
-                    });
-                    return false;
-                }
-            }
-            true
-        });
+        // Sorted: `txs` is a HashMap, and the order the aborts surface in
+        // decides the owner's retry order — it must be identical across
+        // same-seed runs.
+        let mut expired: Vec<TxId> = self
+            .txs
+            .iter()
+            .filter(|(_, st)| {
+                st.pending_since.is_some_and(|since| now.saturating_since(since) > timeout)
+            })
+            .map(|(&tx, _)| tx)
+            .collect();
+        expired.sort_unstable();
+        for tx in expired {
+            let st = self.txs.remove(&tx).expect("expired tx present");
+            dead_tcs.push(st.tc_idx);
+            events.push(TxEvent::Aborted {
+                tx,
+                reason: AbortReason::NodeFailure,
+                maybe_committed: st.expect == Expect::Commit,
+            });
+        }
         for idx in dead_tcs {
-            self.suspect_until[idx] = now + ttl;
+            let streak = self.tc_failures[idx];
+            self.tc_failures[idx] = streak.saturating_add(1);
+            let ttl = self
+                .suspicion
+                .delay(streak, idx as u64)
+                .unwrap_or(self.suspicion.cap);
+            self.suspect_until[idx] = self.suspect_until[idx].max(now + ttl);
         }
         events
     }

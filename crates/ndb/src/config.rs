@@ -156,6 +156,15 @@ pub struct Timeouts {
     pub arbitration_timeout: SimDuration,
     /// Global checkpoint period (redo log flush across node groups).
     pub gcp_interval: SimDuration,
+    /// API-client side: time without a response after which a transaction is
+    /// abandoned and its coordinator suspected.
+    pub client_response_timeout: SimDuration,
+    /// API-client side: base duration a suspected coordinator is avoided
+    /// (escalated by the client's retry policy on repeated failures).
+    pub client_suspicion_ttl: SimDuration,
+    /// Management-server side: time without a heartbeat from the active
+    /// arbitrator before the next-ranked management server takes over.
+    pub mgmt_failover_deadline: SimDuration,
 }
 
 impl Default for Timeouts {
@@ -168,6 +177,9 @@ impl Default for Timeouts {
             arbitration_interval: SimDuration::from_millis(100),
             arbitration_timeout: SimDuration::from_millis(500),
             gcp_interval: SimDuration::from_millis(500),
+            client_response_timeout: SimDuration::from_millis(1200),
+            client_suspicion_ttl: SimDuration::from_millis(1500),
+            mgmt_failover_deadline: SimDuration::from_millis(400),
         }
     }
 }

@@ -29,20 +29,20 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
 
 // Timer payloads.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct TickHeartbeat;
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct TickArbitration;
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct TickGcp;
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct TickTxSweep;
 /// Fires once suspicion has settled after a peer death, carrying the
 /// arbitration request to the arbitrator.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct ArbRequestDue;
 /// Completion of deferred local work carrying the action to resume.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct ReadsFlush {
     tx: TxId,
 }
@@ -879,13 +879,16 @@ impl DatanodeActor {
         self.alive[idx] = false;
         self.suspect_since = Some(now);
 
-        // TC role: abort transactions that involve the dead node.
-        let doomed: Vec<TxId> = self
+        // TC role: abort transactions that involve the dead node. (Sorted:
+        // HashMap iteration order is not deterministic across runs, and the
+        // abort order decides message emission order.)
+        let mut doomed: Vec<TxId> = self
             .txs
             .iter()
             .filter(|(_, tx)| tx.participants.contains(&(idx as u32)))
             .map(|(&id, _)| id)
             .collect();
+        doomed.sort_unstable();
         for tx in doomed {
             self.abort_tx(ctx, tx, AbortReason::NodeFailure, true);
         }
@@ -893,12 +896,13 @@ impl DatanodeActor {
         // LDM role / take-over: release locks of transactions coordinated by
         // the dead node; their clients will time out and retry against a
         // surviving coordinator.
-        let orphans: Vec<TxId> = self
+        let mut orphans: Vec<TxId> = self
             .tx_coordinator
             .iter()
             .filter(|&(_, &tc)| tc as usize == idx)
             .map(|(&tx, _)| tx)
             .collect();
+        orphans.sort_unstable();
         for tx in orphans {
             self.tx_coordinator.remove(&tx);
             self.lock_conts.retain(|(t, _), _| *t != tx);
@@ -992,6 +996,10 @@ impl DatanodeActor {
                 }
             }
         }
+        // Sorted: `txs` is a HashMap, and the abort order decides message
+        // emission order, which must be identical across same-seed runs.
+        lock_timeouts.sort_unstable();
+        inactive.sort_unstable();
         for id in lock_timeouts {
             self.abort_tx(ctx, id, AbortReason::LockTimeout, true);
         }

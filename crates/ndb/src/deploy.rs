@@ -80,11 +80,12 @@ pub fn build_cluster(
 
     // Management nodes.
     let hb = view.config.timeouts.heartbeat_interval;
+    let failover = view.config.timeouts.mgmt_failover_deadline;
     for (rank, &az) in mgmt_azs.iter().enumerate() {
         let loc = Location { az, host: simnet::HostId(base + rank as u32) };
         let id = sim.add_node(
             NodeSpec::new(format!("ndb-mgmt-{rank}"), loc),
-            Box::new(MgmtActor::new(rank, mgmt_ids.clone(), hb)),
+            Box::new(MgmtActor::new(rank, mgmt_ids.clone(), hb).with_failover_deadline(failover)),
         );
         assert_eq!(id, mgmt_ids[rank], "node id prediction drifted");
     }

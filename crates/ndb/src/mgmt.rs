@@ -12,7 +12,7 @@ use simnet::{Actor, Ctx, NodeId, Payload, SimDuration, SimTime};
 use std::any::Any;
 use std::collections::HashSet;
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct TickMgmt;
 
 /// How long a decided arbitration episode stays authoritative before the
@@ -27,6 +27,9 @@ pub struct MgmtActor {
     mgmt_ids: Vec<NodeId>,
     /// Heartbeat period between management nodes.
     interval: SimDuration,
+    /// Time without a heartbeat from a lower-ranked peer before this node
+    /// considers it dead and takes over arbitration.
+    failover_deadline: SimDuration,
     /// Last heartbeat seen per management peer.
     last_hb: Vec<SimTime>,
     /// The cohort granted survival in the current episode, if any.
@@ -45,6 +48,7 @@ impl MgmtActor {
             my_rank,
             mgmt_ids,
             interval,
+            failover_deadline: interval * 4,
             last_hb: vec![SimTime::ZERO; n],
             episode: None,
             grants: 0,
@@ -52,10 +56,24 @@ impl MgmtActor {
         }
     }
 
+    /// Overrides the arbitrator failover deadline (defaults to four
+    /// heartbeat intervals).
+    pub fn with_failover_deadline(mut self, deadline: SimDuration) -> Self {
+        self.failover_deadline = deadline;
+        self
+    }
+
+    /// Whether this node currently believes it is the active arbitrator
+    /// (exposed for the chaos invariant checker: after a heal, exactly one
+    /// management node may believe this).
+    pub fn believes_active(&self, now: SimTime) -> bool {
+        self.is_active(now)
+    }
+
     /// Whether this node currently believes it is the active arbitrator:
     /// every lower-ranked management node looks dead to it.
     fn is_active(&self, now: SimTime) -> bool {
-        let deadline = self.interval * 4;
+        let deadline = self.failover_deadline;
         (0..self.my_rank).all(|r| now.saturating_since(self.last_hb[r]) > deadline)
     }
 

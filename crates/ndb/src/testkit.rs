@@ -64,11 +64,11 @@ pub struct TxOutcome {
     pub finished_at: SimTime,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct SweepTick;
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct StartNext;
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct StartRetry;
 
 struct Running {

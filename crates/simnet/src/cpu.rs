@@ -234,6 +234,9 @@ impl UtilizationWindow {
 pub struct Disk {
     busy_until: SimTime,
     busy_total: SimDuration,
+    /// Device frozen until this instant (fault injection): no I/O starts
+    /// earlier, modeling a firmware hiccup or an EBS brown-out.
+    stalled_until: SimTime,
     /// Device bandwidth in bytes/second.
     pub bandwidth_bytes_per_sec: u64,
     /// Fixed per-operation overhead (seek/submit).
@@ -257,6 +260,7 @@ impl Disk {
         Disk {
             busy_until: SimTime::ZERO,
             busy_total: SimDuration::ZERO,
+            stalled_until: SimTime::ZERO,
             bandwidth_bytes_per_sec,
             per_op: SimDuration::from_micros(20),
             bytes_read: 0,
@@ -270,7 +274,7 @@ impl Disk {
             bytes.saturating_mul(1_000_000_000) / self.bandwidth_bytes_per_sec.max(1),
         );
         let cost = self.per_op + xfer;
-        let start = self.busy_until.max(now);
+        let start = self.busy_until.max(now).max(self.stalled_until);
         self.busy_until = start + cost;
         self.busy_total += cost;
         match op {
@@ -293,6 +297,18 @@ impl Disk {
     /// Accumulated busy time (for utilization over a window).
     pub fn busy_total(&self) -> SimDuration {
         self.busy_total
+    }
+
+    /// Freezes the device until `until`: I/O submitted before then (and any
+    /// backlog) only starts once the stall lifts. Stalls never shorten an
+    /// earlier stall.
+    pub fn stall(&mut self, until: SimTime) {
+        self.stalled_until = self.stalled_until.max(until);
+    }
+
+    /// The instant the current stall lifts (`ZERO` when never stalled).
+    pub fn stalled_until(&self) -> SimTime {
+        self.stalled_until
     }
 }
 
@@ -361,6 +377,19 @@ mod tests {
         assert_eq!(t2, SimTime::from_secs(1));
         assert_eq!(d.bytes_written(), 500_000);
         assert_eq!(d.bytes_read(), 500_000);
+    }
+
+    #[test]
+    fn disk_stall_delays_queued_and_new_io() {
+        let mut d = Disk::new(1_000_000);
+        d.per_op = SimDuration::ZERO;
+        d.stall(SimTime::from_millis(100));
+        let t1 = d.submit(DiskOp::Write, SimTime::ZERO, 1_000);
+        // 1ms of work may only start once the stall lifts at 100ms.
+        assert_eq!(t1, SimTime::from_millis(101));
+        // A later, longer stall extends; an earlier one never shortens.
+        d.stall(SimTime::from_millis(50));
+        assert_eq!(d.stalled_until(), SimTime::from_millis(100));
     }
 
     #[test]

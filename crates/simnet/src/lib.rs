@@ -11,8 +11,14 @@
 //! - CPU modeled as named thread lanes with queueing, batching and
 //!   utilization accounting ([`Lanes`]), and disks as bandwidth-limited
 //!   queues ([`Disk`]);
-//! - fault injection: node kills, whole-AZ kills, and AZ-level network
-//!   partitions;
+//! - fault injection ([`Fault`], [`Schedule`]): crash/restart with a
+//!   crash-recovery hook, pause/resume, whole-AZ kills, symmetric and
+//!   asymmetric partitions (AZ- and node-level), node isolation, gray
+//!   slowdowns, probabilistic message drop/duplication/delay
+//!   ([`LinkFault`]), and disk stalls — composable into seeded, replayable
+//!   schedules;
+//! - a shared retry/backoff vocabulary for protocol layers
+//!   ([`RetryPolicy`]);
 //! - cross-AZ traffic accounting and measurement primitives
 //!   ([`Histogram`], [`Counter`]).
 //!
@@ -35,12 +41,16 @@
 
 mod cpu;
 mod metrics;
+mod nemesis;
+mod retry;
 mod sim;
 mod time;
 mod topology;
 
 pub use cpu::{Batching, Disk, DiskOp, LaneClassSpec, Lanes, UtilizationWindow};
 pub use metrics::{Counter, Histogram};
-pub use sim::{downcast, Actor, Ctx, NodeId, NodeSpec, Payload, Simulation};
+pub use nemesis::{Fault, NemesisTrace, Schedule};
+pub use retry::RetryPolicy;
+pub use sim::{downcast, Actor, Ctx, FaultScope, LinkFault, NodeId, NodeSpec, Payload, Simulation};
 pub use time::{SimDuration, SimTime};
 pub use topology::{AzId, HostId, LatencyModel, Location};

@@ -11,9 +11,9 @@
 //! ```
 //! use simnet::*;
 //!
-//! #[derive(Debug)]
+//! #[derive(Debug, Clone)]
 //! struct Ping;
-//! #[derive(Debug)]
+//! #[derive(Debug, Clone)]
 //! struct Pong;
 //!
 //! struct Echo;
@@ -67,21 +67,30 @@ impl fmt::Display for NodeId {
     }
 }
 
-/// A message payload. Any `'static + Debug` type qualifies via the blanket
-/// impl; receivers downcast with `Payload::is` / [`downcast`].
+/// A message payload. Any `'static + Debug + Clone` type qualifies via the
+/// blanket impl; receivers downcast with `Payload::is` / [`downcast`].
+///
+/// Payloads must be `Clone` so the network layer can duplicate in-flight
+/// messages under an injected [`LinkFault`] — real networks deliver
+/// duplicates, and protocols are expected to tolerate them.
 pub trait Payload: Any + fmt::Debug {
     /// Upcast to `Any` for downcasting by value.
     fn into_any(self: Box<Self>) -> Box<dyn Any>;
     /// Upcast to `Any` for downcasting by reference.
     fn as_any(&self) -> &dyn Any;
+    /// Clones the payload behind the trait object (network duplication).
+    fn clone_box(&self) -> Box<dyn Payload>;
 }
 
-impl<T: Any + fmt::Debug> Payload for T {
+impl<T: Any + fmt::Debug + Clone> Payload for T {
     fn into_any(self: Box<Self>) -> Box<dyn Any> {
         self
     }
     fn as_any(&self) -> &dyn Any {
         self
+    }
+    fn clone_box(&self) -> Box<dyn Payload> {
+        Box::new(self.clone())
     }
 }
 
@@ -110,6 +119,19 @@ pub trait Actor {
     /// Called once when the simulation starts (time zero) or when the actor
     /// is added to an already-running simulation.
     fn on_start(&mut self, _ctx: &mut Ctx<'_>) {}
+
+    /// Crash-recovery hook, invoked by [`Simulation::revive_node`] *before*
+    /// `on_start` is re-delivered.
+    ///
+    /// A revived node models a process restart: in-flight messages and timers
+    /// from its previous incarnation are dropped (the crash bumped the node's
+    /// epoch), so the actor must discard volatile state here — connections,
+    /// in-flight requests, caches — and keep only what the real process would
+    /// recover from durable storage. The default keeps all state, which is
+    /// correct only for actors whose entire state is durable (e.g. a block
+    /// datanode whose blocks live on disk) or for the pause/resume model of
+    /// [`Simulation::pause_node`].
+    fn on_restart(&mut self, _ctx: &mut Ctx<'_>) {}
 
     /// Called for every delivered message. `from` is the sender; for
     /// self-scheduled messages it is the actor itself.
@@ -152,8 +174,12 @@ impl NodeSpec {
 }
 
 enum EventKind {
-    Start(NodeId),
-    Deliver { to: NodeId, from: NodeId, bytes: u64, payload: Box<dyn Payload> },
+    /// `on_start` delivery, valid only for the captured node epoch.
+    Start(NodeId, u32),
+    /// Message delivery; `epoch` is the destination's epoch captured at send
+    /// time, so messages addressed to a previous incarnation of a crashed
+    /// node are dropped (a broken connection, not a time machine).
+    Deliver { to: NodeId, from: NodeId, bytes: u64, epoch: u32, payload: Box<dyn Payload> },
     Control(Box<dyn FnOnce(&mut Simulation)>),
 }
 
@@ -188,10 +214,93 @@ struct NodeState {
     lanes: Lanes,
     disk: Option<Disk>,
     alive: bool,
+    /// Incarnation counter: bumped on every crash so that messages and timers
+    /// addressed to the previous incarnation are dropped at delivery.
+    epoch: u32,
+    /// Gray-failure factor applied to CPU work (1.0 = healthy; 3.0 = every
+    /// lane operation takes 3x as long).
+    slowdown: f64,
     net_in_bytes: u64,
     net_out_bytes: u64,
     msgs_in: u64,
     msgs_out: u64,
+}
+
+/// Scope of a [`LinkFault`]: which messages it perturbs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultScope {
+    /// Every message between distinct nodes.
+    All,
+    /// Messages with this node as sender or receiver.
+    Node(NodeId),
+    /// Messages with an endpoint located in this AZ.
+    Az(AzId),
+    /// Messages from the first node to the second (directed).
+    Directed(NodeId, NodeId),
+}
+
+impl FaultScope {
+    fn matches(&self, from: NodeId, to: NodeId, from_az: AzId, to_az: AzId) -> bool {
+        match *self {
+            FaultScope::All => true,
+            FaultScope::Node(n) => n == from || n == to,
+            FaultScope::Az(az) => az == from_az || az == to_az,
+            FaultScope::Directed(a, b) => a == from && b == to,
+        }
+    }
+}
+
+/// A probabilistic message perturbation installed on the network.
+///
+/// Matching messages are independently dropped with `drop_p`, duplicated
+/// with `dup_p`, and delayed by a uniform draw from `[0, extra_delay]`. All
+/// draws come from the simulation RNG, so a seed reproduces the same faults.
+/// Self-messages (timers) are never perturbed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkFault {
+    /// Which messages are affected.
+    pub scope: FaultScope,
+    /// Probability a matching message is silently dropped.
+    pub drop_p: f64,
+    /// Probability a matching message is delivered twice.
+    pub dup_p: f64,
+    /// Upper bound of the uniformly drawn extra delivery delay.
+    pub extra_delay: SimDuration,
+}
+
+impl LinkFault {
+    /// A fault affecting all inter-node messages, with no drop/dup/delay yet.
+    pub fn new(scope: FaultScope) -> Self {
+        LinkFault { scope, drop_p: 0.0, dup_p: 0.0, extra_delay: SimDuration::ZERO }
+    }
+
+    /// Sets the drop probability.
+    pub fn with_drop(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "drop probability must be in [0,1]");
+        self.drop_p = p;
+        self
+    }
+
+    /// Sets the duplication probability.
+    pub fn with_dup(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "dup probability must be in [0,1]");
+        self.dup_p = p;
+        self
+    }
+
+    /// Sets the extra-delay upper bound.
+    pub fn with_extra_delay(mut self, d: SimDuration) -> Self {
+        self.extra_delay = d;
+        self
+    }
+}
+
+/// Outcome of applying the installed [`LinkFault`]s to one message.
+#[derive(Debug, Clone, Copy, Default)]
+struct Perturbation {
+    dropped: bool,
+    duplicated: bool,
+    extra: SimDuration,
 }
 
 /// Everything in the simulation except the actors themselves. Split out so an
@@ -202,8 +311,20 @@ pub struct World {
     queue: BinaryHeap<Event>,
     nodes: Vec<NodeState>,
     latency: LatencyModel,
-    /// AZ pairs currently partitioned from each other (symmetric).
-    blocked_az_pairs: HashSet<(u8, u8)>,
+    /// Directed AZ links currently blocked: `(src_az, dst_az)` means messages
+    /// from `src_az` to `dst_az` are dropped. Symmetric partitions insert
+    /// both directions; asymmetric (gray) partitions insert one.
+    blocked_az_links: HashSet<(u8, u8)>,
+    /// Directed node-pair links currently blocked.
+    blocked_node_links: HashSet<(u32, u32)>,
+    /// Nodes cut off from everyone (both directions).
+    isolated_nodes: HashSet<u32>,
+    /// Installed probabilistic message faults.
+    link_faults: Vec<LinkFault>,
+    /// Messages dropped by link faults (not partitions).
+    msgs_dropped: u64,
+    /// Messages duplicated by link faults.
+    msgs_duplicated: u64,
     /// Delivered bytes between AZ pairs: `az_traffic[src][dst]`.
     az_traffic: Vec<Vec<u64>>,
     /// Optional per-directed-AZ-pair bandwidth cap (bytes/s): messages
@@ -255,9 +376,52 @@ impl World {
         delay
     }
 
-    fn blocked(&self, a: AzId, b: AzId) -> bool {
-        let key = if a.0 <= b.0 { (a.0, b.0) } else { (b.0, a.0) };
-        self.blocked_az_pairs.contains(&key)
+    /// Whether the network currently refuses to carry a message from `from`
+    /// to `to`: node isolation, a directed node-pair block, or a directed
+    /// AZ-level block.
+    fn net_blocked(&self, from: NodeId, to: NodeId) -> bool {
+        if from == to {
+            return false; // timers/self-messages never traverse the network
+        }
+        if self.isolated_nodes.contains(&from.0) || self.isolated_nodes.contains(&to.0) {
+            return true;
+        }
+        if self.blocked_node_links.contains(&(from.0, to.0)) {
+            return true;
+        }
+        let src_az = self.nodes[from.0 as usize].location.az;
+        let dst_az = self.nodes[to.0 as usize].location.az;
+        self.blocked_az_links.contains(&(src_az.0, dst_az.0))
+    }
+
+    /// Applies the installed link faults to one `from -> to` message.
+    /// Draws from the RNG only for matching faults, so installing a fault
+    /// scoped to node A does not shift the random stream of traffic between
+    /// B and C.
+    fn perturb(&mut self, from: NodeId, to: NodeId) -> Perturbation {
+        let mut p = Perturbation::default();
+        if self.link_faults.is_empty() {
+            return p;
+        }
+        let from_az = self.nodes[from.0 as usize].location.az;
+        let to_az = self.nodes[to.0 as usize].location.az;
+        for i in 0..self.link_faults.len() {
+            let f = self.link_faults[i];
+            if !f.scope.matches(from, to, from_az, to_az) {
+                continue;
+            }
+            if f.drop_p > 0.0 && self.rng.gen_bool(f.drop_p) {
+                p.dropped = true;
+            }
+            if f.dup_p > 0.0 && self.rng.gen_bool(f.dup_p) {
+                p.duplicated = true;
+            }
+            if f.extra_delay > SimDuration::ZERO {
+                let max = f.extra_delay.as_nanos();
+                p.extra += SimDuration::from_nanos(self.rng.gen_range(0..=max));
+            }
+        }
+        p
     }
 
     fn ensure_az(&mut self, az: AzId) {
@@ -305,10 +469,10 @@ impl<'a> Ctx<'a> {
         self.world.nodes[node.0 as usize].alive
     }
 
-    /// Whether the network currently blocks traffic between two nodes
-    /// (AZ-level partition).
+    /// Whether the network currently carries traffic from `a` to `b`
+    /// (no AZ-level or node-level partition in that direction).
     pub fn is_reachable(&self, a: NodeId, b: NodeId) -> bool {
-        !self.world.blocked(self.az_of(a), self.az_of(b))
+        !self.world.net_blocked(a, b)
     }
 
     /// Deterministic RNG shared by the whole simulation.
@@ -329,16 +493,7 @@ impl<'a> Ctx<'a> {
     /// Panics in debug builds if `depart` is in the past.
     pub fn send_sized_from<P: Payload>(&mut self, depart: SimTime, to: NodeId, bytes: u64, payload: P) {
         debug_assert!(depart >= self.world.now, "cannot send from the past");
-        let from = self.me;
-        let src = self.location(from);
-        let dst = self.location(to);
-        let lat = self.world.network_delay(src, dst, bytes, depart);
-        if to != from {
-            self.world.nodes[from.0 as usize].net_out_bytes += bytes;
-            self.world.nodes[from.0 as usize].msgs_out += 1;
-        }
-        let at = depart + lat;
-        self.world.push(at, EventKind::Deliver { to, from, bytes, payload: Box::new(payload) });
+        self.transmit(depart, to, bytes, Box::new(payload));
     }
 
     /// How far ahead of `now` the earliest-free lane of `class` is (zero if a
@@ -360,24 +515,54 @@ impl<'a> Ctx<'a> {
     /// serialization term). Messages to dead nodes or across a partitioned AZ
     /// pair are silently dropped at delivery time, like packets.
     pub fn send_sized<P: Payload>(&mut self, to: NodeId, bytes: u64, payload: P) {
+        let now = self.world.now;
+        self.transmit(now, to, bytes, Box::new(payload));
+    }
+
+    /// Common transmission path: accounts traffic, applies link faults
+    /// (drop/duplicate/extra delay) to inter-node messages, and enqueues
+    /// delivery stamped with the destination's current epoch.
+    fn transmit(&mut self, depart: SimTime, to: NodeId, bytes: u64, payload: Box<dyn Payload>) {
         let from = self.me;
         let src = self.location(from);
         let dst = self.location(to);
-        let now = self.world.now;
-        let lat = self.world.network_delay(src, dst, bytes, now);
+        let epoch = self.world.nodes[to.0 as usize].epoch;
         if to != from {
+            let p = self.world.perturb(from, to);
+            let lat = self.world.network_delay(src, dst, bytes, depart);
             self.world.nodes[from.0 as usize].net_out_bytes += bytes;
             self.world.nodes[from.0 as usize].msgs_out += 1;
+            if p.dropped {
+                self.world.msgs_dropped += 1;
+                return;
+            }
+            if p.duplicated {
+                self.world.msgs_duplicated += 1;
+                let copy = payload.clone_box();
+                let lat2 = self.world.network_delay(src, dst, bytes, depart);
+                self.world.push(
+                    depart + lat2 + p.extra,
+                    EventKind::Deliver { to, from, bytes, epoch, payload: copy },
+                );
+            }
+            self.world
+                .push(depart + lat + p.extra, EventKind::Deliver { to, from, bytes, epoch, payload });
+        } else {
+            let lat = self.world.network_delay(src, dst, bytes, depart);
+            self.world.push(depart + lat, EventKind::Deliver { to, from, bytes, epoch, payload });
         }
-        let at = now + lat;
-        self.world.push(at, EventKind::Deliver { to, from, bytes, payload: Box::new(payload) });
     }
 
     /// Delivers `payload` to this actor itself after `delay` (a timer).
+    ///
+    /// Timers die with the incarnation that set them: if the node crashes and
+    /// is revived before `delay` elapses, the delivery is dropped.
     pub fn schedule<P: Payload>(&mut self, delay: SimDuration, payload: P) {
         let me = self.me;
         let at = self.world.now + delay;
-        self.world.push(at, EventKind::Deliver { to: me, from: me, bytes: 0, payload: Box::new(payload) });
+        let epoch = self.world.nodes[me.0 as usize].epoch;
+        self.world
+            .push(at, EventKind::Deliver { to: me, from: me, bytes: 0, epoch, payload: Box::new(payload) });
     }
 
     /// Delivers `payload` to this actor at the absolute time `at`.
@@ -388,7 +573,9 @@ impl<'a> Ctx<'a> {
     pub fn schedule_at<P: Payload>(&mut self, at: SimTime, payload: P) {
         debug_assert!(at >= self.world.now, "cannot schedule into the past");
         let me = self.me;
-        self.world.push(at, EventKind::Deliver { to: me, from: me, bytes: 0, payload: Box::new(payload) });
+        let epoch = self.world.nodes[me.0 as usize].epoch;
+        self.world
+            .push(at, EventKind::Deliver { to: me, from: me, bytes: 0, epoch, payload: Box::new(payload) });
     }
 
     /// Runs `cost` of CPU work on lane class `class` of this node and returns
@@ -399,7 +586,9 @@ impl<'a> Ctx<'a> {
     /// Panics if the node has no such lane class.
     pub fn execute(&mut self, class: &str, cost: SimDuration) -> SimTime {
         let now = self.world.now;
-        self.world.nodes[self.me.0 as usize].lanes.execute(class, now, cost)
+        let node = &mut self.world.nodes[self.me.0 as usize];
+        let cost = if node.slowdown != 1.0 { cost.mul_f64(node.slowdown) } else { cost };
+        node.lanes.execute(class, now, cost)
     }
 
     /// Runs CPU work and delivers `payload` to this actor when it completes.
@@ -429,10 +618,14 @@ impl<'a> Ctx<'a> {
     }
 
     /// Marks this node dead (e.g. voluntary shutdown after losing
-    /// arbitration). Pending deliveries to it are dropped.
+    /// arbitration). Pending deliveries to it are dropped, and the node's
+    /// epoch is bumped so a later [`Simulation::revive_node`] starts a fresh
+    /// incarnation.
     pub fn shutdown_self(&mut self) {
         let me = self.me;
-        self.world.nodes[me.0 as usize].alive = false;
+        let n = &mut self.world.nodes[me.0 as usize];
+        n.alive = false;
+        n.epoch += 1;
     }
 
     /// One-way latency the network model would charge between two nodes.
@@ -464,7 +657,12 @@ impl Simulation {
                 queue: BinaryHeap::new(),
                 nodes: Vec::new(),
                 latency,
-                blocked_az_pairs: HashSet::new(),
+                blocked_az_links: HashSet::new(),
+                blocked_node_links: HashSet::new(),
+                isolated_nodes: HashSet::new(),
+                link_faults: Vec::new(),
+                msgs_dropped: 0,
+                msgs_duplicated: 0,
                 az_traffic: Vec::new(),
                 inter_az_bandwidth: None,
                 az_link_free: std::collections::HashMap::new(),
@@ -502,6 +700,8 @@ impl Simulation {
             lanes: Lanes::new(&spec.lanes),
             disk: spec.disk,
             alive: true,
+            epoch: 0,
+            slowdown: 1.0,
             net_in_bytes: 0,
             net_out_bytes: 0,
             msgs_in: 0,
@@ -509,7 +709,7 @@ impl Simulation {
         });
         self.actors.push(Some(actor));
         let now = self.world.now;
-        self.world.push(now, EventKind::Start(id));
+        self.world.push(now, EventKind::Start(id, 0));
         id
     }
 
@@ -524,7 +724,9 @@ impl Simulation {
     /// an actor between runs.
     pub fn inject<P: Payload>(&mut self, to: NodeId, payload: P) {
         let now = self.world.now;
-        self.world.push(now, EventKind::Deliver { to, from: to, bytes: 0, payload: Box::new(payload) });
+        let epoch = self.world.nodes[to.0 as usize].epoch;
+        self.world
+            .push(now, EventKind::Deliver { to, from: to, bytes: 0, epoch, payload: Box::new(payload) });
     }
 
     /// Current virtual time.
@@ -537,39 +739,181 @@ impl Simulation {
         self.world.events_processed
     }
 
-    /// Kills a node immediately: it stops receiving messages and executing.
+    /// Crashes a node immediately: it stops receiving messages and executing,
+    /// and its epoch is bumped so in-flight messages and timers addressed to
+    /// this incarnation are dropped even if the node is later revived (the
+    /// crash broke every connection).
     pub fn kill_node(&mut self, node: NodeId) {
+        let n = &mut self.world.nodes[node.0 as usize];
+        n.alive = false;
+        n.epoch += 1;
+    }
+
+    /// Revives a crashed node as a **fresh incarnation** (crash-recover
+    /// semantics): [`Actor::on_restart`] runs first so the actor can discard
+    /// volatile state, then `on_start` is re-delivered. Messages and timers
+    /// from before the crash stay dropped (their epoch no longer matches).
+    ///
+    /// For the old "the process was merely unreachable" model — actor state
+    /// *and* in-flight traffic survive — use [`Simulation::pause_node`] /
+    /// [`Simulation::resume_node`] instead.
+    pub fn revive_node(&mut self, node: NodeId) {
+        let n = &mut self.world.nodes[node.0 as usize];
+        n.alive = true;
+        let epoch = n.epoch;
+        self.dispatch(node, |actor, ctx| actor.on_restart(ctx));
+        let now = self.world.now;
+        self.world.push(now, EventKind::Start(node, epoch));
+    }
+
+    /// Pauses a node: it stops receiving messages, but keeps its incarnation
+    /// (no epoch bump), so messages already in flight are delivered once
+    /// [`Simulation::resume_node`] runs — a long GC pause or a hung VM, not
+    /// a crash.
+    pub fn pause_node(&mut self, node: NodeId) {
         self.world.nodes[node.0 as usize].alive = false;
     }
 
-    /// Revives a previously killed node (its actor state is unchanged; the
-    /// actor is responsible for its own recovery protocol). `on_start` is
-    /// re-delivered.
-    pub fn revive_node(&mut self, node: NodeId) {
-        self.world.nodes[node.0 as usize].alive = true;
+    /// Resumes a paused node; `on_start` is re-delivered (so tick loops
+    /// restart) but `on_restart` is *not* invoked and pre-pause traffic is
+    /// still deliverable.
+    pub fn resume_node(&mut self, node: NodeId) {
+        let n = &mut self.world.nodes[node.0 as usize];
+        n.alive = true;
+        let epoch = n.epoch;
         let now = self.world.now;
-        self.world.push(now, EventKind::Start(node));
+        self.world.push(now, EventKind::Start(node, epoch));
     }
 
-    /// Kills every node located in `az`.
+    /// Crashes every node located in `az` (see [`Simulation::kill_node`]).
     pub fn kill_az(&mut self, az: AzId) {
         for n in &mut self.world.nodes {
             if n.location.az == az {
                 n.alive = false;
+                n.epoch += 1;
             }
         }
     }
 
     /// Partitions two AZs from each other (messages dropped both ways).
     pub fn partition_azs(&mut self, a: AzId, b: AzId) {
-        let key = if a.0 <= b.0 { (a.0, b.0) } else { (b.0, a.0) };
-        self.world.blocked_az_pairs.insert(key);
+        self.world.blocked_az_links.insert((a.0, b.0));
+        self.world.blocked_az_links.insert((b.0, a.0));
     }
 
-    /// Heals a previous AZ partition.
+    /// Heals a previous AZ partition (both directions).
     pub fn heal_azs(&mut self, a: AzId, b: AzId) {
-        let key = if a.0 <= b.0 { (a.0, b.0) } else { (b.0, a.0) };
-        self.world.blocked_az_pairs.remove(&key);
+        self.world.blocked_az_links.remove(&(a.0, b.0));
+        self.world.blocked_az_links.remove(&(b.0, a.0));
+    }
+
+    /// Blocks traffic from `src` to `dst` only (asymmetric partition: `dst`
+    /// still reaches `src`). The classic gray failure where A hears B but B
+    /// cannot hear A.
+    pub fn partition_az_oneway(&mut self, src: AzId, dst: AzId) {
+        self.world.blocked_az_links.insert((src.0, dst.0));
+    }
+
+    /// Heals one direction of an AZ partition.
+    pub fn heal_az_oneway(&mut self, src: AzId, dst: AzId) {
+        self.world.blocked_az_links.remove(&(src.0, dst.0));
+    }
+
+    /// Partitions two individual nodes from each other (both directions),
+    /// leaving the rest of their AZs connected.
+    pub fn partition_nodes(&mut self, a: NodeId, b: NodeId) {
+        self.world.blocked_node_links.insert((a.0, b.0));
+        self.world.blocked_node_links.insert((b.0, a.0));
+    }
+
+    /// Heals a node-pair partition (both directions).
+    pub fn heal_nodes(&mut self, a: NodeId, b: NodeId) {
+        self.world.blocked_node_links.remove(&(a.0, b.0));
+        self.world.blocked_node_links.remove(&(b.0, a.0));
+    }
+
+    /// Blocks traffic from node `src` to node `dst` only.
+    pub fn partition_node_oneway(&mut self, src: NodeId, dst: NodeId) {
+        self.world.blocked_node_links.insert((src.0, dst.0));
+    }
+
+    /// Heals one direction of a node-pair partition.
+    pub fn heal_node_oneway(&mut self, src: NodeId, dst: NodeId) {
+        self.world.blocked_node_links.remove(&(src.0, dst.0));
+    }
+
+    /// Cuts a node off from every other node (both directions) while leaving
+    /// it alive — it keeps executing and talking to itself.
+    pub fn isolate_node(&mut self, node: NodeId) {
+        self.world.isolated_nodes.insert(node.0);
+    }
+
+    /// Reconnects a previously isolated node.
+    pub fn heal_isolation(&mut self, node: NodeId) {
+        self.world.isolated_nodes.remove(&node.0);
+    }
+
+    /// Sets a gray-failure slowdown on a node's CPU lanes: every
+    /// [`Ctx::execute`] cost is multiplied by `factor` (1.0 = healthy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not strictly positive.
+    pub fn set_node_slowdown(&mut self, node: NodeId, factor: f64) {
+        assert!(factor > 0.0, "slowdown factor must be positive");
+        self.world.nodes[node.0 as usize].slowdown = factor;
+    }
+
+    /// The node's current slowdown factor.
+    pub fn node_slowdown(&self, node: NodeId) -> f64 {
+        self.world.nodes[node.0 as usize].slowdown
+    }
+
+    /// Installs a probabilistic message fault (drop/duplicate/delay).
+    pub fn add_link_fault(&mut self, fault: LinkFault) {
+        self.world.link_faults.push(fault);
+    }
+
+    /// Removes every installed link fault.
+    pub fn clear_link_faults(&mut self) {
+        self.world.link_faults.clear();
+    }
+
+    /// Stalls a node's disk: no submitted I/O starts before `now + d`
+    /// (queued I/O waits; new I/O queues behind it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node has no disk.
+    pub fn stall_disk(&mut self, node: NodeId, d: SimDuration) {
+        let until = self.world.now + d;
+        self.world.nodes[node.0 as usize]
+            .disk
+            .as_mut()
+            .expect("node has no disk")
+            .stall(until);
+    }
+
+    /// The node's incarnation counter (bumped on every crash).
+    pub fn node_epoch(&self, node: NodeId) -> u32 {
+        self.world.nodes[node.0 as usize].epoch
+    }
+
+    /// Whether the network currently lets `from` reach `to` (ignores
+    /// probabilistic link faults and node liveness; partitions and
+    /// isolation only).
+    pub fn is_reachable(&self, from: NodeId, to: NodeId) -> bool {
+        !self.world.net_blocked(from, to)
+    }
+
+    /// Messages dropped by link faults so far (partition drops not included).
+    pub fn msgs_dropped(&self) -> u64 {
+        self.world.msgs_dropped
+    }
+
+    /// Messages duplicated by link faults so far.
+    pub fn msgs_duplicated(&self) -> u64 {
+        self.world.msgs_duplicated
     }
 
     /// Whether a node is alive.
@@ -587,20 +931,17 @@ impl Simulation {
         self.world.now = ev.time;
         self.world.events_processed += 1;
         match ev.kind {
-            EventKind::Start(node) => {
-                if self.world.nodes[node.0 as usize].alive {
+            EventKind::Start(node, epoch) => {
+                let n = &self.world.nodes[node.0 as usize];
+                if n.alive && n.epoch == epoch {
                     self.dispatch(node, |actor, ctx| actor.on_start(ctx));
                 }
             }
-            EventKind::Deliver { to, from, bytes, payload } => {
+            EventKind::Deliver { to, from, bytes, epoch, payload } => {
                 let deliverable = {
                     let w = &self.world;
                     let dst = &w.nodes[to.0 as usize];
-                    dst.alive
-                        && !w.blocked(
-                            w.nodes[from.0 as usize].location.az,
-                            dst.location.az,
-                        )
+                    dst.alive && dst.epoch == epoch && !w.net_blocked(from, to)
                 };
                 if deliverable {
                     let (src_az, dst_az) = {
@@ -772,7 +1113,7 @@ impl fmt::Debug for Simulation {
 mod tests {
     use super::*;
 
-    #[derive(Debug)]
+    #[derive(Debug, Clone)]
     struct Tick(u32);
 
     /// Records the times at which its timer messages arrive.
@@ -811,7 +1152,7 @@ mod tests {
         );
     }
 
-    #[derive(Debug)]
+    #[derive(Debug, Clone)]
     struct Hello;
 
     struct Receiver {
@@ -942,5 +1283,239 @@ mod tests {
     fn actor_downcast_mismatch_panics() {
         let (sim, rx) = one_hop(0, 1);
         let _ = sim.actor::<Sender>(rx);
+    }
+
+    // ---- crash/restart semantics: epochs and the recovery hook ----
+
+    struct Recovering {
+        starts: u32,
+        restarts: u32,
+    }
+    impl Actor for Recovering {
+        fn on_start(&mut self, _ctx: &mut Ctx<'_>) {
+            self.starts += 1;
+        }
+        fn on_restart(&mut self, _ctx: &mut Ctx<'_>) {
+            self.restarts += 1;
+        }
+        fn on_message(&mut self, _: &mut Ctx<'_>, _: NodeId, _: Box<dyn Payload>) {}
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn revive_runs_recovery_hook_then_start() {
+        let mut sim = Simulation::new(1);
+        let n = sim.add_node(
+            NodeSpec::new("r", Location::new(0, 0)),
+            Box::new(Recovering { starts: 0, restarts: 0 }),
+        );
+        sim.at(SimTime::from_millis(1), move |s| s.kill_node(n));
+        sim.at(SimTime::from_millis(2), move |s| s.revive_node(n));
+        sim.run_until(SimTime::from_millis(5));
+        let r = sim.actor::<Recovering>(n);
+        assert_eq!((r.starts, r.restarts), (2, 1));
+        assert_eq!(sim.node_epoch(n), 1);
+    }
+
+    #[test]
+    fn crash_drops_in_flight_messages_to_the_old_incarnation() {
+        let (mut sim, rx) = one_hop(0, 1);
+        // The message departs at t=0 and would arrive ~186us later; crash and
+        // revive the receiver while it is in flight. The new incarnation must
+        // not receive a message addressed to the old one.
+        sim.at(SimTime::from_nanos(1_000), move |s| s.kill_node(rx));
+        sim.at(SimTime::from_nanos(2_000), move |s| s.revive_node(rx));
+        sim.run_until(SimTime::from_millis(5));
+        assert!(sim.is_alive(rx));
+        assert_eq!(sim.actor::<Receiver>(rx).got, 0);
+    }
+
+    #[test]
+    fn crash_drops_pending_timers() {
+        let mut sim = Simulation::new(1);
+        let n = sim.add_node(NodeSpec::new("rec", Location::new(0, 0)), Box::new(Recorder { seen: vec![] }));
+        sim.at(SimTime::from_nanos(1_500_000), move |s| s.kill_node(n));
+        sim.at(SimTime::from_nanos(1_600_000), move |s| s.revive_node(n));
+        sim.run_until(SimTime::from_millis(10));
+        // Tick(1) fired before the crash; ticks 2 and 3 died with the first
+        // incarnation; the restarted actor re-armed all three from 1.6ms.
+        assert_eq!(
+            sim.actor::<Recorder>(n).seen,
+            vec![
+                (1, SimTime::from_millis(1)),
+                (1, SimTime::from_nanos(2_600_000)),
+                (2, SimTime::from_nanos(3_600_000)),
+                (3, SimTime::from_nanos(4_600_000)),
+            ]
+        );
+    }
+
+    #[test]
+    fn pause_resume_preserves_the_incarnation() {
+        let mut sim = Simulation::new(1);
+        let n = sim.add_node(NodeSpec::new("rec", Location::new(0, 0)), Box::new(Recorder { seen: vec![] }));
+        sim.at(SimTime::from_nanos(1_500_000), move |s| s.pause_node(n));
+        sim.at(SimTime::from_nanos(2_500_000), move |s| s.resume_node(n));
+        sim.run_until(SimTime::from_millis(10));
+        let seen = &sim.actor::<Recorder>(n).seen;
+        // Tick(2) hit the pause window and was lost, but Tick(3) — armed by
+        // the same incarnation — still fires after resume: a pause is not a
+        // crash.
+        assert!(!seen.contains(&(2, SimTime::from_millis(2))));
+        assert!(seen.contains(&(3, SimTime::from_millis(3))));
+        assert_eq!(sim.node_epoch(n), 0);
+    }
+
+    // ---- asymmetric and node-level partitions ----
+
+    #[test]
+    fn oneway_az_partition_blocks_only_one_direction() {
+        let mut sim = Simulation::new(7);
+        sim.set_jitter(0.0);
+        let rx1 = sim.add_node(
+            NodeSpec::new("rx1", Location::new(1, 0)),
+            Box::new(Receiver { got: 0, last_at: SimTime::ZERO }),
+        );
+        let rx0 = sim.add_node(
+            NodeSpec::new("rx0", Location::new(0, 1)),
+            Box::new(Receiver { got: 0, last_at: SimTime::ZERO }),
+        );
+        let tx0 = sim.add_node(NodeSpec::new("tx0", Location::new(0, 2)), Box::new(Sender { to: rx1 }));
+        let _tx1 = sim.add_node(NodeSpec::new("tx1", Location::new(1, 3)), Box::new(Sender { to: rx0 }));
+        sim.partition_az_oneway(AzId(0), AzId(1));
+        sim.run_until(SimTime::from_millis(5));
+        assert_eq!(sim.actor::<Receiver>(rx1).got, 0, "az0 -> az1 must be cut");
+        assert_eq!(sim.actor::<Receiver>(rx0).got, 1, "az1 -> az0 must still work");
+        sim.heal_az_oneway(AzId(0), AzId(1));
+        sim.at(SimTime::from_millis(6), move |s| s.revive_node(tx0));
+        sim.run_until(SimTime::from_millis(10));
+        assert_eq!(sim.actor::<Receiver>(rx1).got, 1);
+    }
+
+    #[test]
+    fn node_pair_partition_blocks_traffic_until_healed() {
+        let (mut sim, rx) = one_hop(0, 1);
+        let tx = NodeId(1);
+        sim.partition_nodes(tx, rx);
+        assert!(!sim.is_reachable(tx, rx));
+        assert!(!sim.is_reachable(rx, tx));
+        sim.run_until(SimTime::from_millis(5));
+        assert_eq!(sim.actor::<Receiver>(rx).got, 0);
+        sim.heal_nodes(tx, rx);
+        sim.at(SimTime::from_millis(6), move |s| s.revive_node(tx));
+        sim.run_until(SimTime::from_millis(10));
+        assert_eq!(sim.actor::<Receiver>(rx).got, 1);
+    }
+
+    #[test]
+    fn isolated_node_is_cut_off_from_everyone() {
+        let (mut sim, rx) = one_hop(0, 1);
+        sim.isolate_node(rx);
+        assert!(!sim.is_reachable(NodeId(1), rx));
+        sim.run_until(SimTime::from_millis(5));
+        assert_eq!(sim.actor::<Receiver>(rx).got, 0);
+        sim.heal_isolation(rx);
+        assert!(sim.is_reachable(NodeId(1), rx));
+    }
+
+    // ---- gray failures ----
+
+    struct Worker {
+        done_at: SimTime,
+    }
+    impl Actor for Worker {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.execute_then("work", SimDuration::from_millis(10), Tick(0));
+        }
+        fn on_message(&mut self, ctx: &mut Ctx<'_>, _: NodeId, _: Box<dyn Payload>) {
+            self.done_at = ctx.now();
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn gray_slowdown_scales_cpu_cost() {
+        let run = |factor: f64| {
+            let mut sim = Simulation::new(1);
+            let n = sim.add_node(
+                NodeSpec::new("w", Location::new(0, 0))
+                    .with_lanes(vec![LaneClassSpec::new("work", 1)]),
+                Box::new(Worker { done_at: SimTime::ZERO }),
+            );
+            sim.set_node_slowdown(n, factor);
+            sim.run_until(SimTime::from_millis(100));
+            sim.actor::<Worker>(n).done_at
+        };
+        assert_eq!(run(1.0), SimTime::from_millis(10));
+        assert_eq!(run(3.0), SimTime::from_millis(30));
+    }
+
+    // ---- probabilistic link faults ----
+
+    struct Spammer {
+        to: NodeId,
+        n: u32,
+    }
+    impl Actor for Spammer {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            for _ in 0..self.n {
+                ctx.send(self.to, Hello);
+            }
+        }
+        fn on_message(&mut self, _: &mut Ctx<'_>, _: NodeId, _: Box<dyn Payload>) {}
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+    }
+
+    fn spam(seed: u64, fault: LinkFault, n: u32) -> (u32, u64, u64) {
+        let mut sim = Simulation::new(seed);
+        sim.set_jitter(0.0);
+        let rx = sim.add_node(
+            NodeSpec::new("rx", Location::new(1, 0)),
+            Box::new(Receiver { got: 0, last_at: SimTime::ZERO }),
+        );
+        sim.add_node(NodeSpec::new("tx", Location::new(0, 1)), Box::new(Spammer { to: rx, n }));
+        sim.add_link_fault(fault);
+        sim.run_until(SimTime::from_secs(1));
+        (sim.actor::<Receiver>(rx).got, sim.msgs_dropped(), sim.msgs_duplicated())
+    }
+
+    #[test]
+    fn certain_drop_loses_every_message() {
+        let (got, dropped, _) = spam(3, LinkFault::new(FaultScope::All).with_drop(1.0), 20);
+        assert_eq!((got, dropped), (0, 20));
+    }
+
+    #[test]
+    fn certain_duplication_doubles_every_message() {
+        let (got, _, duped) = spam(3, LinkFault::new(FaultScope::All).with_dup(1.0), 20);
+        assert_eq!((got, duped), (40, 20));
+    }
+
+    #[test]
+    fn scoped_fault_leaves_other_links_alone() {
+        // Fault is scoped to a link that carries no traffic here.
+        let scope = FaultScope::Directed(NodeId(0), NodeId(1));
+        let (got, dropped, _) = spam(3, LinkFault::new(scope).with_drop(1.0), 20);
+        assert_eq!((got, dropped), (20, 0));
+    }
+
+    #[test]
+    fn probabilistic_faults_are_seed_deterministic() {
+        let f = || {
+            LinkFault::new(FaultScope::All)
+                .with_drop(0.3)
+                .with_dup(0.3)
+                .with_extra_delay(SimDuration::from_millis(5))
+        };
+        assert_eq!(spam(11, f(), 200), spam(11, f(), 200));
+        let (got, dropped, duped) = spam(11, f(), 200);
+        assert!(got > 100 && got < 200, "some but not all should survive: {got}");
+        assert!(dropped > 0 && duped > 0);
     }
 }

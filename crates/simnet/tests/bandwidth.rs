@@ -5,7 +5,7 @@
 use simnet::{Actor, Ctx, Location, NodeId, NodeSpec, Payload, SimTime, Simulation};
 use std::any::Any;
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Blob(u32);
 
 struct Rx {

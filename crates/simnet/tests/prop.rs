@@ -7,7 +7,7 @@ use simnet::{
 };
 use std::any::Any;
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Stamp(u64);
 
 /// Fires a batch of timers with arbitrary delays.
@@ -28,7 +28,7 @@ impl Actor for Firer {
         self
     }
 }
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct StampAt(u64, u64);
 
 proptest! {
@@ -111,6 +111,96 @@ proptest! {
         }
         prop_assert_eq!(h.max(), *values.last().unwrap());
         prop_assert_eq!(h.min(), values[0]);
+    }
+}
+
+/// Arbitrary valid [`RetryPolicy`]: the jitter stays within the
+/// `multiplier - 1` bound the builders enforce.
+fn retry_policy() -> impl Strategy<Value = simnet::RetryPolicy> {
+    (1u64..1_000_000_000, 1u64..64, 1u32..=4, 0.0..1.0f64).prop_map(
+        |(base_ns, cap_mul, multiplier, jitter_frac)| {
+            let base = SimDuration::from_nanos(base_ns);
+            let jitter = jitter_frac * f64::from(multiplier - 1).min(1.0);
+            simnet::RetryPolicy::new(base, SimDuration::from_nanos(base_ns * cap_mul))
+                .with_jitter(0.0) // the default 10% would reject multiplier 1
+                .with_multiplier(multiplier)
+                .with_jitter(jitter)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// A retry schedule is a pure function of (policy, attempt, salt):
+    /// recomputing it yields the identical sequence.
+    #[test]
+    fn retry_schedule_is_deterministic(policy in retry_policy(), salt in any::<u64>()) {
+        let schedule = |p: &simnet::RetryPolicy| -> Vec<_> {
+            (0..24).map(|i| p.delay(i, salt)).collect()
+        };
+        prop_assert_eq!(schedule(&policy), schedule(&policy));
+    }
+
+    /// Delays never shrink from one attempt to the next, even with the
+    /// maximum jitter the policy admits.
+    #[test]
+    fn retry_schedule_is_monotone(policy in retry_policy(), salt in any::<u64>()) {
+        let mut prev = SimDuration::ZERO;
+        for attempt in 0..24 {
+            let d = policy.delay(attempt, salt).expect("unbounded budget");
+            prop_assert!(d >= prev, "delay({}) = {} < previous {}", attempt, d, prev);
+            prev = d;
+        }
+    }
+
+    /// No delay ever exceeds the cap, and the schedule reaches the cap once
+    /// the un-jittered geometric growth would pass it.
+    #[test]
+    fn retry_schedule_is_bounded_by_cap(policy in retry_policy(), salt in any::<u64>()) {
+        for attempt in 0..64 {
+            let d = policy.delay(attempt, salt).expect("unbounded budget");
+            prop_assert!(d <= policy.cap, "delay({}) = {} > cap {}", attempt, d, policy.cap);
+        }
+        if policy.multiplier > 1 {
+            // 2^63 × base overflows any cap: the tail is pinned at the cap.
+            prop_assert_eq!(policy.delay(63, salt).expect("unbounded"), policy.cap);
+        }
+    }
+
+    /// The retry budget is exact: `max_attempts` total tries means delays
+    /// for retries `0..max_attempts-1` and `None` from there on.
+    #[test]
+    fn retry_budget_is_exact(policy in retry_policy(), salt in any::<u64>(), budget in 1u32..16) {
+        let p = policy.with_max_attempts(budget);
+        for attempt in 0..budget + 4 {
+            let d = p.delay(attempt, salt);
+            prop_assert_eq!(d.is_some(), attempt + 2 <= budget, "attempt {}", attempt);
+        }
+    }
+
+    /// Deadline propagation: a granted delay never lands past the deadline,
+    /// and is identical to the plain schedule when it fits.
+    #[test]
+    fn retry_deadline_is_respected(
+        policy in retry_policy(),
+        salt in any::<u64>(),
+        attempt in 0u32..16,
+        now_ns in 0u64..1_000_000_000,
+        slack_ns in 0u64..10_000_000_000,
+    ) {
+        let now = SimTime::ZERO + SimDuration::from_nanos(now_ns);
+        let deadline = now + SimDuration::from_nanos(slack_ns);
+        match policy.delay_within(attempt, salt, now, deadline) {
+            Some(d) => {
+                prop_assert!(now + d <= deadline);
+                prop_assert_eq!(Some(d), policy.delay(attempt, salt));
+            }
+            None => {
+                let d = policy.delay(attempt, salt).expect("unbounded budget");
+                prop_assert!(now + d > deadline, "gave up although {} fits before {}", d, deadline);
+            }
+        }
     }
 }
 

@@ -1,0 +1,73 @@
+//! Nemesis tour: install a declarative, seeded fault schedule — gray
+//! slowdown, an asymmetric AZ partition, a namenode crash/restart — against
+//! a live HopsFS-CL cluster, then check the chaos invariants and show that
+//! the same seed replays the identical fault trace.
+//!
+//! ```sh
+//! cargo run --release --example nemesis_demo
+//! ```
+
+use hopsfs::client::ClientStats;
+use hopsfs::{build_fs_cluster, check_invariants, FsConfig, FsOp, FsPath, ScriptedSource};
+use simnet::{AzId, Fault, Schedule, SimTime, Simulation};
+
+fn run(seed: u64) -> (Vec<String>, u64) {
+    let mut sim = Simulation::new(seed);
+    sim.set_jitter(0.0);
+    let cluster = build_fs_cluster(&mut sim, FsConfig::hopsfs_cl(6, 3, 6), 6);
+    let view = cluster.view.clone();
+
+    // A client in each AZ, each writing its own directory tree.
+    let mut clients = Vec::new();
+    for az in 0..3u8 {
+        let ops: Vec<FsOp> = std::iter::once(FsOp::Mkdir {
+            path: FsPath::parse(&format!("/az{az}")).expect("valid"),
+        })
+        .chain((0..40).map(|i| FsOp::Create {
+            path: FsPath::parse(&format!("/az{az}/f{i}")).expect("valid"),
+            size: 0,
+        }))
+        .collect();
+        clients.push(cluster.add_client(
+            &mut sim,
+            AzId(az),
+            Box::new(ScriptedSource::new(ops)),
+            ClientStats::shared(),
+        ));
+    }
+
+    // The nemesis schedule: every fault is data, the whole run is one seed.
+    let s = SimTime::from_secs;
+    let schedule = Schedule::new()
+        .at(s(2), Fault::GraySlow(view.ndb.datanode_ids[2], 50.0)) // limping, not dead
+        .at(s(3), Fault::PartitionAzOneway(AzId(1), AzId(0))) // az1 cannot reach az0
+        .at(s(4), Fault::Crash(view.nn_ids[1]))
+        .at(s(6), Fault::Restart(view.nn_ids[1])) // stateless recovery from NDB
+        .at(s(8), Fault::GrayHeal(view.ndb.datanode_ids[2]))
+        .at(s(10), Fault::HealAzOneway(AzId(1), AzId(0)));
+    let trace = schedule.install(&mut sim);
+
+    sim.run_until(s(25));
+    let report = check_invariants(&sim, &view, &clients);
+    assert!(report.clean(), "invariants violated: {report:?}");
+    println!(
+        "seed {seed}: {} faults injected, invariants clean (leaders={:?}, arbitrators={:?})",
+        trace.lines().len(),
+        report.leaders,
+        report.arbitrators
+    );
+    (trace.lines(), sim.events_processed())
+}
+
+fn main() {
+    let (trace, events) = run(42);
+    println!("\nfault trace:");
+    for line in &trace {
+        println!("  {line}");
+    }
+    println!("\nreplaying the same seed...");
+    let (trace2, events2) = run(42);
+    assert_eq!(trace, trace2, "fault trace must replay identically");
+    assert_eq!(events, events2, "event count must replay identically");
+    println!("replay identical: {} events both runs.", events);
+}

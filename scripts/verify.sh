@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Full verification gate: build, tier-1 tests, and lint-clean.
+#
+# This is what CI (and any pre-merge check) runs. It must pass from a clean
+# checkout with no network access — all dependencies are vendored.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --release --workspace
+
+echo "== tier-1 tests =="
+cargo test -q --workspace
+
+echo "== clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "verify: OK"
