@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_az_awareness-d6bd3c1a2fd86afd.d: crates/bench/benches/ablation_az_awareness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_az_awareness-d6bd3c1a2fd86afd.rmeta: crates/bench/benches/ablation_az_awareness.rs Cargo.toml
+
+crates/bench/benches/ablation_az_awareness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

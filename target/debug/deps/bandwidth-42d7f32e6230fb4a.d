@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bandwidth-42d7f32e6230fb4a.d: crates/simnet/tests/bandwidth.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbandwidth-42d7f32e6230fb4a.rmeta: crates/simnet/tests/bandwidth.rs Cargo.toml
+
+crates/simnet/tests/bandwidth.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bandwidth-8bb9670f0ba73952.d: crates/simnet/tests/bandwidth.rs
+
+/root/repo/target/debug/deps/bandwidth-8bb9670f0ba73952: crates/simnet/tests/bandwidth.rs
+
+crates/simnet/tests/bandwidth.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bandwidth-f972c9b6eb4de046.d: crates/simnet/tests/bandwidth.rs
+
+/root/repo/target/debug/deps/bandwidth-f972c9b6eb4de046: crates/simnet/tests/bandwidth.rs
+
+crates/simnet/tests/bandwidth.rs:

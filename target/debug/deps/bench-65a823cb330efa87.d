@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/bench-65a823cb330efa87.d: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/report.rs crates/bench/src/setup.rs crates/bench/src/sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench-65a823cb330efa87.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/report.rs crates/bench/src/setup.rs crates/bench/src/sweep.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/report.rs:
+crates/bench/src/setup.rs:
+crates/bench/src/sweep.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/bench-b565c25541ce5367.d: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/report.rs crates/bench/src/setup.rs crates/bench/src/sweep.rs
+
+/root/repo/target/debug/deps/libbench-b565c25541ce5367.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/report.rs crates/bench/src/setup.rs crates/bench/src/sweep.rs
+
+/root/repo/target/debug/deps/libbench-b565c25541ce5367.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/report.rs crates/bench/src/setup.rs crates/bench/src/sweep.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/report.rs:
+crates/bench/src/setup.rs:
+crates/bench/src/sweep.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

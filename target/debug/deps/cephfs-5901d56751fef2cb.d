@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cephfs-5901d56751fef2cb.d: crates/cephsim/tests/cephfs.rs
+
+/root/repo/target/debug/deps/cephfs-5901d56751fef2cb: crates/cephsim/tests/cephfs.rs
+
+crates/cephsim/tests/cephfs.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cephfs-937c87698e835294.d: crates/cephsim/tests/cephfs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcephfs-937c87698e835294.rmeta: crates/cephsim/tests/cephfs.rs Cargo.toml
+
+crates/cephsim/tests/cephfs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

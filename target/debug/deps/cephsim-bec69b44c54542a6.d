@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/cephsim-bec69b44c54542a6.d: crates/cephsim/src/lib.rs crates/cephsim/src/client.rs crates/cephsim/src/config.rs crates/cephsim/src/deploy.rs crates/cephsim/src/mds.rs crates/cephsim/src/mon.rs crates/cephsim/src/namespace.rs crates/cephsim/src/osd.rs
+
+/root/repo/target/debug/deps/libcephsim-bec69b44c54542a6.rlib: crates/cephsim/src/lib.rs crates/cephsim/src/client.rs crates/cephsim/src/config.rs crates/cephsim/src/deploy.rs crates/cephsim/src/mds.rs crates/cephsim/src/mon.rs crates/cephsim/src/namespace.rs crates/cephsim/src/osd.rs
+
+/root/repo/target/debug/deps/libcephsim-bec69b44c54542a6.rmeta: crates/cephsim/src/lib.rs crates/cephsim/src/client.rs crates/cephsim/src/config.rs crates/cephsim/src/deploy.rs crates/cephsim/src/mds.rs crates/cephsim/src/mon.rs crates/cephsim/src/namespace.rs crates/cephsim/src/osd.rs
+
+crates/cephsim/src/lib.rs:
+crates/cephsim/src/client.rs:
+crates/cephsim/src/config.rs:
+crates/cephsim/src/deploy.rs:
+crates/cephsim/src/mds.rs:
+crates/cephsim/src/mon.rs:
+crates/cephsim/src/namespace.rs:
+crates/cephsim/src/osd.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/cephsim-c03f448af34e6b89.d: crates/cephsim/src/lib.rs crates/cephsim/src/client.rs crates/cephsim/src/config.rs crates/cephsim/src/deploy.rs crates/cephsim/src/mds.rs crates/cephsim/src/mon.rs crates/cephsim/src/namespace.rs crates/cephsim/src/osd.rs
+
+/root/repo/target/debug/deps/libcephsim-c03f448af34e6b89.rlib: crates/cephsim/src/lib.rs crates/cephsim/src/client.rs crates/cephsim/src/config.rs crates/cephsim/src/deploy.rs crates/cephsim/src/mds.rs crates/cephsim/src/mon.rs crates/cephsim/src/namespace.rs crates/cephsim/src/osd.rs
+
+/root/repo/target/debug/deps/libcephsim-c03f448af34e6b89.rmeta: crates/cephsim/src/lib.rs crates/cephsim/src/client.rs crates/cephsim/src/config.rs crates/cephsim/src/deploy.rs crates/cephsim/src/mds.rs crates/cephsim/src/mon.rs crates/cephsim/src/namespace.rs crates/cephsim/src/osd.rs
+
+crates/cephsim/src/lib.rs:
+crates/cephsim/src/client.rs:
+crates/cephsim/src/config.rs:
+crates/cephsim/src/deploy.rs:
+crates/cephsim/src/mds.rs:
+crates/cephsim/src/mon.rs:
+crates/cephsim/src/namespace.rs:
+crates/cephsim/src/osd.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/cephsim-c2490340f4309f31.d: crates/cephsim/src/lib.rs crates/cephsim/src/client.rs crates/cephsim/src/config.rs crates/cephsim/src/deploy.rs crates/cephsim/src/mds.rs crates/cephsim/src/mon.rs crates/cephsim/src/namespace.rs crates/cephsim/src/osd.rs
+
+/root/repo/target/debug/deps/cephsim-c2490340f4309f31: crates/cephsim/src/lib.rs crates/cephsim/src/client.rs crates/cephsim/src/config.rs crates/cephsim/src/deploy.rs crates/cephsim/src/mds.rs crates/cephsim/src/mon.rs crates/cephsim/src/namespace.rs crates/cephsim/src/osd.rs
+
+crates/cephsim/src/lib.rs:
+crates/cephsim/src/client.rs:
+crates/cephsim/src/config.rs:
+crates/cephsim/src/deploy.rs:
+crates/cephsim/src/mds.rs:
+crates/cephsim/src/mon.rs:
+crates/cephsim/src/namespace.rs:
+crates/cephsim/src/osd.rs:

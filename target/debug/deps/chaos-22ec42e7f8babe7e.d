@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-22ec42e7f8babe7e.d: tests/chaos.rs
+
+/root/repo/target/debug/deps/chaos-22ec42e7f8babe7e: tests/chaos.rs
+
+tests/chaos.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-5b145a8cdfb1ffe0.d: tests/chaos.rs
+
+/root/repo/target/debug/deps/chaos-5b145a8cdfb1ffe0: tests/chaos.rs
+
+tests/chaos.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cloud_blocks-3a7d0de3cff0445f.d: crates/core/tests/cloud_blocks.rs
+
+/root/repo/target/debug/deps/cloud_blocks-3a7d0de3cff0445f: crates/core/tests/cloud_blocks.rs
+
+crates/core/tests/cloud_blocks.rs:

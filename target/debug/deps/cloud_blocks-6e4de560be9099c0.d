@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cloud_blocks-6e4de560be9099c0.d: crates/core/tests/cloud_blocks.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcloud_blocks-6e4de560be9099c0.rmeta: crates/core/tests/cloud_blocks.rs Cargo.toml
+
+crates/core/tests/cloud_blocks.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

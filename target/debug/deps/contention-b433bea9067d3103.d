@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/contention-b433bea9067d3103.d: crates/ndb/tests/contention.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcontention-b433bea9067d3103.rmeta: crates/ndb/tests/contention.rs Cargo.toml
+
+crates/ndb/tests/contention.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/contention-d204c433ab1bf17f.d: crates/ndb/tests/contention.rs
+
+/root/repo/target/debug/deps/contention-d204c433ab1bf17f: crates/ndb/tests/contention.rs
+
+crates/ndb/tests/contention.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_cloud_block_store-3a3cdf61415f6f71.d: crates/bench/benches/ext_cloud_block_store.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_cloud_block_store-3a3cdf61415f6f71.rmeta: crates/bench/benches/ext_cloud_block_store.rs Cargo.toml
+
+crates/bench/benches/ext_cloud_block_store.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

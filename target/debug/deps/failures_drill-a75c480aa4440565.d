@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/failures_drill-a75c480aa4440565.d: crates/bench/benches/failures_drill.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfailures_drill-a75c480aa4440565.rmeta: crates/bench/benches/failures_drill.rs Cargo.toml
+
+crates/bench/benches/failures_drill.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

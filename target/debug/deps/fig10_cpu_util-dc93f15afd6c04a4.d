@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_cpu_util-dc93f15afd6c04a4.d: crates/bench/benches/fig10_cpu_util.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_cpu_util-dc93f15afd6c04a4.rmeta: crates/bench/benches/fig10_cpu_util.rs Cargo.toml
+
+crates/bench/benches/fig10_cpu_util.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_ndb_threads_util-80a92f5f9d852bb6.d: crates/bench/benches/fig11_ndb_threads_util.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_ndb_threads_util-80a92f5f9d852bb6.rmeta: crates/bench/benches/fig11_ndb_threads_util.rs Cargo.toml
+
+crates/bench/benches/fig11_ndb_threads_util.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

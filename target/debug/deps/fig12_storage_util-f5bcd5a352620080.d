@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_storage_util-f5bcd5a352620080.d: crates/bench/benches/fig12_storage_util.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_storage_util-f5bcd5a352620080.rmeta: crates/bench/benches/fig12_storage_util.rs Cargo.toml
+
+crates/bench/benches/fig12_storage_util.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13_nn_util-52246f821f6ae564.d: crates/bench/benches/fig13_nn_util.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13_nn_util-52246f821f6ae564.rmeta: crates/bench/benches/fig13_nn_util.rs Cargo.toml
+
+crates/bench/benches/fig13_nn_util.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

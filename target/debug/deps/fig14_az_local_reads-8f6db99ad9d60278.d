@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig14_az_local_reads-8f6db99ad9d60278.d: crates/bench/benches/fig14_az_local_reads.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig14_az_local_reads-8f6db99ad9d60278.rmeta: crates/bench/benches/fig14_az_local_reads.rs Cargo.toml
+
+crates/bench/benches/fig14_az_local_reads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_throughput-9ee4510b24a3ca1a.d: crates/bench/benches/fig5_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_throughput-9ee4510b24a3ca1a.rmeta: crates/bench/benches/fig5_throughput.rs Cargo.toml
+
+crates/bench/benches/fig5_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_per_mds-7dcffe6e26609e42.d: crates/bench/benches/fig6_per_mds.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_per_mds-7dcffe6e26609e42.rmeta: crates/bench/benches/fig6_per_mds.rs Cargo.toml
+
+crates/bench/benches/fig6_per_mds.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

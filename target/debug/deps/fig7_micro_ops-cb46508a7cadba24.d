@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_micro_ops-cb46508a7cadba24.d: crates/bench/benches/fig7_micro_ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_micro_ops-cb46508a7cadba24.rmeta: crates/bench/benches/fig7_micro_ops.rs Cargo.toml
+
+crates/bench/benches/fig7_micro_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

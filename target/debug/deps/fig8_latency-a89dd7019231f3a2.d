@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_latency-a89dd7019231f3a2.d: crates/bench/benches/fig8_latency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_latency-a89dd7019231f3a2.rmeta: crates/bench/benches/fig8_latency.rs Cargo.toml
+
+crates/bench/benches/fig8_latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

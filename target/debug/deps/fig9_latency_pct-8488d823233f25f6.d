@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9_latency_pct-8488d823233f25f6.d: crates/bench/benches/fig9_latency_pct.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9_latency_pct-8488d823233f25f6.rmeta: crates/bench/benches/fig9_latency_pct.rs Cargo.toml
+
+crates/bench/benches/fig9_latency_pct.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

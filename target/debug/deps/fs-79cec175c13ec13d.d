@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fs-79cec175c13ec13d.d: crates/core/tests/fs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfs-79cec175c13ec13d.rmeta: crates/core/tests/fs.rs Cargo.toml
+
+crates/core/tests/fs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

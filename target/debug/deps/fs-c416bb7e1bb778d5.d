@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fs-c416bb7e1bb778d5.d: crates/core/tests/fs.rs
+
+/root/repo/target/debug/deps/fs-c416bb7e1bb778d5: crates/core/tests/fs.rs
+
+crates/core/tests/fs.rs:

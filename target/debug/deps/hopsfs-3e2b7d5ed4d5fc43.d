@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/hopsfs-3e2b7d5ed4d5fc43.d: crates/core/src/lib.rs crates/core/src/block.rs crates/core/src/chaos.rs crates/core/src/client.rs crates/core/src/cloudstore.rs crates/core/src/config.rs crates/core/src/deploy.rs crates/core/src/meta.rs crates/core/src/namenode.rs crates/core/src/ops.rs crates/core/src/path.rs crates/core/src/placement.rs crates/core/src/testkit.rs crates/core/src/types.rs crates/core/src/view.rs
+
+/root/repo/target/debug/deps/hopsfs-3e2b7d5ed4d5fc43: crates/core/src/lib.rs crates/core/src/block.rs crates/core/src/chaos.rs crates/core/src/client.rs crates/core/src/cloudstore.rs crates/core/src/config.rs crates/core/src/deploy.rs crates/core/src/meta.rs crates/core/src/namenode.rs crates/core/src/ops.rs crates/core/src/path.rs crates/core/src/placement.rs crates/core/src/testkit.rs crates/core/src/types.rs crates/core/src/view.rs
+
+crates/core/src/lib.rs:
+crates/core/src/block.rs:
+crates/core/src/chaos.rs:
+crates/core/src/client.rs:
+crates/core/src/cloudstore.rs:
+crates/core/src/config.rs:
+crates/core/src/deploy.rs:
+crates/core/src/meta.rs:
+crates/core/src/namenode.rs:
+crates/core/src/ops.rs:
+crates/core/src/path.rs:
+crates/core/src/placement.rs:
+crates/core/src/testkit.rs:
+crates/core/src/types.rs:
+crates/core/src/view.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/hopsfs-6b58355c3f7c257c.d: crates/core/src/lib.rs crates/core/src/block.rs crates/core/src/chaos.rs crates/core/src/client.rs crates/core/src/cloudstore.rs crates/core/src/config.rs crates/core/src/deploy.rs crates/core/src/meta.rs crates/core/src/namenode.rs crates/core/src/ops.rs crates/core/src/path.rs crates/core/src/placement.rs crates/core/src/testkit.rs crates/core/src/types.rs crates/core/src/view.rs
+
+/root/repo/target/debug/deps/libhopsfs-6b58355c3f7c257c.rlib: crates/core/src/lib.rs crates/core/src/block.rs crates/core/src/chaos.rs crates/core/src/client.rs crates/core/src/cloudstore.rs crates/core/src/config.rs crates/core/src/deploy.rs crates/core/src/meta.rs crates/core/src/namenode.rs crates/core/src/ops.rs crates/core/src/path.rs crates/core/src/placement.rs crates/core/src/testkit.rs crates/core/src/types.rs crates/core/src/view.rs
+
+/root/repo/target/debug/deps/libhopsfs-6b58355c3f7c257c.rmeta: crates/core/src/lib.rs crates/core/src/block.rs crates/core/src/chaos.rs crates/core/src/client.rs crates/core/src/cloudstore.rs crates/core/src/config.rs crates/core/src/deploy.rs crates/core/src/meta.rs crates/core/src/namenode.rs crates/core/src/ops.rs crates/core/src/path.rs crates/core/src/placement.rs crates/core/src/testkit.rs crates/core/src/types.rs crates/core/src/view.rs
+
+crates/core/src/lib.rs:
+crates/core/src/block.rs:
+crates/core/src/chaos.rs:
+crates/core/src/client.rs:
+crates/core/src/cloudstore.rs:
+crates/core/src/config.rs:
+crates/core/src/deploy.rs:
+crates/core/src/meta.rs:
+crates/core/src/namenode.rs:
+crates/core/src/ops.rs:
+crates/core/src/path.rs:
+crates/core/src/placement.rs:
+crates/core/src/testkit.rs:
+crates/core/src/types.rs:
+crates/core/src/view.rs:

@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/hopsfs-7f3578cd034c667b.d: crates/core/src/lib.rs crates/core/src/block.rs crates/core/src/chaos.rs crates/core/src/client.rs crates/core/src/cloudstore.rs crates/core/src/config.rs crates/core/src/deploy.rs crates/core/src/meta.rs crates/core/src/namenode.rs crates/core/src/ops.rs crates/core/src/path.rs crates/core/src/placement.rs crates/core/src/testkit.rs crates/core/src/types.rs crates/core/src/view.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhopsfs-7f3578cd034c667b.rmeta: crates/core/src/lib.rs crates/core/src/block.rs crates/core/src/chaos.rs crates/core/src/client.rs crates/core/src/cloudstore.rs crates/core/src/config.rs crates/core/src/deploy.rs crates/core/src/meta.rs crates/core/src/namenode.rs crates/core/src/ops.rs crates/core/src/path.rs crates/core/src/placement.rs crates/core/src/testkit.rs crates/core/src/types.rs crates/core/src/view.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/block.rs:
+crates/core/src/chaos.rs:
+crates/core/src/client.rs:
+crates/core/src/cloudstore.rs:
+crates/core/src/config.rs:
+crates/core/src/deploy.rs:
+crates/core/src/meta.rs:
+crates/core/src/namenode.rs:
+crates/core/src/ops.rs:
+crates/core/src/path.rs:
+crates/core/src/placement.rs:
+crates/core/src/testkit.rs:
+crates/core/src/types.rs:
+crates/core/src/view.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

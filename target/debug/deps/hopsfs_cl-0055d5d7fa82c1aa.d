@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hopsfs_cl-0055d5d7fa82c1aa.d: src/lib.rs
+
+/root/repo/target/debug/deps/libhopsfs_cl-0055d5d7fa82c1aa.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libhopsfs_cl-0055d5d7fa82c1aa.rmeta: src/lib.rs
+
+src/lib.rs:

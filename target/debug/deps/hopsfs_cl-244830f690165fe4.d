@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hopsfs_cl-244830f690165fe4.d: src/lib.rs
+
+/root/repo/target/debug/deps/hopsfs_cl-244830f690165fe4: src/lib.rs
+
+src/lib.rs:

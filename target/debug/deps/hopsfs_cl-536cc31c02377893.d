@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hopsfs_cl-536cc31c02377893.d: src/lib.rs
+
+/root/repo/target/debug/deps/libhopsfs_cl-536cc31c02377893.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libhopsfs_cl-536cc31c02377893.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hopsfs_cl-7f07a3b8b0a311f4.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhopsfs_cl-7f07a3b8b0a311f4.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

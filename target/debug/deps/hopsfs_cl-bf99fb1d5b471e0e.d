@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hopsfs_cl-bf99fb1d5b471e0e.d: src/lib.rs
+
+/root/repo/target/debug/deps/hopsfs_cl-bf99fb1d5b471e0e: src/lib.rs
+
+src/lib.rs:

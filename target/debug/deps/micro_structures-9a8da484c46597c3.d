@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/micro_structures-9a8da484c46597c3.d: crates/bench/benches/micro_structures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicro_structures-9a8da484c46597c3.rmeta: crates/bench/benches/micro_structures.rs Cargo.toml
+
+crates/bench/benches/micro_structures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

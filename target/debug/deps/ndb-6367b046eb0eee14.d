@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/ndb-6367b046eb0eee14.d: crates/ndb/src/lib.rs crates/ndb/src/client.rs crates/ndb/src/codec.rs crates/ndb/src/config.rs crates/ndb/src/datanode.rs crates/ndb/src/deploy.rs crates/ndb/src/locks.rs crates/ndb/src/messages.rs crates/ndb/src/mgmt.rs crates/ndb/src/partition.rs crates/ndb/src/routing.rs crates/ndb/src/schema.rs crates/ndb/src/testkit.rs crates/ndb/src/view.rs Cargo.toml
+
+/root/repo/target/debug/deps/libndb-6367b046eb0eee14.rmeta: crates/ndb/src/lib.rs crates/ndb/src/client.rs crates/ndb/src/codec.rs crates/ndb/src/config.rs crates/ndb/src/datanode.rs crates/ndb/src/deploy.rs crates/ndb/src/locks.rs crates/ndb/src/messages.rs crates/ndb/src/mgmt.rs crates/ndb/src/partition.rs crates/ndb/src/routing.rs crates/ndb/src/schema.rs crates/ndb/src/testkit.rs crates/ndb/src/view.rs Cargo.toml
+
+crates/ndb/src/lib.rs:
+crates/ndb/src/client.rs:
+crates/ndb/src/codec.rs:
+crates/ndb/src/config.rs:
+crates/ndb/src/datanode.rs:
+crates/ndb/src/deploy.rs:
+crates/ndb/src/locks.rs:
+crates/ndb/src/messages.rs:
+crates/ndb/src/mgmt.rs:
+crates/ndb/src/partition.rs:
+crates/ndb/src/routing.rs:
+crates/ndb/src/schema.rs:
+crates/ndb/src/testkit.rs:
+crates/ndb/src/view.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

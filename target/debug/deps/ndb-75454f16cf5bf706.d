@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/ndb-75454f16cf5bf706.d: crates/ndb/src/lib.rs crates/ndb/src/client.rs crates/ndb/src/codec.rs crates/ndb/src/config.rs crates/ndb/src/datanode.rs crates/ndb/src/deploy.rs crates/ndb/src/locks.rs crates/ndb/src/messages.rs crates/ndb/src/mgmt.rs crates/ndb/src/partition.rs crates/ndb/src/routing.rs crates/ndb/src/schema.rs crates/ndb/src/testkit.rs crates/ndb/src/view.rs
+
+/root/repo/target/debug/deps/ndb-75454f16cf5bf706: crates/ndb/src/lib.rs crates/ndb/src/client.rs crates/ndb/src/codec.rs crates/ndb/src/config.rs crates/ndb/src/datanode.rs crates/ndb/src/deploy.rs crates/ndb/src/locks.rs crates/ndb/src/messages.rs crates/ndb/src/mgmt.rs crates/ndb/src/partition.rs crates/ndb/src/routing.rs crates/ndb/src/schema.rs crates/ndb/src/testkit.rs crates/ndb/src/view.rs
+
+crates/ndb/src/lib.rs:
+crates/ndb/src/client.rs:
+crates/ndb/src/codec.rs:
+crates/ndb/src/config.rs:
+crates/ndb/src/datanode.rs:
+crates/ndb/src/deploy.rs:
+crates/ndb/src/locks.rs:
+crates/ndb/src/messages.rs:
+crates/ndb/src/mgmt.rs:
+crates/ndb/src/partition.rs:
+crates/ndb/src/routing.rs:
+crates/ndb/src/schema.rs:
+crates/ndb/src/testkit.rs:
+crates/ndb/src/view.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parity-37ec8260823655e8.d: tests/parity.rs
+
+/root/repo/target/debug/deps/parity-37ec8260823655e8: tests/parity.rs
+
+tests/parity.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parity-3a7cd79d593a9aeb.d: tests/parity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparity-3a7cd79d593a9aeb.rmeta: tests/parity.rs Cargo.toml
+
+tests/parity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parity-b4a1b21b0a5a9268.d: tests/parity.rs
+
+/root/repo/target/debug/deps/parity-b4a1b21b0a5a9268: tests/parity.rs
+
+tests/parity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-1bc0da4618795ce8.d: crates/ndb/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-1bc0da4618795ce8: crates/ndb/tests/prop.rs
+
+crates/ndb/tests/prop.rs:

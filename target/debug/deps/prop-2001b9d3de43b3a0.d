@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-2001b9d3de43b3a0.d: crates/simnet/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-2001b9d3de43b3a0.rmeta: crates/simnet/tests/prop.rs Cargo.toml
+
+crates/simnet/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

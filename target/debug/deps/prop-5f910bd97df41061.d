@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-5f910bd97df41061.d: crates/ndb/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-5f910bd97df41061.rmeta: crates/ndb/tests/prop.rs Cargo.toml
+
+crates/ndb/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-9296b588ea882cd2.d: crates/core/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-9296b588ea882cd2: crates/core/tests/prop.rs
+
+crates/core/tests/prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-b91f57221ffe05ad.d: crates/simnet/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-b91f57221ffe05ad: crates/simnet/tests/prop.rs
+
+crates/simnet/tests/prop.rs:

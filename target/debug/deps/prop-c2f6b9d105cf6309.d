@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-c2f6b9d105cf6309.d: crates/simnet/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-c2f6b9d105cf6309: crates/simnet/tests/prop.rs
+
+crates/simnet/tests/prop.rs:

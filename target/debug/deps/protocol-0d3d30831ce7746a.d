@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/protocol-0d3d30831ce7746a.d: crates/ndb/tests/protocol.rs
+
+/root/repo/target/debug/deps/protocol-0d3d30831ce7746a: crates/ndb/tests/protocol.rs
+
+crates/ndb/tests/protocol.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/protocol-2eb0a864955f5874.d: crates/ndb/tests/protocol.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprotocol-2eb0a864955f5874.rmeta: crates/ndb/tests/protocol.rs Cargo.toml
+
+crates/ndb/tests/protocol.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/protocol_fidelity-0cd36b1a8069df66.d: crates/ndb/tests/protocol_fidelity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprotocol_fidelity-0cd36b1a8069df66.rmeta: crates/ndb/tests/protocol_fidelity.rs Cargo.toml
+
+crates/ndb/tests/protocol_fidelity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

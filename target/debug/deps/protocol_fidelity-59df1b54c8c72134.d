@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/protocol_fidelity-59df1b54c8c72134.d: crates/ndb/tests/protocol_fidelity.rs
+
+/root/repo/target/debug/deps/protocol_fidelity-59df1b54c8c72134: crates/ndb/tests/protocol_fidelity.rs
+
+crates/ndb/tests/protocol_fidelity.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-a5c6d521a9e69e5f.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-a5c6d521a9e69e5f.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-a5c6d521a9e69e5f.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/replication-4c13784e272c6b67.d: crates/cephsim/tests/replication.rs
+
+/root/repo/target/debug/deps/replication-4c13784e272c6b67: crates/cephsim/tests/replication.rs
+
+crates/cephsim/tests/replication.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/replication-ec3981ea21c5065b.d: crates/cephsim/tests/replication.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreplication-ec3981ea21c5065b.rmeta: crates/cephsim/tests/replication.rs Cargo.toml
+
+crates/cephsim/tests/replication.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/selection-566715c53be58596.d: crates/core/tests/selection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libselection-566715c53be58596.rmeta: crates/core/tests/selection.rs Cargo.toml
+
+crates/core/tests/selection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/selection-daad7c0adc61edce.d: crates/core/tests/selection.rs
+
+/root/repo/target/debug/deps/selection-daad7c0adc61edce: crates/core/tests/selection.rs
+
+crates/core/tests/selection.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/simnet-52d0a76cf548abed.d: crates/simnet/src/lib.rs crates/simnet/src/cpu.rs crates/simnet/src/metrics.rs crates/simnet/src/nemesis.rs crates/simnet/src/retry.rs crates/simnet/src/sim.rs crates/simnet/src/time.rs crates/simnet/src/topology.rs
+
+/root/repo/target/debug/deps/simnet-52d0a76cf548abed: crates/simnet/src/lib.rs crates/simnet/src/cpu.rs crates/simnet/src/metrics.rs crates/simnet/src/nemesis.rs crates/simnet/src/retry.rs crates/simnet/src/sim.rs crates/simnet/src/time.rs crates/simnet/src/topology.rs
+
+crates/simnet/src/lib.rs:
+crates/simnet/src/cpu.rs:
+crates/simnet/src/metrics.rs:
+crates/simnet/src/nemesis.rs:
+crates/simnet/src/retry.rs:
+crates/simnet/src/sim.rs:
+crates/simnet/src/time.rs:
+crates/simnet/src/topology.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/simnet-d641b4311729257b.d: crates/simnet/src/lib.rs crates/simnet/src/cpu.rs crates/simnet/src/metrics.rs crates/simnet/src/nemesis.rs crates/simnet/src/retry.rs crates/simnet/src/sim.rs crates/simnet/src/time.rs crates/simnet/src/topology.rs
+
+/root/repo/target/debug/deps/libsimnet-d641b4311729257b.rlib: crates/simnet/src/lib.rs crates/simnet/src/cpu.rs crates/simnet/src/metrics.rs crates/simnet/src/nemesis.rs crates/simnet/src/retry.rs crates/simnet/src/sim.rs crates/simnet/src/time.rs crates/simnet/src/topology.rs
+
+/root/repo/target/debug/deps/libsimnet-d641b4311729257b.rmeta: crates/simnet/src/lib.rs crates/simnet/src/cpu.rs crates/simnet/src/metrics.rs crates/simnet/src/nemesis.rs crates/simnet/src/retry.rs crates/simnet/src/sim.rs crates/simnet/src/time.rs crates/simnet/src/topology.rs
+
+crates/simnet/src/lib.rs:
+crates/simnet/src/cpu.rs:
+crates/simnet/src/metrics.rs:
+crates/simnet/src/nemesis.rs:
+crates/simnet/src/retry.rs:
+crates/simnet/src/sim.rs:
+crates/simnet/src/time.rs:
+crates/simnet/src/topology.rs:

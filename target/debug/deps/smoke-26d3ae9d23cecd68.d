@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/smoke-26d3ae9d23cecd68.d: crates/bench/tests/smoke.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsmoke-26d3ae9d23cecd68.rmeta: crates/bench/tests/smoke.rs Cargo.toml
+
+crates/bench/tests/smoke.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/smoke-2b42c6315a5b6bb9.d: crates/bench/tests/smoke.rs
+
+/root/repo/target/debug/deps/smoke-2b42c6315a5b6bb9: crates/bench/tests/smoke.rs
+
+crates/bench/tests/smoke.rs:

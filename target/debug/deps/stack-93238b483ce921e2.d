@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stack-93238b483ce921e2.d: tests/stack.rs
+
+/root/repo/target/debug/deps/stack-93238b483ce921e2: tests/stack.rs
+
+tests/stack.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stack-a06212b862f97af9.d: tests/stack.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstack-a06212b862f97af9.rmeta: tests/stack.rs Cargo.toml
+
+tests/stack.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stack-ecd6ce36aeed3982.d: tests/stack.rs
+
+/root/repo/target/debug/deps/stack-ecd6ce36aeed3982: tests/stack.rs
+
+tests/stack.rs:

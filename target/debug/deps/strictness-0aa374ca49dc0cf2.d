@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/strictness-0aa374ca49dc0cf2.d: crates/core/tests/strictness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstrictness-0aa374ca49dc0cf2.rmeta: crates/core/tests/strictness.rs Cargo.toml
+
+crates/core/tests/strictness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

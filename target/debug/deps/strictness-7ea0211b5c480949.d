@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/strictness-7ea0211b5c480949.d: crates/core/tests/strictness.rs
+
+/root/repo/target/debug/deps/strictness-7ea0211b5c480949: crates/core/tests/strictness.rs
+
+crates/core/tests/strictness.rs:

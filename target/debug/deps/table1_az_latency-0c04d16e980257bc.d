@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_az_latency-0c04d16e980257bc.d: crates/bench/benches/table1_az_latency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_az_latency-0c04d16e980257bc.rmeta: crates/bench/benches/table1_az_latency.rs Cargo.toml
+
+crates/bench/benches/table1_az_latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_az_latency-da67e82e47b7120c.d: crates/bench/benches/table1_az_latency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_az_latency-da67e82e47b7120c.rmeta: crates/bench/benches/table1_az_latency.rs Cargo.toml
+
+crates/bench/benches/table1_az_latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_ndb_threads-fa1ba7e2e1148c3a.d: crates/bench/benches/table2_ndb_threads.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_ndb_threads-fa1ba7e2e1148c3a.rmeta: crates/bench/benches/table2_ndb_threads.rs Cargo.toml
+
+crates/bench/benches/table2_ndb_threads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

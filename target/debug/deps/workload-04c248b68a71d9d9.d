@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/workload-04c248b68a71d9d9.d: crates/workload/src/lib.rs crates/workload/src/micro.rs crates/workload/src/namespace.rs crates/workload/src/spotify.rs Cargo.toml
+
+/root/repo/target/debug/deps/libworkload-04c248b68a71d9d9.rmeta: crates/workload/src/lib.rs crates/workload/src/micro.rs crates/workload/src/namespace.rs crates/workload/src/spotify.rs Cargo.toml
+
+crates/workload/src/lib.rs:
+crates/workload/src/micro.rs:
+crates/workload/src/namespace.rs:
+crates/workload/src/spotify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

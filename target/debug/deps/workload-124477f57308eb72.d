@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/workload-124477f57308eb72.d: crates/workload/src/lib.rs crates/workload/src/micro.rs crates/workload/src/namespace.rs crates/workload/src/spotify.rs
+
+/root/repo/target/debug/deps/libworkload-124477f57308eb72.rlib: crates/workload/src/lib.rs crates/workload/src/micro.rs crates/workload/src/namespace.rs crates/workload/src/spotify.rs
+
+/root/repo/target/debug/deps/libworkload-124477f57308eb72.rmeta: crates/workload/src/lib.rs crates/workload/src/micro.rs crates/workload/src/namespace.rs crates/workload/src/spotify.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/micro.rs:
+crates/workload/src/namespace.rs:
+crates/workload/src/spotify.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/workload-75a986d014b9b5ee.d: crates/workload/src/lib.rs crates/workload/src/micro.rs crates/workload/src/namespace.rs crates/workload/src/spotify.rs Cargo.toml
+
+/root/repo/target/debug/deps/libworkload-75a986d014b9b5ee.rmeta: crates/workload/src/lib.rs crates/workload/src/micro.rs crates/workload/src/namespace.rs crates/workload/src/spotify.rs Cargo.toml
+
+crates/workload/src/lib.rs:
+crates/workload/src/micro.rs:
+crates/workload/src/namespace.rs:
+crates/workload/src/spotify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

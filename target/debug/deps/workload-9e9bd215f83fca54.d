@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/workload-9e9bd215f83fca54.d: crates/workload/src/lib.rs crates/workload/src/micro.rs crates/workload/src/namespace.rs crates/workload/src/spotify.rs
+
+/root/repo/target/debug/deps/workload-9e9bd215f83fca54: crates/workload/src/lib.rs crates/workload/src/micro.rs crates/workload/src/namespace.rs crates/workload/src/spotify.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/micro.rs:
+crates/workload/src/namespace.rs:
+crates/workload/src/spotify.rs:

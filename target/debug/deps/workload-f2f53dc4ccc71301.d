@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/workload-f2f53dc4ccc71301.d: crates/workload/src/lib.rs crates/workload/src/micro.rs crates/workload/src/namespace.rs crates/workload/src/spotify.rs
+
+/root/repo/target/debug/deps/libworkload-f2f53dc4ccc71301.rlib: crates/workload/src/lib.rs crates/workload/src/micro.rs crates/workload/src/namespace.rs crates/workload/src/spotify.rs
+
+/root/repo/target/debug/deps/libworkload-f2f53dc4ccc71301.rmeta: crates/workload/src/lib.rs crates/workload/src/micro.rs crates/workload/src/namespace.rs crates/workload/src/spotify.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/micro.rs:
+crates/workload/src/namespace.rs:
+crates/workload/src/spotify.rs:

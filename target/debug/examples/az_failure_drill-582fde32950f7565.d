@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/az_failure_drill-582fde32950f7565.d: examples/az_failure_drill.rs
+
+/root/repo/target/debug/examples/az_failure_drill-582fde32950f7565: examples/az_failure_drill.rs
+
+examples/az_failure_drill.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/az_failure_drill-63a0f595ddbd2f97.d: examples/az_failure_drill.rs
+
+/root/repo/target/debug/examples/az_failure_drill-63a0f595ddbd2f97: examples/az_failure_drill.rs
+
+examples/az_failure_drill.rs:

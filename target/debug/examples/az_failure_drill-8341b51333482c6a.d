@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/az_failure_drill-8341b51333482c6a.d: examples/az_failure_drill.rs Cargo.toml
+
+/root/repo/target/debug/examples/libaz_failure_drill-8341b51333482c6a.rmeta: examples/az_failure_drill.rs Cargo.toml
+
+examples/az_failure_drill.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

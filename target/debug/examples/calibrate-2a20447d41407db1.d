@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/calibrate-2a20447d41407db1.d: crates/bench/examples/calibrate.rs
+
+/root/repo/target/debug/examples/calibrate-2a20447d41407db1: crates/bench/examples/calibrate.rs
+
+crates/bench/examples/calibrate.rs:

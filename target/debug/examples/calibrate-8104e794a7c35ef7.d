@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/calibrate-8104e794a7c35ef7.d: crates/bench/examples/calibrate.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcalibrate-8104e794a7c35ef7.rmeta: crates/bench/examples/calibrate.rs Cargo.toml
+
+crates/bench/examples/calibrate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cross_az_traffic-0b66685f74d40633.d: examples/cross_az_traffic.rs
+
+/root/repo/target/debug/examples/cross_az_traffic-0b66685f74d40633: examples/cross_az_traffic.rs
+
+examples/cross_az_traffic.rs:

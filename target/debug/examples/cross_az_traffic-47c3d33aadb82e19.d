@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cross_az_traffic-47c3d33aadb82e19.d: examples/cross_az_traffic.rs
+
+/root/repo/target/debug/examples/cross_az_traffic-47c3d33aadb82e19: examples/cross_az_traffic.rs
+
+examples/cross_az_traffic.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/cross_az_traffic-8db44af899995846.d: examples/cross_az_traffic.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcross_az_traffic-8db44af899995846.rmeta: examples/cross_az_traffic.rs Cargo.toml
+
+examples/cross_az_traffic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

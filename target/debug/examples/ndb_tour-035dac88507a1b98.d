@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/ndb_tour-035dac88507a1b98.d: examples/ndb_tour.rs Cargo.toml
+
+/root/repo/target/debug/examples/libndb_tour-035dac88507a1b98.rmeta: examples/ndb_tour.rs Cargo.toml
+
+examples/ndb_tour.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ndb_tour-24e51eff53745271.d: examples/ndb_tour.rs
+
+/root/repo/target/debug/examples/ndb_tour-24e51eff53745271: examples/ndb_tour.rs
+
+examples/ndb_tour.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ndb_tour-b1fb0772f6440168.d: examples/ndb_tour.rs
+
+/root/repo/target/debug/examples/ndb_tour-b1fb0772f6440168: examples/ndb_tour.rs
+
+examples/ndb_tour.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/nemesis_demo-3e8690772f8335bb.d: examples/nemesis_demo.rs
+
+/root/repo/target/debug/examples/nemesis_demo-3e8690772f8335bb: examples/nemesis_demo.rs
+
+examples/nemesis_demo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/nemesis_demo-782c582245b2ecf6.d: examples/nemesis_demo.rs
+
+/root/repo/target/debug/examples/nemesis_demo-782c582245b2ecf6: examples/nemesis_demo.rs
+
+examples/nemesis_demo.rs:

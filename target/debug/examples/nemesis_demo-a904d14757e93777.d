@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/nemesis_demo-a904d14757e93777.d: examples/nemesis_demo.rs Cargo.toml
+
+/root/repo/target/debug/examples/libnemesis_demo-a904d14757e93777.rmeta: examples/nemesis_demo.rs Cargo.toml
+
+examples/nemesis_demo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-14f1dcbc13bca73e.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-14f1dcbc13bca73e: examples/quickstart.rs
+
+examples/quickstart.rs:

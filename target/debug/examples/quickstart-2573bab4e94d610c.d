@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-2573bab4e94d610c.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-2573bab4e94d610c: examples/quickstart.rs
+
+examples/quickstart.rs:

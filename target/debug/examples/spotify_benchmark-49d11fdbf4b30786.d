@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/spotify_benchmark-49d11fdbf4b30786.d: examples/spotify_benchmark.rs
+
+/root/repo/target/debug/examples/spotify_benchmark-49d11fdbf4b30786: examples/spotify_benchmark.rs
+
+examples/spotify_benchmark.rs:

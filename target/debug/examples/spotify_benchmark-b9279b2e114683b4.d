@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/spotify_benchmark-b9279b2e114683b4.d: examples/spotify_benchmark.rs Cargo.toml
+
+/root/repo/target/debug/examples/libspotify_benchmark-b9279b2e114683b4.rmeta: examples/spotify_benchmark.rs Cargo.toml
+
+examples/spotify_benchmark.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

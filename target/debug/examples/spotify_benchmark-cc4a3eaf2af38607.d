@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/spotify_benchmark-cc4a3eaf2af38607.d: examples/spotify_benchmark.rs
+
+/root/repo/target/debug/examples/spotify_benchmark-cc4a3eaf2af38607: examples/spotify_benchmark.rs
+
+examples/spotify_benchmark.rs:

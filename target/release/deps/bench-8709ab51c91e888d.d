@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/bench-8709ab51c91e888d.d: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/report.rs crates/bench/src/setup.rs crates/bench/src/sweep.rs
+
+/root/repo/target/release/deps/libbench-8709ab51c91e888d.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/report.rs crates/bench/src/setup.rs crates/bench/src/sweep.rs
+
+/root/repo/target/release/deps/libbench-8709ab51c91e888d.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/report.rs crates/bench/src/setup.rs crates/bench/src/sweep.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/report.rs:
+crates/bench/src/setup.rs:
+crates/bench/src/sweep.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/cephsim-436bde925ab15a6e.d: crates/cephsim/src/lib.rs crates/cephsim/src/client.rs crates/cephsim/src/config.rs crates/cephsim/src/deploy.rs crates/cephsim/src/mds.rs crates/cephsim/src/mon.rs crates/cephsim/src/namespace.rs crates/cephsim/src/osd.rs
+
+/root/repo/target/release/deps/libcephsim-436bde925ab15a6e.rlib: crates/cephsim/src/lib.rs crates/cephsim/src/client.rs crates/cephsim/src/config.rs crates/cephsim/src/deploy.rs crates/cephsim/src/mds.rs crates/cephsim/src/mon.rs crates/cephsim/src/namespace.rs crates/cephsim/src/osd.rs
+
+/root/repo/target/release/deps/libcephsim-436bde925ab15a6e.rmeta: crates/cephsim/src/lib.rs crates/cephsim/src/client.rs crates/cephsim/src/config.rs crates/cephsim/src/deploy.rs crates/cephsim/src/mds.rs crates/cephsim/src/mon.rs crates/cephsim/src/namespace.rs crates/cephsim/src/osd.rs
+
+crates/cephsim/src/lib.rs:
+crates/cephsim/src/client.rs:
+crates/cephsim/src/config.rs:
+crates/cephsim/src/deploy.rs:
+crates/cephsim/src/mds.rs:
+crates/cephsim/src/mon.rs:
+crates/cephsim/src/namespace.rs:
+crates/cephsim/src/osd.rs:

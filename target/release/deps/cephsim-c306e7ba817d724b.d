@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/cephsim-c306e7ba817d724b.d: crates/cephsim/src/lib.rs crates/cephsim/src/client.rs crates/cephsim/src/config.rs crates/cephsim/src/deploy.rs crates/cephsim/src/mds.rs crates/cephsim/src/mon.rs crates/cephsim/src/namespace.rs crates/cephsim/src/osd.rs
+
+/root/repo/target/release/deps/libcephsim-c306e7ba817d724b.rlib: crates/cephsim/src/lib.rs crates/cephsim/src/client.rs crates/cephsim/src/config.rs crates/cephsim/src/deploy.rs crates/cephsim/src/mds.rs crates/cephsim/src/mon.rs crates/cephsim/src/namespace.rs crates/cephsim/src/osd.rs
+
+/root/repo/target/release/deps/libcephsim-c306e7ba817d724b.rmeta: crates/cephsim/src/lib.rs crates/cephsim/src/client.rs crates/cephsim/src/config.rs crates/cephsim/src/deploy.rs crates/cephsim/src/mds.rs crates/cephsim/src/mon.rs crates/cephsim/src/namespace.rs crates/cephsim/src/osd.rs
+
+crates/cephsim/src/lib.rs:
+crates/cephsim/src/client.rs:
+crates/cephsim/src/config.rs:
+crates/cephsim/src/deploy.rs:
+crates/cephsim/src/mds.rs:
+crates/cephsim/src/mon.rs:
+crates/cephsim/src/namespace.rs:
+crates/cephsim/src/osd.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/failures_drill-ed927ffaa86f1079.d: crates/bench/benches/failures_drill.rs
+
+/root/repo/target/release/deps/failures_drill-ed927ffaa86f1079: crates/bench/benches/failures_drill.rs
+
+crates/bench/benches/failures_drill.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/hopsfs_cl-04663912f1a256c4.d: src/lib.rs
+
+/root/repo/target/release/deps/libhopsfs_cl-04663912f1a256c4.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libhopsfs_cl-04663912f1a256c4.rmeta: src/lib.rs
+
+src/lib.rs:

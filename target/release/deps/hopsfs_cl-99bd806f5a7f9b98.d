@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/hopsfs_cl-99bd806f5a7f9b98.d: src/lib.rs
+
+/root/repo/target/release/deps/libhopsfs_cl-99bd806f5a7f9b98.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libhopsfs_cl-99bd806f5a7f9b98.rmeta: src/lib.rs
+
+src/lib.rs:

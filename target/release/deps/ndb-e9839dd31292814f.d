@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/ndb-e9839dd31292814f.d: crates/ndb/src/lib.rs crates/ndb/src/client.rs crates/ndb/src/codec.rs crates/ndb/src/config.rs crates/ndb/src/datanode.rs crates/ndb/src/deploy.rs crates/ndb/src/locks.rs crates/ndb/src/messages.rs crates/ndb/src/mgmt.rs crates/ndb/src/partition.rs crates/ndb/src/routing.rs crates/ndb/src/schema.rs crates/ndb/src/testkit.rs crates/ndb/src/view.rs
+
+/root/repo/target/release/deps/libndb-e9839dd31292814f.rlib: crates/ndb/src/lib.rs crates/ndb/src/client.rs crates/ndb/src/codec.rs crates/ndb/src/config.rs crates/ndb/src/datanode.rs crates/ndb/src/deploy.rs crates/ndb/src/locks.rs crates/ndb/src/messages.rs crates/ndb/src/mgmt.rs crates/ndb/src/partition.rs crates/ndb/src/routing.rs crates/ndb/src/schema.rs crates/ndb/src/testkit.rs crates/ndb/src/view.rs
+
+/root/repo/target/release/deps/libndb-e9839dd31292814f.rmeta: crates/ndb/src/lib.rs crates/ndb/src/client.rs crates/ndb/src/codec.rs crates/ndb/src/config.rs crates/ndb/src/datanode.rs crates/ndb/src/deploy.rs crates/ndb/src/locks.rs crates/ndb/src/messages.rs crates/ndb/src/mgmt.rs crates/ndb/src/partition.rs crates/ndb/src/routing.rs crates/ndb/src/schema.rs crates/ndb/src/testkit.rs crates/ndb/src/view.rs
+
+crates/ndb/src/lib.rs:
+crates/ndb/src/client.rs:
+crates/ndb/src/codec.rs:
+crates/ndb/src/config.rs:
+crates/ndb/src/datanode.rs:
+crates/ndb/src/deploy.rs:
+crates/ndb/src/locks.rs:
+crates/ndb/src/messages.rs:
+crates/ndb/src/mgmt.rs:
+crates/ndb/src/partition.rs:
+crates/ndb/src/routing.rs:
+crates/ndb/src/schema.rs:
+crates/ndb/src/testkit.rs:
+crates/ndb/src/view.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-3b6d004c6d4631ca.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-3b6d004c6d4631ca.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-3b6d004c6d4631ca.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/simnet-7f7ea1ba5c3b48c3.d: crates/simnet/src/lib.rs crates/simnet/src/cpu.rs crates/simnet/src/metrics.rs crates/simnet/src/nemesis.rs crates/simnet/src/retry.rs crates/simnet/src/sim.rs crates/simnet/src/time.rs crates/simnet/src/topology.rs
+
+/root/repo/target/release/deps/libsimnet-7f7ea1ba5c3b48c3.rlib: crates/simnet/src/lib.rs crates/simnet/src/cpu.rs crates/simnet/src/metrics.rs crates/simnet/src/nemesis.rs crates/simnet/src/retry.rs crates/simnet/src/sim.rs crates/simnet/src/time.rs crates/simnet/src/topology.rs
+
+/root/repo/target/release/deps/libsimnet-7f7ea1ba5c3b48c3.rmeta: crates/simnet/src/lib.rs crates/simnet/src/cpu.rs crates/simnet/src/metrics.rs crates/simnet/src/nemesis.rs crates/simnet/src/retry.rs crates/simnet/src/sim.rs crates/simnet/src/time.rs crates/simnet/src/topology.rs
+
+crates/simnet/src/lib.rs:
+crates/simnet/src/cpu.rs:
+crates/simnet/src/metrics.rs:
+crates/simnet/src/nemesis.rs:
+crates/simnet/src/retry.rs:
+crates/simnet/src/sim.rs:
+crates/simnet/src/time.rs:
+crates/simnet/src/topology.rs:

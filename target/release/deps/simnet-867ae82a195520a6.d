@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/simnet-867ae82a195520a6.d: crates/simnet/src/lib.rs crates/simnet/src/cpu.rs crates/simnet/src/metrics.rs crates/simnet/src/nemesis.rs crates/simnet/src/retry.rs crates/simnet/src/sim.rs crates/simnet/src/time.rs crates/simnet/src/topology.rs
+
+/root/repo/target/release/deps/libsimnet-867ae82a195520a6.rlib: crates/simnet/src/lib.rs crates/simnet/src/cpu.rs crates/simnet/src/metrics.rs crates/simnet/src/nemesis.rs crates/simnet/src/retry.rs crates/simnet/src/sim.rs crates/simnet/src/time.rs crates/simnet/src/topology.rs
+
+/root/repo/target/release/deps/libsimnet-867ae82a195520a6.rmeta: crates/simnet/src/lib.rs crates/simnet/src/cpu.rs crates/simnet/src/metrics.rs crates/simnet/src/nemesis.rs crates/simnet/src/retry.rs crates/simnet/src/sim.rs crates/simnet/src/time.rs crates/simnet/src/topology.rs
+
+crates/simnet/src/lib.rs:
+crates/simnet/src/cpu.rs:
+crates/simnet/src/metrics.rs:
+crates/simnet/src/nemesis.rs:
+crates/simnet/src/retry.rs:
+crates/simnet/src/sim.rs:
+crates/simnet/src/time.rs:
+crates/simnet/src/topology.rs:

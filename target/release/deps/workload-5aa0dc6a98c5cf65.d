@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/workload-5aa0dc6a98c5cf65.d: crates/workload/src/lib.rs crates/workload/src/micro.rs crates/workload/src/namespace.rs crates/workload/src/spotify.rs
+
+/root/repo/target/release/deps/libworkload-5aa0dc6a98c5cf65.rlib: crates/workload/src/lib.rs crates/workload/src/micro.rs crates/workload/src/namespace.rs crates/workload/src/spotify.rs
+
+/root/repo/target/release/deps/libworkload-5aa0dc6a98c5cf65.rmeta: crates/workload/src/lib.rs crates/workload/src/micro.rs crates/workload/src/namespace.rs crates/workload/src/spotify.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/micro.rs:
+crates/workload/src/namespace.rs:
+crates/workload/src/spotify.rs:

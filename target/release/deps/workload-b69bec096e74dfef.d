@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/workload-b69bec096e74dfef.d: crates/workload/src/lib.rs crates/workload/src/micro.rs crates/workload/src/namespace.rs crates/workload/src/spotify.rs
+
+/root/repo/target/release/deps/libworkload-b69bec096e74dfef.rlib: crates/workload/src/lib.rs crates/workload/src/micro.rs crates/workload/src/namespace.rs crates/workload/src/spotify.rs
+
+/root/repo/target/release/deps/libworkload-b69bec096e74dfef.rmeta: crates/workload/src/lib.rs crates/workload/src/micro.rs crates/workload/src/namespace.rs crates/workload/src/spotify.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/micro.rs:
+crates/workload/src/namespace.rs:
+crates/workload/src/spotify.rs:

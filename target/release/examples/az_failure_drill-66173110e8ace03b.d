@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/az_failure_drill-66173110e8ace03b.d: examples/az_failure_drill.rs
+
+/root/repo/target/release/examples/az_failure_drill-66173110e8ace03b: examples/az_failure_drill.rs
+
+examples/az_failure_drill.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/nemesis_demo-cc62b99b68cd3098.d: examples/nemesis_demo.rs
+
+/root/repo/target/release/examples/nemesis_demo-cc62b99b68cd3098: examples/nemesis_demo.rs
+
+examples/nemesis_demo.rs:

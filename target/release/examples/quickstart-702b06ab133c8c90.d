@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-702b06ab133c8c90.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-702b06ab133c8c90: examples/quickstart.rs
+
+examples/quickstart.rs:

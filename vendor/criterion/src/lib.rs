@@ -1,0 +1,100 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses.
+//!
+//! Supports `Criterion::default().sample_size(n)`, `bench_function`,
+//! `Bencher::iter`, and the `criterion_group!`/`criterion_main!` macros.
+//! Instead of statistical analysis it runs each benchmark `sample_size`
+//! times and prints the mean wall-clock time per iteration — enough to spot
+//! order-of-magnitude regressions without any dependencies.
+
+use std::time::Instant;
+
+/// Benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many samples each benchmark runs.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark and prints its mean iteration time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { iters: 0, elapsed_nanos: 0 };
+        for _ in 0..self.sample_size {
+            f(&mut b);
+        }
+        let per_iter = b.elapsed_nanos.checked_div(b.iters).unwrap_or(0);
+        println!("bench {name:<40} {per_iter:>12} ns/iter ({} iters)", b.iters);
+        self
+    }
+}
+
+/// Timer handle passed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed_nanos: u64,
+}
+
+impl Bencher {
+    /// Times one execution of `f` (called once per sample).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        let out = f();
+        self.elapsed_nanos += start.elapsed().as_nanos() as u64;
+        self.iters += 1;
+        drop(out);
+    }
+}
+
+/// Re-export spot for `criterion::black_box` users (delegates to std).
+pub use std::hint::black_box;
+
+/// Declares a benchmark group as a function running its targets.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(name = $name; config = $crate::Criterion::default(); targets = $($target),+);
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn group_runs_targets() {
+        let mut c = Criterion::default().sample_size(3);
+        sample_bench(&mut c);
+    }
+}

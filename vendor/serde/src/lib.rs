@@ -1,0 +1,357 @@
+//! Offline stand-in for the subset of `serde` this workspace uses.
+//!
+//! Instead of upstream serde's visitor architecture, serialization goes
+//! through an intermediate self-describing [`Value`] tree: `Serialize`
+//! converts into a [`Value`], `Deserialize` reads back out of one. The
+//! companion `serde_json` stand-in renders and parses that tree. The
+//! `#[derive(Serialize, Deserialize)]` macros come from the vendored
+//! `serde_derive` and cover plain structs with named fields — exactly what
+//! the bench harness needs.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+
+/// A self-describing data tree (the JSON data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Absent / null.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed (negative) integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Value>),
+    /// Object: ordered list of key/value pairs.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in an object value.
+    pub fn get_field(&self, name: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(fields) => fields.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization error: a human-readable description of the mismatch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl Error {
+    /// Builds an error describing an unexpected shape.
+    pub fn unexpected(expected: &str, got: &Value) -> Self {
+        Error(format!("expected {expected}, got {got:?}"))
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types convertible into a [`Value`].
+pub trait Serialize {
+    /// Converts `self` into the data tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Reads `Self` out of the data tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// Deserialization helpers and marker traits (mirrors `serde::de`).
+pub mod de {
+    /// Owned deserialization marker; blanket-implemented for every
+    /// [`Deserialize`](crate::Deserialize) type.
+    pub trait DeserializeOwned: crate::Deserialize {}
+    impl<T: crate::Deserialize> DeserializeOwned for T {}
+}
+
+/// Reads a struct field out of an object [`Value`] (used by the derive).
+pub fn from_field<T: Deserialize>(v: &Value, name: &str) -> Result<T, Error> {
+    match v.get_field(name) {
+        Some(field) => T::from_value(field)
+            .map_err(|e| Error(format!("field `{name}`: {e}"))),
+        None => Err(Error(format!("missing field `{name}`"))),
+    }
+}
+
+// --- impls for the primitive tree -----------------------------------------
+
+macro_rules! serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::U64(n) => <$t>::try_from(*n)
+                        .map_err(|_| Error::unexpected(stringify!($t), v)),
+                    Value::I64(n) => <$t>::try_from(*n)
+                        .map_err(|_| Error::unexpected(stringify!($t), v)),
+                    _ => Err(Error::unexpected(stringify!($t), v)),
+                }
+            }
+        }
+    )*};
+}
+serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let n = *self as i64;
+                if n < 0 { Value::I64(n) } else { Value::U64(n as u64) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::U64(n) => <$t>::try_from(*n)
+                        .map_err(|_| Error::unexpected(stringify!($t), v)),
+                    Value::I64(n) => <$t>::try_from(*n)
+                        .map_err(|_| Error::unexpected(stringify!($t), v)),
+                    _ => Err(Error::unexpected(stringify!($t), v)),
+                }
+            }
+        }
+    )*};
+}
+serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::F64(f) => Ok(*f),
+            Value::U64(n) => Ok(*n as f64),
+            Value::I64(n) => Ok(*n as f64),
+            Value::Null => Ok(f64::NAN),
+            _ => Err(Error::unexpected("f64", v)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::unexpected("bool", v)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(Error::unexpected("string", v)),
+        }
+    }
+}
+
+impl Serialize for &str {
+    fn to_value(&self) -> Value {
+        Value::Str((*self).to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Arr(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(Error::unexpected("array", v)),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize + std::fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items: Vec<T> = Vec::from_value(v)?;
+        <[T; N]>::try_from(items)
+            .map_err(|items| Error(format!("expected {N} elements, got {}", items.len())))
+    }
+}
+
+macro_rules! serde_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Arr(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Arr(items) => {
+                        let mut it = items.iter();
+                        let out = ($({
+                            let _ = $n; // positional consumption
+                            $t::from_value(it.next().ok_or_else(|| Error::unexpected("tuple element", v))?)?
+                        },)+);
+                        if it.next().is_some() {
+                            return Err(Error::unexpected("exact-length tuple", v));
+                        }
+                        Ok(out)
+                    }
+                    _ => Err(Error::unexpected("tuple (array)", v)),
+                }
+            }
+        }
+    )*};
+}
+serde_tuple!((0 A) (0 A, 1 B) (0 A, 1 B, 2 C) (0 A, 1 B, 2 C, 3 D));
+
+impl<V: Serialize, S: std::hash::BuildHasher> Serialize for HashMap<String, V, S> {
+    fn to_value(&self) -> Value {
+        // Sort for stable output (HashMap iteration order is unstable).
+        let mut keys: Vec<&String> = self.keys().collect();
+        keys.sort();
+        Value::Obj(keys.into_iter().map(|k| (k.clone(), self[k].to_value())).collect())
+    }
+}
+impl<V: Deserialize, S: std::hash::BuildHasher + Default> Deserialize for HashMap<String, V, S> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Obj(fields) => fields
+                .iter()
+                .map(|(k, fv)| V::from_value(fv).map(|parsed| (k.clone(), parsed)))
+                .collect(),
+            _ => Err(Error::unexpected("object", v)),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Obj(self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect())
+    }
+}
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Obj(fields) => fields
+                .iter()
+                .map(|(k, fv)| V::from_value(fv).map(|parsed| (k.clone(), parsed)))
+                .collect(),
+            _ => Err(Error::unexpected("object", v)),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-3i64).to_value()).unwrap(), -3);
+        assert_eq!(String::from_value(&"hi".to_value()).unwrap(), "hi");
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        let arr = vec![(1u32, 2u8, 3u64)];
+        assert_eq!(Vec::<(u32, u8, u64)>::from_value(&arr.to_value()).unwrap(), arr);
+        let fixed = [1.5f64, 2.5, 3.5];
+        assert_eq!(<[f64; 3]>::from_value(&fixed.to_value()).unwrap(), fixed);
+    }
+
+    #[test]
+    fn maps_round_trip_sorted() {
+        let mut m = HashMap::new();
+        m.insert("b".to_string(), 2u64);
+        m.insert("a".to_string(), 1u64);
+        let v = m.to_value();
+        match &v {
+            Value::Obj(fields) => assert_eq!(fields[0].0, "a"),
+            other => panic!("expected object, got {other:?}"),
+        }
+        assert_eq!(HashMap::<String, u64>::from_value(&v).unwrap(), m);
+    }
+
+    #[test]
+    fn missing_field_reports_name() {
+        let v = Value::Obj(vec![]);
+        let err = from_field::<u64>(&v, "count").unwrap_err();
+        assert!(err.0.contains("count"), "{err}");
+    }
+}

@@ -1,0 +1,146 @@
+//! Offline stand-in for `serde_derive`: `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` for plain structs with named fields, targeting
+//! the vendored `serde`'s `Value`-tree model. No `syn`/`quote` — the build
+//! environment has no registry access, so the struct is parsed directly from
+//! the token stream (attributes and visibility are skipped; generics and
+//! enums are intentionally unsupported and panic with a clear message).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` for a named-field struct.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let s = parse_struct(input);
+    let pushes: String = s
+        .fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),"
+            )
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Obj(vec![{pushes}])\n\
+             }}\n\
+         }}",
+        name = s.name,
+    )
+    .parse()
+    .expect("generated Serialize impl must parse")
+}
+
+/// Derives `serde::Deserialize` for a named-field struct.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let s = parse_struct(input);
+    let inits: String = s
+        .fields
+        .iter()
+        .map(|f| format!("{f}: ::serde::from_field(v, \"{f}\")?,"))
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 ::std::result::Result::Ok({name} {{ {inits} }})\n\
+             }}\n\
+         }}",
+        name = s.name,
+    )
+    .parse()
+    .expect("generated Deserialize impl must parse")
+}
+
+struct StructDef {
+    name: String,
+    fields: Vec<String>,
+}
+
+/// Parses `[attrs] [vis] struct Name { [attrs] [vis] field: Type, ... }`.
+fn parse_struct(input: TokenStream) -> StructDef {
+    let mut iter = input.into_iter().peekable();
+    // Skip outer attributes (`#[...]`) and visibility.
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                iter.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    match iter.next() {
+        Some(TokenTree::Ident(kw)) if kw.to_string() == "struct" => {}
+        other => panic!(
+            "vendored serde_derive only supports structs with named fields, found {other:?}"
+        ),
+    }
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected struct name, found {other:?}"),
+    };
+    // Find the brace group with the fields; anything before it that is not a
+    // brace group (e.g. generics) is unsupported.
+    let body = loop {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => panic!(
+                "vendored serde_derive does not support generic structs ({name})"
+            ),
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => panic!(
+                "vendored serde_derive does not support tuple/unit structs ({name})"
+            ),
+            Some(_) => continue,
+            None => panic!("struct {name} has no body"),
+        }
+    };
+    StructDef { name, fields: parse_field_names(body.stream()) }
+}
+
+/// Extracts field names: for each top-level-comma-separated chunk, the ident
+/// immediately before the first top-level `:`. Tracks `<...>` depth because
+/// angle brackets are not token groups.
+fn parse_field_names(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut angle_depth = 0i32;
+    let mut last_ident: Option<String> = None;
+    let mut name_taken = false;
+    for tt in body {
+        match tt {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ':' if angle_depth == 0 && !name_taken => {
+                    if let Some(name) = last_ident.take() {
+                        fields.push(name);
+                        name_taken = true;
+                    }
+                }
+                ',' if angle_depth == 0 => {
+                    name_taken = false;
+                    last_ident = None;
+                }
+                '#' => {} // field attribute marker; its group is skipped below
+                _ => {}
+            },
+            TokenTree::Ident(id) if !name_taken => {
+                let s = id.to_string();
+                if s != "pub" {
+                    last_ident = Some(s);
+                }
+            }
+            _ => {}
+        }
+    }
+    fields
+}
