@@ -44,6 +44,7 @@ fn main() {
 
     let mut rows = Vec::new();
     let mut tputs = Vec::new();
+    let mut runs = Vec::new();
     for (name, setup, tweak) in variants {
         let mut p = p0.clone();
         p.tweak = tweak;
@@ -57,7 +58,9 @@ fn main() {
                 / r.reads_by_rank.iter().sum::<u64>().max(1) as f64 * 100.0),
         ]);
         tputs.push((name, r.throughput));
+        runs.push((name, r));
     }
+    bench::emit_artifact("ablation_az_awareness", &runs);
     print_table(
         &format!("Ablation — AZ-awareness components, {servers} metadata servers"),
         &["variant", "ops/s", "avg lat ms", "xAZ MB/s", "backup-read share"],

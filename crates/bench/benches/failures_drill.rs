@@ -30,6 +30,14 @@ impl OpSource for Probe {
     }
 }
 
+/// The drill's artifact payload: recovery metrics plus the per-layer time
+/// breakdown distilled from the simulation's metrics registry.
+#[derive(serde::Serialize)]
+struct DrillArtifact {
+    metrics: DrillMetrics,
+    breakdown: bench::LayerBreakdown,
+}
+
 /// Quantitative recovery metrics of one drill run (saved as JSON).
 #[derive(serde::Serialize)]
 struct DrillMetrics {
@@ -222,5 +230,8 @@ fn main() {
     );
     assert!(after > before, "service must continue after the partition heals");
     save_json("failures_drill_metrics", &metrics);
+    let breakdown = bench::LayerBreakdown::from_registry(sim.metrics());
+    assert!(!breakdown.is_empty(), "the drill must record layer metrics");
+    bench::emit_artifact("failures_drill", &DrillArtifact { metrics, breakdown });
     println!("\ndrill passed: NN failover, AZ loss and split-brain arbitration all kept the FS available");
 }

@@ -9,6 +9,7 @@ use bench::sweep::{ensure_spotify_sweep, series, sizes};
 
 fn main() {
     let results = ensure_spotify_sweep();
+    bench::emit_artifact("fig10_cpu_util", &results);
     let sizes = sizes();
     for (title, pick) in [
         ("Figure 10a — CPU %, per metadata STORAGE node (NDB / OSD)", 0usize),

@@ -8,6 +8,7 @@ use bench::sweep::{ensure_spotify_sweep, series, sizes};
 
 fn main() {
     let results = ensure_spotify_sweep();
+    bench::emit_artifact("fig11_ndb_threads_util", &results);
     let sizes = sizes();
     let ser = series(&results, "HopsFS-CL (3,3)");
     let classes = ["LDM", "TC", "RECV", "SEND", "REP", "IO", "MAIN"];

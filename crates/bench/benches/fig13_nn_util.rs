@@ -9,6 +9,7 @@ use bench::sweep::{ensure_spotify_sweep, series, sizes};
 
 fn main() {
     let results = ensure_spotify_sweep();
+    bench::emit_artifact("fig13_nn_util", &results);
     let sizes = sizes();
     for (title, pick) in [
         ("Figure 13a — metadata-server network RX (MB/s)", 0usize),

@@ -24,6 +24,7 @@ fn main() {
         let r = run(Setup::HopsFsCl { r: 3 }, &p);
         results.push((name, r));
     }
+    bench::emit_artifact("fig14_az_local_reads", &results);
 
     for (name, r) in &results {
         let total: u64 = r.reads_by_rank.iter().sum();

@@ -9,6 +9,7 @@ use bench::sweep::{ensure_spotify_sweep, series, sizes};
 
 fn main() {
     let results = ensure_spotify_sweep();
+    bench::emit_artifact("fig5_throughput", &results);
     let sizes = sizes();
     let mut rows = Vec::new();
     for setup in Setup::ALL_NINE {

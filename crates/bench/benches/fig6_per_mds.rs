@@ -9,6 +9,7 @@ use bench::sweep::{ensure_spotify_sweep, series, sizes};
 
 fn main() {
     let results = ensure_spotify_sweep();
+    bench::emit_artifact("fig6_per_mds", &results);
     let sizes = sizes();
     let setups = ["HopsFS-CL (2,3)", "HopsFS-CL (3,3)", "CephFS", "CephFS-DirPinned", "CephFS-SkipKCache"];
     let mut rows = Vec::new();

@@ -30,6 +30,7 @@ fn main() {
         save_json(&key, &r);
         r
     });
+    bench::emit_artifact("fig7_micro_ops", &results);
 
     let ops = ["mkdir", "createFile", "deleteFile", "readFile"];
     let tput = |label: &str, op: &str| -> f64 {

@@ -32,6 +32,7 @@ fn main() {
         save_json(&key, &r);
         r
     });
+    bench::emit_artifact("fig9_latency_pct", &results);
 
     for op in ["createFile", "readFile", "deleteFile"] {
         let mut rows = Vec::new();

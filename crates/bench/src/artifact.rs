@@ -1,0 +1,166 @@
+//! Versioned JSON artifacts for the figure benches.
+//!
+//! Every figure bench writes an `artifact_<bench>.json` document under
+//! `target/bench-results/` (see `EXPERIMENTS.md` for the schema). The
+//! interesting part is the per-layer time breakdown distilled from the
+//! simulation's [`simnet::MetricsRegistry`]: where each request's time went —
+//! network transit per AZ pair, CPU-lane queueing vs. service per layer, and
+//! the wait histograms (lock waits, retry backoff, journal stalls).
+
+use serde::{Deserialize, Serialize};
+use simnet::{Histogram, MetricsRegistry};
+use std::collections::BTreeMap;
+
+/// Schema version of the artifact envelope. Bump on breaking changes and
+/// document the migration in `EXPERIMENTS.md`.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Five-number summary of a latency/duration histogram (nanoseconds).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct HistSummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Mean, ns.
+    pub mean_ns: f64,
+    /// Median, ns.
+    pub p50_ns: u64,
+    /// 99th percentile, ns.
+    pub p99_ns: u64,
+    /// Largest sample, ns.
+    pub max_ns: u64,
+}
+
+impl From<&Histogram> for HistSummary {
+    fn from(h: &Histogram) -> Self {
+        if h.count() == 0 {
+            return HistSummary::default();
+        }
+        HistSummary {
+            count: h.count(),
+            mean_ns: h.mean(),
+            p50_ns: h.quantile(0.5),
+            p99_ns: h.quantile(0.99),
+            max_ns: h.max(),
+        }
+    }
+}
+
+/// Traffic and transit time of one directed AZ pair.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct NetPair {
+    /// Bytes delivered.
+    pub bytes: u64,
+    /// Transit time (send → deliver, including link queueing).
+    pub transit: HistSummary,
+}
+
+/// Queueing vs. service split of one CPU lane class.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CpuLane {
+    /// Time spent waiting for a free lane thread.
+    pub queue: HistSummary,
+    /// Time spent executing.
+    pub service: HistSummary,
+}
+
+/// Per-layer breakdown of where simulated time went — the aggregate view of
+/// the trace subsystem, keyed by human-readable strings for JSON.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LayerBreakdown {
+    /// Directed AZ-pair traffic, keyed `"az<src>->az<dst>"`.
+    pub net: BTreeMap<String, NetPair>,
+    /// CPU lanes, keyed `"<layer>/<lane>"` (e.g. `"ndb/ldm"`).
+    pub cpu: BTreeMap<String, CpuLane>,
+    /// Wait histograms, keyed `"<layer>/<name>"` (e.g. `"ndb/lock_wait_ns"`,
+    /// `"fs-client/retry_backoff_ns"`, `"ceph-mds/journal_stall_ns"`).
+    pub waits: BTreeMap<String, HistSummary>,
+    /// Counters, keyed `"<layer>/<name>"` (e.g. `"namenode/op_retries"`).
+    pub counters: BTreeMap<String, u64>,
+}
+
+impl LayerBreakdown {
+    /// Distills a registry into the JSON-friendly breakdown.
+    pub fn from_registry(m: &MetricsRegistry) -> Self {
+        let mut out = LayerBreakdown::default();
+        for (src, dst, transit, bytes) in m.iter_net() {
+            out.net.insert(
+                format!("az{}->az{}", src.0, dst.0),
+                NetPair { bytes, transit: transit.into() },
+            );
+        }
+        for (layer, lane, cpu) in m.iter_cpu() {
+            out.cpu.insert(
+                format!("{layer}/{lane}"),
+                CpuLane { queue: (&cpu.queue).into(), service: (&cpu.service).into() },
+            );
+        }
+        for (layer, name, h) in m.iter_hists() {
+            out.waits.insert(format!("{layer}/{name}"), h.into());
+        }
+        for (layer, name, v) in m.iter_counters() {
+            out.counters.insert(format!("{layer}/{name}"), v);
+        }
+        out
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.net.is_empty() && self.cpu.is_empty() && self.waits.is_empty() && self.counters.is_empty()
+    }
+}
+
+/// The versioned artifact envelope every figure bench writes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchArtifact {
+    /// Envelope schema version ([`SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// The bench that produced this document (e.g. `"fig5_throughput"`).
+    pub bench: String,
+    /// Bench-specific payload — for harness-driven figures a
+    /// `Vec<RunResult>` (each run carrying its own [`LayerBreakdown`]).
+    pub results: serde::Value,
+}
+
+/// Writes `artifact_<bench>.json` under the results directory.
+pub fn emit_artifact<T: Serialize>(bench: &str, results: &T) {
+    let doc = BenchArtifact {
+        schema_version: SCHEMA_VERSION,
+        bench: bench.to_string(),
+        results: results.to_value(),
+    };
+    crate::report::save_json(&format!("artifact_{bench}"), &doc);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::{AzId, SimDuration};
+
+    #[test]
+    fn breakdown_distills_every_registry_section() {
+        let mut m = MetricsRegistry::default();
+        m.record_net(AzId(0), AzId(1), 512, SimDuration::from_micros(250));
+        m.record_cpu("ndb", "ldm", SimDuration::from_micros(5), SimDuration::from_micros(20));
+        m.record_hist("ndb", "lock_wait_ns", 1_000_000);
+        m.inc("namenode", "op_retries", 3);
+        let b = LayerBreakdown::from_registry(&m);
+        assert!(!b.is_empty());
+        assert_eq!(b.net["az0->az1"].bytes, 512);
+        assert_eq!(b.cpu["ndb/ldm"].service.count, 1);
+        assert_eq!(b.waits["ndb/lock_wait_ns"].count, 1);
+        assert_eq!(b.counters["namenode/op_retries"], 3);
+        assert!(LayerBreakdown::from_registry(&MetricsRegistry::default()).is_empty());
+    }
+
+    #[test]
+    fn hist_summary_orders_quantiles() {
+        let mut h = Histogram::new();
+        for v in [100u64, 200, 400, 800, 100_000] {
+            h.record(v);
+        }
+        let s = HistSummary::from(&h);
+        assert_eq!(s.count, 5);
+        assert!(s.p50_ns <= s.p99_ns && s.p99_ns <= s.max_ns);
+        assert!(s.mean_ns > 0.0);
+    }
+}

@@ -120,6 +120,10 @@ pub struct RunResult {
     pub events: u64,
     /// Wall-clock milliseconds spent (diagnostics).
     pub wall_ms: u64,
+    /// Per-layer time breakdown over the measurement window (absent in
+    /// result files saved by older versions).
+    #[serde(default)]
+    pub breakdown: crate::artifact::LayerBreakdown,
 }
 
 #[derive(Debug, Clone, Default)]
@@ -327,6 +331,9 @@ pub fn run(setup: Setup, params: &Params) -> RunResult {
         let reads_rank = reads_rank.clone();
         sim.at(SimTime::ZERO + warmup, move |sim| {
             stats.borrow_mut().recording = true;
+            // Restart the layer-metrics window so the exported breakdown
+            // covers only the measurement interval (no RNG, no events).
+            sim.metrics_mut().clear();
             *baseline.borrow_mut() =
                 Some(capture(sim, &storage_ids, &server_ids, server_ops, reads_rank));
         });
@@ -424,6 +431,7 @@ pub fn run(setup: Setup, params: &Params) -> RunResult {
         cross_az_bytes: (sim.cross_az_bytes() - base.cross_az) * scale as u64,
         events: sim.events_processed(),
         wall_ms: wall_start.elapsed().as_millis() as u64,
+        breakdown: crate::artifact::LayerBreakdown::from_registry(sim.metrics()),
     }
 }
 

@@ -13,10 +13,12 @@
 
 #![warn(missing_docs)]
 
+pub mod artifact;
 pub mod harness;
 pub mod report;
 pub mod setup;
 pub mod sweep;
 
+pub use artifact::{emit_artifact, BenchArtifact, LayerBreakdown};
 pub use harness::{run, run_grid, Load, Params, RunResult};
 pub use setup::Setup;

@@ -1,0 +1,94 @@
+//! Golden-file test pinning the bench-artifact JSON schema (v1).
+//!
+//! Any change to the envelope or the breakdown field names changes the
+//! rendered JSON and fails here — which is the point: downstream plotting
+//! reads these documents, so schema drift must be a conscious decision
+//! (bump `SCHEMA_VERSION`, regenerate with `UPDATE_GOLDEN=1 cargo test -p
+//! bench --test artifact_schema`, document the migration in EXPERIMENTS.md).
+
+use bench::artifact::{BenchArtifact, HistSummary, LayerBreakdown, SCHEMA_VERSION};
+use serde::{Deserialize, Serialize};
+use simnet::{AzId, MetricsRegistry, SimDuration};
+use std::path::PathBuf;
+
+/// A deterministic registry exercising every breakdown section.
+fn sample_registry() -> MetricsRegistry {
+    let mut m = MetricsRegistry::default();
+    m.record_net(AzId(0), AzId(1), 4096, SimDuration::from_micros(350));
+    m.record_net(AzId(1), AzId(0), 1024, SimDuration::from_micros(310));
+    m.record_cpu("namenode", "rpc", SimDuration::from_micros(12), SimDuration::from_micros(90));
+    m.record_cpu("ndb", "ldm", SimDuration::from_micros(3), SimDuration::from_micros(40));
+    m.record_hist("ndb", "lock_wait_ns", 250_000);
+    m.record_hist("fs-client", "retry_backoff_ns", 5_000_000);
+    m.inc("namenode", "op_retries", 2);
+    m.inc("ceph-client", "cache_hits", 17);
+    m
+}
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/artifact_v1.json")
+}
+
+#[test]
+fn artifact_json_matches_golden_schema() {
+    let doc = BenchArtifact {
+        schema_version: SCHEMA_VERSION,
+        bench: "schema_golden".to_string(),
+        results: LayerBreakdown::from_registry(&sample_registry()).to_value(),
+    };
+    let rendered = serde_json::to_string_pretty(&doc).expect("artifact renders");
+    let path = golden_path();
+    if std::env::var("UPDATE_GOLDEN").map(|v| v == "1").unwrap_or(false) {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &rendered).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {} ({e}); regenerate with UPDATE_GOLDEN=1", path.display()));
+    assert_eq!(
+        rendered, golden,
+        "artifact JSON schema drifted from {}; if intentional, bump SCHEMA_VERSION, \
+         regenerate with UPDATE_GOLDEN=1 and document the migration in EXPERIMENTS.md",
+        path.display()
+    );
+}
+
+#[test]
+fn artifact_round_trips_through_json() {
+    let doc = BenchArtifact {
+        schema_version: SCHEMA_VERSION,
+        bench: "roundtrip".to_string(),
+        results: LayerBreakdown::from_registry(&sample_registry()).to_value(),
+    };
+    let text = serde_json::to_string_pretty(&doc).unwrap();
+    let back: BenchArtifact = serde_json::from_str(&text).unwrap();
+    assert_eq!(back.schema_version, SCHEMA_VERSION);
+    assert_eq!(back.bench, "roundtrip");
+    let breakdown = LayerBreakdown::from_value(&back.results).expect("payload parses back");
+    assert_eq!(breakdown, LayerBreakdown::from_registry(&sample_registry()));
+    assert_eq!(breakdown.net["az0->az1"].bytes, 4096);
+    assert_eq!(breakdown.counters["ceph-client/cache_hits"], 17);
+}
+
+/// Result documents saved before the breakdown existed must keep loading:
+/// `#[serde(default)]` fills the missing field (this pins the vendored
+/// derive's handling of the attribute).
+#[test]
+fn missing_breakdown_field_defaults_on_load() {
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Versioned {
+        count: u64,
+        #[serde(default)]
+        breakdown: LayerBreakdown,
+    }
+    let old: Versioned = serde_json::from_str(r#"{"count": 3}"#).expect("old doc loads");
+    assert_eq!(old.count, 3);
+    assert!(old.breakdown.is_empty());
+}
+
+/// The summary stays honest about empty histograms.
+#[test]
+fn empty_histogram_summarizes_to_zero() {
+    let s: HistSummary = (&simnet::Histogram::new()).into();
+    assert_eq!(s, HistSummary::default());
+}

@@ -29,6 +29,7 @@ struct Pending {
     op: FsOp,
     started: SimTime,
     sent_at: SimTime,
+    span: simnet::SpanId,
 }
 
 /// One CephFS client session.
@@ -103,6 +104,16 @@ impl CephClientActor {
         }
     }
 
+    /// Drops every cached entry at `path` or underneath it. Rename moves a
+    /// whole subtree, so descendants cached under the old path would
+    /// otherwise be served stale forever (their keys are never written
+    /// again, so FIFO eviction is the only thing that would ever purge
+    /// them).
+    fn invalidate_subtree(&mut self, path: &str) {
+        let prefix = format!("{path}/");
+        self.cache.retain(|(p, _), _| p != path && !p.starts_with(&prefix));
+    }
+
     fn invalidate_for(&mut self, op: &FsOp) {
         let path = op.path().to_string();
         self.cache.remove(&(path.clone(), false));
@@ -110,11 +121,18 @@ impl CephClientActor {
         if let Some(parent) = op.path().parent() {
             self.cache.remove(&(parent.to_string(), true));
         }
-        if let FsOp::Rename { dst, .. } = op {
-            self.cache.remove(&(dst.to_string(), false));
-            if let Some(parent) = dst.parent() {
-                self.cache.remove(&(parent.to_string(), true));
+        match op {
+            FsOp::Rename { src, dst } => {
+                self.invalidate_subtree(&src.to_string());
+                self.invalidate_subtree(&dst.to_string());
+                self.cache.remove(&(dst.to_string(), false));
+                self.cache.remove(&(dst.to_string(), true));
+                if let Some(parent) = dst.parent() {
+                    self.cache.remove(&(parent.to_string(), true));
+                }
             }
+            FsOp::Delete { recursive: true, .. } => self.invalidate_subtree(&path),
+            _ => {}
         }
     }
 
@@ -136,6 +154,10 @@ impl CephClientActor {
         };
         self.next_req += 1;
         let req_id = self.next_req;
+        // Root span: issue_next may run inside the previous op's dispatch,
+        // so reset the ambient span before opening the new op's.
+        ctx.set_span(simnet::SpanId::NONE);
+        let span = ctx.span_start(op.kind().name(), "op");
         // Kernel-cache fast path.
         if !self.skip_kcache {
             if let Some(key) = Self::cache_key(&op) {
@@ -146,15 +168,17 @@ impl CephClientActor {
                     .cloned();
                 if let Some(hit) = hit {
                     self.cache_hits += 1;
+                    let layer = ctx.layer();
+                    ctx.metrics().inc(layer, "cache_hits", 1);
                     self.hit_result = Some(hit);
                     self.pending =
-                        Some(Pending { req_id, op, started: now, sent_at: now });
+                        Some(Pending { req_id, op, started: now, sent_at: now, span });
                     ctx.schedule(self.costs.cache_hit_cost, CacheServed);
                     return;
                 }
             }
         }
-        self.pending = Some(Pending { req_id, op, started: now, sent_at: now });
+        self.pending = Some(Pending { req_id, op, started: now, sent_at: now, span });
         self.send_pending(ctx);
     }
 
@@ -170,11 +194,14 @@ impl CephClientActor {
         let mds = self.mds_ids[owner.min(self.mds_ids.len() - 1)];
         p.sent_at = ctx.now();
         self.mds_trips += 1;
-        ctx.send_sized(mds, 192, MdsRequest { req_id: p.req_id, op: p.op.clone() });
+        let req = MdsRequest { req_id: p.req_id, op: p.op.clone(), span: p.span };
+        ctx.set_span(req.span);
+        ctx.send_sized(mds, 192, req);
     }
 
     fn complete(&mut self, ctx: &mut Ctx<'_>, result: FsResult, cap: bool) {
         let p = self.pending.take().expect("pending op");
+        ctx.span_end(p.span);
         let latency = ctx.now().saturating_since(p.started);
         self.stats.borrow_mut().record(p.op.kind(), &result, latency);
         self.source.on_result(&p.op, &result);
@@ -226,7 +253,11 @@ impl Actor for CephClientActor {
             Ok(m) => {
                 // Subtree moved: re-resolve the owner and resend.
                 match &self.pending {
-                    Some(p) if p.req_id == m.req_id => self.send_pending(ctx),
+                    Some(p) if p.req_id == m.req_id => {
+                        let layer = ctx.layer();
+                        ctx.metrics().inc(layer, "op_retries", 1);
+                        self.send_pending(ctx);
+                    }
                     _ => {}
                 }
                 return;
@@ -249,6 +280,8 @@ impl Actor for CephClientActor {
                 let stuck = matches!(&self.pending, Some(p)
                     if now.saturating_since(p.sent_at) > SimDuration::from_secs(30));
                 if stuck {
+                    let layer = ctx.layer();
+                    ctx.metrics().inc(layer, "op_timeouts", 1);
                     self.complete(ctx, Err(FsError::Unavailable), false);
                 }
                 if self.pending.is_none() && !self.done {

@@ -46,7 +46,7 @@ pub fn build_ceph_cluster(sim: &mut Simulation, config: CephConfig) -> CephClust
     let osd_ids: Vec<NodeId> = (0..config.osd_count).map(|i| NodeId(osd_base + i as u32)).collect();
 
     let got = sim.add_node(
-        NodeSpec::new("ceph-mon", mon_loc),
+        NodeSpec::new("ceph-mon", mon_loc).with_layer("ceph-mon"),
         Box::new(MonActor::new(
             Rc::clone(&map),
             mds_ids.clone(),
@@ -61,7 +61,8 @@ pub fn build_ceph_cluster(sim: &mut Simulation, config: CephConfig) -> CephClust
         let loc = Location { az, host: HostId(mds_base + i as u32) };
         // One lane: the MDS global lock.
         let spec = NodeSpec::new(format!("ceph-mds-{i}"), loc)
-            .with_lanes(vec![LaneClassSpec::new(MDS_LANE, 1)]);
+            .with_lanes(vec![LaneClassSpec::new(MDS_LANE, 1)])
+            .with_layer("ceph-mds");
         let got = sim.add_node(
             spec,
             Box::new(MdsActor::new(
@@ -89,7 +90,8 @@ pub fn build_ceph_cluster(sim: &mut Simulation, config: CephConfig) -> CephClust
         }
         let spec = NodeSpec::new(format!("ceph-osd-{i}"), loc)
             .with_lanes(vec![LaneClassSpec::new(crate::osd::OSD_LANE, 8)])
-            .with_disk(Disk::new(config.costs.osd_disk_bandwidth));
+            .with_disk(Disk::new(config.costs.osd_disk_bandwidth))
+            .with_layer("ceph-osd");
         let got = sim.add_node(spec, Box::new(OsdActor::new(i, replicas)));
         assert_eq!(got, osd_ids[i], "node id prediction drifted");
     }
@@ -163,7 +165,7 @@ impl CephCluster {
             source,
             stats,
         );
-        sim.add_node(NodeSpec::new("ceph-client", Location { az, host }), Box::new(actor))
+        sim.add_node(NodeSpec::new("ceph-client", Location { az, host }).with_layer("ceph-client"), Box::new(actor))
     }
 
     /// Per-MDS requests handled (for Figure 6).

@@ -33,6 +33,9 @@ pub struct MdsRequest {
     pub req_id: u64,
     /// The operation.
     pub op: FsOp,
+    /// Tracing span of the client operation ([`simnet::SpanId::NONE`] when
+    /// tracing is off); restored when stalled requests resume.
+    pub span: simnet::SpanId,
 }
 
 /// MDS → client response, with an optional capability grant that lets the
@@ -100,7 +103,7 @@ pub struct MdsActor {
     journal_pending: u64,
     journal_outstanding: u64,
     next_osd: usize,
-    stalled: VecDeque<(NodeId, MdsRequest)>,
+    stalled: VecDeque<(NodeId, MdsRequest, simnet::SimTime)>,
     window_requests: u64,
     dir_heat: HashMap<String, u64>,
     /// Statistics.
@@ -184,6 +187,7 @@ impl MdsActor {
     }
 
     fn handle_request(&mut self, ctx: &mut Ctx<'_>, from: NodeId, req: MdsRequest) {
+        ctx.set_span(req.span);
         // Ownership check against the (possibly rebalanced) subtree map.
         // Reads of replicated hot subtrees are served by any MDS.
         let path = req.op.path().to_string();
@@ -201,7 +205,7 @@ impl MdsActor {
         if kind.is_mutation() && self.journal_outstanding >= self.costs.journal_stall_bytes {
             // Journal backpressure: park the mutation until OSDs catch up.
             self.stats.journal_stalls += 1;
-            self.stalled.push_back((from, req));
+            self.stalled.push_back((from, req, ctx.now()));
             return;
         }
         self.process(ctx, from, req);
@@ -250,7 +254,18 @@ impl MdsActor {
         self.journal_outstanding = self.journal_outstanding.saturating_sub(ack.bytes);
         while self.journal_outstanding < self.costs.journal_stall_bytes {
             match self.stalled.pop_front() {
-                Some((from, req)) => self.process(ctx, from, req),
+                Some((from, req, queued_at)) => {
+                    let now = ctx.now();
+                    let layer = ctx.layer();
+                    ctx.metrics().record_hist(
+                        layer,
+                        "journal_stall_ns",
+                        now.saturating_since(queued_at).as_nanos(),
+                    );
+                    ctx.span_at("journal-stall", "stall", req.span, queued_at, now);
+                    ctx.set_span(req.span);
+                    self.process(ctx, from, req);
+                }
                 None => break,
             }
         }
@@ -258,7 +273,10 @@ impl MdsActor {
 
     fn report_load(&mut self, ctx: &mut Ctx<'_>) {
         let mut hot: Vec<(String, u64)> = self.dir_heat.drain().collect();
-        hot.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+        // Secondary key on the path: `dir_heat` is a HashMap, so ties in the
+        // count would otherwise surface in iteration order, which differs
+        // across same-seed runs and leaks into the monitor's rebalancing.
+        hot.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         hot.truncate(8);
         let load = MdsLoad { mds_idx: self.my_idx, requests: self.window_requests, hot_dirs: hot };
         self.window_requests = 0;

@@ -166,6 +166,9 @@ struct Pending {
     sent_at: SimTime,
     attempt: u32,
     idempotent_retry: bool,
+    /// Root tracing span of this op (NONE when tracing is off); restored as
+    /// the ambient span on every resend so retries stay attributed.
+    span: simnet::SpanId,
 }
 
 /// One client session.
@@ -279,6 +282,10 @@ impl FsClientActor {
         };
         self.next_req += 1;
         let req_id = self.next_req;
+        // Each op gets a fresh root span: drop whatever ambient context this
+        // dispatch arrived under (e.g. the previous op's response).
+        ctx.set_span(simnet::SpanId::NONE);
+        let span = ctx.span_start(op.kind().name(), "op");
         self.pending = Some(Pending {
             req_id,
             op: op.clone(),
@@ -286,6 +293,7 @@ impl FsClientActor {
             sent_at: now,
             attempt: 1,
             idempotent_retry: false,
+            span,
         });
         self.send_pending(ctx);
     }
@@ -309,12 +317,19 @@ impl FsClientActor {
         };
         let p = self.pending.as_mut().expect("pending op");
         p.sent_at = ctx.now();
-        let req = FsRequest { req_id: p.req_id, op: p.op.clone(), idempotent_retry: p.idempotent_retry };
+        let req = FsRequest {
+            req_id: p.req_id,
+            op: p.op.clone(),
+            idempotent_retry: p.idempotent_retry,
+            span: p.span,
+        };
+        ctx.set_span(req.span);
         ctx.send_sized(nn, 256, req);
     }
 
     fn complete(&mut self, ctx: &mut Ctx<'_>, result: FsResult) {
         let p = self.pending.take().expect("pending op");
+        ctx.span_end(p.span);
         let latency = ctx.now().saturating_since(p.started);
         self.stats.borrow_mut().record(p.op.kind(), &result, latency);
         self.source.on_result(&p.op, &result);
@@ -367,6 +382,10 @@ impl FsClientActor {
                         .unwrap_or(retry.cap);
                     // Mask the timeout window until the resend fires.
                     p.sent_at = now + d;
+                    let layer = ctx.layer();
+                    ctx.metrics().inc(layer, "op_retries", 1);
+                    ctx.metrics().record_hist(layer, "retry_backoff_ns", d.as_nanos());
+                    ctx.span_at("backoff", "retry", p.span, now, now + d);
                     backoff = Some((d, RetryNow { req_id: p.req_id, attempt: p.attempt }));
                 }
             }

@@ -87,7 +87,9 @@ pub fn build_fs_cluster(sim: &mut Simulation, cfg: FsConfig, dn_count: usize) ->
     .shared();
 
     for i in 0..view.config.nn_count {
-        let spec = NodeSpec::new(format!("nn-{i}"), nn_locations[i]).with_lanes(nn_lanes.clone());
+        let spec = NodeSpec::new(format!("nn-{i}"), nn_locations[i])
+            .with_lanes(nn_lanes.clone())
+            .with_layer("namenode");
         let id = sim.add_node(spec, Box::new(NameNodeActor::new(Arc::clone(&view), i)));
         assert_eq!(id, nn_ids[i], "node id prediction drifted");
     }
@@ -95,7 +97,8 @@ pub fn build_fs_cluster(sim: &mut Simulation, cfg: FsConfig, dn_count: usize) ->
         let loc = Location { az: dn_azs[i], host: HostId(dn_base + i as u32) };
         let spec = NodeSpec::new(format!("blockdn-{i}"), loc)
             .with_lanes(vec![LaneClassSpec::new(crate::block::dn_lane(), 8)])
-            .with_disk(Disk::new(800_000_000));
+            .with_disk(Disk::new(800_000_000))
+            .with_layer("blockdn");
         let id = sim.add_node(spec, Box::new(BlockDnActor::new(Arc::clone(&view), i as u32)));
         assert_eq!(id, dn_ids[i], "node id prediction drifted");
     }
@@ -106,7 +109,7 @@ pub fn build_fs_cluster(sim: &mut Simulation, cfg: FsConfig, dn_count: usize) ->
         for (i, &az) in view.config.azs.iter().enumerate() {
             let loc = Location { az, host: HostId(cloud_base + i as u32) };
             let id = sim.add_node(
-                NodeSpec::new(format!("cloudstore-{az}"), loc),
+                NodeSpec::new(format!("cloudstore-{az}"), loc).with_layer("cloudstore"),
                 Box::new(CloudStoreActor::new(Rc::clone(&state))),
             );
             assert_eq!(id, cloud_ids[i], "node id prediction drifted");
@@ -222,7 +225,10 @@ impl FsCluster {
         let host = HostId(sim.node_count() as u32);
         let domain = if self.view.config.az_aware { Some(az) } else { None };
         let actor = FsClientActor::new(Arc::clone(&self.view), domain, source, stats);
-        sim.add_node(NodeSpec::new("fs-client", Location { az, host }), Box::new(actor))
+        sim.add_node(
+            NodeSpec::new("fs-client", Location { az, host }).with_layer("fs-client"),
+            Box::new(actor),
+        )
     }
 }
 

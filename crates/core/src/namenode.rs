@@ -177,6 +177,10 @@ struct OpCtx {
     op: FsOp,
     idempotent_retry: bool,
     attempt: u32,
+    /// Tracing span of the originating client op (NONE when tracing is off);
+    /// restored as the ambient span whenever the op resumes from stored
+    /// state (retry backoff, id-pool waits, tx events surfaced by sweeps).
+    span: simnet::SpanId,
     #[allow(dead_code)] // kept for debugging op lifetimes
     started: SimTime,
     tx: Option<TxId>,
@@ -343,6 +347,7 @@ impl NameNodeActor {
             op: req.op,
             idempotent_retry: req.idempotent_retry,
             attempt: 1,
+            span: req.span,
             started: now,
             tx: None,
             stage: Stage::WalkA,
@@ -472,6 +477,13 @@ impl NameNodeActor {
             .op_retry
             .delay(attempt.saturating_sub(1), salt)
             .unwrap_or(self.cfg().op_retry.cap);
+        let span = self.ops[&op_id].span;
+        let layer = ctx.layer();
+        ctx.metrics().inc(layer, "op_retries", 1);
+        ctx.metrics().record_hist(layer, "retry_backoff_ns", delay.as_nanos());
+        let now = ctx.now();
+        ctx.span_at("backoff", "retry", span, now, now + delay);
+        ctx.set_span(span);
         ctx.schedule(delay, OpResume { op: op_id });
     }
 
@@ -1444,6 +1456,11 @@ impl NameNodeActor {
             Some(&id) => id,
             None => return, // stale
         };
+        // Tx events can surface from the sweep tick (no ambient context);
+        // re-attribute the continuation to the originating client op.
+        if let Some(o) = self.ops.get(&op_id) {
+            ctx.set_span(o.span);
+        }
         match ev {
             TxEvent::Rows { rows, .. } => {
                 let stage = self.ops.get(&op_id).map(|o| o.stage);
@@ -1810,6 +1827,7 @@ impl NameNodeActor {
 
     fn on_op_resume(&mut self, ctx: &mut Ctx<'_>, op_id: u64) {
         if let Some(octx) = self.ops.get(&op_id) {
+            ctx.set_span(octx.span);
             match octx.stage {
                 Stage::AwaitIds | Stage::WalkA => self.start_op(ctx, op_id),
                 _ => {}

@@ -176,6 +176,10 @@ pub struct FsRequest {
     /// `AlreadyExists` and `Delete` treats `NotFound` as success (the first
     /// attempt may have committed before its ack was lost).
     pub idempotent_retry: bool,
+    /// Tracing span of the client operation this request belongs to
+    /// ([`simnet::SpanId::NONE`] when tracing is off). Propagated so the
+    /// namenode can attribute queued/retried work to the originating op.
+    pub span: simnet::SpanId,
 }
 
 /// Namenode → client response.

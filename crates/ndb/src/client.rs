@@ -32,6 +32,9 @@ struct ClientTx {
     hint: Option<(TableId, PartitionKey)>,
     expect: Expect,
     pending_since: Option<SimTime>,
+    /// Tracing span of the operation this transaction serves (captured from
+    /// the ambient span at `begin`; NONE when tracing is off).
+    span: simnet::SpanId,
 }
 
 /// Event surfaced to the embedding application.
@@ -142,19 +145,22 @@ impl ClientKernel {
         self.next_seq += 1;
         let tx = TxId { client: self.client_bits, seq: self.next_seq };
         self.last_tc = Some(tc_idx);
-        self.txs.insert(tx, ClientTx { tc_idx, hint, expect: Expect::Nothing, pending_since: None });
+        let span = ctx.current_span();
+        self.txs
+            .insert(tx, ClientTx { tc_idx, hint, expect: Expect::Nothing, pending_since: None, span });
         Some(tx)
     }
 
     fn send_step(&mut self, ctx: &mut Ctx<'_>, tx: TxId, body: TxBody, expect: Expect, bytes: u64) {
         let now = ctx.now();
-        let (to, hint) = {
+        let (to, hint, span) = {
             let st = self.txs.get_mut(&tx).expect("unknown transaction");
             st.expect = expect;
             st.pending_since = Some(now);
-            (self.view.datanode_ids[st.tc_idx], st.hint)
+            (self.view.datanode_ids[st.tc_idx], st.hint, st.span)
         };
-        ctx.send_sized(to, bytes, TxRequest { tx, hint, body });
+        ctx.set_span(span);
+        ctx.send_sized(to, bytes, TxRequest { tx, hint, body, span });
     }
 
     /// Issues a batch of point reads.
@@ -187,7 +193,8 @@ impl ClientKernel {
     pub fn abort(&mut self, ctx: &mut Ctx<'_>, tx: TxId) {
         if let Some(st) = self.txs.remove(&tx) {
             let to = self.view.datanode_ids[st.tc_idx];
-            ctx.send_sized(to, 64, TxRequest { tx, hint: st.hint, body: TxBody::Abort });
+            ctx.set_span(st.span);
+            ctx.send_sized(to, 64, TxRequest { tx, hint: st.hint, body: TxBody::Abort, span: st.span });
         }
     }
 

@@ -89,6 +89,9 @@ enum TcPhase {
 #[derive(Debug)]
 struct TcTx {
     client: NodeId,
+    /// Span of the client operation this transaction serves (from the
+    /// latest [`TxRequest`]; NONE when tracing is off).
+    span: simnet::SpanId,
     token_counter: u64,
     phase: TcPhase,
     writes: Vec<WriteOp>,
@@ -113,6 +116,7 @@ impl TcTx {
     fn new(client: NodeId, now: SimTime) -> Self {
         TcTx {
             client,
+            span: simnet::SpanId::NONE,
             token_counter: 0,
             phase: TcPhase::Idle,
             writes: Vec::new(),
@@ -150,6 +154,9 @@ pub struct DatanodeActor {
     store: HashMap<(TableId, PartitionKey), BTreeMap<Bytes, Bytes>>,
     locks: LockManager,
     lock_conts: HashMap<(TxId, u64), LockCont>,
+    /// When each queued lock request started waiting, and the op span it
+    /// belongs to — drives the `lock_wait_ns` histogram and lock spans.
+    lock_queued: HashMap<(TxId, u64), (SimTime, simnet::SpanId)>,
     pending_writes: HashMap<(TxId, u64), WriteOp>,
     /// Row locked by each in-flight 2PC token at this node, for the
     /// per-row releases of the commit protocol.
@@ -182,6 +189,7 @@ impl DatanodeActor {
             store: HashMap::new(),
             locks: LockManager::default(),
             lock_conts: HashMap::new(),
+            lock_queued: HashMap::new(),
             pending_writes: HashMap::new(),
             row_of_token: HashMap::new(),
             tx_coordinator: HashMap::new(),
@@ -283,7 +291,8 @@ impl DatanodeActor {
             self.respond(ctx, now, from, resp);
             return;
         }
-        self.txs.entry(req.tx).or_insert_with(|| TcTx::new(from, now));
+        ctx.set_span(req.span);
+        self.txs.entry(req.tx).or_insert_with(|| TcTx::new(from, now)).span = req.span;
         match req.body {
             TxBody::Read(specs) => self.tc_read_step(ctx, req.tx, specs),
             TxBody::Scan { table, pk } => self.tc_scan_step(ctx, req.tx, table, pk),
@@ -654,7 +663,12 @@ impl DatanodeActor {
             Some(tx) => tx,
             None => return,
         };
+        // Sweeps and peer-death handlers run outside the op's dispatch;
+        // restore its span so the abort traffic is attributed correctly.
+        ctx.set_span(tx.span);
         self.stats.tx_aborted += 1;
+        let layer = ctx.layer();
+        ctx.metrics().inc(layer, "tx_aborts", 1);
         for &p in &tx.participants {
             let to = self.dn_node(p);
             self.send_from(ctx, now, to, 48, ReleaseTx { tx: tx_id });
@@ -685,6 +699,7 @@ impl DatanodeActor {
             let acq = self.locks.acquire(m.tx, m.table, m.key.clone(), m.mode, m.token);
             if !acq.is_granted() {
                 self.stats.lock_waits += 1;
+                self.lock_queued.insert((m.tx, m.token), (ctx.now(), ctx.current_span()));
                 self.lock_conts.insert((m.tx, m.token), LockCont::Read { requester: from, req: m });
                 return;
             }
@@ -741,6 +756,7 @@ impl DatanodeActor {
         let acq = self.locks.acquire(m.tx, m.op.table(), m.op.key().clone(), LockMode::Exclusive, m.token);
         if !acq.is_granted() {
             self.stats.lock_waits += 1;
+            self.lock_queued.insert((m.tx, m.token), (ctx.now(), ctx.current_span()));
             self.lock_conts.insert((m.tx, m.token), LockCont::Prepare(m));
             return;
         }
@@ -805,6 +821,7 @@ impl DatanodeActor {
     fn on_release_tx(&mut self, ctx: &mut Ctx<'_>, _from: NodeId, m: ReleaseTx) {
         // Abandon queued lock requests and pending writes of the tx.
         self.lock_conts.retain(|(tx, _), _| *tx != m.tx);
+        self.lock_queued.retain(|(tx, _), _| *tx != m.tx);
         self.pending_writes.retain(|(tx, _), _| *tx != m.tx);
         self.row_of_token.retain(|(tx, _), _| *tx != m.tx);
         self.tx_coordinator.remove(&m.tx);
@@ -814,6 +831,15 @@ impl DatanodeActor {
 
     fn resume_grants(&mut self, ctx: &mut Ctx<'_>, granted: Vec<Waiter>) {
         for w in granted {
+            if let Some((queued_at, span)) = self.lock_queued.remove(&(w.tx, w.token)) {
+                let now = ctx.now();
+                let layer = ctx.layer();
+                ctx.metrics().record_hist(layer, "lock_wait_ns", now.saturating_since(queued_at).as_nanos());
+                ctx.span_at("lock-wait", "lock", span, queued_at, now);
+                // The grant resumes another transaction's work; attribute the
+                // downstream read/prepare to *its* op, not the releaser's.
+                ctx.set_span(span);
+            }
             match self.lock_conts.remove(&(w.tx, w.token)) {
                 Some(LockCont::Read { requester, req }) => self.serve_read(ctx, requester, &req),
                 Some(LockCont::Prepare(m)) => self.prepare_apply(ctx, m),
@@ -906,6 +932,7 @@ impl DatanodeActor {
         for tx in orphans {
             self.tx_coordinator.remove(&tx);
             self.lock_conts.retain(|(t, _), _| *t != tx);
+            self.lock_queued.retain(|(t, _), _| *t != tx);
             self.pending_writes.retain(|(t, _), _| *t != tx);
             self.row_of_token.retain(|(t, _), _| *t != tx);
             let granted = self.locks.release_all(tx);

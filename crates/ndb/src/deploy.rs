@@ -84,7 +84,7 @@ pub fn build_cluster(
     for (rank, &az) in mgmt_azs.iter().enumerate() {
         let loc = Location { az, host: simnet::HostId(base + rank as u32) };
         let id = sim.add_node(
-            NodeSpec::new(format!("ndb-mgmt-{rank}"), loc),
+            NodeSpec::new(format!("ndb-mgmt-{rank}"), loc).with_layer("ndb-mgmt"),
             Box::new(MgmtActor::new(rank, mgmt_ids.clone(), hb).with_failover_deadline(failover)),
         );
         assert_eq!(id, mgmt_ids[rank], "node id prediction drifted");
@@ -97,7 +97,8 @@ pub fn build_cluster(
         let disk = Disk::new(1_200_000_000); // ~1.2 GB/s NVMe
         let spec = NodeSpec::new(format!("ndb-dn-{i}"), datanode_locations[i])
             .with_lanes(lanes)
-            .with_disk(disk);
+            .with_disk(disk)
+            .with_layer("ndb");
         let id = sim.add_node(spec, Box::new(DatanodeActor::new(Arc::clone(&view), i)));
         assert_eq!(id, datanode_ids[i], "node id prediction drifted");
     }

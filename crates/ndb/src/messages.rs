@@ -92,6 +92,9 @@ pub struct TxRequest {
     pub hint: Option<(TableId, PartitionKey)>,
     /// Step body.
     pub body: TxBody,
+    /// Tracing span of the client-side operation this transaction serves
+    /// ([`simnet::SpanId::NONE`] when tracing is off).
+    pub span: simnet::SpanId,
 }
 
 /// Why a transaction was aborted.

@@ -286,7 +286,7 @@ pub fn add_client(
     programs: Vec<TxProgram>,
 ) -> NodeId {
     sim.add_node(
-        simnet::NodeSpec::new("script-client", loc),
+        simnet::NodeSpec::new("script-client", loc).with_layer("ndb-client"),
         Box::new(ScriptClient::new(view, domain, programs)),
     )
 }

@@ -127,6 +127,23 @@ impl Lanes {
     ///
     /// Panics if the class does not exist.
     pub fn execute(&mut self, class: &str, now: SimTime, cost: SimDuration) -> SimTime {
+        self.execute_timed(class, now, cost).1
+    }
+
+    /// Like [`execute`](Lanes::execute), but returns `(start, done, name)` —
+    /// the instant the item actually started (so `start - now` is queueing
+    /// delay and `done - start` service time) and the class's `'static` name,
+    /// for metrics attribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the class does not exist.
+    pub fn execute_timed(
+        &mut self,
+        class: &str,
+        now: SimTime,
+        cost: SimDuration,
+    ) -> (SimTime, SimTime, &'static str) {
         let c = self.class_mut(class);
         // Earliest-free lane.
         let lane = {
@@ -148,7 +165,7 @@ impl Lanes {
         c.busy_until[lane] = done;
         c.busy_total += effective;
         c.items += 1;
-        done
+        (start, done, c.name)
     }
 
     /// Time at which the earliest lane of `class` becomes free (backlog probe).
@@ -339,6 +356,18 @@ mod tests {
         assert_eq!(d1, t0 + c);
         assert_eq!(d2, t0 + c);
         assert_eq!(d3, t0 + c * 2);
+    }
+
+    #[test]
+    fn execute_timed_reports_queueing_split() {
+        let mut l = Lanes::new(&[LaneClassSpec::new("q", 1)]);
+        let c = SimDuration::from_micros(100);
+        let (s1, d1, name) = l.execute_timed("q", SimTime::ZERO, c);
+        assert_eq!((s1, d1, name), (SimTime::ZERO, SimTime::ZERO + c, "q"));
+        // Second item queues behind the first: start = previous completion.
+        let (s2, d2, _) = l.execute_timed("q", SimTime::ZERO, c);
+        assert_eq!(s2, d1);
+        assert_eq!(d2, d1 + c);
     }
 
     #[test]

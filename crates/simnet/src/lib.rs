@@ -46,6 +46,7 @@ mod retry;
 mod sim;
 mod time;
 mod topology;
+mod trace;
 
 pub use cpu::{Batching, Disk, DiskOp, LaneClassSpec, Lanes, UtilizationWindow};
 pub use metrics::{Counter, Histogram};
@@ -54,3 +55,4 @@ pub use retry::RetryPolicy;
 pub use sim::{downcast, Actor, Ctx, FaultScope, LinkFault, NodeId, NodeSpec, Payload, Simulation};
 pub use time::{SimDuration, SimTime};
 pub use topology::{AzId, HostId, LatencyModel, Location};
+pub use trace::{chrome_trace_json, CpuMetric, MetricsRegistry, Span, SpanId, Tracer};

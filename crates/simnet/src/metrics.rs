@@ -56,15 +56,24 @@ impl Histogram {
     }
 
     /// Representative (midpoint) value for a bucket index.
+    ///
+    /// Saturating throughout: in the top octave the midpoint of the last
+    /// sub-buckets exceeds `u64::MAX` (and an out-of-range index would shift
+    /// by ≥ 64 bits), so everything clamps to `u64::MAX` instead of
+    /// overflowing. Callers ([`quantile`](Histogram::quantile)) clamp to the
+    /// exact recorded min/max anyway.
     fn value_of(index: usize) -> u64 {
         if index < SUB_BUCKETS {
             return index as u64;
         }
         let octave = (index / SUB_BUCKETS) as u32 + SUB_BITS - 1;
         let sub = (index % SUB_BUCKETS) as u64;
-        let base = 1u64 << octave;
+        let base = match 1u64.checked_shl(octave) {
+            Some(b) => b,
+            None => return u64::MAX,
+        };
         let step = 1u64 << (octave - SUB_BITS);
-        base + sub * step + step / 2
+        base.saturating_add(sub.saturating_mul(step)).saturating_add(step / 2)
     }
 
     /// Records one sample.
@@ -236,6 +245,28 @@ mod tests {
             let got = h.quantile(q) as f64;
             let err = (got - expect).abs() / expect;
             assert!(err < 0.05, "q={q} got={got} expect={expect} err={err}");
+        }
+    }
+
+    #[test]
+    fn near_max_samples_do_not_overflow() {
+        // Regression: `value_of` used unchecked `base + sub*step + step/2`,
+        // which can exceed u64 in the top octave. Recording extreme samples
+        // must neither panic nor wrap, and quantiles stay clamped to the
+        // exact recorded extremes.
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+        h.record(u64::MAX - 1);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), u64::MAX);
+        // Both samples share the top bucket; the clamp keeps the answer
+        // inside the recorded range.
+        assert!(h.quantile(1.0) >= u64::MAX - 1);
+        assert!(h.quantile(0.0) >= u64::MAX - 1);
+        // Every representable bucket index must have a finite midpoint.
+        for i in 0..64 * SUB_BUCKETS {
+            let _ = Histogram::value_of(i);
         }
     }
 

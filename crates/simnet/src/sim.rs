@@ -50,6 +50,7 @@
 use crate::cpu::{Disk, DiskOp, LaneClassSpec, Lanes};
 use crate::time::{SimDuration, SimTime};
 use crate::topology::{AzId, LatencyModel, Location};
+use crate::trace::{chrome_trace_json, MetricsRegistry, Span, SpanId, Tracer};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::any::Any;
@@ -152,12 +153,16 @@ pub struct NodeSpec {
     pub lanes: Vec<LaneClassSpec>,
     /// Local disk, if the process models disk contention.
     pub disk: Option<Disk>,
+    /// Deployment layer this process belongs to (`"namenode"`, `"ndb"`,
+    /// `"ceph-mds"`, ...). Keys the per-layer [`MetricsRegistry`]
+    /// aggregation; defaults to `"node"`.
+    pub layer: &'static str,
 }
 
 impl NodeSpec {
     /// A process with no CPU or disk model (e.g. a lightweight client).
     pub fn new(name: impl Into<String>, location: Location) -> Self {
-        NodeSpec { name: name.into(), location, lanes: Vec::new(), disk: None }
+        NodeSpec { name: name.into(), location, lanes: Vec::new(), disk: None, layer: "node" }
     }
 
     /// Adds CPU lanes.
@@ -171,6 +176,12 @@ impl NodeSpec {
         self.disk = Some(disk);
         self
     }
+
+    /// Tags the process with its deployment layer for metrics attribution.
+    pub fn with_layer(mut self, layer: &'static str) -> Self {
+        self.layer = layer;
+        self
+    }
 }
 
 enum EventKind {
@@ -178,8 +189,19 @@ enum EventKind {
     Start(NodeId, u32),
     /// Message delivery; `epoch` is the destination's epoch captured at send
     /// time, so messages addressed to a previous incarnation of a crashed
-    /// node are dropped (a broken connection, not a time machine).
-    Deliver { to: NodeId, from: NodeId, bytes: u64, epoch: u32, payload: Box<dyn Payload> },
+    /// node are dropped (a broken connection, not a time machine). `sent` is
+    /// the departure instant (delivery − sent = transit, including inter-AZ
+    /// link queueing) and `span` the sender's tracing context, restored as
+    /// the receiver's ambient span at dispatch.
+    Deliver {
+        to: NodeId,
+        from: NodeId,
+        bytes: u64,
+        epoch: u32,
+        sent: SimTime,
+        span: SpanId,
+        payload: Box<dyn Payload>,
+    },
     Control(Box<dyn FnOnce(&mut Simulation)>),
 }
 
@@ -211,6 +233,8 @@ impl Ord for Event {
 struct NodeState {
     name: String,
     location: Location,
+    /// Deployment layer tag ([`NodeSpec::with_layer`]) for metrics keys.
+    layer: &'static str,
     lanes: Lanes,
     disk: Option<Disk>,
     alive: bool,
@@ -337,6 +361,14 @@ pub struct World {
     /// Fractional jitter applied to network latencies (0.0 disables).
     pub jitter: f64,
     events_processed: u64,
+    /// Always-on per-layer metrics aggregation. Records only; never draws
+    /// randomness or schedules events, so it cannot perturb the run.
+    metrics: MetricsRegistry,
+    /// Opt-in span recorder (see [`Simulation::enable_tracing`]).
+    tracer: Tracer,
+    /// Ambient tracing context of the dispatch currently running: restored
+    /// from the delivered event before each `on_message`, `NONE` otherwise.
+    current_span: SpanId,
 }
 
 impl World {
@@ -527,6 +559,7 @@ impl<'a> Ctx<'a> {
         let src = self.location(from);
         let dst = self.location(to);
         let epoch = self.world.nodes[to.0 as usize].epoch;
+        let span = self.world.current_span;
         if to != from {
             let p = self.world.perturb(from, to);
             let lat = self.world.network_delay(src, dst, bytes, depart);
@@ -542,14 +575,19 @@ impl<'a> Ctx<'a> {
                 let lat2 = self.world.network_delay(src, dst, bytes, depart);
                 self.world.push(
                     depart + lat2 + p.extra,
-                    EventKind::Deliver { to, from, bytes, epoch, payload: copy },
+                    EventKind::Deliver { to, from, bytes, epoch, sent: depart, span, payload: copy },
                 );
             }
-            self.world
-                .push(depart + lat + p.extra, EventKind::Deliver { to, from, bytes, epoch, payload });
+            self.world.push(
+                depart + lat + p.extra,
+                EventKind::Deliver { to, from, bytes, epoch, sent: depart, span, payload },
+            );
         } else {
             let lat = self.world.network_delay(src, dst, bytes, depart);
-            self.world.push(depart + lat, EventKind::Deliver { to, from, bytes, epoch, payload });
+            self.world.push(
+                depart + lat,
+                EventKind::Deliver { to, from, bytes, epoch, sent: depart, span, payload },
+            );
         }
     }
 
@@ -561,8 +599,19 @@ impl<'a> Ctx<'a> {
         let me = self.me;
         let at = self.world.now + delay;
         let epoch = self.world.nodes[me.0 as usize].epoch;
-        self.world
-            .push(at, EventKind::Deliver { to: me, from: me, bytes: 0, epoch, payload: Box::new(payload) });
+        let span = self.world.current_span;
+        self.world.push(
+            at,
+            EventKind::Deliver {
+                to: me,
+                from: me,
+                bytes: 0,
+                epoch,
+                sent: self.world.now,
+                span,
+                payload: Box::new(payload),
+            },
+        );
     }
 
     /// Delivers `payload` to this actor at the absolute time `at`.
@@ -574,8 +623,19 @@ impl<'a> Ctx<'a> {
         debug_assert!(at >= self.world.now, "cannot schedule into the past");
         let me = self.me;
         let epoch = self.world.nodes[me.0 as usize].epoch;
-        self.world
-            .push(at, EventKind::Deliver { to: me, from: me, bytes: 0, epoch, payload: Box::new(payload) });
+        let span = self.world.current_span;
+        self.world.push(
+            at,
+            EventKind::Deliver {
+                to: me,
+                from: me,
+                bytes: 0,
+                epoch,
+                sent: self.world.now,
+                span,
+                payload: Box::new(payload),
+            },
+        );
     }
 
     /// Runs `cost` of CPU work on lane class `class` of this node and returns
@@ -588,7 +648,16 @@ impl<'a> Ctx<'a> {
         let now = self.world.now;
         let node = &mut self.world.nodes[self.me.0 as usize];
         let cost = if node.slowdown != 1.0 { cost.mul_f64(node.slowdown) } else { cost };
-        node.lanes.execute(class, now, cost)
+        let (start, done, lane) = node.lanes.execute_timed(class, now, cost);
+        let layer = node.layer;
+        self.world
+            .metrics
+            .record_cpu(layer, lane, start.saturating_since(now), done.saturating_since(start));
+        let parent = self.world.current_span;
+        if parent.is_some() && self.world.tracer.is_enabled() {
+            self.world.tracer.complete(lane, "cpu", parent, self.me.0, start, done);
+        }
+        done
     }
 
     /// Runs CPU work and delivers `payload` to this actor when it completes.
@@ -632,6 +701,69 @@ impl<'a> Ctx<'a> {
     pub fn latency_between(&self, a: NodeId, b: NodeId) -> SimDuration {
         self.world.latency.between(self.location(a), self.location(b))
     }
+
+    // ---- observability (trace + metrics) ----
+
+    /// The process-wide metrics registry, for protocol-level recording
+    /// (lock waits, retries, backoff). Recording never perturbs the run.
+    pub fn metrics(&mut self) -> &mut MetricsRegistry {
+        &mut self.world.metrics
+    }
+
+    /// This node's deployment layer tag ([`NodeSpec::with_layer`]).
+    pub fn layer(&self) -> &'static str {
+        self.world.nodes[self.me.0 as usize].layer
+    }
+
+    /// Whether span tracing is enabled for this simulation.
+    pub fn trace_enabled(&self) -> bool {
+        self.world.tracer.is_enabled()
+    }
+
+    /// The ambient tracing span of the current dispatch: the span the
+    /// delivered message (or timer) was sent under, [`SpanId::NONE`] when
+    /// untraced. New sends and timers inherit it automatically.
+    pub fn current_span(&self) -> SpanId {
+        self.world.current_span
+    }
+
+    /// Overrides the ambient span for the remainder of this dispatch — used
+    /// when an actor resumes work for a request it tracked in its own state
+    /// (retry timers, parked lock waiters, journal-stalled queues).
+    pub fn set_span(&mut self, span: SpanId) {
+        self.world.current_span = span;
+    }
+
+    /// Opens a span starting now, parented on the ambient span, and makes it
+    /// the ambient span. Returns [`SpanId::NONE`] (and does nothing) when
+    /// tracing is disabled.
+    pub fn span_start(&mut self, name: &'static str, cat: &'static str) -> SpanId {
+        let parent = self.world.current_span;
+        let id = self.world.tracer.start(name, cat, parent, self.me.0, self.world.now);
+        if id.is_some() {
+            self.world.current_span = id;
+        }
+        id
+    }
+
+    /// Closes a span at the current time. No-op for [`SpanId::NONE`].
+    pub fn span_end(&mut self, id: SpanId) {
+        let now = self.world.now;
+        self.world.tracer.end(id, now);
+    }
+
+    /// Records an already-elapsed interval `[start, end]` as a child of
+    /// `parent` on this node (e.g. a backoff wait computed retroactively).
+    pub fn span_at(
+        &mut self,
+        name: &'static str,
+        cat: &'static str,
+        parent: SpanId,
+        start: SimTime,
+        end: SimTime,
+    ) -> SpanId {
+        self.world.tracer.complete(name, cat, parent, self.me.0, start, end)
+    }
 }
 
 /// The top-level simulation: world + actors + event loop.
@@ -669,6 +801,9 @@ impl Simulation {
                 rng: StdRng::seed_from_u64(seed),
                 jitter: 0.05,
                 events_processed: 0,
+                metrics: MetricsRegistry::default(),
+                tracer: Tracer::default(),
+                current_span: SpanId::NONE,
             },
             actors: Vec::new(),
             started: false,
@@ -697,6 +832,7 @@ impl Simulation {
         self.world.nodes.push(NodeState {
             name: spec.name,
             location: spec.location,
+            layer: spec.layer,
             lanes: Lanes::new(&spec.lanes),
             disk: spec.disk,
             alive: true,
@@ -725,8 +861,18 @@ impl Simulation {
     pub fn inject<P: Payload>(&mut self, to: NodeId, payload: P) {
         let now = self.world.now;
         let epoch = self.world.nodes[to.0 as usize].epoch;
-        self.world
-            .push(now, EventKind::Deliver { to, from: to, bytes: 0, epoch, payload: Box::new(payload) });
+        self.world.push(
+            now,
+            EventKind::Deliver {
+                to,
+                from: to,
+                bytes: 0,
+                epoch,
+                sent: now,
+                span: SpanId::NONE,
+                payload: Box::new(payload),
+            },
+        );
     }
 
     /// Current virtual time.
@@ -761,6 +907,7 @@ impl Simulation {
         let n = &mut self.world.nodes[node.0 as usize];
         n.alive = true;
         let epoch = n.epoch;
+        self.world.current_span = SpanId::NONE;
         self.dispatch(node, |actor, ctx| actor.on_restart(ctx));
         let now = self.world.now;
         self.world.push(now, EventKind::Start(node, epoch));
@@ -934,10 +1081,11 @@ impl Simulation {
             EventKind::Start(node, epoch) => {
                 let n = &self.world.nodes[node.0 as usize];
                 if n.alive && n.epoch == epoch {
+                    self.world.current_span = SpanId::NONE;
                     self.dispatch(node, |actor, ctx| actor.on_start(ctx));
                 }
             }
-            EventKind::Deliver { to, from, bytes, epoch, payload } => {
+            EventKind::Deliver { to, from, bytes, epoch, sent, span, payload } => {
                 let deliverable = {
                     let w = &self.world;
                     let dst = &w.nodes[to.0 as usize];
@@ -955,11 +1103,28 @@ impl Simulation {
                         self.world.az_traffic[src_az.0 as usize][dst_az.0 as usize] += bytes;
                         self.world.nodes[to.0 as usize].net_in_bytes += bytes;
                         self.world.nodes[to.0 as usize].msgs_in += 1;
+                        // Network attribution happens at delivery, in the
+                        // same condition as the az_traffic ledger, so the
+                        // registry's per-pair bytes match it exactly.
+                        let transit = self.world.now.saturating_since(sent);
+                        self.world.metrics.record_net(src_az, dst_az, bytes, transit);
+                        if span.is_some() && self.world.tracer.is_enabled() {
+                            let now = self.world.now;
+                            let id =
+                                self.world.tracer.complete("hop", "net", span, to.0, sent, now);
+                            self.world
+                                .tracer
+                                .set_arg(id, format!("az{}->az{} {bytes}B", src_az.0, dst_az.0));
+                        }
                     }
+                    self.world.current_span = span;
                     self.dispatch(to, |actor, ctx| actor.on_message(ctx, from, payload));
                 }
             }
-            EventKind::Control(f) => f(self),
+            EventKind::Control(f) => {
+                self.world.current_span = SpanId::NONE;
+                f(self)
+            }
         }
         true
     }
@@ -1095,6 +1260,47 @@ impl Simulation {
     /// The latency model in use.
     pub fn latency_model(&self) -> &LatencyModel {
         &self.world.latency
+    }
+
+    // ---- observability (trace + metrics) ----
+
+    /// Turns per-request span recording on (off by default). Tracing draws
+    /// no randomness and schedules no events, so a seeded run replays
+    /// bit-identically with tracing on or off.
+    pub fn enable_tracing(&mut self) {
+        self.world.tracer.enable();
+    }
+
+    /// Whether span tracing is enabled.
+    pub fn trace_enabled(&self) -> bool {
+        self.world.tracer.is_enabled()
+    }
+
+    /// The process-wide metrics registry (always on).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.world.metrics
+    }
+
+    /// Mutable registry access, e.g. to [`MetricsRegistry::clear`] it at the
+    /// start of a measurement window.
+    pub fn metrics_mut(&mut self) -> &mut MetricsRegistry {
+        &mut self.world.metrics
+    }
+
+    /// All spans recorded so far (empty unless tracing was enabled).
+    pub fn spans(&self) -> &[Span] {
+        self.world.tracer.spans()
+    }
+
+    /// The recorded spans as a Chrome `trace_event` JSON document, ready to
+    /// open in Perfetto or `chrome://tracing`.
+    pub fn chrome_trace(&self) -> String {
+        chrome_trace_json(self.spans())
+    }
+
+    /// The deployment layer tag of a node ([`NodeSpec::with_layer`]).
+    pub fn node_layer(&self, node: NodeId) -> &'static str {
+        self.world.nodes[node.0 as usize].layer
     }
 }
 

@@ -1,0 +1,92 @@
+//! Tracing tour: run a small HopsFS-CL workload with request tracing
+//! enabled, print the per-layer metrics breakdown, and export the spans as a
+//! Chrome `trace_event` JSON file you can open in Perfetto
+//! (<https://ui.perfetto.dev>) or `chrome://tracing`.
+//!
+//! ```sh
+//! cargo run --release --example perfetto_trace
+//! # then load target/trace/perfetto_trace.json in ui.perfetto.dev
+//! ```
+
+use hopsfs::client::ClientStats;
+use hopsfs::{build_fs_cluster, FsClientActor, FsConfig, FsOp, FsPath, ScriptedSource};
+use simnet::{AzId, SimDuration, SimTime, Simulation};
+
+fn p(s: &str) -> FsPath {
+    FsPath::parse(s).expect("valid path")
+}
+
+fn main() {
+    let mut sim = Simulation::new(42);
+    // Span recording is opt-in (metrics are always on): it records only and
+    // never draws RNG or schedules events, so the run is bit-identical to an
+    // untraced one.
+    sim.enable_tracing();
+
+    let cfg = FsConfig::hopsfs_cl(6, 3, 3);
+    let cluster = build_fs_cluster(&mut sim, cfg, 3);
+
+    let ops = vec![
+        FsOp::Mkdir { path: p("/music") },
+        FsOp::Mkdir { path: p("/music/playlists") },
+        FsOp::Create { path: p("/music/playlists/road-trip"), size: 4096 },
+        FsOp::Stat { path: p("/music/playlists/road-trip") },
+        FsOp::List { path: p("/music/playlists") },
+        FsOp::Rename { src: p("/music/playlists/road-trip"), dst: p("/music/playlists/trip") },
+        FsOp::Open { path: p("/music/playlists/trip") },
+        FsOp::Delete { path: p("/music/playlists/trip"), recursive: false },
+    ];
+    let n_ops = ops.len();
+    let stats = ClientStats::shared();
+    let client = cluster.add_client(&mut sim, AzId(0), Box::new(ScriptedSource::new(ops)), stats);
+    sim.actor_mut::<FsClientActor>(client).keep_results = true;
+
+    let mut t = SimTime::ZERO;
+    while sim.actor::<FsClientActor>(client).results.len() < n_ops && t < SimTime::from_secs(30) {
+        t += SimDuration::from_millis(100);
+        sim.run_until(t);
+    }
+    let results = &sim.actor::<FsClientActor>(client).results;
+    assert!(results.iter().all(|r| r.is_ok()), "workload failed: {results:?}");
+
+    // Per-layer metrics: where the time went, aggregated.
+    let m = sim.metrics();
+    println!("per-layer breakdown ({n_ops} client ops):\n");
+    println!("  network (per directed AZ pair):");
+    for (src, dst, transit, bytes) in m.iter_net() {
+        println!(
+            "    az{} -> az{}: {:>6} bytes, transit p50 {:>7} ns ({} msgs)",
+            src.0,
+            dst.0,
+            bytes,
+            transit.quantile(0.5),
+            transit.count()
+        );
+    }
+    println!("  cpu (queue vs. service per layer/lane):");
+    for (layer, lane, cpu) in m.iter_cpu() {
+        println!(
+            "    {layer:>10}/{lane:<8} service p50 {:>7} ns x{:<5} queue p50 {:>6} ns",
+            cpu.service.quantile(0.5),
+            cpu.service.count(),
+            cpu.queue.quantile(0.5),
+        );
+    }
+    println!("  waits:");
+    for (layer, name, h) in m.iter_hists() {
+        println!("    {layer}/{name}: p50 {} ns ({} samples)", h.quantile(0.5), h.count());
+    }
+    println!("  counters:");
+    for (layer, name, v) in m.iter_counters() {
+        println!("    {layer}/{name}: {v}");
+    }
+
+    // Span export: one timeline row per node, openable in Perfetto.
+    let spans = sim.spans().len();
+    let json = sim.chrome_trace();
+    let dir = std::path::Path::new("target/trace");
+    std::fs::create_dir_all(dir).expect("create target/trace");
+    let path = dir.join("perfetto_trace.json");
+    std::fs::write(&path, json).expect("write trace file");
+    println!("\nwrote {spans} spans to {} — open it at https://ui.perfetto.dev", path.display());
+}

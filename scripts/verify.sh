@@ -15,4 +15,20 @@ cargo test -q --workspace
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== repo hygiene (no tracked build artifacts) =="
+if git ls-files --error-unmatch target/ >/dev/null 2>&1 || [ -n "$(git ls-files 'target/*')" ]; then
+    echo "verify: FAILED — build artifacts under target/ are tracked by git:" >&2
+    git ls-files 'target/*' | head >&2
+    exit 1
+fi
+# Untracked files (??) are expected; staged deletions (D) are target/ being
+# removed from tracking, also fine. Anything else means build artifacts are
+# still tracked.
+dirty=$(git status --porcelain -- target/ | grep -vE '^(\?\?|D )' || true)
+if [ -n "$dirty" ]; then
+    echo "verify: FAILED — the build modified git-tracked files under target/:" >&2
+    echo "$dirty" | head >&2
+    exit 1
+fi
+
 echo "verify: OK"

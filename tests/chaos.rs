@@ -83,7 +83,7 @@ struct Outcome {
     completed: u64,
 }
 
-fn run_once(seed: u64) -> Outcome {
+fn run_once(seed: u64, tracing: bool) -> Outcome {
     let mut cfg = hopsfs::FsConfig::hopsfs_cl(6, 3, 6);
     // The 7s one-way partition starves the leader of one AZ's datanode
     // heartbeats; widen the (configurable) liveness window past it so only
@@ -91,6 +91,9 @@ fn run_once(seed: u64) -> Outcome {
     cfg.dn_heartbeat_window = SimDuration::from_secs(8);
     let mut sim = Simulation::new(seed);
     sim.set_jitter(0.0);
+    if tracing {
+        sim.enable_tracing();
+    }
     let mut cluster = hopsfs::build_fs_cluster(&mut sim, cfg, 6);
     let view = cluster.view.clone();
     cluster.bulk_mkdir_p(&mut sim, "/probe");
@@ -261,13 +264,23 @@ fn drain_one(sim: &mut Simulation, cluster: &hopsfs::FsCluster, op: FsOp) -> hop
 
 #[test]
 fn seeded_nemesis_schedule_heals_clean_and_replays_identically() {
-    let a = run_once(7);
-    let b = run_once(7);
+    let a = run_once(7, false);
+    let b = run_once(7, false);
     assert_eq!(a.trace, b.trace, "fault trace must replay identically");
     assert_eq!(a.events, b.events, "event count must replay identically");
     assert_eq!(
         (a.pre_ok, a.post_ok, a.acked, a.completed),
         (b.pre_ok, b.post_ok, b.acked, b.completed),
         "probe and audit counts must replay identically"
+    );
+    // The trace subsystem records but never draws RNG or schedules events:
+    // a traced run must be bit-identical to the untraced one.
+    let c = run_once(7, true);
+    assert_eq!(a.trace, c.trace, "tracing perturbed the fault trace");
+    assert_eq!(a.events, c.events, "tracing perturbed the event schedule");
+    assert_eq!(
+        (a.pre_ok, a.post_ok, a.acked, a.completed),
+        (c.pre_ok, c.post_ok, c.acked, c.completed),
+        "tracing perturbed probe/audit counts"
     );
 }

@@ -91,6 +91,17 @@ pub fn from_field<T: Deserialize>(v: &Value, name: &str) -> Result<T, Error> {
     }
 }
 
+/// Like [`from_field`], but a missing field deserializes to `T::default()` —
+/// the stand-in's implementation of `#[serde(default)]`, letting documents
+/// written before a field existed keep loading.
+pub fn from_field_or_default<T: Deserialize + Default>(v: &Value, name: &str) -> Result<T, Error> {
+    match v.get_field(name) {
+        Some(field) => T::from_value(field)
+            .map_err(|e| Error(format!("field `{name}`: {e}"))),
+        None => Ok(T::default()),
+    }
+}
+
 // --- impls for the primitive tree -----------------------------------------
 
 macro_rules! serde_uint {

@@ -4,11 +4,15 @@
 //! environment has no registry access, so the struct is parsed directly from
 //! the token stream (attributes and visibility are skipped; generics and
 //! enums are intentionally unsupported and panic with a clear message).
+//!
+//! One field attribute is honoured: `#[serde(default)]` makes a missing
+//! field deserialize to `Default::default()` instead of erroring, matching
+//! upstream serde's behaviour for the same attribute.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 /// Derives `serde::Serialize` for a named-field struct.
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let s = parse_struct(input);
     let pushes: String = s
@@ -16,7 +20,8 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         .iter()
         .map(|f| {
             format!(
-                "(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),"
+                "(\"{name}\".to_string(), ::serde::Serialize::to_value(&self.{name})),",
+                name = f.name,
             )
         })
         .collect();
@@ -33,13 +38,16 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 }
 
 /// Derives `serde::Deserialize` for a named-field struct.
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let s = parse_struct(input);
     let inits: String = s
         .fields
         .iter()
-        .map(|f| format!("{f}: ::serde::from_field(v, \"{f}\")?,"))
+        .map(|f| {
+            let helper = if f.default { "from_field_or_default" } else { "from_field" };
+            format!("{name}: ::serde::{helper}(v, \"{name}\")?,", name = f.name)
+        })
         .collect();
     format!(
         "impl ::serde::Deserialize for {name} {{\n\
@@ -53,9 +61,15 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     .expect("generated Deserialize impl must parse")
 }
 
+struct FieldDef {
+    name: String,
+    /// The field carried `#[serde(default)]`.
+    default: bool,
+}
+
 struct StructDef {
     name: String,
-    fields: Vec<String>,
+    fields: Vec<FieldDef>,
 }
 
 /// Parses `[attrs] [vis] struct Name { [attrs] [vis] field: Type, ... }`.
@@ -104,35 +118,65 @@ fn parse_struct(input: TokenStream) -> StructDef {
             None => panic!("struct {name} has no body"),
         }
     };
-    StructDef { name, fields: parse_field_names(body.stream()) }
+    StructDef { name, fields: parse_fields(body.stream()) }
 }
 
-/// Extracts field names: for each top-level-comma-separated chunk, the ident
-/// immediately before the first top-level `:`. Tracks `<...>` depth because
+/// True when the bracketed attribute body is `serde(... default ...)`.
+fn attr_is_serde_default(attr: TokenStream) -> bool {
+    let mut iter = attr.into_iter();
+    match iter.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g
+            .stream()
+            .into_iter()
+            .any(|tt| matches!(tt, TokenTree::Ident(id) if id.to_string() == "default")),
+        _ => false,
+    }
+}
+
+/// Extracts the fields: for each top-level-comma-separated chunk, the ident
+/// immediately before the first top-level `:` is the name, and a preceding
+/// `#[serde(default)]` attribute flags it. Tracks `<...>` depth because
 /// angle brackets are not token groups.
-fn parse_field_names(body: TokenStream) -> Vec<String> {
+fn parse_fields(body: TokenStream) -> Vec<FieldDef> {
     let mut fields = Vec::new();
     let mut angle_depth = 0i32;
     let mut last_ident: Option<String> = None;
     let mut name_taken = false;
+    let mut saw_hash = false;
+    let mut has_default = false;
     for tt in body {
+        let was_hash = saw_hash;
+        saw_hash = false;
         match tt {
             TokenTree::Punct(p) => match p.as_char() {
                 '<' => angle_depth += 1,
                 '>' => angle_depth -= 1,
                 ':' if angle_depth == 0 && !name_taken => {
                     if let Some(name) = last_ident.take() {
-                        fields.push(name);
+                        fields.push(FieldDef { name, default: has_default });
                         name_taken = true;
                     }
                 }
                 ',' if angle_depth == 0 => {
                     name_taken = false;
                     last_ident = None;
+                    has_default = false;
                 }
-                '#' => {} // field attribute marker; its group is skipped below
+                '#' => saw_hash = true, // field attribute marker
                 _ => {}
             },
+            TokenTree::Group(g)
+                if was_hash
+                    && !name_taken
+                    && g.delimiter() == Delimiter::Bracket
+                    && attr_is_serde_default(g.stream()) =>
+            {
+                has_default = true;
+            }
             TokenTree::Ident(id) if !name_taken => {
                 let s = id.to_string();
                 if s != "pub" {
