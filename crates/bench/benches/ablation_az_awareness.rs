@@ -5,14 +5,20 @@
 
 #![allow(clippy::field_reassign_with_default, clippy::type_complexity)]
 
-use bench::harness::{run, Load, Params};
+use bench::harness::{run, Load};
 use bench::report::{print_table, si};
 use bench::setup::Setup;
-use bench::sweep::quick;
+use bench::sweep::{base_params, quick, smoke};
 
 fn main() {
-    let servers = if quick() { 12 } else { 36 };
-    let mut p0 = Params::default();
+    let servers = if smoke() {
+        4
+    } else if quick() {
+        12
+    } else {
+        36
+    };
+    let mut p0 = base_params();
     p0.servers = servers;
     p0.load = Load::Spotify;
 
@@ -66,6 +72,10 @@ fn main() {
         &["variant", "ops/s", "avg lat ms", "xAZ MB/s", "backup-read share"],
         &rows,
     );
+    if smoke() {
+        println!("\n[smoke mode: paper-claim shape checks skipped]");
+        return;
+    }
     let get = |name: &str| tputs.iter().find(|(n, _)| *n == name).map(|&(_, t)| t).unwrap();
     assert!(get("HopsFS-CL (3,3) full") >= get("CL without Read Backup") * 0.99,
         "read backup must not hurt");

@@ -4,7 +4,7 @@
 #![allow(clippy::field_reassign_with_default, clippy::type_complexity)]
 
 use bench::report::print_table;
-use bench::sweep::{ensure_spotify_sweep, series, sizes};
+use bench::sweep::{ensure_spotify_sweep, series, sizes, smoke};
 
 fn main() {
     let results = ensure_spotify_sweep();
@@ -35,6 +35,10 @@ fn main() {
     let util = |class: &str| {
         last.ndb_thread_util.iter().find(|(c, _)| c == class).map(|&(_, v)| v).unwrap_or(0.0)
     };
+    if smoke() {
+        println!("\n[smoke mode: paper-claim shape checks skipped]");
+        return;
+    }
     println!("\npaper-shape checks at the largest cluster:");
     println!("  LDM {:.0}%, TC {:.0}%, RECV {:.0}%, SEND {:.0}%, REP {:.0}%, IO {:.0}%, MAIN {:.0}%",
         util("LDM") * 100.0, util("TC") * 100.0, util("RECV") * 100.0, util("SEND") * 100.0,

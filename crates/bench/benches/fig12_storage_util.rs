@@ -5,7 +5,7 @@
 
 use bench::report::print_table;
 use bench::setup::Setup;
-use bench::sweep::{ensure_spotify_sweep, series, sizes};
+use bench::sweep::{ensure_spotify_sweep, series, sizes, smoke};
 
 fn main() {
     let results = ensure_spotify_sweep();
@@ -36,6 +36,10 @@ fn main() {
         headers.extend(sizes.iter().map(|n| format!("n={n}")));
         let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
         print_table(title, &headers_ref, &rows);
+    }
+    if smoke() {
+        println!("\n[smoke mode: paper-claim shape checks skipped]");
+        return;
     }
     // Shapes (§V-D1): NDB network grows with metadata servers; NDB disk
     // stays low (in-memory DB, only redo/checkpoints); the OSD journal disk

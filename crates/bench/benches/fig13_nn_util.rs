@@ -5,7 +5,7 @@
 
 use bench::report::print_table;
 use bench::setup::Setup;
-use bench::sweep::{ensure_spotify_sweep, series, sizes};
+use bench::sweep::{ensure_spotify_sweep, series, sizes, smoke};
 
 fn main() {
     let results = ensure_spotify_sweep();
@@ -33,6 +33,10 @@ fn main() {
     // network traffic than CephFS MDSs (whose clients serve from cache).
     // Disk: all metadata servers are diskless here (paper: "do not use that
     // much disk"), so no disk table is printed.
+    if smoke() {
+        println!("\n[smoke mode: paper-claim shape checks skipped]");
+        return;
+    }
     let at_max = |label: &str| {
         series(&results, label).last().map(|r| r.server_net_mb_s[0] + r.server_net_mb_s[1]).unwrap_or(0.0)
     };

@@ -5,9 +5,10 @@
 
 #![allow(clippy::field_reassign_with_default, clippy::type_complexity)]
 
-use bench::harness::{run, Load, Params};
+use bench::harness::{run, Load};
 use bench::report::print_table;
 use bench::setup::Setup;
+use bench::sweep::{base_params, smoke};
 
 fn main() {
     let mut results = Vec::new();
@@ -17,8 +18,8 @@ fn main() {
             cfg.read_backup_override = Some(false);
         }) as fn(&mut hopsfs::FsConfig))),
     ] {
-        let mut p = Params::default();
-        p.servers = 12;
+        let mut p = base_params();
+        p.servers = if smoke() { 6 } else { 12 };
         p.load = Load::Spotify;
         p.tweak = tweak;
         let r = run(Setup::HopsFsCl { r: 3 }, &p);
@@ -65,6 +66,10 @@ fn main() {
         let total: u64 = r.reads_by_rank.iter().sum();
         (r.reads_by_rank[1] + r.reads_by_rank[2]) as f64 / total.max(1) as f64
     };
+    if smoke() {
+        println!("\n[smoke mode: paper-claim shape checks skipped]");
+        return;
+    }
     println!("\npaper-claim checks:");
     println!("  backups' read share, enabled : {:.1}%  (paper: ~50% = 25%+25%)", backup_share(enabled) * 100.0);
     println!("  backups' read share, disabled: {:.1}%  (paper: 0%)", backup_share(disabled) * 100.0);

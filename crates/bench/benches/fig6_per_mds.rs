@@ -5,7 +5,7 @@
 #![allow(clippy::field_reassign_with_default, clippy::type_complexity)]
 
 use bench::report::print_table;
-use bench::sweep::{ensure_spotify_sweep, series, sizes};
+use bench::sweep::{ensure_spotify_sweep, series, sizes, smoke};
 
 fn main() {
     let results = ensure_spotify_sweep();
@@ -25,6 +25,10 @@ fn main() {
     let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
     print_table("Figure 6 — requests handled per metadata server (req/s)", &headers_ref, &rows);
 
+    if smoke() {
+        println!("\n[smoke mode: paper-claim shape checks skipped]");
+        return;
+    }
     let last = |label: &str| series(&results, label).last().map(|r| r.per_server_handled).unwrap_or(0.0);
     let first = |label: &str| series(&results, label).first().map(|r| r.per_server_handled).unwrap_or(0.0);
     println!("\npaper-claim checks:");

@@ -4,21 +4,27 @@
 
 #![allow(clippy::field_reassign_with_default, clippy::type_complexity)]
 
-use bench::harness::{run_grid, Load, Params};
+use bench::harness::{run_grid, Load};
 use bench::report::{load_json, print_table, save_json, si};
 use bench::setup::Setup;
-use bench::sweep::quick;
+use bench::sweep::{base_params, quick, smoke};
 use bench::RunResult;
 use workload::MicroOp;
 
 fn main() {
-    let servers = if quick() { 24 } else { 60 };
-    let key = format!("fig7_micro_n{servers}");
+    let servers = if smoke() {
+        4
+    } else if quick() {
+        24
+    } else {
+        60
+    };
+    let key = format!("fig7_micro_n{servers}{}", if smoke() { "_smoke" } else { "" });
     let results: Vec<RunResult> = load_json(&key).unwrap_or_else(|| {
         let mut jobs = Vec::new();
         for &setup in &Setup::ALL_NINE {
             for op in MicroOp::ALL {
-                let mut p = Params::default();
+                let mut p = base_params();
                 p.servers = servers;
                 p.load = Load::Micro(op);
                 p.delete_precreate = 400;
@@ -56,7 +62,12 @@ fn main() {
         &rows,
     );
 
-    // Paper claims (§V-B2).
+    // Paper claims (§V-B2). Smoke-sized clusters are far off the paper's
+    // operating point, so the shape checks only run at quick/full scale.
+    if smoke() {
+        println!("\n[smoke mode: paper-claim shape checks skipped]");
+        return;
+    }
     let h21 = |op: &str| tput("HopsFS (2,1)", op);
     let h31 = |op: &str| tput("HopsFS (3,1)", op);
     let cl = |op: &str| tput("HopsFS-CL (3,3)", op);

@@ -5,7 +5,7 @@
 
 use bench::report::print_table;
 use bench::setup::Setup;
-use bench::sweep::{ensure_spotify_sweep, series, sizes};
+use bench::sweep::{ensure_spotify_sweep, series, sizes, smoke};
 
 fn main() {
     let results = ensure_spotify_sweep();
@@ -25,6 +25,10 @@ fn main() {
     let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
     print_table("Figure 8 — average end-to-end latency (ms)", &headers_ref, &rows);
 
+    if smoke() {
+        println!("\n[smoke mode: paper-claim shape checks skipped]");
+        return;
+    }
     let at_max = |label: &str| series(&results, label).last().map(|r| r.avg_latency_ms).unwrap_or(0.0);
     let cl = at_max("HopsFS-CL (3,3)");
     let vanilla = at_max("HopsFS (3,3)");

@@ -4,21 +4,27 @@
 
 #![allow(clippy::field_reassign_with_default, clippy::type_complexity)]
 
-use bench::harness::{run_grid, Load, Params};
+use bench::harness::{run_grid, Load};
 use bench::report::{load_json, print_table, save_json};
 use bench::setup::Setup;
-use bench::sweep::quick;
+use bench::sweep::{base_params, quick, smoke};
 use bench::RunResult;
 use workload::MicroOp;
 
 fn main() {
-    let servers = if quick() { 24 } else { 60 };
-    let key = format!("fig9_pct_n{servers}");
+    let servers = if smoke() {
+        4
+    } else if quick() {
+        24
+    } else {
+        60
+    };
+    let key = format!("fig9_pct_n{servers}{}", if smoke() { "_smoke" } else { "" });
     let results: Vec<RunResult> = load_json(&key).unwrap_or_else(|| {
         let mut jobs = Vec::new();
         for &setup in &Setup::ALL_NINE {
             for op in [MicroOp::Create, MicroOp::Read, MicroOp::Delete] {
-                let mut p = Params::default();
+                let mut p = base_params();
                 p.servers = servers;
                 // ~50% load: half the closed-loop sessions.
                 p.sessions_per_server /= 2;
@@ -68,6 +74,10 @@ fn main() {
     // §V-C: CephFS delivers significantly lower unloaded latency than
     // HopsFS/HopsFS-CL because reads are served from the kernel cache / MDS
     // memory; HopsFS percentiles are tight across variants.
+    if smoke() {
+        println!("\n[smoke mode: paper-claim shape checks skipped]");
+        return;
+    }
     println!("\npaper-shape checks:");
     println!(
         "  readFile p50: CephFS {:.2}ms vs HopsFS-CL {:.2}ms (paper: CephFS much lower)",

@@ -79,6 +79,34 @@ fn bench_event_loop(c: &mut Criterion) {
             black_box(sim.events_processed())
         })
     });
+
+    // Same event count but through a *deep* queue: 10k timers pending at
+    // once, spread over ~10 ms, the regime where kernel push/pop cost
+    // actually shows up in the figure benches.
+    struct Burst {
+        n: u32,
+    }
+    impl Actor for Burst {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            for i in 0..10_000u64 {
+                ctx.schedule(SimDuration::from_nanos(1 + i * 997), Tick);
+            }
+        }
+        fn on_message(&mut self, _ctx: &mut Ctx<'_>, _f: NodeId, _m: Box<dyn Payload>) {
+            self.n += 1;
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+    }
+    c.bench_function("sim_10k_pending_timers", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(1);
+            sim.add_node(simnet::NodeSpec::new("t", simnet::Location::new(0, 0)), Box::new(Burst { n: 0 }));
+            sim.run_until(SimTime::from_secs(1));
+            black_box(sim.events_processed())
+        })
+    });
 }
 
 fn bench_path_parse(c: &mut Criterion) {

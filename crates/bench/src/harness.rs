@@ -9,7 +9,7 @@ use hopsfs::{build_fs_cluster, FsConfig, NameNodeActor, OpKind};
 use serde::{Deserialize, Serialize};
 use simnet::{AzId, NodeId, SimDuration, SimTime, Simulation};
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
 use std::sync::Arc;
 use workload::{MicroOp, MicroSource, Mix, Namespace, NamespaceSpec, SpotifySource};
@@ -79,20 +79,32 @@ impl Params {
 }
 
 /// Everything one run measures (all rates already scaled back up).
+///
+/// Serialized form is deterministic: map fields are `BTreeMap` (stable key
+/// order) and the wall-clock diagnostic is skipped, so the JSON for a run —
+/// and for the artifacts built from it — is byte-identical across repeat
+/// runs and across `run_grid` thread counts.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RunResult {
     /// Setup label.
     pub label: String,
     /// Metadata-server count.
     pub servers: usize,
+    /// RNG seed the cell ran under (the first seed, for multi-seed merges;
+    /// absent in result files saved by older versions).
+    #[serde(default)]
+    pub seed: u64,
+    /// Seeds averaged into this result (1 for a plain single-seed run).
+    #[serde(default)]
+    pub seed_runs: u64,
     /// Client-visible throughput, ops/s.
     pub throughput: f64,
     /// Mean end-to-end latency, ms.
     pub avg_latency_ms: f64,
     /// Per-kind `[p50, p90, p99]` latency in ms.
-    pub latency_pct_ms: HashMap<String, [f64; 3]>,
+    pub latency_pct_ms: BTreeMap<String, [f64; 3]>,
     /// Per-kind throughput, ops/s.
-    pub per_kind_tput: HashMap<String, f64>,
+    pub per_kind_tput: BTreeMap<String, f64>,
     /// Requests handled per metadata server per second (Figure 6).
     pub per_server_handled: f64,
     /// Mean CPU utilization of the metadata *storage* nodes (Figure 10a).
@@ -113,12 +125,14 @@ pub struct RunResult {
     /// Reads per (inode-table partition, replica rank) (Figure 14 detail).
     pub reads_by_partition_rank: Vec<(u32, u8, u64)>,
     /// Failed-op tallies.
-    pub errors: HashMap<String, u64>,
+    pub errors: BTreeMap<String, u64>,
     /// Cross-AZ bytes during the window (cost analysis).
     pub cross_az_bytes: u64,
     /// Simulation events processed (diagnostics).
     pub events: u64,
-    /// Wall-clock milliseconds spent (diagnostics).
+    /// Wall-clock milliseconds spent (diagnostics; never serialized — it
+    /// would make otherwise-identical runs produce different artifacts).
+    #[serde(skip)]
     pub wall_ms: u64,
     /// Per-layer time breakdown over the measurement window (absent in
     /// result files saved by older versions).
@@ -347,8 +361,8 @@ pub fn run(setup: Setup, params: &Params) -> RunResult {
 
     let st = stats.borrow();
     let throughput = st.total_ok() as f64 * scale as f64 / window_s;
-    let mut latency_pct_ms = HashMap::new();
-    let mut per_kind_tput = HashMap::new();
+    let mut latency_pct_ms = BTreeMap::new();
+    let mut per_kind_tput = BTreeMap::new();
     for kind in OpKind::ALL {
         let h = st.latency_of(kind);
         if h.count() > 0 {
@@ -405,6 +419,8 @@ pub fn run(setup: Setup, params: &Params) -> RunResult {
     RunResult {
         label: setup.label(),
         servers: params.servers,
+        seed: params.seed,
+        seed_runs: 1,
         throughput,
         avg_latency_ms: st.latency_all.mean() / 1e6,
         latency_pct_ms,
@@ -497,10 +513,41 @@ fn add_ceph_sessions(
     ids
 }
 
+/// Worker-thread count for [`run_grid`]: `--threads N` on the command line
+/// (the figure benches are `harness = false` binaries), else the
+/// `BENCH_THREADS` environment variable, else all available cores.
+pub fn threads() -> usize {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--threads" {
+            if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
+                return n;
+            }
+        } else if let Some(v) = a.strip_prefix("--threads=") {
+            if let Ok(n) = v.parse() {
+                return n;
+            }
+        }
+    }
+    if let Some(n) = std::env::var("BENCH_THREADS").ok().and_then(|v| v.parse().ok()) {
+        return n;
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+}
+
 /// Runs many experiment points in parallel OS threads (each thread builds
-/// and runs its own simulation; results are plain data).
+/// and runs its own simulation; results are plain data). Thread count comes
+/// from [`threads`].
 pub fn run_grid(jobs: Vec<(Setup, Params)>) -> Vec<RunResult> {
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(jobs.len().max(1));
+    run_grid_with_threads(jobs, threads())
+}
+
+/// [`run_grid`] with an explicit worker count. Every `(setup, params)` cell
+/// is independent — each worker owns its `Simulation` — and results come
+/// back in job order regardless of which worker ran what or when, so the
+/// output (and any artifact built from it) is identical for any `workers`.
+pub fn run_grid_with_threads(jobs: Vec<(Setup, Params)>, workers: usize) -> Vec<RunResult> {
+    let workers = workers.max(1).min(jobs.len().max(1));
     let jobs = Arc::new(parking_lot::Mutex::new(
         jobs.into_iter().enumerate().collect::<Vec<_>>(),
     ));
@@ -524,4 +571,112 @@ pub fn run_grid(jobs: Vec<(Setup, Params)>) -> Vec<RunResult> {
     let mut out = Arc::try_unwrap(results).expect("threads joined").into_inner();
     out.sort_by_key(|&(idx, _)| idx);
     out.into_iter().map(|(_, r)| r).collect()
+}
+
+impl RunResult {
+    /// Deterministically merges same-cell runs that differ only in seed:
+    /// rates and utilizations average arithmetically in input order, tallies
+    /// (errors, reads, events) sum, and the per-layer breakdown is kept from
+    /// the first seed (histograms don't average meaningfully). Wall-clock
+    /// sums, since the seeds really were all run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `runs` is empty or mixes cells (label/server mismatch).
+    pub fn merge_seeds(runs: &[RunResult]) -> RunResult {
+        let first = runs.first().expect("merge_seeds needs at least one run");
+        assert!(
+            runs.iter().all(|r| r.label == first.label && r.servers == first.servers),
+            "merge_seeds must not mix cells"
+        );
+        let n = runs.len() as f64;
+        let mean = |f: fn(&RunResult) -> f64| runs.iter().map(f).sum::<f64>() / n;
+        // Union of keys, averaging over the runs that have each key (a kind
+        // absent from a run saw no traffic there).
+        let mut latency_pct_ms = BTreeMap::new();
+        let mut per_kind_tput = BTreeMap::new();
+        for r in runs {
+            for (k, v) in &r.latency_pct_ms {
+                let e = latency_pct_ms.entry(k.clone()).or_insert(([0.0f64; 3], 0u32));
+                for (acc, x) in e.0.iter_mut().zip(v) {
+                    *acc += x;
+                }
+                e.1 += 1;
+            }
+            for (k, &v) in &r.per_kind_tput {
+                let e = per_kind_tput.entry(k.clone()).or_insert((0.0f64, 0u32));
+                e.0 += v;
+                e.1 += 1;
+            }
+        }
+        let mut errors: BTreeMap<String, u64> = BTreeMap::new();
+        for r in runs {
+            for (k, &v) in &r.errors {
+                *errors.entry(k.clone()).or_insert(0) += v;
+            }
+        }
+        let mut thread_util: BTreeMap<String, (f64, u32)> = BTreeMap::new();
+        for r in runs {
+            for (class, u) in &r.ndb_thread_util {
+                let e = thread_util.entry(class.clone()).or_insert((0.0, 0));
+                e.0 += u;
+                e.1 += 1;
+            }
+        }
+        let mut reads_by_rank = [0u64; 3];
+        let mut by_partition: BTreeMap<(u32, u8), u64> = BTreeMap::new();
+        for r in runs {
+            for (rank, &v) in r.reads_by_rank.iter().enumerate() {
+                reads_by_rank[rank] += v;
+            }
+            for &(pid, rank, v) in &r.reads_by_partition_rank {
+                *by_partition.entry((pid, rank)).or_insert(0) += v;
+            }
+        }
+        let avg2 = |f: fn(&RunResult) -> [f64; 2]| {
+            let mut out = [0.0f64; 2];
+            for r in runs {
+                let v = f(r);
+                out[0] += v[0];
+                out[1] += v[1];
+            }
+            [out[0] / n, out[1] / n]
+        };
+        RunResult {
+            label: first.label.clone(),
+            servers: first.servers,
+            seed: first.seed,
+            seed_runs: runs.iter().map(|r| r.seed_runs).sum(),
+            throughput: mean(|r| r.throughput),
+            avg_latency_ms: mean(|r| r.avg_latency_ms),
+            latency_pct_ms: latency_pct_ms
+                .into_iter()
+                .map(|(k, (sum, c))| (k, sum.map(|s| s / f64::from(c))))
+                .collect(),
+            per_kind_tput: per_kind_tput
+                .into_iter()
+                .map(|(k, (sum, c))| (k, sum / f64::from(c)))
+                .collect(),
+            per_server_handled: mean(|r| r.per_server_handled),
+            storage_cpu: mean(|r| r.storage_cpu),
+            server_cpu: mean(|r| r.server_cpu),
+            ndb_thread_util: thread_util
+                .into_iter()
+                .map(|(k, (sum, c))| (k, sum / f64::from(c)))
+                .collect(),
+            storage_net_mb_s: avg2(|r| r.storage_net_mb_s),
+            storage_disk_mb_s: avg2(|r| r.storage_disk_mb_s),
+            server_net_mb_s: avg2(|r| r.server_net_mb_s),
+            reads_by_rank,
+            reads_by_partition_rank: by_partition
+                .into_iter()
+                .map(|((pid, rank), v)| (pid, rank, v))
+                .collect(),
+            errors,
+            cross_az_bytes: runs.iter().map(|r| r.cross_az_bytes).sum::<u64>() / runs.len() as u64,
+            events: runs.iter().map(|r| r.events).sum(),
+            wall_ms: runs.iter().map(|r| r.wall_ms).sum(),
+            breakdown: first.breakdown.clone(),
+        }
+    }
 }

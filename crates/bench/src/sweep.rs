@@ -1,6 +1,22 @@
 //! The shared Spotify-workload sweep: one pass over
-//! (setup × metadata-server count) feeds Figures 5, 6, 8, 10, 11, 12 and 13,
-//! so it runs once and is cached under `target/bench-results/`.
+//! (setup × metadata-server count × seed) feeds Figures 5, 6, 8, 10, 11, 12
+//! and 13, so it runs once and is cached under `target/bench-results/`.
+//!
+//! Each `(setup, servers, seed)` cell is an independent simulation; the
+//! grid fans cells out across OS threads ([`run_grid`]) and same-cell seeds
+//! merge deterministically ([`RunResult::merge_seeds`]), so sweep output is
+//! byte-identical for any thread count.
+//!
+//! Environment knobs (on top of `BENCH_SCALE` / `BENCH_REUSE` /
+//! `BENCH_RESULTS_DIR`):
+//!
+//! - `BENCH_QUICK=1` — fewer x-axis points, shorter windows;
+//! - `BENCH_SMOKE=1` — one tiny cell per setup (CI tier-2: exercises every
+//!   bench end-to-end; the paper-claim shape assertions are skipped because
+//!   a smoke-sized cluster doesn't reproduce the paper's curves);
+//! - `BENCH_SEEDS=41,42,43` — run every cell under each listed seed and
+//!   merge;
+//! - `BENCH_THREADS=N` / `--threads N` — worker threads for the grid.
 
 use crate::harness::{run_grid, Load, Params, RunResult};
 use crate::report::{load_json, save_json};
@@ -17,28 +33,100 @@ pub fn quick() -> bool {
     std::env::var("BENCH_QUICK").map(|v| v == "1").unwrap_or(false)
 }
 
+/// Whether smoke mode is enabled (`BENCH_SMOKE=1`): one tiny cell per
+/// setup, meant for CI wiring checks, not for reproducing the paper's
+/// numbers. Figure benches must skip their paper-claim assertions when set.
+pub fn smoke() -> bool {
+    std::env::var("BENCH_SMOKE").map(|v| v == "1").unwrap_or(false)
+}
+
 /// Server counts to sweep.
 pub fn sizes() -> Vec<usize> {
-    if quick() {
+    if smoke() {
+        vec![4]
+    } else if quick() {
         QUICK_SIZES.to_vec()
     } else {
         PAPER_SIZES.to_vec()
     }
 }
 
+/// Seeds every cell runs under: `BENCH_SEEDS` as a comma-separated list,
+/// default the single base seed.
+pub fn seeds() -> Vec<u64> {
+    match std::env::var("BENCH_SEEDS") {
+        Ok(s) => {
+            let v: Vec<u64> = s.split(',').filter_map(|t| t.trim().parse().ok()).collect();
+            if v.is_empty() {
+                vec![Params::default().seed]
+            } else {
+                v
+            }
+        }
+        Err(_) => vec![Params::default().seed],
+    }
+}
+
 /// Base parameters for the sweep.
 pub fn base_params() -> Params {
     let mut p = Params::default();
-    if quick() {
+    if smoke() {
+        p.scale = p.scale.max(16);
+        p.warmup = simnet::SimDuration::from_millis(800);
+        p.measure = simnet::SimDuration::from_millis(400);
+    } else if quick() {
         p.warmup = simnet::SimDuration::from_millis(1200);
         p.measure = simnet::SimDuration::from_millis(600);
     }
     p
 }
 
+fn mode() -> &'static str {
+    if smoke() {
+        "smoke"
+    } else if quick() {
+        "quick"
+    } else {
+        "full"
+    }
+}
+
 fn cache_key() -> String {
     let p = base_params();
-    format!("spotify_sweep_scale{}_{}", p.scale, if quick() { "quick" } else { "full" })
+    let seeds = seeds();
+    let seed_tag = if seeds.len() == 1 && seeds[0] == p.seed {
+        String::new()
+    } else {
+        format!(
+            "_seeds{}",
+            seeds.iter().map(u64::to_string).collect::<Vec<_>>().join("-")
+        )
+    };
+    format!("spotify_sweep_scale{}_{}{}", p.scale, mode(), seed_tag)
+}
+
+/// Expands `(setup, params)` cells into one job per seed, in cell-major
+/// order (all seeds of a cell adjacent), ready for [`run_grid`] +
+/// [`merge_cells`].
+pub fn expand_seeds(cells: Vec<(Setup, Params)>, seeds: &[u64]) -> Vec<(Setup, Params)> {
+    let mut jobs = Vec::with_capacity(cells.len() * seeds.len());
+    for (setup, p) in cells {
+        for &seed in seeds {
+            let mut p = p.clone();
+            p.seed = seed;
+            jobs.push((setup, p));
+        }
+    }
+    jobs
+}
+
+/// Merges grid output produced from [`expand_seeds`] jobs back to one
+/// result per cell. Purely positional (consecutive chunks of
+/// `seed_count`), so the merge is deterministic and independent of how the
+/// grid scheduled the runs.
+pub fn merge_cells(results: Vec<RunResult>, seed_count: usize) -> Vec<RunResult> {
+    assert!(seed_count > 0 && results.len().is_multiple_of(seed_count), "ragged seed grid");
+    results.chunks(seed_count).map(RunResult::merge_seeds).collect()
 }
 
 /// Runs (or loads from cache) the full Spotify sweep over all nine setups.
@@ -48,17 +136,19 @@ pub fn ensure_spotify_sweep() -> Vec<RunResult> {
         eprintln!("[using cached sweep {key}; set BENCH_REUSE=0 to re-run]");
         return cached;
     }
-    let mut jobs = Vec::new();
+    let mut cells = Vec::new();
     for &setup in &Setup::ALL_NINE {
         for &servers in &sizes() {
             let mut p = base_params();
             p.servers = servers;
             p.load = Load::Spotify;
-            jobs.push((setup, p));
+            cells.push((setup, p));
         }
     }
-    eprintln!("[running spotify sweep: {} points…]", jobs.len());
-    let results = run_grid(jobs);
+    let seeds = seeds();
+    let jobs = expand_seeds(cells, &seeds);
+    eprintln!("[running spotify sweep: {} points ({} seeds/cell)…]", jobs.len(), seeds.len());
+    let results = merge_cells(run_grid(jobs), seeds.len());
     save_json(&key, &results);
     results
 }

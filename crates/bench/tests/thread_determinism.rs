@@ -1,0 +1,52 @@
+//! `run_grid` determinism across worker counts: the same job list must
+//! serialize byte-identically whether it runs on one worker thread or
+//! several, both as raw per-seed results and after `merge_cells` folds the
+//! seeds of each cell together. This is what lets `scripts/verify.sh`
+//! `cmp` artifacts produced with `--threads 1` and `--threads N`.
+
+use bench::harness::{run_grid_with_threads, Params};
+use bench::setup::Setup;
+use bench::sweep::{expand_seeds, merge_cells};
+use simnet::SimDuration;
+
+#[allow(clippy::field_reassign_with_default)]
+fn tiny_params() -> Params {
+    let mut p = Params::default();
+    p.servers = 3;
+    p.scale = 32;
+    p.warmup = SimDuration::from_millis(400);
+    p.measure = SimDuration::from_millis(300);
+    p
+}
+
+#[test]
+fn grid_results_are_identical_across_thread_counts() {
+    let cells = vec![
+        (Setup::HopsFsCl { r: 3 }, tiny_params()),
+        (Setup::HopsFs { r: 3, azs: 3 }, tiny_params()),
+    ];
+    let jobs = expand_seeds(cells, &[41, 42]);
+
+    let serial = run_grid_with_threads(jobs.clone(), 1);
+    let fanned = run_grid_with_threads(jobs, 3);
+
+    let ser = serde_json::to_string_pretty(&serial).expect("serialize");
+    let fan = serde_json::to_string_pretty(&fanned).expect("serialize");
+    assert_eq!(ser, fan, "raw grid output must not depend on worker count");
+
+    let merged_serial = merge_cells(serial, 2);
+    let merged_fanned = merge_cells(fanned, 2);
+    assert_eq!(
+        serde_json::to_string_pretty(&merged_serial).expect("serialize"),
+        serde_json::to_string_pretty(&merged_fanned).expect("serialize"),
+        "merged per-cell output must not depend on worker count"
+    );
+
+    // Merge bookkeeping: one result per cell, first seed kept as the
+    // representative, both seed runs accounted for.
+    assert_eq!(merged_serial.len(), 2);
+    for cell in &merged_serial {
+        assert_eq!(cell.seed, 41);
+        assert_eq!(cell.seed_runs, 2);
+    }
+}

@@ -1,0 +1,171 @@
+//! Segmented (two-generation) inode-hint cache for the namenode.
+//!
+//! The hint cache maps `(parent inode, child name)` to `(child inode,
+//! is_dir)` so path resolution can skip NDB round trips for warm ancestors
+//! (validated read-committed at lock time, per the HopsFS protocol).
+//!
+//! Eviction is generational, not wholesale: entries are inserted into a
+//! *young* generation; when young fills to half the capacity, it is demoted
+//! wholesale to *old* (dropping the previous old generation) and a fresh
+//! young generation starts. A lookup that hits the old generation promotes
+//! the entry back into young. The effect is scan-resistant second-chance
+//! eviction at HashMap cost: any entry referenced at least once per
+//! generation turn — e.g. the ancestor chain of a hot directory, touched on
+//! every operation under it — survives cap pressure indefinitely, while
+//! one-shot entries age out after two turns. The previous implementation
+//! (`cache.clear()` at capacity) dropped the entire working set, forcing
+//! every in-flight client back to full-depth resolution at once.
+//!
+//! Memory stays bounded by `cap` live entries (two half-`cap` generations);
+//! determinism is untouched because no operation iterates a `HashMap`.
+
+use std::collections::HashMap;
+
+type Key = (u64, String);
+type Hint = (u64, bool);
+
+/// Two-generation inode-hint cache. See the module docs for the policy.
+#[derive(Debug)]
+pub struct HintCache {
+    /// Per-generation capacity: a generation turn happens when `young`
+    /// reaches `cap / 2`.
+    half: usize,
+    young: HashMap<Key, Hint>,
+    old: HashMap<Key, Hint>,
+}
+
+impl HintCache {
+    /// Creates a cache bounded to `cap` entries across both generations.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap >= 2, "HintCache cap must hold both generations");
+        HintCache { half: cap / 2, young: HashMap::new(), old: HashMap::new() }
+    }
+
+    /// Looks up a hint; a hit in the old generation promotes the entry to
+    /// young (second chance).
+    pub fn get(&mut self, parent: u64, name: &str) -> Option<Hint> {
+        // Borrow-friendly key view: HashMap<(u64, String)> needs an owned
+        // tuple for `get`, so probe young/old with a temporary key.
+        let key = (parent, name.to_string());
+        if let Some(&hint) = self.young.get(&key) {
+            return Some(hint);
+        }
+        let hint = self.old.remove(&key)?;
+        self.insert_young(key, hint);
+        Some(hint)
+    }
+
+    /// Inserts or refreshes a hint (always lands in the young generation).
+    pub fn put(&mut self, parent: u64, name: &str, id: u64, is_dir: bool) {
+        let key = (parent, name.to_string());
+        self.old.remove(&key);
+        self.insert_young(key, (id, is_dir));
+    }
+
+    /// Drops a hint from both generations (mutation invalidation).
+    pub fn remove(&mut self, parent: u64, name: &str) {
+        let key = (parent, name.to_string());
+        self.young.remove(&key);
+        self.old.remove(&key);
+    }
+
+    /// Drops everything (stale-chain fallback: resolution observed the
+    /// namespace moving under a cached ancestor).
+    pub fn clear(&mut self) {
+        self.young.clear();
+        self.old.clear();
+    }
+
+    /// Live entries across both generations.
+    pub fn len(&self) -> usize {
+        self.young.len() + self.old.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn insert_young(&mut self, key: Key, hint: Hint) {
+        if self.young.len() >= self.half && !self.young.contains_key(&key) {
+            // Generation turn: young becomes old, previous old ages out.
+            self.old = std::mem::take(&mut self.young);
+        }
+        self.young.insert(key, hint);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_and_miss() {
+        let mut c = HintCache::new(8);
+        c.put(1, "a", 10, true);
+        assert_eq!(c.get(1, "a"), Some((10, true)));
+        assert_eq!(c.get(1, "b"), None);
+        assert_eq!(c.get(2, "a"), None);
+    }
+
+    #[test]
+    fn remove_drops_both_generations() {
+        let mut c = HintCache::new(4);
+        c.put(1, "a", 10, true);
+        // Turn the generation so "a" sits in old.
+        c.put(1, "b", 11, true);
+        c.put(1, "c", 12, true);
+        c.remove(1, "a");
+        assert_eq!(c.get(1, "a"), None);
+        c.put(1, "d", 13, true);
+        c.remove(1, "d");
+        assert_eq!(c.get(1, "d"), None);
+    }
+
+    #[test]
+    fn put_refreshes_stale_old_entry() {
+        let mut c = HintCache::new(4);
+        c.put(1, "a", 10, true);
+        c.put(1, "b", 11, true); // turn: a,b -> old
+        c.put(1, "a", 99, false); // re-put must shadow the old-generation value
+        assert_eq!(c.get(1, "a"), Some((99, false)));
+    }
+
+    #[test]
+    fn bounded_by_cap_under_churn() {
+        let mut c = HintCache::new(64);
+        for i in 0..10_000u64 {
+            c.put(i, "x", i, true);
+            assert!(c.len() <= 64, "cache grew past cap: {}", c.len());
+        }
+    }
+
+    /// The regression the segmented design exists for: a hot ancestor chain
+    /// (re-resolved on every op, as `/user/alice/project` is while clients
+    /// work under it) must survive arbitrary cap pressure from one-shot
+    /// entries. The old `clear()`-at-cap policy dropped it on every
+    /// overflow.
+    #[test]
+    fn hot_ancestor_chain_survives_cap_pressure() {
+        let cap = 64;
+        let mut c = HintCache::new(cap);
+        let chain: Vec<(u64, String, u64)> =
+            (0..4).map(|d| (d, format!("seg{d}"), d + 1)).collect();
+        for (parent, name, id) in &chain {
+            c.put(*parent, name, *id, true);
+        }
+        // 100× cap of cold, never-reused entries, with the chain re-walked
+        // (as resolution would) between insertions.
+        for i in 0..(cap as u64 * 100) {
+            c.put(1_000_000 + i, "cold", i, false);
+            for (parent, name, id) in &chain {
+                assert_eq!(
+                    c.get(*parent, name),
+                    Some((*id, true)),
+                    "hot ancestor {parent}/{name} evicted by cold churn at {i}"
+                );
+            }
+            assert!(c.len() <= cap);
+        }
+    }
+}

@@ -29,6 +29,7 @@ pub mod client;
 pub mod cloudstore;
 pub mod config;
 pub mod deploy;
+pub mod hintcache;
 pub mod meta;
 pub mod namenode;
 pub mod ops;
@@ -42,6 +43,7 @@ pub use chaos::{audit_ops, check_invariants, ChaosLog, InvariantReport, TrackedS
 pub use client::{ClientStats, FsClientActor, OpSource, ScriptedSource};
 pub use config::{BlockBackend, FsConfig, NnCostModel, PlacementPolicy};
 pub use deploy::{build_fs_cluster, FsCluster};
+pub use hintcache::HintCache;
 pub use namenode::{NameNodeActor, NnStats};
 pub use ops::{FsOp, FsRequest, FsResponse, OpKind};
 pub use path::FsPath;

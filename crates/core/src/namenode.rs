@@ -22,6 +22,7 @@
 use crate::block::{InvalidateBlock, ReplicaCopied, ReplicateBlockCmd, StoreBlock};
 use crate::cloudstore::{DeleteObject, PutObject, PutObjectAck, CLOUD_LOCATION};
 use crate::config::{BlockBackend, FsConfig};
+use crate::hintcache::HintCache;
 use crate::meta::{
     decode_sequence, encode_sequence, BlockRecord, FsSchema, InodeRecord, NnRecord, ReplicaRecord,
 };
@@ -237,7 +238,7 @@ pub struct NameNodeActor {
     tx_to_op: HashMap<TxId, u64>,
     admin_txs: HashMap<TxId, AdminTx>,
     next_op: u64,
-    cache: HashMap<(u64, String), (u64, bool)>,
+    cache: HintCache,
     ids_next: u64,
     ids_end: u64,
     id_refill_inflight: bool,
@@ -275,7 +276,7 @@ impl NameNodeActor {
             tx_to_op: HashMap::new(),
             admin_txs: HashMap::new(),
             next_op: 0,
-            cache: HashMap::new(),
+            cache: HintCache::new(CACHE_CAP),
             ids_next: 0,
             ids_end: 0,
             id_refill_inflight: false,
@@ -311,10 +312,9 @@ impl NameNodeActor {
     }
 
     fn cache_put(&mut self, parent: u64, name: &str, id: u64, is_dir: bool) {
-        if self.cache.len() >= CACHE_CAP {
-            self.cache.clear();
-        }
-        self.cache.insert((parent, name.to_string()), (id, is_dir));
+        // Capacity is the HintCache's problem: generational eviction ages
+        // out cold entries instead of dropping the whole working set.
+        self.cache.put(parent, name, id, is_dir);
     }
 
     fn alloc_id(&mut self) -> u64 {
@@ -504,9 +504,9 @@ impl NameNodeActor {
         }
         {
             let octx = self.ops.get_mut(&op_id).expect("op exists");
-            Self::walk_cache(&self.cache, &mut octx.walk_a, &mut self.stats);
+            Self::walk_cache(&mut self.cache, &mut octx.walk_a, &mut self.stats);
             if let Some(walk_b) = &mut octx.walk_b {
-                Self::walk_cache(&self.cache, walk_b, &mut self.stats);
+                Self::walk_cache(&mut self.cache, walk_b, &mut self.stats);
             }
         }
         let hint_pk = self.ops[&op_id].walk_a.cur;
@@ -525,11 +525,11 @@ impl NameNodeActor {
         self.continue_walk(ctx, op_id);
     }
 
-    fn walk_cache(cache: &HashMap<(u64, String), (u64, bool)>, walk: &mut Walk, stats: &mut NnStats) {
+    fn walk_cache(cache: &mut HintCache, walk: &mut Walk, stats: &mut NnStats) {
         while walk.idx < walk.end() {
             let name = walk.comps[walk.idx].clone();
-            match cache.get(&(walk.cur, name.clone())) {
-                Some(&(id, true)) => {
+            match cache.get(walk.cur, &name) {
+                Some((id, true)) => {
                     stats.cache_hits += 1;
                     walk.cached_chain.push((walk.cur, name.clone(), id));
                     walk.cur_key = (walk.cur, name);
@@ -1503,7 +1503,7 @@ impl NameNodeActor {
                 // (this NN's own view; other NNs fall back on validation or
                 // reach the moved entry's old name as absent).
                 for (parent, name) in invalidate {
-                    self.cache.remove(&(parent, name));
+                    self.cache.remove(parent, &name);
                 }
                 self.finish_op(ctx, op_id, Ok(ok.unwrap_or(FsOk::Done)));
             }

@@ -25,7 +25,7 @@ use crate::view::ClusterView;
 use bytes::Bytes;
 use simnet::{Actor, Ctx, DiskOp, NodeId, Payload, SimDuration, SimTime};
 use std::any::Any;
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 
 // Timer payloads.
@@ -96,7 +96,9 @@ struct TcTx {
     phase: TcPhase,
     writes: Vec<WriteOp>,
     /// Datanode indices that may hold locks or pending state for this tx.
-    participants: HashSet<u32>,
+    /// Ordered: release/abort messages are emitted by iterating this set,
+    /// and emission order must be identical across same-seed runs.
+    participants: BTreeSet<u32>,
     last_activity: SimTime,
     step_started: SimTime,
     // Read step.
@@ -120,7 +122,7 @@ impl TcTx {
             token_counter: 0,
             phase: TcPhase::Idle,
             writes: Vec::new(),
-            participants: HashSet::new(),
+            participants: BTreeSet::new(),
             last_activity: now,
             step_started: now,
             pending_reads: HashMap::new(),

@@ -47,6 +47,7 @@ mod sim;
 mod time;
 mod topology;
 mod trace;
+mod wheel;
 
 pub use cpu::{Batching, Disk, DiskOp, LaneClassSpec, Lanes, UtilizationWindow};
 pub use metrics::{Counter, Histogram};
@@ -56,3 +57,4 @@ pub use sim::{downcast, Actor, Ctx, FaultScope, LinkFault, NodeId, NodeSpec, Pay
 pub use time::{SimDuration, SimTime};
 pub use topology::{AzId, HostId, LatencyModel, Location};
 pub use trace::{chrome_trace_json, CpuMetric, MetricsRegistry, Span, SpanId, Tracer};
+pub use wheel::{EventHandle, EventQueue};

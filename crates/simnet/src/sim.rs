@@ -51,11 +51,11 @@ use crate::cpu::{Disk, DiskOp, LaneClassSpec, Lanes};
 use crate::time::{SimDuration, SimTime};
 use crate::topology::{AzId, LatencyModel, Location};
 use crate::trace::{chrome_trace_json, MetricsRegistry, Span, SpanId, Tracer};
+use crate::wheel::EventQueue;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::any::Any;
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::HashSet;
 use std::fmt;
 
 /// Identifier of a simulated process (one actor).
@@ -205,30 +205,6 @@ enum EventKind {
     Control(Box<dyn FnOnce(&mut Simulation)>),
 }
 
-struct Event {
-    time: SimTime,
-    seq: u64,
-    kind: EventKind,
-}
-
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl Eq for Event {}
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert for earliest-first, FIFO on ties.
-        other.time.cmp(&self.time).then(other.seq.cmp(&self.seq))
-    }
-}
-
 /// Per-node bookkeeping shared by the simulation and the actors.
 struct NodeState {
     name: String,
@@ -331,8 +307,12 @@ struct Perturbation {
 /// actor can mutate itself and the world simultaneously.
 pub struct World {
     now: SimTime,
-    seq: u64,
-    queue: BinaryHeap<Event>,
+    /// The kernel's priority queue: a hierarchical timer wheel that pops in
+    /// `(time, insertion order)` — the same earliest-first, FIFO-on-ties
+    /// order the original `BinaryHeap` kernel produced (see
+    /// [`crate::wheel`]), so same-seed replay is bit-identical across the
+    /// kernel swap.
+    queue: EventQueue<EventKind>,
     nodes: Vec<NodeState>,
     latency: LatencyModel,
     /// Directed AZ links currently blocked: `(src_az, dst_az)` means messages
@@ -373,9 +353,7 @@ pub struct World {
 
 impl World {
     fn push(&mut self, time: SimTime, kind: EventKind) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.queue.push(Event { time, seq, kind });
+        self.queue.push(time.as_nanos(), kind);
     }
 
     /// Computes the departure-to-arrival delay for a message and advances
@@ -785,8 +763,7 @@ impl Simulation {
         Simulation {
             world: World {
                 now: SimTime::ZERO,
-                seq: 0,
-                queue: BinaryHeap::new(),
+                queue: EventQueue::new(),
                 nodes: Vec::new(),
                 latency,
                 blocked_az_links: HashSet::new(),
@@ -1070,14 +1047,21 @@ impl Simulation {
 
     /// Runs a single event; returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
-        let ev = match self.world.queue.pop() {
+        self.step_at_most(SimTime::MAX)
+    }
+
+    /// Runs the next event if it is due at or before `horizon`; returns
+    /// `false` if there is none (queue empty or next event past `horizon`).
+    fn step_at_most(&mut self, horizon: SimTime) -> bool {
+        let (time, kind) = match self.world.queue.pop_at_most(horizon.as_nanos()) {
             Some(ev) => ev,
             None => return false,
         };
-        debug_assert!(ev.time >= self.world.now, "event queue went backwards");
-        self.world.now = ev.time;
+        let time = SimTime::from_nanos(time);
+        debug_assert!(time >= self.world.now, "event queue went backwards");
+        self.world.now = time;
         self.world.events_processed += 1;
-        match ev.kind {
+        match kind {
             EventKind::Start(node, epoch) => {
                 let n = &self.world.nodes[node.0 as usize];
                 if n.alive && n.epoch == epoch {
@@ -1143,12 +1127,7 @@ impl Simulation {
     /// Runs all events up to and including time `t`, then sets the clock to `t`.
     pub fn run_until(&mut self, t: SimTime) {
         self.started = true;
-        while let Some(ev) = self.world.queue.peek() {
-            if ev.time > t {
-                break;
-            }
-            self.step();
-        }
+        while self.step_at_most(t) {}
         self.world.now = t;
     }
 

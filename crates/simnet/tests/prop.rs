@@ -204,6 +204,108 @@ proptest! {
     }
 }
 
+/// One step of a random event-queue schedule (see
+/// `timer_wheel_matches_reference_heap`).
+#[derive(Debug, Clone)]
+enum QueueOp {
+    /// Push at `clock + offset` (clock = time of the last popped event).
+    Push(u64),
+    /// Pop the minimum and compare against the reference.
+    Pop,
+    /// Cancel the `k % live`-th oldest still-pending push (if any).
+    Cancel(usize),
+}
+
+fn queue_op() -> impl Strategy<Value = QueueOp> {
+    // Offsets cover same-timestamp bursts (0), sub-slot and mid-wheel
+    // deltas, and far-future times past the wheel horizon (≈2^42 ns).
+    fn push() -> impl Strategy<Value = QueueOp> {
+        prop_oneof![
+            Just(0u64),
+            0u64..1_024,
+            0u64..(1 << 20),
+            0u64..(1 << 34),
+            (1u64 << 42)..(1 << 46),
+        ]
+        .prop_map(QueueOp::Push)
+    }
+    // Roughly 4:3:1 push:pop:cancel, approximated by repetition (the
+    // vendored proptest has no weighted prop_oneof).
+    prop_oneof![
+        push(),
+        push(),
+        push(),
+        push(),
+        Just(QueueOp::Pop),
+        Just(QueueOp::Pop),
+        Just(QueueOp::Pop),
+        any::<usize>().prop_map(QueueOp::Cancel),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The timer-wheel kernel queue is observationally identical to a
+    /// reference binary heap over `(time, insertion seq)`: any random
+    /// schedule of pushes (including same-timestamp bursts and far-future
+    /// times), pops, and cancels yields the same pop sequence, the same
+    /// lengths, and the same cancel verdicts.
+    #[test]
+    fn timer_wheel_matches_reference_heap(ops in proptest::collection::vec(queue_op(), 1..400)) {
+        let mut wheel = simnet::EventQueue::new();
+        // Reference: pending (time, seq, id, handle); min of (time, seq)
+        // pops first. O(n) scans are fine at test sizes.
+        let mut pending: Vec<(u64, u64, u32, simnet::EventHandle)> = Vec::new();
+        let mut next_seq = 0u64;
+        let mut clock = 0u64;
+        for (id, op) in ops.into_iter().enumerate() {
+            let id = id as u32;
+            match op {
+                QueueOp::Push(offset) => {
+                    let t = clock.saturating_add(offset);
+                    let h = wheel.push(t, id);
+                    pending.push((t, next_seq, id, h));
+                    next_seq += 1;
+                }
+                QueueOp::Pop => {
+                    let want = pending
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, &(t, s, _, _))| (t, s))
+                        .map(|(i, _)| i);
+                    let want = want.map(|i| {
+                        let (t, _, v, _) = pending.remove(i);
+                        (t, v)
+                    });
+                    let got = wheel.pop();
+                    prop_assert_eq!(got, want);
+                    if let Some((t, _)) = got {
+                        clock = t;
+                    }
+                }
+                QueueOp::Cancel(k) => {
+                    if pending.is_empty() {
+                        // Cancelling nothing: a stale/foreign handle fails.
+                        continue;
+                    }
+                    let (_, _, _, h) = pending.remove(k % pending.len());
+                    prop_assert!(wheel.cancel(h), "live handle must cancel");
+                    prop_assert!(!wheel.cancel(h), "second cancel must fail");
+                }
+            }
+            prop_assert_eq!(wheel.len(), pending.len());
+        }
+        // Drain both: the tails must agree too.
+        pending.sort_by_key(|&(t, s, _, _)| (t, s));
+        for (t, _, v, _) in pending {
+            prop_assert_eq!(wheel.pop(), Some((t, v)));
+        }
+        prop_assert_eq!(wheel.pop(), None);
+        prop_assert!(wheel.is_empty());
+    }
+}
+
 /// Relay + recorder in one actor (receives StampAt, self-schedules Stamp,
 /// records Stamp arrival).
 struct RecordingRelay {

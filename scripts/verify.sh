@@ -15,6 +15,38 @@ cargo test -q --workspace
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+# Tier 2 (opt-in: VERIFY_TIER2=1 or --tier2): run every figure bench as a
+# smoke cell twice — serial (--threads 1) and fanned out (--threads 4) — into
+# separate result dirs, then require the artifacts to match byte-for-byte.
+# This is the end-to-end check that the parallel multi-seed runner cannot
+# change what a bench reports, only how fast it reports it.
+if [ "${VERIFY_TIER2:-0}" = "1" ] || [ "${1:-}" = "--tier2" ]; then
+    echo "== tier-2: figure-bench thread-count determinism =="
+    benches="fig5_throughput fig6_per_mds fig7_micro_ops fig8_latency \
+             fig9_latency_pct fig10_cpu_util fig11_ndb_threads_util \
+             fig12_storage_util fig13_nn_util fig14_az_local_reads \
+             ablation_az_awareness"
+    dir1=$(mktemp -d) && dirN=$(mktemp -d)
+    trap 'rm -rf "$dir1" "$dirN"' EXIT
+    printf '  %-24s %12s %12s\n' "bench (smoke cell)" "threads=1" "threads=4"
+    for b in $benches; do
+        s=$(date +%s)
+        BENCH_SMOKE=1 BENCH_REUSE=0 BENCH_SEEDS=41,42 BENCH_RESULTS_DIR="$dir1" \
+            cargo bench -q -p bench --bench "$b" -- --threads 1 >/dev/null
+        e1=$(( $(date +%s) - s ))
+        s=$(date +%s)
+        BENCH_SMOKE=1 BENCH_REUSE=0 BENCH_SEEDS=41,42 BENCH_RESULTS_DIR="$dirN" \
+            cargo bench -q -p bench --bench "$b" -- --threads 4 >/dev/null
+        eN=$(( $(date +%s) - s ))
+        printf '  %-24s %11ss %11ss\n' "$b" "$e1" "$eN"
+    done
+    if ! diff -rq "$dir1" "$dirN"; then
+        echo "verify: FAILED — bench artifacts differ between --threads 1 and --threads 4" >&2
+        exit 1
+    fi
+    echo "tier-2: all artifacts byte-identical across thread counts"
+fi
+
 echo "== repo hygiene (no tracked build artifacts) =="
 if git ls-files --error-unmatch target/ >/dev/null 2>&1 || [ -n "$(git ls-files 'target/*')" ]; then
     echo "verify: FAILED — build artifacts under target/ are tracked by git:" >&2

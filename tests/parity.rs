@@ -144,3 +144,315 @@ fn generated_namespace_loads_identically_into_both_systems() {
         other => panic!("/user listing failed: {other:?}"),
     }
 }
+
+// --- Differential replay: Spotify-mix trace vs a sequential oracle --------
+
+use hopsfs::client::OpSource;
+use hopsfs::FsError;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+use workload::{Mix, SpotifySource};
+
+/// What the oracle returns for one applied operation.
+#[derive(Debug, Clone, PartialEq)]
+enum OracleOk {
+    Unit,
+    Attrs { is_dir: bool, size: u64 },
+    Listing(Vec<String>),
+}
+
+/// A sequential in-memory model of the shared file-system semantics: a flat
+/// `path -> (is_dir, size)` map with POSIX-ish error behaviour. Every rule
+/// here is one the cross-system `fixed_scenario_gives_identical_results`
+/// test already pins between HopsFS and the CephFS baseline.
+struct Oracle {
+    entries: BTreeMap<String, (bool, u64)>,
+}
+
+impl Oracle {
+    fn new() -> Self {
+        let mut entries = BTreeMap::new();
+        entries.insert("/".to_string(), (true, 0));
+        Oracle { entries }
+    }
+
+    fn parent_of(path: &str) -> String {
+        match path.rfind('/') {
+            Some(0) => "/".to_string(),
+            Some(i) => path[..i].to_string(),
+            None => panic!("oracle paths are absolute: {path}"),
+        }
+    }
+
+    /// Bulk-loads a node, creating ancestor directories (mirrors the
+    /// clusters' bulk loaders).
+    fn load(&mut self, path: &str, is_dir: bool, size: u64) {
+        let mut ancestors = Vec::new();
+        let mut cur = Self::parent_of(path);
+        while cur != "/" {
+            ancestors.push(cur.clone());
+            cur = Self::parent_of(&cur);
+        }
+        for a in ancestors.into_iter().rev() {
+            self.entries.entry(a).or_insert((true, 0));
+        }
+        self.entries.insert(path.to_string(), (is_dir, size));
+    }
+
+    fn child_names(&self, dir: &str) -> Vec<String> {
+        let prefix = if dir == "/" { "/".to_string() } else { format!("{dir}/") };
+        self.entries
+            .iter()
+            .filter(|(k, _)| k.starts_with(&prefix) && !k[prefix.len()..].contains('/') && !k[prefix.len()..].is_empty())
+            .map(|(k, _)| k[prefix.len()..].to_string())
+            .collect()
+    }
+
+    fn has_children(&self, dir: &str) -> bool {
+        let prefix = format!("{dir}/");
+        self.entries.range(prefix.clone()..).next().is_some_and(|(k, _)| k.starts_with(&prefix))
+    }
+
+    fn remove_subtree(&mut self, path: &str) {
+        let prefix = format!("{path}/");
+        self.entries.retain(|k, _| k != path && !k.starts_with(&prefix));
+    }
+
+    fn create_node(&mut self, path: &str, is_dir: bool, size: u64) -> Result<OracleOk, FsError> {
+        if self.entries.contains_key(path) {
+            return Err(FsError::AlreadyExists);
+        }
+        match self.entries.get(&Self::parent_of(path)) {
+            None => Err(FsError::NotFound),
+            Some(&(false, _)) => Err(FsError::NotDir),
+            Some(&(true, _)) => {
+                self.entries.insert(path.to_string(), (is_dir, size));
+                Ok(OracleOk::Unit)
+            }
+        }
+    }
+
+    fn apply(&mut self, op: &FsOp) -> Result<OracleOk, FsError> {
+        match op {
+            FsOp::Mkdir { path } => self.create_node(&path.to_string(), true, 0),
+            FsOp::Create { path, size } => self.create_node(&path.to_string(), false, *size),
+            FsOp::Open { path } => match self.entries.get(&path.to_string()) {
+                None => Err(FsError::NotFound),
+                Some(&(true, _)) => Err(FsError::IsDir),
+                Some(&(false, size)) => Ok(OracleOk::Attrs { is_dir: false, size }),
+            },
+            FsOp::Stat { path } => match self.entries.get(&path.to_string()) {
+                None => Err(FsError::NotFound),
+                Some(&(is_dir, size)) => Ok(OracleOk::Attrs { is_dir, size }),
+            },
+            FsOp::List { path } => {
+                let p = path.to_string();
+                match self.entries.get(&p) {
+                    None => Err(FsError::NotFound),
+                    Some(&(false, _)) => {
+                        let name = p[Self::parent_of(&p).len()..].trim_start_matches('/').to_string();
+                        Ok(OracleOk::Listing(vec![name]))
+                    }
+                    Some(&(true, _)) => Ok(OracleOk::Listing(self.child_names(&p))),
+                }
+            }
+            FsOp::Delete { path, recursive } => {
+                let p = path.to_string();
+                match self.entries.get(&p) {
+                    None => Err(FsError::NotFound),
+                    Some(&(true, _)) if !recursive && self.has_children(&p) => Err(FsError::NotEmpty),
+                    Some(_) => {
+                        self.remove_subtree(&p);
+                        Ok(OracleOk::Unit)
+                    }
+                }
+            }
+            FsOp::Rename { src, dst } => {
+                let (s, d) = (src.to_string(), dst.to_string());
+                if !self.entries.contains_key(&s) {
+                    return Err(FsError::NotFound);
+                }
+                if self.entries.contains_key(&d) {
+                    return Err(FsError::AlreadyExists);
+                }
+                match self.entries.get(&Self::parent_of(&d)) {
+                    None => Err(FsError::NotFound),
+                    Some(&(false, _)) => Err(FsError::NotDir),
+                    Some(&(true, _)) => {
+                        let prefix = format!("{s}/");
+                        let moved: Vec<(String, (bool, u64))> = self
+                            .entries
+                            .iter()
+                            .filter(|(k, _)| *k == &s || k.starts_with(&prefix))
+                            .map(|(k, v)| (format!("{d}{}", &k[s.len()..]), *v))
+                            .collect();
+                        self.remove_subtree(&s);
+                        for (k, v) in moved {
+                            self.entries.insert(k, v);
+                        }
+                        Ok(OracleOk::Unit)
+                    }
+                }
+            }
+            FsOp::SetPerm { path, .. } => match self.entries.get(&path.to_string()) {
+                None => Err(FsError::NotFound),
+                Some(_) => Ok(OracleOk::Unit),
+            },
+            FsOp::Append { .. } => panic!("trace never appends"),
+        }
+    }
+}
+
+/// Generates a deterministic Spotify-mix trace of `n` ops for session 0.
+fn spotify_trace(ns: &Rc<Namespace>, n: u64, seed: u64) -> Vec<FsOp> {
+    let mut src = SpotifySource::new(Rc::clone(ns), Mix::SPOTIFY, 0);
+    src.max_ops = Some(n);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ops = Vec::new();
+    while let Some(op) = src.next_op(&mut rng, SimTime::ZERO) {
+        // Trace mutations are confined to the session's private directory
+        // and always succeed; feed that outcome back so the source's
+        // created-file bookkeeping matches the replay.
+        src.on_result(&op, &Ok(FsOk::Done));
+        ops.push(op);
+    }
+    ops
+}
+
+fn run_hopsfs_loaded(ns: &Rc<Namespace>, ops: Vec<FsOp>) -> Vec<hopsfs::FsResult> {
+    let n = ops.len();
+    let mut sim = Simulation::new(11);
+    sim.set_jitter(0.0);
+    let mut cluster = hopsfs::build_fs_cluster(&mut sim, hopsfs::FsConfig::hopsfs_cl(6, 3, 2), 0);
+    ns.load_hopsfs(&mut sim, &mut cluster, 0);
+    cluster.bulk_mkdir_p(&mut sim, &SpotifySource::private_dir_for(0));
+    let stats = ClientStats::shared();
+    let c = cluster.add_client(&mut sim, AzId(0), Box::new(ScriptedSource::new(ops)), stats);
+    sim.actor_mut::<hopsfs::FsClientActor>(c).keep_results = true;
+    let mut t = SimTime::ZERO;
+    while sim.actor::<hopsfs::FsClientActor>(c).results.len() < n && t < SimTime::from_secs(120) {
+        t += SimDuration::from_millis(100);
+        sim.run_until(t);
+    }
+    sim.actor::<hopsfs::FsClientActor>(c).results.clone()
+}
+
+fn run_ceph_loaded(ns: &Rc<Namespace>, ops: Vec<FsOp>) -> Vec<hopsfs::FsResult> {
+    let n = ops.len();
+    let mut sim = Simulation::new(11);
+    sim.set_jitter(0.0);
+    let mut cluster = cephsim::build_ceph_cluster(
+        &mut sim,
+        cephsim::CephConfig::paper(3, cephsim::BalanceMode::Dynamic, false),
+    );
+    ns.load_ceph(&mut cluster, 0);
+    cluster.bulk_mkdir_p(&SpotifySource::private_dir_for(0));
+    cluster.apply_pinning();
+    let stats = ClientStats::shared();
+    let c = cluster.add_client(&mut sim, AzId(0), Box::new(ScriptedSource::new(ops)), stats);
+    sim.actor_mut::<cephsim::CephClientActor>(c).keep_results = true;
+    let mut t = SimTime::ZERO;
+    while sim.actor::<cephsim::CephClientActor>(c).results.len() < n && t < SimTime::from_secs(120) {
+        t += SimDuration::from_millis(100);
+        sim.run_until(t);
+    }
+    sim.actor::<cephsim::CephClientActor>(c).results.clone()
+}
+
+fn listing_names(entries: &[hopsfs::DirEntry]) -> Vec<String> {
+    let mut v: Vec<String> = entries.iter().map(|e| e.name.clone()).collect();
+    v.sort();
+    v
+}
+
+/// One system result against the oracle's: success kinds must line up
+/// (attrs field-by-field, listings name-by-name) and errors must be the
+/// same `FsError`.
+fn matches_oracle(sys: &hopsfs::FsResult, oracle: &Result<OracleOk, FsError>) -> bool {
+    match (sys, oracle) {
+        (Ok(FsOk::Listing(a)), Ok(OracleOk::Listing(b))) => {
+            let mut b = b.clone();
+            b.sort();
+            listing_names(a) == b
+        }
+        (Ok(FsOk::Attrs(a)), Ok(OracleOk::Attrs { is_dir, size })) => {
+            a.is_dir == *is_dir && a.size == *size
+        }
+        (Ok(FsOk::Locations { attrs, .. }), Ok(OracleOk::Attrs { is_dir, size })) => {
+            attrs.is_dir == *is_dir && attrs.size == *size
+        }
+        (Ok(_), Ok(_)) => true,
+        (Err(a), Err(b)) => a == b,
+        _ => false,
+    }
+}
+
+#[test]
+fn spotify_trace_replays_identically_on_all_systems() {
+    let spec = NamespaceSpec { users: 6, dirs_per_user: 2, files_per_dir: 3, ..Default::default() };
+    let ns = Rc::new(Namespace::generate(&spec));
+    let mut ops = spotify_trace(&ns, 140, 0x50_71f7);
+
+    // Adversarial tail: error verdicts must agree too. All of these target
+    // paths whose state the trace cannot have changed.
+    let private = SpotifySource::private_dir_for(0);
+    ops.extend([
+        FsOp::Stat { path: p("/user/does-not-exist") },
+        FsOp::Mkdir { path: p(&private) },
+        FsOp::Create { path: p(&ns.files[0].clone()), size: 0 },
+        FsOp::Delete { path: p("/user/missing-too"), recursive: false },
+        FsOp::Delete { path: p("/user/u0"), recursive: false },
+        FsOp::Rename { src: p("/user/not-here"), dst: p("/user/elsewhere") },
+        FsOp::Rename { src: p(&ns.dirs[0].clone()), dst: p(&private) },
+        FsOp::List { path: p("/load/s999") },
+        // Quiesce probes: the full mutated namespace state.
+        FsOp::List { path: p(&private) },
+        FsOp::List { path: p("/user") },
+        FsOp::List { path: p(&ns.dirs[0].clone()) },
+    ]);
+
+    // Oracle: bulk-load the same namespace, then apply the trace.
+    let mut oracle = Oracle::new();
+    for d in &ns.dirs {
+        oracle.load(d, true, 0);
+    }
+    for f in &ns.files {
+        oracle.load(f, false, 0);
+    }
+    oracle.load(&private, true, 0);
+    let expected: Vec<Result<OracleOk, FsError>> = ops.iter().map(|op| oracle.apply(op)).collect();
+
+    let hops = run_hopsfs_loaded(&ns, ops.clone());
+    let ceph = run_ceph_loaded(&ns, ops.clone());
+    assert_eq!(hops.len(), ops.len(), "hopsfs session must finish the trace");
+    assert_eq!(ceph.len(), ops.len(), "ceph session must finish the trace");
+
+    for (i, op) in ops.iter().enumerate() {
+        assert!(
+            matches_oracle(&hops[i], &expected[i]),
+            "op {i} {op:?}: hopsfs={:?} oracle={:?}",
+            hops[i],
+            expected[i]
+        );
+        assert!(
+            matches_oracle(&ceph[i], &expected[i]),
+            "op {i} {op:?}: cephfs={:?} oracle={:?}",
+            ceph[i],
+            expected[i]
+        );
+        // Cross-system: identical verdicts (and listings) between the two
+        // simulated stacks, independent of the oracle.
+        let cross = match (&hops[i], &ceph[i]) {
+            (Ok(FsOk::Listing(a)), Ok(FsOk::Listing(b))) => listing_names(a) == listing_names(b),
+            (Ok(_), Ok(_)) => true,
+            (Err(a), Err(b)) => a == b,
+            _ => false,
+        };
+        assert!(cross, "op {i} {op:?}: hopsfs={:?} cephfs={:?}", hops[i], ceph[i]);
+    }
+    // The quiesce probes at the tail are listings over every region the
+    // trace touched; reaching here means namespace state is equivalent in
+    // all three models.
+    assert!(matches!(hops[ops.len() - 3], Ok(FsOk::Listing(_))), "private dir listing");
+}

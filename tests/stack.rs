@@ -4,7 +4,8 @@
 
 use hopsfs::client::ClientStats;
 use hopsfs::{build_fs_cluster, FsConfig, NameNodeActor};
-use simnet::{AzId, SimDuration, SimTime, Simulation};
+use simnet::{AzId, Fault, Schedule, SimDuration, SimTime, Simulation};
+use std::fmt::Write as _;
 use std::rc::Rc;
 use workload::{Mix, Namespace, NamespaceSpec, SpotifySource};
 
@@ -117,6 +118,93 @@ fn hopsfs_cl_survives_leader_nn_and_az_loss_mid_load() {
         .collect();
     assert!(votes.iter().all(|&v| v == votes[0] && v as usize != 0), "no new leader: {votes:?}");
 }
+
+/// FNV-1a over a textual state rendering: a stable 64-bit digest that any
+/// kernel change must reproduce bit-for-bit.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Folds everything observable about a finished run — event count, client
+/// verdict counts, traffic ledger, fault trace, and the per-layer metric
+/// counters — into one digest. Only integer state goes in, so the value is
+/// platform-stable.
+fn run_digest(d: &Deployment, trace_lines: &[String]) -> u64 {
+    let mut s = String::new();
+    let _ = write!(s, "events={};", d.sim.events_processed());
+    let st = d.stats.borrow();
+    let _ = write!(s, "ok={:?};err={:?};", st.ok_per_kind, st.err_per_kind);
+    let _ = write!(s, "lat_n={};", st.latency_all.count());
+    let _ = write!(
+        s,
+        "xaz={};dropped={};duped={};",
+        d.sim.cross_az_bytes(),
+        d.sim.msgs_dropped(),
+        d.sim.msgs_duplicated()
+    );
+    for line in trace_lines {
+        let _ = write!(s, "fault={line};");
+    }
+    let mut counters: Vec<(&'static str, &'static str, u64)> = d.sim.metrics().iter_counters().collect();
+    counters.sort_unstable();
+    for (layer, name, v) in counters {
+        let _ = write!(s, "ctr={layer}/{name}={v};");
+    }
+    let _ = &d.cluster;
+    fnv1a(&s)
+}
+
+/// Golden digest of a small fig5-style Spotify-mix cell. Recorded from the
+/// pre-timer-wheel `BinaryHeap` kernel; the wheel swap (and any later kernel
+/// work) must keep same-seed replay bit-identical to this.
+#[test]
+fn spotify_cell_digest_matches_pre_swap_golden() {
+    let mut d = deploy(FsConfig::hopsfs_cl(6, 3, 3).scaled_down(8), 12, 33);
+    d.sim.run_until(SimTime::from_secs(3));
+    let digest = run_digest(&d, &[]);
+    assert_eq!(
+        digest, GOLDEN_SPOTIFY_DIGEST,
+        "kernel swap changed the deterministic replay of the Spotify cell \
+         (got {digest:#018x}; golden recorded from the BinaryHeap kernel)"
+    );
+}
+
+/// Golden digest of the same cell under a nemesis schedule (crash/restart,
+/// asymmetric partition, gray slowdown): fault injection paths must replay
+/// identically across the kernel swap too.
+#[test]
+fn chaos_cell_digest_matches_pre_swap_golden() {
+    let mut d = deploy(FsConfig::hopsfs_cl(6, 3, 4).scaled_down(8), 10, 47);
+    let nn1 = d.cluster.view.nn_ids[1];
+    let gray = d.cluster.view.ndb.datanode_ids[2];
+    let schedule = Schedule::new()
+        .at(SimTime::from_millis(800), Fault::GraySlow(gray, 50.0))
+        .at(SimTime::from_secs(1), Fault::Crash(nn1))
+        .at(SimTime::from_millis(1500), Fault::PartitionAzOneway(AzId(1), AzId(0)))
+        .at(SimTime::from_secs(2), Fault::Restart(nn1))
+        .at(SimTime::from_millis(2500), Fault::HealAzOneway(AzId(1), AzId(0)))
+        .at(SimTime::from_millis(2600), Fault::GrayHeal(gray));
+    let trace = schedule.install(&mut d.sim);
+    d.sim.run_until(SimTime::from_secs(4));
+    let digest = run_digest(&d, &trace.lines());
+    assert_eq!(
+        digest, GOLDEN_CHAOS_DIGEST,
+        "kernel swap changed the deterministic replay of the chaos cell \
+         (got {digest:#018x}; golden recorded from the BinaryHeap kernel)"
+    );
+}
+
+/// Digests recorded from the pre-swap kernel (BinaryHeap event queue), on
+/// the exact deploys above. If a *deliberate* schedule change ever requires
+/// re-recording, the failing assertion prints the current value — document
+/// the re-record in DESIGN.md.
+const GOLDEN_SPOTIFY_DIGEST: u64 = 0x2f83_bc01_a7ab_b63f;
+const GOLDEN_CHAOS_DIGEST: u64 = 0x13f5_ff3e_542c_178a;
 
 #[test]
 fn deterministic_across_runs() {

@@ -5,9 +5,11 @@
 //! the token stream (attributes and visibility are skipped; generics and
 //! enums are intentionally unsupported and panic with a clear message).
 //!
-//! One field attribute is honoured: `#[serde(default)]` makes a missing
-//! field deserialize to `Default::default()` instead of erroring, matching
-//! upstream serde's behaviour for the same attribute.
+//! Two field attributes are honoured, matching upstream serde's behaviour:
+//! `#[serde(default)]` makes a missing field deserialize to
+//! `Default::default()` instead of erroring, and `#[serde(skip)]` excludes
+//! the field from the serialized form entirely (it deserializes to
+//! `Default::default()`).
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -18,6 +20,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let pushes: String = s
         .fields
         .iter()
+        .filter(|f| !f.skip)
         .map(|f| {
             format!(
                 "(\"{name}\".to_string(), ::serde::Serialize::to_value(&self.{name})),",
@@ -45,6 +48,9 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
         .fields
         .iter()
         .map(|f| {
+            if f.skip {
+                return format!("{name}: ::std::default::Default::default(),", name = f.name);
+            }
             let helper = if f.default { "from_field_or_default" } else { "from_field" };
             format!("{name}: ::serde::{helper}(v, \"{name}\")?,", name = f.name)
         })
@@ -65,6 +71,8 @@ struct FieldDef {
     name: String,
     /// The field carried `#[serde(default)]`.
     default: bool,
+    /// The field carried `#[serde(skip)]`.
+    skip: bool,
 }
 
 struct StructDef {
@@ -121,26 +129,36 @@ fn parse_struct(input: TokenStream) -> StructDef {
     StructDef { name, fields: parse_fields(body.stream()) }
 }
 
-/// True when the bracketed attribute body is `serde(... default ...)`.
-fn attr_is_serde_default(attr: TokenStream) -> bool {
+/// Returns `(default, skip)` flags when the bracketed attribute body is a
+/// `serde(...)` list naming them.
+fn serde_attr_flags(attr: TokenStream) -> (bool, bool) {
     let mut iter = attr.into_iter();
     match iter.next() {
         Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
-        _ => return false,
+        _ => return (false, false),
     }
     match iter.next() {
-        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g
-            .stream()
-            .into_iter()
-            .any(|tt| matches!(tt, TokenTree::Ident(id) if id.to_string() == "default")),
-        _ => false,
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let (mut default, mut skip) = (false, false);
+            for tt in g.stream() {
+                if let TokenTree::Ident(id) = tt {
+                    match id.to_string().as_str() {
+                        "default" => default = true,
+                        "skip" => skip = true,
+                        _ => {}
+                    }
+                }
+            }
+            (default, skip)
+        }
+        _ => (false, false),
     }
 }
 
 /// Extracts the fields: for each top-level-comma-separated chunk, the ident
-/// immediately before the first top-level `:` is the name, and a preceding
-/// `#[serde(default)]` attribute flags it. Tracks `<...>` depth because
-/// angle brackets are not token groups.
+/// immediately before the first top-level `:` is the name, and preceding
+/// `#[serde(default)]` / `#[serde(skip)]` attributes flag it. Tracks `<...>`
+/// depth because angle brackets are not token groups.
 fn parse_fields(body: TokenStream) -> Vec<FieldDef> {
     let mut fields = Vec::new();
     let mut angle_depth = 0i32;
@@ -148,6 +166,7 @@ fn parse_fields(body: TokenStream) -> Vec<FieldDef> {
     let mut name_taken = false;
     let mut saw_hash = false;
     let mut has_default = false;
+    let mut has_skip = false;
     for tt in body {
         let was_hash = saw_hash;
         saw_hash = false;
@@ -157,7 +176,7 @@ fn parse_fields(body: TokenStream) -> Vec<FieldDef> {
                 '>' => angle_depth -= 1,
                 ':' if angle_depth == 0 && !name_taken => {
                     if let Some(name) = last_ident.take() {
-                        fields.push(FieldDef { name, default: has_default });
+                        fields.push(FieldDef { name, default: has_default, skip: has_skip });
                         name_taken = true;
                     }
                 }
@@ -165,17 +184,17 @@ fn parse_fields(body: TokenStream) -> Vec<FieldDef> {
                     name_taken = false;
                     last_ident = None;
                     has_default = false;
+                    has_skip = false;
                 }
                 '#' => saw_hash = true, // field attribute marker
                 _ => {}
             },
             TokenTree::Group(g)
-                if was_hash
-                    && !name_taken
-                    && g.delimiter() == Delimiter::Bracket
-                    && attr_is_serde_default(g.stream()) =>
+                if was_hash && !name_taken && g.delimiter() == Delimiter::Bracket =>
             {
-                has_default = true;
+                let (default, skip) = serde_attr_flags(g.stream());
+                has_default |= default;
+                has_skip |= skip;
             }
             TokenTree::Ident(id) if !name_taken => {
                 let s = id.to_string();
