@@ -1,0 +1,206 @@
+//! **Figure 7 companion**: subtree micro-operations. Sessions repeatedly
+//! grow a small tree, rename it, and remove it with a recursive delete —
+//! on HopsFS the rename and delete run the subtree operations protocol
+//! (lock transaction, batched transactions bounded by
+//! `subtree_batch_size`, closing transaction).
+//!
+//! A second, single-cell deep dive measures the protocol on a 10k-inode
+//! subtree delete: largest transaction issued, subtree-lock hold time, and
+//! completion time — batched (the shipped protocol) against the unbatched
+//! strawman (one transaction carrying the whole subtree), the "before"
+//! configuration the batch bound replaces.
+
+#![allow(clippy::field_reassign_with_default)]
+
+use bench::harness::{run_grid, Load};
+use bench::report::{load_json, print_table, save_json, si};
+use bench::setup::Setup;
+use bench::sweep::{base_params, quick, smoke};
+use bench::RunResult;
+use hopsfs::client::ClientStats;
+use hopsfs::{FsClientActor, FsOp, FsPath, NameNodeActor, ScriptedSource};
+use serde::Serialize;
+use simnet::{AzId, SimDuration, SimTime, Simulation};
+use std::collections::BTreeMap;
+use workload::MicroOp;
+
+/// Deterministic metrics of one 10k-inode subtree-delete deep-dive run.
+#[derive(Debug, Clone, Serialize)]
+struct DeepDive {
+    /// `subtree_batch_size` the run used (`0` = unbatched strawman).
+    batch: u64,
+    /// Inodes under the deleted root.
+    inodes: u64,
+    /// Largest transaction any namenode issued, in row writes.
+    max_tx_writes: u64,
+    /// Longest the subtree lock was held, ms (virtual time).
+    lock_hold_ms: f64,
+    /// Client-visible completion time of the delete, ms (virtual time).
+    op_ms: f64,
+    /// Batched transactions the protocol issued.
+    sto_batches: u64,
+}
+
+fn deep_dive(label: &str, batch: usize, dirs: u64, files_per_dir: u64) -> DeepDive {
+    let mut sim = Simulation::new(13);
+    sim.set_jitter(0.0);
+    let mut cfg = hopsfs::FsConfig::hopsfs_cl(12, 3, 3);
+    cfg.subtree_batch_size = batch;
+    let mut cluster = hopsfs::build_fs_cluster(&mut sim, cfg, 6);
+    let view = cluster.view.clone();
+    for d in 0..dirs {
+        for f in 0..files_per_dir {
+            cluster.bulk_add_file(&mut sim, &format!("/big/t/d{d}/f{f}"), 0);
+        }
+    }
+    let inodes = dirs * files_per_dir + dirs + 1;
+    sim.run_until(SimTime::from_secs(3)); // elections settle
+
+    let stats = ClientStats::shared();
+    let op = FsOp::Delete { path: FsPath::parse("/big/t").expect("valid"), recursive: true };
+    let client = cluster.add_client(
+        &mut sim,
+        AzId(0),
+        Box::new(ScriptedSource::new(vec![op])),
+        stats.clone(),
+    );
+    sim.actor_mut::<FsClientActor>(client).keep_results = true;
+    let deadline = sim.now() + SimDuration::from_secs(120);
+    while sim.now() < deadline && sim.actor::<FsClientActor>(client).results.is_empty() {
+        sim.run_for(SimDuration::from_millis(10));
+    }
+    let results = sim.actor::<FsClientActor>(client).results.clone();
+    assert_eq!(results.len(), 1, "[{label}] delete did not finish in virtual time");
+    assert!(results[0].is_ok(), "[{label}] subtree delete failed: {results:?}");
+
+    let nn_max = |f: fn(&NameNodeActor) -> u64| -> u64 {
+        view.nn_ids.iter().map(|&id| f(sim.actor::<NameNodeActor>(id))).max().unwrap_or(0)
+    };
+    let op_ms = stats.borrow().latency_all.mean() / 1e6;
+    DeepDive {
+        batch: batch as u64,
+        inodes,
+        max_tx_writes: nn_max(|nn| nn.stats.max_tx_writes),
+        lock_hold_ms: nn_max(|nn| nn.stats.sto_lock_hold_max_ns) as f64 / 1e6,
+        op_ms,
+        sto_batches: view
+            .nn_ids
+            .iter()
+            .map(|&id| sim.actor::<NameNodeActor>(id).stats.sto_batches)
+            .sum(),
+    }
+}
+
+/// Full artifact payload: the setup grid plus the batched/unbatched deep
+/// dive. Everything here is deterministic (virtual time only), so the
+/// artifact is byte-identical across repeat runs and `--threads` counts.
+#[derive(Debug, Clone, Serialize)]
+struct SubtreeArtifact {
+    grid: Vec<RunResult>,
+    deep_dive: Vec<DeepDive>,
+}
+
+fn main() {
+    let servers = if smoke() {
+        4
+    } else if quick() {
+        12
+    } else {
+        24
+    };
+    let key = format!("fig7_subtree_n{servers}{}", if smoke() { "_smoke" } else { "" });
+    let grid: Vec<RunResult> = load_json(&key).unwrap_or_else(|| {
+        let mut jobs = Vec::new();
+        for &setup in &Setup::ALL_NINE {
+            let mut p = base_params();
+            p.servers = servers;
+            p.load = Load::Micro(MicroOp::Subtree);
+            jobs.push((setup, p));
+        }
+        eprintln!("[running subtree grid: {} points…]", jobs.len());
+        let r = run_grid(jobs);
+        save_json(&key, &r);
+        r
+    });
+
+    // Deep dive: the same 10k-inode recursive delete, batched vs unbatched.
+    // Smoke mode shrinks the tree; the protocol path is identical.
+    let (dirs, files) = if smoke() { (25, 39) } else { (100, 99) };
+    let deep = vec![
+        deep_dive("batched", 256, dirs, files),
+        // The unbatched strawman: a bound wider than the subtree collapses
+        // the whole delete into one transaction (the pre-protocol shape).
+        deep_dive("unbatched", usize::MAX, dirs, files),
+    ];
+    bench::emit_artifact("fig7_subtree_ops", &SubtreeArtifact { grid: grid.clone(), deep_dive: deep.clone() });
+
+    let tput = |label: &str, op: &str| -> f64 {
+        grid.iter()
+            .filter(|r| r.label == label)
+            .flat_map(|r| r.per_kind_tput.get(op))
+            .copied()
+            .fold(0.0, f64::max)
+    };
+    let mut rows = Vec::new();
+    for setup in Setup::ALL_NINE {
+        let label = setup.label();
+        let mut row = vec![label.clone()];
+        for op in ["mkdir", "createFile", "rename", "deleteFile"] {
+            row.push(si(tput(&label, op)));
+        }
+        rows.push(row);
+    }
+    print_table(
+        &format!(
+            "Figure 7 companion — subtree micro-op throughput (ops/s), {servers} metadata servers"
+        ),
+        &["setup", "mkdir", "createFile", "rename(sto)", "recDelete(sto)"],
+        &rows,
+    );
+
+    let deep_rows: Vec<Vec<String>> = deep
+        .iter()
+        .map(|d| {
+            vec![
+                if d.batch == u64::MAX { "unbatched".into() } else { format!("batch={}", d.batch) },
+                d.inodes.to_string(),
+                d.max_tx_writes.to_string(),
+                format!("{:.2}", d.lock_hold_ms),
+                format!("{:.2}", d.op_ms),
+                d.sto_batches.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Subtree delete deep dive — HopsFS-CL (3,3), one recursive delete",
+        &["config", "inodes", "max tx writes", "lock hold ms", "op ms", "batch txs"],
+        &deep_rows,
+    );
+
+    // The property the protocol exists for: bounded transactions. The
+    // unbatched strawman demonstrates what the bound prevents.
+    let batched = &deep[0];
+    let unbatched = &deep[1];
+    assert!(
+        batched.max_tx_writes <= batched.batch,
+        "batched run issued a {}-write tx above the {} bound",
+        batched.max_tx_writes,
+        batched.batch
+    );
+    assert!(
+        unbatched.max_tx_writes > batched.batch,
+        "unbatched strawman should exceed the batch bound (got {})",
+        unbatched.max_tx_writes
+    );
+    let mut summary = BTreeMap::new();
+    summary.insert("tx_size_reduction".to_string(), unbatched.max_tx_writes as f64 / batched.max_tx_writes.max(1) as f64);
+    println!(
+        "\nbatched vs unbatched: max tx {} -> {} writes ({:.0}x smaller), lock hold {:.2} -> {:.2} ms",
+        unbatched.max_tx_writes,
+        batched.max_tx_writes,
+        summary["tx_size_reduction"],
+        unbatched.lock_hold_ms,
+        batched.lock_hold_ms,
+    );
+    println!("\nsubtree bench done");
+}

@@ -19,11 +19,13 @@
 //! seeded fault schedule and assert the report is clean after heal.
 
 use crate::client::{FsClientActor, OpSource};
+use crate::meta::StoRecord;
 use crate::namenode::NameNodeActor;
 use crate::ops::FsOp;
 use crate::types::FsResult;
 use crate::view::FsView;
 use ndb::mgmt::MgmtActor;
+use ndb::{DatanodeActor, PartitionKey};
 use rand::rngs::StdRng;
 use simnet::{NodeId, SimTime, Simulation};
 use std::cell::RefCell;
@@ -113,13 +115,43 @@ pub struct InvariantReport {
     /// Clients with an op still in flight (non-empty = liveness violation
     /// if the workload has drained).
     pub busy_clients: Vec<NodeId>,
+    /// Leftover subtree-operation lock rows (see [`orphaned_sto_locks`]).
+    /// Non-empty at quiesce = part of the namespace is locked forever.
+    pub sto_orphans: Vec<StoRecord>,
 }
 
 impl InvariantReport {
-    /// Whether the singleton invariants hold and no client is stuck.
+    /// Whether the singleton invariants hold, no client is stuck, and no
+    /// subtree lock is orphaned.
     pub fn clean(&self) -> bool {
-        self.leaders.len() <= 1 && self.arbitrators.len() == 1 && self.busy_clients.is_empty()
+        self.leaders.len() <= 1
+            && self.arbitrators.len() == 1
+            && self.busy_clients.is_empty()
+            && self.sto_orphans.is_empty()
     }
+}
+
+/// Scans the fully replicated `sto_locks` table for leftover subtree-op lock
+/// rows, reading the first alive NDB datanode directly (replicas of a fully
+/// replicated table are identical, so one alive node sees them all).
+///
+/// Call at quiesce, after faults heal, elections settle, and the namenodes'
+/// orphan sweep has had at least one round: with no subtree op in flight,
+/// *any* surviving row is an orphan — a namenode crashed mid-protocol and
+/// the cleanup path failed to reclaim the lock, leaving every operation
+/// through that subtree root permanently rejected.
+pub fn orphaned_sto_locks(sim: &Simulation, view: &FsView) -> Vec<StoRecord> {
+    let dn = view
+        .ndb
+        .datanode_ids
+        .iter()
+        .find(|&&id| sim.is_alive(id))
+        .expect("at least one NDB datanode alive");
+    sim.actor::<DatanodeActor>(*dn)
+        .peek_partition(view.fs.sto_locks, PartitionKey(0))
+        .iter()
+        .map(|(_, data)| StoRecord::decode(data))
+        .collect()
 }
 
 /// Scans the cluster: which alive namenodes believe they lead, which alive
@@ -155,5 +187,6 @@ pub fn check_invariants(sim: &Simulation, view: &FsView, clients: &[NodeId]) -> 
         .filter(|&&id| !sim.actor::<FsClientActor>(id).idle())
         .copied()
         .collect();
-    InvariantReport { leaders, arbitrators, busy_clients }
+    let sto_orphans = orphaned_sto_locks(sim, view);
+    InvariantReport { leaders, arbitrators, busy_clients, sto_orphans }
 }

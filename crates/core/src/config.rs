@@ -116,6 +116,10 @@ pub struct FsConfig {
     /// How long since the last heartbeat a block datanode is still counted
     /// alive when choosing replica placements and re-replication targets.
     pub dn_heartbeat_window: SimDuration,
+    /// Max write ops per transaction during the batched phase of a subtree
+    /// operation (the STO protocol, FAST'17 §3.6). A 10k-inode delete runs
+    /// as ⌈rows / batch⌉ bounded transactions instead of one huge one.
+    pub subtree_batch_size: usize,
 }
 
 impl FsConfig {
@@ -157,6 +161,7 @@ impl FsConfig {
             op_retry: RetryPolicy::new(SimDuration::from_millis(4), SimDuration::from_millis(32))
                 .with_jitter(0.0),
             dn_heartbeat_window: SimDuration::from_millis(1500),
+            subtree_batch_size: 256,
         }
     }
 

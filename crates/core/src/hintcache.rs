@@ -55,6 +55,14 @@ impl HintCache {
         Some(hint)
     }
 
+    /// Looks up a hint without promoting it (no second chance, no state
+    /// change). For introspection — staleness tests and invariant checks
+    /// that must not perturb the generational state they are observing.
+    pub fn peek(&self, parent: u64, name: &str) -> Option<(u64, bool)> {
+        let key = (parent, name.to_string());
+        self.young.get(&key).or_else(|| self.old.get(&key)).copied()
+    }
+
     /// Inserts or refreshes a hint (always lands in the young generation).
     pub fn put(&mut self, parent: u64, name: &str, id: u64, is_dir: bool) {
         let key = (parent, name.to_string());
@@ -74,6 +82,41 @@ impl HintCache {
     pub fn clear(&mut self) {
         self.young.clear();
         self.old.clear();
+    }
+
+    /// Drops every hint keyed under `root` or any cached descendant of it
+    /// (subtree invalidation after a recursive delete or a directory
+    /// rename). Dropping only the root's own `(parent, name)` pair would
+    /// leave hints for deeper entries stale.
+    ///
+    /// The descendant closure is computed from the cached entries by
+    /// fixpoint: each pass removes entries whose parent is already known
+    /// doomed and adds their directory child ids to the doomed set. Removal
+    /// is order-independent, so iterating the `HashMap`s here cannot leak
+    /// iteration order into simulation state.
+    pub fn remove_subtree(&mut self, root: u64) {
+        let mut doomed = std::collections::BTreeSet::new();
+        doomed.insert(root);
+        loop {
+            let mut grew = false;
+            for gen in [&mut self.young, &mut self.old] {
+                gen.retain(|(parent, _), &mut (id, is_dir)| {
+                    // An entry dies if it sits under a doomed directory or
+                    // points at one (the subtree root's own entry).
+                    if doomed.contains(parent) || doomed.contains(&id) {
+                        if is_dir {
+                            grew |= doomed.insert(id);
+                        }
+                        false
+                    } else {
+                        true
+                    }
+                });
+            }
+            if !grew {
+                return;
+            }
+        }
     }
 
     /// Live entries across both generations.
@@ -138,6 +181,32 @@ mod tests {
             c.put(i, "x", i, true);
             assert!(c.len() <= 64, "cache grew past cap: {}", c.len());
         }
+    }
+
+    /// Subtree invalidation must drop cached descendants transitively — in
+    /// both generations — while leaving unrelated entries alone.
+    #[test]
+    fn remove_subtree_drops_descendants_transitively() {
+        let mut c = HintCache::new(64);
+        // /a (id 10) -> /a/b (11) -> /a/b/c (12) -> /a/b/c/f (13, file)
+        c.put(1, "a", 10, true);
+        c.put(10, "b", 11, true);
+        c.put(11, "c", 12, true);
+        c.put(12, "f", 13, false);
+        // Unrelated sibling /z (20) and its child.
+        c.put(1, "z", 20, true);
+        c.put(20, "w", 21, false);
+        // Turn the generation so part of the chain sits in `old`.
+        for i in 0..32u64 {
+            c.put(5_000 + i, "pad", i, false);
+        }
+        c.remove_subtree(10);
+        assert_eq!(c.get(1, "a"), None);
+        assert_eq!(c.get(10, "b"), None);
+        assert_eq!(c.get(11, "c"), None);
+        assert_eq!(c.get(12, "f"), None);
+        assert_eq!(c.get(1, "z"), Some((20, true)));
+        assert_eq!(c.get(20, "w"), Some((21, false)));
     }
 
     /// The regression the segmented design exists for: a hot ancestor chain

@@ -12,6 +12,7 @@
 //! | `dn_replicas`| datanode idx  | block id          | file inode (for re-replication) |
 //! | `election`   | 0 (fully replicated) | namenode idx | [`NnRecord`]     |
 //! | `sequences`  | 0 (fully replicated) | sequence name | next value       |
+//! | `sto_locks`  | 0 (fully replicated) | subtree root id | [`StoRecord`]  |
 //!
 //! Partitioning inodes by **parent id** makes directory listings single-
 //! partition scans, and blocks/replicas by **file inode** makes file reads
@@ -40,6 +41,10 @@ pub struct FsSchema {
     pub election: TableId,
     /// Id-allocation sequences.
     pub sequences: TableId,
+    /// On-going subtree operations, one row per STO-locked subtree root.
+    /// Fully replicated so orphan detection is a single-partition scan
+    /// (the HopsFS "on-going subtree ops" table, FAST'17 §3.6).
+    pub sto_locks: TableId,
 }
 
 impl FsSchema {
@@ -60,6 +65,7 @@ impl FsSchema {
             dn_replicas: schema.add_table("dn_replicas", plain),
             election: schema.add_table("election", full),
             sequences: schema.add_table("sequences", full),
+            sto_locks: schema.add_table("sto_locks", full),
         }
     }
 
@@ -100,6 +106,11 @@ impl FsSchema {
     pub fn sequence_key(name: &str) -> RowKey {
         RowKey::with_suffix(0, name.as_bytes().to_vec())
     }
+
+    /// Row key of a subtree operation's lock row.
+    pub fn sto_key(root: InodeId) -> RowKey {
+        RowKey::with_u64(0, root.0)
+    }
 }
 
 /// The inode row: attributes of one file or directory.
@@ -125,6 +136,9 @@ pub struct InodeRecord {
     pub inline_len: u32,
     /// Number of blocks.
     pub block_count: u32,
+    /// Subtree-operation lock flag: a recursive delete/rename is in flight
+    /// on this directory; concurrent ops walking through it must back off.
+    pub sto_locked: bool,
 }
 
 impl InodeRecord {
@@ -141,6 +155,7 @@ impl InodeRecord {
             replication: 0,
             inline_len: 0,
             block_count: 0,
+            sto_locked: false,
         }
     }
 
@@ -157,6 +172,7 @@ impl InodeRecord {
             replication,
             inline_len: 0,
             block_count: 0,
+            sto_locked: false,
         }
     }
 
@@ -172,7 +188,8 @@ impl InodeRecord {
             .u64(self.mtime)
             .u8(self.replication)
             .u32(self.inline_len)
-            .u32(self.block_count);
+            .u32(self.block_count)
+            .bool(self.sto_locked);
         e.finish()
     }
 
@@ -194,6 +211,7 @@ impl InodeRecord {
             replication: d.u8(),
             inline_len: d.u32(),
             block_count: d.u32(),
+            sto_locked: d.bool(),
         }
     }
 
@@ -293,6 +311,38 @@ impl NnRecord {
     }
 }
 
+/// An on-going subtree operation row. Written in the same small transaction
+/// that sets the root inode's [`InodeRecord::sto_locked`] flag, and deleted
+/// in the transaction that clears it. Carries the root's `(parent, name)`
+/// entry key so a *different* namenode can find and rewrite the locked inode
+/// row when cleaning up after the owner crashed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoRecord {
+    /// Subtree root inode id.
+    pub inode: u64,
+    /// Parent directory of the subtree root.
+    pub parent: u64,
+    /// Entry name of the subtree root under `parent`.
+    pub name: String,
+    /// Namenode index that owns the operation.
+    pub owner_nn: u32,
+}
+
+impl StoRecord {
+    /// Encodes to a row payload.
+    pub fn encode(&self) -> Bytes {
+        let mut e = Enc::new();
+        e.u64(self.inode).u64(self.parent).str(&self.name).u32(self.owner_nn);
+        e.finish()
+    }
+
+    /// Decodes from a row payload.
+    pub fn decode(data: &[u8]) -> Self {
+        let mut d = Dec::new(data);
+        StoRecord { inode: d.u64(), parent: d.u64(), name: d.str(), owner_nn: d.u32() }
+    }
+}
+
 /// Encodes a sequence row (next available value).
 pub fn encode_sequence(next: u64) -> Bytes {
     let mut e = Enc::new();
@@ -322,8 +372,17 @@ mod tests {
             replication: 3,
             inline_len: 1000,
             block_count: 9,
+            sto_locked: false,
         };
         assert_eq!(InodeRecord::decode(&r.encode()), r);
+        let locked = InodeRecord { sto_locked: true, ..r };
+        assert_eq!(InodeRecord::decode(&locked.encode()), locked);
+    }
+
+    #[test]
+    fn sto_record_round_trip() {
+        let s = StoRecord { inode: 77, parent: 3, name: "victim".into(), owner_nn: 4 };
+        assert_eq!(StoRecord::decode(&s.encode()), s);
     }
 
     #[test]
@@ -363,6 +422,7 @@ mod tests {
             assert_eq!(s.table(fs.inodes).options.read_backup, aware);
             assert!(s.table(fs.election).options.fully_replicated);
             assert!(s.table(fs.sequences).options.fully_replicated);
+            assert!(s.table(fs.sto_locks).options.fully_replicated);
         }
     }
 

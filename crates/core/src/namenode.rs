@@ -25,6 +25,7 @@ use crate::config::{BlockBackend, FsConfig};
 use crate::hintcache::HintCache;
 use crate::meta::{
     decode_sequence, encode_sequence, BlockRecord, FsSchema, InodeRecord, NnRecord, ReplicaRecord,
+    StoRecord,
 };
 use crate::ops::{ActiveNn, ActiveNns, FsOp, FsRequest, FsResponse, GetActiveNns, OpKind};
 use crate::placement::place_replicas;
@@ -35,7 +36,7 @@ use ndb::messages::ReadSpec;
 use ndb::{AbortReason, ClientKernel, LockMode, PartitionKey, RowKey, TxEvent, TxId, WriteOp};
 use simnet::{Actor, Ctx, NodeId, Payload, SimDuration, SimTime};
 use std::any::Any;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::sync::Arc;
 
 /// Lane-class name for the namenode worker pool.
@@ -75,6 +76,19 @@ pub struct NnStats {
     pub cache_misses: u64,
     /// Re-replication commands issued (leader only).
     pub rereplications: u64,
+    /// Subtree operations (recursive directory delete / directory rename)
+    /// executed through the STO protocol.
+    pub sto_ops: u64,
+    /// Bounded delete batches committed by subtree operations.
+    pub sto_batches: u64,
+    /// Operations bounced off an in-flight subtree lock (retryable).
+    pub sto_rejections: u64,
+    /// Orphaned subtree locks reclaimed by the cleanup sweep.
+    pub sto_orphans_cleaned: u64,
+    /// Largest write step this namenode issued in any single transaction.
+    pub max_tx_writes: u64,
+    /// Longest wall-clock span any subtree op held its root lock, in ns.
+    pub sto_lock_hold_max_ns: u64,
 }
 
 impl NnStats {
@@ -141,6 +155,56 @@ enum Stage {
     /// Op-specific scan rounds (delete emptiness, listing, block lookup…).
     Scanning(u8),
     Committing,
+    /// Subtree op: committing the small lock-flag transaction.
+    StoLock,
+    /// Subtree op: BFS discovery scans (0 = directories, 1 = file replicas).
+    StoScan(u8),
+    /// Subtree op: committing one bounded delete batch.
+    StoBatch,
+    /// Subtree op: committing the closing (root entry + lock row) transaction.
+    StoFinal,
+}
+
+/// A block-backed file discovered by the subtree scan, awaiting its replica
+/// scan round.
+#[derive(Debug)]
+struct StoFile {
+    id: u64,
+    /// Tree depth of the file's entry (root = 0).
+    depth: u32,
+    /// The file's own entry-row delete (keyed under its parent directory).
+    entry: WriteOp,
+    inline: bool,
+    block_count: u32,
+}
+
+/// Per-op state of the HopsFS subtree operations protocol (FAST'17 §3.6):
+/// a small transaction sets [`InodeRecord::sto_locked`] on the subtree root
+/// and publishes a row in `sto_locks`; the subtree is then deleted in
+/// bounded batches ([`FsConfig::subtree_batch_size`]); a final small
+/// transaction removes (or, for rename, moves) the root entry and clears the
+/// lock row.
+#[derive(Debug)]
+struct StoState {
+    /// Subtree root inode id (the flagged inode).
+    root: u64,
+    /// Row key `(parent id, name)` of the root's entry.
+    root_key: (u64, String),
+    /// The root's record with the flag set (rename's final Put re-derives
+    /// the cleared copy from it).
+    root_rec: InodeRecord,
+    /// Rename destination `(parent id, name)`; `None` for delete.
+    rename_dst: Option<(u64, String)>,
+    /// BFS frontier: directories awaiting their child scan, with depth.
+    dirs: VecDeque<(u64, u32)>,
+    /// Block-backed files awaiting their replica scan.
+    files: VecDeque<StoFile>,
+    /// Per-inode delete units tagged with tree depth.
+    units: Vec<(u32, Vec<WriteOp>)>,
+    /// Bounded write batches awaiting execution (front = next).
+    batches: VecDeque<Vec<WriteOp>>,
+    /// When the lock transaction committed.
+    locked_at: SimTime,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -207,6 +271,8 @@ struct OpCtx {
     cache_invalidate: Vec<(u64, String)>,
     /// (block, dn) invalidations to fan out after commit.
     doomed_blocks: Vec<(u64, u32)>,
+    /// Subtree-operation state; `Some` once the lock phase starts.
+    sto: Option<StoState>,
 }
 
 #[derive(Debug)]
@@ -226,6 +292,14 @@ enum AdminTx {
     },
     /// Writing the repaired replica rows.
     ReplCommit,
+    /// Scanning `sto_locks` for orphaned subtree flags.
+    StoSweep,
+    /// Repairing one orphaned subtree lock: `read` is false while the root
+    /// entry + lock row are being read, true once the repair write is out.
+    StoClean {
+        rec: StoRecord,
+        read: bool,
+    },
 }
 
 /// The namenode actor. Construct via [`crate::deploy::build_fs_cluster`].
@@ -254,6 +328,13 @@ pub struct NameNodeActor {
     repl_queue: VecDeque<(u64, u64)>, // (inode, block) needing repair
     repl_dead_dn: u32,
     repl_inflight: bool,
+    /// Subtree roots this namenode has an STO op in flight for; a `sto_locks`
+    /// row we own that is *not* in here is an orphan (restart or give-up).
+    sto_inflight: BTreeSet<u64>,
+    /// Orphaned subtree locks queued for cleanup.
+    sto_cleanup: VecDeque<StoRecord>,
+    sto_sweep_inflight: bool,
+    sto_clean_inflight: bool,
     /// Statistics.
     pub stats: NnStats,
 }
@@ -290,6 +371,10 @@ impl NameNodeActor {
             repl_queue: VecDeque::new(),
             repl_dead_dn: 0,
             repl_inflight: false,
+            sto_inflight: BTreeSet::new(),
+            sto_cleanup: VecDeque::new(),
+            sto_sweep_inflight: false,
+            sto_clean_inflight: false,
             stats: NnStats::default(),
         }
     }
@@ -297,6 +382,20 @@ impl NameNodeActor {
     /// Whether this namenode currently believes it leads.
     pub fn is_leader(&self) -> bool {
         self.leader_idx == self.my_idx as u32
+    }
+
+    /// Largest cumulative write batch any transaction of this namenode's
+    /// kernel has carried (white-box: tests assert the subtree batching
+    /// bound). Resets when the namenode restarts; see
+    /// [`NnStats::max_tx_writes`] for the restart-surviving high-water mark.
+    pub fn largest_write_batch(&self) -> usize {
+        self.kernel.as_ref().map(|k| k.largest_write_batch).unwrap_or(0)
+    }
+
+    /// Read-only view of the inode-hint cache (white-box: staleness
+    /// regression tests).
+    pub fn hint_cache(&self) -> &HintCache {
+        &self.cache
     }
 
     fn fs(&self) -> FsSchema {
@@ -365,6 +464,7 @@ impl NameNodeActor {
             writes: Vec::new(),
             cache_invalidate: Vec::new(),
             doomed_blocks: Vec::new(),
+            sto: None,
         };
         self.ops.insert(op_id, octx);
         self.reset_op_state(op_id);
@@ -374,6 +474,12 @@ impl NameNodeActor {
     }
 
     fn reset_op_state(&mut self, op_id: u64) {
+        // A retry from the top abandons any subtree-protocol progress; the
+        // root is deregistered so the lock row (if the flag transaction did
+        // commit) counts as an orphan for the cleanup sweep.
+        if let Some(root) = self.ops.get_mut(&op_id).and_then(|o| o.sto.take()).map(|s| s.root) {
+            self.sto_inflight.remove(&root);
+        }
         let octx = self.ops.get_mut(&op_id).expect("op exists");
         let (walk_a, walk_b) = match &octx.op {
             FsOp::Rename { src, dst } => (
@@ -416,6 +522,11 @@ impl NameNodeActor {
         };
         if let Some(tx) = octx.tx {
             self.tx_to_op.remove(&tx);
+        }
+        if let Some(sto) = &octx.sto {
+            // Done or given up either way; a surviving lock row is the
+            // cleanup sweep's to reclaim once deregistered here.
+            self.sto_inflight.remove(&sto.root);
         }
         for &(block, dn_idx) in &octx.doomed_blocks {
             if dn_idx == CLOUD_LOCATION {
@@ -588,6 +699,8 @@ impl NameNodeActor {
             Continue,
             Fail(FsError, bool /*read-only*/),
             StaleCache,
+            /// A subtree operation owns this directory (§3.6): back off.
+            StoLocked,
         }
         let next = {
             let octx = self.ops.get_mut(&op_id).expect("op exists");
@@ -610,20 +723,27 @@ impl NameNodeActor {
                 }
                 Some(data) => {
                     let rec = InodeRecord::decode(&data);
-                    let name = walk.comps[walk.idx].clone();
-                    let parent = walk.cur;
-                    walk.cur_key = (parent, name.clone());
-                    walk.cur = rec.id;
-                    walk.idx += 1;
-                    if !rec.is_dir {
-                        // Walks only traverse directories (they stop before
-                        // the final component).
-                        Next::Fail(FsError::NotDir, read_only)
+                    if rec.sto_locked {
+                        // Resolution walked into a subtree op's root: reject
+                        // with a retryable error instead of traversing a
+                        // namespace region that is being bulk-mutated.
+                        Next::StoLocked
                     } else {
-                        let id = rec.id;
-                        let _ = walk;
-                        self.cache_put(parent, &name, id, true);
-                        Next::Continue
+                        let name = walk.comps[walk.idx].clone();
+                        let parent = walk.cur;
+                        walk.cur_key = (parent, name.clone());
+                        walk.cur = rec.id;
+                        walk.idx += 1;
+                        if !rec.is_dir {
+                            // Walks only traverse directories (they stop
+                            // before the final component).
+                            Next::Fail(FsError::NotDir, read_only)
+                        } else {
+                            let id = rec.id;
+                            let _ = walk;
+                            self.cache_put(parent, &name, id, true);
+                            Next::Continue
+                        }
                     }
                 }
             }
@@ -643,6 +763,10 @@ impl NameNodeActor {
                 // Some cached ancestor moved under us: drop the cache and
                 // retry from the root.
                 self.cache.clear();
+                self.retry_op(ctx, op_id, false);
+            }
+            Next::StoLocked => {
+                self.stats.sto_rejections += 1;
                 self.retry_op(ctx, op_id, false);
             }
         }
@@ -834,6 +958,7 @@ impl NameNodeActor {
     fn on_lock_rows(&mut self, ctx: &mut Ctx<'_>, op_id: u64, rows: Vec<Option<Bytes>>) {
         let mut stale = false;
         let read_only;
+        let sto_locked;
         {
             let octx = self.ops.get_mut(&op_id).expect("op exists");
             read_only = matches!(octx.op.kind(), OpKind::Stat | OpKind::List | OpKind::Open);
@@ -844,7 +969,10 @@ impl NameNodeActor {
                             .as_ref()
                             .map(|d| {
                                 let rec = InodeRecord::decode(d);
-                                rec.id == *expected_id && rec.is_dir
+                                // A flagged ancestor counts as moved: with
+                                // `validate_ancestors` on, this closes the
+                                // cached-chain bypass of the subtree lock.
+                                rec.id == *expected_id && rec.is_dir && !rec.sto_locked
                             })
                             .unwrap_or(false);
                         if !ok {
@@ -879,11 +1007,21 @@ impl NameNodeActor {
                     octx.parent_b_rec = octx.parent_rec.clone();
                 }
             }
+            // Another op's subtree lock on the parent or target: reject with
+            // a retryable error (§3.6 — ops meeting the flag back off).
+            sto_locked = [&octx.parent_rec, &octx.target_rec, &octx.parent_b_rec, &octx.target_b_rec]
+                .into_iter()
+                .any(|r| r.as_ref().is_some_and(|rec| rec.sto_locked));
         }
         if stale {
             // A cached ancestor moved or vanished: drop the cache, retry
             // from the root (the HopsFS hint-cache fallback).
             self.cache.clear();
+            self.retry_op(ctx, op_id, false);
+            return;
+        }
+        if sto_locked {
+            self.stats.sto_rejections += 1;
             self.retry_op(ctx, op_id, false);
             return;
         }
@@ -902,6 +1040,8 @@ impl NameNodeActor {
             Done(FsOk),
             Write,
             Scan { table: ndb::TableId, pk: u64 },
+            /// Start the subtree operations protocol on this directory.
+            Sto { rec: InodeRecord, rename_dst: Option<(u64, String)> },
         }
         let plan;
         {
@@ -976,7 +1116,7 @@ impl NameNodeActor {
                         Plan::Write
                     }
                 },
-                FsOp::Delete { .. } => match (&octx.parent_rec, octx.target_rec.clone()) {
+                FsOp::Delete { recursive, .. } => match (&octx.parent_rec, octx.target_rec.clone()) {
                     (None, _) => Plan::Fail(FsError::NotFound),
                     (_, None) => {
                         if octx.idempotent_retry {
@@ -984,6 +1124,15 @@ impl NameNodeActor {
                         } else {
                             Plan::Fail(FsError::NotFound)
                         }
+                    }
+                    (Some(_), Some(rec)) if rec.is_dir && recursive => {
+                        // Recursive directory delete runs the subtree
+                        // protocol: this tx commits only the lock flag;
+                        // the subtree goes down in bounded batches.
+                        octx.pending_ok = Some(FsOk::Done);
+                        octx.cache_invalidate
+                            .push((octx.walk_a.cur, octx.walk_a.final_name().to_string()));
+                        Plan::Sto { rec, rename_dst: None }
                     }
                     (Some(_), Some(rec)) => {
                         octx.pending_ok = Some(FsOk::Done);
@@ -994,6 +1143,7 @@ impl NameNodeActor {
                             key: FsSchema::inode_key(InodeId(octx.walk_a.cur), octx.walk_a.final_name()),
                         });
                         if rec.is_dir {
+                            // Non-recursive: one scan round proves emptiness.
                             octx.dir_queue.push_back(rec.id);
                             octx.stage = Stage::Scanning(0);
                             Plan::Scan { table: fs.inodes, pk: rec.id }
@@ -1023,6 +1173,22 @@ impl NameNodeActor {
                         (Some(mut rec), Some(pb), None) => {
                             if !pb.is_dir {
                                 Plan::Fail(FsError::NotDir)
+                            } else if rec.is_dir {
+                                // Directory rename runs the subtree protocol:
+                                // flag the root now, move the entry in the
+                                // closing transaction (concurrent ops must
+                                // not resolve through a moving subtree).
+                                let wb_cur = octx.walk_b.as_ref().expect("rename").cur;
+                                octx.pending_ok = Some(FsOk::Done);
+                                octx.cache_invalidate
+                                    .push((octx.walk_a.cur, octx.walk_a.final_name().to_string()));
+                                Plan::Sto {
+                                    rec,
+                                    rename_dst: Some((
+                                        wb_cur,
+                                        dst.name().expect("not root").to_string(),
+                                    )),
+                                }
                             } else {
                                 rec.mtime = now_ns;
                                 let wb_cur = octx.walk_b.as_ref().expect("rename").cur;
@@ -1075,6 +1241,7 @@ impl NameNodeActor {
                 let tx = self.ops[&op_id].tx.expect("tx");
                 self.kernel().scan(ctx, tx, table, PartitionKey(pk));
             }
+            Plan::Sto { rec, rename_dst } => self.sto_begin_lock(ctx, op_id, rec, rename_dst),
         }
     }
 
@@ -1274,8 +1441,16 @@ impl NameNodeActor {
             octx.stage = Stage::Committing;
             (octx.tx.expect("tx"), std::mem::take(&mut octx.writes))
         };
-        self.kernel().write(ctx, tx, writes);
+        self.tx_write(ctx, tx, writes);
         // Commit is issued when the WriteAck returns (see on_tx_event).
+    }
+
+    /// Issues a write step, tracking the largest single write step in
+    /// [`NnStats::max_tx_writes`] (the kernel keeps the same high-water mark,
+    /// but its copy dies with a namenode restart).
+    fn tx_write(&mut self, ctx: &mut Ctx<'_>, tx: TxId, writes: Vec<WriteOp>) {
+        self.stats.max_tx_writes = self.stats.max_tx_writes.max(writes.len() as u64);
+        self.kernel().write(ctx, tx, writes);
     }
 
     fn abort_and_finish(&mut self, ctx: &mut Ctx<'_>, op_id: u64, result: FsResult) {
@@ -1286,8 +1461,447 @@ impl NameNodeActor {
         self.finish_op(ctx, op_id, result);
     }
 
+    // ----- subtree operations protocol (FAST'17 §3.6) -----------------------
+
+    /// Phase 1: flag the subtree root and publish the on-going-operation row,
+    /// inside the op's current (validated, locked) transaction. Committing it
+    /// makes the lock durable; everything after runs in fresh transactions.
+    fn sto_begin_lock(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        op_id: u64,
+        rec: InodeRecord,
+        rename_dst: Option<(u64, String)>,
+    ) {
+        let fs = self.fs();
+        let owner = self.my_idx as u32;
+        let (tx, writes) = {
+            let octx = self.ops.get_mut(&op_id).expect("op exists");
+            let root_key = (octx.walk_a.cur, octx.walk_a.final_name().to_string());
+            let mut locked = rec;
+            locked.sto_locked = true;
+            let sto_row = StoRecord {
+                inode: locked.id,
+                parent: root_key.0,
+                name: root_key.1.clone(),
+                owner_nn: owner,
+            };
+            let writes = vec![
+                WriteOp::Put {
+                    table: fs.inodes,
+                    key: FsSchema::inode_key(InodeId(root_key.0), &root_key.1),
+                    data: locked.encode(),
+                },
+                WriteOp::Put {
+                    table: fs.sto_locks,
+                    key: FsSchema::sto_key(InodeId(locked.id)),
+                    data: sto_row.encode(),
+                },
+            ];
+            octx.stage = Stage::StoLock;
+            octx.sto = Some(StoState {
+                root: locked.id,
+                root_key,
+                root_rec: locked,
+                rename_dst,
+                dirs: VecDeque::new(),
+                files: VecDeque::new(),
+                units: Vec::new(),
+                batches: VecDeque::new(),
+                locked_at: SimTime::ZERO,
+            });
+            (octx.tx.expect("tx started"), writes)
+        };
+        self.tx_write(ctx, tx, writes);
+    }
+
+    /// The lock transaction committed (or raced the commit point — safe to
+    /// treat as committed either way): register the in-flight root, drop this
+    /// namenode's own hints under it, and move to the next phase.
+    fn on_sto_locked(&mut self, ctx: &mut Ctx<'_>, op_id: u64) {
+        let now = ctx.now();
+        let (root, is_rename) = {
+            let octx = match self.ops.get_mut(&op_id) {
+                Some(o) => o,
+                None => return,
+            };
+            if let Some(tx) = octx.tx.take() {
+                self.tx_to_op.remove(&tx);
+            }
+            // The batched phase gets a fresh retry budget: the lock is held
+            // now, and giving up early would strand it until the sweep.
+            octx.attempt = 1;
+            let sto = octx.sto.as_mut().expect("sto state");
+            sto.locked_at = now;
+            (sto.root, sto.rename_dst.is_some())
+        };
+        self.stats.sto_ops += 1;
+        self.sto_inflight.insert(root);
+        // Concurrent ops on this namenode must re-walk through the flagged
+        // root, not ride a stale hint past it.
+        self.cache.remove_subtree(root);
+        if is_rename {
+            // Rename moves the subtree wholesale: no interior rows change,
+            // so there is nothing to batch — go straight to the closing tx.
+            self.sto_final(ctx, op_id);
+        } else {
+            self.sto_start_scan(ctx, op_id);
+        }
+    }
+
+    /// Phase 2 (delete only): (re)start the BFS discovery scan in a fresh
+    /// read-only transaction. Called again from scratch if a scan aborts.
+    fn sto_start_scan(&mut self, ctx: &mut Ctx<'_>, op_id: u64) {
+        let inodes = self.fs().inodes;
+        let root = {
+            let octx = match self.ops.get_mut(&op_id) {
+                Some(o) => o,
+                None => return,
+            };
+            // Re-collected by this pass (a retried scan must not double-count
+            // invalidations for replica rows it sees again).
+            octx.doomed_blocks.clear();
+            octx.stage = Stage::StoScan(0);
+            let sto = octx.sto.as_mut().expect("sto state");
+            sto.dirs.clear();
+            sto.files.clear();
+            sto.units.clear();
+            sto.batches.clear();
+            let root = sto.root;
+            sto.dirs.push_back((root, 0));
+            root
+        };
+        let tx = match self.kernel().begin(ctx, Some((inodes, PartitionKey(root)))) {
+            Some(tx) => tx,
+            None => return self.sto_give_up(ctx, op_id, FsError::Unavailable),
+        };
+        self.tx_to_op.insert(tx, op_id);
+        self.ops.get_mut(&op_id).expect("op exists").tx = Some(tx);
+        self.kernel().scan(ctx, tx, inodes, PartitionKey(root));
+    }
+
+    /// One discovery round: children of the next queued directory
+    /// (`StoScan(0)`) or replicas of the next block-backed file
+    /// (`StoScan(1)`).
+    fn on_sto_scan(&mut self, ctx: &mut Ctx<'_>, op_id: u64, rows: Vec<ndb::Row>) {
+        let fs = self.fs();
+        enum Next {
+            Scan { table: ndb::TableId, pk: u64 },
+            Batches,
+        }
+        let next = {
+            let octx = match self.ops.get_mut(&op_id) {
+                Some(o) => o,
+                None => return,
+            };
+            let stage = octx.stage;
+            let OpCtx { sto, doomed_blocks, stage: stage_slot, .. } = octx;
+            let sto = sto.as_mut().expect("sto state");
+            match stage {
+                Stage::StoScan(0) => {
+                    let (dir, depth) = sto.dirs.pop_front().expect("dir queued");
+                    for r in &rows {
+                        let rec = InodeRecord::decode(&r.data);
+                        let entry = WriteOp::Delete {
+                            table: fs.inodes,
+                            key: RowKey { pk: PartitionKey(dir), suffix: r.key.suffix.clone() },
+                        };
+                        if rec.is_dir {
+                            sto.dirs.push_back((rec.id, depth + 1));
+                            sto.units.push((depth + 1, vec![entry]));
+                        } else if rec.block_count > 0 {
+                            sto.files.push_back(StoFile {
+                                id: rec.id,
+                                depth: depth + 1,
+                                entry,
+                                inline: rec.inline_len > 0,
+                                block_count: rec.block_count,
+                            });
+                        } else {
+                            let mut unit = Vec::new();
+                            if rec.inline_len > 0 {
+                                unit.push(WriteOp::Delete {
+                                    table: fs.small_files,
+                                    key: FsSchema::small_file_key(InodeId(rec.id)),
+                                });
+                            }
+                            unit.push(entry);
+                            sto.units.push((depth + 1, unit));
+                        }
+                    }
+                    if let Some(&(next_dir, _)) = sto.dirs.front() {
+                        Next::Scan { table: fs.inodes, pk: next_dir }
+                    } else if let Some(f) = sto.files.front() {
+                        *stage_slot = Stage::StoScan(1);
+                        Next::Scan { table: fs.replicas, pk: f.id }
+                    } else {
+                        Next::Batches
+                    }
+                }
+                _ => {
+                    let f = sto.files.pop_front().expect("file queued");
+                    // Intra-unit order matters for crash-reachability:
+                    // storage rows go before the entry row, so an
+                    // interrupted batch sequence never strands replica or
+                    // block rows behind an already-deleted entry.
+                    let mut unit = Vec::new();
+                    for r in &rows {
+                        let rep = ReplicaRecord::decode(&r.data);
+                        unit.push(WriteOp::Delete {
+                            table: fs.dn_replicas,
+                            key: FsSchema::dn_replica_key(rep.dn_idx, rep.block_id),
+                        });
+                        doomed_blocks.push((rep.block_id, rep.dn_idx));
+                    }
+                    for r in &rows {
+                        unit.push(WriteOp::Delete {
+                            table: fs.replicas,
+                            key: RowKey { pk: PartitionKey(f.id), suffix: r.key.suffix.clone() },
+                        });
+                    }
+                    for i in 0..u64::from(f.block_count) {
+                        unit.push(WriteOp::Delete {
+                            table: fs.blocks,
+                            key: FsSchema::block_key(InodeId(f.id), i),
+                        });
+                    }
+                    if f.inline {
+                        unit.push(WriteOp::Delete {
+                            table: fs.small_files,
+                            key: FsSchema::small_file_key(InodeId(f.id)),
+                        });
+                    }
+                    unit.push(f.entry);
+                    sto.units.push((f.depth, unit));
+                    if let Some(nf) = sto.files.front() {
+                        Next::Scan { table: fs.replicas, pk: nf.id }
+                    } else {
+                        Next::Batches
+                    }
+                }
+            }
+        };
+        match next {
+            Next::Scan { table, pk } => {
+                let tx = self.ops[&op_id].tx.expect("tx");
+                self.kernel().scan(ctx, tx, table, PartitionKey(pk));
+            }
+            Next::Batches => self.sto_build_batches(ctx, op_id),
+        }
+    }
+
+    /// Flattens the discovered per-inode units into bounded batches, deepest
+    /// tree level first (reverse level order): a crash between batches always
+    /// leaves the survivors as a smaller subtree still reachable from the
+    /// root entry, which only the final transaction removes.
+    fn sto_build_batches(&mut self, ctx: &mut Ctx<'_>, op_id: u64) {
+        let batch_size = self.cfg().subtree_batch_size.max(1);
+        // The discovery tx was read-only; release it.
+        if let Some(tx) = self.ops.get_mut(&op_id).and_then(|o| o.tx.take()) {
+            self.tx_to_op.remove(&tx);
+            self.kernel().abort(ctx, tx);
+        }
+        {
+            let octx = match self.ops.get_mut(&op_id) {
+                Some(o) => o,
+                None => return,
+            };
+            let sto = octx.sto.as_mut().expect("sto state");
+            // Stable by depth descending: BFS discovery order is preserved
+            // within a level, so same-seed replays batch identically.
+            sto.units.sort_by_key(|&(depth, _)| std::cmp::Reverse(depth));
+            let mut cur: Vec<WriteOp> = Vec::new();
+            for (_, unit) in sto.units.drain(..) {
+                for w in unit {
+                    cur.push(w);
+                    if cur.len() == batch_size {
+                        sto.batches.push_back(std::mem::take(&mut cur));
+                    }
+                }
+            }
+            if !cur.is_empty() {
+                sto.batches.push_back(cur);
+            }
+        }
+        self.sto_next_batch(ctx, op_id);
+    }
+
+    /// Issues the next pending batch, or moves to the closing transaction
+    /// once every batch has committed.
+    fn sto_next_batch(&mut self, ctx: &mut Ctx<'_>, op_id: u64) {
+        let empty = {
+            let octx = match self.ops.get_mut(&op_id) {
+                Some(o) => o,
+                None => return,
+            };
+            if let Some(tx) = octx.tx.take() {
+                self.tx_to_op.remove(&tx);
+            }
+            // Progress: each committed batch refreshes the retry budget.
+            octx.attempt = 1;
+            octx.sto.as_ref().expect("sto state").batches.is_empty()
+        };
+        if empty {
+            self.sto_final(ctx, op_id);
+        } else {
+            self.sto_issue_batch(ctx, op_id);
+        }
+    }
+
+    /// (Re-)issues the front batch in a fresh transaction. Deletes are
+    /// idempotent, so re-running a batch whose commit raced an abort is safe.
+    fn sto_issue_batch(&mut self, ctx: &mut Ctx<'_>, op_id: u64) {
+        let inodes = self.fs().inodes;
+        let (root, batch) = {
+            let octx = match self.ops.get_mut(&op_id) {
+                Some(o) => o,
+                None => return,
+            };
+            octx.stage = Stage::StoBatch;
+            let sto = octx.sto.as_ref().expect("sto state");
+            (sto.root, sto.batches.front().expect("batch pending").clone())
+        };
+        let tx = match self.kernel().begin(ctx, Some((inodes, PartitionKey(root)))) {
+            Some(tx) => tx,
+            None => return self.sto_give_up(ctx, op_id, FsError::Unavailable),
+        };
+        self.tx_to_op.insert(tx, op_id);
+        self.ops.get_mut(&op_id).expect("op exists").tx = Some(tx);
+        self.tx_write(ctx, tx, batch);
+    }
+
+    /// The closing small transaction: remove (delete) or move (rename) the
+    /// root entry and clear the lock row, atomically.
+    fn sto_final(&mut self, ctx: &mut Ctx<'_>, op_id: u64) {
+        let now_ns = ctx.now().as_nanos();
+        let fs = self.fs();
+        let (hint_pk, writes) = {
+            let octx = match self.ops.get_mut(&op_id) {
+                Some(o) => o,
+                None => return,
+            };
+            if let Some(tx) = octx.tx.take() {
+                self.tx_to_op.remove(&tx);
+            }
+            octx.stage = Stage::StoFinal;
+            let sto = octx.sto.as_ref().expect("sto state");
+            let mut writes = vec![WriteOp::Delete {
+                table: fs.inodes,
+                key: FsSchema::inode_key(InodeId(sto.root_key.0), &sto.root_key.1),
+            }];
+            if let Some((dparent, dname)) = &sto.rename_dst {
+                let mut rec = sto.root_rec.clone();
+                rec.sto_locked = false;
+                rec.mtime = now_ns;
+                writes.push(WriteOp::Put {
+                    table: fs.inodes,
+                    key: FsSchema::inode_key(InodeId(*dparent), dname),
+                    data: rec.encode(),
+                });
+            }
+            writes.push(WriteOp::Delete {
+                table: fs.sto_locks,
+                key: FsSchema::sto_key(InodeId(sto.root)),
+            });
+            (sto.root_key.0, writes)
+        };
+        let tx = match self.kernel().begin(ctx, Some((fs.inodes, PartitionKey(hint_pk)))) {
+            Some(tx) => tx,
+            None => return self.sto_give_up(ctx, op_id, FsError::Unavailable),
+        };
+        self.tx_to_op.insert(tx, op_id);
+        self.ops.get_mut(&op_id).expect("op exists").tx = Some(tx);
+        self.tx_write(ctx, tx, writes);
+    }
+
+    /// The closing transaction committed: the subtree op is done.
+    fn sto_complete(&mut self, ctx: &mut Ctx<'_>, op_id: u64) {
+        let now = ctx.now();
+        let (root, held, invalidate, ok) = {
+            let octx = match self.ops.get_mut(&op_id) {
+                Some(o) => o,
+                None => return,
+            };
+            if let Some(tx) = octx.tx.take() {
+                self.tx_to_op.remove(&tx);
+            }
+            let held = now.saturating_since(octx.sto.as_ref().expect("sto state").locked_at);
+            (
+                octx.sto.as_ref().expect("sto state").root,
+                held,
+                std::mem::take(&mut octx.cache_invalidate),
+                octx.pending_ok.take(),
+            )
+        };
+        self.stats.sto_lock_hold_max_ns = self.stats.sto_lock_hold_max_ns.max(held.as_nanos());
+        self.sto_inflight.remove(&root);
+        for (parent, name) in invalidate {
+            self.cache.remove(parent, &name);
+        }
+        // Again at completion: walks elsewhere in the namespace may have
+        // cached entries since the lock-time invalidation; the subtree is
+        // gone (delete) or re-rooted (rename) now.
+        self.cache.remove_subtree(root);
+        self.finish_op(ctx, op_id, Ok(ok.unwrap_or(FsOk::Done)));
+    }
+
+    /// Phase-local retry: back off and resume the *current* phase (scan
+    /// restarts from scratch; batch and final transactions re-issue).
+    fn sto_phase_retry(&mut self, ctx: &mut Ctx<'_>, op_id: u64) {
+        let max = self.cfg().max_op_attempts;
+        let proceed = {
+            let octx = match self.ops.get_mut(&op_id) {
+                Some(o) => o,
+                None => return,
+            };
+            // The kernel already forgot the tx when it surfaced the abort.
+            if let Some(tx) = octx.tx.take() {
+                self.tx_to_op.remove(&tx);
+            }
+            octx.attempt += 1;
+            octx.attempt <= max
+        };
+        if !proceed {
+            self.sto_give_up(ctx, op_id, FsError::Busy);
+            return;
+        }
+        self.stats.tx_retries += 1;
+        let attempt = self.ops[&op_id].attempt;
+        let salt = op_id ^ ((self.my_idx as u64) << 32);
+        let delay = self
+            .cfg()
+            .op_retry
+            .delay(attempt.saturating_sub(1), salt)
+            .unwrap_or(self.cfg().op_retry.cap);
+        let span = self.ops[&op_id].span;
+        let layer = ctx.layer();
+        ctx.metrics().inc(layer, "op_retries", 1);
+        ctx.metrics().record_hist(layer, "retry_backoff_ns", delay.as_nanos());
+        let now = ctx.now();
+        ctx.span_at("backoff", "retry", span, now, now + delay);
+        ctx.set_span(span);
+        ctx.schedule(delay, OpResume { op: op_id });
+    }
+
+    /// Abandon a subtree op mid-protocol. The lock row stays behind on
+    /// purpose: `finish_op` deregisters the root, so this namenode's own next
+    /// sweep round reclaims it, and an idempotent client retry converges.
+    fn sto_give_up(&mut self, ctx: &mut Ctx<'_>, op_id: u64, err: FsError) {
+        if let Some(octx) = self.ops.get_mut(&op_id) {
+            // Committed batches already deleted some replica rows; which ones
+            // is unknown here, so skip the block-data invalidations rather
+            // than invalidate blocks whose rows may survive (storage garbage,
+            // not namespace state — documented leak).
+            octx.doomed_blocks.clear();
+        }
+        self.abort_and_finish(ctx, op_id, Err(err));
+    }
+
     /// Scan results for delete-recursion, listing, and open.
     fn on_scan_rows(&mut self, ctx: &mut Ctx<'_>, op_id: u64, rows: Vec<ndb::Row>) {
+        if matches!(self.ops.get(&op_id).map(|o| o.stage), Some(Stage::StoScan(_))) {
+            return self.on_sto_scan(ctx, op_id, rows);
+        }
         let fs = self.fs();
         enum Plan {
             Respond(FsResult),
@@ -1336,51 +1950,23 @@ impl NameNodeActor {
                     }
                 },
                 OpKind::Delete => {
-                    let recursive = matches!(octx.op, FsOp::Delete { recursive: true, .. });
                     match octx.stage {
                         Stage::Scanning(0) => {
-                            // Children of a directory being deleted.
-                            let dir = octx.dir_queue.pop_front().expect("dir queued");
-                            if !rows.is_empty() && !recursive {
-                                Plan::Respond(Err(FsError::NotEmpty))
+                            // Children scan of a *non-recursive* directory
+                            // delete: recursive directory deletes run the
+                            // subtree operations protocol (see the STO
+                            // methods), so this scan only checks emptiness.
+                            octx.dir_queue.pop_front().expect("dir queued");
+                            if rows.is_empty() {
+                                Plan::Write
                             } else {
-                                for r in &rows {
-                                    let rec = InodeRecord::decode(&r.data);
-                                    octx.writes.push(WriteOp::Delete {
-                                        table: fs.inodes,
-                                        key: RowKey {
-                                            pk: PartitionKey(dir),
-                                            suffix: r.key.suffix.clone(),
-                                        },
-                                    });
-                                    if rec.is_dir {
-                                        octx.dir_queue.push_back(rec.id);
-                                    } else {
-                                        if rec.inline_len > 0 {
-                                            octx.writes.push(WriteOp::Delete {
-                                                table: fs.small_files,
-                                                key: FsSchema::small_file_key(InodeId(rec.id)),
-                                            });
-                                        }
-                                        if rec.block_count > 0 {
-                                            octx.file_queue.push_back(rec.id);
-                                        }
-                                    }
-                                }
-                                if let Some(&next_dir) = octx.dir_queue.front() {
-                                    Plan::Scan { table: fs.inodes, pk: next_dir }
-                                } else if let Some(&file) = octx.file_queue.front() {
-                                    octx.stage = Stage::Scanning(1);
-                                    Plan::Scan { table: fs.replicas, pk: file }
-                                } else {
-                                    Plan::Write
-                                }
+                                Plan::Respond(Err(FsError::NotEmpty))
                             }
                         }
                         _ => {
                             // Replica rows of one block-backed file.
                             let file = octx.file_queue.pop_front().expect("file queued");
-                            let mut seen_blocks: Vec<u64> = Vec::new();
+                            let mut seen_blocks: BTreeSet<u64> = BTreeSet::new();
                             for r in &rows {
                                 let rep = ReplicaRecord::decode(&r.data);
                                 octx.writes.push(WriteOp::Delete {
@@ -1392,18 +1978,16 @@ impl NameNodeActor {
                                     key: FsSchema::dn_replica_key(rep.dn_idx, rep.block_id),
                                 });
                                 octx.doomed_blocks.push((rep.block_id, rep.dn_idx));
-                                if !seen_blocks.contains(&rep.block_id) {
-                                    seen_blocks.push(rep.block_id);
-                                }
+                                seen_blocks.insert(rep.block_id);
                             }
                             // Delete the block rows by index; block indices
                             // are 0..block_count of the file record, but for
                             // children we only know ids — delete by scan is
                             // avoided by keying blocks on (file, index):
-                            for (i, _) in seen_blocks.iter().enumerate() {
+                            for i in 0..seen_blocks.len() as u64 {
                                 octx.writes.push(WriteOp::Delete {
                                     table: fs.blocks,
-                                    key: FsSchema::block_key(InodeId(file), i as u64),
+                                    key: FsSchema::block_key(InodeId(file), i),
                                 });
                             }
                             if let Some(&next) = octx.file_queue.front() {
@@ -1495,23 +2079,62 @@ impl NameNodeActor {
                 self.kernel().commit(ctx, tx);
             }
             TxEvent::Committed { .. } => {
-                let (ok, invalidate) = match self.ops.get_mut(&op_id) {
-                    Some(o) => (o.pending_ok.take(), std::mem::take(&mut o.cache_invalidate)),
-                    None => (None, Vec::new()),
-                };
-                // Drop hint-cache entries the committed mutation made stale
-                // (this NN's own view; other NNs fall back on validation or
-                // reach the moved entry's old name as absent).
-                for (parent, name) in invalidate {
-                    self.cache.remove(parent, &name);
+                match self.ops.get(&op_id).map(|o| o.stage) {
+                    Some(Stage::StoLock) => self.on_sto_locked(ctx, op_id),
+                    Some(Stage::StoBatch) => {
+                        if let Some(sto) =
+                            self.ops.get_mut(&op_id).and_then(|o| o.sto.as_mut())
+                        {
+                            sto.batches.pop_front();
+                        }
+                        self.stats.sto_batches += 1;
+                        self.sto_next_batch(ctx, op_id);
+                    }
+                    Some(Stage::StoFinal) => self.sto_complete(ctx, op_id),
+                    _ => {
+                        let (ok, invalidate) = match self.ops.get_mut(&op_id) {
+                            Some(o) => {
+                                (o.pending_ok.take(), std::mem::take(&mut o.cache_invalidate))
+                            }
+                            None => (None, Vec::new()),
+                        };
+                        // Drop hint-cache entries the committed mutation made
+                        // stale (this NN's own view; other NNs fall back on
+                        // validation or reach the moved entry's old name as
+                        // absent).
+                        for (parent, name) in invalidate {
+                            self.cache.remove(parent, &name);
+                        }
+                        self.finish_op(ctx, op_id, Ok(ok.unwrap_or(FsOk::Done)));
+                    }
                 }
-                self.finish_op(ctx, op_id, Ok(ok.unwrap_or(FsOk::Done)));
             }
             TxEvent::Aborted { reason, maybe_committed, .. } => {
+                let stage = self.ops.get(&op_id).map(|o| o.stage);
                 if reason == AbortReason::ClusterDown {
-                    self.finish_op(ctx, op_id, Err(FsError::Unavailable));
+                    match stage {
+                        Some(Stage::StoScan(_) | Stage::StoBatch | Stage::StoFinal) => {
+                            self.sto_give_up(ctx, op_id, FsError::Unavailable);
+                        }
+                        _ => self.finish_op(ctx, op_id, Err(FsError::Unavailable)),
+                    }
                 } else {
-                    self.retry_op(ctx, op_id, maybe_committed);
+                    match stage {
+                        // The lock tx raced the commit point: proceed as if
+                        // committed. Safe either way — the later phases do
+                        // not depend on the flag being set (it only fences
+                        // *other* ops), and the final transaction's lock-row
+                        // delete is idempotent.
+                        Some(Stage::StoLock) if maybe_committed => {
+                            self.on_sto_locked(ctx, op_id)
+                        }
+                        // Phase-local retry: the lock is already held, so
+                        // restart only the failed phase, not the whole op.
+                        Some(Stage::StoScan(_) | Stage::StoBatch | Stage::StoFinal) => {
+                            self.sto_phase_retry(ctx, op_id)
+                        }
+                        _ => self.retry_op(ctx, op_id, maybe_committed),
+                    }
                 }
             }
         }
@@ -1656,9 +2279,140 @@ impl NameNodeActor {
             }
             (AdminTx::ReplCommit, TxEvent::Committed { .. })
             | (AdminTx::ReplCommit, TxEvent::Aborted { .. }) => {}
+            // --- subtree-lock orphan sweep ---
+            (AdminTx::StoSweep, TxEvent::Scanned { rows, .. }) => {
+                self.kernel().abort(ctx, tx); // read-only
+                self.sto_sweep_inflight = false;
+                let me = self.my_idx as u32;
+                let leader = self.is_leader();
+                for r in &rows {
+                    let rec = StoRecord::decode(&r.data);
+                    // Rule 1 (self-repair): a lock row this namenode owns
+                    // but has no in-flight op for is left over from a crash,
+                    // restart, or abandoned op of *this* process.
+                    let mine_orphaned =
+                        rec.owner_nn == me && !self.sto_inflight.contains(&rec.inode);
+                    // Rule 2 (leader duty): the owner fell out of the active
+                    // set — it cannot finish its op, so the leader reclaims.
+                    let owner_dead =
+                        leader && !self.active.iter().any(|n| n.nn_idx == rec.owner_nn);
+                    if (mine_orphaned || owner_dead)
+                        && !self.sto_cleanup.iter().any(|q| q.inode == rec.inode)
+                    {
+                        self.sto_cleanup.push_back(rec);
+                    }
+                }
+                self.pump_sto_cleanup(ctx);
+            }
+            (AdminTx::StoSweep, TxEvent::Aborted { .. }) => {
+                self.sto_sweep_inflight = false; // next election round retries
+            }
+            (AdminTx::StoClean { rec, read: false }, TxEvent::Rows { rows, .. }) => {
+                let fs = self.fs();
+                let mut it = rows.into_iter();
+                let entry_row = it.next().flatten();
+                let lock_row = it.next().flatten();
+                // Re-validate under the exclusive locks: the row must still
+                // be the exact record we queued (a *newer* op on a recycled
+                // path must not be clobbered), and — if it is ours — must
+                // not have become in-flight again between sweep and now.
+                let still_orphaned = lock_row.as_deref().map(StoRecord::decode) == Some(rec.clone())
+                    && !(rec.owner_nn == self.my_idx as u32
+                        && self.sto_inflight.contains(&rec.inode));
+                if !still_orphaned {
+                    self.kernel().abort(ctx, tx);
+                    self.sto_clean_inflight = false;
+                    self.pump_sto_cleanup(ctx);
+                    return;
+                }
+                let mut writes = vec![WriteOp::Delete {
+                    table: fs.sto_locks,
+                    key: FsSchema::sto_key(InodeId(rec.inode)),
+                }];
+                if let Some(data) = entry_row {
+                    let mut irec = InodeRecord::decode(&data);
+                    // Only unflag the entry if it is still the locked root
+                    // (not e.g. a same-name successor after delete+create).
+                    if irec.id == rec.inode && irec.sto_locked {
+                        irec.sto_locked = false;
+                        writes.push(WriteOp::Put {
+                            table: fs.inodes,
+                            key: FsSchema::inode_key(InodeId(rec.parent), &rec.name),
+                            data: irec.encode(),
+                        });
+                    }
+                }
+                self.admin_txs.insert(tx, AdminTx::StoClean { rec, read: true });
+                self.kernel().write(ctx, tx, writes);
+            }
+            (AdminTx::StoClean { rec, read: true }, TxEvent::WriteAcked { .. }) => {
+                self.admin_txs.insert(tx, AdminTx::StoClean { rec, read: true });
+                self.kernel().commit(ctx, tx);
+            }
+            (AdminTx::StoClean { rec, .. }, TxEvent::Committed { .. }) => {
+                self.stats.sto_orphans_cleaned += 1;
+                self.cache.remove_subtree(rec.inode);
+                self.sto_clean_inflight = false;
+                self.pump_sto_cleanup(ctx);
+            }
+            (AdminTx::StoClean { .. }, TxEvent::Aborted { .. }) => {
+                // Dropped; the next sweep round re-queues it if still there.
+                self.sto_clean_inflight = false;
+                self.pump_sto_cleanup(ctx);
+            }
             // Unmatched (event, state) pairs: drop (stale retries).
             _ => {}
         }
+    }
+
+    /// Kicks one round of the subtree-lock orphan sweep: scan the (small,
+    /// fully replicated) `sto_locks` table and queue rows nobody can finish.
+    /// Runs on every namenode each election round — every NN repairs its own
+    /// leftovers; the leader additionally repairs rows of departed NNs.
+    fn start_sto_sweep(&mut self, ctx: &mut Ctx<'_>) {
+        if self.sto_sweep_inflight || !self.sto_cleanup.is_empty() {
+            return;
+        }
+        let sto_locks = self.fs().sto_locks;
+        let pk = PartitionKey(0);
+        if let Some(tx) = self.kernel().begin(ctx, Some((sto_locks, pk))) {
+            self.sto_sweep_inflight = true;
+            self.admin_txs.insert(tx, AdminTx::StoSweep);
+            self.kernel().scan(ctx, tx, sto_locks, pk);
+        }
+    }
+
+    /// Cleans the next queued orphaned subtree lock, one transaction at a
+    /// time: exclusively read the root's entry row *and* the lock row,
+    /// re-validate, then atomically unflag the entry and drop the lock row.
+    fn pump_sto_cleanup(&mut self, ctx: &mut Ctx<'_>) {
+        if self.sto_clean_inflight {
+            return;
+        }
+        let rec = match self.sto_cleanup.pop_front() {
+            Some(r) => r,
+            None => return,
+        };
+        let fs = self.fs();
+        let entry_key = FsSchema::inode_key(InodeId(rec.parent), &rec.name);
+        let tx = match self.kernel().begin(ctx, Some((fs.inodes, entry_key.pk))) {
+            Some(tx) => tx,
+            None => {
+                self.sto_cleanup.push_front(rec);
+                return;
+            }
+        };
+        self.sto_clean_inflight = true;
+        let specs = vec![
+            ReadSpec { table: fs.inodes, key: entry_key, mode: LockMode::Exclusive },
+            ReadSpec {
+                table: fs.sto_locks,
+                key: FsSchema::sto_key(InodeId(rec.inode)),
+                mode: LockMode::Exclusive,
+            },
+        ];
+        self.admin_txs.insert(tx, AdminTx::StoClean { rec, read: false });
+        self.kernel().read(ctx, tx, specs);
     }
 
     fn process_election_rows(&mut self, ctx: &mut Ctx<'_>, rows: Vec<ndb::Row>) {
@@ -1700,6 +2454,9 @@ impl NameNodeActor {
                 }
             }
         }
+        // Every round, with the fresh active set in hand: reclaim subtree
+        // locks nobody can finish (own leftovers; leader also dead owners').
+        self.start_sto_sweep(ctx);
     }
 
     fn start_repl_scan(&mut self, ctx: &mut Ctx<'_>, dead_dn: u32) {
@@ -1822,6 +2579,9 @@ impl NameNodeActor {
         if !self.repl_queue.is_empty() {
             self.pump_rereplication(ctx);
         }
+        if !self.sto_cleanup.is_empty() {
+            self.pump_sto_cleanup(ctx);
+        }
         ctx.schedule(SimDuration::from_millis(50), TickSweep);
     }
 
@@ -1830,6 +2590,12 @@ impl NameNodeActor {
             ctx.set_span(octx.span);
             match octx.stage {
                 Stage::AwaitIds | Stage::WalkA => self.start_op(ctx, op_id),
+                // STO phase-local retries: the lock is held; resume the
+                // failed phase only. A scan restarts from scratch, a batch
+                // or final transaction re-issues its writes.
+                Stage::StoScan(_) => self.sto_start_scan(ctx, op_id),
+                Stage::StoBatch => self.sto_issue_batch(ctx, op_id),
+                Stage::StoFinal => self.sto_final(ctx, op_id),
                 _ => {}
             }
         }

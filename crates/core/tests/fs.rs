@@ -453,3 +453,81 @@ fn dn_failure_triggers_rereplication() {
         other => panic!("open returned {other:?}"),
     }
 }
+
+/// Regression (hint-cache staleness): a recursive delete must invalidate
+/// the namenode's inode-hint cache for the *whole* subtree, not just the
+/// root's own `(parent, name)` entry. Before the fix, delete-then-recreate
+/// of the same names left descendant hints pointing at dead inode ids, so
+/// later resolutions could bind to the old tree's inodes.
+#[test]
+fn hints_are_invalidated_for_whole_subtree_on_recursive_delete() {
+    use hopsfs::InodeId;
+    let mut h = cl_cluster(1); // one namenode, so its cache serves every op
+    let nn_id = h.cluster.view.nn_ids[0];
+
+    // Build and warm: stat/list walk the chain and plant hints for it.
+    let results = run_ops(
+        &mut h,
+        0,
+        vec![
+            FsOp::Mkdir { path: p("/d") },
+            FsOp::Mkdir { path: p("/d/sub") },
+            FsOp::Create { path: p("/d/sub/f"), size: 7 },
+            FsOp::Stat { path: p("/d/sub/f") },
+            FsOp::List { path: p("/d/sub") },
+        ],
+    );
+    assert!(results.iter().all(|r| r.is_ok()), "build+warm failed: {results:?}");
+
+    // White-box: the ancestor-hint chain root -> d -> sub is cached (only
+    // intermediate directories are hinted; lock targets are not).
+    let chain = {
+        let cache = h.sim.actor::<hopsfs::NameNodeActor>(nn_id).hint_cache();
+        let (d, _) = cache.peek(InodeId::ROOT.0, "d").expect("hint for /d");
+        let (sub, _) = cache.peek(d, "sub").expect("hint for /d/sub");
+        (d, sub)
+    };
+
+    let results = run_ops(&mut h, 0, vec![FsOp::Delete { path: p("/d"), recursive: true }]);
+    assert!(results[0].is_ok(), "recursive delete failed: {:?}", results[0]);
+
+    // White-box: every hint of the old subtree is gone, at every level —
+    // the fix under test; dropping only (root, "d") left (d, "sub") stale.
+    {
+        let cache = h.sim.actor::<hopsfs::NameNodeActor>(nn_id).hint_cache();
+        assert!(cache.peek(InodeId::ROOT.0, "d").is_none(), "stale hint for deleted /d");
+        assert!(cache.peek(chain.0, "sub").is_none(), "stale hint for deleted /d/sub");
+    }
+
+    // Black-box: recreate the same names with different shapes; resolution
+    // must see the new inodes, not the old tree. (`f` is a directory now —
+    // a stale hint would misreport it as the old 7-byte file.)
+    let results = run_ops(
+        &mut h,
+        0,
+        vec![
+            FsOp::Mkdir { path: p("/d") },
+            FsOp::Mkdir { path: p("/d/sub") },
+            FsOp::Mkdir { path: p("/d/sub/f") },
+            FsOp::Stat { path: p("/d/sub/f") },
+            FsOp::List { path: p("/d/sub") },
+        ],
+    );
+    assert!(results[..3].iter().all(|r| r.is_ok()), "recreate failed: {results:?}");
+    match &results[3] {
+        Ok(FsOk::Attrs(a)) => assert!(a.is_dir, "stale hint resolved old file inode: {a:?}"),
+        other => panic!("stat of recreated /d/sub/f returned {other:?}"),
+    }
+    match &results[4] {
+        Ok(FsOk::Listing(entries)) => {
+            assert_eq!(entries.len(), 1);
+            assert_eq!(entries[0].name, "f");
+        }
+        other => panic!("list of recreated /d/sub returned {other:?}"),
+    }
+    // The recreated chain re-warmed the cache with *new* inode ids.
+    let cache = h.sim.actor::<hopsfs::NameNodeActor>(nn_id).hint_cache();
+    if let Some((d2, _)) = cache.peek(InodeId::ROOT.0, "d") {
+        assert_ne!(d2, chain.0, "recreated /d reuses the deleted inode id");
+    }
+}

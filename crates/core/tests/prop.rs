@@ -212,6 +212,64 @@ fn op_strategy() -> impl Strategy<Value = FsOp> {
     ]
 }
 
+// ---------------------------------------------------------------------------
+// Subtree-operation properties: random namespace trees, recursive delete.
+// ---------------------------------------------------------------------------
+
+/// A random tree under `/t`: relative segment chains plus a file/dir flag
+/// for the leaf. Collisions between entries are common by construction.
+fn tree_strategy() -> impl Strategy<Value = Vec<(Vec<&'static str>, bool)>> {
+    let name = prop_oneof![Just("a"), Just("b"), Just("c"), Just("d")];
+    proptest::collection::vec((proptest::collection::vec(name, 1..4), any::<bool>()), 1..14)
+}
+
+/// Deterministically resolves a generated tree into `path -> is_dir`:
+/// every proper ancestor is a directory, and a leaf is a directory if any
+/// generated entry for that path says so.
+fn resolve_tree(entries: &[(Vec<&str>, bool)]) -> BTreeMap<String, bool> {
+    let mut nodes: BTreeMap<String, bool> = BTreeMap::new();
+    for (segs, is_dir) in entries {
+        let mut path = "/t".to_string();
+        for (i, seg) in segs.iter().enumerate() {
+            path = format!("{path}/{seg}");
+            let leaf = i + 1 == segs.len();
+            let e = nodes.entry(path.clone()).or_insert(false);
+            *e |= !leaf || *is_dir;
+        }
+    }
+    nodes
+}
+
+/// Runs `ops` against a cluster configured with `subtree_batch_size =
+/// batch`, returning the results and the largest transaction (in writes)
+/// any namenode issued over the whole run.
+fn run_with_batch_size(ops: &[FsOp], batch: usize) -> (Vec<hopsfs::FsResult>, usize) {
+    let mut sim = Simulation::new(5);
+    sim.set_jitter(0.0);
+    let mut cfg = hopsfs::FsConfig::hopsfs_cl(6, 3, 2);
+    cfg.subtree_batch_size = batch;
+    let cluster = build_fs_cluster(&mut sim, cfg, 0);
+    let stats = ClientStats::shared();
+    let client =
+        cluster.add_client(&mut sim, AzId(0), Box::new(ScriptedSource::new(ops.to_vec())), stats);
+    sim.actor_mut::<FsClientActor>(client).keep_results = true;
+    let mut t = SimTime::ZERO;
+    while sim.actor::<FsClientActor>(client).results.len() < ops.len() && t < SimTime::from_secs(120)
+    {
+        t += SimDuration::from_millis(100);
+        sim.run_until(t);
+    }
+    let results = sim.actor::<FsClientActor>(client).results.clone();
+    let max_tx = cluster
+        .view
+        .nn_ids
+        .iter()
+        .map(|&id| sim.actor::<hopsfs::NameNodeActor>(id).largest_write_batch())
+        .max()
+        .unwrap_or(0);
+    (results, max_tx)
+}
+
 fn run_against_cluster(ops: &[FsOp]) -> Vec<hopsfs::FsResult> {
     let mut sim = Simulation::new(5);
     sim.set_jitter(0.0);
@@ -273,6 +331,78 @@ proptest! {
             prop_assert_eq!(parent.join(name), p.clone());
             prop_assert!(parent.is_prefix_of(&p));
         }
+    }
+
+    /// Subtree delete as a protocol property: for any random namespace tree
+    /// and any (small) configured batch size, a recursive delete of the tree
+    /// root (a) leaves the namespace exactly as the sequential oracle
+    /// predicts — the tree is gone, siblings survive — and (b) never issues
+    /// a transaction larger than `subtree_batch_size` writes, the bound the
+    /// subtree operations protocol exists to enforce.
+    #[test]
+    fn subtree_delete_matches_oracle_and_respects_batch_bound(
+        tree in tree_strategy(),
+        batch in 4usize..10,
+    ) {
+        let nodes = resolve_tree(&tree);
+        let parse = |s: &str| FsPath::parse(s).expect("generated paths are valid");
+
+        // Build: /t, the tree under it (BTreeMap order puts parents before
+        // children), and an untouched sibling /keep/x.
+        let mut ops = vec![
+            FsOp::Mkdir { path: parse("/t") },
+            FsOp::Mkdir { path: parse("/keep") },
+            FsOp::Create { path: parse("/keep/x"), size: 0 },
+        ];
+        for (path, is_dir) in &nodes {
+            ops.push(if *is_dir {
+                FsOp::Mkdir { path: parse(path) }
+            } else {
+                FsOp::Create { path: parse(path), size: 1024 }
+            });
+        }
+        let n_build = ops.len();
+
+        // The op under test, then probes the oracle fully predicts.
+        ops.push(FsOp::Delete { path: parse("/t"), recursive: true });
+        let probe_base = ops.len();
+        ops.push(FsOp::Stat { path: parse("/t") });
+        for path in nodes.keys() {
+            ops.push(FsOp::Stat { path: parse(path) });
+        }
+        ops.push(FsOp::List { path: parse("/") });
+        ops.push(FsOp::Stat { path: parse("/keep/x") });
+
+        let (results, max_tx) = run_with_batch_size(&ops, batch);
+        prop_assert_eq!(results.len(), ops.len(), "all ops must complete");
+        for (i, r) in results[..n_build].iter().enumerate() {
+            prop_assert!(r.is_ok(), "build op {i} {:?} failed: {r:?}", ops[i]);
+        }
+        prop_assert!(results[n_build].is_ok(), "recursive delete failed: {:?}", results[n_build]);
+        // Every node of the tree is gone...
+        for (i, r) in results[probe_base..probe_base + 1 + nodes.len()].iter().enumerate() {
+            prop_assert_eq!(
+                r,
+                &Err(FsError::NotFound),
+                "probe {} {:?} still resolves after subtree delete",
+                i,
+                ops[probe_base + i]
+            );
+        }
+        // ...the sibling is intact, and the root listing matches the oracle.
+        match &results[ops.len() - 2] {
+            Ok(FsOk::Listing(entries)) => {
+                let names: BTreeSet<String> = entries.iter().map(|e| e.name.clone()).collect();
+                prop_assert!(!names.contains("t"), "deleted root still listed: {names:?}");
+                prop_assert!(names.contains("keep"), "sibling lost: {names:?}");
+            }
+            other => prop_assert!(false, "root listing failed: {other:?}"),
+        }
+        prop_assert!(results[ops.len() - 1].is_ok(), "sibling file lost");
+        prop_assert!(
+            max_tx <= batch,
+            "a transaction carried {max_tx} writes, above the configured bound {batch}"
+        );
     }
 
     /// The same op sequence produces the same namespace on HopsFS-CL and on

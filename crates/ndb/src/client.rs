@@ -35,6 +35,8 @@ struct ClientTx {
     /// Tracing span of the operation this transaction serves (captured from
     /// the ambient span at `begin`; NONE when tracing is off).
     span: simnet::SpanId,
+    /// Write ops buffered by this transaction so far (across `write` calls).
+    writes_issued: usize,
 }
 
 /// Event surfaced to the embedding application.
@@ -99,6 +101,11 @@ pub struct ClientKernel {
     pub suspicion: RetryPolicy,
     /// Which coordinator case/TC each tx used (exposed for stats/tests).
     pub last_tc: Option<usize>,
+    /// Largest number of write ops any single transaction has carried
+    /// (cumulative across its `write` calls). Lets tests assert batching
+    /// bounds — e.g. that a subtree delete never exceeds its configured
+    /// per-transaction batch size.
+    pub largest_write_batch: usize,
 }
 
 impl ClientKernel {
@@ -122,6 +129,7 @@ impl ClientKernel {
             response_timeout,
             suspicion: RetryPolicy::new(ttl, ttl * 8).with_jitter(0.0),
             last_tc: None,
+            largest_write_batch: 0,
             view,
         }
     }
@@ -146,8 +154,17 @@ impl ClientKernel {
         let tx = TxId { client: self.client_bits, seq: self.next_seq };
         self.last_tc = Some(tc_idx);
         let span = ctx.current_span();
-        self.txs
-            .insert(tx, ClientTx { tc_idx, hint, expect: Expect::Nothing, pending_since: None, span });
+        self.txs.insert(
+            tx,
+            ClientTx {
+                tc_idx,
+                hint,
+                expect: Expect::Nothing,
+                pending_since: None,
+                span,
+                writes_issued: 0,
+            },
+        );
         Some(tx)
     }
 
@@ -181,6 +198,10 @@ impl ClientKernel {
     /// Buffers writes at the coordinator.
     pub fn write(&mut self, ctx: &mut Ctx<'_>, tx: TxId, ops: Vec<WriteOp>) {
         let bytes = 64 + ops.iter().map(WriteOp::wire_size).sum::<u64>();
+        if let Some(st) = self.txs.get_mut(&tx) {
+            st.writes_issued += ops.len();
+            self.largest_write_batch = self.largest_write_batch.max(st.writes_issued);
+        }
         self.send_step(ctx, tx, TxBody::Write(ops), Expect::WriteAck, bytes);
     }
 

@@ -223,6 +223,16 @@ impl DatanodeActor {
         self.store.get(&(table, key.pk)).and_then(|m| m.get(&key.suffix)).cloned()
     }
 
+    /// Direct read of every locally stored row of one partition, in suffix
+    /// order (test/verification hook; no protocol messages, no locks). For a
+    /// fully-replicated table any node returns the complete partition.
+    pub fn peek_partition(&self, table: TableId, pk: PartitionKey) -> Vec<(Bytes, Bytes)> {
+        self.store
+            .get(&(table, pk))
+            .map(|m| m.iter().map(|(k, v)| (k.clone(), v.clone())).collect())
+            .unwrap_or_default()
+    }
+
     /// Number of rows stored locally.
     pub fn stored_rows(&self) -> usize {
         self.store.values().map(BTreeMap::len).sum()

@@ -19,6 +19,12 @@ pub enum MicroOp {
     Read,
     /// `deleteFile` of pre-created files.
     Delete,
+    /// Subtree micro-op: repeatedly grow a small directory tree, rename it,
+    /// and remove it with a recursive delete — exercising the subtree
+    /// operations protocol (lock, batched transactions, closing rename or
+    /// delete). Not part of [`MicroOp::ALL`] (it is not one of the paper's
+    /// Figure 7 single-call benchmarks); select it explicitly.
+    Subtree,
 }
 
 impl MicroOp {
@@ -32,6 +38,7 @@ impl MicroOp {
             MicroOp::Create => "createFile",
             MicroOp::Read => "readFile",
             MicroOp::Delete => "deleteFile",
+            MicroOp::Subtree => "subtreeOps",
         }
     }
 }
@@ -41,6 +48,8 @@ pub struct MicroSource {
     op: MicroOp,
     ns: Rc<Namespace>,
     private_dir: String,
+    /// Queued ops of the current `Subtree` round.
+    round: std::collections::VecDeque<FsOp>,
     seq: u64,
     /// For `Delete`: number of pre-created files available (created at bulk
     /// load under the private dir as `p0..p{n-1}`); the session ends when
@@ -60,6 +69,7 @@ impl MicroSource {
             op,
             ns,
             private_dir: Self::private_dir_for(session_id),
+            round: std::collections::VecDeque::new(),
             seq: 0,
             precreated,
             max_ops: None,
@@ -106,6 +116,23 @@ impl OpSource for MicroSource {
                 self.seq += 1;
                 FsOp::Delete { path: p(&path), recursive: false }
             }
+            MicroOp::Subtree => {
+                // One round = grow a two-level tree, rename it, recursively
+                // delete it. Each call emits the round's next op.
+                if self.round.is_empty() {
+                    self.seq += 1;
+                    let (d, n) = (&self.private_dir, self.seq);
+                    self.round.extend([
+                        FsOp::Mkdir { path: p(&format!("{d}/t{n}")) },
+                        FsOp::Mkdir { path: p(&format!("{d}/t{n}/s")) },
+                        FsOp::Create { path: p(&format!("{d}/t{n}/a")), size: 0 },
+                        FsOp::Create { path: p(&format!("{d}/t{n}/s/b")), size: 0 },
+                        FsOp::Rename { src: p(&format!("{d}/t{n}")), dst: p(&format!("{d}/m{n}")) },
+                        FsOp::Delete { path: p(&format!("{d}/m{n}")), recursive: true },
+                    ]);
+                }
+                self.round.pop_front().expect("round queued")
+            }
         };
         Some(op)
     }
@@ -145,6 +172,33 @@ mod tests {
         for _ in 0..100 {
             let op = s.next_op(&mut rng, SimTime::ZERO).unwrap();
             assert!(seen.insert(op.path().to_string()), "duplicate create path");
+        }
+    }
+
+    /// A `Subtree` round is self-contained: everything it grows is under
+    /// one fresh root, the root is renamed once, and the renamed root is
+    /// removed by exactly one recursive delete.
+    #[test]
+    fn subtree_rounds_are_self_contained() {
+        let mut s = MicroSource::new(MicroOp::Subtree, ns(), 4, 0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for round in 1..=5u64 {
+            let ops: Vec<FsOp> = (0..6).map(|_| s.next_op(&mut rng, SimTime::ZERO).unwrap()).collect();
+            let root = format!("/micro/s4/t{round}");
+            let moved = format!("/micro/s4/m{round}");
+            assert!(ops[..4].iter().all(|o| o.path().to_string().starts_with(&root)));
+            assert!(
+                matches!(&ops[4], FsOp::Rename { src, dst }
+                    if src.to_string() == root && dst.to_string() == moved),
+                "round {round}: {:?}",
+                ops[4]
+            );
+            assert!(
+                matches!(&ops[5], FsOp::Delete { path, recursive: true }
+                    if path.to_string() == moved),
+                "round {round}: {:?}",
+                ops[5]
+            );
         }
     }
 

@@ -85,7 +85,15 @@ pub struct SpotifySource {
     /// [`SpotifySource::private_dir_for`] at bulk-load time).
     private_dir: String,
     created: VecDeque<String>,
+    /// Queued subtree-burst operations, drained before sampling the mix.
+    burst: VecDeque<FsOp>,
     seq: u64,
+    /// Probability that a delete pick expands into a *subtree burst*: build
+    /// a small directory tree under the private dir, then remove it with a
+    /// recursive delete (half the time via a directory rename first). Keeps
+    /// the recursive namenode paths (the subtree operations protocol) hot
+    /// under trace-shaped load without distorting the published op mix.
+    pub subtree_burst: f64,
     /// Stop after this many issued ops (`None` = run forever).
     pub max_ops: Option<u64>,
     issued: u64,
@@ -99,7 +107,9 @@ impl SpotifySource {
             mix,
             private_dir: Self::private_dir_for(session_id),
             created: VecDeque::new(),
+            burst: VecDeque::new(),
             seq: 0,
+            subtree_burst: 1.0 / 16.0,
             max_ops: None,
             issued: 0,
         }
@@ -114,6 +124,25 @@ impl SpotifySource {
     fn path(&self, s: &str) -> FsPath {
         FsPath::parse(s).expect("generated paths are valid")
     }
+
+    /// Queues a subtree burst: grow `t{n}` (two levels, two files), then
+    /// remove it — directly, or after renaming it to `u{n}` first.
+    fn queue_subtree_burst(&mut self, rng: &mut StdRng) {
+        self.seq += 1;
+        let n = self.seq;
+        let root = format!("{}/t{n}", self.private_dir);
+        self.burst.push_back(FsOp::Mkdir { path: self.path(&root) });
+        self.burst.push_back(FsOp::Mkdir { path: self.path(&format!("{root}/sub")) });
+        self.burst.push_back(FsOp::Create { path: self.path(&format!("{root}/a")), size: 0 });
+        self.burst.push_back(FsOp::Create { path: self.path(&format!("{root}/sub/b")), size: 0 });
+        if rng.gen_bool(0.5) {
+            let moved = format!("{}/u{n}", self.private_dir);
+            self.burst.push_back(FsOp::Rename { src: self.path(&root), dst: self.path(&moved) });
+            self.burst.push_back(FsOp::Delete { path: self.path(&moved), recursive: true });
+        } else {
+            self.burst.push_back(FsOp::Delete { path: self.path(&root), recursive: true });
+        }
+    }
 }
 
 impl OpSource for SpotifySource {
@@ -124,6 +153,9 @@ impl OpSource for SpotifySource {
             }
         }
         self.issued += 1;
+        if let Some(op) = self.burst.pop_front() {
+            return Some(op);
+        }
         let m = self.mix;
         let mut pick = rng.gen_range(0..m.total());
         let mut take = |w: u32| {
@@ -144,10 +176,15 @@ impl OpSource for SpotifySource {
             self.seq += 1;
             FsOp::Create { path: self.path(&format!("{}/f{}", self.private_dir, self.seq)), size: 0 }
         } else if take(m.delete) {
-            match self.created.pop_front() {
-                Some(p) => FsOp::Delete { path: self.path(&p), recursive: false },
-                // Nothing created yet: substitute a read (keeps the loop hot).
-                None => FsOp::Stat { path: self.path(self.ns.sample_file(rng)) },
+            if self.subtree_burst > 0.0 && rng.gen_bool(self.subtree_burst) {
+                self.queue_subtree_burst(rng);
+                self.burst.pop_front().expect("burst queued")
+            } else {
+                match self.created.pop_front() {
+                    Some(p) => FsOp::Delete { path: self.path(&p), recursive: false },
+                    // Nothing created yet: substitute a read (keeps the loop hot).
+                    None => FsOp::Stat { path: self.path(self.ns.sample_file(rng)) },
+                }
             }
         } else if take(m.set_perm) {
             // Permission changes target uniformly random files (chmod storms
@@ -181,10 +218,19 @@ impl OpSource for SpotifySource {
 
     fn on_result(&mut self, op: &FsOp, result: &FsResult) {
         if result.is_ok() {
-            match op {
-                FsOp::Create { path, .. } => self.created.push_back(path.to_string()),
-                FsOp::Rename { dst, .. } => self.created.push_back(dst.to_string()),
-                _ => {}
+            if let FsOp::Create { path, .. } | FsOp::Rename { dst: path, .. } = op {
+                // Only individual files directly under the private dir feed
+                // the delete/rename/chmod recycling queue (`f{n}` creates,
+                // `r{n}` rename targets). Subtree-burst paths (`t{n}`,
+                // `u{n}` and everything beneath) are consumed by their own
+                // recursive delete — recycling them would make later
+                // singleton ops target already-removed files.
+                let p = path.to_string();
+                if let Some(name) = p.strip_prefix(&format!("{}/", self.private_dir)) {
+                    if !name.contains('/') && (name.starts_with('f') || name.starts_with('r')) {
+                        self.created.push_back(p);
+                    }
+                }
             }
         }
     }
@@ -243,6 +289,73 @@ mod tests {
             if matches!(op.kind(), OpKind::Create) {
                 s.on_result(&op, &Ok(hopsfs::FsOk::Done));
             }
+        }
+    }
+
+    /// The seeded subtree mix emits recursive deletes (and rename-then-
+    /// delete sequences) confined to the private dir, and every burst root
+    /// it grows is eventually removed by a recursive delete.
+    #[test]
+    fn subtree_bursts_emit_recursive_deletes_and_balance() {
+        let mut s = source();
+        s.subtree_burst = 1.0; // every delete pick bursts
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut grown = std::collections::HashSet::new();
+        let mut recursive_deletes = 0u32;
+        for _ in 0..20_000 {
+            let op = s.next_op(&mut rng, SimTime::ZERO).unwrap();
+            match &op {
+                FsOp::Mkdir { path } => {
+                    let p = path.to_string();
+                    if p.starts_with("/load/s7/t") && !p.contains("/sub") {
+                        grown.insert(p);
+                    }
+                }
+                FsOp::Rename { src, dst } if grown.remove(&src.to_string()) => {
+                    grown.insert(dst.to_string());
+                }
+                FsOp::Delete { path, recursive: true } => {
+                    recursive_deletes += 1;
+                    assert!(
+                        grown.remove(&path.to_string()),
+                        "recursive delete of a root never grown: {path}"
+                    );
+                }
+                _ => {}
+            }
+            s.on_result(&op, &Ok(hopsfs::FsOk::Done));
+        }
+        assert!(recursive_deletes > 100, "bursts never fired: {recursive_deletes}");
+        assert!(grown.len() <= 1, "burst roots left behind: {grown:?}");
+    }
+
+    /// Burst-internal creates must not leak into the singleton-delete
+    /// recycling queue: after a burst's recursive delete, no later
+    /// non-recursive op may target a path under a removed burst root.
+    #[test]
+    fn burst_paths_do_not_recycle_into_singleton_ops() {
+        let mut s = source();
+        s.subtree_burst = 1.0;
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut removed_roots: Vec<String> = Vec::new();
+        for _ in 0..20_000 {
+            let op = s.next_op(&mut rng, SimTime::ZERO).unwrap();
+            match &op {
+                FsOp::Delete { path, recursive: true } => {
+                    removed_roots.push(format!("{path}/"));
+                }
+                FsOp::Delete { path, recursive: false }
+                | FsOp::SetPerm { path, .. }
+                | FsOp::Rename { src: path, .. } => {
+                    let p = path.to_string();
+                    assert!(
+                        !removed_roots.iter().any(|r| p.starts_with(r.as_str())),
+                        "singleton op targets removed subtree: {op:?}"
+                    );
+                }
+                _ => {}
+            }
+            s.on_result(&op, &Ok(hopsfs::FsOk::Done));
         }
     }
 

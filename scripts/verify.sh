@@ -12,6 +12,9 @@ cargo build --release --workspace
 echo "== tier-1 tests =="
 cargo test -q --workspace
 
+echo "== subtree-op chaos gate (NN crash mid-op: no orphaned locks, deterministic replay) =="
+cargo test -q --test chaos namenode_crash_mid_subtree_op_heals_and_replays_identically
+
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
@@ -22,10 +25,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 # change what a bench reports, only how fast it reports it.
 if [ "${VERIFY_TIER2:-0}" = "1" ] || [ "${1:-}" = "--tier2" ]; then
     echo "== tier-2: figure-bench thread-count determinism =="
-    benches="fig5_throughput fig6_per_mds fig7_micro_ops fig8_latency \
-             fig9_latency_pct fig10_cpu_util fig11_ndb_threads_util \
-             fig12_storage_util fig13_nn_util fig14_az_local_reads \
-             ablation_az_awareness"
+    benches="fig5_throughput fig6_per_mds fig7_micro_ops fig7_subtree_ops \
+             fig8_latency fig9_latency_pct fig10_cpu_util \
+             fig11_ndb_threads_util fig12_storage_util fig13_nn_util \
+             fig14_az_local_reads ablation_az_awareness"
     dir1=$(mktemp -d) && dirN=$(mktemp -d)
     trap 'rm -rf "$dir1" "$dirN"' EXIT
     printf '  %-24s %12s %12s\n' "bench (smoke cell)" "threads=1" "threads=4"

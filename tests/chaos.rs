@@ -284,3 +284,161 @@ fn seeded_nemesis_schedule_heals_clean_and_replays_identically() {
         "tracing perturbed probe/audit counts"
     );
 }
+
+// --- Subtree-operation crash window ----------------------------------------
+//
+// A namenode dies between the batched transactions of a recursive delete,
+// leaving the subtree-lock flag set in NDB. The orphan sweep (piggybacked on
+// the election round) must reclaim the lock, a retrying client must
+// eventually complete the delete, and the namespace must end exactly where a
+// sequential oracle says: subtree gone, siblings intact — bit-identically
+// across same-seed runs.
+
+use hopsfs::chaos::orphaned_sto_locks;
+use hopsfs::NameNodeActor;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Re-issues one op until it is acknowledged, recording every verdict. A
+/// namenode crash mid-protocol surfaces as retryable errors (`Busy` while
+/// the subtree lock is orphaned, `Unavailable` during failover); the op only
+/// counts as done when a re-issue returns `Ok`.
+struct RetryUntilAcked {
+    op: FsOp,
+    verdicts: Rc<RefCell<Vec<Result<(), hopsfs::FsError>>>>,
+    done: bool,
+}
+
+impl OpSource for RetryUntilAcked {
+    fn next_op(&mut self, _rng: &mut StdRng, _now: SimTime) -> Option<FsOp> {
+        if self.done {
+            None
+        } else {
+            Some(self.op.clone())
+        }
+    }
+
+    fn on_result(&mut self, _op: &FsOp, result: &hopsfs::FsResult) {
+        self.verdicts.borrow_mut().push(result.as_ref().map(|_| ()).map_err(|e| *e));
+        if result.is_ok() {
+            self.done = true;
+        }
+    }
+}
+
+/// Everything the subtree-crash run produces that must replay identically.
+#[derive(Debug, PartialEq)]
+struct StoOutcome {
+    trace: Vec<String>,
+    events: u64,
+    verdicts: Vec<Result<(), hopsfs::FsError>>,
+    orphans_cleaned: u64,
+    sto_ops: u64,
+    big_listing: Vec<String>,
+}
+
+fn run_sto_crash(seed: u64) -> StoOutcome {
+    let mut cfg = hopsfs::FsConfig::hopsfs_cl(6, 3, 3);
+    // Many small batches: a wide window for the crash to land inside the
+    // batched-transaction train.
+    cfg.subtree_batch_size = 8;
+    let mut sim = Simulation::new(seed);
+    sim.set_jitter(0.0);
+    let mut cluster = hopsfs::build_fs_cluster(&mut sim, cfg, 6);
+    let view = cluster.view.clone();
+
+    // A ~630-inode subtree (the victim) and a sibling that must survive.
+    for d in 0..30 {
+        for f in 0..20 {
+            cluster.bulk_add_file(&mut sim, &format!("/big/t/d{d}/f{f}"), 0);
+        }
+    }
+    cluster.bulk_add_file(&mut sim, "/big/keep", 4096);
+    sim.run_until(SimTime::from_secs(3)); // elections settle
+
+    let verdicts: Rc<RefCell<Vec<Result<(), hopsfs::FsError>>>> = Rc::new(RefCell::new(Vec::new()));
+    let deleter = cluster.add_client(
+        &mut sim,
+        AzId(0),
+        Box::new(RetryUntilAcked {
+            op: FsOp::Delete { path: p("/big/t"), recursive: true },
+            verdicts: verdicts.clone(),
+            done: false,
+        }),
+        ClientStats::shared(),
+    );
+    sim.actor_mut::<FsClientActor>(deleter).think_time = SimDuration::from_millis(250);
+
+    // AZ-aware clients bind to the AZ-local namenode; crash it shortly
+    // after the delete starts (mid-protocol), restart it stateless later.
+    let nn0 = view.nn_ids[0];
+    let schedule = Schedule::new()
+        .at(SimTime::from_millis(3_020), Fault::Crash(nn0))
+        .at(SimTime::from_millis(5_000), Fault::Restart(nn0));
+    let trace = schedule.install(&mut sim);
+
+    // Ride through crash, restart, orphan sweep, and the client's retries.
+    sim.run_until(SimTime::from_secs(25));
+    let lines = trace.lines();
+    assert_eq!(lines.len(), 2, "unapplied faults: {lines:?}");
+
+    // Liveness: the delete was eventually acknowledged.
+    {
+        let c = sim.actor::<FsClientActor>(deleter);
+        assert!(c.done && c.idle(), "deleter stuck: verdicts={:?}", verdicts.borrow());
+    }
+    let verdicts = verdicts.borrow().clone();
+    assert_eq!(verdicts.last(), Some(&Ok(())), "final re-issue must succeed: {verdicts:?}");
+
+    // The crash really interrupted a subtree op (the lock flag was left in
+    // NDB) and the sweep really reclaimed it...
+    let orphans_cleaned: u64 =
+        view.nn_ids.iter().map(|&id| sim.actor::<NameNodeActor>(id).stats.sto_orphans_cleaned).sum();
+    assert!(orphans_cleaned >= 1, "crash did not orphan a subtree lock (crash window missed)");
+    let sto_ops: u64 =
+        view.nn_ids.iter().map(|&id| sim.actor::<NameNodeActor>(id).stats.sto_ops).sum();
+    assert!(sto_ops >= 2, "expected an interrupted attempt plus a successful re-issue");
+    // ...and no lock row survives at quiesce.
+    let orphans = orphaned_sto_locks(&sim, &view);
+    assert!(orphans.is_empty(), "orphaned subtree locks at quiesce: {orphans:?}");
+
+    // Oracle agreement: the subtree is gone (every level), the sibling and
+    // its size survived.
+    let big_listing = match drain_one(&mut sim, &cluster, FsOp::List { path: p("/big") }) {
+        Ok(FsOk::Listing(entries)) => {
+            let mut names: Vec<String> = entries.iter().map(|e| e.name.clone()).collect();
+            names.sort();
+            names
+        }
+        other => panic!("/big listing failed: {other:?}"),
+    };
+    assert_eq!(big_listing, vec!["keep".to_string()], "namespace differs from the oracle");
+    for probe in ["/big/t", "/big/t/d0", "/big/t/d29/f19"] {
+        let r = drain_one(&mut sim, &cluster, FsOp::Stat { path: p(probe) });
+        assert_eq!(r, Err(hopsfs::FsError::NotFound), "{probe} survived the recursive delete");
+    }
+    match drain_one(&mut sim, &cluster, FsOp::Stat { path: p("/big/keep") }) {
+        Ok(FsOk::Attrs(a)) => assert_eq!(a.size, 4096, "sibling mutated"),
+        other => panic!("sibling lost: {other:?}"),
+    }
+
+    // Cluster-wide invariants, including the no-orphaned-lock check.
+    let report = check_invariants(&sim, &view, &[deleter]);
+    assert!(report.clean(), "invariants violated: {report:?}");
+
+    StoOutcome {
+        trace: lines,
+        events: sim.events_processed(),
+        verdicts,
+        orphans_cleaned,
+        sto_ops,
+        big_listing,
+    }
+}
+
+#[test]
+fn namenode_crash_mid_subtree_op_heals_and_replays_identically() {
+    let a = run_sto_crash(21);
+    let b = run_sto_crash(21);
+    assert_eq!(a, b, "same-seed subtree-crash runs must be bit-identical");
+}

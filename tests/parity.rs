@@ -152,7 +152,7 @@ use hopsfs::FsError;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::BTreeMap;
-use workload::{Mix, SpotifySource};
+use workload::{MicroOp, MicroSource, Mix, SpotifySource};
 
 /// What the oracle returns for one applied operation.
 #[derive(Debug, Clone, PartialEq)]
@@ -455,4 +455,83 @@ fn spotify_trace_replays_identically_on_all_systems() {
     // trace touched; reaching here means namespace state is equivalent in
     // all three models.
     assert!(matches!(hops[ops.len() - 3], Ok(FsOk::Listing(_))), "private dir listing");
+}
+
+/// The seeded subtree delete/rename mix replays identically through
+/// HopsFS-CL (where recursive directory deletes and directory renames run
+/// the subtree operations protocol: lock transaction, bounded batched
+/// transactions, closing transaction), the CephFS baseline, and the
+/// sequential oracle.
+#[test]
+fn subtree_mix_replays_identically_on_all_systems() {
+    let spec = NamespaceSpec { users: 4, dirs_per_user: 2, files_per_dir: 2, ..Default::default() };
+    let ns = Rc::new(Namespace::generate(&spec));
+    let mut rng = StdRng::seed_from_u64(0x5073);
+
+    // Spotify trace with every delete pick expanded into a subtree burst.
+    let mut src = SpotifySource::new(Rc::clone(&ns), Mix::SPOTIFY, 0);
+    src.subtree_burst = 1.0;
+    src.max_ops = Some(180);
+    let mut ops = Vec::new();
+    while let Some(op) = src.next_op(&mut rng, SimTime::ZERO) {
+        src.on_result(&op, &Ok(FsOk::Done));
+        ops.push(op);
+    }
+    let recursive_deletes =
+        ops.iter().filter(|o| matches!(o, FsOp::Delete { recursive: true, .. })).count();
+    assert!(recursive_deletes >= 2, "trace must exercise recursive deletes: {recursive_deletes}");
+
+    // Micro subtree rounds (grow, rename, recursively delete) in their own
+    // namespace region, created by the op stream itself so every stack and
+    // the oracle see the same sequence.
+    ops.push(FsOp::Mkdir { path: p("/micro") });
+    ops.push(FsOp::Mkdir { path: p(&MicroSource::private_dir_for(0)) });
+    let mut micro = MicroSource::new(MicroOp::Subtree, Rc::clone(&ns), 0, 0);
+    micro.max_ops = Some(18); // 3 full rounds
+    while let Some(op) = micro.next_op(&mut rng, SimTime::ZERO) {
+        ops.push(op);
+    }
+
+    // Quiesce probes over every region the mixes touched.
+    let private = SpotifySource::private_dir_for(0);
+    ops.push(FsOp::List { path: p(&private) });
+    ops.push(FsOp::List { path: p(&MicroSource::private_dir_for(0)) });
+    ops.push(FsOp::List { path: p("/") });
+
+    let mut oracle = Oracle::new();
+    for d in &ns.dirs {
+        oracle.load(d, true, 0);
+    }
+    for f in &ns.files {
+        oracle.load(f, false, 0);
+    }
+    oracle.load(&private, true, 0);
+    let expected: Vec<Result<OracleOk, FsError>> = ops.iter().map(|op| oracle.apply(op)).collect();
+
+    let hops = run_hopsfs_loaded(&ns, ops.clone());
+    let ceph = run_ceph_loaded(&ns, ops.clone());
+    assert_eq!(hops.len(), ops.len(), "hopsfs session must finish the subtree trace");
+    assert_eq!(ceph.len(), ops.len(), "ceph session must finish the subtree trace");
+
+    for (i, op) in ops.iter().enumerate() {
+        assert!(
+            matches_oracle(&hops[i], &expected[i]),
+            "op {i} {op:?}: hopsfs={:?} oracle={:?}",
+            hops[i],
+            expected[i]
+        );
+        assert!(
+            matches_oracle(&ceph[i], &expected[i]),
+            "op {i} {op:?}: cephfs={:?} oracle={:?}",
+            ceph[i],
+            expected[i]
+        );
+        let cross = match (&hops[i], &ceph[i]) {
+            (Ok(FsOk::Listing(a)), Ok(FsOk::Listing(b))) => listing_names(a) == listing_names(b),
+            (Ok(_), Ok(_)) => true,
+            (Err(a), Err(b)) => a == b,
+            _ => false,
+        };
+        assert!(cross, "op {i} {op:?}: hopsfs={:?} cephfs={:?}", hops[i], ceph[i]);
+    }
 }

@@ -159,9 +159,11 @@ fn run_digest(d: &Deployment, trace_lines: &[String]) -> u64 {
     fnv1a(&s)
 }
 
-/// Golden digest of a small fig5-style Spotify-mix cell. Recorded from the
-/// pre-timer-wheel `BinaryHeap` kernel; the wheel swap (and any later kernel
-/// work) must keep same-seed replay bit-identical to this.
+/// Golden digest of a small fig5-style Spotify-mix cell. Re-recorded when the
+/// subtree operations protocol landed (the workload mix gained recursive
+/// delete/rename bursts and namenodes gained a sweep scan per election
+/// round, both deliberate behaviour changes); any later kernel or scheduler
+/// work must keep same-seed replay bit-identical to this.
 #[test]
 fn spotify_cell_digest_matches_pre_swap_golden() {
     let mut d = deploy(FsConfig::hopsfs_cl(6, 3, 3).scaled_down(8), 12, 33);
@@ -169,8 +171,8 @@ fn spotify_cell_digest_matches_pre_swap_golden() {
     let digest = run_digest(&d, &[]);
     assert_eq!(
         digest, GOLDEN_SPOTIFY_DIGEST,
-        "kernel swap changed the deterministic replay of the Spotify cell \
-         (got {digest:#018x}; golden recorded from the BinaryHeap kernel)"
+        "deterministic replay of the Spotify cell changed \
+         (got {digest:#018x}; golden recorded at the subtree-ops protocol landing)"
     );
 }
 
@@ -194,17 +196,19 @@ fn chaos_cell_digest_matches_pre_swap_golden() {
     let digest = run_digest(&d, &trace.lines());
     assert_eq!(
         digest, GOLDEN_CHAOS_DIGEST,
-        "kernel swap changed the deterministic replay of the chaos cell \
-         (got {digest:#018x}; golden recorded from the BinaryHeap kernel)"
+        "deterministic replay of the chaos cell changed \
+         (got {digest:#018x}; golden recorded at the subtree-ops protocol landing)"
     );
 }
 
-/// Digests recorded from the pre-swap kernel (BinaryHeap event queue), on
-/// the exact deploys above. If a *deliberate* schedule change ever requires
-/// re-recording, the failing assertion prints the current value — document
-/// the re-record in DESIGN.md.
-const GOLDEN_SPOTIFY_DIGEST: u64 = 0x2f83_bc01_a7ab_b63f;
-const GOLDEN_CHAOS_DIGEST: u64 = 0x13f5_ff3e_542c_178a;
+/// Digests recorded on the exact deploys above when the subtree operations
+/// protocol landed (recursive delete/rename in the Spotify mix plus the
+/// orphan-lock sweep changed the simulated schedule — a deliberate
+/// behaviour change per the DESIGN.md golden policy). If a *deliberate*
+/// schedule change ever requires re-recording, the failing assertion prints
+/// the current value — document the re-record in DESIGN.md.
+const GOLDEN_SPOTIFY_DIGEST: u64 = 0xbfa6_49e8_223f_2102;
+const GOLDEN_CHAOS_DIGEST: u64 = 0x5322_368b_4dfc_cf47;
 
 #[test]
 fn deterministic_across_runs() {
