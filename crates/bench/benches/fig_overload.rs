@@ -1,0 +1,227 @@
+//! **Overload figure** (no paper counterpart — the cross-layer
+//! overload-control experiment): open-loop Poisson clients sweep offered
+//! load from half of saturation to 3x past it, with namenode admission
+//! control ON and OFF.
+//!
+//! The expected picture is the classic hockey stick. The OFF cells model the
+//! pre-overload-control stack end to end: no namenode admission gate *and*
+//! non-adaptive clients (every arrival dispatches immediately; only the
+//! timeout/retry loop remains). Once offered load crosses capacity the
+//! worker queue grows without bound, queue delay blows past the client
+//! op-timeout, every response arrives stale, timeout-retries amplify the
+//! load, and goodput collapses. The ON cells run the full subsystem —
+//! admission sheds the excess with `Overloaded{retry_after}` before it
+//! queues and AIMD clients back off on the hint — so goodput plateaus near
+//! capacity and the p99 of the ops that *do* complete stays bounded.
+//!
+//! Every cell is one deterministic single-threaded simulation run
+//! sequentially (seeded, jitter-free), so the artifact is byte-identical
+//! across repeat runs and `--threads` counts.
+
+use bench::report::{load_json, print_table, save_json};
+use bench::sweep::smoke;
+use hopsfs::client::ClientStats;
+use hopsfs::{NameNodeActor, OpenLoopClientActor};
+use serde::{Deserialize, Serialize};
+use simnet::{AzId, SimTime, Simulation};
+use std::rc::Rc;
+use workload::{Namespace, NamespaceSpec, OverloadSource};
+
+/// Cluster saturation throughput (ops/s) for the fixed cell deployment
+/// below — HopsFS-CL (6,3), 3 namenodes, `scaled_down(16)` — measured
+/// empirically at the knee of the admission-OFF curve. Offered-load
+/// multipliers are relative to this.
+const SAT_RATE: f64 = 5400.0;
+
+/// Open-loop sessions per cell.
+const SESSIONS: u64 = 6;
+
+/// One (offered multiplier, admission on/off) cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Cell {
+    /// Offered load as a multiple of [`SAT_RATE`].
+    mult: f64,
+    /// Whether namenode admission control was enabled.
+    admission: bool,
+    /// Offered arrivals per second across all sessions.
+    offered_per_sec: f64,
+    /// Successful completions per second inside the measurement window.
+    goodput: f64,
+    /// p99 latency of successful ops in the window, ms (virtual time).
+    p99_ms: f64,
+    /// Mean latency of successful ops in the window, ms.
+    mean_ms: f64,
+    /// Requests shed at namenode admission (whole run).
+    sheds: u64,
+    /// Arrivals dropped at the clients' bounded queues (whole run).
+    dropped: u64,
+    /// Ops that exhausted their retry budget in the window.
+    errors: u64,
+    /// Mean AIMD window across sessions at the end of the run.
+    mean_cwnd: f64,
+}
+
+fn run_cell(mult: f64, admission: bool, warmup: u64, window: u64) -> Cell {
+    let mut cfg = hopsfs::FsConfig::hopsfs_cl(6, 3, 3).scaled_down(16);
+    cfg.admission.enabled = admission;
+    // Provision the gate for an interactive SLO: shed once the worker
+    // backlog costs more than ~60ms, well before the client-side AIMD
+    // latency target (500ms) would self-limit — the gate, not the client,
+    // is the first line of defense.
+    cfg.admission.interactive_threshold = simnet::SimDuration::from_millis(60);
+    cfg.admission.batch_threshold = simnet::SimDuration::from_millis(30);
+    cfg.admission.maintenance_threshold = simnet::SimDuration::from_millis(10);
+    let mut sim = Simulation::new(13);
+    sim.set_jitter(0.0);
+    let mut cluster = hopsfs::build_fs_cluster(&mut sim, cfg, 6);
+    let view = cluster.view.clone();
+
+    let ns = Rc::new(Namespace::generate(&NamespaceSpec {
+        users: 2,
+        dirs_per_user: 2,
+        files_per_dir: 5,
+        ..NamespaceSpec::default()
+    }));
+    ns.load_hopsfs(&mut sim, &mut cluster, 0);
+    for s in 0..SESSIONS {
+        cluster.bulk_mkdir_p(&mut sim, &OverloadSource::private_dir_for(s));
+    }
+    sim.run_until(SimTime::from_secs(3)); // elections settle
+
+    let offered = mult * SAT_RATE;
+    let stats = ClientStats::shared();
+    stats.borrow_mut().recording = false;
+    let mut clients = Vec::new();
+    for s in 0..SESSIONS {
+        let src = OverloadSource::new(Rc::clone(&ns), s);
+        let id = cluster.add_open_loop_client(
+            &mut sim,
+            AzId((s % 3) as u8),
+            Box::new(src),
+            stats.clone(),
+            offered / SESSIONS as f64,
+            256,
+        );
+        // OFF = the whole subsystem off: legacy clients fire every arrival
+        // immediately, with only the timeout/retry loop for recovery.
+        sim.actor_mut::<OpenLoopClientActor>(id).adaptive = admission;
+        clients.push(id);
+    }
+
+    // Warmup (overload builds its queue), then the measurement window.
+    sim.run_until(SimTime::from_secs(3 + warmup));
+    stats.borrow_mut().recording = true;
+    sim.run_until(SimTime::from_secs(3 + warmup + window));
+    stats.borrow_mut().recording = false;
+
+    let st = stats.borrow();
+    let sheds: u64 =
+        view.nn_ids.iter().map(|&id| sim.actor::<NameNodeActor>(id).stats.admission_shed).sum();
+    let (dropped, cwnd_sum) = clients.iter().fold((0u64, 0.0f64), |(d, c), &id| {
+        let a = sim.actor::<OpenLoopClientActor>(id);
+        (d + a.dropped_arrivals, c + a.cwnd())
+    });
+    Cell {
+        mult,
+        admission,
+        offered_per_sec: offered,
+        goodput: st.total_ok() as f64 / window as f64,
+        p99_ms: st.latency_all.quantile(0.99) as f64 / 1e6,
+        mean_ms: st.latency_all.mean() / 1e6,
+        sheds,
+        dropped,
+        errors: st.total_err(),
+        mean_cwnd: cwnd_sum / SESSIONS as f64,
+    }
+}
+
+fn main() {
+    let (mults, warmup, window): (Vec<f64>, u64, u64) = if smoke() {
+        (vec![0.5, 1.0, 2.5], 2, 4)
+    } else {
+        (vec![0.5, 1.0, 1.5, 2.0, 2.5, 3.0], 4, 10)
+    };
+    let key = format!("fig_overload{}", if smoke() { "_smoke" } else { "" });
+    let cells: Vec<Cell> = load_json(&key).unwrap_or_else(|| {
+        let mut cells = Vec::new();
+        for &m in &mults {
+            for &adm in &[true, false] {
+                eprintln!(
+                    "[overload cell: {:.1}x offered, admission {}…]",
+                    m,
+                    if adm { "on" } else { "off" }
+                );
+                cells.push(run_cell(m, adm, warmup, window));
+            }
+        }
+        save_json(&key, &cells);
+        cells
+    });
+    bench::emit_artifact("fig_overload", &cells);
+
+    let rows: Vec<Vec<String>> = cells
+        .iter()
+        .map(|c| {
+            vec![
+                format!("{:.1}x", c.mult),
+                if c.admission { "on".into() } else { "off".into() },
+                format!("{:.0}", c.offered_per_sec),
+                format!("{:.0}", c.goodput),
+                format!("{:.1}", c.mean_ms),
+                format!("{:.1}", c.p99_ms),
+                c.sheds.to_string(),
+                c.dropped.to_string(),
+                c.errors.to_string(),
+                format!("{:.1}", c.mean_cwnd),
+            ]
+        })
+        .collect();
+    print_table(
+        "Overload sweep — open-loop offered load vs goodput, admission on/off",
+        &["offered", "adm", "ops/s", "goodput", "mean ms", "p99 ms", "sheds", "dropped", "errors", "cwnd"],
+        &rows,
+    );
+
+    let cell = |mult: f64, adm: bool| -> &Cell {
+        cells
+            .iter()
+            .find(|c| (c.mult - mult).abs() < 1e-9 && c.admission == adm)
+            .expect("cell present")
+    };
+    let peak_on =
+        cells.iter().filter(|c| c.admission).map(|c| c.goodput).fold(0.0, f64::max);
+
+    // The hockey stick, as machine-checked acceptance criteria at 2.5x:
+    //
+    // 1. Admission ON holds goodput near the plateau peak...
+    let on = cell(2.5, true);
+    let off = cell(2.5, false);
+    assert!(
+        on.goodput >= 0.85 * peak_on,
+        "admission ON lost the plateau: {:.0} ops/s at 2.5x vs peak {:.0}",
+        on.goodput,
+        peak_on
+    );
+    // 2. ...with bounded tail latency (well under the 4s client op-timeout
+    //    that the admission-OFF queue blows through)...
+    assert!(
+        on.p99_ms < 3_000.0,
+        "admission ON p99 unbounded at 2.5x: {:.0} ms",
+        on.p99_ms
+    );
+    // 3. ...while admission OFF collapses under the same offered load...
+    assert!(
+        off.goodput < 0.6 * on.goodput,
+        "admission OFF did not collapse at 2.5x: {:.0} ops/s vs ON {:.0}",
+        off.goodput,
+        on.goodput
+    );
+    // 4. ...and the protection visibly came from shedding.
+    assert!(on.sheds > 0, "admission ON never shed at 2.5x offered load");
+
+    println!(
+        "\n2.5x offered: ON {:.0} ops/s (p99 {:.0} ms, {} sheds) vs OFF {:.0} ops/s (p99 {:.0} ms)",
+        on.goodput, on.p99_ms, on.sheds, off.goodput, off.p99_ms
+    );
+    println!("\noverload bench done");
+}

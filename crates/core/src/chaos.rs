@@ -18,7 +18,7 @@
 //! Tests (`tests/chaos.rs` at the workspace root) combine these with a
 //! seeded fault schedule and assert the report is clean after heal.
 
-use crate::client::{FsClientActor, OpSource};
+use crate::client::{ClientStats, FsClientActor, OpSource};
 use crate::meta::StoRecord;
 use crate::namenode::NameNodeActor;
 use crate::ops::FsOp;
@@ -152,6 +152,61 @@ pub fn orphaned_sto_locks(sim: &Simulation, view: &FsView) -> Vec<StoRecord> {
         .iter()
         .map(|(_, data)| StoRecord::decode(data))
         .collect()
+}
+
+/// Cross-layer shed accounting; produced by [`shed_audit`].
+///
+/// The overload-control invariant is **"a shed request is never acked"**:
+/// a request the admission gate turned away must not also have executed.
+/// The namenode counts every delivered FS request exactly once — answered
+/// (ok or error, through the response path), shed at admission, or still in
+/// flight — so the books balance iff no request took two paths. The
+/// client-side tally closes the loop: every shed became an `Overloaded`
+/// delivery, never a success.
+#[derive(Debug)]
+pub struct ShedAudit {
+    /// FS requests delivered to namenodes (resends count separately).
+    pub requests_received: u64,
+    /// Requests answered through the response path (ok + error).
+    pub answered: u64,
+    /// Requests shed at admission with `Overloaded`.
+    pub shed: u64,
+    /// Admitted ops still executing at scan time (0 once quiesced).
+    pub in_flight: u64,
+    /// `Overloaded` responses observed at clients (stale ones included).
+    pub client_overloads: u64,
+}
+
+impl ShedAudit {
+    /// Whether the books balance. Valid at quiescence in runs where no
+    /// namenode crashed (a restart discards in-flight ops while the
+    /// cumulative received-counter survives) and every response was
+    /// delivered (clients alive, partitions healed).
+    pub fn clean(&self) -> bool {
+        self.requests_received == self.answered + self.shed + self.in_flight
+            && self.shed == self.client_overloads
+    }
+}
+
+/// Tallies shed accounting across all alive namenodes and the experiment's
+/// shared client stats. See [`ShedAudit::clean`] for validity conditions.
+pub fn shed_audit(sim: &Simulation, view: &FsView, stats: &ClientStats) -> ShedAudit {
+    let mut audit = ShedAudit {
+        requests_received: 0,
+        answered: 0,
+        shed: 0,
+        in_flight: 0,
+        client_overloads: stats.overloaded_responses,
+    };
+    for &id in view.nn_ids.iter().filter(|&&id| sim.is_alive(id)) {
+        let nn = sim.actor::<NameNodeActor>(id);
+        audit.requests_received += nn.stats.requests_received;
+        audit.answered +=
+            nn.stats.ops_ok.values().sum::<u64>() + nn.stats.ops_err.values().sum::<u64>();
+        audit.shed += nn.stats.admission_shed;
+        audit.in_flight += nn.ops_in_flight() as u64;
+    }
+    audit
 }
 
 /// Scans the cluster: which alive namenodes believe they lead, which alive

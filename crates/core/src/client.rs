@@ -65,6 +65,10 @@ pub struct ClientStats {
     pub latency_per_kind: [Histogram; 9],
     /// Error tallies.
     pub errors: HashMap<&'static str, u64>,
+    /// `Overloaded` responses observed (admission sheds reaching clients).
+    /// Counted on every arrival, ignoring `recording` — the chaos
+    /// shed-accounting audit needs the full-run tally.
+    pub overloaded_responses: u64,
 }
 
 impl Default for ClientStats {
@@ -76,6 +80,7 @@ impl Default for ClientStats {
             latency_all: Histogram::new(),
             latency_per_kind: std::array::from_fn(|_| Histogram::new()),
             errors: HashMap::new(),
+            overloaded_responses: 0,
         }
     }
 }
@@ -134,6 +139,7 @@ impl ClientStats {
                     FsError::Busy => "busy",
                     FsError::Unavailable => "unavailable",
                     FsError::Invalid => "invalid",
+                    FsError::Overloaded { .. } => "overloaded",
                 };
                 *self.errors.entry(label).or_insert(0) += 1;
             }
@@ -344,9 +350,43 @@ impl FsClientActor {
     }
 
     fn on_response(&mut self, ctx: &mut Ctx<'_>, resp: FsResponse) {
+        if let Err(FsError::Overloaded { .. }) = &resp.result {
+            // Tallied before staleness filtering: the shed-accounting audit
+            // matches namenode sheds against *deliveries*, stale or not.
+            self.stats.borrow_mut().overloaded_responses += 1;
+        }
         match &self.pending {
             Some(p) if p.req_id == resp.req_id => {}
             _ => return, // stale (timed-out attempt answered late)
+        }
+        if let Err(FsError::Overloaded { retry_after }) = resp.result {
+            // The namenode shed us at admission: the op never ran, so this
+            // is a plain resend (not an idempotent retry), and the server's
+            // retry-after hint overrides the local backoff curve. Stay on
+            // the same namenode — it is alive, just saturated, and its gate
+            // trickle decides when we get through.
+            let p = self.pending.as_mut().expect("pending op");
+            p.attempt += 1;
+            if p.attempt > self.max_attempts {
+                self.complete(ctx, Err(FsError::Overloaded { retry_after }));
+                return;
+            }
+            let me = u64::from(ctx.me().0);
+            let salt = p.req_id ^ (me << 32);
+            let d = self
+                .retry
+                .delay_after_hint(retry_after, p.attempt.saturating_sub(2), salt)
+                .unwrap_or(retry_after);
+            let now = ctx.now();
+            // Mask the op timeout until the resend fires.
+            p.sent_at = now + d;
+            let layer = ctx.layer();
+            ctx.metrics().inc(layer, "overload_backoff", 1);
+            ctx.metrics().record_hist(layer, "retry_backoff_ns", d.as_nanos());
+            ctx.span_at("overload_backoff", "retry", p.span, now, now + d);
+            let resend = RetryNow { req_id: p.req_id, attempt: p.attempt };
+            ctx.schedule(d, resend);
+            return;
         }
         self.complete(ctx, resp.result);
     }

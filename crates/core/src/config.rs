@@ -120,6 +120,68 @@ pub struct FsConfig {
     /// operation (the STO protocol, FAST'17 §3.6). A 10k-inode delete runs
     /// as ⌈rows / batch⌉ bounded transactions instead of one huge one.
     pub subtree_batch_size: usize,
+    /// Overload control at the namenode front door (admission, shedding,
+    /// priority classes). Off by default: existing benches measure the
+    /// unprotected system; overload experiments flip `enabled`.
+    pub admission: AdmissionConfig,
+}
+
+/// Namenode admission-control knobs (the cross-layer overload-control
+/// subsystem). One [`simnet::Gate`] per priority class; the load signal is
+/// the worker-lane queue delay plus a weighted share of the latest NDB
+/// TC-queue-delay hint piggybacked on transaction replies.
+///
+/// Priority classes, highest to lowest:
+/// - **interactive** — ordinary client ops (stat/create/read/...);
+/// - **batch** — subtree-operation (STO) phase batches;
+/// - **maintenance** — re-replication scans after datanode loss.
+///
+/// Lower classes get *lower* thresholds, so under pressure maintenance
+/// yields first, then batches, and interactive traffic sheds only when the
+/// namenode is truly saturated.
+#[derive(Debug, Clone, Copy)]
+pub struct AdmissionConfig {
+    /// Master switch. When off, every request is admitted unconditionally
+    /// (the pre-overload-control behavior) — but `sto_busy_retry_after`
+    /// still applies, since honoring the server's contention hint is a
+    /// correctness-of-backoff fix, not an overload policy.
+    pub enabled: bool,
+    /// Queue-delay threshold above which interactive ops shed.
+    pub interactive_threshold: SimDuration,
+    /// Queue-delay threshold above which STO batches defer.
+    pub batch_threshold: SimDuration,
+    /// Queue-delay threshold above which re-replication pumping pauses.
+    pub maintenance_threshold: SimDuration,
+    /// Trickle rate per class: requests/second still admitted above the
+    /// threshold, so the gate keeps probing for recovery instead of
+    /// flat-lining (see [`simnet::Gate`]).
+    pub trickle_per_sec: u64,
+    /// Floor on the `retry_after` hint returned with a shed.
+    pub retry_floor: SimDuration,
+    /// Weight applied to the NDB TC-queue-delay hint when folding it into
+    /// the namenode's own load signal, in percent (100 = count NDB backlog
+    /// at par with local worker backlog).
+    pub ndb_signal_pct: u32,
+    /// Retry-after hint attached when the STO lock manager rejects an op
+    /// with `Busy` (`sto_locked` paths). Routed through
+    /// [`RetryPolicy::delay_after_hint`] so colliding ops spread out behind
+    /// the lock holder instead of hammering the generic 4–32 ms curve.
+    pub sto_busy_retry_after: SimDuration,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            enabled: false,
+            interactive_threshold: SimDuration::from_millis(200),
+            batch_threshold: SimDuration::from_millis(50),
+            maintenance_threshold: SimDuration::from_millis(20),
+            trickle_per_sec: 4,
+            retry_floor: SimDuration::from_millis(100),
+            ndb_signal_pct: 50,
+            sto_busy_retry_after: SimDuration::from_millis(12),
+        }
+    }
 }
 
 impl FsConfig {
@@ -162,6 +224,7 @@ impl FsConfig {
                 .with_jitter(0.0),
             dn_heartbeat_window: SimDuration::from_millis(1500),
             subtree_batch_size: 256,
+            admission: AdmissionConfig::default(),
         }
     }
 

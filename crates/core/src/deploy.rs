@@ -230,6 +230,32 @@ impl FsCluster {
             Box::new(actor),
         )
     }
+
+    /// Adds an open-loop client session in `az`: Poisson arrivals at
+    /// `rate_per_sec`, an AIMD in-flight window, and a bounded arrival
+    /// queue of `queue_cap` (see [`crate::openloop::OpenLoopClientActor`]).
+    pub fn add_open_loop_client(
+        &self,
+        sim: &mut Simulation,
+        az: AzId,
+        source: Box<dyn OpSource>,
+        stats: Rc<RefCell<ClientStats>>,
+        rate_per_sec: f64,
+        queue_cap: usize,
+    ) -> NodeId {
+        let host = HostId(sim.node_count() as u32);
+        let actor = crate::openloop::OpenLoopClientActor::new(
+            Arc::clone(&self.view),
+            source,
+            stats,
+            rate_per_sec,
+            queue_cap,
+        );
+        sim.add_node(
+            NodeSpec::new("ol-client", Location { az, host }).with_layer("fs-client"),
+            Box::new(actor),
+        )
+    }
 }
 
 /// Builds only the [`FsView`] (fake node ids), for pure-function tests such

@@ -32,6 +32,7 @@ pub mod deploy;
 pub mod hintcache;
 pub mod meta;
 pub mod namenode;
+pub mod openloop;
 pub mod ops;
 pub mod path;
 pub mod placement;
@@ -39,12 +40,15 @@ pub mod testkit;
 pub mod types;
 pub mod view;
 
-pub use chaos::{audit_ops, check_invariants, ChaosLog, InvariantReport, TrackedSource};
+pub use chaos::{
+    audit_ops, check_invariants, shed_audit, ChaosLog, InvariantReport, ShedAudit, TrackedSource,
+};
 pub use client::{ClientStats, FsClientActor, OpSource, ScriptedSource};
-pub use config::{BlockBackend, FsConfig, NnCostModel, PlacementPolicy};
+pub use config::{AdmissionConfig, BlockBackend, FsConfig, NnCostModel, PlacementPolicy};
 pub use deploy::{build_fs_cluster, FsCluster};
 pub use hintcache::HintCache;
 pub use namenode::{NameNodeActor, NnStats};
+pub use openloop::OpenLoopClientActor;
 pub use ops::{FsOp, FsRequest, FsResponse, OpKind};
 pub use path::FsPath;
 pub use types::{DirEntry, FsError, FsOk, FsResult, InodeAttrs, InodeId};

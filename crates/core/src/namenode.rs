@@ -34,13 +34,18 @@ use crate::view::FsView;
 use bytes::Bytes;
 use ndb::messages::ReadSpec;
 use ndb::{AbortReason, ClientKernel, LockMode, PartitionKey, RowKey, TxEvent, TxId, WriteOp};
-use simnet::{Actor, Ctx, NodeId, Payload, SimDuration, SimTime};
+use simnet::{Actor, Admission, Ctx, Gate, NodeId, Payload, SimDuration, SimTime};
 use std::any::Any;
 use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::sync::Arc;
 
 /// Lane-class name for the namenode worker pool.
 pub const NN_WORKER: &str = "worker";
+
+/// Admission priority classes, highest first (indexes into the gate array).
+const CLASS_INTERACTIVE: usize = 0;
+const CLASS_BATCH: usize = 1;
+const CLASS_MAINTENANCE: usize = 2;
 
 const ID_BATCH: u64 = 1024;
 const CACHE_CAP: usize = 65_536;
@@ -89,6 +94,15 @@ pub struct NnStats {
     pub max_tx_writes: u64,
     /// Longest wall-clock span any subtree op held its root lock, in ns.
     pub sto_lock_hold_max_ns: u64,
+    /// Client FS requests delivered to this namenode (before admission).
+    pub requests_received: u64,
+    /// Interactive requests shed at admission with `Overloaded` (never
+    /// enqueued, never executed, never acked `Ok`).
+    pub admission_shed: u64,
+    /// STO phase batches deferred by the batch-class gate.
+    pub sto_deferred: u64,
+    /// Re-replication pump rounds paused by the maintenance-class gate.
+    pub repl_deferred: u64,
 }
 
 impl NnStats {
@@ -335,6 +349,10 @@ pub struct NameNodeActor {
     sto_cleanup: VecDeque<StoRecord>,
     sto_sweep_inflight: bool,
     sto_clean_inflight: bool,
+    /// Admission gates, indexed by priority class
+    /// ([`CLASS_INTERACTIVE`], [`CLASS_BATCH`], [`CLASS_MAINTENANCE`]).
+    /// Pure volatile control state: rebuilt from config on restart.
+    gates: [Gate; 3],
     /// Statistics.
     pub stats: NnStats,
 }
@@ -349,6 +367,12 @@ impl NameNodeActor {
     /// Creates namenode `my_idx` of the deployment.
     pub fn new(view: Arc<FsView>, my_idx: usize) -> Self {
         let dns = view.dn_ids.len();
+        let adm = view.config.admission;
+        let gates = [
+            Gate::new(adm.interactive_threshold, adm.trickle_per_sec, adm.retry_floor),
+            Gate::new(adm.batch_threshold, adm.trickle_per_sec, adm.retry_floor),
+            Gate::new(adm.maintenance_threshold, adm.trickle_per_sec, adm.retry_floor),
+        ];
         NameNodeActor {
             view,
             my_idx,
@@ -375,8 +399,26 @@ impl NameNodeActor {
             sto_cleanup: VecDeque::new(),
             sto_sweep_inflight: false,
             sto_clean_inflight: false,
+            gates,
             stats: NnStats::default(),
         }
+    }
+
+    /// Number of in-flight (admitted, unfinished) operations.
+    pub fn ops_in_flight(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// The composite overload signal an arriving request sees: local
+    /// worker-lane queue delay plus a configurable share of the latest NDB
+    /// TC-queue-delay hint piggybacked on transaction replies. The NDB term
+    /// makes the gate close *before* the metadata store melts, not after
+    /// the local queue finally notices.
+    fn overload_signal(&self, ctx: &mut Ctx<'_>) -> SimDuration {
+        let local = ctx.lane_backlog(NN_WORKER);
+        let ndb = self.kernel.as_ref().map_or(SimDuration::ZERO, ClientKernel::tc_queue_delay);
+        let pct = u64::from(self.cfg().admission.ndb_signal_pct);
+        local + SimDuration::from_nanos(ndb.as_nanos().saturating_mul(pct) / 100)
     }
 
     /// Whether this namenode currently believes it leads.
@@ -428,6 +470,37 @@ impl NameNodeActor {
     fn on_fs_request(&mut self, ctx: &mut Ctx<'_>, from: NodeId, req: FsRequest) {
         let now = ctx.now();
         let kind = req.op.kind();
+        self.stats.requests_received += 1;
+        if self.cfg().admission.enabled {
+            let signal = self.overload_signal(ctx);
+            // Salted per (request, namenode): clients shed in the same burst
+            // get decorrelated retry-after hints.
+            let salt = req.req_id ^ ((self.my_idx as u64) << 48) ^ (u64::from(from.0) << 16);
+            let layer = ctx.layer();
+            match self.gates[CLASS_INTERACTIVE].check(now, signal, salt) {
+                Admission::Admit => {
+                    ctx.metrics().inc(layer, "admission_admitted_interactive", 1);
+                }
+                Admission::Shed { retry_after } => {
+                    // Shed before any queueing or execution: the reply is a
+                    // direct send (no worker-lane charge), so the front door
+                    // stays responsive precisely when the workers are not.
+                    self.stats.admission_shed += 1;
+                    ctx.metrics().inc(layer, "admission_shed_interactive", 1);
+                    ctx.span_at("shed_interactive", "admission", req.span, now, now);
+                    ctx.set_span(req.span);
+                    ctx.send_sized(
+                        from,
+                        64,
+                        FsResponse {
+                            req_id: req.req_id,
+                            result: Err(FsError::Overloaded { retry_after }),
+                        },
+                    );
+                    return;
+                }
+            }
+        }
         if let FsOp::Rename { src, dst } = &req.op {
             if src.is_prefix_of(dst) || src.is_root() || dst.is_root() {
                 self.respond_now(ctx, from, req.req_id, Err(FsError::Invalid), kind);
@@ -552,6 +625,19 @@ impl NameNodeActor {
     }
 
     fn retry_op(&mut self, ctx: &mut Ctx<'_>, op_id: u64, maybe_committed: bool) {
+        self.retry_op_with_hint(ctx, op_id, maybe_committed, None);
+    }
+
+    /// Like [`NameNodeActor::retry_op`], but with an optional server-side
+    /// retry-after hint (e.g. the configured wait behind a subtree lock)
+    /// that overrides the generic exponential curve.
+    fn retry_op_with_hint(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        op_id: u64,
+        maybe_committed: bool,
+        hint: Option<SimDuration>,
+    ) {
         let max = self.cfg().max_op_attempts;
         let proceed = {
             let octx = match self.ops.get_mut(&op_id) {
@@ -583,11 +669,21 @@ impl NameNodeActor {
         // already gated the retry, so the policy only shapes the delay. The
         // salt decorrelates jitter (if configured) across ops and namenodes.
         let salt = op_id ^ ((self.my_idx as u64) << 32);
-        let delay = self
-            .cfg()
-            .op_retry
-            .delay(attempt.saturating_sub(1), salt)
-            .unwrap_or(self.cfg().op_retry.cap);
+        let delay = match hint {
+            // Contention with a known cause (a subtree lock holder): wait
+            // the server-configured hint instead of the generic curve, so
+            // bounced ops line up behind the lock instead of herding.
+            Some(h) => self
+                .cfg()
+                .op_retry
+                .delay_after_hint(h, attempt.saturating_sub(1), salt)
+                .unwrap_or(h),
+            None => self
+                .cfg()
+                .op_retry
+                .delay(attempt.saturating_sub(1), salt)
+                .unwrap_or(self.cfg().op_retry.cap),
+        };
         let span = self.ops[&op_id].span;
         let layer = ctx.layer();
         ctx.metrics().inc(layer, "op_retries", 1);
@@ -767,7 +863,8 @@ impl NameNodeActor {
             }
             Next::StoLocked => {
                 self.stats.sto_rejections += 1;
-                self.retry_op(ctx, op_id, false);
+                let hint = self.cfg().admission.sto_busy_retry_after;
+                self.retry_op_with_hint(ctx, op_id, false, Some(hint));
             }
         }
     }
@@ -1022,7 +1119,8 @@ impl NameNodeActor {
         }
         if sto_locked {
             self.stats.sto_rejections += 1;
-            self.retry_op(ctx, op_id, false);
+            let hint = self.cfg().admission.sto_busy_retry_after;
+            self.retry_op_with_hint(ctx, op_id, false, Some(hint));
             return;
         }
         if read_only {
@@ -1761,6 +1859,30 @@ impl NameNodeActor {
             let sto = octx.sto.as_ref().expect("sto state");
             (sto.root, sto.batches.front().expect("batch pending").clone())
         };
+        // Batch-class admission: an STO mid-protocol yields to interactive
+        // traffic under pressure. The deferral keeps `Stage::StoBatch`, so
+        // the resume re-enters here and re-checks the gate; the gate's
+        // trickle bucket guarantees forward progress even while overloaded.
+        if self.cfg().admission.enabled {
+            let now = ctx.now();
+            let signal = self.overload_signal(ctx);
+            let salt = op_id ^ ((self.my_idx as u64) << 48) ^ 0xB47C;
+            let layer = ctx.layer();
+            match self.gates[CLASS_BATCH].check(now, signal, salt) {
+                Admission::Admit => {
+                    ctx.metrics().inc(layer, "admission_admitted_batch", 1);
+                }
+                Admission::Shed { retry_after } => {
+                    self.stats.sto_deferred += 1;
+                    ctx.metrics().inc(layer, "admission_deferred_batch", 1);
+                    let span = self.ops[&op_id].span;
+                    ctx.span_at("defer_batch", "admission", span, now, now + retry_after);
+                    ctx.set_span(span);
+                    ctx.schedule(retry_after, OpResume { op: op_id });
+                    return;
+                }
+            }
+        }
         let tx = match self.kernel().begin(ctx, Some((inodes, PartitionKey(root)))) {
             Some(tx) => tx,
             None => return self.sto_give_up(ctx, op_id, FsError::Unavailable),
@@ -2474,6 +2596,27 @@ impl NameNodeActor {
         if self.repl_inflight {
             return;
         }
+        if self.repl_queue.is_empty() {
+            return;
+        }
+        // Maintenance-class admission: repair work is the first to yield
+        // under overload. A paused pump keeps its queue; the next sweep tick
+        // re-checks the gate (no retry-after scheduling needed — the 50 ms
+        // sweep cadence is the retry loop).
+        if self.cfg().admission.enabled {
+            let now = ctx.now();
+            let signal = self.overload_signal(ctx);
+            let salt = (self.my_idx as u64) ^ 0x4E41_7265706C;
+            if let Admission::Shed { .. } = self.gates[CLASS_MAINTENANCE].check(now, signal, salt)
+            {
+                self.stats.repl_deferred += 1;
+                let layer = ctx.layer();
+                ctx.metrics().inc(layer, "admission_deferred_maintenance", 1);
+                return;
+            }
+            let layer = ctx.layer();
+            ctx.metrics().inc(layer, "admission_admitted_maintenance", 1);
+        }
         let (inode, block) = match self.repl_queue.pop_front() {
             Some(x) => x,
             None => return,
@@ -2569,6 +2712,15 @@ impl NameNodeActor {
 
     fn on_tick_sweep(&mut self, ctx: &mut Ctx<'_>) {
         let now = ctx.now();
+        // Queue-depth gauges, sampled once per sweep: what the admission
+        // gates see, exported so overload is visible even with tracing off.
+        let backlog = ctx.lane_backlog(NN_WORKER);
+        let ndb_hint = self.kernel.as_ref().map_or(SimDuration::ZERO, ClientKernel::tc_queue_delay);
+        let inflight = self.ops.len() as u64;
+        let layer = ctx.layer();
+        ctx.metrics().set_gauge(layer, "worker_queue_ns", backlog.as_nanos());
+        ctx.metrics().set_gauge(layer, "ndb_tc_queue_ns", ndb_hint.as_nanos());
+        ctx.metrics().set_gauge(layer, "ops_inflight", inflight);
         let events = self.kernel().sweep(now);
         for ev in events {
             self.on_tx_event(ctx, ev);

@@ -1,0 +1,391 @@
+//! Open-loop load generation with adaptive concurrency.
+//!
+//! The closed-loop [`crate::client::FsClientActor`] self-throttles: a slow
+//! server slows the client down, so offered load collapses to match capacity
+//! and overload never materializes. Real front-ends are open-loop — arrivals
+//! come from the outside world at their own rate, independent of completions
+//! (§"strike back in the Cloud" motivation: bursty, multi-tenant clouds).
+//!
+//! [`OpenLoopClientActor`] models that: operations *arrive* on a Poisson
+//! process at a configured rate whether or not earlier ones finished. An
+//! AIMD concurrency window ([`OpenLoopClientActor::cwnd`]) decides how many
+//! may be in flight at once; arrivals beyond the window wait in a bounded
+//! queue and are **dropped** (counted, never silently) when it overflows.
+//! The window grows additively on good completions and halves when the
+//! server sheds (`Overloaded`), when an op times out, or when observed
+//! latency blows past the target — the client-side half of the cross-layer
+//! overload-control loop.
+
+use crate::client::{ClientStats, OpSource};
+use crate::ops::{FsOp, FsRequest, FsResponse};
+use crate::types::{FsError, FsResult};
+use crate::view::FsView;
+use rand::Rng;
+use simnet::{
+    poisson_interarrival, Actor, BoundedQueue, Ctx, NodeId, Payload, RetryPolicy, SimDuration,
+    SimTime,
+};
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// Ceiling on the AIMD window.
+const CWND_MAX: f64 = 256.0;
+/// Multiplicative-decrease factor.
+const MD_FACTOR: f64 = 0.5;
+/// Minimum spacing between multiplicative decreases: one decrease per
+/// congestion *event*, not per congested reply.
+const MD_HOLDOFF: SimDuration = SimDuration::from_millis(100);
+
+#[derive(Debug, Clone, Copy)]
+struct Arrival;
+#[derive(Debug, Clone, Copy)]
+struct OlTick;
+#[derive(Debug, Clone, Copy)]
+struct OlRetry {
+    req_id: u64,
+    attempt: u32,
+}
+
+#[derive(Debug)]
+struct Inflight {
+    op: FsOp,
+    started: SimTime,
+    sent_at: SimTime,
+    attempt: u32,
+    idempotent_retry: bool,
+    span: simnet::SpanId,
+}
+
+/// An open-loop client session: Poisson arrivals, AIMD admission window,
+/// bounded arrival queue. Construct via
+/// [`crate::deploy::FsCluster::add_open_loop_client`].
+pub struct OpenLoopClientActor {
+    view: Arc<FsView>,
+    source: Box<dyn OpSource>,
+    stats: Rc<RefCell<ClientStats>>,
+    /// Offered load: mean operation arrivals per second.
+    pub rate_per_sec: f64,
+    cwnd: f64,
+    last_decrease: SimTime,
+    inflight: BTreeMap<u64, Inflight>,
+    queue: BoundedQueue<FsOp>,
+    next_req: u64,
+    /// Per-attempt timeout before the op is retried elsewhere.
+    pub op_timeout: SimDuration,
+    /// Total attempts per op (sheds and timeouts both consume budget).
+    pub max_attempts: u32,
+    /// Backoff policy; `Overloaded` replies route their server hint through
+    /// [`RetryPolicy::delay_after_hint`].
+    pub retry: RetryPolicy,
+    /// Completions slower than this count as congestion for AIMD.
+    pub latency_target: SimDuration,
+    /// Arrivals dropped because the bounded queue was full (client-side
+    /// shedding — the open-loop analogue of a full accept queue).
+    pub dropped_arrivals: u64,
+    /// Arrivals offered so far (dispatched + queued + dropped).
+    pub offered: u64,
+    /// True once the source is exhausted.
+    pub done: bool,
+    /// Whether the AIMD window is active. When `false` the client is the
+    /// pre-overload-control baseline: every arrival dispatches immediately
+    /// (no window, no queue, no drops), and only the per-attempt timeout
+    /// retry loop remains — the configuration that collapses under
+    /// sustained overload.
+    pub adaptive: bool,
+}
+
+impl OpenLoopClientActor {
+    /// Creates an open-loop session offering `rate_per_sec` ops/s, holding
+    /// at most `queue_cap` arrivals beyond the in-flight window.
+    pub fn new(
+        view: Arc<FsView>,
+        source: Box<dyn OpSource>,
+        stats: Rc<RefCell<ClientStats>>,
+        rate_per_sec: f64,
+        queue_cap: usize,
+    ) -> Self {
+        assert!(rate_per_sec > 0.0, "offered rate must be positive");
+        OpenLoopClientActor {
+            view,
+            source,
+            stats,
+            rate_per_sec,
+            cwnd: 4.0,
+            last_decrease: SimTime::ZERO,
+            inflight: BTreeMap::new(),
+            queue: BoundedQueue::new(queue_cap),
+            next_req: 0,
+            op_timeout: SimDuration::from_secs(4),
+            max_attempts: 6,
+            retry: RetryPolicy::new(SimDuration::from_millis(50), SimDuration::from_millis(800)),
+            latency_target: SimDuration::from_millis(500),
+            dropped_arrivals: 0,
+            offered: 0,
+            done: false,
+            adaptive: true,
+        }
+    }
+
+    /// Current AIMD window (fractional; `floor` is the in-flight cap).
+    pub fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+
+    /// Whether nothing is in flight or queued (the session drained).
+    pub fn idle(&self) -> bool {
+        self.inflight.is_empty() && self.queue.is_empty()
+    }
+
+    fn window(&self) -> usize {
+        if !self.adaptive {
+            return usize::MAX;
+        }
+        (self.cwnd as usize).max(1)
+    }
+
+    fn decrease(&mut self, now: SimTime) {
+        if !self.adaptive || now.saturating_since(self.last_decrease) < MD_HOLDOFF {
+            return;
+        }
+        self.last_decrease = now;
+        self.cwnd = (self.cwnd * MD_FACTOR).max(1.0);
+    }
+
+    fn increase(&mut self) {
+        if !self.adaptive {
+            return;
+        }
+        // +1 window per window of good completions (classic AIMD).
+        self.cwnd = (self.cwnd + 1.0 / self.cwnd).min(CWND_MAX);
+    }
+
+    fn pick_nn(&self, ctx: &mut Ctx<'_>) -> Option<NodeId> {
+        let alive: Vec<NodeId> =
+            self.view.nn_ids.iter().copied().filter(|&nn| ctx.is_alive(nn)).collect();
+        if alive.is_empty() {
+            return None;
+        }
+        let i = ctx.rng().gen_range(0..alive.len());
+        Some(alive[i])
+    }
+
+    fn on_arrival(&mut self, ctx: &mut Ctx<'_>) {
+        if self.done {
+            return;
+        }
+        let now = ctx.now();
+        let op = {
+            let rng = ctx.rng();
+            self.source.next_op(rng, now)
+        };
+        let op = match op {
+            Some(op) => op,
+            None => {
+                self.done = true;
+                return;
+            }
+        };
+        // Schedule the next arrival *before* handling this one: offered
+        // load never depends on how handling goes.
+        let gap = poisson_interarrival(ctx.rng(), self.rate_per_sec);
+        ctx.schedule(gap, Arrival);
+        self.offered += 1;
+        if self.inflight.len() < self.window() {
+            self.dispatch(ctx, op);
+        } else if let Err(op) = self.queue.push(op) {
+            // Queue full: drop at the door, visibly.
+            self.dropped_arrivals += 1;
+            let layer = ctx.layer();
+            ctx.metrics().inc(layer, "openloop_dropped", 1);
+            self.source.on_result(&op, &Err(FsError::Overloaded {
+                retry_after: SimDuration::ZERO,
+            }));
+        }
+    }
+
+    fn dispatch(&mut self, ctx: &mut Ctx<'_>, op: FsOp) {
+        self.next_req += 1;
+        let req_id = self.next_req;
+        let now = ctx.now();
+        ctx.set_span(simnet::SpanId::NONE);
+        let span = ctx.span_start(op.kind().name(), "op");
+        self.inflight.insert(
+            req_id,
+            Inflight {
+                op,
+                started: now,
+                sent_at: now,
+                attempt: 1,
+                idempotent_retry: false,
+                span,
+            },
+        );
+        self.send(ctx, req_id);
+    }
+
+    fn send(&mut self, ctx: &mut Ctx<'_>, req_id: u64) {
+        let nn = match self.pick_nn(ctx) {
+            Some(nn) => nn,
+            None => return, // everyone dead; the tick sweep will time us out
+        };
+        let p = self.inflight.get_mut(&req_id).expect("inflight op");
+        p.sent_at = ctx.now();
+        let req = FsRequest {
+            req_id,
+            op: p.op.clone(),
+            idempotent_retry: p.idempotent_retry,
+            span: p.span,
+        };
+        ctx.set_span(req.span);
+        ctx.send_sized(nn, 256, req);
+    }
+
+    fn complete(&mut self, ctx: &mut Ctx<'_>, req_id: u64, result: FsResult) {
+        let p = self.inflight.remove(&req_id).expect("inflight op");
+        ctx.span_end(p.span);
+        let now = ctx.now();
+        let latency = now.saturating_since(p.started);
+        if result.is_ok() && latency <= self.latency_target {
+            self.increase();
+        } else if result.is_ok() {
+            // Late success: the pipe is full even though nothing failed.
+            self.decrease(now);
+        }
+        self.stats.borrow_mut().record(p.op.kind(), &result, latency);
+        self.source.on_result(&p.op, &result);
+        self.pump(ctx);
+    }
+
+    /// Fills freed window slots from the arrival queue.
+    fn pump(&mut self, ctx: &mut Ctx<'_>) {
+        while self.inflight.len() < self.window() {
+            match self.queue.pop() {
+                Some(op) => self.dispatch(ctx, op),
+                None => break,
+            }
+        }
+    }
+
+    fn on_response(&mut self, ctx: &mut Ctx<'_>, resp: FsResponse) {
+        if let Err(FsError::Overloaded { .. }) = &resp.result {
+            self.stats.borrow_mut().overloaded_responses += 1;
+        }
+        if !self.inflight.contains_key(&resp.req_id) {
+            return; // stale (timed-out attempt answered late)
+        }
+        if let Err(FsError::Overloaded { retry_after }) = resp.result {
+            let now = ctx.now();
+            self.decrease(now);
+            let me = u64::from(ctx.me().0);
+            let (attempt, give_up, d, span) = {
+                let p = self.inflight.get_mut(&resp.req_id).expect("inflight op");
+                p.attempt += 1;
+                let give_up = p.attempt > self.max_attempts;
+                let d = self
+                    .retry
+                    .delay_after_hint(retry_after, p.attempt.saturating_sub(2), resp.req_id ^ (me << 32))
+                    .unwrap_or(retry_after);
+                // Mask the op timeout until the resend fires.
+                p.sent_at = now + d;
+                (p.attempt, give_up, d, p.span)
+            };
+            if give_up {
+                self.complete(ctx, resp.req_id, Err(FsError::Overloaded { retry_after }));
+                return;
+            }
+            let layer = ctx.layer();
+            ctx.metrics().inc(layer, "overload_backoff", 1);
+            ctx.metrics().record_hist(layer, "retry_backoff_ns", d.as_nanos());
+            ctx.span_at("overload_backoff", "retry", span, now, now + d);
+            ctx.schedule(d, OlRetry { req_id: resp.req_id, attempt });
+            return;
+        }
+        self.complete(ctx, resp.req_id, resp.result);
+    }
+
+    fn on_tick(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        let timeout = self.op_timeout;
+        // BTreeMap: expiry processing order is the same every run.
+        let expired: Vec<u64> = self
+            .inflight
+            .iter()
+            .filter(|(_, p)| now.saturating_since(p.sent_at) > timeout)
+            .map(|(&id, _)| id)
+            .collect();
+        let me = u64::from(ctx.me().0);
+        for req_id in expired {
+            self.decrease(now);
+            let (give_up, d, attempt, span) = {
+                let p = self.inflight.get_mut(&req_id).expect("expired op");
+                p.attempt += 1;
+                p.idempotent_retry = true;
+                let give_up = p.attempt > self.max_attempts;
+                let d = self
+                    .retry
+                    .delay(p.attempt.saturating_sub(2), req_id ^ (me << 32))
+                    .unwrap_or(self.retry.cap);
+                p.sent_at = now + d;
+                (give_up, d, p.attempt, p.span)
+            };
+            if give_up {
+                self.complete(ctx, req_id, Err(FsError::Unavailable));
+                continue;
+            }
+            let layer = ctx.layer();
+            ctx.metrics().inc(layer, "op_retries", 1);
+            ctx.metrics().record_hist(layer, "retry_backoff_ns", d.as_nanos());
+            ctx.span_at("backoff", "retry", span, now, now + d);
+            ctx.schedule(d, OlRetry { req_id, attempt });
+        }
+        let layer = ctx.layer();
+        ctx.metrics().set_gauge(layer, "cwnd", self.cwnd as u64);
+        ctx.metrics().set_gauge(layer, "arrival_queue", self.queue.len() as u64);
+        if !(self.done && self.idle()) {
+            ctx.schedule(SimDuration::from_millis(250), OlTick);
+        }
+    }
+
+    fn on_retry_now(&mut self, ctx: &mut Ctx<'_>, m: OlRetry) {
+        match self.inflight.get(&m.req_id) {
+            Some(p) if p.attempt == m.attempt => {}
+            _ => return, // answered or superseded while backing off
+        }
+        self.send(ctx, m.req_id);
+    }
+}
+
+impl Actor for OpenLoopClientActor {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        let gap = poisson_interarrival(ctx.rng(), self.rate_per_sec);
+        ctx.schedule(gap, Arrival);
+        ctx.schedule(SimDuration::from_millis(250), OlTick);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: NodeId, msg: Box<dyn Payload>) {
+        let any = msg.into_any();
+        let any = match any.downcast::<FsResponse>() {
+            Ok(m) => return self.on_response(ctx, *m),
+            Err(m) => m,
+        };
+        let any = match any.downcast::<Arrival>() {
+            Ok(_) => return self.on_arrival(ctx),
+            Err(m) => m,
+        };
+        let any = match any.downcast::<OlTick>() {
+            Ok(_) => return self.on_tick(ctx),
+            Err(m) => m,
+        };
+        match any.downcast::<OlRetry>() {
+            Ok(m) => self.on_retry_now(ctx, *m),
+            Err(m) => debug_assert!(false, "open-loop client got unknown message {m:?}"),
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}

@@ -1,6 +1,6 @@
 //! Core file-system types: identifiers, attributes, errors, results.
 
-use simnet::SimTime;
+use simnet::{SimDuration, SimTime};
 use std::fmt;
 
 /// Inode identifier. The root directory is always [`InodeId::ROOT`].
@@ -114,6 +114,13 @@ pub enum FsError {
     Unavailable,
     /// Malformed path or argument.
     Invalid,
+    /// The NameNode shed the request at admission — it was never enqueued
+    /// and did **not** execute. Retry no earlier than `retry_after` from
+    /// receipt (the server's own estimate of when capacity frees up).
+    Overloaded {
+        /// Server-suggested minimum wait before retrying.
+        retry_after: SimDuration,
+    },
 }
 
 impl fmt::Display for FsError {
@@ -127,6 +134,7 @@ impl fmt::Display for FsError {
             FsError::Busy => "resource busy, retry",
             FsError::Unavailable => "file system unavailable",
             FsError::Invalid => "invalid argument",
+            FsError::Overloaded { .. } => "server overloaded, retry later",
         };
         f.write_str(s)
     }

@@ -106,6 +106,11 @@ pub struct ClientKernel {
     /// bounds — e.g. that a subtree delete never exceeds its configured
     /// per-transaction batch size.
     pub largest_write_batch: usize,
+    /// Most recent TC-queue-delay overload signal piggybacked on any
+    /// coordinator reply ([`TxResponse::tc_queue_delay`]). The embedding
+    /// layer folds this into its own admission decisions; it decays to
+    /// zero as soon as a reply from an unloaded coordinator arrives.
+    tc_queue_delay: SimDuration,
 }
 
 impl ClientKernel {
@@ -130,8 +135,15 @@ impl ClientKernel {
             suspicion: RetryPolicy::new(ttl, ttl * 8).with_jitter(0.0),
             last_tc: None,
             largest_write_batch: 0,
+            tc_queue_delay: SimDuration::ZERO,
             view,
         }
+    }
+
+    /// The latest TC overload signal any coordinator piggybacked on a reply
+    /// (zero when the metadata store is keeping up).
+    pub fn tc_queue_delay(&self) -> SimDuration {
+        self.tc_queue_delay
     }
 
     /// The shared cluster view.
@@ -222,6 +234,9 @@ impl ClientKernel {
     /// Feeds a coordinator response in; returns the application-level event,
     /// or `None` for stale responses (e.g. after a local timeout).
     pub fn on_response(&mut self, resp: TxResponse) -> Option<TxEvent> {
+        // The overload signal is fresh even when the transaction itself is
+        // stale (timed out locally): record it before correlation.
+        self.tc_queue_delay = resp.tc_queue_delay;
         let st = self.txs.get_mut(&resp.tx)?;
         let expect = st.expect;
         st.pending_since = None;

@@ -290,7 +290,13 @@ impl DatanodeActor {
 
     // --- TC role ---------------------------------------------------------
 
-    fn respond(&self, ctx: &mut Ctx<'_>, depart: SimTime, client: NodeId, resp: TxResponse) {
+    fn respond(&self, ctx: &mut Ctx<'_>, depart: SimTime, client: NodeId, mut resp: TxResponse) {
+        // Piggyback the TC overload signal on every reply (the paper's NDB
+        // never sheds; backpressure is the *client's* job, so it needs to
+        // see how deep the coordinator's queue is). Reading the backlog
+        // neither schedules nor draws randomness — replies are unchanged
+        // except for this field.
+        resp.tc_queue_delay = ctx.lane_backlog(lane::TC);
         let bytes = resp.wire_size();
         self.send_from(ctx, depart, client, bytes, resp);
     }
@@ -299,7 +305,7 @@ impl DatanodeActor {
         let now = ctx.now();
         if self.shutting_down || self.cluster_down {
             let reason = if self.cluster_down { AbortReason::ClusterDown } else { AbortReason::Shutdown };
-            let resp = TxResponse { tx: req.tx, body: RespBody::Aborted(reason) };
+            let resp = TxResponse::new(req.tx, RespBody::Aborted(reason));
             self.respond(ctx, now, from, resp);
             return;
         }
@@ -439,7 +445,7 @@ impl DatanodeActor {
             tx.phase = TcPhase::Idle;
             tx.client
         };
-        let resp = TxResponse { tx: tx_id, body: RespBody::WriteAck };
+        let resp = TxResponse::new(tx_id, RespBody::WriteAck);
         self.respond(ctx, done, client, resp);
     }
 
@@ -519,7 +525,7 @@ impl DatanodeActor {
             tx.last_activity = now;
             (tx.client, std::mem::take(&mut tx.read_results))
         };
-        let resp = TxResponse { tx: tx_id, body: RespBody::Rows(rows) };
+        let resp = TxResponse::new(tx_id, RespBody::Rows(rows));
         self.respond(ctx, now, client, resp);
     }
 
@@ -554,7 +560,7 @@ impl DatanodeActor {
             tx.last_activity = now;
             tx.client
         };
-        let resp = TxResponse { tx: m.tx, body: RespBody::ScanRows(m.rows) };
+        let resp = TxResponse::new(m.tx, RespBody::ScanRows(m.rows));
         self.respond(ctx, now, client, resp);
     }
 
@@ -666,7 +672,7 @@ impl DatanodeActor {
             let to = self.dn_node(p);
             self.send_from(ctx, depart, to, 48, ReleaseTx { tx: tx_id });
         }
-        self.respond(ctx, depart, tx.client, TxResponse { tx: tx_id, body });
+        self.respond(ctx, depart, tx.client, TxResponse::new(tx_id, body));
     }
 
     fn abort_tx(&mut self, ctx: &mut Ctx<'_>, tx_id: TxId, reason: AbortReason, respond: bool) {
@@ -686,7 +692,7 @@ impl DatanodeActor {
             self.send_from(ctx, now, to, 48, ReleaseTx { tx: tx_id });
         }
         if respond {
-            self.respond(ctx, now, tx.client, TxResponse { tx: tx_id, body: RespBody::Aborted(reason) });
+            self.respond(ctx, now, tx.client, TxResponse::new(tx_id, RespBody::Aborted(reason)));
         }
     }
 

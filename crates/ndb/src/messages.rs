@@ -137,9 +137,21 @@ pub struct TxResponse {
     pub tx: TxId,
     /// Response body.
     pub body: RespBody,
+    /// Overload signal piggybacked on every reply: the coordinator's TC-lane
+    /// backlog (how long a step arriving now would queue before a TC thread
+    /// picks it up) at the instant the reply departed. Clients fold this
+    /// into their own admission/backpressure decisions — the NDB layer never
+    /// sheds on its own, it only tells the layer above how deep the water is.
+    pub tc_queue_delay: simnet::SimDuration,
 }
 
 impl TxResponse {
+    /// A response with no overload signal yet; the coordinator's send path
+    /// stamps `tc_queue_delay` at departure.
+    pub fn new(tx: TxId, body: RespBody) -> Self {
+        TxResponse { tx, body, tc_queue_delay: simnet::SimDuration::ZERO }
+    }
+
     /// Approximate wire size in bytes.
     pub fn wire_size(&self) -> u64 {
         match &self.body {

@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 
 mod cpu;
+mod flow;
 mod metrics;
 mod nemesis;
 mod retry;
@@ -50,6 +51,7 @@ mod trace;
 mod wheel;
 
 pub use cpu::{Batching, Disk, DiskOp, LaneClassSpec, Lanes, UtilizationWindow};
+pub use flow::{poisson_interarrival, Admission, BoundedQueue, Gate, TokenBucket};
 pub use metrics::{Counter, Histogram};
 pub use nemesis::{Fault, NemesisTrace, Schedule};
 pub use retry::RetryPolicy;

@@ -24,7 +24,7 @@
 use crate::time::{SimDuration, SimTime};
 
 /// splitmix64: tiny, high-quality mixing for deterministic jitter.
-fn splitmix64(mut x: u64) -> u64 {
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -134,6 +134,39 @@ impl RetryPolicy {
         Some(jittered.min(self.cap))
     }
 
+    /// Server-hint variant: when the peer answered with an explicit
+    /// retry-after hint (it knows its own backlog better than our
+    /// exponential curve does), honor the hint instead of the geometric
+    /// schedule. The hint is stretched by up to `jitter * hint`,
+    /// deterministically from `(attempt, salt)`, so clients shed in the
+    /// same instant spread back out instead of stampeding in lockstep.
+    ///
+    /// The retry budget (`max_attempts`) still applies; a zero hint falls
+    /// back to the ordinary [`RetryPolicy::delay`] schedule. The policy
+    /// `cap` intentionally does **not** clamp the hint — the server's word
+    /// wins over the client's local curve.
+    pub fn delay_after_hint(
+        &self,
+        hint: SimDuration,
+        attempt: u32,
+        salt: u64,
+    ) -> Option<SimDuration> {
+        if attempt.saturating_add(2) > self.max_attempts {
+            return None;
+        }
+        if hint == SimDuration::ZERO {
+            return self.delay(attempt, salt);
+        }
+        let jittered = if self.jitter > 0.0 {
+            let bits = splitmix64(salt ^ (u64::from(attempt) << 32 | 0xA3C5));
+            let frac = (bits >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+            hint + hint.mul_f64(self.jitter * frac)
+        } else {
+            hint
+        };
+        Some(jittered)
+    }
+
     /// Deadline-propagating variant: like [`RetryPolicy::delay`], but also
     /// gives up when the retry would start after `deadline`.
     pub fn delay_within(
@@ -195,6 +228,37 @@ mod tests {
                 prev = d;
             }
         }
+    }
+
+    #[test]
+    fn hint_overrides_the_exponential_curve() {
+        let p = RetryPolicy::new(ms(4), ms(32)).with_jitter(0.0);
+        // The server hint wins, even above the policy cap.
+        assert_eq!(p.delay_after_hint(ms(200), 0, 1), Some(ms(200)));
+        assert_eq!(p.delay_after_hint(ms(200), 5, 1), Some(ms(200)));
+        // A zero hint falls back to the normal schedule.
+        assert_eq!(p.delay_after_hint(SimDuration::ZERO, 1, 1), p.delay(1, 1));
+    }
+
+    #[test]
+    fn hint_jitter_is_deterministic_salted_and_bounded() {
+        let p = RetryPolicy::new(ms(4), ms(32)).with_jitter(0.5);
+        let hint = ms(100);
+        assert_eq!(p.delay_after_hint(hint, 2, 77), p.delay_after_hint(hint, 2, 77));
+        assert_ne!(p.delay_after_hint(hint, 2, 1), p.delay_after_hint(hint, 2, 2));
+        for salt in [0u64, 1, 42, 9999] {
+            let d = p.delay_after_hint(hint, 0, salt).unwrap();
+            assert!(d >= hint, "hint is a floor: {d}");
+            assert!(d < hint + hint.mul_f64(0.5), "jitter bounded: {d}");
+        }
+    }
+
+    #[test]
+    fn hint_respects_the_retry_budget() {
+        let p = RetryPolicy::new(ms(1), ms(8)).with_max_attempts(3);
+        assert!(p.delay_after_hint(ms(10), 0, 7).is_some());
+        assert!(p.delay_after_hint(ms(10), 1, 7).is_some());
+        assert!(p.delay_after_hint(ms(10), 2, 7).is_none());
     }
 
     #[test]

@@ -178,6 +178,11 @@ pub struct MetricsRegistry {
     hists: BTreeMap<(&'static str, &'static str), Histogram>,
     /// Per (layer, name): event counters (retries, timeouts, …).
     counters: BTreeMap<(&'static str, &'static str), u64>,
+    /// Per (layer, name): last-written gauges (queue depths, windows, …),
+    /// paired with their high-water mark since the last [`clear`].
+    ///
+    /// [`clear`]: MetricsRegistry::clear
+    gauges: BTreeMap<(&'static str, &'static str), (u64, u64)>,
 }
 
 impl MetricsRegistry {
@@ -209,6 +214,28 @@ impl MetricsRegistry {
     /// Adds `n` to the named counter of a layer.
     pub fn inc(&mut self, layer: &'static str, name: &'static str, n: u64) {
         *self.counters.entry((layer, name)).or_insert(0) += n;
+    }
+
+    /// Sets the named gauge of a layer to its current value, tracking the
+    /// high-water mark as well (overload diagnosis cares about the peak
+    /// queue depth, not just where it happened to sit at the last sample).
+    pub fn set_gauge(&mut self, layer: &'static str, name: &'static str, value: u64) {
+        let g = self.gauges.entry((layer, name)).or_insert((0, 0));
+        g.0 = value;
+        g.1 = g.1.max(value);
+    }
+
+    /// The named gauge's `(current, high_water)` pair (zeros if never set).
+    pub fn gauge(&self, layer: &str, name: &str) -> (u64, u64) {
+        self.gauges.get(&(layer, name)).copied().unwrap_or((0, 0))
+    }
+
+    /// Iterates `(layer, name, current, high_water)` for gauges, in key
+    /// order.
+    pub fn iter_gauges(
+        &self,
+    ) -> impl Iterator<Item = (&'static str, &'static str, u64, u64)> + '_ {
+        self.gauges.iter().map(|(&(layer, name), &(cur, hi))| (layer, name, cur, hi))
     }
 
     /// Transit-time histogram of one directed AZ pair, if any was recorded.
@@ -262,6 +289,7 @@ impl MetricsRegistry {
         self.cpu.clear();
         self.hists.clear();
         self.counters.clear();
+        self.gauges.clear();
     }
 }
 
@@ -355,6 +383,19 @@ mod tests {
         m.clear();
         assert_eq!(m.iter_net().count(), 0);
         assert_eq!(m.counter("client", "retries"), 0);
+    }
+
+    #[test]
+    fn gauges_track_current_and_high_water() {
+        let mut m = MetricsRegistry::default();
+        assert_eq!(m.gauge("namenode", "worker_queue_ns"), (0, 0));
+        m.set_gauge("namenode", "worker_queue_ns", 500);
+        m.set_gauge("namenode", "worker_queue_ns", 120);
+        assert_eq!(m.gauge("namenode", "worker_queue_ns"), (120, 500));
+        let all: Vec<_> = m.iter_gauges().collect();
+        assert_eq!(all, vec![("namenode", "worker_queue_ns", 120, 500)]);
+        m.clear();
+        assert_eq!(m.gauge("namenode", "worker_queue_ns"), (0, 0));
     }
 
     #[test]

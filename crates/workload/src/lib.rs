@@ -4,7 +4,9 @@
 //!   Zipf file popularity, loadable into both HopsFS and CephFS clusters;
 //! - [`spotify`]: the read-dominated Spotify-trace operation mix the paper
 //!   evaluates with (§V-B1), reproduced from its published characterization;
-//! - [`micro`]: the single-operation micro-benchmarks of Figures 7 and 9.
+//! - [`micro`]: the single-operation micro-benchmarks of Figures 7 and 9;
+//! - [`openloop`]: the interactive mix the overload experiments offer from
+//!   open-loop (Poisson-arrival) clients.
 //!
 //! All sources implement [`hopsfs::OpSource`], so the same session drives a
 //! HopsFS client or a CephFS client unchanged.
@@ -13,8 +15,10 @@
 
 pub mod micro;
 pub mod namespace;
+pub mod openloop;
 pub mod spotify;
 
 pub use micro::{MicroOp, MicroSource};
 pub use namespace::{Namespace, NamespaceSpec};
+pub use openloop::OverloadSource;
 pub use spotify::{Mix, SpotifySource};

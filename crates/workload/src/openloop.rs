@@ -1,0 +1,105 @@
+//! The overload-experiment operation mix: an unbounded stream of cheap
+//! metadata operations for open-loop clients ([`hopsfs::OpenLoopClientActor`]).
+//!
+//! The mix is interactive-shaped — mostly stats/creates with occasional
+//! mkdirs and deletes inside a session-private directory — so offered load
+//! translates directly into namenode worker demand without subtree
+//! contention between sessions. The stream is infinite by default; cap it
+//! with [`OverloadSource::max_ops`] when the harness needs the session to
+//! drain (e.g. run-to-quiescence chaos tests).
+
+use crate::namespace::Namespace;
+use hopsfs::client::OpSource;
+use hopsfs::{FsOp, FsPath};
+use rand::rngs::StdRng;
+use rand::Rng;
+use simnet::SimTime;
+use std::rc::Rc;
+
+/// Open-loop overload mix: 50% stat, 25% create, 15% open, 10% mkdir.
+pub struct OverloadSource {
+    ns: Rc<Namespace>,
+    private_dir: String,
+    seq: u64,
+    issued: u64,
+    /// Stop after this many ops (`None` = infinite stream).
+    pub max_ops: Option<u64>,
+}
+
+impl OverloadSource {
+    /// Creates a session; pre-create its private directory
+    /// ([`OverloadSource::private_dir_for`]) at bulk-load time.
+    pub fn new(ns: Rc<Namespace>, session_id: u64) -> Self {
+        OverloadSource {
+            ns,
+            private_dir: Self::private_dir_for(session_id),
+            seq: 0,
+            issued: 0,
+            max_ops: None,
+        }
+    }
+
+    /// The session's private directory (pre-create at bulk load).
+    pub fn private_dir_for(session_id: u64) -> String {
+        format!("/ol/s{session_id}")
+    }
+}
+
+impl OpSource for OverloadSource {
+    fn next_op(&mut self, rng: &mut StdRng, _now: SimTime) -> Option<FsOp> {
+        if let Some(max) = self.max_ops {
+            if self.issued >= max {
+                return None;
+            }
+        }
+        self.issued += 1;
+        let p = |s: &str| FsPath::parse(s).expect("generated paths are valid");
+        let roll: u32 = rng.gen_range(0..100);
+        let op = if roll < 50 {
+            FsOp::Stat { path: p(self.ns.sample_file(rng)) }
+        } else if roll < 75 {
+            self.seq += 1;
+            FsOp::Create { path: p(&format!("{}/f{}", self.private_dir, self.seq)), size: 0 }
+        } else if roll < 90 {
+            FsOp::Open { path: p(self.ns.sample_file(rng)) }
+        } else {
+            self.seq += 1;
+            FsOp::Mkdir { path: p(&format!("{}/d{}", self.private_dir, self.seq)) }
+        };
+        Some(op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::namespace::NamespaceSpec;
+    use rand::SeedableRng;
+
+    #[test]
+    fn stream_is_deterministic_per_seed_and_infinite() {
+        let ns = Rc::new(Namespace::generate(&NamespaceSpec::default()));
+        let run = |seed: u64| -> Vec<String> {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut s = OverloadSource::new(Rc::clone(&ns), 3);
+            (0..200)
+                .map(|_| format!("{:?}", s.next_op(&mut rng, SimTime::ZERO).expect("infinite")))
+                .collect()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn max_ops_caps_the_stream() {
+        let ns = Rc::new(Namespace::generate(&NamespaceSpec::default()));
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut s = OverloadSource::new(ns, 0);
+        s.max_ops = Some(5);
+        let mut n = 0;
+        while s.next_op(&mut rng, SimTime::ZERO).is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 5);
+    }
+}

@@ -442,3 +442,141 @@ fn namenode_crash_mid_subtree_op_heals_and_replays_identically() {
     let b = run_sto_crash(21);
     assert_eq!(a, b, "same-seed subtree-crash runs must be bit-identical");
 }
+
+// --- Open-loop overload under a gray namenode -------------------------------
+//
+// Open-loop clients offer well past capacity while one namenode turns gray
+// (CPU 40x slower, still "alive"). Admission control must shed — visibly,
+// and correctly: the shed-accounting audit proves a shed request is never
+// also executed (`received == answered + shed + in-flight` at the namenodes,
+// and every shed surfaced as an `Overloaded` delivery at a client) — while
+// every offered op still terminates, bit-identically across same-seed runs.
+
+use hopsfs::{shed_audit, OpenLoopClientActor};
+use workload::{Namespace, NamespaceSpec, OverloadSource};
+
+/// Everything the overload run produces that must replay identically.
+#[derive(Debug, PartialEq)]
+struct OverloadOutcome {
+    trace: Vec<String>,
+    events: u64,
+    ok: u64,
+    err: u64,
+    sheds: u64,
+    dropped: u64,
+    offered: u64,
+}
+
+fn run_overload(seed: u64) -> OverloadOutcome {
+    let mut cfg = hopsfs::FsConfig::hopsfs_cl(6, 3, 3).scaled_down(16);
+    cfg.admission.enabled = true;
+    let mut sim = Simulation::new(seed);
+    sim.set_jitter(0.0);
+    let mut cluster = hopsfs::build_fs_cluster(&mut sim, cfg, 6);
+    let view = cluster.view.clone();
+
+    // A small namespace for the stat/open share of the mix, plus each
+    // session's private directory.
+    let ns = Rc::new(Namespace::generate(&NamespaceSpec {
+        users: 2,
+        dirs_per_user: 2,
+        files_per_dir: 5,
+        ..NamespaceSpec::default()
+    }));
+    ns.load_hopsfs(&mut sim, &mut cluster, 0);
+    const SESSIONS: u64 = 6;
+    for s in 0..SESSIONS {
+        cluster.bulk_mkdir_p(&mut sim, &OverloadSource::private_dir_for(s));
+    }
+    sim.run_until(SimTime::from_secs(3)); // elections settle
+
+    // Offered: 6 sessions x 400/s = 2400 ops/s at the cluster, far past the
+    // scaled-down capacity; bounded so the run drains.
+    let stats = ClientStats::shared();
+    let mut ol_clients = Vec::new();
+    for s in 0..SESSIONS {
+        let mut src = OverloadSource::new(Rc::clone(&ns), s);
+        src.max_ops = Some(1200);
+        let id = cluster.add_open_loop_client(
+            &mut sim,
+            AzId((s % 3) as u8),
+            Box::new(src),
+            stats.clone(),
+            400.0,
+            64,
+        );
+        ol_clients.push(id);
+    }
+
+    // The nemesis: one namenode goes gray (not dead — the worst kind) for
+    // the middle of the overload window.
+    let s = |t| SimTime::from_secs(t);
+    let gray_nn = view.nn_ids[1];
+    let schedule = Schedule::new()
+        .at(s(4), Fault::GraySlow(gray_nn, 40.0))
+        .at(s(8), Fault::GrayHeal(gray_nn));
+    let trace = schedule.install(&mut sim);
+
+    // Ride through arrivals (3s..6s of virtual time) and drain.
+    let deadline = s(120);
+    loop {
+        sim.run_for(SimDuration::from_millis(500));
+        let drained = ol_clients
+            .iter()
+            .all(|&id| sim.actor::<OpenLoopClientActor>(id).done
+                && sim.actor::<OpenLoopClientActor>(id).idle());
+        if drained {
+            break;
+        }
+        assert!(sim.now() < deadline, "open-loop sessions never drained");
+    }
+    // Let in-flight namenode work and stale responses settle.
+    sim.run_for(SimDuration::from_secs(5));
+
+    let lines = trace.lines();
+    assert_eq!(lines.len(), 2, "unapplied faults: {lines:?}");
+
+    // Overload really happened and admission really engaged.
+    let sheds: u64 =
+        view.nn_ids.iter().map(|&id| sim.actor::<NameNodeActor>(id).stats.admission_shed).sum();
+    assert!(sheds > 0, "no request was shed under 2400 ops/s of offered load");
+
+    // The audit: a shed request is never acked.
+    let audit = shed_audit(&sim, &view, &stats.borrow());
+    assert!(audit.in_flight == 0, "namenodes still busy at quiesce: {audit:?}");
+    assert!(audit.clean(), "shed accounting does not balance: {audit:?}");
+
+    // Liveness: every offered op terminated (completed or visibly dropped).
+    let (offered, dropped) = ol_clients.iter().fold((0, 0), |(o, d), &id| {
+        let c = sim.actor::<OpenLoopClientActor>(id);
+        (o + c.offered, d + c.dropped_arrivals)
+    });
+    let (ok, err) = {
+        let st = stats.borrow();
+        (st.total_ok(), st.total_err())
+    };
+    assert_eq!(offered, SESSIONS * 1200, "arrival stream was cut short");
+    assert_eq!(ok + err + dropped, offered, "an offered op vanished without a verdict");
+
+    // Singletons still hold (no client list: open-loop actors are checked
+    // above; `check_invariants` downcasts closed-loop clients only).
+    let report = check_invariants(&sim, &view, &[]);
+    assert!(report.clean(), "invariants violated: {report:?}");
+
+    OverloadOutcome {
+        trace: lines,
+        events: sim.events_processed(),
+        ok,
+        err,
+        sheds,
+        dropped,
+        offered,
+    }
+}
+
+#[test]
+fn open_loop_overload_sheds_accountably_and_replays_identically() {
+    let a = run_overload(31);
+    let b = run_overload(31);
+    assert_eq!(a, b, "same-seed overload runs must be bit-identical");
+}
