@@ -11,7 +11,7 @@ use hopsfs::block::BlockDnActor;
 use hopsfs::client::{ClientStats, FsClientActor};
 use hopsfs::{build_fs_cluster, FsConfig, FsOp, FsPath, OpSource, ScriptedSource};
 use rand::rngs::StdRng;
-use simnet::{AzId, SimDuration, SimTime, Simulation};
+use simnet::{AvailabilityRecorder, AzId, SimDuration, SimTime, Simulation};
 
 /// Endless stat/create mix over a tiny namespace (availability probe).
 struct Probe {
@@ -61,6 +61,15 @@ struct DrillMetrics {
     rereplication_done_s: f64,
     /// Throughput over the 4 s after the drill window.
     post_heal_ops_per_s: f64,
+    /// Unavailability windows `(start_s, end_s)` from the availability
+    /// recorder: maximal runs of 100 ms buckets with zero successes.
+    unavailability_windows: Vec<(f64, f64)>,
+    /// MTTR per fault (seconds from the fault instant to the close of the
+    /// last unavailability window it opened); `None` = that fault produced
+    /// no client-visible unavailability.
+    mttr_nn_kill_s: Option<f64>,
+    mttr_az_kill_s: Option<f64>,
+    mttr_partition_s: Option<f64>,
 }
 
 fn main() {
@@ -135,6 +144,8 @@ fn main() {
     const BUCKETS: usize = 240; // 24 s
     let mut ok_hist = vec![0u64; BUCKETS];
     let mut last_ok = 0u64;
+    let mut last_err = 0u64;
+    let mut rec = AvailabilityRecorder::new(SimDuration::from_millis(100));
     let mut copies_dropped = false;
     let mut rereplicated_at: Option<f64> = None;
     for (b, slot) in ok_hist.iter_mut().enumerate() {
@@ -143,8 +154,12 @@ fn main() {
             sim.run_until(t);
         }
         let ok = stats.borrow().total_ok();
+        let err = stats.borrow().total_err();
         *slot = ok - last_ok;
+        rec.record_ok_n("ops", t, ok - last_ok);
+        rec.record_err_n("ops", t, err - last_err);
         last_ok = ok;
+        last_err = err;
         if t >= SimTime::from_secs(8) && rereplicated_at.is_none() {
             let copies = block_copies(&sim);
             if copies < full_copies {
@@ -201,6 +216,22 @@ fn main() {
     sim.run_until(SimTime::from_secs(28));
     let after = stats.borrow().total_ok();
 
+    // Availability-recorder view of the same timeline: unavailability
+    // windows plus MTTR per fault. The drill injects several faults, so a
+    // fault's MTTR is computed from the windows that *open* between it and
+    // the next fault — the recorder's own single-fault MTTR would blame
+    // every later fault's window on the first.
+    let report = rec.report("ops", SimTime::from_secs(4));
+    let mttr_for = |fault_s: u64, next_fault_s: u64| -> Option<f64> {
+        let (f0, f1) = (SimTime::from_secs(fault_s), SimTime::from_secs(next_fault_s));
+        report
+            .windows
+            .iter()
+            .filter(|w| w.start >= f0 && w.start < f1)
+            .map(|w| w.end)
+            .max()
+            .map(|end| end.saturating_since(f0).as_nanos() as f64 / 1e9)
+    };
     let metrics = DrillMetrics {
         steady_ops_per_s: steady_bucket * 10.0,
         nn_kill_recovery_s: recovery_after(4.0, 6..8),
@@ -210,6 +241,14 @@ fn main() {
         client_visible_errors: errors_in_drill,
         rereplication_done_s: rereplicated_at.map_or(f64::INFINITY, |t| t - 8.0),
         post_heal_ops_per_s: (after - before) as f64 / 4.0,
+        unavailability_windows: report
+            .windows
+            .iter()
+            .map(|w| (w.start.as_nanos() as f64 / 1e9, w.end.as_nanos() as f64 / 1e9))
+            .collect(),
+        mttr_nn_kill_s: mttr_for(4, 8),
+        mttr_az_kill_s: mttr_for(8, 14),
+        mttr_partition_s: mttr_for(14, 24),
     };
     println!("\n== recovery metrics ==");
     println!("  steady state          {:>8.0} ops/s", metrics.steady_ops_per_s);
@@ -220,6 +259,11 @@ fn main() {
     println!("  client-visible errors {:>8}", metrics.client_visible_errors);
     println!("  re-replication done   {:>8.1} s after AZ kill", metrics.rereplication_done_s);
     println!("  post-heal             {:>8.0} ops/s", metrics.post_heal_ops_per_s);
+    println!("  unavailability windows {:?}", metrics.unavailability_windows);
+    println!(
+        "  MTTR (nn-kill / az-kill / partition) {:?} / {:?} / {:?} s",
+        metrics.mttr_nn_kill_s, metrics.mttr_az_kill_s, metrics.mttr_partition_s
+    );
 
     assert!(metrics.nn_kill_recovery_s.is_finite(), "no recovery after NN kill");
     assert!(metrics.az_kill_recovery_s.is_finite(), "no recovery after AZ kill");

@@ -25,7 +25,7 @@ use crate::ops::FsOp;
 use crate::types::FsResult;
 use crate::view::FsView;
 use ndb::mgmt::MgmtActor;
-use ndb::{DatanodeActor, PartitionKey};
+use ndb::{DatanodeActor, PartitionKey, TableId};
 use rand::rngs::StdRng;
 use simnet::{NodeId, SimTime, Simulation};
 use std::cell::RefCell;
@@ -145,13 +145,73 @@ pub fn orphaned_sto_locks(sim: &Simulation, view: &FsView) -> Vec<StoRecord> {
         .ndb
         .datanode_ids
         .iter()
-        .find(|&&id| sim.is_alive(id))
-        .expect("at least one NDB datanode alive");
+        .find(|&&id| {
+            // A recovering datanode's copy of the fully replicated table may
+            // be mid-resync: only a synced replica is authoritative.
+            sim.is_alive(id) && !sim.actor::<DatanodeActor>(id).is_recovering()
+        })
+        .expect("at least one synced NDB datanode alive");
     sim.actor::<DatanodeActor>(*dn)
         .peek_partition(view.fs.sto_locks, PartitionKey(0))
         .iter()
         .map(|(_, data)| StoRecord::decode(data))
         .collect()
+}
+
+/// Compares per-fragment digests across the alive, synced members of every
+/// NDB node group and returns the `(group, table, partition)` triples whose
+/// replicas diverge. After faults heal and recoveries complete, a non-empty
+/// result means a replica holds stale data — exactly the durability bug a
+/// revive-without-resync produces.
+///
+/// Not wired into [`InvariantReport::clean`]: transactions aborted *during*
+/// a fault window can legitimately leave benign divergence between a
+/// replica that applied a row at the commit point and one that never got
+/// the message (the row is unlocked and repaired by the next write). Use
+/// this as a dedicated check in recovery drills, where convergence is the
+/// property under test.
+pub fn fragment_divergence(
+    sim: &Simulation,
+    view: &FsView,
+) -> Vec<(usize, TableId, PartitionKey)> {
+    let cfg = &view.ndb.config;
+    let mut out = Vec::new();
+    for g in 0..cfg.node_group_count() {
+        let digests: Vec<_> = cfg
+            .group_members(g)
+            .map(|i| view.ndb.datanode_ids[i])
+            .filter(|&id| sim.is_alive(id))
+            .map(|id| sim.actor::<DatanodeActor>(id))
+            .filter(|dn| !dn.is_recovering())
+            .map(|dn| dn.fragment_digests())
+            .collect();
+        if digests.len() < 2 {
+            continue;
+        }
+        let mut keys: std::collections::BTreeSet<(TableId, PartitionKey)> =
+            std::collections::BTreeSet::new();
+        for d in &digests {
+            keys.extend(d.keys().copied());
+        }
+        for k in keys {
+            let vals: Vec<Option<u64>> = digests.iter().map(|d| d.get(&k).copied()).collect();
+            if vals.windows(2).any(|w| w[0] != w[1]) {
+                out.push((g, k.0, k.1));
+            }
+        }
+    }
+    out
+}
+
+/// Total reads any NDB datanode served while it was in Recovering state —
+/// the no-stale-reads invariant of the node-recovery protocol. Must be
+/// zero in every run, faults or not.
+pub fn recovering_read_violations(sim: &Simulation, view: &FsView) -> u64 {
+    view.ndb
+        .datanode_ids
+        .iter()
+        .map(|&id| sim.actor::<DatanodeActor>(id).stats.reads_served_while_recovering)
+        .sum()
 }
 
 /// Cross-layer shed accounting; produced by [`shed_audit`].

@@ -201,6 +201,9 @@ pub struct FsClientActor {
     pub retry: RetryPolicy,
     /// Pause between ops (0 = fully closed loop).
     pub think_time: SimDuration,
+    /// A think pause is in progress (`ThinkDone` scheduled): the stall
+    /// ticker must not cut it short by issuing early.
+    thinking: bool,
     /// Results kept when enabled (tests/examples).
     pub keep_results: bool,
     /// Collected results (when `keep_results`).
@@ -232,6 +235,7 @@ impl FsClientActor {
             max_attempts: 6,
             retry: RetryPolicy::new(SimDuration::from_millis(50), SimDuration::from_millis(800)),
             think_time: SimDuration::ZERO,
+            thinking: false,
             keep_results: false,
             results: Vec::new(),
             done: false,
@@ -271,6 +275,7 @@ impl FsClientActor {
     }
 
     fn issue_next(&mut self, ctx: &mut Ctx<'_>) {
+        self.thinking = false;
         if self.pending.is_some() || self.done {
             return;
         }
@@ -345,6 +350,7 @@ impl FsClientActor {
         if self.think_time == SimDuration::ZERO {
             self.issue_next(ctx);
         } else {
+            self.thinking = true;
             ctx.schedule(self.think_time, ThinkDone);
         }
     }
@@ -398,8 +404,10 @@ impl FsClientActor {
         {
             self.fetch_active(ctx);
         }
-        // Kick the loop if we stalled with nothing in flight.
-        if !self.awaiting_active && self.pending.is_none() && !self.done {
+        // Kick the loop if we stalled with nothing in flight — but not
+        // during a think pause, or every think time degrades to the tick
+        // interval.
+        if !self.awaiting_active && self.pending.is_none() && !self.done && !self.thinking {
             self.issue_next(ctx);
         }
         let timeout = self.op_timeout;

@@ -41,7 +41,8 @@ pub mod types;
 pub mod view;
 
 pub use chaos::{
-    audit_ops, check_invariants, shed_audit, ChaosLog, InvariantReport, ShedAudit, TrackedSource,
+    audit_ops, check_invariants, fragment_divergence, recovering_read_violations, shed_audit,
+    ChaosLog, InvariantReport, ShedAudit, TrackedSource,
 };
 pub use client::{ClientStats, FsClientActor, OpSource, ScriptedSource};
 pub use config::{AdmissionConfig, BlockBackend, FsConfig, NnCostModel, PlacementPolicy};

@@ -93,6 +93,11 @@ pub struct ClientKernel {
     /// Consecutive timeouts per datanode; indexes the suspicion backoff and
     /// resets on the first successful response.
     tc_failures: Vec<u32>,
+    /// Datanodes that answered `Aborted(NodeRecovering)` since the last
+    /// sweep: they are alive but must not be selected as coordinators until
+    /// resynced, so the sweep marks them suspect (responses carry no
+    /// timestamp, hence the deferred application).
+    pending_suspects: Vec<usize>,
     /// How long to wait for a coordinator response before declaring it dead.
     pub response_timeout: SimDuration,
     /// Suspicion backoff: a datanode that keeps timing out is avoided for
@@ -131,6 +136,7 @@ impl ClientKernel {
             txs: HashMap::new(),
             suspect_until: vec![SimTime::ZERO; n],
             tc_failures: vec![0; n],
+            pending_suspects: Vec::new(),
             response_timeout,
             suspicion: RetryPolicy::new(ttl, ttl * 8).with_jitter(0.0),
             last_tc: None,
@@ -254,7 +260,12 @@ impl ClientKernel {
                 Some(TxEvent::Committed { tx })
             }
             (RespBody::Aborted(reason), expect) => {
-                self.txs.remove(&tx);
+                let tc_idx = self.txs.remove(&tx).map(|st| st.tc_idx);
+                if reason == AbortReason::NodeRecovering {
+                    if let Some(idx) = tc_idx {
+                        self.pending_suspects.push(idx);
+                    }
+                }
                 Some(TxEvent::Aborted { tx, reason, maybe_committed: expect == Expect::Commit })
             }
             (body, expect) => {
@@ -292,6 +303,10 @@ impl ClientKernel {
                 maybe_committed: st.expect == Expect::Commit,
             });
         }
+        // Recovering coordinators refuse until resynced: avoid them like
+        // dead ones (their SyncedAnnounce shows up as normal service again
+        // once the suspicion TTL lapses).
+        dead_tcs.append(&mut self.pending_suspects);
         for idx in dead_tcs {
             let streak = self.tc_failures[idx];
             self.tc_failures[idx] = streak.saturating_add(1);

@@ -214,6 +214,11 @@ pub struct ClusterConfig {
     pub costs: CostModel,
     /// Protocol timeouts.
     pub timeouts: Timeouts,
+    /// Whether restarted datanodes run the node-recovery protocol (rejoin
+    /// in Recovering state, copy-fragment resync, re-admission only once
+    /// synchronized). Disabling it models the naive revive-with-stale-state
+    /// behavior and exists for the ablation in `fig_az_outage`.
+    pub node_recovery: bool,
 }
 
 impl ClusterConfig {
@@ -246,6 +251,7 @@ impl ClusterConfig {
             threads: ThreadConfig::default(),
             costs: CostModel::default(),
             timeouts: Timeouts::default(),
+            node_recovery: true,
         }
     }
 

@@ -41,6 +41,16 @@ struct TickTxSweep;
 /// arbitration request to the arbitrator.
 #[derive(Debug, Clone)]
 struct ArbRequestDue;
+/// Periodic retry of the copy-fragment resync while in Recovering state
+/// (re-requests rotate through the live node-group peers).
+#[derive(Debug, Clone)]
+struct TickResync;
+/// Fires once take-over reports for an orphaned transaction have settled;
+/// the take-over TC then re-drives the transaction to its outcome.
+#[derive(Debug, Clone)]
+struct TakeOverDue {
+    tx: TxId,
+}
 /// Completion of deferred local work carrying the action to resume.
 #[derive(Debug, Clone)]
 struct ReadsFlush {
@@ -68,6 +78,30 @@ pub struct DnStats {
     pub rows_committed: u64,
     /// Lock requests that had to queue.
     pub lock_waits: u64,
+    /// Copy-fragment resyncs completed after a restart.
+    pub resyncs_completed: u64,
+    /// Modeled bytes received during copy-fragment resyncs.
+    pub resync_bytes: u64,
+    /// Reads/scans refused because this node was in Recovering state.
+    pub reads_refused_recovering: u64,
+    /// Reads actually served while recovering — must stay zero; anything
+    /// else is a stale-read bug (checked by the chaos invariants).
+    pub reads_served_while_recovering: u64,
+    /// Orphaned transactions this node re-drove to commit as take-over TC.
+    pub takeover_commits: u64,
+    /// Orphaned transactions this node released (aborted) as take-over TC.
+    pub takeover_aborts: u64,
+}
+
+/// State a take-over TC accumulates about one orphaned transaction.
+#[derive(Debug, Default)]
+struct TakeOverState {
+    /// Datanode indices that reported state for the transaction (ordered:
+    /// resolution messages are emitted by iterating this set).
+    reporters: BTreeSet<u32>,
+    /// Total commit evidence across reports: rows any replica already
+    /// applied at commit. Non-zero means the decision was commit.
+    committed: u32,
 }
 
 #[derive(Debug)]
@@ -149,9 +183,31 @@ pub struct DatanodeActor {
     my_idx: usize,
     /// My liveness estimate per datanode index.
     alive: Vec<bool>,
+    /// My estimate of whether each peer's fragments are synchronized. A
+    /// restarted peer is unsynced until its `SyncedAnnounce`; reads are
+    /// only routed to peers that are both alive and synced.
+    synced: Vec<bool>,
     last_hb: Vec<SimTime>,
     cluster_down: bool,
     shutting_down: bool,
+    /// Node-recovery state: this node restarted and is catching up via
+    /// copy-fragment resync. While set, the node refuses reads and TC
+    /// coordination but accepts (dual-applied) writes.
+    recovering: bool,
+    /// Rows written while recovering; snapshot rows for these keys are
+    /// discarded so the resync copy converges with ongoing traffic.
+    resync_dirty: std::collections::HashSet<(TableId, RowKey)>,
+    /// Resync attempts so far (rotates the snapshot source).
+    resync_attempts: u32,
+    /// Snapshot fragments received while recovering. A `CopyFragDone` (a
+    /// small message) can overtake the large `CopyFrag` snapshots in
+    /// flight, so completion waits until every announced fragment arrived.
+    resync_frags_recv: u64,
+    /// Fragment count announced by a received `CopyFragDone`, if any.
+    resync_expected: Option<u64>,
+    /// `resync_frags_recv` at the previous resync tick: a new snapshot is
+    /// requested only when a tick sees no progress (source slow or dead).
+    resync_progress_mark: u64,
     // LDM role.
     store: HashMap<(TableId, PartitionKey), BTreeMap<Bytes, Bytes>>,
     locks: LockManager,
@@ -165,6 +221,14 @@ pub struct DatanodeActor {
     row_of_token: HashMap<(TxId, u64), (TableId, RowKey)>,
     /// Which datanode coordinates each transaction touching me (take-over).
     tx_coordinator: HashMap<TxId, u32>,
+    /// Rows of each in-flight transaction this LDM has already applied at
+    /// commit — the commit evidence reported during TC take-over.
+    commit_applied: HashMap<TxId, u32>,
+    /// Orphaned transactions reported to a take-over TC, with the deadline
+    /// after which this node falls back to releasing locally.
+    awaiting_takeover: HashMap<TxId, SimTime>,
+    /// Take-over TC role: reports collected per orphaned transaction.
+    takeover: BTreeMap<TxId, TakeOverState>,
     redo_pending: u64,
     // TC role.
     txs: HashMap<TxId, TcTx>,
@@ -185,9 +249,16 @@ impl DatanodeActor {
             view,
             my_idx,
             alive: vec![true; n],
+            synced: vec![true; n],
             last_hb: vec![SimTime::ZERO; n],
             cluster_down: false,
             shutting_down: false,
+            recovering: false,
+            resync_dirty: std::collections::HashSet::new(),
+            resync_attempts: 0,
+            resync_frags_recv: 0,
+            resync_expected: None,
+            resync_progress_mark: 0,
             store: HashMap::new(),
             locks: LockManager::default(),
             lock_conts: HashMap::new(),
@@ -195,6 +266,9 @@ impl DatanodeActor {
             pending_writes: HashMap::new(),
             row_of_token: HashMap::new(),
             tx_coordinator: HashMap::new(),
+            commit_applied: HashMap::new(),
+            awaiting_takeover: HashMap::new(),
+            takeover: BTreeMap::new(),
             redo_pending: 0,
             txs: HashMap::new(),
             current_arb: 0,
@@ -248,6 +322,43 @@ impl DatanodeActor {
         self.alive[idx]
     }
 
+    /// This node's estimate of whether a peer's fragments are synchronized.
+    pub fn peer_synced(&self, idx: usize) -> bool {
+        self.synced[idx]
+    }
+
+    /// Whether this node is in Recovering state (restarted, resync pending).
+    pub fn is_recovering(&self) -> bool {
+        self.recovering
+    }
+
+    /// Per-fragment digests of the local store, for replica-divergence
+    /// checks: FNV-1a over the sorted rows of each `(table, partition)`
+    /// fragment. Two replicas of a fragment are byte-identical iff their
+    /// digests match.
+    pub fn fragment_digests(&self) -> BTreeMap<(TableId, PartitionKey), u64> {
+        fn fnv(h: &mut u64, b: u8) {
+            *h ^= b as u64;
+            *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let mut out = BTreeMap::new();
+        for (&(table, pk), rows) in &self.store {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for (suffix, data) in rows {
+                for &b in suffix.iter() {
+                    fnv(&mut h, b);
+                }
+                fnv(&mut h, 0xff);
+                for &b in data.iter() {
+                    fnv(&mut h, b);
+                }
+                fnv(&mut h, 0xfe);
+            }
+            out.insert((table, pk), h);
+        }
+        out
+    }
+
     // --- CPU charging helpers -------------------------------------------
 
     fn costs(&self) -> &crate::config::CostModel {
@@ -290,6 +401,11 @@ impl DatanodeActor {
 
     // --- TC role ---------------------------------------------------------
 
+    /// Per-datanode read eligibility: alive and fragment-synchronized.
+    fn read_mask(&self) -> Vec<bool> {
+        self.alive.iter().zip(&self.synced).map(|(&a, &s)| a && s).collect()
+    }
+
     fn respond(&self, ctx: &mut Ctx<'_>, depart: SimTime, client: NodeId, mut resp: TxResponse) {
         // Piggyback the TC overload signal on every reply (the paper's NDB
         // never sheds; backpressure is the *client's* job, so it needs to
@@ -306,6 +422,14 @@ impl DatanodeActor {
         if self.shutting_down || self.cluster_down {
             let reason = if self.cluster_down { AbortReason::ClusterDown } else { AbortReason::Shutdown };
             let resp = TxResponse::new(req.tx, RespBody::Aborted(reason));
+            self.respond(ctx, now, from, resp);
+            return;
+        }
+        if self.recovering {
+            // A recovering node must not coordinate: its liveness view and
+            // fragments are stale. The abort reason tells the client to
+            // suspect this TC until it announces itself synced.
+            let resp = TxResponse::new(req.tx, RespBody::Aborted(AbortReason::NodeRecovering));
             self.respond(ctx, now, from, resp);
             return;
         }
@@ -327,6 +451,10 @@ impl DatanodeActor {
         let done = ctx.execute(lane::TC, step_cost);
         let my_idx = self.my_idx as u32;
         let view = Arc::clone(&self.view);
+        // Reads are only routed to replicas that are alive AND synced —
+        // a recovering replica stays in the write chains (dual-apply) but
+        // must not serve data until its resync completes.
+        let read_mask = self.read_mask();
 
         // Resolve buffered writes first (read-your-own-writes), then route
         // the remainder to replicas.
@@ -356,7 +484,7 @@ impl DatanodeActor {
                 }
                 let options = view.schema.table(spec.table).options;
                 let pid = view.pmap.partition_of(spec.key.pk);
-                let candidates = view.pmap.read_replicas(pid, options, &self.alive);
+                let candidates = view.pmap.read_replicas(pid, options, &read_mask);
                 let target = if spec.mode.is_locking() {
                     candidates.first().copied()
                 } else {
@@ -408,7 +536,8 @@ impl DatanodeActor {
         let done = ctx.execute(lane::TC, costs.tc_step + costs.tc_op);
         let options = self.view.schema.table(table).options;
         let pid = self.view.pmap.partition_of(pk);
-        let candidates = self.view.pmap.read_replicas(pid, options, &self.alive);
+        let read_mask = self.read_mask();
+        let candidates = self.view.pmap.read_replicas(pid, options, &read_mask);
         let target = route_read(
             &self.view,
             self.my_idx,
@@ -564,6 +693,14 @@ impl DatanodeActor {
         self.respond(ctx, now, client, resp);
     }
 
+    fn on_ldm_refused(&mut self, ctx: &mut Ctx<'_>, _from: NodeId, m: LdmReadRefused) {
+        // A replica refused to serve (it is recovering): abort fast so the
+        // client retries; by then the routing mask has excluded the replica.
+        if self.txs.contains_key(&m.tx) {
+            self.abort_tx(ctx, m.tx, AbortReason::NodeFailure, true);
+        }
+    }
+
     fn on_prepared_row(&mut self, ctx: &mut Ctx<'_>, _from: NodeId, m: PreparedRow) {
         let costs = self.costs().clone();
         let my_idx = self.my_idx as u32;
@@ -699,6 +836,11 @@ impl DatanodeActor {
     // --- LDM role ---------------------------------------------------------
 
     fn serve_read(&mut self, ctx: &mut Ctx<'_>, requester: NodeId, req: &LdmReadReq) {
+        if self.recovering {
+            // Defense in depth: the refusal in `on_ldm_read` should make
+            // this unreachable; the chaos invariants assert it stays zero.
+            self.stats.reads_served_while_recovering += 1;
+        }
         let costs = self.costs().clone();
         let done = ctx.execute(lane::LDM, costs.ldm_read);
         let data = self.store.get(&(req.table, req.key.pk)).and_then(|m| m.get(&req.key.suffix)).cloned();
@@ -712,6 +854,13 @@ impl DatanodeActor {
     }
 
     fn on_ldm_read(&mut self, ctx: &mut Ctx<'_>, from: NodeId, m: LdmReadReq) {
+        if self.recovering {
+            // Recovering replicas must not serve data (it may be stale).
+            self.stats.reads_refused_recovering += 1;
+            let now = ctx.now();
+            self.send_from(ctx, now, from, 48, LdmReadRefused { tx: m.tx, token: m.token });
+            return;
+        }
         self.tx_coordinator.insert(m.tx, m.tc_idx);
         if m.mode.is_locking() {
             let acq = self.locks.acquire(m.tx, m.table, m.key.clone(), m.mode, m.token);
@@ -726,6 +875,12 @@ impl DatanodeActor {
     }
 
     fn on_ldm_scan(&mut self, ctx: &mut Ctx<'_>, from: NodeId, m: LdmScanReq) {
+        if self.recovering {
+            self.stats.reads_refused_recovering += 1;
+            let now = ctx.now();
+            self.send_from(ctx, now, from, 48, LdmReadRefused { tx: m.tx, token: m.token });
+            return;
+        }
         let costs = self.costs().clone();
         self.tx_coordinator.insert(m.tx, m.tc_idx);
         let rows: Vec<Row> = self
@@ -782,6 +937,11 @@ impl DatanodeActor {
     }
 
     fn apply_write(&mut self, op: &WriteOp) {
+        if self.recovering {
+            // Dual-applied write during resync: the snapshot copy of this
+            // key (taken earlier) must not clobber it.
+            self.resync_dirty.insert((op.table(), op.key().clone()));
+        }
         match op {
             WriteOp::Put { table, key, data } => {
                 self.store.entry((*table, key.pk)).or_default().insert(key.suffix.clone(), data.clone());
@@ -804,6 +964,9 @@ impl DatanodeActor {
         if let Some(op) = self.pending_writes.remove(&(m.tx, m.token)) {
             self.apply_write(&op);
             self.stats.rows_committed += 1;
+            // Commit evidence for TC take-over: if the coordinator dies,
+            // any applied row proves the decision was commit.
+            *self.commit_applied.entry(m.tx).or_insert(0) += 1;
         }
         if m.pos > 0 {
             // Keep traveling the chain in reverse; backups keep their locks
@@ -837,13 +1000,20 @@ impl DatanodeActor {
     }
 
     fn on_release_tx(&mut self, ctx: &mut Ctx<'_>, _from: NodeId, m: ReleaseTx) {
-        // Abandon queued lock requests and pending writes of the tx.
-        self.lock_conts.retain(|(tx, _), _| *tx != m.tx);
-        self.lock_queued.retain(|(tx, _), _| *tx != m.tx);
-        self.pending_writes.retain(|(tx, _), _| *tx != m.tx);
-        self.row_of_token.retain(|(tx, _), _| *tx != m.tx);
-        self.tx_coordinator.remove(&m.tx);
-        let granted = self.locks.release_all(m.tx);
+        self.release_tx_local(ctx, m.tx);
+    }
+
+    /// Abandons queued lock requests and pending writes of the tx and
+    /// releases its locks (shared by `ReleaseTx` and take-over abort).
+    fn release_tx_local(&mut self, ctx: &mut Ctx<'_>, tx: TxId) {
+        self.lock_conts.retain(|(t, _), _| *t != tx);
+        self.lock_queued.retain(|(t, _), _| *t != tx);
+        self.pending_writes.retain(|(t, _), _| *t != tx);
+        self.row_of_token.retain(|(t, _), _| *t != tx);
+        self.tx_coordinator.remove(&tx);
+        self.commit_applied.remove(&tx);
+        self.awaiting_takeover.remove(&tx);
+        let granted = self.locks.release_all(tx);
         self.resume_grants(ctx, granted);
     }
 
@@ -871,6 +1041,10 @@ impl DatanodeActor {
     fn on_heartbeat(&mut self, ctx: &mut Ctx<'_>, _from: NodeId, m: Heartbeat) {
         let idx = m.from as usize;
         self.last_hb[idx] = ctx.now();
+        // A partitioned-but-never-restarted peer heartbeats `synced: true`
+        // and is re-trusted instantly when the partition heals; a restarted
+        // peer heartbeats `synced: false` until its resync completes.
+        self.synced[idx] = m.synced;
         if !self.alive[idx] {
             // Peer recovered (or partition healed).
             self.alive[idx] = true;
@@ -889,7 +1063,7 @@ impl DatanodeActor {
                 continue;
             }
             let to = self.dn_node(i as u32);
-            self.send_from(ctx, now, to, 32, Heartbeat { from: my });
+            self.send_from(ctx, now, to, 32, Heartbeat { from: my, synced: !self.recovering });
         }
         let mut newly_dead = Vec::new();
         for i in 0..self.view.datanode_count() {
@@ -921,6 +1095,9 @@ impl DatanodeActor {
     fn on_peer_dead(&mut self, ctx: &mut Ctx<'_>, idx: usize) {
         let now = ctx.now();
         self.alive[idx] = false;
+        // Until proven otherwise (SyncedAnnounce or a `synced` heartbeat),
+        // assume a dead peer comes back with stale fragments.
+        self.synced[idx] = false;
         self.suspect_since = Some(now);
 
         // TC role: abort transactions that involve the dead node. (Sorted:
@@ -937,9 +1114,17 @@ impl DatanodeActor {
             self.abort_tx(ctx, tx, AbortReason::NodeFailure, true);
         }
 
-        // LDM role / take-over: release locks of transactions coordinated by
-        // the dead node; their clients will time out and retry against a
-        // surviving coordinator.
+        // LDM role: transactions coordinated by the dead node are orphans.
+        // Report their state (prepared tokens + commit evidence) to the
+        // take-over TC — the first live, synced member of the dead node's
+        // group — which re-drives each to a consistent outcome. Without a
+        // take-over target, fall back to releasing immediately (the client
+        // times out and retries against a surviving coordinator).
+        let takeover_tc = self
+            .view
+            .config
+            .group_members(self.view.config.node_group_of(idx))
+            .find(|&i| i != idx && self.alive[i] && self.synced[i]);
         let mut orphans: Vec<TxId> = self
             .tx_coordinator
             .iter()
@@ -949,12 +1134,40 @@ impl DatanodeActor {
         orphans.sort_unstable();
         for tx in orphans {
             self.tx_coordinator.remove(&tx);
+            // Queued lock requests would answer to a dead TC: drop them.
             self.lock_conts.retain(|(t, _), _| *t != tx);
             self.lock_queued.retain(|(t, _), _| *t != tx);
-            self.pending_writes.retain(|(t, _), _| *t != tx);
-            self.row_of_token.retain(|(t, _), _| *t != tx);
-            let granted = self.locks.release_all(tx);
-            self.resume_grants(ctx, granted);
+            match takeover_tc {
+                Some(t) => {
+                    let mut prepared: Vec<u64> = self
+                        .pending_writes
+                        .keys()
+                        .filter(|(txid, _)| *txid == tx)
+                        .map(|&(_, token)| token)
+                        .collect();
+                    prepared.sort_unstable();
+                    let committed = self.commit_applied.get(&tx).copied().unwrap_or(0);
+                    let report = TakeOverReport {
+                        from: self.my_idx as u32,
+                        tx,
+                        dead: idx as u32,
+                        prepared,
+                        committed,
+                    };
+                    if t == self.my_idx {
+                        self.accept_takeover_report(ctx, report);
+                    } else {
+                        let deadline =
+                            now + self.view.config.timeouts.transaction_deadlock_detection * 6;
+                        self.awaiting_takeover.insert(tx, deadline);
+                        let to = self.dn_node(t as u32);
+                        self.send_from(ctx, now, to, 96, report);
+                    }
+                }
+                None => {
+                    self.release_tx_local(ctx, tx);
+                }
+            }
         }
 
         self.recheck_cluster_viability();
@@ -1051,6 +1264,19 @@ impl DatanodeActor {
         for id in inactive {
             self.abort_tx(ctx, id, AbortReason::Inactive, false);
         }
+        // Take-over fallback: if the take-over TC never resolved an orphan
+        // (it died too, or the report was lost), release locally so the
+        // locks do not leak.
+        let mut expired: Vec<TxId> = self
+            .awaiting_takeover
+            .iter()
+            .filter(|&(_, &deadline)| now > deadline)
+            .map(|(&tx, _)| tx)
+            .collect();
+        expired.sort_unstable();
+        for tx in expired {
+            self.release_tx_local(ctx, tx);
+        }
         ctx.schedule(t.transaction_deadlock_detection / 2, TickTxSweep);
     }
 
@@ -1067,6 +1293,238 @@ impl DatanodeActor {
         self.shutting_down = true;
         ctx.shutdown_self();
     }
+
+    // --- Node recovery: rejoin, copy-fragment resync, TC take-over --------
+
+    fn on_rejoin_req(&mut self, ctx: &mut Ctx<'_>, m: RejoinReq) {
+        let idx = m.from as usize;
+        // The peer restarted: it is alive again (so writes dual-apply to
+        // it) but unsynced (so no reads route to it) until it announces.
+        self.alive[idx] = true;
+        self.synced[idx] = false;
+        self.last_hb[idx] = ctx.now();
+        self.recheck_cluster_viability();
+    }
+
+    fn on_synced_announce(&mut self, ctx: &mut Ctx<'_>, m: SyncedAnnounce) {
+        let idx = m.from as usize;
+        self.alive[idx] = true;
+        self.synced[idx] = true;
+        self.last_hb[idx] = ctx.now();
+        self.recheck_cluster_viability();
+    }
+
+    fn on_tick_resync(&mut self, ctx: &mut Ctx<'_>) {
+        if !self.recovering {
+            return; // resync finished meanwhile; let the timer die
+        }
+        let now = ctx.now();
+        let group = self.view.config.node_group_of(self.my_idx);
+        let sources: Vec<usize> = self
+            .view
+            .config
+            .group_members(group)
+            .filter(|&i| i != self.my_idx && self.alive[i] && self.synced[i])
+            .collect();
+        // Only re-request when the previous attempt made no progress since
+        // the last tick (source slow or dead): a full snapshot can easily
+        // outlast one tick interval and must not be restarted mid-stream.
+        let stalled = self.resync_frags_recv == self.resync_progress_mark;
+        self.resync_progress_mark = self.resync_frags_recv;
+        if !sources.is_empty() && stalled {
+            // Rotate through live group peers across attempts so a slow or
+            // just-died source does not wedge the resync.
+            let src = sources[self.resync_attempts as usize % sources.len()];
+            let to = self.dn_node(src as u32);
+            self.send_from(ctx, now, to, 32, CopyFragReq { from: self.my_idx as u32 });
+            self.resync_attempts += 1;
+        }
+        ctx.schedule(self.view.config.timeouts.heartbeat_interval * 2, TickResync);
+    }
+
+    /// LDM of a live replica: stream a snapshot of every fragment the
+    /// requester should store, then `CopyFragDone`. Fragments are sent in
+    /// sorted order so same-seed runs emit identical message sequences.
+    fn on_copy_frag_req(&mut self, ctx: &mut Ctx<'_>, from: NodeId, m: CopyFragReq) {
+        if self.recovering {
+            return; // cannot seed a copy while catching up myself
+        }
+        let costs = self.costs().clone();
+        let req_idx = m.from as usize;
+        let view = Arc::clone(&self.view);
+        let mut frags: Vec<(TableId, PartitionKey)> = self
+            .store
+            .keys()
+            .filter(|&&(table, pk)| {
+                let options = view.schema.table(table).options;
+                let pid = view.pmap.partition_of(pk);
+                view.pmap.stores(req_idx, pid, options)
+            })
+            .copied()
+            .collect();
+        frags.sort_unstable();
+        let mut fragments = 0u64;
+        let mut nrows = 0u64;
+        let mut total = 0u64;
+        let mut done = ctx.now();
+        for (table, pk) in frags {
+            let rows: Vec<Row> = self.store[&(table, pk)]
+                .iter()
+                .map(|(suffix, data)| Row {
+                    key: RowKey { pk, suffix: suffix.clone() },
+                    data: data.clone(),
+                })
+                .collect();
+            done = ctx.execute(
+                lane::LDM,
+                costs.ldm_scan_base + costs.ldm_scan_row * rows.len() as u64,
+            );
+            let msg = CopyFrag { table, pk, rows };
+            let bytes = msg.wire_size();
+            fragments += 1;
+            nrows += msg.rows.len() as u64;
+            total += bytes;
+            self.send_from(ctx, done, from, bytes, msg);
+        }
+        self.send_from(ctx, done, from, 48, CopyFragDone { fragments, rows: nrows, bytes: total });
+    }
+
+    fn on_copy_frag(&mut self, ctx: &mut Ctx<'_>, _from: NodeId, m: CopyFrag) {
+        if !self.recovering {
+            return; // late snapshot from a previous attempt
+        }
+        let costs = self.costs().clone();
+        let bytes = m.wire_size();
+        ctx.execute(lane::LDM, costs.ldm_scan_base + (costs.ldm_write / 2) * m.rows.len() as u64);
+        let CopyFrag { table, pk: _, rows } = m;
+        for row in rows {
+            // A key written while recovering already holds a newer value
+            // than the snapshot (dual-apply); keep it.
+            if self.resync_dirty.contains(&(table, row.key.clone())) {
+                continue;
+            }
+            self.store.entry((table, row.key.pk)).or_default().insert(row.key.suffix, row.data);
+        }
+        // The restored rows go through the redo log like any other write,
+        // so the next GCP tick flushes them to disk.
+        self.redo_pending += bytes;
+        self.stats.resync_bytes += bytes;
+        self.resync_frags_recv += 1;
+        self.try_finish_resync(ctx);
+    }
+
+    fn on_copy_frag_done(&mut self, ctx: &mut Ctx<'_>, _from: NodeId, m: CopyFragDone) {
+        if !self.recovering {
+            return;
+        }
+        // The done marker is tiny and can overtake the snapshot fragments
+        // still in flight: record the expected count and only complete once
+        // every fragment has actually been applied.
+        self.resync_expected = Some(m.fragments);
+        self.try_finish_resync(ctx);
+    }
+
+    fn try_finish_resync(&mut self, ctx: &mut Ctx<'_>) {
+        let expected = match self.resync_expected {
+            Some(n) if self.recovering => n,
+            _ => return,
+        };
+        if self.resync_frags_recv < expected {
+            return;
+        }
+        self.recovering = false;
+        self.synced[self.my_idx] = true;
+        self.resync_dirty.clear();
+        self.resync_frags_recv = 0;
+        self.resync_expected = None;
+        self.stats.resyncs_completed += 1;
+        let now = ctx.now();
+        let my = self.my_idx as u32;
+        for i in 0..self.view.datanode_count() {
+            if i == self.my_idx {
+                continue;
+            }
+            let to = self.dn_node(i as u32);
+            self.send_from(ctx, now, to, 32, SyncedAnnounce { from: my });
+        }
+    }
+
+    /// Take-over TC: collect one report about an orphaned transaction.
+    /// The first report starts a settle timer; once it fires, the
+    /// accumulated commit evidence decides the outcome.
+    fn accept_takeover_report(&mut self, ctx: &mut Ctx<'_>, m: TakeOverReport) {
+        let first = !self.takeover.contains_key(&m.tx);
+        let st = self.takeover.entry(m.tx).or_default();
+        st.reporters.insert(m.from);
+        st.committed += m.committed;
+        if first {
+            let t = &self.view.config.timeouts;
+            let settle = t.heartbeat_interval * (t.heartbeat_misses as u64 + 1);
+            ctx.schedule(settle, TakeOverDue { tx: m.tx });
+        }
+    }
+
+    fn on_takeover_report(&mut self, ctx: &mut Ctx<'_>, _from: NodeId, m: TakeOverReport) {
+        self.accept_takeover_report(ctx, m);
+    }
+
+    fn on_takeover_due(&mut self, ctx: &mut Ctx<'_>, tx: TxId) {
+        let now = ctx.now();
+        let st = match self.takeover.remove(&tx) {
+            Some(st) => st,
+            None => return,
+        };
+        // Linear 2PC: the primary applies before the TC learns of commit;
+        // any applied row anywhere means the decision was commit, so the
+        // remaining prepared rows must be applied too. No evidence means
+        // no replica passed the commit point: release (abort).
+        let commit = st.committed > 0 || self.commit_applied.get(&tx).copied().unwrap_or(0) > 0;
+        for &r in &st.reporters {
+            if r as usize == self.my_idx {
+                continue;
+            }
+            let to = self.dn_node(r);
+            if commit {
+                self.send_from(ctx, now, to, 48, TakeOverCommit { tx });
+            } else {
+                self.send_from(ctx, now, to, 48, ReleaseTx { tx });
+            }
+        }
+        if commit {
+            self.stats.takeover_commits += 1;
+            self.takeover_commit_local(ctx, tx);
+        } else {
+            self.stats.takeover_aborts += 1;
+            self.release_tx_local(ctx, tx);
+        }
+    }
+
+    /// Applies this node's prepared rows of a taken-over transaction (in
+    /// token order) and releases its locks.
+    fn takeover_commit_local(&mut self, ctx: &mut Ctx<'_>, tx: TxId) {
+        let mut tokens: Vec<u64> = self
+            .pending_writes
+            .keys()
+            .filter(|(t, _)| *t == tx)
+            .map(|&(_, token)| token)
+            .collect();
+        tokens.sort_unstable();
+        if !tokens.is_empty() {
+            let cost = (self.costs().ldm_write / 2) * tokens.len() as u64;
+            ctx.execute(lane::LDM, cost);
+        }
+        for token in tokens {
+            if let Some(op) = self.pending_writes.remove(&(tx, token)) {
+                self.apply_write(&op);
+                self.stats.rows_committed += 1;
+            }
+        }
+        self.release_tx_local(ctx, tx);
+    }
+
+    fn on_takeover_commit(&mut self, ctx: &mut Ctx<'_>, _from: NodeId, m: TakeOverCommit) {
+        self.takeover_commit_local(ctx, m.tx);
+    }
 }
 
 impl Actor for DatanodeActor {
@@ -1081,6 +1539,64 @@ impl Actor for DatanodeActor {
         ctx.schedule(t.arbitration_interval, TickArbitration);
         ctx.schedule(t.gcp_interval, TickGcp);
         ctx.schedule(t.transaction_deadlock_detection / 2, TickTxSweep);
+        if self.recovering {
+            // Restarted with node recovery on: announce the rejoin (peers
+            // mark us alive-but-unsynced, the arbitrator forgets our death)
+            // and start the copy-fragment resync.
+            let my = self.my_idx as u32;
+            for i in 0..self.view.datanode_count() {
+                if i == self.my_idx {
+                    continue;
+                }
+                let to = self.dn_node(i as u32);
+                self.send_from(ctx, now, to, 32, RejoinReq { from: my });
+            }
+            for &mgmt in &self.view.mgmt_ids {
+                self.send_from(ctx, now, mgmt, 32, ArbRejoin { from: my });
+            }
+            ctx.schedule(t.heartbeat_interval, TickResync);
+        }
+    }
+
+    fn on_restart(&mut self, _ctx: &mut Ctx<'_>) {
+        if self.view.config.node_recovery {
+            // A restarted process lost its in-memory state: rebuild from
+            // scratch (keeping only the harness statistics) and rejoin in
+            // Recovering state; `on_start` (re-delivered next) announces
+            // the rejoin and starts the resync.
+            let stats = std::mem::take(&mut self.stats);
+            *self = DatanodeActor::new(Arc::clone(&self.view), self.my_idx);
+            self.stats = stats;
+            self.recovering = true;
+            self.synced[self.my_idx] = false;
+        } else {
+            // Ablation (`node_recovery: false`): the naive revive the seed
+            // repo had — keep whatever rows survived in the store, reset
+            // only the protocol state, and rejoin as if nothing happened.
+            // `fig_az_outage` uses this to show the stale-read/durability
+            // violations the recovery protocol exists to prevent.
+            self.locks = LockManager::default();
+            self.lock_conts.clear();
+            self.lock_queued.clear();
+            self.pending_writes.clear();
+            self.row_of_token.clear();
+            self.tx_coordinator.clear();
+            self.commit_applied.clear();
+            self.awaiting_takeover.clear();
+            self.takeover.clear();
+            self.txs.clear();
+            self.redo_pending = 0;
+            self.shutting_down = false;
+            self.cluster_down = false;
+            self.recovering = false;
+            self.suspect_since = None;
+            self.arb_requested = false;
+            self.current_arb = 0;
+            for i in 0..self.alive.len() {
+                self.alive[i] = true;
+                self.synced[i] = true;
+            }
+        }
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_>, from: NodeId, msg: Box<dyn Payload>) {
@@ -1136,8 +1652,48 @@ impl Actor for DatanodeActor {
             Ok(m) => return self.on_release_tx(ctx, from, *m),
             Err(m) => m,
         };
+        let any = match any.downcast::<LdmReadRefused>() {
+            Ok(m) => return self.on_ldm_refused(ctx, from, *m),
+            Err(m) => m,
+        };
         let any = match any.downcast::<Heartbeat>() {
             Ok(m) => return self.on_heartbeat(ctx, from, *m),
+            Err(m) => m,
+        };
+        let any = match any.downcast::<RejoinReq>() {
+            Ok(m) => return self.on_rejoin_req(ctx, *m),
+            Err(m) => m,
+        };
+        let any = match any.downcast::<SyncedAnnounce>() {
+            Ok(m) => return self.on_synced_announce(ctx, *m),
+            Err(m) => m,
+        };
+        let any = match any.downcast::<CopyFragReq>() {
+            Ok(m) => return self.on_copy_frag_req(ctx, from, *m),
+            Err(m) => m,
+        };
+        let any = match any.downcast::<CopyFrag>() {
+            Ok(m) => return self.on_copy_frag(ctx, from, *m),
+            Err(m) => m,
+        };
+        let any = match any.downcast::<CopyFragDone>() {
+            Ok(m) => return self.on_copy_frag_done(ctx, from, *m),
+            Err(m) => m,
+        };
+        let any = match any.downcast::<TakeOverReport>() {
+            Ok(m) => return self.on_takeover_report(ctx, from, *m),
+            Err(m) => m,
+        };
+        let any = match any.downcast::<TakeOverCommit>() {
+            Ok(m) => return self.on_takeover_commit(ctx, from, *m),
+            Err(m) => m,
+        };
+        let any = match any.downcast::<TickResync>() {
+            Ok(_) => return self.on_tick_resync(ctx),
+            Err(m) => m,
+        };
+        let any = match any.downcast::<TakeOverDue>() {
+            Ok(m) => return self.on_takeover_due(ctx, m.tx),
             Err(m) => m,
         };
         let any = match any.downcast::<ReadsFlush>() {

@@ -110,6 +110,9 @@ pub enum AbortReason {
     ClusterDown,
     /// The coordinator is shutting down (arbitration loss).
     Shutdown,
+    /// The contacted datanode is catching up after a restart and refuses
+    /// to coordinate until its fragments are resynchronized.
+    NodeRecovering,
     /// Client aborted voluntarily.
     ClientAbort,
 }
@@ -302,6 +305,17 @@ pub struct ReleaseTx {
     pub tx: TxId,
 }
 
+/// LDM → TC: read/scan refused — the replica is recovering and must not
+/// serve data until its copy-fragment resync completes. The TC aborts the
+/// transaction so the client retries against a synchronized replica.
+#[derive(Debug, Clone, Copy)]
+pub struct LdmReadRefused {
+    /// Transaction.
+    pub tx: TxId,
+    /// Continuation token of the refused read.
+    pub token: u64,
+}
+
 // ---------------------------------------------------------------------------
 // Membership, heartbeats, arbitration.
 // ---------------------------------------------------------------------------
@@ -311,6 +325,11 @@ pub struct ReleaseTx {
 pub struct Heartbeat {
     /// Sender's datanode index.
     pub from: u32,
+    /// Whether the sender's fragments are synchronized. A node that was
+    /// merely partitioned heartbeats `true` and is re-trusted instantly; a
+    /// restarted node heartbeats `false` until copy-fragment resync
+    /// completes, keeping it out of read routing and TC candidacy.
+    pub synced: bool,
 }
 
 /// Datanode → management node liveness probe.
@@ -347,4 +366,99 @@ pub struct ArbShutdown;
 pub struct MgmtHeartbeat {
     /// Sender's index in the management list.
     pub from: u32,
+}
+
+// ---------------------------------------------------------------------------
+// Node recovery: rejoin, copy-fragment resync, transaction take-over.
+// ---------------------------------------------------------------------------
+
+/// Restarted datanode → all peers: "I am back, in Recovering state".
+/// Receivers mark the sender alive-but-unsynced and resume dual-applying
+/// writes to it so the fragment copy converges.
+#[derive(Debug, Clone, Copy)]
+pub struct RejoinReq {
+    /// Sender's datanode index.
+    pub from: u32,
+}
+
+/// Recovered datanode → all peers: copy-fragment resync finished; the
+/// sender may again serve reads and coordinate transactions.
+#[derive(Debug, Clone, Copy)]
+pub struct SyncedAnnounce {
+    /// Sender's datanode index.
+    pub from: u32,
+}
+
+/// Recovering datanode → a live node-group peer: send me a snapshot of
+/// every fragment we share (the copy-fragment phase of node restart).
+#[derive(Debug, Clone, Copy)]
+pub struct CopyFragReq {
+    /// Requester's datanode index.
+    pub from: u32,
+}
+
+/// One fragment's snapshot, streamed from the live replica to the
+/// recovering node. Modeled bytes scale with row payloads, so the
+/// transfer exercises the real AZ-pair links.
+#[derive(Debug, Clone)]
+pub struct CopyFrag {
+    /// Table of the fragment.
+    pub table: TableId,
+    /// Partition key of the fragment.
+    pub pk: PartitionKey,
+    /// All rows of the fragment at snapshot time.
+    pub rows: Vec<Row>,
+}
+
+impl CopyFrag {
+    /// Approximate wire size in bytes.
+    pub fn wire_size(&self) -> u64 {
+        64 + self.rows.iter().map(Row::wire_size).sum::<u64>()
+    }
+}
+
+/// Live replica → recovering node: snapshot stream complete.
+#[derive(Debug, Clone, Copy)]
+pub struct CopyFragDone {
+    /// Number of fragments copied.
+    pub fragments: u64,
+    /// Number of rows copied.
+    pub rows: u64,
+    /// Total modeled bytes of the copy.
+    pub bytes: u64,
+}
+
+/// Restarted datanode → management node: forget my previous incarnation
+/// (clear me from any death episode) so a later failure episode sees the
+/// true membership.
+#[derive(Debug, Clone, Copy)]
+pub struct ArbRejoin {
+    /// Sender's datanode index.
+    pub from: u32,
+}
+
+/// Surviving participant → take-over TC: state of an in-flight transaction
+/// whose coordinator (or chain member) died. The take-over node collects
+/// these and re-drives the transaction to a consistent outcome.
+#[derive(Debug, Clone)]
+pub struct TakeOverReport {
+    /// Reporter's datanode index.
+    pub from: u32,
+    /// The orphaned transaction.
+    pub tx: TxId,
+    /// The dead datanode's index.
+    pub dead: u32,
+    /// Continuation tokens of rows this reporter holds in prepared state.
+    pub prepared: Vec<u64>,
+    /// Rows of this transaction the reporter has already committed —
+    /// commit evidence: if any replica committed, the decision was commit.
+    pub committed: u32,
+}
+
+/// Take-over TC → reporters: the orphaned transaction's decision was
+/// commit; apply your prepared rows and release.
+#[derive(Debug, Clone, Copy)]
+pub struct TakeOverCommit {
+    /// The transaction to commit.
+    pub tx: TxId,
 }

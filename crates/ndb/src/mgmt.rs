@@ -7,7 +7,7 @@
 //! themselves down. Management nodes heartbeat each other so that the
 //! arbitrator role fails over (lowest-index alive management node wins).
 
-use crate::messages::{ArbGrant, ArbPing, ArbPong, ArbRequest, ArbShutdown, MgmtHeartbeat};
+use crate::messages::{ArbGrant, ArbPing, ArbPong, ArbRejoin, ArbRequest, ArbShutdown, MgmtHeartbeat};
 use simnet::{Actor, Ctx, NodeId, Payload, SimDuration, SimTime};
 use std::any::Any;
 use std::collections::HashSet;
@@ -38,6 +38,8 @@ pub struct MgmtActor {
     pub grants: u64,
     /// Shutdown orders issued (for tests).
     pub shutdowns: u64,
+    /// Rejoins accepted after node restarts (for tests).
+    pub rejoins: u64,
 }
 
 impl MgmtActor {
@@ -53,6 +55,7 @@ impl MgmtActor {
             episode: None,
             grants: 0,
             shutdowns: 0,
+            rejoins: 0,
         }
     }
 
@@ -137,6 +140,20 @@ impl MgmtActor {
             }
         }
     }
+
+    /// A restarted datanode announces itself: forget its previous
+    /// incarnation. Stale-identity fix — without this, a node that died
+    /// during a decided episode would be ordered down again on its first
+    /// ping after the restart, even though it recovered legitimately.
+    fn on_rejoin(&mut self, ctx: &mut Ctx<'_>, m: ArbRejoin) {
+        let now = ctx.now();
+        // Touch the episode first so an expired one is dropped, not edited.
+        let _ = self.episode_cohort(now);
+        if let Some((cohort, _)) = &mut self.episode {
+            cohort.insert(m.from);
+        }
+        self.rejoins += 1;
+    }
 }
 
 impl Actor for MgmtActor {
@@ -156,6 +173,10 @@ impl Actor for MgmtActor {
         };
         let any = match any.downcast::<ArbRequest>() {
             Ok(m) => return self.on_request(ctx, from, *m),
+            Err(m) => m,
+        };
+        let any = match any.downcast::<ArbRejoin>() {
+            Ok(m) => return self.on_rejoin(ctx, *m),
             Err(m) => m,
         };
         let any = match any.downcast::<MgmtHeartbeat>() {

@@ -1,0 +1,324 @@
+//! Availability timeline recorder: unavailability windows, MTTR, and
+//! recovery-time measurement.
+//!
+//! Benches and chaos drills feed per-operation-class outcome streams
+//! (`ok` / `err` / `shed`) into an [`AvailabilityRecorder`]; the recorder
+//! buckets them on the virtual-time axis and turns the buckets into an
+//! [`AvailabilityReport`]: maximal *unavailability windows* (runs of
+//! buckets in which no operation of the class succeeded), the total
+//! unavailable time, and the **MTTR** relative to a fault-injection
+//! instant — the time from the fault until the end of the last
+//! unavailability window it caused.
+//!
+//! The recorder is deliberately dumb about *where* outcomes come from:
+//! callers poll their client/workload statistics and report deltas, so it
+//! works for both per-op hooks (`record_ok`) and bulk counters
+//! (`record_ok_n`).
+//!
+//! # Examples
+//!
+//! ```
+//! use simnet::{AvailabilityRecorder, SimDuration, SimTime};
+//!
+//! let mut rec = AvailabilityRecorder::new(SimDuration::from_millis(100));
+//! rec.record_ok("read", SimTime::from_millis(50));
+//! rec.record_err("read", SimTime::from_millis(150));
+//! rec.record_ok("read", SimTime::from_millis(250));
+//! let report = rec.report("read", SimTime::from_millis(100));
+//! assert_eq!(report.windows.len(), 1);
+//! assert_eq!(report.mttr, Some(SimDuration::from_millis(100)));
+//! ```
+
+use std::collections::BTreeMap;
+
+use crate::time::{SimDuration, SimTime};
+
+/// Bucketed ok/err/shed counts for one operation class.
+#[derive(Debug, Default, Clone)]
+struct Timeline {
+    ok: Vec<u64>,
+    err: Vec<u64>,
+    shed: Vec<u64>,
+}
+
+impl Timeline {
+    fn bump(counts: &mut Vec<u64>, bucket: usize, n: u64) {
+        if counts.len() <= bucket {
+            counts.resize(bucket + 1, 0);
+        }
+        counts[bucket] += n;
+    }
+
+    fn at(counts: &[u64], bucket: usize) -> u64 {
+        counts.get(bucket).copied().unwrap_or(0)
+    }
+}
+
+/// Records per-class operation outcomes on a bucketed virtual-time axis
+/// and derives unavailability windows and MTTR from them.
+#[derive(Debug, Clone)]
+pub struct AvailabilityRecorder {
+    bucket: SimDuration,
+    classes: BTreeMap<String, Timeline>,
+}
+
+/// One maximal run of buckets during which no operation of the class
+/// succeeded (while the class was otherwise active).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnavailabilityWindow {
+    /// Start of the first all-failed bucket.
+    pub start: SimTime,
+    /// End of the last all-failed bucket (exclusive).
+    pub end: SimTime,
+}
+
+impl UnavailabilityWindow {
+    /// The length of the window.
+    pub fn duration(&self) -> SimDuration {
+        self.end.saturating_since(self.start)
+    }
+}
+
+/// Derived availability metrics for one operation class.
+#[derive(Debug, Clone)]
+pub struct AvailabilityReport {
+    /// Maximal unavailability windows, in time order.
+    pub windows: Vec<UnavailabilityWindow>,
+    /// Total time covered by unavailability windows.
+    pub unavailable: SimDuration,
+    /// Time from the fault instant to the end of the last unavailability
+    /// window that ends after the fault; `None` if the class was never
+    /// unavailable after the fault.
+    pub mttr: Option<SimDuration>,
+    /// Total successful operations recorded.
+    pub ok_total: u64,
+    /// Total failed operations recorded.
+    pub err_total: u64,
+    /// Total shed (admission-rejected) operations recorded.
+    pub shed_total: u64,
+}
+
+impl AvailabilityRecorder {
+    /// Creates a recorder with the given bucket width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket` is zero.
+    pub fn new(bucket: SimDuration) -> Self {
+        assert!(bucket > SimDuration::ZERO, "bucket width must be non-zero");
+        AvailabilityRecorder { bucket, classes: BTreeMap::new() }
+    }
+
+    fn bucket_of(&self, now: SimTime) -> usize {
+        (now.as_nanos() / self.bucket.as_nanos()) as usize
+    }
+
+    fn timeline(&mut self, class: &str) -> &mut Timeline {
+        self.classes.entry(class.to_string()).or_default()
+    }
+
+    /// Records one successful operation of `class` at `now`.
+    pub fn record_ok(&mut self, class: &str, now: SimTime) {
+        self.record_ok_n(class, now, 1);
+    }
+
+    /// Records one failed (errored or timed-out) operation of `class` at `now`.
+    pub fn record_err(&mut self, class: &str, now: SimTime) {
+        self.record_err_n(class, now, 1);
+    }
+
+    /// Records one shed (admission-rejected) operation of `class` at `now`.
+    pub fn record_shed(&mut self, class: &str, now: SimTime) {
+        self.record_shed_n(class, now, 1);
+    }
+
+    /// Records `n` successful operations of `class` at `now` (bulk variant
+    /// for callers polling counter deltas).
+    pub fn record_ok_n(&mut self, class: &str, now: SimTime, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let b = self.bucket_of(now);
+        Timeline::bump(&mut self.timeline(class).ok, b, n);
+    }
+
+    /// Records `n` failed operations of `class` at `now`.
+    pub fn record_err_n(&mut self, class: &str, now: SimTime, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let b = self.bucket_of(now);
+        Timeline::bump(&mut self.timeline(class).err, b, n);
+    }
+
+    /// Records `n` shed operations of `class` at `now`.
+    pub fn record_shed_n(&mut self, class: &str, now: SimTime, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let b = self.bucket_of(now);
+        Timeline::bump(&mut self.timeline(class).shed, b, n);
+    }
+
+    /// The operation classes seen so far, in name order.
+    pub fn class_names(&self) -> Vec<String> {
+        self.classes.keys().cloned().collect()
+    }
+
+    /// Derives the availability report for `class`, measuring MTTR
+    /// relative to `fault_at` (the instant the fault was injected).
+    ///
+    /// A bucket counts as *unavailable* when it records zero successes;
+    /// only buckets inside the class's activity span (first to last bucket
+    /// with any recorded outcome) are considered, so idle lead-in and
+    /// tail time do not register as outages.
+    pub fn report(&self, class: &str, fault_at: SimTime) -> AvailabilityReport {
+        let empty = Timeline::default();
+        let tl = self.classes.get(class).unwrap_or(&empty);
+        let len = tl.ok.len().max(tl.err.len()).max(tl.shed.len());
+        let active = |b: usize| {
+            Timeline::at(&tl.ok, b) + Timeline::at(&tl.err, b) + Timeline::at(&tl.shed, b) > 0
+        };
+        let first = (0..len).find(|&b| active(b));
+        let last = (0..len).rev().find(|&b| active(b));
+
+        let mut windows = Vec::new();
+        if let (Some(first), Some(last)) = (first, last) {
+            let mut run_start: Option<usize> = None;
+            for b in first..=last {
+                if Timeline::at(&tl.ok, b) == 0 {
+                    run_start.get_or_insert(b);
+                } else if let Some(s) = run_start.take() {
+                    windows.push(self.window(s, b - 1));
+                }
+            }
+            if let Some(s) = run_start {
+                windows.push(self.window(s, last));
+            }
+        }
+
+        let unavailable = windows.iter().map(UnavailabilityWindow::duration).sum();
+        let mttr = windows
+            .iter()
+            .filter(|w| w.end > fault_at)
+            .map(|w| w.end.saturating_since(fault_at))
+            .max();
+
+        AvailabilityReport {
+            windows,
+            unavailable,
+            mttr,
+            ok_total: tl.ok.iter().sum(),
+            err_total: tl.err.iter().sum(),
+            shed_total: tl.shed.iter().sum(),
+        }
+    }
+
+    fn window(&self, first_bucket: usize, last_bucket: usize) -> UnavailabilityWindow {
+        UnavailabilityWindow {
+            start: SimTime::ZERO + self.bucket * first_bucket as u64,
+            end: SimTime::ZERO + self.bucket * (last_bucket as u64 + 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::from_millis(v)
+    }
+
+    #[test]
+    fn no_outage_when_every_bucket_has_a_success() {
+        let mut rec = AvailabilityRecorder::new(SimDuration::from_millis(100));
+        for t in [10, 110, 210, 310] {
+            rec.record_ok("op", ms(t));
+        }
+        let r = rec.report("op", ms(150));
+        assert!(r.windows.is_empty());
+        assert_eq!(r.unavailable, SimDuration::ZERO);
+        assert_eq!(r.mttr, None);
+        assert_eq!(r.ok_total, 4);
+    }
+
+    #[test]
+    fn zero_success_run_becomes_one_window_with_mttr_from_fault() {
+        let mut rec = AvailabilityRecorder::new(SimDuration::from_millis(100));
+        rec.record_ok("op", ms(50));
+        // Buckets 1..=3 see only errors: one 300 ms window [100, 400).
+        for t in [150, 250, 350] {
+            rec.record_err("op", ms(t));
+        }
+        rec.record_ok("op", ms(450));
+        let r = rec.report("op", ms(120));
+        assert_eq!(
+            r.windows,
+            vec![UnavailabilityWindow { start: ms(100), end: ms(400) }]
+        );
+        assert_eq!(r.unavailable, SimDuration::from_millis(300));
+        // Fault at 120 ms, service back at 400 ms.
+        assert_eq!(r.mttr, Some(SimDuration::from_millis(280)));
+        assert_eq!(r.err_total, 3);
+    }
+
+    #[test]
+    fn idle_buckets_outside_the_activity_span_are_not_outages() {
+        let mut rec = AvailabilityRecorder::new(SimDuration::from_millis(100));
+        // Nothing at all before 500 ms or after 700 ms.
+        rec.record_ok("op", ms(550));
+        rec.record_ok("op", ms(650));
+        let r = rec.report("op", ms(0));
+        assert!(r.windows.is_empty());
+        assert_eq!(r.mttr, None);
+    }
+
+    #[test]
+    fn interior_idle_buckets_do_count_as_outage() {
+        let mut rec = AvailabilityRecorder::new(SimDuration::from_millis(100));
+        rec.record_ok("op", ms(50));
+        // buckets 1 and 2 completely silent, activity resumes in bucket 3
+        rec.record_ok("op", ms(350));
+        let r = rec.report("op", ms(100));
+        assert_eq!(
+            r.windows,
+            vec![UnavailabilityWindow { start: ms(100), end: ms(300) }]
+        );
+        assert_eq!(r.mttr, Some(SimDuration::from_millis(200)));
+    }
+
+    #[test]
+    fn shed_only_buckets_are_unavailable_but_counted_as_activity() {
+        let mut rec = AvailabilityRecorder::new(SimDuration::from_millis(100));
+        rec.record_ok("op", ms(50));
+        rec.record_shed_n("op", ms(150), 7);
+        rec.record_ok("op", ms(250));
+        let r = rec.report("op", ms(100));
+        assert_eq!(r.windows.len(), 1);
+        assert_eq!(r.shed_total, 7);
+    }
+
+    #[test]
+    fn windows_before_the_fault_do_not_extend_mttr() {
+        let mut rec = AvailabilityRecorder::new(SimDuration::from_millis(100));
+        rec.record_ok("op", ms(50));
+        rec.record_err("op", ms(150)); // early blip: window [100, 200)
+        rec.record_ok("op", ms(250));
+        rec.record_err("op", ms(350)); // fault-caused: window [300, 400)
+        rec.record_ok("op", ms(450));
+        let r = rec.report("op", ms(320));
+        assert_eq!(r.windows.len(), 2);
+        assert_eq!(r.mttr, Some(SimDuration::from_millis(80)));
+    }
+
+    #[test]
+    fn classes_are_tracked_independently() {
+        let mut rec = AvailabilityRecorder::new(SimDuration::from_millis(100));
+        rec.record_ok("read", ms(50));
+        rec.record_err("write", ms(50));
+        assert_eq!(rec.class_names(), vec!["read".to_string(), "write".to_string()]);
+        assert!(rec.report("read", ms(0)).windows.is_empty());
+        assert_eq!(rec.report("write", ms(0)).windows.len(), 1);
+    }
+}

@@ -20,7 +20,9 @@
 //! - a shared retry/backoff vocabulary for protocol layers
 //!   ([`RetryPolicy`]);
 //! - cross-AZ traffic accounting and measurement primitives
-//!   ([`Histogram`], [`Counter`]).
+//!   ([`Histogram`], [`Counter`]), plus an availability timeline recorder
+//!   that turns per-class outcome streams into unavailability windows and
+//!   MTTR ([`AvailabilityRecorder`]).
 //!
 //! Protocol crates (`ndb`, `hopsfs`, `cephsim`) build their actors on top of
 //! this; the `bench` crate turns the resulting measurements into the paper's
@@ -39,6 +41,7 @@
 #![forbid(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
+mod availability;
 mod cpu;
 mod flow;
 mod metrics;
@@ -50,6 +53,7 @@ mod topology;
 mod trace;
 mod wheel;
 
+pub use availability::{AvailabilityRecorder, AvailabilityReport, UnavailabilityWindow};
 pub use cpu::{Batching, Disk, DiskOp, LaneClassSpec, Lanes, UtilizationWindow};
 pub use flow::{poisson_interarrival, Admission, BoundedQueue, Gate, TokenBucket};
 pub use metrics::{Counter, Histogram};

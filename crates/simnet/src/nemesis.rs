@@ -32,6 +32,14 @@ pub enum Fault {
     Restart(NodeId),
     /// Crash every node in an AZ ([`Simulation::kill_az`]).
     KillAz(AzId),
+    /// Whole-AZ outage: crash every node in the zone with a short
+    /// seed-deterministic stagger per node (real zone failures are not
+    /// instantaneous — racks and hosts drop over tens of milliseconds).
+    AzOutage(AzId),
+    /// Restore a zone after an [`Fault::AzOutage`]: revive every dead node
+    /// in it through its recovery hook ([`Simulation::revive_node`]), again
+    /// with seed-deterministic per-node stagger.
+    AzRestore(AzId),
     /// Symmetric AZ partition ([`Simulation::partition_azs`]).
     PartitionAzs(AzId, AzId),
     /// Heal a symmetric AZ partition.
@@ -69,6 +77,40 @@ impl Fault {
             Fault::Crash(n) => sim.kill_node(n),
             Fault::Restart(n) => sim.revive_node(n),
             Fault::KillAz(az) => sim.kill_az(az),
+            Fault::AzOutage(az) => {
+                // Stagger draws come from the sim's own RNG, so the spread is
+                // seed-deterministic and replays bit-identically. Nodes are
+                // enumerated in id order; each alive node crashes within the
+                // next 40ms. A node may have died between scheduling and
+                // firing (e.g. arbitration shutdown) — the deferred kill
+                // re-checks liveness so it never double-bumps an epoch.
+                for node in sim.nodes_in_az(az) {
+                    if !sim.is_alive(node) {
+                        continue;
+                    }
+                    let stagger = SimDuration::from_micros(sim.rng().gen_range(0..40_000));
+                    let t = sim.now() + stagger;
+                    sim.at(t, move |s| {
+                        if s.is_alive(node) {
+                            s.kill_node(node);
+                        }
+                    });
+                }
+            }
+            Fault::AzRestore(az) => {
+                for node in sim.nodes_in_az(az) {
+                    if sim.is_alive(node) {
+                        continue;
+                    }
+                    let stagger = SimDuration::from_micros(sim.rng().gen_range(0..40_000));
+                    let t = sim.now() + stagger;
+                    sim.at(t, move |s| {
+                        if !s.is_alive(node) {
+                            s.revive_node(node);
+                        }
+                    });
+                }
+            }
             Fault::PartitionAzs(a, b) => sim.partition_azs(a, b),
             Fault::HealAzs(a, b) => sim.heal_azs(a, b),
             Fault::PartitionAzOneway(a, b) => sim.partition_az_oneway(a, b),
@@ -92,6 +134,8 @@ impl fmt::Display for Fault {
             Fault::Crash(n) => write!(f, "crash {n}"),
             Fault::Restart(n) => write!(f, "restart {n}"),
             Fault::KillAz(az) => write!(f, "kill-az az{}", az.0),
+            Fault::AzOutage(az) => write!(f, "az-outage az{}", az.0),
+            Fault::AzRestore(az) => write!(f, "az-restore az{}", az.0),
             Fault::PartitionAzs(a, b) => write!(f, "partition az{} <-> az{}", a.0, b.0),
             Fault::HealAzs(a, b) => write!(f, "heal az{} <-> az{}", a.0, b.0),
             Fault::PartitionAzOneway(a, b) => write!(f, "partition az{} -> az{}", a.0, b.0),
@@ -183,6 +227,31 @@ impl Schedule {
         self
     }
 
+    /// AZ-granular [`Schedule::flap`]: starting at `first`, the whole zone
+    /// goes down ([`Fault::AzOutage`]), is restored after `downtime`
+    /// ([`Fault::AzRestore`]), and repeats every `period` for `cycles`
+    /// rounds — a flapping availability zone.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `downtime < period`.
+    pub fn flap_az(
+        mut self,
+        az: AzId,
+        first: SimTime,
+        downtime: SimDuration,
+        period: SimDuration,
+        cycles: u32,
+    ) -> Self {
+        assert!(downtime < period, "flap downtime must be shorter than its period");
+        for c in 0..u64::from(cycles) {
+            let down = first + period * c;
+            self.entries.push((down, Fault::AzOutage(az)));
+            self.entries.push((down + downtime, Fault::AzRestore(az)));
+        }
+        self
+    }
+
     /// Derives a well-formed random schedule from a seed: `episodes` faults
     /// drawn over `nodes`, each with a bounded duration inside
     /// `[start, end)`, and every one paired with its heal/restart so the
@@ -204,7 +273,7 @@ impl Schedule {
             let at = start + SimDuration::from_nanos(rng.gen_range(0..window.max(1)));
             let span = SimDuration::from_nanos(rng.gen_range(window / 16..window / 4 + 1));
             let until = (at + span).min(end);
-            let kind = rng.gen_range(0..4u32);
+            let kind = rng.gen_range(0..5u32);
             match kind {
                 0 if !restartable.is_empty() => {
                     let n = restartable[rng.gen_range(0..restartable.len())];
@@ -222,6 +291,13 @@ impl Schedule {
                     let n = restartable[rng.gen_range(0..restartable.len())];
                     let factor = 1.5 + rng.gen_range(0.0..3.0);
                     s = s.at(at, Fault::GraySlow(n, factor)).at(until, Fault::GrayHeal(n));
+                }
+                3 if !azs.is_empty() => {
+                    // Whole-AZ outage, paired with its restore (only survivable
+                    // when replication spans AZs — exactly what the paper's
+                    // deployment claims).
+                    let a = azs[rng.gen_range(0..azs.len())];
+                    s = s.at(at, Fault::AzOutage(a)).at(until, Fault::AzRestore(a));
                 }
                 _ if !restartable.is_empty() => {
                     let n = restartable[rng.gen_range(0..restartable.len())];
@@ -304,6 +380,81 @@ mod tests {
         assert!(a.len().is_multiple_of(2), "unpaired fault in {a:?}");
         let c = Schedule::random(10, &nodes, &azs, SimTime::from_secs(1), SimTime::from_secs(9), 6);
         assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn random_schedules_pair_az_outages_with_restores() {
+        let nodes = [NodeId(0), NodeId(1)];
+        let azs = [AzId(0), AzId(1), AzId(2)];
+        // Enough episodes that the AZ-outage kind is drawn at least once.
+        let mut saw_outage = false;
+        for seed in 0..16u64 {
+            let s =
+                Schedule::random(seed, &nodes, &azs, SimTime::from_secs(1), SimTime::from_secs(9), 12);
+            let entries = s.entries();
+            for (i, (_, fault)) in entries.iter().enumerate() {
+                if let Fault::AzOutage(az) = fault {
+                    saw_outage = true;
+                    assert_eq!(
+                        entries[i + 1].1,
+                        Fault::AzRestore(*az),
+                        "AZ outage not followed by its restore in {s:?}"
+                    );
+                }
+            }
+        }
+        assert!(saw_outage, "random schedules never drew an AZ outage");
+    }
+
+    #[test]
+    fn flap_az_expands_to_outage_restore_pairs() {
+        let az = AzId(1);
+        let s = Schedule::new().flap_az(
+            az,
+            SimTime::from_secs(1),
+            SimDuration::from_millis(500),
+            SimDuration::from_secs(2),
+            2,
+        );
+        assert_eq!(
+            s.entries(),
+            &[
+                (SimTime::from_secs(1), Fault::AzOutage(az)),
+                (SimTime::from_millis(1500), Fault::AzRestore(az)),
+                (SimTime::from_secs(3), Fault::AzOutage(az)),
+                (SimTime::from_millis(3500), Fault::AzRestore(az)),
+            ]
+        );
+    }
+
+    #[test]
+    fn az_outage_staggers_kills_and_restore_revives() {
+        let mut sim = Simulation::new(11);
+        let mut nodes = Vec::new();
+        for h in 0..3 {
+            nodes.push(sim.add_node(
+                crate::sim::NodeSpec::new("z", crate::topology::Location::new(1, h)),
+                Box::new(Idle),
+            ));
+        }
+        let other = sim.add_node(
+            crate::sim::NodeSpec::new("o", crate::topology::Location::new(0, 9)),
+            Box::new(Idle),
+        );
+        let s = Schedule::new()
+            .at(SimTime::from_millis(100), Fault::AzOutage(AzId(1)))
+            .at(SimTime::from_millis(500), Fault::AzRestore(AzId(1)));
+        let trace = s.install(&mut sim);
+        // Stagger is bounded by 40ms: all zone nodes dead shortly after.
+        sim.run_until(SimTime::from_millis(200));
+        assert!(nodes.iter().all(|&n| !sim.is_alive(n)), "zone nodes survived the outage");
+        assert!(sim.is_alive(other), "outage leaked outside its zone");
+        sim.run_until(SimTime::from_millis(600));
+        assert!(nodes.iter().all(|&n| sim.is_alive(n)), "zone nodes not revived");
+        assert_eq!(
+            trace.lines(),
+            vec!["t=0.100000s az-outage az1", "t=0.500000s az-restore az1"]
+        );
     }
 
     #[test]

@@ -919,6 +919,25 @@ impl Simulation {
         }
     }
 
+    /// The ids of every node located in `az`, in id order.
+    pub fn nodes_in_az(&self, az: AzId) -> Vec<NodeId> {
+        self.world
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.location.az == az)
+            .map(|(i, _)| NodeId(i as u32))
+            .collect()
+    }
+
+    /// The simulation's shared RNG, for control events (fault schedules,
+    /// measurement hooks) that need seed-deterministic randomness. Draws
+    /// interleave with actor-side [`Ctx::rng`] draws in event order, so the
+    /// stream replays identically for a given seed.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.world.rng
+    }
+
     /// Partitions two AZs from each other (messages dropped both ways).
     pub fn partition_azs(&mut self, a: AzId, b: AzId) {
         self.world.blocked_az_links.insert((a.0, b.0));

@@ -580,3 +580,181 @@ fn open_loop_overload_sheds_accountably_and_replays_identically() {
     let b = run_overload(31);
     assert_eq!(a, b, "same-seed overload runs must be bit-identical");
 }
+
+// --- Whole-AZ outage with NDB node recovery ---------------------------------
+//
+// The paper's headline failure: an entire availability zone goes dark for
+// longer than the arbitrator's episode TTL, then comes back. Every node in
+// the zone — NDB datanodes, namenodes, block datanodes — crashes with a
+// seed-deterministic stagger and later revives. The NDB node-recovery
+// protocol must re-admit the revived datanodes only after copy-fragment
+// resync; meanwhile the surviving AZs keep serving, no acked mutation is
+// lost, no recovering replica serves a read, and at quiesce every node
+// group's fragments are byte-identical again — bit-identically across
+// same-seed runs.
+
+use hopsfs::{fragment_divergence, recovering_read_violations};
+use ndb::DatanodeActor;
+
+/// Everything the AZ-outage run produces that must replay identically.
+#[derive(Debug, PartialEq)]
+struct AzOutcome {
+    trace: Vec<String>,
+    events: u64,
+    pre_ok: u64,
+    during_ok: u64,
+    post_ok: u64,
+    acked: usize,
+    completed: u64,
+    resyncs: u64,
+}
+
+fn run_az_outage(seed: u64) -> AzOutcome {
+    let cfg = hopsfs::FsConfig::hopsfs_cl(6, 3, 6);
+    let mut sim = Simulation::new(seed);
+    sim.set_jitter(0.0);
+    let mut cluster = hopsfs::build_fs_cluster(&mut sim, cfg, 6);
+    let view = cluster.view.clone();
+    cluster.bulk_mkdir_p(&mut sim, "/probe");
+    cluster.bulk_mkdir_p(&mut sim, "/work");
+    sim.run_until(SimTime::from_secs(3)); // elections settle
+
+    // Probe client (AZ 0, survives the outage): endless small creates.
+    let probe_stats = ClientStats::shared();
+    let probe = cluster.add_client(
+        &mut sim,
+        AzId(0),
+        Box::new(ProbeSource { next: 0 }),
+        probe_stats.clone(),
+    );
+    sim.actor_mut::<FsClientActor>(probe).think_time = SimDuration::from_millis(10);
+
+    // Tracked clients in the surviving AZs: their create trains span the
+    // whole outage window, so acked mutations land before, during, and
+    // after the zone loss.
+    let log = ChaosLog::shared();
+    let mut tracked = Vec::new();
+    for (az, name) in [(AzId(0), "c0"), (AzId(1), "c1")] {
+        let source =
+            TrackedSource::new(Box::new(ScriptedSource::new(work_script(name))), log.clone());
+        let id = cluster.add_client(&mut sim, az, Box::new(source), ClientStats::shared());
+        sim.actor_mut::<FsClientActor>(id).think_time = SimDuration::from_millis(500);
+        tracked.push(id);
+    }
+
+    // The nemesis: AZ 2 dark from 6s to 13s — longer than the arbitrator's
+    // 5s episode TTL, like the real outages the paper cites.
+    let s = |t| SimTime::from_secs(t);
+    let schedule =
+        Schedule::new().at(s(6), Fault::AzOutage(AzId(2))).at(s(13), Fault::AzRestore(AzId(2)));
+    let trace = schedule.install(&mut sim);
+
+    // Pre-fault steady state [4s, 6s).
+    sim.run_until(s(4));
+    let t0 = probe_stats.borrow().total_ok();
+    sim.run_until(s(6));
+    let pre_ok = probe_stats.borrow().total_ok() - t0;
+    assert!(pre_ok > 0, "probe produced nothing pre-fault");
+
+    // Mid-outage window [8s, 12s): the cluster must keep serving from the
+    // two surviving AZs (2 of 3 replicas per node group are alive).
+    sim.run_until(s(8));
+    let t1 = probe_stats.borrow().total_ok();
+    sim.run_until(s(12));
+    let during_ok = probe_stats.borrow().total_ok() - t1;
+    assert!(during_ok > 0, "cluster stopped serving during the AZ outage");
+
+    // Restore, recovery, and a post-heal window [26s, 28s).
+    sim.run_until(s(26));
+    let t2 = probe_stats.borrow().total_ok();
+    sim.run_until(s(28));
+    let post_ok = probe_stats.borrow().total_ok() - t2;
+    sim.run_until(s(30));
+
+    let lines = trace.lines();
+    assert_eq!(lines.len(), 2, "unapplied faults: {lines:?}");
+    assert!(lines[0].contains("az-outage az2"), "bad trace: {lines:?}");
+    assert!(lines[1].contains("az-restore az2"), "bad trace: {lines:?}");
+
+    // Liveness: both tracked clients drained their scripts.
+    for &id in &tracked {
+        let c = sim.actor::<FsClientActor>(id);
+        assert!(c.done && c.idle(), "client {id} stuck with work in flight");
+    }
+    let (acked, completed) = {
+        let l = log.borrow();
+        (l.acked_mkdirs.len() + l.acked_creates.len() - l.acked_deletes.len(), l.completed)
+    };
+    assert_eq!(completed, 56, "every submitted op must terminate");
+
+    // Recovery: post-heal probe throughput within 10% of pre-fault.
+    assert!(
+        post_ok as f64 >= 0.9 * pre_ok as f64,
+        "throughput did not recover: pre={pre_ok} post={post_ok}"
+    );
+
+    // Safety: every acked mutation is still visible after heal.
+    let audit = audit_ops(&log.borrow());
+    assert_eq!(audit.len(), acked);
+    let n_audit = audit.len();
+    let auditor = cluster.add_client(
+        &mut sim,
+        AzId(0),
+        Box::new(ScriptedSource::new(audit)),
+        ClientStats::shared(),
+    );
+    sim.actor_mut::<FsClientActor>(auditor).keep_results = true;
+    let results = drain(&mut sim, auditor, n_audit);
+    for (i, r) in results.iter().enumerate() {
+        assert!(r.is_ok(), "acked mutation lost in the AZ outage: audit op {i} returned {r:?}");
+    }
+
+    // Node recovery really ran: every AZ-2 NDB datanode is back, synced,
+    // and went through a copy-fragment resync.
+    let mut resyncs = 0;
+    for (i, &id) in view.ndb.datanode_ids.iter().enumerate() {
+        let az2 = view.ndb.config.datanodes[i].location_domain_id == Some(AzId(2));
+        if !az2 {
+            continue;
+        }
+        assert!(sim.is_alive(id), "AZ-2 NDB datanode {i} never came back");
+        let dn = sim.actor::<DatanodeActor>(id);
+        assert!(!dn.is_recovering(), "NDB datanode {i} still recovering at quiesce");
+        assert!(dn.stats.resyncs_completed >= 1, "NDB datanode {i} rejoined without resync");
+        resyncs += dn.stats.resyncs_completed;
+    }
+
+    // The recovery-protocol invariants.
+    assert_eq!(
+        recovering_read_violations(&sim, &view),
+        0,
+        "a recovering replica served a read"
+    );
+    let diverged = fragment_divergence(&sim, &view);
+    assert!(diverged.is_empty(), "fragments diverge after recovery: {diverged:?}");
+
+    // Singletons: one leader, one arbitrator, no stuck client.
+    let mut quiet = tracked.clone();
+    quiet.push(auditor);
+    let report = check_invariants(&sim, &view, &quiet);
+    assert!(report.clean(), "invariants violated: {report:?}");
+    assert_eq!(report.leaders.len(), 1, "no namenode leads: {report:?}");
+
+    AzOutcome {
+        trace: lines,
+        events: sim.events_processed(),
+        pre_ok,
+        during_ok,
+        post_ok,
+        acked,
+        completed,
+        resyncs,
+    }
+}
+
+#[test]
+fn az_outage_recovers_clean_and_replays_identically() {
+    let a = run_az_outage(17);
+    let b = run_az_outage(17);
+    assert_eq!(a, b, "same-seed AZ-outage runs must be bit-identical");
+}
