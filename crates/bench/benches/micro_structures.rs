@@ -109,6 +109,39 @@ fn bench_event_loop(c: &mut Criterion) {
     });
 }
 
+fn bench_hintcache(c: &mut Criterion) {
+    // The resolution hot path: probe a warm cache once per path component.
+    // Before the borrowed-key lookup, every probe allocated an owned
+    // `(u64, String)` key; this bench is the before/after evidence.
+    let mut cache = hopsfs::HintCache::new(4096);
+    let names: Vec<String> = (0..512).map(|i| format!("dir{i:04}")).collect();
+    for (i, name) in names.iter().enumerate() {
+        cache.put(1, name, 100 + i as u64, true);
+    }
+    c.bench_function("hintcache_get_hit_1k", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for k in 0..1000usize {
+                if let Some((id, _)) = cache.get(1, &names[k % names.len()]) {
+                    acc += id;
+                }
+            }
+            black_box(acc)
+        })
+    });
+    c.bench_function("hintcache_get_miss_1k", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for k in 0..1000usize {
+                if cache.get(2, &names[k % names.len()]).is_none() {
+                    acc += 1;
+                }
+            }
+            black_box(acc)
+        })
+    });
+}
+
 fn bench_path_parse(c: &mut Criterion) {
     c.bench_function("fspath_parse", |b| {
         b.iter(|| {
@@ -122,6 +155,6 @@ fn bench_path_parse(c: &mut Criterion) {
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_lock_manager, bench_partition_map, bench_histogram, bench_event_loop, bench_path_parse
+    targets = bench_lock_manager, bench_partition_map, bench_histogram, bench_event_loop, bench_hintcache, bench_path_parse
 );
 criterion_main!(benches);

@@ -214,6 +214,20 @@ pub fn recovering_read_violations(sim: &Simulation, view: &FsView) -> u64 {
         .sum()
 }
 
+/// The client-cache coherence invariant: **no read is ever served from a
+/// cache entry whose lease outlived an acked conflicting mutation.**
+/// Returns the violation count observed by the experiment's shared
+/// [`crate::lease::LeaseMonitor`] — mutating clients report every
+/// unambiguous mutation ack into it, and every locally served read is
+/// checked against those acks (an entry anchored at or before a conflicting
+/// mutation's commit floor must never be served at or after that mutation's
+/// ack). Must be zero in every run, faults or not: crashes and partitions
+/// may *delay* mutation acks (the revoke round waits out unreachable
+/// holders) but must never let a stale lease outlive one.
+pub fn lease_coherence(monitor: &crate::lease::LeaseMonitor) -> u64 {
+    monitor.violations
+}
+
 /// Cross-layer shed accounting; produced by [`shed_audit`].
 ///
 /// The overload-control invariant is **"a shed request is never acked"**:

@@ -7,6 +7,10 @@
 //! random one. A vanilla client picks a random namenode and sticks with it
 //! until it fails, then picks a random survivor.
 
+use crate::lease::{
+    cache_kind, CacheEntry, LeaseCache, LeaseInvalidate, LeaseInvalidateAck, LeaseMonitor,
+    LeaseRenew, LeaseRenewAck, RenewItem,
+};
 use crate::ops::{ActiveNn, ActiveNns, FsOp, FsRequest, FsResponse, GetActiveNns, OpKind};
 use crate::types::{FsError, FsResult};
 use crate::view::FsView;
@@ -69,6 +73,17 @@ pub struct ClientStats {
     /// Counted on every arrival, ignoring `recording` — the chaos
     /// shed-accounting audit needs the full-run tally.
     pub overloaded_responses: u64,
+    /// Reads served locally from a valid lease (zero namenode round trips).
+    /// Gated on `recording`, like latencies.
+    pub lease_hits: u64,
+    /// Cacheable reads that went to a namenode (no valid lease). Gated on
+    /// `recording`.
+    pub lease_misses: u64,
+    /// Cache entries dropped by invalidation (pushes plus self-notices).
+    /// Counted on every arrival, ignoring `recording`.
+    pub lease_invalidations: u64,
+    /// Lease renewals confirmed by a namenode. Ignores `recording`.
+    pub lease_renewed: u64,
 }
 
 impl Default for ClientStats {
@@ -81,6 +96,10 @@ impl Default for ClientStats {
             latency_per_kind: std::array::from_fn(|_| Histogram::new()),
             errors: HashMap::new(),
             overloaded_responses: 0,
+            lease_hits: 0,
+            lease_misses: 0,
+            lease_invalidations: 0,
+            lease_renewed: 0,
         }
     }
 }
@@ -210,6 +229,12 @@ pub struct FsClientActor {
     pub results: Vec<FsResult>,
     /// True once the source is exhausted.
     pub done: bool,
+    /// Leased metadata cache (inert unless `config.lease.enabled`).
+    pub cache: LeaseCache,
+    /// Coherence observer shared across the experiment's clients; checked
+    /// on every local serve, fed on every mutation ack. `None` outside
+    /// chaos/property harnesses.
+    pub monitor: Option<Rc<RefCell<LeaseMonitor>>>,
 }
 
 impl FsClientActor {
@@ -220,6 +245,7 @@ impl FsClientActor {
         source: Box<dyn OpSource>,
         stats: Rc<RefCell<ClientStats>>,
     ) -> Self {
+        let cache = LeaseCache::new(view.config.lease.max_entries);
         FsClientActor {
             view,
             domain,
@@ -239,6 +265,8 @@ impl FsClientActor {
             keep_results: false,
             results: Vec::new(),
             done: false,
+            cache,
+            monitor: None,
         }
     }
 
@@ -291,6 +319,47 @@ impl FsClientActor {
                 return;
             }
         };
+        // Lease-cache fast path: a cacheable read with a valid lease is
+        // served locally — zero namenode round trips — at a synthetic
+        // local-lookup latency (scheduled, not recursed, so a long run of
+        // hits cannot blow the stack).
+        if self.view.config.lease.enabled {
+            if let Some(kind) = cache_kind(op.kind()) {
+                let path = op.path().to_string();
+                if let Some(e) = self.cache.get(&path, kind, now) {
+                    let value = e.value.clone();
+                    if let Some(mon) = &self.monitor {
+                        mon.borrow_mut().check_serve(e, kind, now);
+                    }
+                    let local = SimDuration::from_micros(5);
+                    {
+                        let mut stats = self.stats.borrow_mut();
+                        if stats.recording {
+                            stats.lease_hits += 1;
+                        }
+                        stats.record(op.kind(), &Ok(value.clone()), local);
+                    }
+                    let layer = ctx.layer();
+                    ctx.metrics().inc(layer, "lease_cache_hits", 1);
+                    let result = Ok(value);
+                    self.source.on_result(&op, &result);
+                    if self.keep_results {
+                        self.results.push(result);
+                    }
+                    self.thinking = true;
+                    ctx.schedule(self.think_time.max(local), ThinkDone);
+                    return;
+                }
+                {
+                    let mut stats = self.stats.borrow_mut();
+                    if stats.recording {
+                        stats.lease_misses += 1;
+                    }
+                }
+                let layer = ctx.layer();
+                ctx.metrics().inc(layer, "lease_cache_misses", 1);
+            }
+        }
         self.next_req += 1;
         let req_id = self.next_req;
         // Each op gets a fresh root span: drop whatever ambient context this
@@ -361,6 +430,18 @@ impl FsClientActor {
             // matches namenode sheds against *deliveries*, stale or not.
             self.stats.borrow_mut().overloaded_responses += 1;
         }
+        // Conflict notices apply stale-or-not: a late-arriving mutation ack
+        // is still this client's first knowledge of the conflict — drop the
+        // affected entries, tombstone the ids, and (in harnesses) feed the
+        // coherence monitor before anything else can serve.
+        if let Some(notice) = &resp.notice {
+            let dropped =
+                self.cache.invalidate(&notice.targets, &notice.listing_dirs, notice.commit_time);
+            self.stats.borrow_mut().lease_invalidations += dropped;
+            if let Some(mon) = &self.monitor {
+                mon.borrow_mut().record_ack(notice, ctx.now());
+            }
+        }
         match &self.pending {
             Some(p) if p.req_id == resp.req_id => {}
             _ => return, // stale (timed-out attempt answered late)
@@ -393,6 +474,24 @@ impl FsClientActor {
             let resend = RetryNow { req_id: p.req_id, attempt: p.attempt };
             ctx.schedule(d, resend);
             return;
+        }
+        // Install a piggybacked lease (tombstones may refuse it: a push for
+        // a conflicting mutation can overtake a grant on the wire).
+        if let Some(grant) = resp.lease {
+            let p = self.pending.as_ref().expect("pending checked above");
+            if let (Some(kind), Ok(value)) = (cache_kind(p.op.kind()), &resp.result) {
+                let path = p.op.path().to_string();
+                let entry = CacheEntry {
+                    value: value.clone(),
+                    chain: grant.ids,
+                    target: grant.target,
+                    listing_dir: grant.listing_dir,
+                    anchor: grant.anchor,
+                    expiry: grant.expiry,
+                    granted_by: grant.granted_by,
+                };
+                self.cache.insert(&path, kind, entry);
+            }
         }
         self.complete(ctx, resp.result);
     }
@@ -447,7 +546,45 @@ impl FsClientActor {
             self.active.clear();
             ctx.schedule(d, resend);
         }
+        self.lease_refresh(ctx, now);
         ctx.schedule(SimDuration::from_millis(250), TickClient);
+    }
+
+    /// Background lease upkeep, off the client tick: drop expired entries
+    /// and batch near-expiry renewals to each granting namenode.
+    fn lease_refresh(&mut self, ctx: &mut Ctx<'_>, now: SimTime) {
+        let lcfg = self.view.config.lease;
+        if !lcfg.enabled || self.cache.is_empty() {
+            return;
+        }
+        self.cache.sweep(now, lcfg.ttl + lcfg.revoke_margin);
+        let cands = self.cache.renewal_candidates(now, lcfg.refresh_margin, 64);
+        if cands.is_empty() {
+            return;
+        }
+        let mut by_nn: std::collections::BTreeMap<u32, Vec<RenewItem>> =
+            std::collections::BTreeMap::new();
+        for (path, kind) in cands {
+            if let Some(e) = self.cache.peek(&path, kind) {
+                by_nn.entry(e.granted_by).or_default().push(RenewItem {
+                    path,
+                    kind,
+                    ids: e.chain.clone(),
+                    listing_dir: e.listing_dir,
+                    anchor: e.anchor,
+                });
+            }
+        }
+        for (nn, items) in by_nn {
+            // Renewals only go to the granting namenode (its holder table
+            // has the registration); a dead granter simply means the entry
+            // expires and the next read re-fetches.
+            let node = NodeId(nn);
+            if ctx.is_alive(node) {
+                let size = 64 + 48 * items.len() as u64;
+                ctx.send_sized(node, size, LeaseRenew { items });
+            }
+        }
     }
 
     fn on_retry_now(&mut self, ctx: &mut Ctx<'_>, m: RetryNow) {
@@ -479,10 +616,44 @@ impl Actor for FsClientActor {
         }
     }
 
-    fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: NodeId, msg: Box<dyn Payload>) {
+    fn on_restart(&mut self, _ctx: &mut Ctx<'_>) {
+        // A restarted client process has no cache. The namenode-side
+        // registrations it leaves behind are harmless — revoke rounds wait
+        // them out or get no ack and fall back to expiry.
+        self.cache.clear();
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, from: NodeId, msg: Box<dyn Payload>) {
         let any = msg.into_any();
         let any = match any.downcast::<FsResponse>() {
             Ok(m) => return self.on_response(ctx, *m),
+            Err(m) => m,
+        };
+        let any = match any.downcast::<LeaseInvalidate>() {
+            Ok(m) => {
+                // A namenode push: drop conflicting entries and ack so the
+                // revoke round (and the mutation behind it) can complete.
+                let dropped = self.cache.invalidate(&m.targets, &m.listing_dirs, m.commit_time);
+                self.stats.borrow_mut().lease_invalidations += dropped;
+                let layer = ctx.layer();
+                ctx.metrics().inc(layer, "lease_invalidations", dropped);
+                ctx.send_sized(
+                    from,
+                    64,
+                    LeaseInvalidateAck { round: m.round, origin_idx: m.origin_idx },
+                );
+                return;
+            }
+            Err(m) => m,
+        };
+        let any = match any.downcast::<LeaseRenewAck>() {
+            Ok(m) => {
+                for (path, kind, expiry) in m.renewed {
+                    self.cache.extend(&path, kind, expiry);
+                    self.stats.borrow_mut().lease_renewed += 1;
+                }
+                return;
+            }
             Err(m) => m,
         };
         let any = match any.downcast::<ActiveNns>() {

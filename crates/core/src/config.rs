@@ -124,6 +124,48 @@ pub struct FsConfig {
     /// priority classes). Off by default: existing benches measure the
     /// unprotected system; overload experiments flip `enabled`.
     pub admission: AdmissionConfig,
+    /// Leased client-side metadata caching (see [`crate::lease`]). Off by
+    /// default: every existing experiment measures the server-side-only
+    /// system; the client-cache experiments flip `enabled`.
+    pub lease: LeaseConfig,
+}
+
+/// Client-side lease-cache knobs (see [`crate::lease`] for the protocol).
+///
+/// Leases are time-bounded: a client may serve a read locally only while
+/// `now < expiry`, and a namenode that cannot reach a lease holder (crash,
+/// partition) need only out-wait `ttl` before acknowledging the conflicting
+/// mutation. `ttl` therefore bounds both staleness *and* mutation latency
+/// under failures — the classic lease trade-off.
+#[derive(Debug, Clone, Copy)]
+pub struct LeaseConfig {
+    /// Master switch. When off, namenodes grant nothing and clients cache
+    /// nothing: the wire protocol and all behavior are exactly the
+    /// pre-lease system.
+    pub enabled: bool,
+    /// Lease duration from grant (and from each successful renewal).
+    pub ttl: SimDuration,
+    /// How close to expiry an entry must be before the background refresh
+    /// tick considers renewing it.
+    pub refresh_margin: SimDuration,
+    /// Client cache capacity (entries). Oldest-expiry entries are evicted
+    /// first when full.
+    pub max_entries: usize,
+    /// Extra slack added to `ttl` when a revoke round waits out unreachable
+    /// holders or namenodes (covers detection and delivery skew).
+    pub revoke_margin: SimDuration,
+}
+
+impl Default for LeaseConfig {
+    fn default() -> Self {
+        LeaseConfig {
+            enabled: false,
+            ttl: SimDuration::from_secs(10),
+            refresh_margin: SimDuration::from_secs(2),
+            max_entries: 4096,
+            revoke_margin: SimDuration::from_millis(200),
+        }
+    }
 }
 
 /// Namenode admission-control knobs (the cross-layer overload-control
@@ -225,6 +267,7 @@ impl FsConfig {
             dn_heartbeat_window: SimDuration::from_millis(1500),
             subtree_batch_size: 256,
             admission: AdmissionConfig::default(),
+            lease: LeaseConfig::default(),
         }
     }
 

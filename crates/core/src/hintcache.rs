@@ -19,10 +19,63 @@
 //! Memory stays bounded by `cap` live entries (two half-`cap` generations);
 //! determinism is untouched because no operation iterates a `HashMap`.
 
+use std::borrow::Borrow;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 
 type Key = (u64, String);
 type Hint = (u64, bool);
+
+/// Borrowed view of a cache key, so `(u64, &str)` can probe a
+/// `HashMap<(u64, String), _>` without allocating an owned `String` per
+/// lookup. The probe runs once per path component per operation — the
+/// hottest loop in the namenode — and previously cloned every component
+/// name on every hit *and* miss.
+trait KeyView {
+    fn parent(&self) -> u64;
+    fn name(&self) -> &str;
+}
+
+impl KeyView for (u64, String) {
+    fn parent(&self) -> u64 {
+        self.0
+    }
+    fn name(&self) -> &str {
+        &self.1
+    }
+}
+
+impl KeyView for (u64, &str) {
+    fn parent(&self) -> u64 {
+        self.0
+    }
+    fn name(&self) -> &str {
+        self.1
+    }
+}
+
+impl<'a> Borrow<dyn KeyView + 'a> for (u64, String) {
+    fn borrow(&self) -> &(dyn KeyView + 'a) {
+        self
+    }
+}
+
+// Must hash exactly like the derived `(u64, String)` implementation (field
+// order and types), or borrowed probes would miss owned entries.
+impl Hash for dyn KeyView + '_ {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.parent().hash(state);
+        self.name().hash(state);
+    }
+}
+
+impl PartialEq for dyn KeyView + '_ {
+    fn eq(&self, other: &Self) -> bool {
+        self.parent() == other.parent() && self.name() == other.name()
+    }
+}
+
+impl Eq for dyn KeyView + '_ {}
 
 /// Two-generation inode-hint cache. See the module docs for the policy.
 #[derive(Debug)]
@@ -44,14 +97,13 @@ impl HintCache {
     /// Looks up a hint; a hit in the old generation promotes the entry to
     /// young (second chance).
     pub fn get(&mut self, parent: u64, name: &str) -> Option<Hint> {
-        // Borrow-friendly key view: HashMap<(u64, String)> needs an owned
-        // tuple for `get`, so probe young/old with a temporary key.
-        let key = (parent, name.to_string());
-        if let Some(&hint) = self.young.get(&key) {
+        let key: &dyn KeyView = &(parent, name);
+        if let Some(&hint) = self.young.get(key) {
             return Some(hint);
         }
-        let hint = self.old.remove(&key)?;
-        self.insert_young(key, hint);
+        let hint = self.old.remove(key)?;
+        // The only allocation left: promotion needs an owned key to insert.
+        self.insert_young((parent, name.to_string()), hint);
         Some(hint)
     }
 
@@ -59,22 +111,21 @@ impl HintCache {
     /// change). For introspection — staleness tests and invariant checks
     /// that must not perturb the generational state they are observing.
     pub fn peek(&self, parent: u64, name: &str) -> Option<(u64, bool)> {
-        let key = (parent, name.to_string());
-        self.young.get(&key).or_else(|| self.old.get(&key)).copied()
+        let key: &dyn KeyView = &(parent, name);
+        self.young.get(key).or_else(|| self.old.get(key)).copied()
     }
 
     /// Inserts or refreshes a hint (always lands in the young generation).
     pub fn put(&mut self, parent: u64, name: &str, id: u64, is_dir: bool) {
-        let key = (parent, name.to_string());
-        self.old.remove(&key);
-        self.insert_young(key, (id, is_dir));
+        self.old.remove(&(parent, name) as &dyn KeyView);
+        self.insert_young((parent, name.to_string()), (id, is_dir));
     }
 
     /// Drops a hint from both generations (mutation invalidation).
     pub fn remove(&mut self, parent: u64, name: &str) {
-        let key = (parent, name.to_string());
-        self.young.remove(&key);
-        self.old.remove(&key);
+        let key: &dyn KeyView = &(parent, name);
+        self.young.remove(key);
+        self.old.remove(key);
     }
 
     /// Drops everything (stale-chain fallback: resolution observed the

@@ -30,6 +30,7 @@ pub mod cloudstore;
 pub mod config;
 pub mod deploy;
 pub mod hintcache;
+pub mod lease;
 pub mod meta;
 pub mod namenode;
 pub mod openloop;
@@ -41,13 +42,14 @@ pub mod types;
 pub mod view;
 
 pub use chaos::{
-    audit_ops, check_invariants, fragment_divergence, recovering_read_violations, shed_audit,
-    ChaosLog, InvariantReport, ShedAudit, TrackedSource,
+    audit_ops, check_invariants, fragment_divergence, lease_coherence,
+    recovering_read_violations, shed_audit, ChaosLog, InvariantReport, ShedAudit, TrackedSource,
 };
 pub use client::{ClientStats, FsClientActor, OpSource, ScriptedSource};
-pub use config::{AdmissionConfig, BlockBackend, FsConfig, NnCostModel, PlacementPolicy};
+pub use config::{AdmissionConfig, BlockBackend, FsConfig, LeaseConfig, NnCostModel, PlacementPolicy};
 pub use deploy::{build_fs_cluster, FsCluster};
 pub use hintcache::HintCache;
+pub use lease::{LeaseCache, LeaseGrant, LeaseMonitor, LeaseTable, MutationNotice};
 pub use namenode::{NameNodeActor, NnStats};
 pub use openloop::OpenLoopClientActor;
 pub use ops::{FsOp, FsRequest, FsResponse, OpKind};

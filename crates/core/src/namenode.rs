@@ -23,6 +23,10 @@ use crate::block::{InvalidateBlock, ReplicaCopied, ReplicateBlockCmd, StoreBlock
 use crate::cloudstore::{DeleteObject, PutObject, PutObjectAck, CLOUD_LOCATION};
 use crate::config::{BlockBackend, FsConfig};
 use crate::hintcache::HintCache;
+use crate::lease::{
+    LeaseGrant, LeaseInvalidate, LeaseInvalidateAck, LeaseRenew, LeaseRenewAck, LeaseRevokeAck,
+    LeaseRevokeReq, LeaseTable, MutationNotice,
+};
 use crate::meta::{
     decode_sequence, encode_sequence, BlockRecord, FsSchema, InodeRecord, NnRecord, ReplicaRecord,
     StoRecord,
@@ -36,7 +40,7 @@ use ndb::messages::ReadSpec;
 use ndb::{AbortReason, ClientKernel, LockMode, PartitionKey, RowKey, TxEvent, TxId, WriteOp};
 use simnet::{Actor, Admission, Ctx, Gate, NodeId, Payload, SimDuration, SimTime};
 use std::any::Any;
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::sync::Arc;
 
 /// Lane-class name for the namenode worker pool.
@@ -103,6 +107,21 @@ pub struct NnStats {
     pub sto_deferred: u64,
     /// Re-replication pump rounds paused by the maintenance-class gate.
     pub repl_deferred: u64,
+    /// Stale-chain fallbacks that dropped a scoped hint-cache prefix
+    /// (instead of the pre-PR-7 whole-cache clear).
+    pub cache_stale_drops: u64,
+    /// Leases granted on read responses (client caching on).
+    pub leases_granted: u64,
+    /// Lease grants refused by a commit fence (possibly stale read).
+    pub lease_grants_fenced: u64,
+    /// Revoke rounds opened for committed conflicting mutations.
+    pub lease_revoke_rounds: u64,
+    /// Invalidation pushes sent to lease-holding clients.
+    pub lease_pushes: u64,
+    /// Lease renewals granted.
+    pub lease_renewals_ok: u64,
+    /// Lease renewals shed by the maintenance-class admission gate.
+    pub lease_renewals_shed: u64,
 }
 
 impl NnStats {
@@ -126,6 +145,9 @@ struct Walk {
     /// *inside* the transaction (batched with the lock reads) — these are
     /// exactly the reads that Read Backup makes AZ-local (§IV-A5, Fig. 14).
     cached_chain: Vec<(u64, String, u64)>,
+    /// Every resolved directory id on the path, root first (cache- and
+    /// DB-resolved alike) — the lease grant's ancestor-id chain.
+    resolved_ids: Vec<u64>,
     stop_at_parent: bool,
 }
 
@@ -137,6 +159,7 @@ impl Walk {
             cur: InodeId::ROOT.0,
             cur_key: (InodeId::NONE.0, String::new()),
             cached_chain: Vec::new(),
+            resolved_ids: vec![InodeId::ROOT.0],
             stop_at_parent,
         }
     }
@@ -287,6 +310,13 @@ struct OpCtx {
     doomed_blocks: Vec<(u64, u32)>,
     /// Subtree-operation state; `Some` once the lock phase starts.
     sto: Option<StoState>,
+    /// When this attempt's transaction began — before any database read
+    /// was *issued*, so every row the op sees is at least this fresh: the
+    /// lease staleness anchor (see [`crate::lease`]).
+    read_anchor: Option<SimTime>,
+    /// When this op's commit was issued (lower bound on the commit point;
+    /// the [`MutationNotice::commit_floor`]).
+    commit_floor: Option<SimTime>,
 }
 
 #[derive(Debug)]
@@ -314,6 +344,32 @@ enum AdminTx {
         rec: StoRecord,
         read: bool,
     },
+}
+
+/// Origin-side revoke round: a committed conflicting mutation's response
+/// is held until every namenode confirmed its conflicting leases are
+/// revoked or expired (commit-then-revoke-then-ack, see [`crate::lease`]).
+#[derive(Debug)]
+struct LeaseRound {
+    client: NodeId,
+    req_id: u64,
+    result: FsResult,
+    kind: OpKind,
+    span: simnet::SpanId,
+    notice: MutationNotice,
+    /// Namenode indexes that have not acked yet.
+    pending: BTreeSet<u32>,
+    /// Last (re)send of the revoke requests; the sweep tick resends.
+    last_sent: SimTime,
+}
+
+/// Push-side state of one revoke round on a granting namenode: the clients
+/// it pushed [`LeaseInvalidate`] to, each bounded by its lease expiry (a
+/// partitioned client is waited *out*, never waited *on* indefinitely).
+#[derive(Debug)]
+struct LeasePush {
+    origin: NodeId,
+    waiting: BTreeMap<u32, SimTime>,
 }
 
 /// The namenode actor. Construct via [`crate::deploy::build_fs_cluster`].
@@ -353,6 +409,23 @@ pub struct NameNodeActor {
     /// ([`CLASS_INTERACTIVE`], [`CLASS_BATCH`], [`CLASS_MAINTENANCE`]).
     /// Pure volatile control state: rebuilt from config on restart.
     gates: [Gate; 3],
+    /// Lease holders, fences and listing registrations (client caching).
+    leases: LeaseTable,
+    /// Origin-side revoke rounds keyed by round id.
+    lease_rounds: BTreeMap<u64, LeaseRound>,
+    /// Push-side rounds keyed by `(origin namenode idx, round id)`.
+    lease_pushes: BTreeMap<(u32, u64), LeasePush>,
+    lease_round_next: u64,
+    /// Restart grace: revoke requests are ignored (the origin resends)
+    /// until every lease granted before the crash has expired.
+    lease_grace_until: SimTime,
+    /// Grant warm-up: no grants until this namenode is visible in every
+    /// peer's active set (else a revoke round could wrongly exempt it).
+    lease_grants_from: SimTime,
+    /// Namenode idx → when it fell out of the active set. A peer absent a
+    /// full lease ttl past detection holds no unexpired grants and is
+    /// exempted from revoke rounds.
+    nn_departed_at: BTreeMap<u32, SimTime>,
     /// Statistics.
     pub stats: NnStats,
 }
@@ -400,6 +473,13 @@ impl NameNodeActor {
             sto_sweep_inflight: false,
             sto_clean_inflight: false,
             gates,
+            leases: LeaseTable::default(),
+            lease_rounds: BTreeMap::new(),
+            lease_pushes: BTreeMap::new(),
+            lease_round_next: 0,
+            lease_grace_until: SimTime::ZERO,
+            lease_grants_from: SimTime::ZERO,
+            nn_departed_at: BTreeMap::new(),
             stats: NnStats::default(),
         }
     }
@@ -492,10 +572,7 @@ impl NameNodeActor {
                     ctx.send_sized(
                         from,
                         64,
-                        FsResponse {
-                            req_id: req.req_id,
-                            result: Err(FsError::Overloaded { retry_after }),
-                        },
+                        FsResponse::plain(req.req_id, Err(FsError::Overloaded { retry_after })),
                     );
                     return;
                 }
@@ -503,12 +580,12 @@ impl NameNodeActor {
         }
         if let FsOp::Rename { src, dst } = &req.op {
             if src.is_prefix_of(dst) || src.is_root() || dst.is_root() {
-                self.respond_now(ctx, from, req.req_id, Err(FsError::Invalid), kind);
+                self.respond_now(ctx, from, req.req_id, Err(FsError::Invalid), kind, None, None);
                 return;
             }
         }
         if req.op.path().is_root() && !matches!(kind, OpKind::List | OpKind::Stat) {
-            self.respond_now(ctx, from, req.req_id, Err(FsError::Invalid), kind);
+            self.respond_now(ctx, from, req.req_id, Err(FsError::Invalid), kind, None, None);
             return;
         }
         let op_id = self.next_op;
@@ -538,6 +615,8 @@ impl NameNodeActor {
             cache_invalidate: Vec::new(),
             doomed_blocks: Vec::new(),
             sto: None,
+            read_anchor: None,
+            commit_floor: None,
         };
         self.ops.insert(op_id, octx);
         self.reset_op_state(op_id);
@@ -576,23 +655,40 @@ impl NameNodeActor {
         octx.writes.clear();
         octx.cache_invalidate.clear();
         octx.doomed_blocks.clear();
+        octx.read_anchor = None;
+        octx.commit_floor = None;
     }
 
-    fn respond_now(&mut self, ctx: &mut Ctx<'_>, client: NodeId, req_id: u64, result: FsResult, kind: OpKind) {
+    #[allow(clippy::too_many_arguments)]
+    fn respond_now(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        client: NodeId,
+        req_id: u64,
+        result: FsResult,
+        kind: OpKind,
+        lease: Option<LeaseGrant>,
+        notice: Option<MutationNotice>,
+    ) {
         match &result {
             Ok(_) => *self.stats.ops_ok.entry(kind).or_insert(0) += 1,
             Err(_) => *self.stats.ops_err.entry(kind).or_insert(0) += 1,
         }
         let cost = self.cfg().nn_costs.op_finish;
         let done = ctx.execute(NN_WORKER, cost);
-        ctx.send_sized_from(done, client, 256, FsResponse { req_id, result });
+        ctx.send_sized_from(done, client, 256, FsResponse { req_id, result, lease, notice });
     }
 
-    fn finish_op(&mut self, ctx: &mut Ctx<'_>, op_id: u64, result: FsResult) {
-        let octx = match self.ops.remove(&op_id) {
-            Some(o) => o,
-            None => return,
-        };
+    /// Removes the op and releases its bookkeeping (tx mapping, STO root,
+    /// doomed-block fan-out); returns the context plus any lease grant a
+    /// successful read earned, for the caller to respond with.
+    fn close_op(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        op_id: u64,
+        result: &FsResult,
+    ) -> Option<(OpCtx, Option<LeaseGrant>)> {
+        let octx = self.ops.remove(&op_id)?;
         if let Some(tx) = octx.tx {
             self.tx_to_op.remove(&tx);
         }
@@ -612,7 +708,345 @@ impl NameNodeActor {
                 ctx.send_sized(dn_node, 64, InvalidateBlock { block });
             }
         }
-        self.respond_now(ctx, octx.client, octx.req_id, result, octx.op.kind());
+        let lease = self.maybe_grant(ctx, &octx, result);
+        Some((octx, lease))
+    }
+
+    fn finish_op(&mut self, ctx: &mut Ctx<'_>, op_id: u64, result: FsResult) {
+        if let Some((octx, lease)) = self.close_op(ctx, op_id, &result) {
+            self.respond_now(ctx, octx.client, octx.req_id, result, octx.op.kind(), lease, None);
+        }
+    }
+
+    /// Piggybacks a lease on a successful read when client caching is on:
+    /// the resolved ancestor chain, anchored at the attempt's transaction
+    /// start (before any read was issued — every row is at least that
+    /// fresh), fences permitting.
+    fn maybe_grant(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        octx: &OpCtx,
+        result: &FsResult,
+    ) -> Option<LeaseGrant> {
+        let lcfg = self.cfg().lease;
+        let kind = octx.op.kind();
+        if !lcfg.enabled || kind.is_mutation() || result.is_err() {
+            return None;
+        }
+        let now = ctx.now();
+        if now < self.lease_grants_from {
+            return None;
+        }
+        let anchor = octx.read_anchor?;
+        let target = octx.target_rec.as_ref()?.id;
+        let mut ids = octx.walk_a.resolved_ids.clone();
+        if ids.last() != Some(&target) {
+            ids.push(target);
+        }
+        let listing_dir = (kind == OpKind::List
+            && octx.target_rec.as_ref().is_some_and(|r| r.is_dir))
+        .then_some(target);
+        let expiry = anchor + lcfg.ttl;
+        if expiry <= now {
+            return None;
+        }
+        if !self.leases.grant_ok(&ids, listing_dir, anchor) {
+            self.stats.lease_grants_fenced += 1;
+            return None;
+        }
+        self.leases.register(&ids, listing_dir, octx.client.0, expiry);
+        self.stats.leases_granted += 1;
+        let layer = ctx.layer();
+        ctx.metrics().inc(layer, "leases_granted", 1);
+        Some(LeaseGrant { ids, target, listing_dir, anchor, expiry, granted_by: ctx.me().0 })
+    }
+
+    /// The lease-conflict footprint of a successfully acked mutation: inode
+    /// ids to chain-invalidate and directory ids whose listings changed.
+    /// `committed` is false for ambiguous idempotent-retry acks, where the
+    /// original attempt's writes (and commit time) are unknown — the
+    /// footprint widens to the parent and the notice is unmonitored.
+    fn conflict_sets(octx: &OpCtx, committed: bool) -> (Vec<u64>, Vec<u64>, bool) {
+        let parent = octx.walk_a.cur;
+        let target = octx.target_rec.as_ref().map(|r| r.id);
+        if !committed {
+            // Create/Mkdir changed the parent's listing at most; Delete
+            // removed an entry whose id is unknowable here — chain-kill the
+            // whole parent.
+            return match octx.op.kind() {
+                OpKind::Delete => (vec![parent], vec![parent], false),
+                _ => (Vec::new(), vec![parent], false),
+            };
+        }
+        match octx.op.kind() {
+            // Membership change only: listings of the parent go stale, but
+            // attribute leases on existing children stay valid.
+            OpKind::Mkdir | OpKind::Create => (Vec::new(), vec![parent], true),
+            // Listings embed attributes, so attr mutations also kill the
+            // parent's listing leases.
+            OpKind::SetPerm | OpKind::Append | OpKind::Delete => {
+                (target.into_iter().collect(), vec![parent], true)
+            }
+            OpKind::Rename => {
+                let dst_parent = octx.walk_b.as_ref().map(|w| w.cur).unwrap_or(parent);
+                let mut dirs = vec![parent];
+                if dst_parent != parent {
+                    dirs.push(dst_parent);
+                }
+                (target.into_iter().collect(), dirs, true)
+            }
+            OpKind::Stat | OpKind::List | OpKind::Open => (Vec::new(), Vec::new(), true),
+        }
+    }
+
+    /// Completes a successfully acked mutation. When client caching is on
+    /// and the mutation conflicts with possible lease holders, the response
+    /// is held behind a revoke round (commit-then-revoke-then-ack);
+    /// otherwise it goes straight out. `committed` is false for ambiguous
+    /// idempotent-retry acks (see [`NameNodeActor::conflict_sets`]).
+    fn finish_mutation(&mut self, ctx: &mut Ctx<'_>, op_id: u64, result: FsResult, committed: bool) {
+        let enabled = self.cfg().lease.enabled;
+        let (targets, listing_dirs, monitored) = match self.ops.get(&op_id) {
+            Some(octx) if enabled && result.is_ok() => Self::conflict_sets(octx, committed),
+            Some(_) => (Vec::new(), Vec::new(), true),
+            None => return,
+        };
+        if targets.is_empty() && listing_dirs.is_empty() {
+            return self.finish_op(ctx, op_id, result);
+        }
+        let now = ctx.now();
+        let commit_floor =
+            if monitored { self.ops[&op_id].commit_floor.unwrap_or(now) } else { now };
+        let (octx, _) = match self.close_op(ctx, op_id, &result) {
+            Some(x) => x,
+            None => return,
+        };
+        let notice =
+            MutationNotice { targets, listing_dirs, commit_time: now, commit_floor, monitored };
+        self.open_revoke_round(ctx, octx, result, notice);
+    }
+
+    /// Opens a revoke round: [`LeaseRevokeReq`] to every namenode (this one
+    /// included); the client's ack waits in [`NameNodeActor::lease_rounds`]
+    /// until all of them confirmed.
+    fn open_revoke_round(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        octx: OpCtx,
+        result: FsResult,
+        notice: MutationNotice,
+    ) {
+        let round = self.lease_round_next;
+        self.lease_round_next += 1;
+        self.stats.lease_revoke_rounds += 1;
+        let layer = ctx.layer();
+        ctx.metrics().inc(layer, "lease_revoke_rounds", 1);
+        let now = ctx.now();
+        let req = LeaseRevokeReq {
+            round,
+            origin_idx: self.my_idx as u32,
+            targets: notice.targets.clone(),
+            listing_dirs: notice.listing_dirs.clone(),
+            commit_time: notice.commit_time,
+        };
+        self.lease_rounds.insert(
+            round,
+            LeaseRound {
+                client: octx.client,
+                req_id: octx.req_id,
+                result,
+                kind: octx.op.kind(),
+                span: octx.span,
+                notice,
+                pending: (0..self.view.nn_ids.len() as u32).collect(),
+                last_sent: now,
+            },
+        );
+        let size = 96 + 8 * (req.targets.len() + req.listing_dirs.len()) as u64;
+        for &node in self.view.nn_ids.clone().iter() {
+            ctx.send_sized(node, size, req.clone());
+        }
+    }
+
+    /// A peer (or this namenode itself) asks to revoke leases conflicting
+    /// with a committed mutation. Idempotent: resends of an in-progress
+    /// round are ignored, resends of a completed one re-acked.
+    fn on_lease_revoke_req(&mut self, ctx: &mut Ctx<'_>, req: LeaseRevokeReq) {
+        let now = ctx.now();
+        // Restart grace: the pre-crash holder table is gone, so this
+        // namenode cannot prove conflicting leases are revoked until every
+        // lease it could have granted has expired. Stay silent — the
+        // origin resends each sweep tick.
+        if now < self.lease_grace_until {
+            return;
+        }
+        self.leases.apply_fences(&req.targets, &req.listing_dirs, req.commit_time);
+        let key = (req.origin_idx, req.round);
+        if self.lease_pushes.contains_key(&key) {
+            return;
+        }
+        let origin = self.view.nn_ids[req.origin_idx as usize];
+        let holders = self.leases.revoke_holders(&req.targets, &req.listing_dirs, now);
+        if holders.is_empty() {
+            ctx.send_sized(origin, 64, LeaseRevokeAck { round: req.round, nn_idx: self.my_idx as u32 });
+            return;
+        }
+        let push = LeaseInvalidate {
+            round: req.round,
+            origin_idx: req.origin_idx,
+            targets: req.targets,
+            listing_dirs: req.listing_dirs,
+            commit_time: req.commit_time,
+        };
+        let layer = ctx.layer();
+        for &client in holders.keys() {
+            self.stats.lease_pushes += 1;
+            ctx.metrics().inc(layer, "lease_pushes", 1);
+            ctx.send_sized(NodeId(client), 96, push.clone());
+        }
+        self.lease_pushes.insert(key, LeasePush { origin, waiting: holders });
+    }
+
+    fn on_lease_revoke_ack(&mut self, ctx: &mut Ctx<'_>, ack: LeaseRevokeAck) {
+        let done = match self.lease_rounds.get_mut(&ack.round) {
+            Some(r) => {
+                r.pending.remove(&ack.nn_idx);
+                r.pending.is_empty()
+            }
+            None => false,
+        };
+        if done {
+            self.complete_round(ctx, ack.round);
+        }
+    }
+
+    /// Every namenode confirmed: release the held mutation ack, with the
+    /// conflict notice piggybacked for the client's self-invalidation and
+    /// the coherence monitor.
+    fn complete_round(&mut self, ctx: &mut Ctx<'_>, round: u64) {
+        if let Some(r) = self.lease_rounds.remove(&round) {
+            ctx.set_span(r.span);
+            self.respond_now(ctx, r.client, r.req_id, r.result, r.kind, None, Some(r.notice));
+        }
+    }
+
+    fn on_lease_invalidate_ack(&mut self, ctx: &mut Ctx<'_>, from: NodeId, ack: LeaseInvalidateAck) {
+        let key = (ack.origin_idx, ack.round);
+        let done = match self.lease_pushes.get_mut(&key) {
+            Some(p) => {
+                p.waiting.remove(&from.0);
+                p.waiting.is_empty()
+            }
+            None => false,
+        };
+        if done {
+            let p = self.lease_pushes.remove(&key).expect("checked above");
+            ctx.send_sized(p.origin, 64, LeaseRevokeAck { round: ack.round, nn_idx: self.my_idx as u32 });
+        }
+    }
+
+    /// Lease renewals run as maintenance-class work: shed renewals are
+    /// silently dropped (the entry expires and the client re-reads).
+    fn on_lease_renew(&mut self, ctx: &mut Ctx<'_>, from: NodeId, renew: LeaseRenew) {
+        let lcfg = self.cfg().lease;
+        if !lcfg.enabled {
+            return;
+        }
+        let now = ctx.now();
+        if self.cfg().admission.enabled {
+            let signal = self.overload_signal(ctx);
+            let salt = (self.my_idx as u64) ^ (u64::from(from.0) << 24) ^ 0x4C65_6173;
+            let layer = ctx.layer();
+            if let Admission::Shed { .. } = self.gates[CLASS_MAINTENANCE].check(now, signal, salt) {
+                self.stats.lease_renewals_shed += 1;
+                ctx.metrics().inc(layer, "lease_renewals_shed", 1);
+                return;
+            }
+            ctx.metrics().inc(layer, "admission_admitted_maintenance", 1);
+        }
+        let expiry = now + lcfg.ttl;
+        let mut renewed = Vec::new();
+        for item in &renew.items {
+            // Valid only while every chain id is still registered (no
+            // revocation raced the renewal) and no fence postdates the
+            // entry's anchor. The anchor is never refreshed: the *data* is
+            // only as fresh as its first read.
+            if self.leases.still_held(&item.ids, item.listing_dir, from.0, now)
+                && self.leases.grant_ok(&item.ids, item.listing_dir, item.anchor)
+            {
+                self.leases.extend(&item.ids, item.listing_dir, from.0, expiry);
+                self.stats.lease_renewals_ok += 1;
+                renewed.push((item.path.clone(), item.kind, expiry));
+            }
+        }
+        if !renewed.is_empty() {
+            let n = renewed.len() as u64;
+            let done = ctx.execute(NN_WORKER, SimDuration::from_micros(10) * n);
+            ctx.send_sized_from(done, from, 64 + 32 * n, LeaseRenewAck { renewed });
+        }
+    }
+
+    /// Lease upkeep, run from the sweep tick: wait out expired holders in
+    /// push rounds, exempt long-departed namenodes from origin rounds,
+    /// resend unacked revoke requests, and prune the holder/fence tables.
+    fn lease_sweep(&mut self, ctx: &mut Ctx<'_>, now: SimTime) {
+        if self.lease_rounds.is_empty() && self.lease_pushes.is_empty() && !self.cfg().lease.enabled
+        {
+            return;
+        }
+        let ttl = self.cfg().lease.ttl;
+        let me = self.my_idx as u32;
+        // Push rounds: drop holders whose leases expired (they can no
+        // longer serve); ack the origin once none remain.
+        let mut acks: Vec<(NodeId, u64)> = Vec::new();
+        self.lease_pushes.retain(|&(_, round), p| {
+            p.waiting.retain(|_, &mut exp| exp > now);
+            if p.waiting.is_empty() {
+                acks.push((p.origin, round));
+                false
+            } else {
+                true
+            }
+        });
+        for (origin, round) in acks {
+            ctx.send_sized(origin, 64, LeaseRevokeAck { round, nn_idx: me });
+        }
+        // Origin rounds: exempt peers absent from the active set a full
+        // lease lifetime past detection; resend to the rest.
+        let active: BTreeSet<u32> = self.active.iter().map(|n| n.nn_idx).collect();
+        let mut done_rounds: Vec<u64> = Vec::new();
+        let mut sends: Vec<(NodeId, LeaseRevokeReq)> = Vec::new();
+        for (&round, r) in self.lease_rounds.iter_mut() {
+            let departed = &self.nn_departed_at;
+            r.pending.retain(|idx| {
+                active.contains(idx)
+                    || departed.get(idx).is_none_or(|&d| now.saturating_since(d) <= ttl)
+            });
+            if r.pending.is_empty() {
+                done_rounds.push(round);
+            } else if now.saturating_since(r.last_sent) >= SimDuration::from_millis(100) {
+                r.last_sent = now;
+                let req = LeaseRevokeReq {
+                    round,
+                    origin_idx: me,
+                    targets: r.notice.targets.clone(),
+                    listing_dirs: r.notice.listing_dirs.clone(),
+                    commit_time: r.notice.commit_time,
+                };
+                for &idx in &r.pending {
+                    sends.push((self.view.nn_ids[idx as usize], req.clone()));
+                }
+            }
+        }
+        for (node, req) in sends {
+            ctx.send_sized(node, 128, req);
+        }
+        for round in done_rounds {
+            self.complete_round(ctx, round);
+        }
+        // Fences matter only while a read anchored before them could still
+        // be granted or renewed; holders age out at their lease expiry.
+        self.leases.sweep(now, ttl + ttl);
     }
 
     /// Finishes a read-only op: respond and abandon the (lock-free) tx.
@@ -728,6 +1162,10 @@ impl NameNodeActor {
         self.tx_to_op.insert(tx, op_id);
         let octx = self.ops.get_mut(&op_id).expect("op exists");
         octx.tx = Some(tx);
+        // Lease staleness anchor: the transaction began now, before any
+        // read was issued, so every row this attempt sees is at least this
+        // fresh. (Retries re-anchor — reset_op_state clears it.)
+        octx.read_anchor = Some(ctx.now());
         octx.stage = Stage::WalkA;
         self.continue_walk(ctx, op_id);
     }
@@ -741,6 +1179,7 @@ impl NameNodeActor {
                     walk.cached_chain.push((walk.cur, name.clone(), id));
                     walk.cur_key = (walk.cur, name);
                     walk.cur = id;
+                    walk.resolved_ids.push(id);
                     walk.idx += 1;
                 }
                 _ => {
@@ -794,7 +1233,7 @@ impl NameNodeActor {
         enum Next {
             Continue,
             Fail(FsError, bool /*read-only*/),
-            StaleCache,
+            StaleCache(Vec<(u64, String, u64)>),
             /// A subtree operation owns this directory (§3.6): back off.
             StoLocked,
         }
@@ -814,7 +1253,7 @@ impl NameNodeActor {
                     } else {
                         // An ancestor came from the cache and the chain broke
                         // under it: possibly stale.
-                        Next::StaleCache
+                        Next::StaleCache(walk.cached_chain.clone())
                     }
                 }
                 Some(data) => {
@@ -829,6 +1268,7 @@ impl NameNodeActor {
                         let parent = walk.cur;
                         walk.cur_key = (parent, name.clone());
                         walk.cur = rec.id;
+                        walk.resolved_ids.push(rec.id);
                         walk.idx += 1;
                         if !rec.is_dir {
                             // Walks only traverse directories (they stop
@@ -855,10 +1295,18 @@ impl NameNodeActor {
                     self.finish_readonly(ctx, op_id, Err(e));
                 }
             }
-            Next::StaleCache => {
-                // Some cached ancestor moved under us: drop the cache and
-                // retry from the root.
-                self.cache.clear();
+            Next::StaleCache(chain) => {
+                // Some link of the cached ancestor chain moved under us:
+                // drop exactly that chain (each cached link, plus anything
+                // cached beneath its topmost id) and retry from the root.
+                // Unrelated hot entries stay.
+                self.stats.cache_stale_drops += 1;
+                for &(parent, ref name, _) in &chain {
+                    self.cache.remove(parent, name);
+                }
+                if let Some(&(_, _, top)) = chain.first() {
+                    self.cache.remove_subtree(top);
+                }
                 self.retry_op(ctx, op_id, false);
             }
             Next::StoLocked => {
@@ -1053,7 +1501,7 @@ impl NameNodeActor {
 
     /// Handles the locked validation read results and executes the mutation.
     fn on_lock_rows(&mut self, ctx: &mut Ctx<'_>, op_id: u64, rows: Vec<Option<Bytes>>) {
-        let mut stale = false;
+        let mut stale_ids: Vec<u64> = Vec::new();
         let read_only;
         let sto_locked;
         {
@@ -1073,7 +1521,7 @@ impl NameNodeActor {
                             })
                             .unwrap_or(false);
                         if !ok {
-                            stale = true;
+                            stale_ids.push(*expected_id);
                         }
                     }
                     _ => {
@@ -1110,10 +1558,29 @@ impl NameNodeActor {
                 .into_iter()
                 .any(|r| r.as_ref().is_some_and(|rec| rec.sto_locked));
         }
-        if stale {
-            // A cached ancestor moved or vanished: drop the cache, retry
-            // from the root (the HopsFS hint-cache fallback).
-            self.cache.clear();
+        if !stale_ids.is_empty() {
+            // A cached ancestor moved or vanished: drop exactly the links
+            // that produced the stale ids and everything cached beneath
+            // them, then retry from the root (the HopsFS hint-cache
+            // fallback). The rest of the working set survives.
+            self.stats.cache_stale_drops += 1;
+            let octx = &self.ops[&op_id];
+            let mut links: Vec<(u64, String)> = Vec::new();
+            for chain in std::iter::once(&octx.walk_a.cached_chain)
+                .chain(octx.walk_b.as_ref().map(|w| &w.cached_chain))
+            {
+                for &(parent, ref name, id) in chain {
+                    if stale_ids.contains(&id) {
+                        links.push((parent, name.clone()));
+                    }
+                }
+            }
+            for (parent, name) in links {
+                self.cache.remove(parent, &name);
+            }
+            for id in stale_ids {
+                self.cache.remove_subtree(id);
+            }
             self.retry_op(ctx, op_id, false);
             return;
         }
@@ -1333,7 +1800,16 @@ impl NameNodeActor {
                 // Locks were taken: abort the tx to release them.
                 self.abort_and_finish(ctx, op_id, Err(e));
             }
-            Plan::Done(ok) => self.abort_and_finish(ctx, op_id, Ok(ok)),
+            Plan::Done(ok) => {
+                // An idempotent-retry ack: the first attempt may have
+                // committed at an unknown time, so the lease footprint
+                // widens and the notice is unmonitored (committed: false).
+                if let Some(tx) = self.ops.get_mut(&op_id).and_then(|o| o.tx.take()) {
+                    self.tx_to_op.remove(&tx);
+                    self.kernel().abort(ctx, tx);
+                }
+                self.finish_mutation(ctx, op_id, Ok(ok), false);
+            }
             Plan::Write => self.patch_creates_and_write(ctx, op_id),
             Plan::Scan { table, pk } => {
                 let tx = self.ops[&op_id].tx.expect("tx");
@@ -1964,7 +2440,7 @@ impl NameNodeActor {
         // cached entries since the lock-time invalidation; the subtree is
         // gone (delete) or re-rooted (rename) now.
         self.cache.remove_subtree(root);
-        self.finish_op(ctx, op_id, Ok(ok.unwrap_or(FsOk::Done)));
+        self.finish_mutation(ctx, op_id, Ok(ok.unwrap_or(FsOk::Done)), true);
     }
 
     /// Phase-local retry: back off and resume the *current* phase (scan
@@ -2198,6 +2674,12 @@ impl NameNodeActor {
             }
             TxEvent::Scanned { rows, .. } => self.on_scan_rows(ctx, op_id, rows),
             TxEvent::WriteAcked { .. } => {
+                // Lease commit floor: the commit is issued now, so it
+                // happens at or after this instant — a sound lower bound
+                // for the coherence monitor.
+                if let Some(o) = self.ops.get_mut(&op_id) {
+                    o.commit_floor = Some(ctx.now());
+                }
                 self.kernel().commit(ctx, tx);
             }
             TxEvent::Committed { .. } => {
@@ -2227,7 +2709,7 @@ impl NameNodeActor {
                         for (parent, name) in invalidate {
                             self.cache.remove(parent, &name);
                         }
-                        self.finish_op(ctx, op_id, Ok(ok.unwrap_or(FsOk::Done)));
+                        self.finish_mutation(ctx, op_id, Ok(ok.unwrap_or(FsOk::Done)), true);
                     }
                 }
             }
@@ -2562,6 +3044,19 @@ impl NameNodeActor {
         }
         active.sort_by_key(|n| n.nn_idx);
         self.active = active;
+        // Track when each peer left the active set: a revoke round only
+        // exempts a namenode once it has been gone a full lease lifetime
+        // (nothing it granted can outlive that).
+        if !self.active.is_empty() {
+            let present: BTreeSet<u32> = self.active.iter().map(|n| n.nn_idx).collect();
+            for idx in 0..self.view.nn_ids.len() as u32 {
+                if present.contains(&idx) {
+                    self.nn_departed_at.remove(&idx);
+                } else {
+                    self.nn_departed_at.entry(idx).or_insert(now);
+                }
+            }
+        }
         if leader != u32::MAX {
             self.leader_idx = leader;
         }
@@ -2734,6 +3229,7 @@ impl NameNodeActor {
         if !self.sto_cleanup.is_empty() {
             self.pump_sto_cleanup(ctx);
         }
+        self.lease_sweep(ctx, now);
         ctx.schedule(SimDuration::from_millis(50), TickSweep);
     }
 
@@ -2768,11 +3264,17 @@ impl Actor for NameNodeActor {
             let stagger = SimDuration::from_millis(7) * (self.my_idx as u64 + 1);
             ctx.schedule(stagger, TickElection);
             ctx.schedule(SimDuration::from_millis(50), TickSweep);
+            // Grant warm-up: no leases until this namenode has had time to
+            // appear in every peer's election view — a grant before that
+            // could dodge revoke rounds that exempt "long-departed" peers.
+            let cfg = self.cfg();
+            let visible = cfg.election_period * (u64::from(cfg.election_misses) + 1);
+            self.lease_grants_from = now + visible;
             self.refill_ids(ctx);
         }
     }
 
-    fn on_restart(&mut self, _ctx: &mut Ctx<'_>) {
+    fn on_restart(&mut self, ctx: &mut Ctx<'_>) {
         // A restarted namenode is stateless by design: all metadata lives in
         // NDB. Drop every piece of volatile state — NDB connections,
         // in-flight ops, the inode-hint cache, leased ID ranges, election
@@ -2781,6 +3283,10 @@ impl Actor for NameNodeActor {
         let stats = std::mem::take(&mut self.stats);
         *self = NameNodeActor::new(Arc::clone(&self.view), self.my_idx);
         self.stats = stats;
+        // The pre-crash lease holder table is gone: until everything this
+        // namenode could have granted has expired, it cannot prove revokes
+        // complete — stay silent on revoke requests (origins resend).
+        self.lease_grace_until = ctx.now() + self.view.config.lease.ttl;
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_>, from: NodeId, msg: Box<dyn Payload>) {
@@ -2820,6 +3326,22 @@ impl Actor for NameNodeActor {
             // Block objects are durable provider-side; nothing to update
             // (the replica row was written in the create/append tx).
             Ok(_) => return,
+            Err(m) => m,
+        };
+        let any = match any.downcast::<LeaseRevokeReq>() {
+            Ok(m) => return self.on_lease_revoke_req(ctx, *m),
+            Err(m) => m,
+        };
+        let any = match any.downcast::<LeaseRevokeAck>() {
+            Ok(m) => return self.on_lease_revoke_ack(ctx, *m),
+            Err(m) => m,
+        };
+        let any = match any.downcast::<LeaseInvalidateAck>() {
+            Ok(m) => return self.on_lease_invalidate_ack(ctx, from, *m),
+            Err(m) => m,
+        };
+        let any = match any.downcast::<LeaseRenew>() {
+            Ok(m) => return self.on_lease_renew(ctx, from, *m),
             Err(m) => m,
         };
         let any = match any.downcast::<TickElection>() {

@@ -189,6 +189,19 @@ pub struct FsResponse {
     pub req_id: u64,
     /// Operation result.
     pub result: FsResult,
+    /// Lease piggybacked on a successful read when client caching is on
+    /// (see [`crate::lease`]); `None` otherwise.
+    pub lease: Option<crate::lease::LeaseGrant>,
+    /// Conflict summary piggybacked on a successful mutation when client
+    /// caching is on: which cached ids the mutation made stale.
+    pub notice: Option<crate::lease::MutationNotice>,
+}
+
+impl FsResponse {
+    /// A plain response with no lease-protocol payload.
+    pub fn plain(req_id: u64, result: FsResult) -> Self {
+        FsResponse { req_id, result, lease: None, notice: None }
+    }
 }
 
 /// Client → namenode: ask for the active namenode list (served from the

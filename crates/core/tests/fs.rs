@@ -531,3 +531,156 @@ fn hints_are_invalidated_for_whole_subtree_on_recursive_delete() {
         assert_ne!(d2, chain.0, "recreated /d reuses the deleted inode id");
     }
 }
+
+// ---------------------------------------------------------------------------
+// Leased client cache: id-rebirth and rename interaction regressions
+// ---------------------------------------------------------------------------
+
+fn lease_cluster() -> H {
+    let mut cfg = hopsfs::FsConfig::hopsfs_cl(6, 3, 3);
+    cfg.lease.enabled = true;
+    cfg.lease.ttl = SimDuration::from_secs(30);
+    let mut sim = Simulation::new(11);
+    sim.set_jitter(0.0);
+    let cluster = build_fs_cluster(&mut sim, cfg, 6);
+    H { sim, cluster }
+}
+
+/// Like [`run_ops`], but on a single persistent client with the lease
+/// coherence monitor attached, returning stats and monitor for inspection.
+fn run_lease_ops(
+    h: &mut H,
+    az: u8,
+    ops: Vec<FsOp>,
+) -> (
+    Vec<hopsfs::FsResult>,
+    std::rc::Rc<std::cell::RefCell<ClientStats>>,
+    std::rc::Rc<std::cell::RefCell<hopsfs::LeaseMonitor>>,
+) {
+    let n = ops.len();
+    let stats = ClientStats::shared();
+    let mon = std::rc::Rc::new(std::cell::RefCell::new(hopsfs::LeaseMonitor::default()));
+    let c = h.cluster.add_client(
+        &mut h.sim,
+        AzId(az),
+        Box::new(ScriptedSource::new(ops)),
+        stats.clone(),
+    );
+    {
+        let a = h.sim.actor_mut::<FsClientActor>(c);
+        a.keep_results = true;
+        a.monitor = Some(mon.clone());
+    }
+    let results = run_client(h, c, n);
+    (results, stats, mon)
+}
+
+#[test]
+fn lease_does_not_survive_delete_and_recreate() {
+    let mut h = lease_cluster();
+    // Past the grant warm-up (election visibility window).
+    h.sim.run_until(SimTime::from_secs(7));
+    let (r, stats, mon) = run_lease_ops(
+        &mut h,
+        0,
+        vec![
+            FsOp::Mkdir { path: p("/d") },
+            FsOp::Create { path: p("/d/f"), size: 0 },
+            FsOp::Stat { path: p("/d/f") }, // grants a lease on the chain
+            FsOp::Stat { path: p("/d/f") }, // served locally from the lease
+            FsOp::Delete { path: p("/d/f"), recursive: false },
+            FsOp::Create { path: p("/d/f"), size: 1000 }, // same name, new inode
+            FsOp::Stat { path: p("/d/f") }, // must see the REBORN file
+        ],
+    );
+    assert!(r.iter().all(|x| x.is_ok()), "{r:?}");
+    let old_id = match &r[2] {
+        Ok(FsOk::Attrs(a)) => a.id,
+        other => panic!("stat returned {other:?}"),
+    };
+    match &r[6] {
+        Ok(FsOk::Attrs(a)) => {
+            assert_eq!(a.size, 1000, "stale lease served the pre-delete file: {a:?}");
+            assert_ne!(a.id, old_id, "recreate reused the deleted inode id");
+        }
+        other => panic!("stat of recreated file returned {other:?}"),
+    }
+    let s = stats.borrow();
+    assert!(s.lease_hits >= 1, "the repeat stat never hit the lease cache");
+    assert!(s.lease_invalidations >= 1, "the delete's conflict notice dropped nothing");
+    assert_eq!(mon.borrow().violations, 0, "lease served data across its own delete");
+}
+
+#[test]
+fn lease_respects_rename_over_existing_and_rename_away() {
+    let mut h = lease_cluster();
+    h.sim.run_until(SimTime::from_secs(7));
+    let (r, stats, mon) = run_lease_ops(
+        &mut h,
+        0,
+        vec![
+            FsOp::Mkdir { path: p("/a") },
+            FsOp::Create { path: p("/a/x"), size: 0 },
+            FsOp::Create { path: p("/a/y"), size: 0 },
+            FsOp::Stat { path: p("/a/x") }, // grant
+            FsOp::Stat { path: p("/a/x") }, // local hit
+            // Rename over an existing destination fails (no overwrite) and
+            // must NOT invalidate the target's lease — nothing changed.
+            FsOp::Rename { src: p("/a/y"), dst: p("/a/x") },
+            FsOp::Stat { path: p("/a/x") }, // still serveable from lease
+            FsOp::Rename { src: p("/a/x"), dst: p("/a/z") },
+            FsOp::Stat { path: p("/a/x") }, // gone — cache must not resurrect it
+            FsOp::Stat { path: p("/a/z") },
+        ],
+    );
+    assert!(r[..5].iter().all(|x| x.is_ok()), "{r:?}");
+    assert_eq!(r[5], Err(FsError::AlreadyExists), "rename-over-existing must fail");
+    assert!(r[6].is_ok(), "failed rename wrongly killed the target lease: {:?}", r[6]);
+    assert!(r[7].is_ok(), "rename away failed: {:?}", r[7]);
+    assert_eq!(r[8], Err(FsError::NotFound), "lease served a renamed-away path");
+    assert!(r[9].is_ok(), "{:?}", r[9]);
+    let s = stats.borrow();
+    assert!(s.lease_hits >= 2, "expected local serves at ops 4 and 6, got {}", s.lease_hits);
+    assert_eq!(mon.borrow().violations, 0);
+}
+
+#[test]
+fn stale_chain_fallback_keeps_unrelated_hot_entries() {
+    let mut h = cl_cluster(1);
+    let view = h.cluster.view.clone();
+    let nn = view.nn_ids[0];
+    let r = run_ops(
+        &mut h,
+        0,
+        vec![
+            FsOp::Mkdir { path: p("/hot") },
+            FsOp::Mkdir { path: p("/hot/a") },
+            FsOp::Create { path: p("/hot/a/f"), size: 0 },
+            FsOp::Stat { path: p("/hot/a/f") }, // caches /hot and /hot/a links
+            FsOp::Mkdir { path: p("/cold") },
+            FsOp::Create { path: p("/cold/x"), size: 0 },
+            FsOp::Stat { path: p("/cold/x") }, // caches the /cold link
+        ],
+    );
+    assert!(r.iter().all(|x| x.is_ok()), "{r:?}");
+    // Provoke the stale-chain fallback: a walk through the cached /hot/a
+    // chain breaks on a missing intermediate ("sub"). The namenode cannot
+    // tell a plain miss from a moved ancestor, so it drops the chain and
+    // retries from the root — but must NOT flush the whole working set.
+    let r2 = run_ops(&mut h, 0, vec![FsOp::Stat { path: p("/hot/a/sub/missing") }]);
+    assert_eq!(r2[0], Err(FsError::NotFound), "{r2:?}");
+    assert!(
+        h.sim.actor::<hopsfs::NameNodeActor>(nn).stats.cache_stale_drops >= 1,
+        "the stale-chain fallback never fired"
+    );
+    // The unrelated /cold hint survived the scoped drop: the next stat
+    // resolves its ancestor from the cache, not from the database.
+    let hits_before = h.sim.actor::<hopsfs::NameNodeActor>(nn).stats.cache_hits;
+    let r3 = run_ops(&mut h, 0, vec![FsOp::Stat { path: p("/cold/x") }]);
+    assert!(r3[0].is_ok(), "{r3:?}");
+    let hits_after = h.sim.actor::<hopsfs::NameNodeActor>(nn).stats.cache_hits;
+    assert!(
+        hits_after > hits_before,
+        "scoped stale drop flushed unrelated hot entries (hits {hits_before} -> {hits_after})"
+    );
+}

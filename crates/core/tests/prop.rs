@@ -446,3 +446,105 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Lease-coherent client cache: random interleavings against the same model.
+// ---------------------------------------------------------------------------
+
+use hopsfs::{lease_coherence, LeaseMonitor};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Runs `ops` with the leased client cache enabled (after the grant warm-up
+/// window, so reads actually get leases and repeats actually serve
+/// locally), returning the results plus what the coherence monitor saw.
+fn run_with_leases(ops: &[FsOp]) -> (Vec<hopsfs::FsResult>, u64, u64, u64) {
+    let mut sim = Simulation::new(5);
+    sim.set_jitter(0.0);
+    let mut cfg = hopsfs::FsConfig::hopsfs_cl(6, 3, 2);
+    cfg.lease.enabled = true;
+    let cluster = build_fs_cluster(&mut sim, cfg, 0);
+    // Past the election-visibility window that gates lease grants.
+    sim.run_until(SimTime::from_secs(7));
+    let stats = ClientStats::shared();
+    let client =
+        cluster.add_client(&mut sim, AzId(0), Box::new(ScriptedSource::new(ops.to_vec())), stats.clone());
+    let monitor = Rc::new(RefCell::new(LeaseMonitor::default()));
+    {
+        let a = sim.actor_mut::<FsClientActor>(client);
+        a.keep_results = true;
+        a.monitor = Some(monitor.clone());
+    }
+    let mut t = SimTime::from_secs(7);
+    while sim.actor::<FsClientActor>(client).results.len() < ops.len() && t < SimTime::from_secs(127)
+    {
+        t += SimDuration::from_millis(100);
+        sim.run_until(t);
+    }
+    let results = sim.actor::<FsClientActor>(client).results.clone();
+    let hits = stats.borrow().lease_hits;
+    let m = monitor.borrow();
+    (results, hits, m.serves_checked, lease_coherence(&m))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// With the leased client cache on, any random interleaving of reads and
+    /// mutations — run twice over, so the second pass re-reads paths the
+    /// first pass cached and mutated — still agrees with the reference model
+    /// op-for-op, and the lease-coherence invariant holds: no read is served
+    /// from a cache entry that outlived an acked conflicting mutation.
+    #[test]
+    fn leased_cache_matches_reference_model(ops in proptest::collection::vec(op_strategy(), 1..14)) {
+        let doubled: Vec<FsOp> = ops.iter().cloned().chain(ops.iter().cloned()).collect();
+        let (results, _hits, serves, violations) = run_with_leases(&doubled);
+        prop_assert_eq!(results.len(), doubled.len(), "all ops must complete");
+        prop_assert_eq!(violations, 0, "lease served stale data ({serves} serves checked)");
+        let mut model = Model::default();
+        for (i, (op, got)) in doubled.iter().zip(&results).enumerate() {
+            let want = model.apply(op);
+            match (&want, got) {
+                (Err(we), Err(ge)) => prop_assert_eq!(we, ge, "op {} {:?}: error kind", i, op),
+                (Ok(ModelOk::Done), Ok(_)) => {}
+                (Ok(ModelOk::Attrs { is_dir }), Ok(FsOk::Attrs(a))) => {
+                    prop_assert_eq!(*is_dir, a.is_dir, "op {} {:?}: is_dir", i, op)
+                }
+                (Ok(ModelOk::Listing(want_names)), Ok(FsOk::Listing(entries))) => {
+                    let mut got_names: Vec<String> =
+                        entries.iter().map(|e| e.name.clone()).collect();
+                    got_names.sort();
+                    prop_assert_eq!(want_names, &got_names, "op {} {:?}: listing", i, op);
+                }
+                (want, got) => {
+                    prop_assert!(false, "op {i} {op:?}: model {want:?} vs fs {got:?}");
+                }
+            }
+        }
+    }
+}
+
+/// Deterministic companion to the property above: a read-heavy script with
+/// conflicting mutations interleaved must hit the cache (proving the leases
+/// were live, not just absent) while still matching the model.
+#[test]
+fn leased_cache_hits_and_stays_coherent_on_hot_script() {
+    let parse = |s: &str| FsPath::parse(s).expect("valid");
+    let mut ops = vec![
+        FsOp::Mkdir { path: parse("/a") },
+        FsOp::Create { path: parse("/a/f"), size: 0 },
+    ];
+    for round in 0..6u64 {
+        ops.push(FsOp::Stat { path: parse("/a/f") });
+        ops.push(FsOp::Stat { path: parse("/a/f") });
+        ops.push(FsOp::List { path: parse("/a") });
+        ops.push(FsOp::SetPerm { path: parse("/a/f"), perm: 0o600 + (round as u16 & 1) });
+        ops.push(FsOp::Stat { path: parse("/a/f") });
+    }
+    let (results, hits, serves, violations) = run_with_leases(&ops);
+    assert_eq!(results.len(), ops.len());
+    assert!(results.iter().all(|r| r.is_ok()), "hot script must succeed: {results:?}");
+    assert!(hits > 0, "repeat reads under a live lease must serve locally");
+    assert!(serves > 0, "the monitor must have checked the local serves");
+    assert_eq!(violations, 0, "lease served stale data");
+}

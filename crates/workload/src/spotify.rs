@@ -66,6 +66,22 @@ impl Mix {
         mkdir: 100,
     };
 
+    /// A skewed read-heavy variant for the client-cache experiments
+    /// (`fig_client_cache`): metadata reads dominate at 97%, with just
+    /// enough mutation traffic left to keep lease invalidation honest.
+    /// Relative read weights shift toward `stat` (the cheapest op to serve
+    /// locally and the most frequent in the Spotify trace's hot tail).
+    pub const READ_HEAVY: Mix = Mix {
+        open: 3500,
+        stat: 4500,
+        list: 1700,
+        create: 100,
+        delete: 80,
+        set_perm: 70,
+        rename: 30,
+        mkdir: 20,
+    };
+
     /// Sum of weights.
     pub fn total(&self) -> u32 {
         self.open + self.stat + self.list + self.create + self.delete + self.set_perm + self.rename + self.mkdir

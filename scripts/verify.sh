@@ -21,6 +21,12 @@ cargo test -q --test chaos az_outage_recovers_clean_and_replays_identically
 echo "== overload gate (hockey stick: admission ON plateaus, OFF collapses) =="
 BENCH_SMOKE=1 BENCH_REUSE=0 cargo bench -q -p bench --bench fig_overload >/dev/null
 
+echo "== lease-coherence chaos gate (cached reads never outlive acked conflicts, deterministic replay) =="
+cargo test -q --test chaos lease_coherence_holds_under_crash_and_partition_and_replays_identically
+
+echo "== client-cache gate (>=70% cache-served, >=3x read p50, coherent, replayable) =="
+BENCH_SMOKE=1 BENCH_REUSE=0 cargo bench -q -p bench --bench fig_client_cache >/dev/null
+
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
@@ -34,7 +40,8 @@ if [ "${VERIFY_TIER2:-0}" = "1" ] || [ "${1:-}" = "--tier2" ]; then
     benches="fig5_throughput fig6_per_mds fig7_micro_ops fig7_subtree_ops \
              fig8_latency fig9_latency_pct fig10_cpu_util \
              fig11_ndb_threads_util fig12_storage_util fig13_nn_util \
-             fig14_az_local_reads ablation_az_awareness fig_overload fig_az_outage"
+             fig14_az_local_reads ablation_az_awareness fig_overload fig_az_outage \
+             fig_client_cache"
     dir1=$(mktemp -d) && dirN=$(mktemp -d)
     trap 'rm -rf "$dir1" "$dirN"' EXIT
     printf '  %-24s %12s %12s\n' "bench (smoke cell)" "threads=1" "threads=4"

@@ -758,3 +758,204 @@ fn az_outage_recovers_clean_and_replays_identically() {
     let b = run_az_outage(17);
     assert_eq!(a, b, "same-seed AZ-outage runs must be bit-identical");
 }
+
+// --- Lease coherence under crash + partition --------------------------------
+//
+// Client metadata caching on: readers hammer a small hot set from leased
+// caches while mutators churn the same paths, and the nemesis partitions an
+// AZ and crash/restarts a namenode mid-stream. The shared [`LeaseMonitor`]
+// checks the `lease_coherence` invariant on every locally served read: *no
+// read is ever served from a cache entry whose lease outlived an acked
+// conflicting mutation* — and the whole run must replay bit-identically.
+
+use hopsfs::{lease_coherence, LeaseMonitor};
+
+/// Endless reads over the hot set: stat/open the files, list the dirs.
+struct HotReadSource {
+    users: u64,
+}
+
+impl OpSource for HotReadSource {
+    fn next_op(&mut self, rng: &mut StdRng, _now: SimTime) -> Option<FsOp> {
+        use rand::Rng;
+        let u = rng.gen_range(0..self.users);
+        Some(match rng.gen_range(0..8u32) {
+            0 => FsOp::List { path: p(&format!("/hot/u{u}")) },
+            1 => FsOp::Open { path: p(&format!("/hot/u{u}/f0")) },
+            2..=4 => FsOp::Stat { path: p(&format!("/hot/u{u}/f0")) },
+            _ => FsOp::Stat { path: p(&format!("/hot/u{u}/f1")) },
+        })
+    }
+}
+
+/// Endless conflicting churn on the same hot set: attribute flips, a
+/// create/delete pair, and a rename that oscillates `f1 <-> f1x`.
+struct ChurnSource {
+    users: u64,
+    i: u64,
+    renamed: Vec<bool>,
+}
+
+impl OpSource for ChurnSource {
+    fn next_op(&mut self, _rng: &mut StdRng, _now: SimTime) -> Option<FsOp> {
+        let i = self.i;
+        self.i += 1;
+        let u = (i / 4) % self.users;
+        Some(match i % 4 {
+            0 => FsOp::SetPerm { path: p(&format!("/hot/u{u}/f0")), perm: 0o600 + (i % 2) as u16 },
+            1 => FsOp::Create { path: p(&format!("/hot/u{u}/tmp")), size: 0 },
+            2 => FsOp::Delete { path: p(&format!("/hot/u{u}/tmp")), recursive: false },
+            _ => {
+                let flip = &mut self.renamed[u as usize];
+                let (src, dst) = if *flip { ("f1x", "f1") } else { ("f1", "f1x") };
+                *flip = !*flip;
+                FsOp::Rename {
+                    src: p(&format!("/hot/u{u}/{src}")),
+                    dst: p(&format!("/hot/u{u}/{dst}")),
+                }
+            }
+        })
+    }
+}
+
+/// Everything the lease run produces that must replay identically.
+#[derive(Debug, PartialEq)]
+struct LeaseOutcome {
+    trace: Vec<String>,
+    events: u64,
+    hits: u64,
+    misses: u64,
+    invalidations: u64,
+    serves: u64,
+    acks: u64,
+    violations: u64,
+    granted: u64,
+    rounds: u64,
+    pushes: u64,
+}
+
+fn run_lease_chaos(seed: u64) -> LeaseOutcome {
+    const USERS: u64 = 3;
+    let mut cfg = hopsfs::FsConfig::hopsfs_cl(6, 3, 3);
+    cfg.lease.enabled = true;
+    cfg.lease.ttl = SimDuration::from_secs(4);
+    let mut sim = Simulation::new(seed);
+    sim.set_jitter(0.0);
+    let mut cluster = hopsfs::build_fs_cluster(&mut sim, cfg, 3);
+    let view = cluster.view.clone();
+
+    // The hot set: USERS directories of two files each.
+    cluster.bulk_mkdir_p(&mut sim, "/hot");
+    let mut setup = Vec::new();
+    for u in 0..USERS {
+        setup.push(FsOp::Mkdir { path: p(&format!("/hot/u{u}")) });
+        setup.push(FsOp::Create { path: p(&format!("/hot/u{u}/f0")), size: 0 });
+        setup.push(FsOp::Create { path: p(&format!("/hot/u{u}/f1")), size: 0 });
+    }
+    let n_setup = setup.len();
+    let loader = cluster.add_client(
+        &mut sim,
+        AzId(0),
+        Box::new(ScriptedSource::new(setup)),
+        ClientStats::shared(),
+    );
+    sim.actor_mut::<FsClientActor>(loader).keep_results = true;
+    let results = drain(&mut sim, loader, n_setup);
+    assert!(results.iter().all(|r| r.is_ok()), "setup failed: {results:?}");
+
+    // Past the lease grant warm-up (election visibility window).
+    sim.run_until(SimTime::from_secs(7));
+
+    // Readers and mutators share one coherence monitor and one stats sink.
+    let monitor = Rc::new(RefCell::new(LeaseMonitor::default()));
+    let stats = ClientStats::shared();
+    for az in [0u8, 1, 2, 0] {
+        let id = cluster.add_client(
+            &mut sim,
+            AzId(az),
+            Box::new(HotReadSource { users: USERS }),
+            stats.clone(),
+        );
+        let a = sim.actor_mut::<FsClientActor>(id);
+        a.think_time = SimDuration::from_millis(2);
+        a.monitor = Some(monitor.clone());
+    }
+    for az in [1u8, 2] {
+        let id = cluster.add_client(
+            &mut sim,
+            AzId(az),
+            Box::new(ChurnSource { users: USERS, i: 0, renamed: vec![false; USERS as usize] }),
+            stats.clone(),
+        );
+        let a = sim.actor_mut::<FsClientActor>(id);
+        a.think_time = SimDuration::from_millis(40);
+        a.monitor = Some(monitor.clone());
+    }
+
+    // The nemesis: an asymmetric AZ partition across the revoke-round
+    // window, with a namenode crash/restart inside it.
+    let s = |t| SimTime::from_secs(t);
+    let nn1 = view.nn_ids[1];
+    let schedule = Schedule::new()
+        .at(s(9), Fault::PartitionAzOneway(AzId(1), AzId(0)))
+        .at(s(10), Fault::Crash(nn1))
+        .at(s(12), Fault::Restart(nn1))
+        .at(s(14), Fault::HealAzOneway(AzId(1), AzId(0)));
+    let expected_faults = schedule.len();
+    let trace = schedule.install(&mut sim);
+
+    // Ride through the fault window plus a post-heal serving window.
+    sim.run_until(s(24));
+
+    let lines = trace.lines();
+    assert_eq!(lines.len(), expected_faults, "unapplied faults: {lines:?}");
+
+    // The cache really served, conflicts really happened, and coherence held.
+    let (hits, misses, invalidations) = {
+        let st = stats.borrow();
+        (st.lease_hits, st.lease_misses, st.lease_invalidations)
+    };
+    let (serves, acks, violations) = {
+        let m = monitor.borrow();
+        (m.serves_checked, m.acks_recorded, lease_coherence(&m))
+    };
+    assert!(hits > 0, "no read was ever served from the lease cache");
+    assert!(invalidations > 0, "no cache entry was ever invalidated");
+    assert!(acks > 0, "no conflicting mutation was ever acked");
+    assert_eq!(violations, 0, "lease served stale data past an acked conflict");
+
+    // Namenode-side: grants flowed, revoke rounds ran, pushes reached
+    // conflicting holders.
+    let (granted, rounds, pushes) = view.nn_ids.iter().fold((0, 0, 0), |(g, r, q), &id| {
+        let st = &sim.actor::<NameNodeActor>(id).stats;
+        (g + st.leases_granted, r + st.lease_revoke_rounds, q + st.lease_pushes)
+    });
+    assert!(granted > 0, "no lease was ever granted");
+    assert!(rounds > 0, "no mutation ever opened a revoke round");
+    assert!(pushes > 0, "no invalidation was ever pushed to a holder");
+
+    // Singletons and leadership recovered post-heal.
+    let report = check_invariants(&sim, &view, &[]);
+    assert!(report.clean(), "invariants violated: {report:?}");
+
+    LeaseOutcome {
+        trace: lines,
+        events: sim.events_processed(),
+        hits,
+        misses,
+        invalidations,
+        serves,
+        acks,
+        violations,
+        granted,
+        rounds,
+        pushes,
+    }
+}
+
+#[test]
+fn lease_coherence_holds_under_crash_and_partition_and_replays_identically() {
+    let a = run_lease_chaos(17);
+    let b = run_lease_chaos(17);
+    assert_eq!(a, b, "same-seed lease-chaos runs must be bit-identical");
+}
