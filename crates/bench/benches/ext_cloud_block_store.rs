@@ -57,7 +57,7 @@ fn run(backend: BlockBackend) -> Outcome {
         p99_ms: lat.quantile(0.99) as f64 / 1e6,
         cross_az_gb,
         egress_usd_per_tb_stored: cross_az_gb * USD_PER_GB_XAZ / stored_tb,
-        request_fees_usd: cluster.cloud.as_ref().map(|c| c.borrow().request_fees_usd()).unwrap_or(0.0),
+        request_fees_usd: cluster.cloud.as_ref().map(|c| c.lock().unwrap().request_fees_usd()).unwrap_or(0.0),
     }
 }
 

@@ -153,8 +153,8 @@ fn main() {
         if t > sim.now() {
             sim.run_until(t);
         }
-        let ok = stats.borrow().total_ok();
-        let err = stats.borrow().total_err();
+        let ok = stats.lock().unwrap().total_ok();
+        let err = stats.lock().unwrap().total_err();
         *slot = ok - last_ok;
         rec.record_ok_n("ops", t, ok - last_ok);
         rec.record_err_n("ops", t, err - last_err);
@@ -196,10 +196,10 @@ fn main() {
     };
     let unavailability_s =
         ok_hist[40..].iter().filter(|&&ok| ok == 0).count() as f64 / 10.0;
-    let errors_in_drill = stats.borrow().total_err();
+    let errors_in_drill = stats.lock().unwrap().total_err();
 
     // Invariants: the file system survived every injected failure.
-    let ok = stats.borrow().total_ok();
+    let ok = stats.lock().unwrap().total_ok();
     assert!(ok > 1000, "cluster must keep serving through the drill (served {ok})");
     // NDB-level: the surviving datanodes won arbitration; each node group
     // still has a replica alive outside az2 / the losing side.
@@ -212,9 +212,9 @@ fn main() {
     println!("\nNDB datanodes alive after drill: {alive_dns}/12");
     assert!(alive_dns >= 4, "one replica per node group must survive");
     // Post-drill: service recovered after healing.
-    let before = stats.borrow().total_ok();
+    let before = stats.lock().unwrap().total_ok();
     sim.run_until(SimTime::from_secs(28));
-    let after = stats.borrow().total_ok();
+    let after = stats.lock().unwrap().total_ok();
 
     // Availability-recorder view of the same timeline: unavailability
     // windows plus MTTR per fault. The drill injects several faults, so a

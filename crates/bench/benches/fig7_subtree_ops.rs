@@ -76,7 +76,7 @@ fn deep_dive(label: &str, batch: usize, dirs: u64, files_per_dir: u64) -> DeepDi
     let nn_max = |f: fn(&NameNodeActor) -> u64| -> u64 {
         view.nn_ids.iter().map(|&id| f(sim.actor::<NameNodeActor>(id))).max().unwrap_or(0)
     };
-    let op_ms = stats.borrow().latency_all.mean() / 1e6;
+    let op_ms = stats.lock().unwrap().latency_all.mean() / 1e6;
     DeepDive {
         batch: batch as u64,
         inodes,

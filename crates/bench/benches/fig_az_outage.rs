@@ -33,7 +33,7 @@ use serde::{Deserialize, Serialize};
 use simnet::{
     AvailabilityRecorder, AzId, Fault, Schedule, SimDuration, SimTime, Simulation,
 };
-use std::rc::Rc;
+use std::sync::Arc;
 use workload::{Mix, Namespace, NamespaceSpec, SpotifySource};
 
 /// The outage window: AZ 2 dark from 6 s to 12 s — longer than the
@@ -94,7 +94,7 @@ fn run_cell(recovery: bool, seed: u64, sessions: u64, t_end: u64) -> Cell {
     let mut cluster = build_fs_cluster(&mut sim, cfg, 6);
     let view = cluster.view.clone();
 
-    let ns = Rc::new(Namespace::generate(&NamespaceSpec {
+    let ns = Arc::new(Namespace::generate(&NamespaceSpec {
         users: 10,
         dirs_per_user: 2,
         files_per_dir: 5,
@@ -142,7 +142,7 @@ fn run_cell(recovery: bool, seed: u64, sessions: u64, t_end: u64) -> Cell {
     let mut load_clients = Vec::new();
     for s in 0..sessions {
         cluster.bulk_mkdir_p(&mut sim, &SpotifySource::private_dir_for(s));
-        let src = Box::new(SpotifySource::new(Rc::clone(&ns), Mix::SPOTIFY, s));
+        let src = Box::new(SpotifySource::new(Arc::clone(&ns), Mix::SPOTIFY, s));
         let (az, stats) = if s % 3 == 2 {
             (AzId(2), az2_stats.clone())
         } else {
@@ -184,7 +184,7 @@ fn run_cell(recovery: bool, seed: u64, sessions: u64, t_end: u64) -> Cell {
     while t < SimTime::from_secs(t_end) {
         t += SimDuration::from_millis(100);
         sim.run_until(t);
-        let st = surv_stats.borrow();
+        let st = surv_stats.lock().unwrap();
         let during = t > SimTime::from_secs(T_FAULT) && t <= SimTime::from_secs(T_RESTORE);
         for k in 0..9 {
             let (dok, derr) = (st.ok_per_kind[k] - last_ok[k], st.err_per_kind[k] - last_err[k]);
@@ -227,7 +227,7 @@ fn run_cell(recovery: bool, seed: u64, sessions: u64, t_end: u64) -> Cell {
     // Acked-mutation audit from inside the restored zone: with recovery ON
     // the resynced replicas answer correctly; with recovery OFF the stale
     // stores surface exactly the lost-update / stale-read violation.
-    let audit = audit_ops(&log.borrow());
+    let audit = audit_ops(&log.lock().unwrap());
     let audit_total = audit.len() as u64;
     let auditor = cluster.add_client(
         &mut sim,

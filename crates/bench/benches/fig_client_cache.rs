@@ -24,7 +24,7 @@ use hopsfs::client::ClientStats;
 use hopsfs::{FsClientActor, NameNodeActor};
 use serde::{Deserialize, Serialize};
 use simnet::{AzId, SimDuration, SimTime, Simulation};
-use std::rc::Rc;
+use std::sync::Arc;
 use workload::{Mix, Namespace, NamespaceSpec, SpotifySource};
 
 /// Closed-loop sessions per cell (spread over the three AZs).
@@ -70,7 +70,7 @@ fn run_cell(caching: bool, warm: u64, window: u64) -> Cell {
 
     // ~60 user trees with zipf-skewed file popularity: the hot tail is
     // small enough to live comfortably inside each client's lease cache.
-    let ns = Rc::new(Namespace::generate(&NamespaceSpec {
+    let ns = Arc::new(Namespace::generate(&NamespaceSpec {
         users: 60,
         dirs_per_user: 2,
         files_per_dir: 3,
@@ -84,9 +84,9 @@ fn run_cell(caching: bool, warm: u64, window: u64) -> Cell {
     sim.run_until(SimTime::from_secs(3)); // elections settle
 
     let stats = ClientStats::shared();
-    stats.borrow_mut().recording = false;
+    stats.lock().unwrap().recording = false;
     for s in 0..SESSIONS {
-        let src = SpotifySource::new(Rc::clone(&ns), Mix::READ_HEAVY, s);
+        let src = SpotifySource::new(Arc::clone(&ns), Mix::READ_HEAVY, s);
         let id = cluster.add_client(&mut sim, AzId((s % 3) as u8), Box::new(src), stats.clone());
         sim.actor_mut::<FsClientActor>(id).think_time = SimDuration::from_micros(500);
     }
@@ -94,12 +94,12 @@ fn run_cell(caching: bool, warm: u64, window: u64) -> Cell {
     // Warmup rides past the lease-grant visibility window (6s) and fills
     // the caches; then the measurement window.
     sim.run_until(SimTime::from_secs(3 + warm));
-    stats.borrow_mut().recording = true;
+    stats.lock().unwrap().recording = true;
     sim.run_until(SimTime::from_secs(3 + warm + window));
-    stats.borrow_mut().recording = false;
+    stats.lock().unwrap().recording = false;
 
     let (ops_ok, p50_us, p99_us, hits, misses, invalidations) = {
-        let st = stats.borrow();
+        let st = stats.lock().unwrap();
         (
             st.total_ok(),
             st.latency_all.quantile(0.50) as f64 / 1e3,

@@ -24,7 +24,7 @@ use hopsfs::client::ClientStats;
 use hopsfs::{NameNodeActor, OpenLoopClientActor};
 use serde::{Deserialize, Serialize};
 use simnet::{AzId, SimTime, Simulation};
-use std::rc::Rc;
+use std::sync::Arc;
 use workload::{Namespace, NamespaceSpec, OverloadSource};
 
 /// Cluster saturation throughput (ops/s) for the fixed cell deployment
@@ -76,7 +76,7 @@ fn run_cell(mult: f64, admission: bool, warmup: u64, window: u64) -> Cell {
     let mut cluster = hopsfs::build_fs_cluster(&mut sim, cfg, 6);
     let view = cluster.view.clone();
 
-    let ns = Rc::new(Namespace::generate(&NamespaceSpec {
+    let ns = Arc::new(Namespace::generate(&NamespaceSpec {
         users: 2,
         dirs_per_user: 2,
         files_per_dir: 5,
@@ -90,10 +90,10 @@ fn run_cell(mult: f64, admission: bool, warmup: u64, window: u64) -> Cell {
 
     let offered = mult * SAT_RATE;
     let stats = ClientStats::shared();
-    stats.borrow_mut().recording = false;
+    stats.lock().unwrap().recording = false;
     let mut clients = Vec::new();
     for s in 0..SESSIONS {
-        let src = OverloadSource::new(Rc::clone(&ns), s);
+        let src = OverloadSource::new(Arc::clone(&ns), s);
         let id = cluster.add_open_loop_client(
             &mut sim,
             AzId((s % 3) as u8),
@@ -110,11 +110,11 @@ fn run_cell(mult: f64, admission: bool, warmup: u64, window: u64) -> Cell {
 
     // Warmup (overload builds its queue), then the measurement window.
     sim.run_until(SimTime::from_secs(3 + warmup));
-    stats.borrow_mut().recording = true;
+    stats.lock().unwrap().recording = true;
     sim.run_until(SimTime::from_secs(3 + warmup + window));
-    stats.borrow_mut().recording = false;
+    stats.lock().unwrap().recording = false;
 
-    let st = stats.borrow();
+    let st = stats.lock().unwrap();
     let sheds: u64 =
         view.nn_ids.iter().map(|&id| sim.actor::<NameNodeActor>(id).stats.admission_shed).sum();
     let (dropped, cwnd_sum) = clients.iter().fold((0u64, 0.0f64), |(d, c), &id| {

@@ -107,6 +107,68 @@ fn bench_event_loop(c: &mut Criterion) {
             black_box(sim.events_processed())
         })
     });
+
+    // The kernel-sharding cell: 12 actors on 12 host groups across 3 AZs,
+    // each keeping a deep pending-timer queue plus steady cross-AZ traffic.
+    // The same cell runs at shards=1 (sequential kernel) and shards=4
+    // (conservative-parallel windows); outputs are bit-identical — the
+    // determinism battery enforces it — so the wall-clock ratio of the two
+    // is exactly the sharding speedup (or, on a single hardware thread, the
+    // window-protocol overhead). EXPERIMENTS.md records both.
+    struct AzStorm {
+        peers: Vec<NodeId>,
+        i: u64,
+        n: u64,
+    }
+    #[derive(Debug, Clone)]
+    struct Ping;
+    impl Actor for AzStorm {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            for i in 0..2_000u64 {
+                ctx.schedule(SimDuration::from_nanos(1 + i * 49_999), Tick);
+            }
+        }
+        fn on_message(&mut self, ctx: &mut Ctx<'_>, _f: NodeId, m: Box<dyn Payload>) {
+            self.n += 1;
+            if m.is::<Tick>() {
+                let peer = self.peers[self.i as usize % self.peers.len()];
+                self.i += 1;
+                ctx.send_sized(peer, 256, Ping);
+            }
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+    }
+    fn run_multi_az_storm(shards: u32) -> u64 {
+        let mut sim = Simulation::new(7);
+        sim.set_shards(shards);
+        let mut ids = Vec::new();
+        for az in 0u8..3 {
+            for host in 0u32..4 {
+                let id = sim.add_node(
+                    simnet::NodeSpec::new(
+                        format!("s{az}-{host}"),
+                        simnet::Location::new(az, u32::from(az) * 4 + host),
+                    ),
+                    Box::new(AzStorm { peers: vec![], i: u64::from(az) * 7 + u64::from(host), n: 0 }),
+                );
+                ids.push(id);
+            }
+        }
+        for &id in &ids {
+            let peers: Vec<NodeId> = ids.iter().copied().filter(|p| *p != id).collect();
+            sim.actor_mut::<AzStorm>(id).peers = peers;
+        }
+        sim.run_until(SimTime::from_millis(100));
+        sim.events_processed()
+    }
+    c.bench_function("sim_multi_az_storm_shards1", |b| {
+        b.iter(|| black_box(run_multi_az_storm(1)))
+    });
+    c.bench_function("sim_multi_az_storm_shards4", |b| {
+        b.iter(|| black_box(run_multi_az_storm(4)))
+    });
 }
 
 fn bench_hintcache(c: &mut Criterion) {

@@ -8,9 +8,8 @@ use hopsfs::client::ClientStats;
 use hopsfs::{build_fs_cluster, FsConfig, NameNodeActor, OpKind};
 use serde::{Deserialize, Serialize};
 use simnet::{AzId, NodeId, SimDuration, SimTime, Simulation};
-use std::cell::RefCell;
+use std::sync::Mutex;
 use std::collections::{BTreeMap, HashMap};
-use std::rc::Rc;
 use std::sync::Arc;
 use workload::{MicroOp, MicroSource, Mix, Namespace, NamespaceSpec, SpotifySource};
 
@@ -239,14 +238,21 @@ fn mb_per_s(bytes: u64, window: SimDuration, nodes: usize, scale: usize) -> f64 
 pub fn run(setup: Setup, params: &Params) -> RunResult {
     let wall_start = std::time::Instant::now();
     let mut sim = Simulation::new(params.seed);
+    // CephFS cells keep the sequential kernel: their MDSs share one
+    // namespace object behind a lock, so parallel shards would race on it
+    // within a window. HopsFS cells are pure message-passing actors and
+    // shard cleanly; results are bit-identical for any shard count.
+    if !matches!(setup, Setup::Ceph { .. }) {
+        sim.set_shards(shards());
+    }
     // Effective per-tenant inter-AZ capacity per directed AZ pair (~3 Gb/s;
     // a calibration constant documented in DESIGN.md). This is what makes
     // "network I/O become a bottleneck" for non-AZ-aware deployments at high
     // metadata-server counts (§V-B1).
     sim.set_inter_az_bandwidth(Some(380_000_000 / params.scale.max(1) as u64));
-    let ns = Rc::new(Namespace::generate(&params.ns));
+    let ns = Arc::new(Namespace::generate(&params.ns));
     let stats = ClientStats::shared();
-    stats.borrow_mut().recording = false;
+    stats.lock().unwrap().recording = false;
 
     // Deploy + load + add clients; returns the node sets to probe and the
     // per-server handled-requests accessor.
@@ -285,7 +291,7 @@ pub fn run(setup: Setup, params: &Params) -> RunResult {
                 // a long-warmed cluster would.
                 let mut warm: HashMap<(String, bool), hopsfs::FsOk> = HashMap::new();
                 {
-                    let store = cluster.ns.borrow();
+                    let store = cluster.ns.lock().unwrap();
                     for f in ns.files.iter().take(1024) {
                         if let Some(e) = store.get(f) {
                             warm.insert((f.clone(), false), hopsfs::FsOk::Attrs(e.attrs()));
@@ -297,9 +303,9 @@ pub fn run(setup: Setup, params: &Params) -> RunResult {
                         }
                     }
                 }
-                let warm = Rc::new(warm);
+                let warm = Arc::new(warm);
                 for &c in &clients {
-                    sim.actor_mut::<cephsim::CephClientActor>(c).prewarm = Some(Rc::clone(&warm));
+                    sim.actor_mut::<cephsim::CephClientActor>(c).prewarm = Some(Arc::clone(&warm));
                 }
             }
             (cluster.osd_ids.clone(), cluster.mds_ids.clone(), true)
@@ -336,30 +342,30 @@ pub fn run(setup: Setup, params: &Params) -> RunResult {
     // subtree balancer converge over many seconds of virtual time — cheap to
     // simulate because the system is slow while cold.
     let warmup = if is_ceph { params.warmup.max(SimDuration::from_secs(30)) } else { params.warmup };
-    let baseline: Rc<RefCell<Option<Baseline>>> = Rc::new(RefCell::new(None));
+    let baseline: Arc<Mutex<Option<Baseline>>> = Arc::new(Mutex::new(None));
     {
-        let baseline = Rc::clone(&baseline);
-        let stats = Rc::clone(&stats);
+        let baseline = Arc::clone(&baseline);
+        let stats = Arc::clone(&stats);
         let storage_ids = storage_ids.clone();
         let server_ids = server_ids.clone();
         let reads_rank = reads_rank.clone();
         sim.at(SimTime::ZERO + warmup, move |sim| {
-            stats.borrow_mut().recording = true;
+            stats.lock().unwrap().recording = true;
             // Restart the layer-metrics window so the exported breakdown
             // covers only the measurement interval (no RNG, no events).
             sim.metrics_mut().clear();
-            *baseline.borrow_mut() =
+            *baseline.lock().unwrap() =
                 Some(capture(sim, &storage_ids, &server_ids, server_ops, reads_rank));
         });
     }
     sim.run_until(SimTime::ZERO + warmup + params.measure);
     let end = capture(&sim, &storage_ids, &server_ids, server_ops, reads_rank);
-    let base = baseline.borrow_mut().take().expect("warmup hook ran");
+    let base = baseline.lock().unwrap().take().expect("warmup hook ran");
     let window = end.at.saturating_since(base.at);
     let window_s = window.as_secs_f64();
     let scale = params.scale.max(1);
 
-    let st = stats.borrow();
+    let st = stats.lock().unwrap();
     let throughput = st.total_ok() as f64 * scale as f64 / window_s;
     let mut latency_pct_ms = BTreeMap::new();
     let mut per_kind_tput = BTreeMap::new();
@@ -454,10 +460,10 @@ pub fn run(setup: Setup, params: &Params) -> RunResult {
 fn add_hopsfs_sessions(
     sim: &mut Simulation,
     cluster: &mut hopsfs::FsCluster,
-    ns: &Rc<Namespace>,
+    ns: &Arc<Namespace>,
     params: &Params,
     azs: &[AzId],
-    stats: &Rc<RefCell<ClientStats>>,
+    stats: &Arc<Mutex<ClientStats>>,
 ) {
     let sessions = params.session_count();
     for s in 0..sessions as u64 {
@@ -465,7 +471,7 @@ fn add_hopsfs_sessions(
         let source: Box<dyn hopsfs::OpSource> = match params.load {
             Load::Spotify => {
                 cluster.bulk_mkdir_p(sim, &SpotifySource::private_dir_for(s));
-                Box::new(SpotifySource::new(Rc::clone(ns), Mix::SPOTIFY, s))
+                Box::new(SpotifySource::new(Arc::clone(ns), Mix::SPOTIFY, s))
             }
             Load::Micro(op) => {
                 cluster.bulk_mkdir_p(sim, &MicroSource::private_dir_for(s));
@@ -474,20 +480,20 @@ fn add_hopsfs_sessions(
                         cluster.bulk_add_file(sim, &p, 0);
                     }
                 }
-                Box::new(MicroSource::new(op, Rc::clone(ns), s, params.delete_precreate))
+                Box::new(MicroSource::new(op, Arc::clone(ns), s, params.delete_precreate))
             }
         };
-        cluster.add_client(sim, az, source, Rc::clone(stats));
+        cluster.add_client(sim, az, source, Arc::clone(stats));
     }
 }
 
 fn add_ceph_sessions(
     sim: &mut Simulation,
     cluster: &mut CephCluster,
-    ns: &Rc<Namespace>,
+    ns: &Arc<Namespace>,
     params: &Params,
     azs: &[AzId],
-    stats: &Rc<RefCell<ClientStats>>,
+    stats: &Arc<Mutex<ClientStats>>,
 ) -> Vec<NodeId> {
     let sessions = params.session_count();
     let mut ids = Vec::with_capacity(sessions);
@@ -496,7 +502,7 @@ fn add_ceph_sessions(
         let source: Box<dyn hopsfs::OpSource> = match params.load {
             Load::Spotify => {
                 cluster.bulk_mkdir_p(&SpotifySource::private_dir_for(s));
-                Box::new(SpotifySource::new(Rc::clone(ns), Mix::SPOTIFY, s))
+                Box::new(SpotifySource::new(Arc::clone(ns), Mix::SPOTIFY, s))
             }
             Load::Micro(op) => {
                 cluster.bulk_mkdir_p(&MicroSource::private_dir_for(s));
@@ -505,10 +511,10 @@ fn add_ceph_sessions(
                         cluster.bulk_add_file(&p, 0);
                     }
                 }
-                Box::new(MicroSource::new(op, Rc::clone(ns), s, params.delete_precreate))
+                Box::new(MicroSource::new(op, Arc::clone(ns), s, params.delete_precreate))
             }
         };
-        ids.push(cluster.add_client(sim, az, source, Rc::clone(stats)));
+        ids.push(cluster.add_client(sim, az, source, Arc::clone(stats)));
     }
     ids
 }
@@ -533,6 +539,27 @@ pub fn threads() -> usize {
         return n;
     }
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+}
+
+/// Kernel shard count for every HopsFS-family cell a bench runs:
+/// `--shards N` on the command line, else the `BENCH_SHARDS` environment
+/// variable, else 1 (the sequential kernel). Any value is safe — artifacts
+/// are bit-identical across shard counts (the sharded-kernel determinism
+/// battery enforces it); the knob only trades wall-clock for cores.
+pub fn shards() -> u32 {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--shards" {
+            if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
+                return n;
+            }
+        } else if let Some(v) = a.strip_prefix("--shards=") {
+            if let Ok(n) = v.parse() {
+                return n;
+            }
+        }
+    }
+    std::env::var("BENCH_SHARDS").ok().and_then(|v| v.parse().ok()).unwrap_or(1)
 }
 
 /// Runs many experiment points in parallel OS threads (each thread builds

@@ -14,9 +14,9 @@ use hopsfs::types::{FsError, FsOk, FsResult};
 use hopsfs::{FsOp, OpKind};
 use simnet::{Actor, Ctx, NodeId, Payload, SimDuration, SimTime};
 use std::any::Any;
-use std::cell::RefCell;
+use std::sync::Mutex;
 use std::collections::{HashMap, VecDeque};
-use std::rc::Rc;
+use std::sync::Arc;
 
 #[derive(Debug, Clone)]
 struct TickClient;
@@ -34,19 +34,19 @@ struct Pending {
 
 /// One CephFS client session.
 pub struct CephClientActor {
-    map: Rc<RefCell<SubtreeMap>>,
+    map: Arc<Mutex<SubtreeMap>>,
     mds_ids: Vec<NodeId>,
     costs: CephCosts,
     skip_kcache: bool,
     source: Box<dyn OpSource>,
-    stats: Rc<RefCell<ClientStats>>,
+    stats: Arc<Mutex<ClientStats>>,
     /// Kernel cache: path → cached result (attrs or listing).
     cache: HashMap<(String, bool), FsOk>,
     /// Shared steady-state cache: capabilities every client already holds
     /// when the measurement starts (the paper measures warmed clusters;
     /// warming 10k sessions inside the simulation would waste hours of
     /// virtual time on a known fixpoint). Read-only and shared.
-    pub prewarm: Option<Rc<HashMap<(String, bool), FsOk>>>,
+    pub prewarm: Option<Arc<HashMap<(String, bool), FsOk>>>,
     /// FIFO eviction order for the cache.
     cache_order: VecDeque<(String, bool)>,
     next_req: u64,
@@ -68,12 +68,12 @@ pub struct CephClientActor {
 impl CephClientActor {
     /// Creates a client session.
     pub fn new(
-        map: Rc<RefCell<SubtreeMap>>,
+        map: Arc<Mutex<SubtreeMap>>,
         mds_ids: Vec<NodeId>,
         costs: CephCosts,
         skip_kcache: bool,
         source: Box<dyn OpSource>,
-        stats: Rc<RefCell<ClientStats>>,
+        stats: Arc<Mutex<ClientStats>>,
     ) -> Self {
         CephClientActor {
             map,
@@ -187,9 +187,9 @@ impl CephClientActor {
         let p = self.pending.as_mut().expect("pending op");
         let path = p.op.path().to_string();
         let owner = if p.op.kind().is_mutation() {
-            self.map.borrow().owner_of(&path)
+            self.map.lock().unwrap().owner_of(&path)
         } else {
-            self.map.borrow().read_owner_of(&path, salt)
+            self.map.lock().unwrap().read_owner_of(&path, salt)
         };
         let mds = self.mds_ids[owner.min(self.mds_ids.len() - 1)];
         p.sent_at = ctx.now();
@@ -203,7 +203,7 @@ impl CephClientActor {
         let p = self.pending.take().expect("pending op");
         ctx.span_end(p.span);
         let latency = ctx.now().saturating_since(p.started);
-        self.stats.borrow_mut().record(p.op.kind(), &result, latency);
+        self.stats.lock().unwrap().record(p.op.kind(), &result, latency);
         self.source.on_result(&p.op, &result);
         if self.keep_results {
             self.results.push(result.clone());

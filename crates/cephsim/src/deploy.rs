@@ -9,17 +9,17 @@ use crate::namespace::{CephNamespace, SubtreeMap};
 use crate::osd::OsdActor;
 use hopsfs::client::{ClientStats, OpSource};
 use simnet::{AzId, Disk, HostId, LaneClassSpec, Location, NodeId, NodeSpec, SimDuration, Simulation};
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Mutex;
+use std::sync::Arc;
 
 /// A deployed CephFS cluster.
 pub struct CephCluster {
     /// Configuration.
     pub config: CephConfig,
     /// Shared namespace store.
-    pub ns: Rc<RefCell<CephNamespace>>,
+    pub ns: Arc<Mutex<CephNamespace>>,
     /// Shared subtree-ownership map.
-    pub map: Rc<RefCell<SubtreeMap>>,
+    pub map: Arc<Mutex<SubtreeMap>>,
     /// Monitor node.
     pub mon_id: NodeId,
     /// MDS nodes, rank order.
@@ -34,7 +34,7 @@ pub struct CephCluster {
 pub fn build_ceph_cluster(sim: &mut Simulation, config: CephConfig) -> CephCluster {
     let ns = CephNamespace::shared();
     let map = SubtreeMap::shared();
-    map.borrow_mut().set_mds_count(config.mds_count);
+    map.lock().unwrap().set_mds_count(config.mds_count);
     let azs = &config.azs;
 
     let mon_loc = Location { az: azs[0], host: HostId(sim.node_count() as u32) };
@@ -48,7 +48,7 @@ pub fn build_ceph_cluster(sim: &mut Simulation, config: CephConfig) -> CephClust
     let got = sim.add_node(
         NodeSpec::new("ceph-mon", mon_loc).with_layer("ceph-mon"),
         Box::new(MonActor::new(
-            Rc::clone(&map),
+            Arc::clone(&map),
             mds_ids.clone(),
             config.mode,
             config.costs.balance_interval,
@@ -67,8 +67,8 @@ pub fn build_ceph_cluster(sim: &mut Simulation, config: CephConfig) -> CephClust
             spec,
             Box::new(MdsActor::new(
                 i,
-                Rc::clone(&ns),
-                Rc::clone(&map),
+                Arc::clone(&ns),
+                Arc::clone(&map),
                 mon_id,
                 osd_ids.clone(),
                 config.costs.clone(),
@@ -102,7 +102,7 @@ pub fn build_ceph_cluster(sim: &mut Simulation, config: CephConfig) -> CephClust
 impl CephCluster {
     /// Bulk-creates a directory chain directly in the namespace store.
     pub fn bulk_mkdir_p(&mut self, path: &str) {
-        let mut ns = self.ns.borrow_mut();
+        let mut ns = self.ns.lock().unwrap();
         let mut cur = String::new();
         for comp in path.split('/').filter(|c| !c.is_empty()) {
             cur.push('/');
@@ -131,7 +131,7 @@ impl CephCluster {
                 self.bulk_mkdir_p(&path[..idx]);
             }
         }
-        let _ = self.ns.borrow_mut().create(path, size, 0);
+        let _ = self.ns.lock().unwrap().create(path, size, 0);
     }
 
     /// Applies the subtree assignment that holds when the measurement
@@ -142,7 +142,7 @@ impl CephCluster {
     /// top, and its ongoing migration churn and redirect traffic are what
     /// separate the two modes.
     pub fn apply_pinning(&mut self) {
-        let mut map = self.map.borrow_mut();
+        let mut map = self.map.lock().unwrap();
         for (i, dir) in self.pinned_dirs.iter().enumerate() {
             map.assign(dir, i % self.config.mds_count);
         }
@@ -154,11 +154,11 @@ impl CephCluster {
         sim: &mut Simulation,
         az: AzId,
         source: Box<dyn OpSource>,
-        stats: Rc<RefCell<ClientStats>>,
+        stats: Arc<Mutex<ClientStats>>,
     ) -> NodeId {
         let host = HostId(sim.node_count() as u32);
         let actor = CephClientActor::new(
-            Rc::clone(&self.map),
+            Arc::clone(&self.map),
             self.mds_ids.clone(),
             self.config.costs.clone(),
             self.config.skip_kcache,

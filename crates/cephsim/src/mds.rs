@@ -14,9 +14,9 @@ use hopsfs::types::{FsError, FsOk, FsResult};
 use hopsfs::{FsOp, OpKind};
 use simnet::{Actor, Ctx, NodeId, Payload, SimDuration};
 use std::any::Any;
-use std::cell::RefCell;
+use std::sync::Mutex;
 use std::collections::{HashMap, VecDeque};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Lane-class name of the single MDS request thread.
 pub const MDS_LANE: &str = "mds";
@@ -94,8 +94,8 @@ pub struct MdsStats {
 pub struct MdsActor {
     /// My MDS rank.
     pub my_idx: usize,
-    ns: Rc<RefCell<CephNamespace>>,
-    map: Rc<RefCell<SubtreeMap>>,
+    ns: Arc<Mutex<CephNamespace>>,
+    map: Arc<Mutex<SubtreeMap>>,
     mon: NodeId,
     osd_ids: Vec<NodeId>,
     costs: CephCosts,
@@ -114,8 +114,8 @@ impl MdsActor {
     /// Creates MDS `my_idx`.
     pub fn new(
         my_idx: usize,
-        ns: Rc<RefCell<CephNamespace>>,
-        map: Rc<RefCell<SubtreeMap>>,
+        ns: Arc<Mutex<CephNamespace>>,
+        map: Arc<Mutex<SubtreeMap>>,
         mon: NodeId,
         osd_ids: Vec<NodeId>,
         costs: CephCosts,
@@ -156,7 +156,7 @@ impl MdsActor {
 
     fn apply(&mut self, ctx: &mut Ctx<'_>, op: &FsOp) -> FsResult {
         let now = ctx.now().as_nanos();
-        let mut ns = self.ns.borrow_mut();
+        let mut ns = self.ns.lock().unwrap();
         match op {
             FsOp::Mkdir { path } => ns.mkdir(&path.to_string(), now).map(|_| FsOk::Done),
             FsOp::Create { path, size } => ns.create(&path.to_string(), *size, now).map(|_| FsOk::Done),
@@ -192,7 +192,7 @@ impl MdsActor {
         // Reads of replicated hot subtrees are served by any MDS.
         let path = req.op.path().to_string();
         let serveable = {
-            let map = self.map.borrow();
+            let map = self.map.lock().unwrap();
             map.owner_of(&path) == self.my_idx
                 || (!req.op.kind().is_mutation() && map.is_replicated(&path))
         };

@@ -6,15 +6,15 @@ use crate::mds::{MdsLoad, SubtreeMigrate};
 use crate::namespace::SubtreeMap;
 use simnet::{Actor, Ctx, NodeId, Payload, SimDuration};
 use std::any::Any;
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Mutex;
+use std::sync::Arc;
 
 #[derive(Debug, Clone)]
 struct TickBalance;
 
 /// The monitor actor.
 pub struct MonActor {
-    map: Rc<RefCell<SubtreeMap>>,
+    map: Arc<Mutex<SubtreeMap>>,
     mds_ids: Vec<NodeId>,
     mode: BalanceMode,
     interval: SimDuration,
@@ -29,7 +29,7 @@ pub struct MonActor {
 impl MonActor {
     /// Creates the monitor.
     pub fn new(
-        map: Rc<RefCell<SubtreeMap>>,
+        map: Arc<Mutex<SubtreeMap>>,
         mds_ids: Vec<NodeId>,
         mode: BalanceMode,
         interval: SimDuration,
@@ -57,7 +57,7 @@ impl MonActor {
             // Export the hottest subtree of the overloaded MDS that isn't
             // everything it serves (keep at least its top dir).
             let candidate = {
-                let map = self.map.borrow();
+                let map = self.map.lock().unwrap();
                 self.hot[max_idx]
                     .iter()
                     .find(|(dir, count)| {
@@ -76,7 +76,7 @@ impl MonActor {
             // (CephFS's hot-dirfrag replication).
             {
                 let hot_unsplittable: Vec<String> = {
-                    let map = self.map.borrow();
+                    let map = self.map.lock().unwrap();
                     self.hot[max_idx]
                         .iter()
                         .filter(|(dir, count)| {
@@ -89,14 +89,14 @@ impl MonActor {
                         .collect()
                 };
                 for dir in hot_unsplittable {
-                    self.map.borrow_mut().replicate(&dir);
+                    self.map.lock().unwrap().replicate(&dir);
                     self.migrations += 1;
                     ctx.send_sized(self.mds_ids[max_idx], 64, SubtreeMigrate);
                 }
             }
             match candidate {
                 Some((dir, count)) if dir != "/" => {
-                    self.map.borrow_mut().assign(&dir, min_idx);
+                    self.map.lock().unwrap().assign(&dir, min_idx);
                     self.migrations += 1;
                     // Update the local estimate so further moves this round
                     // pick different targets.

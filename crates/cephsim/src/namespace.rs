@@ -1,7 +1,7 @@
 //! The CephFS namespace and the subtree-ownership map.
 //!
 //! The namespace *content* is a single in-memory structure shared (via
-//! `Rc<RefCell<…>>` — the simulation is single-threaded) by all MDS actors;
+//! `Arc<Mutex<…>>` — the simulation is single-threaded) by all MDS actors;
 //! *ownership* — which MDS is allowed to serve a path — follows the subtree
 //! map maintained by the monitor's balancer or by static pinning. This
 //! simplification (documented in `DESIGN.md`) models exactly the costs the
@@ -10,9 +10,9 @@
 //! migrations instead charge an export/import pause on the source MDS.
 
 use hopsfs::types::{DirEntry, FsError, InodeAttrs, InodeId, Perm};
-use std::cell::RefCell;
+use std::sync::Mutex;
 use std::collections::{BTreeMap, HashMap};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// One namespace entry.
 #[derive(Debug, Clone)]
@@ -103,8 +103,8 @@ impl CephNamespace {
     }
 
     /// New shared handle.
-    pub fn shared() -> Rc<RefCell<CephNamespace>> {
-        Rc::new(RefCell::new(Self::new()))
+    pub fn shared() -> Arc<Mutex<CephNamespace>> {
+        Arc::new(Mutex::new(Self::new()))
     }
 
     /// Number of entries (including root).
@@ -350,8 +350,8 @@ impl SubtreeMap {
     }
 
     /// New shared handle.
-    pub fn shared() -> Rc<RefCell<SubtreeMap>> {
-        Rc::new(RefCell::new(Self::new()))
+    pub fn shared() -> Arc<Mutex<SubtreeMap>> {
+        Arc::new(Mutex::new(Self::new()))
     }
 
     /// The MDS that owns `path` (deepest matching prefix).

@@ -90,11 +90,11 @@ fn ceph_fingerprint(seed: u64, tracing: bool) -> (u64, u64, Vec<usize>, u64, Vec
     }
     sim.run_until(SimTime::from_secs(25));
     let owners: Vec<usize> =
-        (0..6).map(|u| cluster.map.borrow().owner_of(&format!("/user/u{u}/data"))).collect();
+        (0..6).map(|u| cluster.map.lock().unwrap().owner_of(&format!("/user/u{u}/data"))).collect();
     let requests: u64 =
         cluster.mds_ids.iter().map(|&id| sim.actor::<MdsActor>(id).stats.requests).sum();
     let results = sim.actor::<CephClientActor>(clients[0]).results.clone();
-    let version = cluster.map.borrow().version;
+    let version = cluster.map.lock().unwrap().version;
     (sim.events_processed(), requests, owners, version, results)
 }
 

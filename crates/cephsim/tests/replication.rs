@@ -34,8 +34,8 @@ fn hot_subtree_reads_spread_across_mds_after_replication() {
     }
     sim.run_until(SimTime::from_secs(25));
     // The map marked the hot prefix replicated…
-    assert!(cluster.map.borrow().replicated_count() > 0, "hot prefix never replicated");
-    assert!(cluster.map.borrow().is_replicated("/hot/dir/file"));
+    assert!(cluster.map.lock().unwrap().replicated_count() > 0, "hot prefix never replicated");
+    assert!(cluster.map.lock().unwrap().is_replicated("/hot/dir/file"));
     // …and several MDSs served its reads.
     let served: Vec<u64> =
         cluster.mds_ids.iter().map(|&id| sim.actor::<MdsActor>(id).stats.requests).collect();
@@ -50,8 +50,8 @@ fn mutations_still_go_to_the_authority() {
     let cluster = build_ceph_cluster(&mut sim, CephConfig::paper(4, BalanceMode::Dynamic, false));
     // Force-replicate a prefix, then mutate under it: the write must land on
     // the authoritative owner regardless.
-    cluster.map.borrow_mut().replicate("/pin");
-    cluster.map.borrow_mut().assign("/pin", 2);
+    cluster.map.lock().unwrap().replicate("/pin");
+    cluster.map.lock().unwrap().assign("/pin", 2);
     let stats = ClientStats::shared();
     let c = cluster.add_client(
         &mut sim,

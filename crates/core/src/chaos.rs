@@ -28,8 +28,8 @@ use ndb::mgmt::MgmtActor;
 use ndb::{DatanodeActor, PartitionKey, TableId};
 use rand::rngs::StdRng;
 use simnet::{NodeId, SimTime, Simulation};
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Mutex;
+use std::sync::Arc;
 
 /// Ground truth of acknowledged mutations, shared by every [`TrackedSource`]
 /// of an experiment.
@@ -50,20 +50,20 @@ pub struct ChaosLog {
 
 impl ChaosLog {
     /// A fresh shared log.
-    pub fn shared() -> Rc<RefCell<ChaosLog>> {
-        Rc::new(RefCell::new(ChaosLog::default()))
+    pub fn shared() -> Arc<Mutex<ChaosLog>> {
+        Arc::new(Mutex::new(ChaosLog::default()))
     }
 }
 
 /// [`OpSource`] decorator recording acked mutations into a [`ChaosLog`].
 pub struct TrackedSource {
     inner: Box<dyn OpSource>,
-    log: Rc<RefCell<ChaosLog>>,
+    log: Arc<Mutex<ChaosLog>>,
 }
 
 impl TrackedSource {
     /// Wraps `inner`, recording into `log`.
-    pub fn new(inner: Box<dyn OpSource>, log: Rc<RefCell<ChaosLog>>) -> Self {
+    pub fn new(inner: Box<dyn OpSource>, log: Arc<Mutex<ChaosLog>>) -> Self {
         TrackedSource { inner, log }
     }
 }
@@ -75,7 +75,7 @@ impl OpSource for TrackedSource {
 
     fn on_result(&mut self, op: &FsOp, result: &FsResult) {
         self.inner.on_result(op, result);
-        let mut log = self.log.borrow_mut();
+        let mut log = self.log.lock().unwrap();
         log.completed += 1;
         if result.is_err() {
             log.errors += 1;

@@ -19,14 +19,13 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 use simnet::{Actor, AzId, Ctx, Histogram, NodeId, Payload, RetryPolicy, SimDuration, SimTime};
 use std::any::Any;
-use std::cell::RefCell;
+use std::sync::Mutex;
 use std::collections::HashMap;
-use std::rc::Rc;
 use std::sync::Arc;
 
 /// Supplies operations to a client session (closed loop: the next op is
 /// requested when the previous one completes).
-pub trait OpSource {
+pub trait OpSource: Send {
     /// The next operation, or `None` when the session is done.
     fn next_op(&mut self, rng: &mut StdRng, now: SimTime) -> Option<FsOp>;
     /// Observes a completed operation.
@@ -53,7 +52,7 @@ impl OpSource for ScriptedSource {
 }
 
 /// Aggregated workload statistics, shared by all client sessions of one
-/// experiment (single-threaded simulation ⇒ `Rc<RefCell<…>>`).
+/// experiment (single-threaded simulation ⇒ `Arc<Mutex<…>>`).
 #[derive(Debug)]
 pub struct ClientStats {
     /// Record only while true (toggled by the harness around the
@@ -106,8 +105,8 @@ impl Default for ClientStats {
 
 impl ClientStats {
     /// New shared handle.
-    pub fn shared() -> Rc<RefCell<ClientStats>> {
-        Rc::new(RefCell::new(ClientStats::default()))
+    pub fn shared() -> Arc<Mutex<ClientStats>> {
+        Arc::new(Mutex::new(ClientStats::default()))
     }
 
     /// Total successful operations.
@@ -202,7 +201,7 @@ pub struct FsClientActor {
     /// The client's `locationDomainId` (None = vanilla).
     pub domain: Option<AzId>,
     source: Box<dyn OpSource>,
-    stats: Rc<RefCell<ClientStats>>,
+    stats: Arc<Mutex<ClientStats>>,
     /// Current metadata server, as a simulation node id.
     my_nn: Option<NodeId>,
     active: Vec<ActiveNn>,
@@ -234,7 +233,7 @@ pub struct FsClientActor {
     /// Coherence observer shared across the experiment's clients; checked
     /// on every local serve, fed on every mutation ack. `None` outside
     /// chaos/property harnesses.
-    pub monitor: Option<Rc<RefCell<LeaseMonitor>>>,
+    pub monitor: Option<Arc<Mutex<LeaseMonitor>>>,
 }
 
 impl FsClientActor {
@@ -243,7 +242,7 @@ impl FsClientActor {
         view: Arc<FsView>,
         domain: Option<AzId>,
         source: Box<dyn OpSource>,
-        stats: Rc<RefCell<ClientStats>>,
+        stats: Arc<Mutex<ClientStats>>,
     ) -> Self {
         let cache = LeaseCache::new(view.config.lease.max_entries);
         FsClientActor {
@@ -329,11 +328,11 @@ impl FsClientActor {
                 if let Some(e) = self.cache.get(&path, kind, now) {
                     let value = e.value.clone();
                     if let Some(mon) = &self.monitor {
-                        mon.borrow_mut().check_serve(e, kind, now);
+                        mon.lock().unwrap().check_serve(e, kind, now);
                     }
                     let local = SimDuration::from_micros(5);
                     {
-                        let mut stats = self.stats.borrow_mut();
+                        let mut stats = self.stats.lock().unwrap();
                         if stats.recording {
                             stats.lease_hits += 1;
                         }
@@ -351,7 +350,7 @@ impl FsClientActor {
                     return;
                 }
                 {
-                    let mut stats = self.stats.borrow_mut();
+                    let mut stats = self.stats.lock().unwrap();
                     if stats.recording {
                         stats.lease_misses += 1;
                     }
@@ -411,7 +410,7 @@ impl FsClientActor {
         let p = self.pending.take().expect("pending op");
         ctx.span_end(p.span);
         let latency = ctx.now().saturating_since(p.started);
-        self.stats.borrow_mut().record(p.op.kind(), &result, latency);
+        self.stats.lock().unwrap().record(p.op.kind(), &result, latency);
         self.source.on_result(&p.op, &result);
         if self.keep_results {
             self.results.push(result);
@@ -428,7 +427,7 @@ impl FsClientActor {
         if let Err(FsError::Overloaded { .. }) = &resp.result {
             // Tallied before staleness filtering: the shed-accounting audit
             // matches namenode sheds against *deliveries*, stale or not.
-            self.stats.borrow_mut().overloaded_responses += 1;
+            self.stats.lock().unwrap().overloaded_responses += 1;
         }
         // Conflict notices apply stale-or-not: a late-arriving mutation ack
         // is still this client's first knowledge of the conflict — drop the
@@ -437,9 +436,9 @@ impl FsClientActor {
         if let Some(notice) = &resp.notice {
             let dropped =
                 self.cache.invalidate(&notice.targets, &notice.listing_dirs, notice.commit_time);
-            self.stats.borrow_mut().lease_invalidations += dropped;
+            self.stats.lock().unwrap().lease_invalidations += dropped;
             if let Some(mon) = &self.monitor {
-                mon.borrow_mut().record_ack(notice, ctx.now());
+                mon.lock().unwrap().record_ack(notice, ctx.now());
             }
         }
         match &self.pending {
@@ -634,7 +633,7 @@ impl Actor for FsClientActor {
                 // A namenode push: drop conflicting entries and ack so the
                 // revoke round (and the mutation behind it) can complete.
                 let dropped = self.cache.invalidate(&m.targets, &m.listing_dirs, m.commit_time);
-                self.stats.borrow_mut().lease_invalidations += dropped;
+                self.stats.lock().unwrap().lease_invalidations += dropped;
                 let layer = ctx.layer();
                 ctx.metrics().inc(layer, "lease_invalidations", dropped);
                 ctx.send_sized(
@@ -650,7 +649,7 @@ impl Actor for FsClientActor {
             Ok(m) => {
                 for (path, kind, expiry) in m.renewed {
                     self.cache.extend(&path, kind, expiry);
-                    self.stats.borrow_mut().lease_renewed += 1;
+                    self.stats.lock().unwrap().lease_renewed += 1;
                 }
                 return;
             }

@@ -22,9 +22,9 @@
 
 use simnet::{Actor, Ctx, NodeId, Payload, SimDuration, SimTime};
 use std::any::Any;
-use std::cell::RefCell;
+use std::sync::Mutex;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Replica-location sentinel meaning "the block lives in the object store".
 pub const CLOUD_LOCATION: u32 = u32::MAX;
@@ -85,8 +85,8 @@ pub struct CloudStoreState {
 
 impl CloudStoreState {
     /// New shared handle.
-    pub fn shared() -> Rc<RefCell<CloudStoreState>> {
-        Rc::new(RefCell::new(CloudStoreState::default()))
+    pub fn shared() -> Arc<Mutex<CloudStoreState>> {
+        Arc::new(Mutex::new(CloudStoreState::default()))
     }
 
     /// Number of stored objects.
@@ -108,7 +108,7 @@ impl CloudStoreState {
 
 /// One AZ-local front-end of the regional object store.
 pub struct CloudStoreActor {
-    state: Rc<RefCell<CloudStoreState>>,
+    state: Arc<Mutex<CloudStoreState>>,
     /// First-byte service latency.
     pub service_latency: SimDuration,
     /// Per-front-end ingest/egress bandwidth (bytes/s).
@@ -121,7 +121,7 @@ pub struct CloudStoreActor {
 
 impl CloudStoreActor {
     /// Creates a front-end over the shared regional state.
-    pub fn new(state: Rc<RefCell<CloudStoreState>>) -> Self {
+    pub fn new(state: Arc<Mutex<CloudStoreState>>) -> Self {
         CloudStoreActor {
             state,
             service_latency: SimDuration::from_millis(15),
@@ -148,7 +148,7 @@ impl Actor for CloudStoreActor {
         let any = match any.downcast::<PutObject>() {
             Ok(m) => {
                 let done = self.service(now, m.bytes);
-                let mut st = self.state.borrow_mut();
+                let mut st = self.state.lock().unwrap();
                 st.objects.insert(m.key, m.bytes);
                 st.put_requests += 1;
                 st.bytes_in += m.bytes;
@@ -160,9 +160,9 @@ impl Actor for CloudStoreActor {
         };
         let any = match any.downcast::<GetObject>() {
             Ok(m) => {
-                let bytes = self.state.borrow().object_size(m.key);
+                let bytes = self.state.lock().unwrap().object_size(m.key);
                 let done = self.service(now, bytes.unwrap_or(0));
-                self.state.borrow_mut().get_requests += 1;
+                self.state.lock().unwrap().get_requests += 1;
                 ctx.send_sized_from(done, from, bytes.unwrap_or(0).max(64), GetObjectResp {
                     key: m.key,
                     bytes,
@@ -173,7 +173,7 @@ impl Actor for CloudStoreActor {
         };
         match any.downcast::<DeleteObject>() {
             Ok(m) => {
-                let mut st = self.state.borrow_mut();
+                let mut st = self.state.lock().unwrap();
                 st.objects.remove(&m.key);
                 st.delete_requests += 1;
             }
@@ -240,13 +240,13 @@ mod tests {
         }
     }
 
-    fn run(puts: u32) -> (Simulation, NodeId, Rc<RefCell<CloudStoreState>>) {
+    fn run(puts: u32) -> (Simulation, NodeId, Arc<Mutex<CloudStoreState>>) {
         let mut sim = Simulation::new(3);
         sim.set_jitter(0.0);
         let state = CloudStoreState::shared();
         let store = sim.add_node(
             NodeSpec::new("s3-az0", Location::new(0, 0)),
-            Box::new(CloudStoreActor::new(Rc::clone(&state))),
+            Box::new(CloudStoreActor::new(Arc::clone(&state))),
         );
         let tenant = sim.add_node(
             NodeSpec::new("tenant", Location::new(0, 1)),
@@ -262,7 +262,7 @@ mod tests {
         let t = sim.actor::<Tenant>(tenant);
         assert_eq!(t.acks, 3);
         assert_eq!(t.got, Some(Some(1_000_000)), "stored object readable");
-        let st = state.borrow();
+        let st = state.lock().unwrap();
         assert_eq!(st.object_count(), 3);
         assert_eq!(st.put_requests, 3);
         assert_eq!(st.get_requests, 2);
@@ -295,6 +295,6 @@ mod tests {
     fn missing_objects_read_as_none() {
         let (sim, tenant, state) = run(1);
         let _ = sim.actor::<Tenant>(tenant);
-        assert_eq!(state.borrow().object_size(424242), None);
+        assert_eq!(state.lock().unwrap().object_size(424242), None);
     }
 }

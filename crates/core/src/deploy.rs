@@ -12,9 +12,8 @@ use crate::types::InodeId;
 use crate::view::FsView;
 use ndb::{NdbCluster, Schema};
 use simnet::{AzId, Disk, HostId, LaneClassSpec, Location, NodeId, NodeSpec, Simulation};
-use std::cell::RefCell;
+use std::sync::Mutex;
 use std::collections::HashMap;
-use std::rc::Rc;
 use std::sync::Arc;
 
 /// Bulk-loader id space: the sequence row starts here, so directly loaded
@@ -28,7 +27,7 @@ pub struct FsCluster {
     /// The underlying NDB cluster handle.
     pub ndb: NdbCluster,
     /// Object-store accounting when the cloud block backend is enabled.
-    pub cloud: Option<Rc<RefCell<CloudStoreState>>>,
+    pub cloud: Option<Arc<Mutex<CloudStoreState>>>,
     bulk_next_id: u64,
     bulk_dirs: HashMap<String, u64>,
 }
@@ -110,7 +109,7 @@ pub fn build_fs_cluster(sim: &mut Simulation, cfg: FsConfig, dn_count: usize) ->
             let loc = Location { az, host: HostId(cloud_base + i as u32) };
             let id = sim.add_node(
                 NodeSpec::new(format!("cloudstore-{az}"), loc).with_layer("cloudstore"),
-                Box::new(CloudStoreActor::new(Rc::clone(&state))),
+                Box::new(CloudStoreActor::new(Arc::clone(&state))),
             );
             assert_eq!(id, cloud_ids[i], "node id prediction drifted");
         }
@@ -220,7 +219,7 @@ impl FsCluster {
         sim: &mut Simulation,
         az: AzId,
         source: Box<dyn OpSource>,
-        stats: Rc<RefCell<ClientStats>>,
+        stats: Arc<Mutex<ClientStats>>,
     ) -> NodeId {
         let host = HostId(sim.node_count() as u32);
         let domain = if self.view.config.az_aware { Some(az) } else { None };
@@ -239,7 +238,7 @@ impl FsCluster {
         sim: &mut Simulation,
         az: AzId,
         source: Box<dyn OpSource>,
-        stats: Rc<RefCell<ClientStats>>,
+        stats: Arc<Mutex<ClientStats>>,
         rate_per_sec: f64,
         queue_cap: usize,
     ) -> NodeId {

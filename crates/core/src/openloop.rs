@@ -26,9 +26,8 @@ use simnet::{
     SimTime,
 };
 use std::any::Any;
-use std::cell::RefCell;
+use std::sync::Mutex;
 use std::collections::BTreeMap;
-use std::rc::Rc;
 use std::sync::Arc;
 
 /// Ceiling on the AIMD window.
@@ -65,7 +64,7 @@ struct Inflight {
 pub struct OpenLoopClientActor {
     view: Arc<FsView>,
     source: Box<dyn OpSource>,
-    stats: Rc<RefCell<ClientStats>>,
+    stats: Arc<Mutex<ClientStats>>,
     /// Offered load: mean operation arrivals per second.
     pub rate_per_sec: f64,
     cwnd: f64,
@@ -103,7 +102,7 @@ impl OpenLoopClientActor {
     pub fn new(
         view: Arc<FsView>,
         source: Box<dyn OpSource>,
-        stats: Rc<RefCell<ClientStats>>,
+        stats: Arc<Mutex<ClientStats>>,
         rate_per_sec: f64,
         queue_cap: usize,
     ) -> Self {
@@ -254,7 +253,7 @@ impl OpenLoopClientActor {
             // Late success: the pipe is full even though nothing failed.
             self.decrease(now);
         }
-        self.stats.borrow_mut().record(p.op.kind(), &result, latency);
+        self.stats.lock().unwrap().record(p.op.kind(), &result, latency);
         self.source.on_result(&p.op, &result);
         self.pump(ctx);
     }
@@ -271,7 +270,7 @@ impl OpenLoopClientActor {
 
     fn on_response(&mut self, ctx: &mut Ctx<'_>, resp: FsResponse) {
         if let Err(FsError::Overloaded { .. }) = &resp.result {
-            self.stats.borrow_mut().overloaded_responses += 1;
+            self.stats.lock().unwrap().overloaded_responses += 1;
         }
         if !self.inflight.contains_key(&resp.req_id) {
             return; // stale (timed-out attempt answered late)

@@ -28,25 +28,25 @@ use crate::path::FsPath;
 use crate::types::{DirEntry, FsError, FsOk, FsResult, InodeAttrs};
 use rand::rngs::StdRng;
 use simnet::{AzId, NodeId, SimDuration, SimTime, Simulation};
-use std::cell::RefCell;
+use std::sync::Mutex;
 use std::collections::VecDeque;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// An op source fed one operation at a time through a shared queue.
 struct QueueSource {
-    queue: Rc<RefCell<VecDeque<FsOp>>>,
+    queue: Arc<Mutex<VecDeque<FsOp>>>,
 }
 
 impl OpSource for QueueSource {
     fn next_op(&mut self, _rng: &mut StdRng, _now: SimTime) -> Option<FsOp> {
-        self.queue.borrow_mut().pop_front()
+        self.queue.lock().unwrap().pop_front()
     }
 }
 
 /// A blocking-style client handle over one simulated session.
 pub struct FsHandle {
     client: NodeId,
-    queue: Rc<RefCell<VecDeque<FsOp>>>,
+    queue: Arc<Mutex<VecDeque<FsOp>>>,
     consumed: usize,
     /// Virtual-time budget per call before it is declared stuck.
     pub call_timeout: SimDuration,
@@ -55,8 +55,8 @@ pub struct FsHandle {
 impl FsHandle {
     /// Creates a session in `az` on the cluster.
     pub fn new(sim: &mut Simulation, cluster: &FsCluster, az: AzId) -> Self {
-        let queue: Rc<RefCell<VecDeque<FsOp>>> = Rc::new(RefCell::new(VecDeque::new()));
-        let source = Box::new(QueueSource { queue: Rc::clone(&queue) });
+        let queue: Arc<Mutex<VecDeque<FsOp>>> = Arc::new(Mutex::new(VecDeque::new()));
+        let source = Box::new(QueueSource { queue: Arc::clone(&queue) });
         let client = cluster.add_client(sim, az, source, ClientStats::shared());
         sim.actor_mut::<FsClientActor>(client).keep_results = true;
         FsHandle { client, queue, consumed: 0, call_timeout: SimDuration::from_secs(30) }
@@ -69,7 +69,7 @@ impl FsHandle {
     /// Panics if the operation does not complete within
     /// [`FsHandle::call_timeout`] of virtual time (a stuck cluster in a test).
     pub fn call(&mut self, sim: &mut Simulation, op: FsOp) -> FsResult {
-        self.queue.borrow_mut().push_back(op);
+        self.queue.lock().unwrap().push_back(op);
         // The session marked itself done when the queue last ran dry; clear
         // the flag and poke it so it polls immediately.
         sim.actor_mut::<FsClientActor>(self.client).done = false;

@@ -36,7 +36,7 @@ fn large_files_become_objects() {
         other => panic!("open returned {other:?}"),
     }
     // The objects are durable in the store, with PUT fees accounted.
-    let st = cluster.cloud.as_ref().expect("cloud backend").borrow();
+    let st = cluster.cloud.as_ref().expect("cloud backend").lock().unwrap();
     assert_eq!(st.object_count(), 3);
     assert_eq!(st.put_requests, 3);
     assert_eq!(st.bytes_in, 300 << 20);
@@ -79,10 +79,10 @@ fn delete_removes_objects() {
     fs.mkdir(&mut sim, "/x").unwrap();
     fs.create(&mut sim, "/x/blob", 200 << 20).unwrap(); // 2 blocks
     sim.run_for(SimDuration::from_secs(1));
-    assert_eq!(cluster.cloud.as_ref().unwrap().borrow().object_count(), 2);
+    assert_eq!(cluster.cloud.as_ref().unwrap().lock().unwrap().object_count(), 2);
     fs.delete(&mut sim, "/x/blob", false).unwrap();
     sim.run_for(SimDuration::from_secs(1));
-    let st = cluster.cloud.as_ref().unwrap().borrow();
+    let st = cluster.cloud.as_ref().unwrap().lock().unwrap();
     assert_eq!(st.object_count(), 0, "deleted file's objects must be reclaimed");
     assert_eq!(st.delete_requests, 2);
 }
@@ -94,7 +94,7 @@ fn small_files_never_touch_the_object_store() {
     fs.mkdir(&mut sim, "/s").unwrap();
     fs.create(&mut sim, "/s/tiny", 4096).unwrap();
     sim.run_for(SimDuration::from_secs(1));
-    assert_eq!(cluster.cloud.as_ref().unwrap().borrow().object_count(), 0);
+    assert_eq!(cluster.cloud.as_ref().unwrap().lock().unwrap().object_count(), 0);
     let attrs = fs.stat(&mut sim, "/s/tiny").unwrap();
     assert_eq!(attrs.inline_len, 4096, "small files stay inline in the metadata layer");
 }
@@ -121,7 +121,7 @@ fn append_grows_inline_then_spills_to_objects() {
     let attrs = fs.stat(&mut sim, "/a/log").unwrap();
     assert_eq!(attrs.size, 2000 + (1 << 20));
     assert_eq!(attrs.inline_len, 0, "inline data spilled");
-    assert_eq!(cluster.cloud.as_ref().unwrap().borrow().object_count(), 1);
+    assert_eq!(cluster.cloud.as_ref().unwrap().lock().unwrap().object_count(), 1);
     // Appending to a directory fails.
     assert_eq!(
         fs.call(&mut sim, hopsfs::FsOp::Append { path: "/a".parse().unwrap(), bytes: 1 }),

@@ -554,12 +554,12 @@ fn run_lease_ops(
     ops: Vec<FsOp>,
 ) -> (
     Vec<hopsfs::FsResult>,
-    std::rc::Rc<std::cell::RefCell<ClientStats>>,
-    std::rc::Rc<std::cell::RefCell<hopsfs::LeaseMonitor>>,
+    std::sync::Arc<std::sync::Mutex<ClientStats>>,
+    std::sync::Arc<std::sync::Mutex<hopsfs::LeaseMonitor>>,
 ) {
     let n = ops.len();
     let stats = ClientStats::shared();
-    let mon = std::rc::Rc::new(std::cell::RefCell::new(hopsfs::LeaseMonitor::default()));
+    let mon = std::sync::Arc::new(std::sync::Mutex::new(hopsfs::LeaseMonitor::default()));
     let c = h.cluster.add_client(
         &mut h.sim,
         AzId(az),
@@ -605,10 +605,10 @@ fn lease_does_not_survive_delete_and_recreate() {
         }
         other => panic!("stat of recreated file returned {other:?}"),
     }
-    let s = stats.borrow();
+    let s = stats.lock().unwrap();
     assert!(s.lease_hits >= 1, "the repeat stat never hit the lease cache");
     assert!(s.lease_invalidations >= 1, "the delete's conflict notice dropped nothing");
-    assert_eq!(mon.borrow().violations, 0, "lease served data across its own delete");
+    assert_eq!(mon.lock().unwrap().violations, 0, "lease served data across its own delete");
 }
 
 #[test]
@@ -639,9 +639,9 @@ fn lease_respects_rename_over_existing_and_rename_away() {
     assert!(r[7].is_ok(), "rename away failed: {:?}", r[7]);
     assert_eq!(r[8], Err(FsError::NotFound), "lease served a renamed-away path");
     assert!(r[9].is_ok(), "{:?}", r[9]);
-    let s = stats.borrow();
+    let s = stats.lock().unwrap();
     assert!(s.lease_hits >= 2, "expected local serves at ops 4 and 6, got {}", s.lease_hits);
-    assert_eq!(mon.borrow().violations, 0);
+    assert_eq!(mon.lock().unwrap().violations, 0);
 }
 
 #[test]

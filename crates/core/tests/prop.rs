@@ -452,8 +452,8 @@ proptest! {
 // ---------------------------------------------------------------------------
 
 use hopsfs::{lease_coherence, LeaseMonitor};
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Mutex;
+use std::sync::Arc;
 
 /// Runs `ops` with the leased client cache enabled (after the grant warm-up
 /// window, so reads actually get leases and repeats actually serve
@@ -469,7 +469,7 @@ fn run_with_leases(ops: &[FsOp]) -> (Vec<hopsfs::FsResult>, u64, u64, u64) {
     let stats = ClientStats::shared();
     let client =
         cluster.add_client(&mut sim, AzId(0), Box::new(ScriptedSource::new(ops.to_vec())), stats.clone());
-    let monitor = Rc::new(RefCell::new(LeaseMonitor::default()));
+    let monitor = Arc::new(Mutex::new(LeaseMonitor::default()));
     {
         let a = sim.actor_mut::<FsClientActor>(client);
         a.keep_results = true;
@@ -482,8 +482,8 @@ fn run_with_leases(ops: &[FsOp]) -> (Vec<hopsfs::FsResult>, u64, u64, u64) {
         sim.run_until(t);
     }
     let results = sim.actor::<FsClientActor>(client).results.clone();
-    let hits = stats.borrow().lease_hits;
-    let m = monitor.borrow();
+    let hits = stats.lock().unwrap().lease_hits;
+    let m = monitor.lock().unwrap();
     (results, hits, m.serves_checked, lease_coherence(&m))
 }
 

@@ -72,7 +72,7 @@ fn vanilla_client_sticks_to_one_namenode_until_it_fails() {
     let new_active: Vec<usize> =
         (0..4).filter(|&i| i != first && after[i] > before[i]).collect();
     assert_eq!(new_active.len(), 1, "failover must pick exactly one survivor: {after:?}");
-    let ok = stats.borrow().total_ok();
+    let ok = stats.lock().unwrap().total_ok();
     assert!(ok > 1000, "the session kept making progress across the failover");
 }
 
@@ -87,5 +87,5 @@ fn az_aware_clients_fall_back_to_remote_namenodes_when_their_az_has_none() {
     let stats = ClientStats::shared();
     cluster.add_client(&mut sim, AzId(2), Box::new(StatLoop), stats.clone());
     sim.run_until(SimTime::from_secs(3));
-    assert!(stats.borrow().total_ok() > 500, "fallback selection must still serve");
+    assert!(stats.lock().unwrap().total_ok() > 500, "fallback selection must still serve");
 }

@@ -1,17 +1,25 @@
 //! Hierarchical timer-wheel event queue with pooled storage.
 //!
 //! The simulation kernel's priority queue. Events are keyed by
-//! `(time, seq)` — `seq` is a monotonically increasing insertion counter —
-//! and pop in exactly that lexicographic order, which is what makes
-//! same-seed replay bit-identical: ties at one timestamp resolve FIFO, the
-//! same order a `BinaryHeap<(Reverse(time), Reverse(seq))>` would produce.
+//! `(time, key)` and pop in exactly that lexicographic order. The key is a
+//! caller-supplied `u128` ([`EventQueue::push_keyed`]) or, for plain
+//! [`EventQueue::push`], a monotonically increasing insertion counter —
+//! which makes plain pushes pop earliest-first, FIFO on ties, the same
+//! order a `BinaryHeap<(Reverse(time), Reverse(seq))>` would produce.
+//!
+//! Caller-supplied keys are what makes the sharded kernel deterministic:
+//! the simulation derives every event's key from `(source node, per-node
+//! counter)` instead of a global insertion counter, so the key — and hence
+//! the pop order — is independent of how actors are partitioned onto
+//! shards. Do not mix `push` and `push_keyed` on one queue unless the
+//! caller guarantees key uniqueness across both.
 //!
 //! # Structure
 //!
 //! Three tiers, ordered by distance from the cursor (the slot of the last
 //! popped/settled event):
 //!
-//! 1. **`near`** — a small binary heap of `(time, seq, node)` for events in
+//! 1. **`near`** — a small binary heap of `(time, key, node)` for events in
 //!    the current or past level-0 slot. Its minimum is always the queue's
 //!    global minimum, so `pop` is a heap-pop.
 //! 2. **The wheel** — [`LEVELS`] levels of [`SLOTS`] slots each. Level 0
@@ -32,9 +40,9 @@
 //!
 //! # Determinism
 //!
-//! The only ordering authority is the `(time, seq)` key: whichever tier an
+//! The only ordering authority is the `(time, key)` pair: whichever tier an
 //! event sits in, it reaches `near` before it can pop, and `near` is an
-//! exact heap over the key. Cursor movement depends only on slot occupancy,
+//! exact heap over the pair. Cursor movement depends only on slot occupancy,
 //! which depends only on the sequence of pushes and pops — no wall clock,
 //! no hashing, no pointer values. Node storage is a slab (`Vec` + free
 //! list), so allocation order is deterministic too and cancelled or popped
@@ -64,17 +72,18 @@ fn slot0(time: u64) -> u64 {
 /// A ticket for a pushed event, usable to [`EventQueue::cancel`] it.
 ///
 /// Handles are cheap, copyable, and safe to hold after the event pops or is
-/// cancelled: the embedded sequence number is never reused, so a stale
-/// handle simply fails to cancel.
+/// cancelled: the embedded key is never reused (for plain `push`, the
+/// internal counter guarantees this; for `push_keyed`, the caller does), so
+/// a stale handle simply fails to cancel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EventHandle {
     idx: u32,
-    seq: u64,
+    key: u128,
 }
 
 struct Node<T> {
     time: u64,
-    seq: u64,
+    key: u128,
     /// Next node in the slot list this node lives in, or in the free list.
     next: u32,
     /// `None` marks a tombstone (cancelled, or node on the free list).
@@ -84,8 +93,8 @@ struct Node<T> {
 /// A deterministic earliest-first event queue: hierarchical timer wheel +
 /// far-future overflow heap + pooled node storage.
 ///
-/// Events pop in `(time, insertion order)` — earliest first, FIFO on ties —
-/// exactly matching a binary heap over the same key.
+/// Events pop in `(time, key)` order — earliest first, smallest key on
+/// ties — exactly matching a binary heap over the same pair.
 ///
 /// # Examples
 ///
@@ -105,7 +114,7 @@ pub struct EventQueue<T> {
     nodes: Vec<Node<T>>,
     /// Head of the free list (indices into `nodes`).
     free: u32,
-    /// Next insertion sequence number (never reused).
+    /// Next insertion sequence number for plain `push` (never reused).
     seq: u64,
     /// Live (pushed, not yet popped or cancelled) events.
     len: usize,
@@ -116,9 +125,9 @@ pub struct EventQueue<T> {
     /// Per-level slot-occupancy bitmap (256 bits each).
     occ: [[u64; SLOTS / 64]; LEVELS],
     /// Events at or before the cursor's slot: the exact-order stage.
-    near: BinaryHeap<Reverse<(u64, u64, u32)>>,
+    near: BinaryHeap<Reverse<(u64, u128, u32)>>,
     /// Events beyond the wheel horizon.
-    overflow: BinaryHeap<Reverse<(u64, u64, u32)>>,
+    overflow: BinaryHeap<Reverse<(u64, u128, u32)>>,
 }
 
 impl<T> Default for EventQueue<T> {
@@ -153,23 +162,41 @@ impl<T> EventQueue<T> {
         self.len == 0
     }
 
-    /// Enqueues `payload` at `time` (nanoseconds). Times in the past (before
-    /// an already-popped event) are legal and pop immediately, after any
-    /// already-due events with a smaller key.
+    /// Size of the pooled node slab (live events + free-listed nodes).
+    ///
+    /// The slab only grows when every node is simultaneously live, so a
+    /// steady-state workload — however long it runs — keeps `pool_len`
+    /// bounded by its peak in-flight event count. Regression tests use this
+    /// to prove cancel/reschedule churn does not leak slots.
+    pub fn pool_len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Enqueues `payload` at `time` (nanoseconds) with an internal
+    /// insertion-order key. Times in the past (before an already-popped
+    /// event) are legal and pop immediately, after any already-due events
+    /// with a smaller key.
     pub fn push(&mut self, time: u64, payload: T) -> EventHandle {
-        let seq = self.seq;
+        let key = self.seq as u128;
         self.seq += 1;
-        let idx = self.alloc(time, seq, payload);
+        self.push_keyed(time, key, payload)
+    }
+
+    /// Enqueues `payload` at `time` under a caller-supplied `key`. Events
+    /// pop in `(time, key)` order; keys must be unique for the lifetime of
+    /// the queue or [`EventQueue::cancel`] loses its stale-handle guarantee.
+    pub fn push_keyed(&mut self, time: u64, key: u128, payload: T) -> EventHandle {
+        let idx = self.alloc(time, key, payload);
         self.len += 1;
         self.place(idx);
-        EventHandle { idx, seq }
+        EventHandle { idx, key }
     }
 
     /// Cancels the event behind `handle`. Returns `false` if it already
     /// popped, was already cancelled, or the handle is stale.
     pub fn cancel(&mut self, handle: EventHandle) -> bool {
         match self.nodes.get_mut(handle.idx as usize) {
-            Some(n) if n.seq == handle.seq && n.payload.is_some() => {
+            Some(n) if n.key == handle.key && n.payload.is_some() => {
                 // Tombstone in place; the node is reclaimed when its slot
                 // list or heap entry is next visited.
                 n.payload = None;
@@ -180,7 +207,7 @@ impl<T> EventQueue<T> {
         }
     }
 
-    /// Removes and returns the earliest event, FIFO on equal times.
+    /// Removes and returns the earliest event, smallest key on equal times.
     pub fn pop(&mut self) -> Option<(u64, T)> {
         self.pop_at_most(u64::MAX)
     }
@@ -188,8 +215,13 @@ impl<T> EventQueue<T> {
     /// Removes and returns the earliest event if its time is `<= horizon`;
     /// leaves the queue untouched (observably) otherwise.
     pub fn pop_at_most(&mut self, horizon: u64) -> Option<(u64, T)> {
+        self.pop_keyed_at_most(horizon).map(|(t, _, p)| (t, p))
+    }
+
+    /// Like [`EventQueue::pop_at_most`], also returning the event's key.
+    pub fn pop_keyed_at_most(&mut self, horizon: u64) -> Option<(u64, u128, T)> {
         self.settle();
-        let &Reverse((time, _, idx)) = self.near.peek()?;
+        let &Reverse((time, key, idx)) = self.near.peek()?;
         if time > horizon {
             return None;
         }
@@ -197,7 +229,7 @@ impl<T> EventQueue<T> {
         let payload = self.nodes[idx as usize].payload.take().expect("settled head is live");
         self.free_node(idx);
         self.len -= 1;
-        Some((time, payload))
+        Some((time, key, payload))
     }
 
     /// Timestamp of the earliest event, if any. (`&mut` because answering
@@ -207,19 +239,25 @@ impl<T> EventQueue<T> {
         self.near.peek().map(|&Reverse((time, _, _))| time)
     }
 
-    fn alloc(&mut self, time: u64, seq: u64, payload: T) -> u32 {
+    /// `(time, key)` of the earliest event, if any.
+    pub fn peek_key(&mut self) -> Option<(u64, u128)> {
+        self.settle();
+        self.near.peek().map(|&Reverse((time, key, _))| (time, key))
+    }
+
+    fn alloc(&mut self, time: u64, key: u128, payload: T) -> u32 {
         if self.free != NIL {
             let idx = self.free;
             let n = &mut self.nodes[idx as usize];
             self.free = n.next;
             n.time = time;
-            n.seq = seq;
+            n.key = key;
             n.next = NIL;
             n.payload = Some(payload);
             idx
         } else {
             let idx = u32::try_from(self.nodes.len()).expect("event pool exceeds u32 indices");
-            self.nodes.push(Node { time, seq, next: NIL, payload: Some(payload) });
+            self.nodes.push(Node { time, key, next: NIL, payload: Some(payload) });
             idx
         }
     }
@@ -235,18 +273,18 @@ impl<T> EventQueue<T> {
     /// Files a live node into the tier its distance from the cursor calls
     /// for: `near` (at/behind the cursor), a wheel slot, or `overflow`.
     fn place(&mut self, idx: u32) {
-        let (time, seq) = {
+        let (time, key) = {
             let n = &self.nodes[idx as usize];
-            (n.time, n.seq)
+            (n.time, n.key)
         };
         let s0 = slot0(time);
         if s0 <= self.cursor {
-            self.near.push(Reverse((time, seq, idx)));
+            self.near.push(Reverse((time, key, idx)));
             return;
         }
         let x = s0 ^ self.cursor;
         if x >> WHEEL_BITS != 0 {
-            self.overflow.push(Reverse((time, seq, idx)));
+            self.overflow.push(Reverse((time, key, idx)));
             return;
         }
         // Highest differing byte picks the level; because bytes above it
@@ -264,6 +302,19 @@ impl<T> EventQueue<T> {
     /// minimum and live: discards tombstones and advances the wheel until a
     /// live event surfaces or the queue is proven empty.
     fn settle(&mut self) {
+        // Reclaim cancelled nodes as they surface at the overflow top. The
+        // wheel only advances when `near` drains, so without this sweep a
+        // workload that keeps near-term traffic flowing while cancelling
+        // far-future timers (lease renewal churn) would strand every
+        // tombstone in the overflow heap until the next full wheel drain —
+        // growing the slab linearly instead of recycling it.
+        while let Some(&Reverse((_, _, idx))) = self.overflow.peek() {
+            if self.nodes[idx as usize].payload.is_some() {
+                break;
+            }
+            self.overflow.pop();
+            self.free_node(idx);
+        }
         loop {
             while let Some(&Reverse((_, _, idx))) = self.near.peek() {
                 if self.nodes[idx as usize].payload.is_some() {
@@ -395,6 +446,20 @@ mod tests {
     }
 
     #[test]
+    fn keyed_pushes_order_by_key_not_insertion() {
+        let mut q = EventQueue::new();
+        q.push_keyed(100, 9, 1);
+        q.push_keyed(100, 2, 2);
+        q.push_keyed(50, 88, 3);
+        q.push_keyed(100, 5, 4);
+        assert_eq!(q.pop_keyed_at_most(u64::MAX), Some((50, 88, 3)));
+        assert_eq!(q.pop_keyed_at_most(u64::MAX), Some((100, 2, 2)));
+        assert_eq!(q.pop_keyed_at_most(u64::MAX), Some((100, 5, 4)));
+        assert_eq!(q.pop_keyed_at_most(u64::MAX), Some((100, 9, 1)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
     fn spans_all_wheel_levels() {
         // One event per level plus near/overflow extremes.
         let times =
@@ -476,6 +541,61 @@ mod tests {
         expect.push((far, u32::MAX));
         expect.sort();
         assert_eq!(drain(&mut q), expect);
+    }
+
+    #[test]
+    fn cancel_reschedule_across_overflow_boundary_does_not_leak_slots() {
+        // Regression (PR 8): tombstone-cancel slab reuse was untested across
+        // the wheel→overflow epoch boundary. A lease-renewal-style workload
+        // that repeatedly arms a far-future timer past the overflow horizon,
+        // cancels it, and re-arms it — while the cursor rolls over the wheel
+        // horizon — must recycle every tombstoned slot. A leak here grows
+        // the slab linearly with churn and would bloat every per-shard wheel
+        // in long sharded runs.
+        let horizon_ns = 1u64 << (G0_BITS + WHEEL_BITS);
+        let mut q: EventQueue<u32> = EventQueue::new();
+        let mut clock = 0u64;
+        let mut pool_after_warmup = None;
+        for round in 0..200u64 {
+            // Arm a far-future timer beyond the overflow boundary, plus a
+            // mid-wheel timer, then cancel both and re-arm the far one.
+            let far = q.push(clock + horizon_ns + 999, 1);
+            let mid = q.push(clock + (horizon_ns / 2), 2);
+            assert!(q.cancel(far), "far-future cancel round {round}");
+            let far2 = q.push(clock + horizon_ns + 1_337, 3);
+            assert!(q.cancel(mid), "mid-wheel cancel round {round}");
+            // Drive the cursor across several slots (and, over the run, past
+            // the full wheel horizon) with a near-term event.
+            let step = horizon_ns / 64;
+            q.push(clock + step, 4);
+            let (t, v) = q.pop().expect("near-term event");
+            assert_eq!(v, 4);
+            clock = t;
+            // The re-armed far timer is the only live event now.
+            assert_eq!(q.len(), 1);
+            assert!(q.cancel(far2));
+            assert_eq!(q.len(), 0);
+            if round == 100 {
+                // Tombstones in wheel slots are reclaimed lazily, when the
+                // cursor cascades their slot (~32 rounds of lag at this step
+                // size). Past that pipeline fill the pool must hold steady: a
+                // real leak keeps growing linearly through round 200.
+                pool_after_warmup = Some(q.pool_len());
+            }
+            if let Some(pool) = pool_after_warmup {
+                assert_eq!(
+                    q.pool_len(),
+                    pool,
+                    "slab leaked slots by round {round}: {} > {}",
+                    q.pool_len(),
+                    pool
+                );
+            }
+        }
+        // Drain: nothing should be left, and the queue still works.
+        assert_eq!(q.pop(), None);
+        q.push(clock + 5, 7);
+        assert_eq!(q.pop(), Some((clock + 5, 7)));
     }
 
     #[test]

@@ -6,7 +6,7 @@ use hopsfs::client::OpSource;
 use hopsfs::{FsOp, FsPath};
 use rand::rngs::StdRng;
 use simnet::SimTime;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Which single operation the session repeats.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,7 +46,7 @@ impl MicroOp {
 /// A micro-benchmark session.
 pub struct MicroSource {
     op: MicroOp,
-    ns: Rc<Namespace>,
+    ns: Arc<Namespace>,
     private_dir: String,
     /// Queued ops of the current `Subtree` round.
     round: std::collections::VecDeque<FsOp>,
@@ -64,7 +64,7 @@ impl MicroSource {
     /// Creates a session. For `Delete`, pre-create `precreated` files named
     /// `{private_dir}/p{i}` at bulk-load time (see
     /// [`MicroSource::precreate_paths`]).
-    pub fn new(op: MicroOp, ns: Rc<Namespace>, session_id: u64, precreated: u64) -> Self {
+    pub fn new(op: MicroOp, ns: Arc<Namespace>, session_id: u64, precreated: u64) -> Self {
         MicroSource {
             op,
             ns,
@@ -145,8 +145,8 @@ mod tests {
     use hopsfs::OpKind;
     use rand::SeedableRng;
 
-    fn ns() -> Rc<Namespace> {
-        Rc::new(Namespace::generate(&NamespaceSpec::default()))
+    fn ns() -> Arc<Namespace> {
+        Arc::new(Namespace::generate(&NamespaceSpec::default()))
     }
 
     #[test]

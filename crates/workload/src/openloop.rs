@@ -14,11 +14,11 @@ use hopsfs::{FsOp, FsPath};
 use rand::rngs::StdRng;
 use rand::Rng;
 use simnet::SimTime;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Open-loop overload mix: 50% stat, 25% create, 15% open, 10% mkdir.
 pub struct OverloadSource {
-    ns: Rc<Namespace>,
+    ns: Arc<Namespace>,
     private_dir: String,
     seq: u64,
     issued: u64,
@@ -29,7 +29,7 @@ pub struct OverloadSource {
 impl OverloadSource {
     /// Creates a session; pre-create its private directory
     /// ([`OverloadSource::private_dir_for`]) at bulk-load time.
-    pub fn new(ns: Rc<Namespace>, session_id: u64) -> Self {
+    pub fn new(ns: Arc<Namespace>, session_id: u64) -> Self {
         OverloadSource {
             ns,
             private_dir: Self::private_dir_for(session_id),
@@ -78,10 +78,10 @@ mod tests {
 
     #[test]
     fn stream_is_deterministic_per_seed_and_infinite() {
-        let ns = Rc::new(Namespace::generate(&NamespaceSpec::default()));
+        let ns = Arc::new(Namespace::generate(&NamespaceSpec::default()));
         let run = |seed: u64| -> Vec<String> {
             let mut rng = StdRng::seed_from_u64(seed);
-            let mut s = OverloadSource::new(Rc::clone(&ns), 3);
+            let mut s = OverloadSource::new(Arc::clone(&ns), 3);
             (0..200)
                 .map(|_| format!("{:?}", s.next_op(&mut rng, SimTime::ZERO).expect("infinite")))
                 .collect()
@@ -92,7 +92,7 @@ mod tests {
 
     #[test]
     fn max_ops_caps_the_stream() {
-        let ns = Rc::new(Namespace::generate(&NamespaceSpec::default()));
+        let ns = Arc::new(Namespace::generate(&NamespaceSpec::default()));
         let mut rng = StdRng::seed_from_u64(1);
         let mut s = OverloadSource::new(ns, 0);
         s.max_ops = Some(5);

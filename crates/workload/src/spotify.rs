@@ -30,7 +30,7 @@ use rand::rngs::StdRng;
 use rand::Rng;
 use simnet::SimTime;
 use std::collections::VecDeque;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Operation weights (parts per 10 000).
 #[derive(Debug, Clone, Copy)]
@@ -95,7 +95,7 @@ impl Mix {
 
 /// A Spotify-mix session source.
 pub struct SpotifySource {
-    ns: Rc<Namespace>,
+    ns: Arc<Namespace>,
     mix: Mix,
     /// This session's private mutation directory (pre-created by
     /// [`SpotifySource::private_dir_for`] at bulk-load time).
@@ -117,7 +117,7 @@ pub struct SpotifySource {
 
 impl SpotifySource {
     /// Creates a session with id `session_id` over the shared namespace.
-    pub fn new(ns: Rc<Namespace>, mix: Mix, session_id: u64) -> Self {
+    pub fn new(ns: Arc<Namespace>, mix: Mix, session_id: u64) -> Self {
         SpotifySource {
             ns,
             mix,
@@ -260,7 +260,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn source() -> SpotifySource {
-        let ns = Rc::new(Namespace::generate(&NamespaceSpec::default()));
+        let ns = Arc::new(Namespace::generate(&NamespaceSpec::default()));
         SpotifySource::new(ns, Mix::SPOTIFY, 7)
     }
 

@@ -10,7 +10,7 @@
 use hopsfs::client::ClientStats;
 use hopsfs::{build_fs_cluster, FsConfig};
 use simnet::{AzId, SimDuration, SimTime, Simulation};
-use std::rc::Rc;
+use std::sync::Arc;
 use workload::{Mix, Namespace, NamespaceSpec, SpotifySource};
 
 /// GCP charges ~$0.01/GB for traffic between zones in the same region.
@@ -28,13 +28,13 @@ fn run(label: &str, cfg: FsConfig) -> Outcome {
     let azs = cfg.azs.clone();
     let mut sim = Simulation::new(99);
     let mut cluster = build_fs_cluster(&mut sim, cfg, 0);
-    let ns = Rc::new(Namespace::generate(&NamespaceSpec::default()));
+    let ns = Arc::new(Namespace::generate(&NamespaceSpec::default()));
     ns.load_hopsfs(&mut sim, &mut cluster, 0);
     let stats = ClientStats::shared();
     let sessions = 12 * 96 / scale;
     for s in 0..sessions as u64 {
         cluster.bulk_mkdir_p(&mut sim, &SpotifySource::private_dir_for(s));
-        let source = Box::new(SpotifySource::new(Rc::clone(&ns), Mix::SPOTIFY, s));
+        let source = Box::new(SpotifySource::new(Arc::clone(&ns), Mix::SPOTIFY, s));
         cluster.add_client(&mut sim, azs[s as usize % azs.len()], source, stats.clone());
     }
     sim.run_until(SimTime::ZERO + SimDuration::from_secs(3));
@@ -49,7 +49,7 @@ fn run(label: &str, cfg: FsConfig) -> Outcome {
             }
         }
     }
-    let ops = stats.borrow().total_ok();
+    let ops = stats.lock().unwrap().total_ok();
     println!("  {label:<18} ops={ops:>8}");
     Outcome { ops, cross_az_gb: sim.cross_az_bytes() as f64 * scale as f64 / 1e9, per_pair }
 }

@@ -8,7 +8,7 @@
 use hopsfs::client::ClientStats;
 use hopsfs::{build_fs_cluster, FsConfig, OpKind};
 use simnet::{SimDuration, SimTime, Simulation};
-use std::rc::Rc;
+use std::sync::Arc;
 use workload::{Mix, Namespace, NamespaceSpec, SpotifySource};
 
 fn main() {
@@ -33,15 +33,15 @@ fn main() {
     println!("deploying {flavor} with {nns} namenodes (scale 1/{scale})…");
     let mut sim = Simulation::new(123);
     let mut cluster = build_fs_cluster(&mut sim, cfg, 0);
-    let ns = Rc::new(Namespace::generate(&NamespaceSpec::default()));
+    let ns = Arc::new(Namespace::generate(&NamespaceSpec::default()));
     ns.load_hopsfs(&mut sim, &mut cluster, 0);
 
     let sessions = (nns * 96 / scale).max(1);
     let stats = ClientStats::shared();
-    stats.borrow_mut().recording = false;
+    stats.lock().unwrap().recording = false;
     for s in 0..sessions as u64 {
         cluster.bulk_mkdir_p(&mut sim, &SpotifySource::private_dir_for(s));
-        let source = Box::new(SpotifySource::new(Rc::clone(&ns), Mix::SPOTIFY, s));
+        let source = Box::new(SpotifySource::new(Arc::clone(&ns), Mix::SPOTIFY, s));
         cluster.add_client(&mut sim, azs[s as usize % azs.len()], source, stats.clone());
     }
     println!("driving {sessions} closed-loop client sessions ({} unscaled)…", sessions * scale);
@@ -50,11 +50,11 @@ fn main() {
     let warmup = SimDuration::from_millis(1500);
     {
         let st = stats.clone();
-        sim.at(SimTime::ZERO + warmup, move |_| st.borrow_mut().recording = true);
+        sim.at(SimTime::ZERO + warmup, move |_| st.lock().unwrap().recording = true);
     }
     let wall = std::time::Instant::now();
     sim.run_until(SimTime::ZERO + warmup + SimDuration::from_secs(secs));
-    let st = stats.borrow();
+    let st = stats.lock().unwrap();
 
     println!("\n=== Spotify workload report ({flavor}, {nns} NNs) ===");
     println!(

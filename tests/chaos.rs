@@ -162,16 +162,16 @@ fn run_once(seed: u64, tracing: bool) -> Outcome {
 
     // Pre-fault steady-state window [4s, 6s).
     sim.run_until(s(4));
-    let t0 = probe_stats.borrow().total_ok();
+    let t0 = probe_stats.lock().unwrap().total_ok();
     sim.run_until(s(6));
-    let pre_ok = probe_stats.borrow().total_ok() - t0;
+    let pre_ok = probe_stats.lock().unwrap().total_ok() - t0;
     assert!(pre_ok > 0, "probe produced nothing pre-fault");
 
     // Ride through the fault window, then a post-heal window [30s, 32s).
     sim.run_until(s(30));
-    let t1 = probe_stats.borrow().total_ok();
+    let t1 = probe_stats.lock().unwrap().total_ok();
     sim.run_until(s(32));
-    let post_ok = probe_stats.borrow().total_ok() - t1;
+    let post_ok = probe_stats.lock().unwrap().total_ok() - t1;
     sim.run_until(s(34));
 
     // Every fault fired, in order.
@@ -187,7 +187,7 @@ fn run_once(seed: u64, tracing: bool) -> Outcome {
         assert!(c.done && c.idle(), "client {id} stuck with work in flight");
     }
     let (acked, completed, errors) = {
-        let l = log.borrow();
+        let l = log.lock().unwrap();
         let acked = l.acked_mkdirs.len() + l.acked_creates.len() - l.acked_deletes.len();
         (acked, l.completed, l.errors)
     };
@@ -201,7 +201,7 @@ fn run_once(seed: u64, tracing: bool) -> Outcome {
     );
 
     // Safety: every acked mutation is still visible after heal.
-    let audit = audit_ops(&log.borrow());
+    let audit = audit_ops(&log.lock().unwrap());
     assert_eq!(audit.len(), acked);
     let n_audit = audit.len();
     let auditor = cluster.add_client(
@@ -296,8 +296,8 @@ fn seeded_nemesis_schedule_heals_clean_and_replays_identically() {
 
 use hopsfs::chaos::orphaned_sto_locks;
 use hopsfs::NameNodeActor;
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Mutex;
+use std::sync::Arc;
 
 /// Re-issues one op until it is acknowledged, recording every verdict. A
 /// namenode crash mid-protocol surfaces as retryable errors (`Busy` while
@@ -305,7 +305,7 @@ use std::rc::Rc;
 /// counts as done when a re-issue returns `Ok`.
 struct RetryUntilAcked {
     op: FsOp,
-    verdicts: Rc<RefCell<Vec<Result<(), hopsfs::FsError>>>>,
+    verdicts: Arc<Mutex<Vec<Result<(), hopsfs::FsError>>>>,
     done: bool,
 }
 
@@ -319,7 +319,7 @@ impl OpSource for RetryUntilAcked {
     }
 
     fn on_result(&mut self, _op: &FsOp, result: &hopsfs::FsResult) {
-        self.verdicts.borrow_mut().push(result.as_ref().map(|_| ()).map_err(|e| *e));
+        self.verdicts.lock().unwrap().push(result.as_ref().map(|_| ()).map_err(|e| *e));
         if result.is_ok() {
             self.done = true;
         }
@@ -356,7 +356,7 @@ fn run_sto_crash(seed: u64) -> StoOutcome {
     cluster.bulk_add_file(&mut sim, "/big/keep", 4096);
     sim.run_until(SimTime::from_secs(3)); // elections settle
 
-    let verdicts: Rc<RefCell<Vec<Result<(), hopsfs::FsError>>>> = Rc::new(RefCell::new(Vec::new()));
+    let verdicts: Arc<Mutex<Vec<Result<(), hopsfs::FsError>>>> = Arc::new(Mutex::new(Vec::new()));
     let deleter = cluster.add_client(
         &mut sim,
         AzId(0),
@@ -385,9 +385,9 @@ fn run_sto_crash(seed: u64) -> StoOutcome {
     // Liveness: the delete was eventually acknowledged.
     {
         let c = sim.actor::<FsClientActor>(deleter);
-        assert!(c.done && c.idle(), "deleter stuck: verdicts={:?}", verdicts.borrow());
+        assert!(c.done && c.idle(), "deleter stuck: verdicts={:?}", verdicts.lock().unwrap());
     }
-    let verdicts = verdicts.borrow().clone();
+    let verdicts = verdicts.lock().unwrap().clone();
     assert_eq!(verdicts.last(), Some(&Ok(())), "final re-issue must succeed: {verdicts:?}");
 
     // The crash really interrupted a subtree op (the lock flag was left in
@@ -477,7 +477,7 @@ fn run_overload(seed: u64) -> OverloadOutcome {
 
     // A small namespace for the stat/open share of the mix, plus each
     // session's private directory.
-    let ns = Rc::new(Namespace::generate(&NamespaceSpec {
+    let ns = Arc::new(Namespace::generate(&NamespaceSpec {
         users: 2,
         dirs_per_user: 2,
         files_per_dir: 5,
@@ -495,7 +495,7 @@ fn run_overload(seed: u64) -> OverloadOutcome {
     let stats = ClientStats::shared();
     let mut ol_clients = Vec::new();
     for s in 0..SESSIONS {
-        let mut src = OverloadSource::new(Rc::clone(&ns), s);
+        let mut src = OverloadSource::new(Arc::clone(&ns), s);
         src.max_ops = Some(1200);
         let id = cluster.add_open_loop_client(
             &mut sim,
@@ -542,7 +542,7 @@ fn run_overload(seed: u64) -> OverloadOutcome {
     assert!(sheds > 0, "no request was shed under 2400 ops/s of offered load");
 
     // The audit: a shed request is never acked.
-    let audit = shed_audit(&sim, &view, &stats.borrow());
+    let audit = shed_audit(&sim, &view, &stats.lock().unwrap());
     assert!(audit.in_flight == 0, "namenodes still busy at quiesce: {audit:?}");
     assert!(audit.clean(), "shed accounting does not balance: {audit:?}");
 
@@ -552,7 +552,7 @@ fn run_overload(seed: u64) -> OverloadOutcome {
         (o + c.offered, d + c.dropped_arrivals)
     });
     let (ok, err) = {
-        let st = stats.borrow();
+        let st = stats.lock().unwrap();
         (st.total_ok(), st.total_err())
     };
     assert_eq!(offered, SESSIONS * 1200, "arrival stream was cut short");
@@ -609,9 +609,10 @@ struct AzOutcome {
     resyncs: u64,
 }
 
-fn run_az_outage(seed: u64) -> AzOutcome {
+fn run_az_outage(seed: u64, shards: u32) -> AzOutcome {
     let cfg = hopsfs::FsConfig::hopsfs_cl(6, 3, 6);
     let mut sim = Simulation::new(seed);
+    sim.set_shards(shards);
     sim.set_jitter(0.0);
     let mut cluster = hopsfs::build_fs_cluster(&mut sim, cfg, 6);
     let view = cluster.view.clone();
@@ -651,24 +652,24 @@ fn run_az_outage(seed: u64) -> AzOutcome {
 
     // Pre-fault steady state [4s, 6s).
     sim.run_until(s(4));
-    let t0 = probe_stats.borrow().total_ok();
+    let t0 = probe_stats.lock().unwrap().total_ok();
     sim.run_until(s(6));
-    let pre_ok = probe_stats.borrow().total_ok() - t0;
+    let pre_ok = probe_stats.lock().unwrap().total_ok() - t0;
     assert!(pre_ok > 0, "probe produced nothing pre-fault");
 
     // Mid-outage window [8s, 12s): the cluster must keep serving from the
     // two surviving AZs (2 of 3 replicas per node group are alive).
     sim.run_until(s(8));
-    let t1 = probe_stats.borrow().total_ok();
+    let t1 = probe_stats.lock().unwrap().total_ok();
     sim.run_until(s(12));
-    let during_ok = probe_stats.borrow().total_ok() - t1;
+    let during_ok = probe_stats.lock().unwrap().total_ok() - t1;
     assert!(during_ok > 0, "cluster stopped serving during the AZ outage");
 
     // Restore, recovery, and a post-heal window [26s, 28s).
     sim.run_until(s(26));
-    let t2 = probe_stats.borrow().total_ok();
+    let t2 = probe_stats.lock().unwrap().total_ok();
     sim.run_until(s(28));
-    let post_ok = probe_stats.borrow().total_ok() - t2;
+    let post_ok = probe_stats.lock().unwrap().total_ok() - t2;
     sim.run_until(s(30));
 
     let lines = trace.lines();
@@ -682,7 +683,7 @@ fn run_az_outage(seed: u64) -> AzOutcome {
         assert!(c.done && c.idle(), "client {id} stuck with work in flight");
     }
     let (acked, completed) = {
-        let l = log.borrow();
+        let l = log.lock().unwrap();
         (l.acked_mkdirs.len() + l.acked_creates.len() - l.acked_deletes.len(), l.completed)
     };
     assert_eq!(completed, 56, "every submitted op must terminate");
@@ -694,7 +695,7 @@ fn run_az_outage(seed: u64) -> AzOutcome {
     );
 
     // Safety: every acked mutation is still visible after heal.
-    let audit = audit_ops(&log.borrow());
+    let audit = audit_ops(&log.lock().unwrap());
     assert_eq!(audit.len(), acked);
     let n_audit = audit.len();
     let auditor = cluster.add_client(
@@ -754,9 +755,21 @@ fn run_az_outage(seed: u64) -> AzOutcome {
 
 #[test]
 fn az_outage_recovers_clean_and_replays_identically() {
-    let a = run_az_outage(17);
-    let b = run_az_outage(17);
+    let a = run_az_outage(17, 1);
+    let b = run_az_outage(17, 1);
     assert_eq!(a, b, "same-seed AZ-outage runs must be bit-identical");
+}
+
+/// The same whole-AZ outage schedule replayed on the conservative-parallel
+/// kernel: the complete Outcome — fault trace, event count, probe windows,
+/// audit counts, resyncs — must be bit-identical at every shard count.
+#[test]
+fn az_outage_outcome_is_shard_count_invariant() {
+    let reference = run_az_outage(17, 1);
+    for shards in [2, 4, 8] {
+        let got = run_az_outage(17, shards);
+        assert_eq!(got, reference, "AZ-outage outcome diverged at shards={shards}");
+    }
 }
 
 // --- Lease coherence under crash + partition --------------------------------
@@ -834,12 +847,13 @@ struct LeaseOutcome {
     pushes: u64,
 }
 
-fn run_lease_chaos(seed: u64) -> LeaseOutcome {
+fn run_lease_chaos(seed: u64, shards: u32) -> LeaseOutcome {
     const USERS: u64 = 3;
     let mut cfg = hopsfs::FsConfig::hopsfs_cl(6, 3, 3);
     cfg.lease.enabled = true;
     cfg.lease.ttl = SimDuration::from_secs(4);
     let mut sim = Simulation::new(seed);
+    sim.set_shards(shards);
     sim.set_jitter(0.0);
     let mut cluster = hopsfs::build_fs_cluster(&mut sim, cfg, 3);
     let view = cluster.view.clone();
@@ -867,7 +881,7 @@ fn run_lease_chaos(seed: u64) -> LeaseOutcome {
     sim.run_until(SimTime::from_secs(7));
 
     // Readers and mutators share one coherence monitor and one stats sink.
-    let monitor = Rc::new(RefCell::new(LeaseMonitor::default()));
+    let monitor = Arc::new(Mutex::new(LeaseMonitor::default()));
     let stats = ClientStats::shared();
     for az in [0u8, 1, 2, 0] {
         let id = cluster.add_client(
@@ -912,11 +926,11 @@ fn run_lease_chaos(seed: u64) -> LeaseOutcome {
 
     // The cache really served, conflicts really happened, and coherence held.
     let (hits, misses, invalidations) = {
-        let st = stats.borrow();
+        let st = stats.lock().unwrap();
         (st.lease_hits, st.lease_misses, st.lease_invalidations)
     };
     let (serves, acks, violations) = {
-        let m = monitor.borrow();
+        let m = monitor.lock().unwrap();
         (m.serves_checked, m.acks_recorded, lease_coherence(&m))
     };
     assert!(hits > 0, "no read was ever served from the lease cache");
@@ -955,7 +969,19 @@ fn run_lease_chaos(seed: u64) -> LeaseOutcome {
 
 #[test]
 fn lease_coherence_holds_under_crash_and_partition_and_replays_identically() {
-    let a = run_lease_chaos(17);
-    let b = run_lease_chaos(17);
+    let a = run_lease_chaos(17, 1);
+    let b = run_lease_chaos(17, 1);
     assert_eq!(a, b, "same-seed lease-chaos runs must be bit-identical");
+}
+
+/// The lease-coherence chaos schedule on the sharded kernel: cache hit/miss
+/// streams, revoke rounds, and the coherence verdict must not depend on the
+/// shard partition.
+#[test]
+fn lease_chaos_outcome_is_shard_count_invariant() {
+    let reference = run_lease_chaos(17, 1);
+    for shards in [2, 4, 8] {
+        let got = run_lease_chaos(17, shards);
+        assert_eq!(got, reference, "lease-chaos outcome diverged at shards={shards}");
+    }
 }

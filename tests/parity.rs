@@ -6,7 +6,7 @@
 use hopsfs::client::ClientStats;
 use hopsfs::{FsOk, FsOp, FsPath, ScriptedSource};
 use simnet::{AzId, SimDuration, SimTime, Simulation};
-use std::rc::Rc;
+use std::sync::Arc;
 use workload::{Namespace, NamespaceSpec};
 
 fn p(s: &str) -> FsPath {
@@ -94,7 +94,7 @@ fn fixed_scenario_gives_identical_results() {
 #[test]
 fn generated_namespace_loads_identically_into_both_systems() {
     let spec = NamespaceSpec { users: 6, dirs_per_user: 2, files_per_dir: 3, ..Default::default() };
-    let ns = Rc::new(Namespace::generate(&spec));
+    let ns = Arc::new(Namespace::generate(&spec));
 
     // Load into HopsFS via bulk loader; verify through the protocol.
     let mut sim = Simulation::new(4);
@@ -128,7 +128,7 @@ fn generated_namespace_loads_identically_into_both_systems() {
     match &hops_results[0] {
         Ok(FsOk::Listing(entries)) => {
             assert_eq!(entries.len(), spec.files_per_dir);
-            let ceph_listing = ceph.ns.borrow().list("/user/u0/d0").unwrap();
+            let ceph_listing = ceph.ns.lock().unwrap().list("/user/u0/d0").unwrap();
             let mut a: Vec<String> = entries.iter().map(|e| e.name.clone()).collect();
             let mut b: Vec<String> = ceph_listing.iter().map(|e| e.name.clone()).collect();
             a.sort();
@@ -138,7 +138,7 @@ fn generated_namespace_loads_identically_into_both_systems() {
         other => panic!("hopsfs listing failed: {other:?}"),
     }
     assert!(hops_results[1].is_ok(), "hottest file must exist in hopsfs");
-    assert!(ceph.ns.borrow().get(&ns.files[0]).is_some(), "hottest file must exist in cephfs");
+    assert!(ceph.ns.lock().unwrap().get(&ns.files[0]).is_some(), "hottest file must exist in cephfs");
     match &hops_results[2] {
         Ok(FsOk::Listing(entries)) => assert_eq!(entries.len(), spec.users),
         other => panic!("/user listing failed: {other:?}"),
@@ -305,8 +305,8 @@ impl Oracle {
 }
 
 /// Generates a deterministic Spotify-mix trace of `n` ops for session 0.
-fn spotify_trace(ns: &Rc<Namespace>, n: u64, seed: u64) -> Vec<FsOp> {
-    let mut src = SpotifySource::new(Rc::clone(ns), Mix::SPOTIFY, 0);
+fn spotify_trace(ns: &Arc<Namespace>, n: u64, seed: u64) -> Vec<FsOp> {
+    let mut src = SpotifySource::new(Arc::clone(ns), Mix::SPOTIFY, 0);
     src.max_ops = Some(n);
     let mut rng = StdRng::seed_from_u64(seed);
     let mut ops = Vec::new();
@@ -320,7 +320,7 @@ fn spotify_trace(ns: &Rc<Namespace>, n: u64, seed: u64) -> Vec<FsOp> {
     ops
 }
 
-fn run_hopsfs_loaded(ns: &Rc<Namespace>, ops: Vec<FsOp>) -> Vec<hopsfs::FsResult> {
+fn run_hopsfs_loaded(ns: &Arc<Namespace>, ops: Vec<FsOp>) -> Vec<hopsfs::FsResult> {
     let n = ops.len();
     let mut sim = Simulation::new(11);
     sim.set_jitter(0.0);
@@ -338,7 +338,7 @@ fn run_hopsfs_loaded(ns: &Rc<Namespace>, ops: Vec<FsOp>) -> Vec<hopsfs::FsResult
     sim.actor::<hopsfs::FsClientActor>(c).results.clone()
 }
 
-fn run_ceph_loaded(ns: &Rc<Namespace>, ops: Vec<FsOp>) -> Vec<hopsfs::FsResult> {
+fn run_ceph_loaded(ns: &Arc<Namespace>, ops: Vec<FsOp>) -> Vec<hopsfs::FsResult> {
     let n = ops.len();
     let mut sim = Simulation::new(11);
     sim.set_jitter(0.0);
@@ -391,7 +391,7 @@ fn matches_oracle(sys: &hopsfs::FsResult, oracle: &Result<OracleOk, FsError>) ->
 #[test]
 fn spotify_trace_replays_identically_on_all_systems() {
     let spec = NamespaceSpec { users: 6, dirs_per_user: 2, files_per_dir: 3, ..Default::default() };
-    let ns = Rc::new(Namespace::generate(&spec));
+    let ns = Arc::new(Namespace::generate(&spec));
     let mut ops = spotify_trace(&ns, 140, 0x50_71f7);
 
     // Adversarial tail: error verdicts must agree too. All of these target
@@ -465,11 +465,11 @@ fn spotify_trace_replays_identically_on_all_systems() {
 #[test]
 fn subtree_mix_replays_identically_on_all_systems() {
     let spec = NamespaceSpec { users: 4, dirs_per_user: 2, files_per_dir: 2, ..Default::default() };
-    let ns = Rc::new(Namespace::generate(&spec));
+    let ns = Arc::new(Namespace::generate(&spec));
     let mut rng = StdRng::seed_from_u64(0x5073);
 
     // Spotify trace with every delete pick expanded into a subtree burst.
-    let mut src = SpotifySource::new(Rc::clone(&ns), Mix::SPOTIFY, 0);
+    let mut src = SpotifySource::new(Arc::clone(&ns), Mix::SPOTIFY, 0);
     src.subtree_burst = 1.0;
     src.max_ops = Some(180);
     let mut ops = Vec::new();
@@ -486,7 +486,7 @@ fn subtree_mix_replays_identically_on_all_systems() {
     // the oracle see the same sequence.
     ops.push(FsOp::Mkdir { path: p("/micro") });
     ops.push(FsOp::Mkdir { path: p(&MicroSource::private_dir_for(0)) });
-    let mut micro = MicroSource::new(MicroOp::Subtree, Rc::clone(&ns), 0, 0);
+    let mut micro = MicroSource::new(MicroOp::Subtree, Arc::clone(&ns), 0, 0);
     micro.max_ops = Some(18); // 3 full rounds
     while let Some(op) = micro.next_op(&mut rng, SimTime::ZERO) {
         ops.push(op);
@@ -538,13 +538,13 @@ fn subtree_mix_replays_identically_on_all_systems() {
 
 // --- Caching on/off parity: leases move latency, never correctness ---------
 
-use std::cell::RefCell;
+use std::sync::Mutex;
 
 /// Generates a deterministic skewed read-heavy trace for session 0 (the
 /// `fig_client_cache` workload shape: 97% metadata reads over a zipfian hot
 /// set, a trickle of conflicting mutations).
-fn read_heavy_trace(ns: &Rc<Namespace>, n: u64, seed: u64) -> Vec<FsOp> {
-    let mut src = SpotifySource::new(Rc::clone(ns), Mix::READ_HEAVY, 0);
+fn read_heavy_trace(ns: &Arc<Namespace>, n: u64, seed: u64) -> Vec<FsOp> {
+    let mut src = SpotifySource::new(Arc::clone(ns), Mix::READ_HEAVY, 0);
     src.max_ops = Some(n);
     let mut rng = StdRng::seed_from_u64(seed);
     let mut ops = Vec::new();
@@ -557,7 +557,7 @@ fn read_heavy_trace(ns: &Rc<Namespace>, n: u64, seed: u64) -> Vec<FsOp> {
 
 /// Runs a trace through HopsFS-CL with the leased client cache on or off,
 /// returning the results plus (hits, coherence violations) from the run.
-fn run_hopsfs_cached(ns: &Rc<Namespace>, ops: Vec<FsOp>, caching: bool) -> (Vec<hopsfs::FsResult>, u64, u64) {
+fn run_hopsfs_cached(ns: &Arc<Namespace>, ops: Vec<FsOp>, caching: bool) -> (Vec<hopsfs::FsResult>, u64, u64) {
     let n = ops.len();
     let mut sim = Simulation::new(11);
     sim.set_jitter(0.0);
@@ -571,7 +571,7 @@ fn run_hopsfs_cached(ns: &Rc<Namespace>, ops: Vec<FsOp>, caching: bool) -> (Vec<
     // missing for the whole trace.
     sim.run_until(SimTime::from_secs(7));
     let stats = hopsfs::client::ClientStats::shared();
-    let monitor = Rc::new(RefCell::new(hopsfs::LeaseMonitor::default()));
+    let monitor = Arc::new(Mutex::new(hopsfs::LeaseMonitor::default()));
     let c = cluster.add_client(&mut sim, AzId(0), Box::new(ScriptedSource::new(ops)), stats.clone());
     {
         let a = sim.actor_mut::<hopsfs::FsClientActor>(c);
@@ -584,8 +584,8 @@ fn run_hopsfs_cached(ns: &Rc<Namespace>, ops: Vec<FsOp>, caching: bool) -> (Vec<
         sim.run_until(t);
     }
     let results = sim.actor::<hopsfs::FsClientActor>(c).results.clone();
-    let hits = stats.borrow().lease_hits;
-    let violations = hopsfs::lease_coherence(&monitor.borrow());
+    let hits = stats.lock().unwrap().lease_hits;
+    let violations = hopsfs::lease_coherence(&monitor.lock().unwrap());
     (results, hits, violations)
 }
 
@@ -597,7 +597,7 @@ fn run_hopsfs_cached(ns: &Rc<Namespace>, ops: Vec<FsOp>, caching: bool) -> (Vec<
 #[test]
 fn read_heavy_trace_replays_identically_with_caching_on_and_off() {
     let spec = NamespaceSpec { users: 6, dirs_per_user: 2, files_per_dir: 3, ..Default::default() };
-    let ns = Rc::new(Namespace::generate(&spec));
+    let ns = Arc::new(Namespace::generate(&spec));
     let mut ops = read_heavy_trace(&ns, 220, 0xCAC4E);
 
     // Quiesce probes over every region the trace touched.
