@@ -214,6 +214,24 @@ pub fn recovering_read_violations(sim: &Simulation, view: &FsView) -> u64 {
         .sum()
 }
 
+/// The epoch-fenced routing invariant of online NDB node-group
+/// reconfiguration (see `ndb::mgmt`): **no write is ever applied under a
+/// superseded partition-map epoch.** Every prepare carries the coordinator's
+/// epoch; a datanode whose committed epoch has moved past it refuses the row
+/// (the transaction aborts `WrongEpoch` and the client retries under the new
+/// map), and counts any slip in `epoch_stale_applies`. Returns the total
+/// across all NDB datanodes — must be zero in every run, reconfigurations
+/// and faults included. Pair with a client-side ack replay
+/// ([`audit_ops`]-style) to cover the second half of the invariant: no
+/// acked mutation is lost across an epoch change.
+pub fn epoch_routing(sim: &Simulation, view: &FsView) -> u64 {
+    view.ndb
+        .datanode_ids
+        .iter()
+        .map(|&id| sim.actor::<DatanodeActor>(id).stats.epoch_stale_applies)
+        .sum()
+}
+
 /// The client-cache coherence invariant: **no read is ever served from a
 /// cache entry whose lease outlived an acked conflicting mutation.**
 /// Returns the violation count observed by the experiment's shared

@@ -207,6 +207,10 @@ pub struct FsClientActor {
     active: Vec<ActiveNn>,
     awaiting_active: bool,
     active_sent_at: SimTime,
+    /// Highest pool-membership epoch seen on any response (see
+    /// [`crate::elastic`]); a higher epoch on a response invalidates the
+    /// cached active list.
+    membership_epoch: u64,
     next_req: u64,
     pending: Option<Pending>,
     /// Per-op timeout before the namenode is declared failed.
@@ -254,6 +258,7 @@ impl FsClientActor {
             active: Vec::new(),
             awaiting_active: false,
             active_sent_at: SimTime::ZERO,
+            membership_epoch: 0,
             next_req: 0,
             pending: None,
             op_timeout: SimDuration::from_secs(4),
@@ -270,9 +275,9 @@ impl FsClientActor {
     }
 
     fn pick_nn(&mut self, rng: &mut StdRng) -> Option<NodeId> {
-        if let Some(domain) = self.domain {
-            // AZ-aware policy: same-AZ active namenode, else random active.
-            if !self.active.is_empty() {
+        if !self.active.is_empty() {
+            if let Some(domain) = self.domain {
+                // AZ-aware policy: same-AZ active namenode, else random active.
                 let local: Vec<&ActiveNn> = self
                     .active
                     .iter()
@@ -284,6 +289,11 @@ impl FsClientActor {
                     local.choose(rng).copied()
                 };
                 return chosen.map(|n| NodeId(n.node_id));
+            }
+            if self.view.config.elastic.enabled {
+                // Elastic pool: only members serve — a static pick would
+                // land on a parked namenode and bounce.
+                return self.active.choose(rng).map(|n| NodeId(n.node_id));
             }
         }
         // Vanilla (or no active list yet): random from the static deployment.
@@ -441,6 +451,17 @@ impl FsClientActor {
                 mon.lock().unwrap().record_ack(notice, ctx.now());
             }
         }
+        // Pool-membership epoch piggyback (see `crate::elastic`): a higher
+        // epoch means the namenode pool grew or shrank — the cached active
+        // list no longer reflects who serves. Adopt lazily: drop the list
+        // and re-fetch; no controller broadcast to every client needed.
+        if resp.membership_epoch > self.membership_epoch {
+            self.membership_epoch = resp.membership_epoch;
+            self.active.clear();
+            if !self.awaiting_active {
+                self.fetch_active(ctx);
+            }
+        }
         match &self.pending {
             Some(p) if p.req_id == resp.req_id => {}
             _ => return, // stale (timed-out attempt answered late)
@@ -450,7 +471,11 @@ impl FsClientActor {
             // is a plain resend (not an idempotent retry), and the server's
             // retry-after hint overrides the local backoff curve. Stay on
             // the same namenode — it is alive, just saturated, and its gate
-            // trickle decides when we get through.
+            // trickle decides when we get through. Exception: `redirect`
+            // marks a namenode that is out of the pool (parked, booting or
+            // draining) — backing off against it would never succeed, so
+            // drop it and re-pick a member instead.
+            let redirect = resp.redirect;
             let p = self.pending.as_mut().expect("pending op");
             p.attempt += 1;
             if p.attempt > self.max_attempts {
@@ -467,7 +492,13 @@ impl FsClientActor {
             // Mask the op timeout until the resend fires.
             p.sent_at = now + d;
             let layer = ctx.layer();
-            ctx.metrics().inc(layer, "overload_backoff", 1);
+            if redirect {
+                self.my_nn = None;
+                self.active.clear();
+                ctx.metrics().inc(layer, "elastic_redirect_repicks", 1);
+            } else {
+                ctx.metrics().inc(layer, "overload_backoff", 1);
+            }
             ctx.metrics().record_hist(layer, "retry_backoff_ns", d.as_nanos());
             ctx.span_at("overload_backoff", "retry", p.span, now, now + d);
             let resend = RetryNow { req_id: p.req_id, attempt: p.attempt };
@@ -591,7 +622,9 @@ impl FsClientActor {
             Some(p) if p.req_id == m.req_id && p.attempt == m.attempt => {}
             _ => return, // answered or superseded while backing off
         }
-        if self.domain.is_some() && !self.awaiting_active {
+        let needs_list = self.domain.is_some()
+            || (self.view.config.elastic.enabled && self.active.is_empty());
+        if needs_list && !self.awaiting_active {
             self.fetch_active(ctx);
         } else {
             self.send_pending(ctx);
@@ -608,7 +641,7 @@ impl FsClientActor {
 impl Actor for FsClientActor {
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         ctx.schedule(SimDuration::from_millis(250), TickClient);
-        if self.domain.is_some() {
+        if self.domain.is_some() || self.view.config.elastic.enabled {
             self.fetch_active(ctx);
         } else {
             self.issue_next(ctx);
@@ -659,6 +692,9 @@ impl Actor for FsClientActor {
             Ok(m) => {
                 self.awaiting_active = false;
                 self.active = m.nns;
+                if m.membership_epoch > self.membership_epoch {
+                    self.membership_epoch = m.membership_epoch;
+                }
                 // Re-send only if the pending request has no namenode yet
                 // (failover repick); an already-sent request must not be
                 // duplicated to a second namenode.

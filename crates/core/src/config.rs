@@ -128,6 +128,77 @@ pub struct FsConfig {
     /// default: every existing experiment measures the server-side-only
     /// system; the client-cache experiments flip `enabled`.
     pub lease: LeaseConfig,
+    /// Elastic namenode-pool serving (see [`crate::elastic`]). Off by
+    /// default: every existing experiment runs the static pool; the
+    /// elasticity experiments flip `enabled`.
+    pub elastic: ElasticConfig,
+}
+
+/// Namenode pool autoscaling knobs (see [`crate::elastic`] for the
+/// controller).
+///
+/// The controller watches the pool-mean composite overload signal (the same
+/// worker-backlog + NDB-hint signal the admission gates use) and keeps it
+/// inside the `[scale_down_threshold, scale_up_threshold]` band by
+/// activating parked namenodes or draining serving ones. Spread the two
+/// thresholds far apart and hold `cooldown` between actions — that is the
+/// hysteresis that keeps a noisy signal from flapping the pool.
+#[derive(Debug, Clone, Copy)]
+pub struct ElasticConfig {
+    /// Master switch. When off, all `nn_count` namenodes serve from t=0 and
+    /// the wire protocol is exactly the static system.
+    pub enabled: bool,
+    /// Namenodes serving at t=0; indices at and above this park (boot idle,
+    /// own no election row, shed every request with a redirect).
+    pub initial_active: usize,
+    /// Floor on the serving count: the controller never drains below this.
+    pub min_active: usize,
+    /// Cold-start cost: a parked namenode takes this long from `NnActivate`
+    /// to serving its first request (process launch, NDB session setup).
+    pub boot_delay: SimDuration,
+    /// Cache-warm penalty: the first `warm_ops` admitted operations on a
+    /// freshly activated namenode pay `warm_cost_pct` extra base cost (its
+    /// inode-hint cache is empty, so early ops walk more of the path).
+    pub warm_ops: u64,
+    /// Extra base-cost percentage while warming (150 = 2.5× `op_base`).
+    pub warm_cost_pct: u32,
+    /// Pool-mean composite signal above which one namenode is activated.
+    pub scale_up_threshold: SimDuration,
+    /// Pool-mean composite signal below which one namenode is drained.
+    pub scale_down_threshold: SimDuration,
+    /// Controller evaluation period.
+    pub eval_period: SimDuration,
+    /// Minimum gap between scaling actions (hysteresis).
+    pub cooldown: SimDuration,
+    /// How long the controller waits for `NnDrainDone` before force-parking
+    /// a draining namenode (covers a namenode crash mid-drain; the node is
+    /// already out of the membership, so clients have moved on).
+    pub drain_timeout: SimDuration,
+    /// Minimum time a draining namenode lingers before parking, even when
+    /// idle: the membership update removing it propagates to clients lazily
+    /// (piggybacked on responses), so requests routed under the old epoch
+    /// may still be in the air when the drain order arrives. Must be below
+    /// `drain_timeout`.
+    pub drain_grace: SimDuration,
+}
+
+impl Default for ElasticConfig {
+    fn default() -> Self {
+        ElasticConfig {
+            enabled: false,
+            initial_active: 1,
+            min_active: 1,
+            boot_delay: SimDuration::from_secs(2),
+            warm_ops: 2_000,
+            warm_cost_pct: 150,
+            scale_up_threshold: SimDuration::from_millis(60),
+            scale_down_threshold: SimDuration::from_millis(5),
+            eval_period: SimDuration::from_millis(500),
+            cooldown: SimDuration::from_secs(4),
+            drain_timeout: SimDuration::from_secs(3),
+            drain_grace: SimDuration::from_millis(200),
+        }
+    }
 }
 
 /// Client-side lease-cache knobs (see [`crate::lease`] for the protocol).
@@ -268,6 +339,7 @@ impl FsConfig {
             subtree_batch_size: 256,
             admission: AdmissionConfig::default(),
             lease: LeaseConfig::default(),
+            elastic: ElasticConfig::default(),
         }
     }
 

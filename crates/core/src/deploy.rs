@@ -71,6 +71,8 @@ pub fn build_fs_cluster(sim: &mut Simulation, cfg: FsConfig, dn_count: usize) ->
     } else {
         Vec::new()
     };
+    let controller_base = cloud_base + cloud_ids.len() as u32;
+    let controller_id = cfg.elastic.enabled.then_some(NodeId(controller_base));
 
     let view = FsView {
         ndb: Arc::clone(&ndb.view),
@@ -82,6 +84,7 @@ pub fn build_fs_cluster(sim: &mut Simulation, cfg: FsConfig, dn_count: usize) ->
         dn_ids: dn_ids.clone(),
         dn_azs: dn_azs.clone(),
         cloud_ids: cloud_ids.clone(),
+        controller_id,
     }
     .shared();
 
@@ -117,6 +120,17 @@ pub fn build_fs_cluster(sim: &mut Simulation, cfg: FsConfig, dn_count: usize) ->
     } else {
         None
     };
+
+    // The namenode pool controller (see `crate::elastic`): its own host in
+    // the first AZ, outside the serving path.
+    if let Some(cid) = controller_id {
+        let loc = Location { az: view.config.azs[0], host: HostId(controller_base) };
+        let id = sim.add_node(
+            NodeSpec::new("nn-controller", loc).with_layer("elastic"),
+            Box::new(crate::elastic::ElasticController::new(Arc::clone(&view))),
+        );
+        assert_eq!(id, cid, "node id prediction drifted");
+    }
 
     let mut cluster =
         FsCluster { view, ndb, cloud, bulk_next_id: InodeId::ROOT.0 + 1, bulk_dirs: HashMap::new() };
@@ -288,6 +302,7 @@ pub fn build_fs_view_for_tests(cfg: FsConfig, dn_count: usize) -> Arc<FsView> {
         dn_ids: (3000..3000 + dn_count as u32).map(NodeId).collect(),
         dn_azs: (0..dn_count).map(|i| azs[i % azs.len()]).collect(),
         cloud_ids: Vec::new(),
+        controller_id: None,
         config: cfg,
     }
     .shared()

@@ -29,6 +29,7 @@ pub mod client;
 pub mod cloudstore;
 pub mod config;
 pub mod deploy;
+pub mod elastic;
 pub mod hintcache;
 pub mod lease;
 pub mod meta;
@@ -42,12 +43,16 @@ pub mod types;
 pub mod view;
 
 pub use chaos::{
-    audit_ops, check_invariants, fragment_divergence, lease_coherence,
+    audit_ops, check_invariants, epoch_routing, fragment_divergence, lease_coherence,
     recovering_read_violations, shed_audit, ChaosLog, InvariantReport, ShedAudit, TrackedSource,
 };
 pub use client::{ClientStats, FsClientActor, OpSource, ScriptedSource};
-pub use config::{AdmissionConfig, BlockBackend, FsConfig, LeaseConfig, NnCostModel, PlacementPolicy};
+pub use config::{
+    AdmissionConfig, BlockBackend, ElasticConfig, FsConfig, LeaseConfig, NnCostModel,
+    PlacementPolicy,
+};
 pub use deploy::{build_fs_cluster, FsCluster};
+pub use elastic::{ElasticController, ElasticStats, NnPoolState};
 pub use hintcache::HintCache;
 pub use lease::{LeaseCache, LeaseGrant, LeaseMonitor, LeaseTable, MutationNotice};
 pub use namenode::{NameNodeActor, NnStats};

@@ -22,6 +22,9 @@
 use crate::block::{InvalidateBlock, ReplicaCopied, ReplicateBlockCmd, StoreBlock};
 use crate::cloudstore::{DeleteObject, PutObject, PutObjectAck, CLOUD_LOCATION};
 use crate::config::{BlockBackend, FsConfig};
+use crate::elastic::{
+    MembershipUpdate, NnActivate, NnDrain, NnDrainDone, NnLoadReport, NnPoolState, NnServing,
+};
 use crate::hintcache::HintCache;
 use crate::lease::{
     LeaseGrant, LeaseInvalidate, LeaseInvalidateAck, LeaseRenew, LeaseRenewAck, LeaseRevokeAck,
@@ -58,6 +61,9 @@ const CACHE_CAP: usize = 65_536;
 struct TickElection;
 #[derive(Debug, Clone)]
 struct TickSweep;
+/// Activation boot delay elapsed: the namenode starts serving.
+#[derive(Debug, Clone)]
+struct BootDone;
 #[derive(Debug, Clone)]
 struct OpResume {
     op: u64,
@@ -122,6 +128,11 @@ pub struct NnStats {
     pub lease_renewals_ok: u64,
     /// Lease renewals shed by the maintenance-class admission gate.
     pub lease_renewals_shed: u64,
+    /// Requests refused with a redirect because this namenode was parked,
+    /// booting or draining (elastic pool only).
+    pub elastic_redirects: u64,
+    /// Operations that paid the post-activation cache-warm penalty.
+    pub warm_penalty_ops: u64,
 }
 
 impl NnStats {
@@ -426,6 +437,25 @@ pub struct NameNodeActor {
     /// full lease ttl past detection holds no unexpired grants and is
     /// exempted from revoke rounds.
     nn_departed_at: BTreeMap<u32, SimTime>,
+    /// Where this namenode is in the elastic pool lifecycle. Always
+    /// `Serving` when the pool is static (`elastic.enabled == false`).
+    serve_state: NnPoolState,
+    /// Latest pool membership epoch seen (0 = static deployment).
+    membership_epoch: u64,
+    /// Serving namenode indices per the latest [`MembershipUpdate`].
+    membership: Vec<u32>,
+    /// Admitted ops remaining under the post-activation cache-warm penalty.
+    warm_left: u64,
+    /// `admission_shed` high-water mark already reported to the controller.
+    shed_reported: u64,
+    /// When the current drain began (meaningful only while `Draining`).
+    drain_since: SimTime,
+    /// Largest composite overload signal observed at a request arrival since
+    /// the last load report. A point sample at the sweep tick reads near
+    /// zero whenever the worker lane drains between ticks; the windowed peak
+    /// keeps the controller's signal monotone in utilization below the
+    /// saturation knee, which is what makes the hysteresis band usable.
+    signal_peak: SimDuration,
     /// Statistics.
     pub stats: NnStats,
 }
@@ -446,6 +476,15 @@ impl NameNodeActor {
             Gate::new(adm.batch_threshold, adm.trickle_per_sec, adm.retry_floor),
             Gate::new(adm.maintenance_threshold, adm.trickle_per_sec, adm.retry_floor),
         ];
+        let el = view.config.elastic;
+        let (serve_state, membership_epoch, membership) = if el.enabled {
+            let initial = el.initial_active.clamp(1, view.nn_ids.len());
+            let state =
+                if my_idx < initial { NnPoolState::Serving } else { NnPoolState::Parked };
+            (state, 1, (0..initial as u32).collect())
+        } else {
+            (NnPoolState::Serving, 0, (0..view.nn_ids.len() as u32).collect())
+        };
         NameNodeActor {
             view,
             my_idx,
@@ -480,8 +519,25 @@ impl NameNodeActor {
             lease_grace_until: SimTime::ZERO,
             lease_grants_from: SimTime::ZERO,
             nn_departed_at: BTreeMap::new(),
+            serve_state,
+            membership_epoch,
+            membership,
+            warm_left: 0,
+            shed_reported: 0,
+            drain_since: SimTime::ZERO,
+            signal_peak: SimDuration::ZERO,
             stats: NnStats::default(),
         }
+    }
+
+    /// Where this namenode is in the elastic pool lifecycle.
+    pub fn serve_state(&self) -> NnPoolState {
+        self.serve_state
+    }
+
+    /// Latest pool membership epoch seen (0 = static deployment).
+    pub fn membership_epoch(&self) -> u64 {
+        self.membership_epoch
     }
 
     /// Number of in-flight (admitted, unfinished) operations.
@@ -551,6 +607,28 @@ impl NameNodeActor {
         let now = ctx.now();
         let kind = req.op.kind();
         self.stats.requests_received += 1;
+        if self.serve_state != NnPoolState::Serving {
+            // Parked, booting or draining: refuse with a redirect carrying
+            // the membership epoch, so the client re-discovers the serving
+            // set instead of backing off against a non-member. Direct send
+            // — a parked namenode has no business charging worker time.
+            self.stats.elastic_redirects += 1;
+            let mut resp = FsResponse::plain(
+                req.req_id,
+                Err(FsError::Overloaded { retry_after: SimDuration::from_millis(10) }),
+            );
+            resp.membership_epoch = self.membership_epoch;
+            resp.redirect = true;
+            ctx.set_span(req.span);
+            ctx.send_sized(from, 64, resp);
+            return;
+        }
+        if self.cfg().elastic.enabled {
+            let s = self.overload_signal(ctx);
+            if s > self.signal_peak {
+                self.signal_peak = s;
+            }
+        }
         if self.cfg().admission.enabled {
             let signal = self.overload_signal(ctx);
             // Salted per (request, namenode): clients shed in the same burst
@@ -569,11 +647,10 @@ impl NameNodeActor {
                     ctx.metrics().inc(layer, "admission_shed_interactive", 1);
                     ctx.span_at("shed_interactive", "admission", req.span, now, now);
                     ctx.set_span(req.span);
-                    ctx.send_sized(
-                        from,
-                        64,
-                        FsResponse::plain(req.req_id, Err(FsError::Overloaded { retry_after })),
-                    );
+                    let mut resp =
+                        FsResponse::plain(req.req_id, Err(FsError::Overloaded { retry_after }));
+                    resp.membership_epoch = self.membership_epoch;
+                    ctx.send_sized(from, 64, resp);
                     return;
                 }
             }
@@ -620,8 +697,17 @@ impl NameNodeActor {
         };
         self.ops.insert(op_id, octx);
         self.reset_op_state(op_id);
-        // Admission: the op starts once a worker thread picks it up.
-        let cost = self.cfg().nn_costs.op_base;
+        // Admission: the op starts once a worker thread picks it up. A
+        // freshly activated namenode pays the cache-warm penalty: its
+        // inode-hint cache is empty, so early ops cost extra until the
+        // working set refills.
+        let mut cost = self.cfg().nn_costs.op_base;
+        if self.warm_left > 0 {
+            self.warm_left -= 1;
+            self.stats.warm_penalty_ops += 1;
+            let pct = u64::from(self.cfg().elastic.warm_cost_pct);
+            cost += SimDuration::from_nanos(cost.as_nanos().saturating_mul(pct) / 100);
+        }
         ctx.execute_then(NN_WORKER, cost, OpResume { op: op_id });
     }
 
@@ -676,7 +762,15 @@ impl NameNodeActor {
         }
         let cost = self.cfg().nn_costs.op_finish;
         let done = ctx.execute(NN_WORKER, cost);
-        ctx.send_sized_from(done, client, 256, FsResponse { req_id, result, lease, notice });
+        let resp = FsResponse {
+            req_id,
+            result,
+            lease,
+            notice,
+            membership_epoch: self.membership_epoch,
+            redirect: false,
+        };
+        ctx.send_sized_from(done, client, 256, resp);
     }
 
     /// Removes the op and releases its bookkeeping (tx mapping, STO root,
@@ -2617,7 +2711,8 @@ impl NameNodeActor {
     // ----- transaction event dispatch ---------------------------------------
 
     fn on_tx_response(&mut self, ctx: &mut Ctx<'_>, resp: ndb::messages::TxResponse) {
-        if let Some(ev) = self.kernel().on_response(resp) {
+        let now = ctx.now();
+        if let Some(ev) = self.kernel().on_response(now, resp) {
             self.on_tx_event(ctx, ev);
         }
     }
@@ -3158,6 +3253,14 @@ impl NameNodeActor {
     }
 
     fn on_tick_election(&mut self, ctx: &mut Ctx<'_>) {
+        // A parked or booting namenode owns no election row: it falls out
+        // of every peer's active set like a dead node would, and rejoins by
+        // bumping again once it serves. (Draining nodes keep bumping — their
+        // lease revoke rounds still need peers to see them.)
+        if matches!(self.serve_state, NnPoolState::Parked | NnPoolState::Booting) {
+            ctx.schedule(self.cfg().election_period, TickElection);
+            return;
+        }
         self.counter += 1;
         let election = self.fs().election;
         let me = ctx.me();
@@ -3185,7 +3288,26 @@ impl NameNodeActor {
     }
 
     fn on_get_active(&mut self, ctx: &mut Ctx<'_>, from: NodeId) {
-        let resp = if self.active.is_empty() {
+        let resp = if self.cfg().elastic.enabled {
+            // Elastic pool: the controller's versioned membership is the
+            // authority (the election view lags it by up to a round, which
+            // is exactly the window a drained node must not be offered in).
+            ActiveNns {
+                leader_idx: self.leader_idx,
+                nns: self
+                    .membership
+                    .iter()
+                    .map(|&i| ActiveNn {
+                        nn_idx: i,
+                        node_id: self.view.nn_ids[i as usize].0,
+                        location_domain: self.view.nn_domains[i as usize]
+                            .map(|a| a.0)
+                            .unwrap_or(255),
+                    })
+                    .collect(),
+                membership_epoch: self.membership_epoch,
+            }
+        } else if self.active.is_empty() {
             // Before the first election round completes, report the static
             // deployment so clients can bootstrap.
             ActiveNns {
@@ -3197,9 +3319,14 @@ impl NameNodeActor {
                         location_domain: self.view.nn_domains[i].map(|a| a.0).unwrap_or(255),
                     })
                     .collect(),
+                membership_epoch: 0,
             }
         } else {
-            ActiveNns { leader_idx: self.leader_idx, nns: self.active.clone() }
+            ActiveNns {
+                leader_idx: self.leader_idx,
+                nns: self.active.clone(),
+                membership_epoch: 0,
+            }
         };
         let done = ctx.execute(NN_WORKER, SimDuration::from_micros(30));
         ctx.send_sized_from(done, from, 64 + 16 * resp.nns.len() as u64, resp);
@@ -3230,7 +3357,80 @@ impl NameNodeActor {
             self.pump_sto_cleanup(ctx);
         }
         self.lease_sweep(ctx, now);
+        if self.cfg().elastic.enabled {
+            if self.serve_state == NnPoolState::Serving {
+                if let Some(controller) = self.view.controller_id {
+                    let signal = self.overload_signal(ctx).max(self.signal_peak);
+                    self.signal_peak = SimDuration::ZERO;
+                    let report = NnLoadReport {
+                        nn_idx: self.my_idx as u32,
+                        signal_ns: signal.as_nanos(),
+                        shed_delta: self.stats.admission_shed - self.shed_reported,
+                    };
+                    self.shed_reported = self.stats.admission_shed;
+                    ctx.send_sized(controller, 48, report);
+                }
+            }
+            self.check_drain_done(ctx);
+        }
         ctx.schedule(SimDuration::from_millis(50), TickSweep);
+    }
+
+    // ----- elastic pool lifecycle -------------------------------------------
+
+    fn on_nn_activate(&mut self, ctx: &mut Ctx<'_>) {
+        if self.serve_state != NnPoolState::Parked {
+            return; // duplicate or raced with a drain; the controller owns ordering
+        }
+        self.serve_state = NnPoolState::Booting;
+        ctx.schedule(self.cfg().elastic.boot_delay, BootDone);
+    }
+
+    fn on_boot_done(&mut self, ctx: &mut Ctx<'_>) {
+        if self.serve_state != NnPoolState::Booting {
+            return;
+        }
+        self.serve_state = NnPoolState::Serving;
+        self.warm_left = self.cfg().elastic.warm_ops;
+        if let Some(controller) = self.view.controller_id {
+            ctx.send_sized(controller, 32, NnServing { nn_idx: self.my_idx as u32 });
+        }
+    }
+
+    fn on_nn_drain(&mut self, ctx: &mut Ctx<'_>) {
+        if self.serve_state != NnPoolState::Serving {
+            return;
+        }
+        self.serve_state = NnPoolState::Draining;
+        self.drain_since = ctx.now();
+        self.check_drain_done(ctx);
+    }
+
+    /// Drain-then-park: a draining namenode waits out the drain grace
+    /// (requests routed under the pre-drain membership epoch may still be in
+    /// the air), then waits for its in-flight operations *and* its
+    /// origin-side lease revoke rounds to complete — an op mid-commit or a
+    /// mutation blocked on a revoke must not lose its namenode — then
+    /// reports done and parks.
+    fn check_drain_done(&mut self, ctx: &mut Ctx<'_>) {
+        if self.serve_state != NnPoolState::Draining
+            || ctx.now().saturating_since(self.drain_since) < self.cfg().elastic.drain_grace
+            || !self.ops.is_empty()
+            || !self.lease_rounds.is_empty()
+        {
+            return;
+        }
+        self.serve_state = NnPoolState::Parked;
+        if let Some(controller) = self.view.controller_id {
+            ctx.send_sized(controller, 32, NnDrainDone { nn_idx: self.my_idx as u32 });
+        }
+    }
+
+    fn on_membership_update(&mut self, m: MembershipUpdate) {
+        if m.epoch > self.membership_epoch {
+            self.membership_epoch = m.epoch;
+            self.membership = m.active;
+        }
     }
 
     fn on_op_resume(&mut self, ctx: &mut Ctx<'_>, op_id: u64) {
@@ -3342,6 +3542,22 @@ impl Actor for NameNodeActor {
         };
         let any = match any.downcast::<LeaseRenew>() {
             Ok(m) => return self.on_lease_renew(ctx, from, *m),
+            Err(m) => m,
+        };
+        let any = match any.downcast::<NnActivate>() {
+            Ok(_) => return self.on_nn_activate(ctx),
+            Err(m) => m,
+        };
+        let any = match any.downcast::<NnDrain>() {
+            Ok(_) => return self.on_nn_drain(ctx),
+            Err(m) => m,
+        };
+        let any = match any.downcast::<MembershipUpdate>() {
+            Ok(m) => return self.on_membership_update(*m),
+            Err(m) => m,
+        };
+        let any = match any.downcast::<BootDone>() {
+            Ok(_) => return self.on_boot_done(ctx),
             Err(m) => m,
         };
         let any = match any.downcast::<TickElection>() {

@@ -17,13 +17,13 @@
 //! overload-control loop.
 
 use crate::client::{ClientStats, OpSource};
-use crate::ops::{FsOp, FsRequest, FsResponse};
+use crate::ops::{ActiveNns, FsOp, FsRequest, FsResponse, GetActiveNns};
 use crate::types::{FsError, FsResult};
 use crate::view::FsView;
 use rand::Rng;
 use simnet::{
-    poisson_interarrival, Actor, BoundedQueue, Ctx, NodeId, Payload, RetryPolicy, SimDuration,
-    SimTime,
+    poisson_interarrival, Actor, BoundedQueue, Ctx, NodeId, Payload, RateCurve, RetryPolicy,
+    SimDuration, SimTime,
 };
 use std::any::Any;
 use std::sync::Mutex;
@@ -67,6 +67,15 @@ pub struct OpenLoopClientActor {
     stats: Arc<Mutex<ClientStats>>,
     /// Offered load: mean operation arrivals per second.
     pub rate_per_sec: f64,
+    /// Time-varying offered load. When set, arrivals follow this curve (a
+    /// non-homogeneous Poisson process) and `rate_per_sec` is ignored.
+    pub curve: Option<RateCurve>,
+    /// Namenodes currently serving (see [`crate::elastic`]); kept fresh via
+    /// the membership-epoch piggyback on responses. Empty = use the static
+    /// deployment list.
+    members: Vec<NodeId>,
+    membership_epoch: u64,
+    awaiting_members: bool,
     cwnd: f64,
     last_decrease: SimTime,
     inflight: BTreeMap<u64, Inflight>,
@@ -107,11 +116,23 @@ impl OpenLoopClientActor {
         queue_cap: usize,
     ) -> Self {
         assert!(rate_per_sec > 0.0, "offered rate must be positive");
+        // Elastic pool: only the initial members serve at t=0; the list
+        // follows the controller's membership epochs from there.
+        let members: Vec<NodeId> = if view.config.elastic.enabled {
+            let n = view.config.elastic.initial_active.clamp(1, view.nn_ids.len());
+            view.nn_ids[..n].to_vec()
+        } else {
+            Vec::new()
+        };
         OpenLoopClientActor {
             view,
             source,
             stats,
             rate_per_sec,
+            curve: None,
+            members,
+            membership_epoch: 0,
+            awaiting_members: false,
             cwnd: 4.0,
             last_decrease: SimTime::ZERO,
             inflight: BTreeMap::new(),
@@ -128,9 +149,23 @@ impl OpenLoopClientActor {
         }
     }
 
+    /// Replaces the constant arrival rate with a time-varying curve.
+    pub fn with_rate_curve(mut self, curve: RateCurve) -> Self {
+        self.curve = Some(curve);
+        self
+    }
+
     /// Current AIMD window (fractional; `floor` is the in-flight cap).
     pub fn cwnd(&self) -> f64 {
         self.cwnd
+    }
+
+    fn next_gap(&self, ctx: &mut Ctx<'_>) -> SimDuration {
+        let now = ctx.now();
+        match &self.curve {
+            Some(curve) => curve.next_arrival(ctx.rng(), now),
+            None => poisson_interarrival(ctx.rng(), self.rate_per_sec),
+        }
     }
 
     /// Whether nothing is in flight or queued (the session drained).
@@ -162,13 +197,31 @@ impl OpenLoopClientActor {
     }
 
     fn pick_nn(&self, ctx: &mut Ctx<'_>) -> Option<NodeId> {
-        let alive: Vec<NodeId> =
-            self.view.nn_ids.iter().copied().filter(|&nn| ctx.is_alive(nn)).collect();
+        let pool: &[NodeId] =
+            if self.members.is_empty() { &self.view.nn_ids } else { &self.members };
+        let alive: Vec<NodeId> = pool.iter().copied().filter(|&nn| ctx.is_alive(nn)).collect();
+        let alive = if alive.is_empty() {
+            // Every member looks dead (e.g. mid-reconfiguration crash):
+            // fall back to the full deployment rather than stalling.
+            self.view.nn_ids.iter().copied().filter(|&nn| ctx.is_alive(nn)).collect()
+        } else {
+            alive
+        };
         if alive.is_empty() {
             return None;
         }
         let i = ctx.rng().gen_range(0..alive.len());
         Some(alive[i])
+    }
+
+    /// Refreshes the member list after a membership-epoch bump.
+    fn fetch_members(&mut self, ctx: &mut Ctx<'_>) {
+        self.awaiting_members = true;
+        let pool: &[NodeId] =
+            if self.members.is_empty() { &self.view.nn_ids } else { &self.members };
+        let n = pool.len();
+        let pick = pool[ctx.rng().gen_range(0..n)];
+        ctx.send_sized(pick, 48, GetActiveNns);
     }
 
     fn on_arrival(&mut self, ctx: &mut Ctx<'_>) {
@@ -189,7 +242,7 @@ impl OpenLoopClientActor {
         };
         // Schedule the next arrival *before* handling this one: offered
         // load never depends on how handling goes.
-        let gap = poisson_interarrival(ctx.rng(), self.rate_per_sec);
+        let gap = self.next_gap(ctx);
         ctx.schedule(gap, Arrival);
         self.offered += 1;
         if self.inflight.len() < self.window() {
@@ -272,12 +325,24 @@ impl OpenLoopClientActor {
         if let Err(FsError::Overloaded { .. }) = &resp.result {
             self.stats.lock().unwrap().overloaded_responses += 1;
         }
+        // Membership-epoch piggyback (see `crate::elastic`): a newer epoch
+        // invalidates the member list — refresh it from any namenode.
+        if resp.membership_epoch > self.membership_epoch {
+            self.membership_epoch = resp.membership_epoch;
+            if !self.awaiting_members {
+                self.fetch_members(ctx);
+            }
+        }
         if !self.inflight.contains_key(&resp.req_id) {
             return; // stale (timed-out attempt answered late)
         }
         if let Err(FsError::Overloaded { retry_after }) = resp.result {
             let now = ctx.now();
-            self.decrease(now);
+            // A redirect is misrouting (the namenode left the pool), not
+            // congestion: re-pick without charging the AIMD window.
+            if !resp.redirect {
+                self.decrease(now);
+            }
             let me = u64::from(ctx.me().0);
             let (attempt, give_up, d, span) = {
                 let p = self.inflight.get_mut(&resp.req_id).expect("inflight op");
@@ -359,7 +424,7 @@ impl OpenLoopClientActor {
 
 impl Actor for OpenLoopClientActor {
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
-        let gap = poisson_interarrival(ctx.rng(), self.rate_per_sec);
+        let gap = self.next_gap(ctx);
         ctx.schedule(gap, Arrival);
         ctx.schedule(SimDuration::from_millis(250), OlTick);
     }
@@ -368,6 +433,17 @@ impl Actor for OpenLoopClientActor {
         let any = msg.into_any();
         let any = match any.downcast::<FsResponse>() {
             Ok(m) => return self.on_response(ctx, *m),
+            Err(m) => m,
+        };
+        let any = match any.downcast::<ActiveNns>() {
+            Ok(m) => {
+                self.awaiting_members = false;
+                if m.membership_epoch >= self.membership_epoch {
+                    self.membership_epoch = m.membership_epoch;
+                    self.members = m.nns.iter().map(|n| NodeId(n.node_id)).collect();
+                }
+                return;
+            }
             Err(m) => m,
         };
         let any = match any.downcast::<Arrival>() {

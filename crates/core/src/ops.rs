@@ -195,12 +195,21 @@ pub struct FsResponse {
     /// Conflict summary piggybacked on a successful mutation when client
     /// caching is on: which cached ids the mutation made stale.
     pub notice: Option<crate::lease::MutationNotice>,
+    /// The namenode's current pool-membership epoch (see [`crate::elastic`];
+    /// 0 = static deployment). A client seeing a higher epoch than it knows
+    /// re-fetches the active list — that is how the pool's grows and shrinks
+    /// propagate without a broadcast to every client.
+    pub membership_epoch: u64,
+    /// True when the answering namenode is not serving (parked, booting or
+    /// draining): the result is `Overloaded`, but the client should re-pick
+    /// a member instead of backing off against this namenode.
+    pub redirect: bool,
 }
 
 impl FsResponse {
     /// A plain response with no lease-protocol payload.
     pub fn plain(req_id: u64, result: FsResult) -> Self {
-        FsResponse { req_id, result, lease: None, notice: None }
+        FsResponse { req_id, result, lease: None, notice: None, membership_epoch: 0, redirect: false }
     }
 }
 
@@ -228,6 +237,8 @@ pub struct ActiveNns {
     pub leader_idx: u32,
     /// All namenodes believed alive.
     pub nns: Vec<ActiveNn>,
+    /// Pool-membership epoch this list reflects (0 = static deployment).
+    pub membership_epoch: u64,
 }
 
 #[cfg(test)]

@@ -29,6 +29,9 @@ pub struct FsView {
     /// Cloud object-store front-ends, one per deployment AZ (present when
     /// the block backend is [`crate::config::BlockBackend::CloudStore`]).
     pub cloud_ids: Vec<NodeId>,
+    /// The namenode pool controller (present when `config.elastic.enabled`;
+    /// see [`crate::elastic`]).
+    pub controller_id: Option<NodeId>,
 }
 
 impl FsView {

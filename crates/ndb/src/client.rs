@@ -8,6 +8,7 @@
 
 use crate::locks::TxId;
 use crate::messages::{AbortReason, ReadSpec, RespBody, TxBody, TxRequest, TxResponse, WriteOp};
+use crate::partition::PartitionMap;
 use crate::routing::select_tc;
 use crate::schema::{PartitionKey, Row, TableId};
 use crate::view::ClusterView;
@@ -116,6 +117,18 @@ pub struct ClientKernel {
     /// layer folds this into its own admission decisions; it decays to
     /// zero as soon as a reply from an unloaded coordinator arrives.
     tc_queue_delay: SimDuration,
+    /// When `tc_queue_delay` was last refreshed by a response. The sweep
+    /// ages the signal out after [`crate::config::Timeouts::tc_signal_ttl`]:
+    /// without the TTL a kernel that stops receiving responses (idle NN, or
+    /// every TC suspect) would hold a stale overload reading forever and
+    /// keep shedding load the cluster could serve.
+    tc_signal_at: SimTime,
+    /// Partition-map epoch this kernel has adopted (0 = the deployment
+    /// map). Updated from the stamps on every coordinator response.
+    map_epoch: u64,
+    /// The adopted epoch's partition map; coordinator selection routes
+    /// against it.
+    pmap: PartitionMap,
 }
 
 impl ClientKernel {
@@ -142,14 +155,28 @@ impl ClientKernel {
             last_tc: None,
             largest_write_batch: 0,
             tc_queue_delay: SimDuration::ZERO,
+            tc_signal_at: SimTime::ZERO,
+            map_epoch: 0,
+            pmap: view.pmap.clone(),
             view,
         }
     }
 
     /// The latest TC overload signal any coordinator piggybacked on a reply
-    /// (zero when the metadata store is keeping up).
+    /// (zero when the metadata store is keeping up, or when the signal aged
+    /// past its TTL without a refresh).
     pub fn tc_queue_delay(&self) -> SimDuration {
         self.tc_queue_delay
+    }
+
+    /// The partition-map epoch this kernel has adopted.
+    pub fn map_epoch(&self) -> u64 {
+        self.map_epoch
+    }
+
+    /// Active node-group count under the adopted map.
+    pub fn map_groups(&self) -> usize {
+        self.pmap.group_count()
     }
 
     /// The shared cluster view.
@@ -167,7 +194,7 @@ impl ClientKernel {
         let now = ctx.now();
         let alive = self.alive_mask(now);
         let (tc_idx, _case) =
-            select_tc(&self.view, self.my_loc, self.my_domain, hint, &alive, ctx.rng())?;
+            select_tc(&self.view, &self.pmap, self.my_loc, self.my_domain, hint, &alive, ctx.rng())?;
         self.next_seq += 1;
         let tx = TxId { client: self.client_bits, seq: self.next_seq };
         self.last_tc = Some(tc_idx);
@@ -239,10 +266,18 @@ impl ClientKernel {
 
     /// Feeds a coordinator response in; returns the application-level event,
     /// or `None` for stale responses (e.g. after a local timeout).
-    pub fn on_response(&mut self, resp: TxResponse) -> Option<TxEvent> {
+    pub fn on_response(&mut self, now: SimTime, resp: TxResponse) -> Option<TxEvent> {
         // The overload signal is fresh even when the transaction itself is
         // stale (timed out locally): record it before correlation.
         self.tc_queue_delay = resp.tc_queue_delay;
+        self.tc_signal_at = now;
+        // Likewise the partition-map stamps: adopt a newer epoch from any
+        // response (including `WrongEpoch` aborts), so the next attempt
+        // routes under the reconfigured map.
+        if resp.map_epoch > self.map_epoch && resp.map_groups >= 1 {
+            self.map_epoch = resp.map_epoch;
+            self.pmap = PartitionMap::with_groups(&self.view.config, resp.map_groups as usize);
+        }
         let st = self.txs.get_mut(&resp.tx)?;
         let expect = st.expect;
         st.pending_since = None;
@@ -261,6 +296,10 @@ impl ClientKernel {
             }
             (RespBody::Aborted(reason), expect) => {
                 let tc_idx = self.txs.remove(&tx).map(|st| st.tc_idx);
+                // Only `NodeRecovering` marks the coordinator suspect. In
+                // particular `WrongEpoch` is pure re-routing: the node is
+                // healthy, the client just raced a reconfiguration (its
+                // map was refreshed from the stamps above).
                 if reason == AbortReason::NodeRecovering {
                     if let Some(idx) = tc_idx {
                         self.pending_suspects.push(idx);
@@ -280,6 +319,15 @@ impl ClientKernel {
     /// periodically from the owning actor.
     pub fn sweep(&mut self, now: SimTime) -> Vec<TxEvent> {
         let mut events = Vec::new();
+        // Age out the cached overload signal: with no response refreshing
+        // it within the TTL, the reading no longer describes the cluster
+        // (the queue it measured has long drained or grown).
+        let signal_ttl = self.view.config.timeouts.tc_signal_ttl;
+        if self.tc_queue_delay > SimDuration::ZERO
+            && now.saturating_since(self.tc_signal_at) > signal_ttl
+        {
+            self.tc_queue_delay = SimDuration::ZERO;
+        }
         let timeout = self.response_timeout;
         let mut dead_tcs = Vec::new();
         // Sorted: `txs` is a HashMap, and the order the aborts surface in
@@ -322,5 +370,75 @@ impl ClientKernel {
     /// Number of in-flight transactions.
     pub fn in_flight(&self) -> usize {
         self.txs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ClusterConfig;
+    use crate::deploy;
+    use crate::schema::{Schema, TableOptions};
+    use simnet::{AzId, Simulation};
+
+    fn kernel() -> ClientKernel {
+        let mut schema = Schema::new();
+        schema.add_table("t", TableOptions::default());
+        let cfg = ClusterConfig::az_aware(6, 3, &[AzId(0), AzId(1), AzId(2)]);
+        let mut sim = Simulation::new(1);
+        let view = deploy::build_cluster(&mut sim, cfg, schema, &[AzId(0), AzId(1), AzId(2)]).view;
+        ClientKernel::new(view, NodeId(999), Location::new(0, 99), Some(AzId(0)))
+    }
+
+    #[test]
+    fn tc_queue_delay_signal_ages_out() {
+        let mut k = kernel();
+        let ttl = k.view().config.timeouts.tc_signal_ttl;
+        let t0 = SimTime::ZERO + SimDuration::from_millis(1);
+
+        let mut resp = TxResponse::new(TxId { client: 1, seq: 1 }, RespBody::WriteAck);
+        resp.tc_queue_delay = SimDuration::from_millis(7);
+        k.on_response(t0, resp);
+        assert_eq!(k.tc_queue_delay(), SimDuration::from_millis(7));
+
+        // Within the TTL the sweep keeps the signal.
+        k.sweep(t0 + ttl / 2);
+        assert_eq!(k.tc_queue_delay(), SimDuration::from_millis(7));
+
+        // Past the TTL with no refresh it decays to zero. Regression: the
+        // cached signal used to persist forever once coordinators went
+        // quiet, leaving the embedding layer shedding load indefinitely.
+        k.sweep(t0 + ttl * 2);
+        assert_eq!(k.tc_queue_delay(), SimDuration::ZERO);
+
+        // A fresh response restarts the clock.
+        let mut resp = TxResponse::new(TxId { client: 1, seq: 2 }, RespBody::WriteAck);
+        resp.tc_queue_delay = SimDuration::from_millis(3);
+        let t1 = t0 + ttl * 3;
+        k.on_response(t1, resp);
+        k.sweep(t1 + ttl / 2);
+        assert_eq!(k.tc_queue_delay(), SimDuration::from_millis(3));
+    }
+
+    #[test]
+    fn responses_update_the_adopted_partition_map() {
+        let mut k = kernel();
+        assert_eq!(k.map_epoch(), 0);
+        assert_eq!(k.map_groups(), 2);
+
+        let mut resp = TxResponse::new(TxId { client: 1, seq: 1 }, RespBody::WriteAck);
+        resp.map_epoch = 3;
+        resp.map_groups = 1;
+        k.on_response(SimTime::ZERO, resp);
+        assert_eq!(k.map_epoch(), 3);
+        assert_eq!(k.map_groups(), 1);
+
+        // An older stamp never rolls the map back.
+        let mut resp = TxResponse::new(TxId { client: 1, seq: 2 }, RespBody::WriteAck);
+        resp.map_epoch = 2;
+        resp.map_groups = 2;
+        k.on_response(SimTime::ZERO, resp);
+        assert_eq!(k.map_epoch(), 3);
+        assert_eq!(k.map_groups(), 1);
     }
 }

@@ -165,6 +165,11 @@ pub struct Timeouts {
     /// Management-server side: time without a heartbeat from the active
     /// arbitrator before the next-ranked management server takes over.
     pub mgmt_failover_deadline: SimDuration,
+    /// API-client side: how long the coordinator-queue-delay overload hint
+    /// cached from the last response stays fresh. A quiet client ages the
+    /// signal back to zero after this, instead of sitting on a stale
+    /// congestion report indefinitely.
+    pub tc_signal_ttl: SimDuration,
 }
 
 impl Default for Timeouts {
@@ -180,6 +185,7 @@ impl Default for Timeouts {
             client_response_timeout: SimDuration::from_millis(1200),
             client_suspicion_ttl: SimDuration::from_millis(1500),
             mgmt_failover_deadline: SimDuration::from_millis(400),
+            tc_signal_ttl: SimDuration::from_millis(400),
         }
     }
 }
@@ -219,6 +225,11 @@ pub struct ClusterConfig {
     /// synchronized). Disabling it models the naive revive-with-stale-state
     /// behavior and exists for the ablation in `fig_az_outage`.
     pub node_recovery: bool,
+    /// Node groups active at deployment (`0` = all provisioned groups).
+    /// Datanodes beyond `initial_node_groups × replication_factor` boot as
+    /// live spares owning no data, until an online reconfiguration
+    /// ([`crate::mgmt::MgmtActor`] `ReconfigReq`) brings their group in.
+    pub initial_node_groups: usize,
 }
 
 impl ClusterConfig {
@@ -252,6 +263,7 @@ impl ClusterConfig {
             costs: CostModel::default(),
             timeouts: Timeouts::default(),
             node_recovery: true,
+            initial_node_groups: 0,
         }
     }
 
@@ -269,6 +281,16 @@ impl ClusterConfig {
     /// Number of node groups (`n / r`).
     pub fn node_group_count(&self) -> usize {
         self.datanodes.len() / self.replication_factor
+    }
+
+    /// Node groups active at deployment (clamped into
+    /// `1..=node_group_count()`; `initial_node_groups == 0` means all).
+    pub fn active_node_groups(&self) -> usize {
+        if self.initial_node_groups == 0 {
+            self.node_group_count()
+        } else {
+            self.initial_node_groups.clamp(1, self.node_group_count())
+        }
     }
 
     /// Node group of datanode `idx` (its index in [`ClusterConfig::datanodes`]).

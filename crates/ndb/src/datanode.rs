@@ -19,7 +19,8 @@
 use crate::config::lane;
 use crate::locks::{LockManager, TxId, Waiter};
 use crate::messages::*;
-use crate::schema::{LockMode, PartitionKey, Row, RowKey, TableId};
+use crate::partition::{PartitionId, PartitionMap};
+use crate::schema::{LockMode, PartitionKey, Row, RowKey, TableId, TableOptions};
 use crate::routing::route_read;
 use crate::view::ClusterView;
 use bytes::Bytes;
@@ -45,6 +46,17 @@ struct ArbRequestDue;
 /// (re-requests rotate through the live node-group peers).
 #[derive(Debug, Clone)]
 struct TickResync;
+/// Fires once the settle delay after an `EpochPrepare` has elapsed: any
+/// transaction prepared on an old-only chain has finished, so the scoped
+/// migration pulls may start.
+#[derive(Debug, Clone)]
+struct MigratePullsDue {
+    epoch: u64,
+}
+/// Periodic retry of the scoped migration pulls (re-requests rotate
+/// through the old map's replicas of each gained partition).
+#[derive(Debug, Clone)]
+struct TickMigrate;
 /// Fires once take-over reports for an orphaned transaction have settled;
 /// the take-over TC then re-drives the transaction to its outcome.
 #[derive(Debug, Clone)]
@@ -91,6 +103,55 @@ pub struct DnStats {
     pub takeover_commits: u64,
     /// Orphaned transactions this node released (aborted) as take-over TC.
     pub takeover_aborts: u64,
+    /// Scoped partition migrations this node completed as a gaining node
+    /// (one per epoch in which it gained fragments).
+    pub migrations_completed: u64,
+    /// Modeled bytes received during scoped migration pulls.
+    pub migrate_bytes: u64,
+    /// Prepares refused because the coordinator routed them under a
+    /// superseded partition-map epoch (the epoch fence working as designed).
+    pub epoch_refusals: u64,
+    /// Transactions this node aborted as TC after an epoch refusal (or
+    /// refused outright as a spare); the client re-routes under the new map.
+    pub wrong_epoch_aborts: u64,
+    /// Writes applied to a fragment this node owns under neither the
+    /// committed nor the pending map — must stay zero; anything else is an
+    /// epoch-fencing bug (checked by the `epoch_routing` chaos invariant).
+    pub epoch_stale_applies: u64,
+    /// Rows garbage-collected when an epoch commit removed this node's
+    /// ownership of their fragments.
+    pub gc_rows: u64,
+}
+
+/// A pending partition-map epoch announced by `EpochPrepare`: mutations
+/// dual-apply to the union of the committed and pending maps' chains until
+/// the epoch commits.
+#[derive(Debug)]
+struct PendingEpoch {
+    epoch: u64,
+    map: PartitionMap,
+}
+
+/// Scoped copy-fragment pull state for a pending epoch under which this
+/// node gains fragments.
+#[derive(Debug, Default)]
+struct MigratePull {
+    /// `(table, partition)` fragments gained under the pending map, sorted.
+    scope: Vec<(TableId, PartitionId)>,
+    /// Pulls started (the post-`EpochPrepare` settle delay elapsed).
+    started: bool,
+    /// Scoped `CopyFragReq`s whose `CopyFragDone` is still outstanding.
+    reqs_outstanding: usize,
+    /// Snapshot fragments received across sources this attempt.
+    frags_recv: u64,
+    /// Sum of fragment counts announced by received `CopyFragDone`s.
+    frags_expected: u64,
+    /// `frags_recv` at the previous retry tick (stall detection).
+    progress_mark: u64,
+    /// Pull attempts so far (rotates snapshot sources).
+    attempts: u32,
+    /// `MigrationDone` already reported for this epoch.
+    done_sent: bool,
 }
 
 /// State a take-over TC accumulates about one orphaned transaction.
@@ -181,6 +242,18 @@ impl TcTx {
 pub struct DatanodeActor {
     view: Arc<ClusterView>,
     my_idx: usize,
+    /// Committed partition-map epoch (0 = the deployment map).
+    epoch: u64,
+    /// Partition map of the committed epoch. Starts as the deployment map
+    /// (`view.pmap`) and is replaced wholesale by `EpochCommit` / heartbeat
+    /// epoch gossip as online reconfigurations commit.
+    pmap: PartitionMap,
+    /// Pending epoch announced by `EpochPrepare`, if a reconfiguration is
+    /// in flight.
+    pending: Option<PendingEpoch>,
+    /// Scoped migration pulls, if this node gains fragments under the
+    /// pending map.
+    migrate: Option<MigratePull>,
     /// My liveness estimate per datanode index.
     alive: Vec<bool>,
     /// My estimate of whether each peer's fragments are synchronized. A
@@ -245,9 +318,14 @@ impl DatanodeActor {
     /// Creates the actor for datanode `my_idx` of `view`.
     pub fn new(view: Arc<ClusterView>, my_idx: usize) -> Self {
         let n = view.datanode_count();
+        let pmap = view.pmap.clone();
         DatanodeActor {
             view,
             my_idx,
+            epoch: 0,
+            pmap,
+            pending: None,
+            migrate: None,
             alive: vec![true; n],
             synced: vec![true; n],
             last_hb: vec![SimTime::ZERO; n],
@@ -283,8 +361,8 @@ impl DatanodeActor {
     /// row's partition (bulk-loading initial data without simulating it).
     pub fn load_row(&mut self, table: TableId, key: RowKey, data: Bytes) -> bool {
         let options = self.view.schema.table(table).options;
-        let pid = self.view.pmap.partition_of(key.pk);
-        if !self.view.pmap.stores(self.my_idx, pid, options) {
+        let pid = self.pmap.partition_of(key.pk);
+        if !self.pmap.stores(self.my_idx, pid, options) {
             return false;
         }
         self.store.entry((table, key.pk)).or_default().insert(key.suffix, data);
@@ -330,6 +408,21 @@ impl DatanodeActor {
     /// Whether this node is in Recovering state (restarted, resync pending).
     pub fn is_recovering(&self) -> bool {
         self.recovering
+    }
+
+    /// Committed partition-map epoch (0 = the deployment map).
+    pub fn committed_epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Active node-group count under the committed map.
+    pub fn committed_groups(&self) -> usize {
+        self.pmap.group_count()
+    }
+
+    /// Whether an epoch is pending (reconfiguration in flight at this node).
+    pub fn epoch_pending(&self) -> bool {
+        self.pending.is_some()
     }
 
     /// Per-fragment digests of the local store, for replica-divergence
@@ -406,6 +499,24 @@ impl DatanodeActor {
         self.alive.iter().zip(&self.synced).map(|(&a, &s)| a && s).collect()
     }
 
+    /// The 2PC chain for a write under the committed map, extended with any
+    /// nodes that own the partition only under the pending map (dual-apply
+    /// during an online reconfiguration). Old owners stay first so the
+    /// commit point (chain head) is a node that also serves reads.
+    fn write_chain_union(&self, pid: PartitionId, options: TableOptions) -> Vec<u32> {
+        let mut chain: Vec<u32> =
+            self.pmap.write_chain(pid, options, &self.alive).iter().map(|&i| i as u32).collect();
+        if let Some(p) = &self.pending {
+            for i in p.map.write_chain(pid, options, &self.alive) {
+                let i = i as u32;
+                if !chain.contains(&i) {
+                    chain.push(i);
+                }
+            }
+        }
+        chain
+    }
+
     fn respond(&self, ctx: &mut Ctx<'_>, depart: SimTime, client: NodeId, mut resp: TxResponse) {
         // Piggyback the TC overload signal on every reply (the paper's NDB
         // never sheds; backpressure is the *client's* job, so it needs to
@@ -413,6 +524,11 @@ impl DatanodeActor {
         // neither schedules nor draws randomness — replies are unchanged
         // except for this field.
         resp.tc_queue_delay = ctx.lane_backlog(lane::TC);
+        // Likewise the committed partition-map epoch: clients adopt newer
+        // epochs from any response, converging on a reconfigured map within
+        // one round trip.
+        resp.map_epoch = self.epoch;
+        resp.map_groups = self.pmap.group_count() as u32;
         let bytes = resp.wire_size();
         self.send_from(ctx, depart, client, bytes, resp);
     }
@@ -430,6 +546,15 @@ impl DatanodeActor {
             // fragments are stale. The abort reason tells the client to
             // suspect this TC until it announces itself synced.
             let resp = TxResponse::new(req.tx, RespBody::Aborted(AbortReason::NodeRecovering));
+            self.respond(ctx, now, from, resp);
+            return;
+        }
+        if self.my_idx >= self.pmap.active_len() {
+            // Spare under the committed map: owns nothing and must not
+            // coordinate (a client routed here under a superseded map).
+            // The stamped epoch/groups on the response redirect the client.
+            self.stats.wrong_epoch_aborts += 1;
+            let resp = TxResponse::new(req.tx, RespBody::Aborted(AbortReason::WrongEpoch));
             self.respond(ctx, now, from, resp);
             return;
         }
@@ -451,6 +576,10 @@ impl DatanodeActor {
         let done = ctx.execute(lane::TC, step_cost);
         let my_idx = self.my_idx as u32;
         let view = Arc::clone(&self.view);
+        // Reads route under the *committed* map only: a node gaining a
+        // fragment under a pending epoch dual-applies writes but does not
+        // serve the fragment until the epoch commits.
+        let pmap = self.pmap.clone();
         // Reads are only routed to replicas that are alive AND synced —
         // a recovering replica stays in the write chains (dual-apply) but
         // must not serve data until its resync completes.
@@ -483,8 +612,8 @@ impl DatanodeActor {
                     continue;
                 }
                 let options = view.schema.table(spec.table).options;
-                let pid = view.pmap.partition_of(spec.key.pk);
-                let candidates = view.pmap.read_replicas(pid, options, &read_mask);
+                let pid = pmap.partition_of(spec.key.pk);
+                let candidates = pmap.read_replicas(pid, options, &read_mask);
                 let target = if spec.mode.is_locking() {
                     candidates.first().copied()
                 } else {
@@ -535,9 +664,9 @@ impl DatanodeActor {
         let costs = self.costs().clone();
         let done = ctx.execute(lane::TC, costs.tc_step + costs.tc_op);
         let options = self.view.schema.table(table).options;
-        let pid = self.view.pmap.partition_of(pk);
+        let pid = self.pmap.partition_of(pk);
         let read_mask = self.read_mask();
-        let candidates = self.view.pmap.read_replicas(pid, options, &read_mask);
+        let candidates = self.pmap.read_replicas(pid, options, &read_mask);
         let target = route_read(
             &self.view,
             self.my_idx,
@@ -594,10 +723,12 @@ impl DatanodeActor {
             return;
         }
 
-        // Build the replica chain per written row.
-        let mut sends: Vec<(u32, PrepareRow)> = Vec::new();
-        let mut failed = false;
-        {
+        // Build the replica chain per written row. Chains are the union of
+        // the committed and (if an epoch is pending) the pending map's
+        // chains, so mutations dual-apply to gaining nodes throughout a
+        // live reconfiguration.
+        let epoch = self.epoch;
+        let writes = {
             let tx = self.txs.get_mut(&tx_id).expect("tx registered");
             tx.phase = TcPhase::Preparing;
             tx.step_started = now;
@@ -608,17 +739,29 @@ impl DatanodeActor {
             tx.completed_needed = 0;
             tx.delayed_ack = false;
             tx.chains.clear();
-            let writes = std::mem::take(&mut tx.writes);
-            for op in writes {
-                let options = view.schema.table(op.table()).options;
-                let pid = view.pmap.partition_of(op.key().pk);
-                let chain: Vec<u32> =
-                    view.pmap.write_chain(pid, options, &self.alive).iter().map(|&i| i as u32).collect();
-                if chain.is_empty() {
-                    failed = true;
-                    break;
-                }
-                if options.delayed_ack() {
+            std::mem::take(&mut tx.writes)
+        };
+        let mut plans: Vec<(WriteOp, Vec<u32>, bool)> = Vec::with_capacity(writes.len());
+        let mut failed = false;
+        for op in writes {
+            let options = view.schema.table(op.table()).options;
+            let pid = self.pmap.partition_of(op.key().pk);
+            let chain = self.write_chain_union(pid, options);
+            if chain.is_empty() {
+                failed = true;
+                break;
+            }
+            plans.push((op, chain, options.delayed_ack()));
+        }
+        if failed {
+            self.abort_tx(ctx, tx_id, AbortReason::ClusterDown, true);
+            return;
+        }
+        let mut sends: Vec<(u32, PrepareRow)> = Vec::with_capacity(plans.len());
+        {
+            let tx = self.txs.get_mut(&tx_id).expect("tx registered");
+            for (op, chain, delayed) in plans {
+                if delayed {
                     tx.delayed_ack = true;
                 }
                 tx.completed_needed += chain.len() - 1;
@@ -628,12 +771,11 @@ impl DatanodeActor {
                 let token = tx.next_token();
                 let first = chain[0];
                 tx.chains.push((token, chain.clone()));
-                sends.push((first, PrepareRow { tx: tx_id, token, chain, pos: 0, op, tc_idx: my_idx }));
+                sends.push((
+                    first,
+                    PrepareRow { tx: tx_id, token, chain, pos: 0, op, tc_idx: my_idx, epoch },
+                ));
             }
-        }
-        if failed {
-            self.abort_tx(ctx, tx_id, AbortReason::ClusterDown, true);
-            return;
         }
         for (target, msg) in sends {
             let bytes = 64 + msg.op.wire_size();
@@ -799,6 +941,18 @@ impl DatanodeActor {
         }
     }
 
+    fn on_prepare_refused(&mut self, ctx: &mut Ctx<'_>, _from: NodeId, m: PrepareRefused) {
+        // A replica fenced our prepare: we routed under a superseded
+        // partition-map epoch. Abort with `WrongEpoch` — the client adopts
+        // the current map from the response stamps (or from this node once
+        // heartbeat gossip catches us up) and retries without suspecting
+        // anyone.
+        if self.txs.contains_key(&m.tx) {
+            self.stats.wrong_epoch_aborts += 1;
+            self.abort_tx(ctx, m.tx, AbortReason::WrongEpoch, true);
+        }
+    }
+
     /// Sends the final response, releases participants, and forgets the tx.
     fn finish_tx(&mut self, ctx: &mut Ctx<'_>, tx_id: TxId, depart: SimTime, body: RespBody) {
         let tx = match self.txs.remove(&tx_id) {
@@ -845,8 +999,8 @@ impl DatanodeActor {
         let done = ctx.execute(lane::LDM, costs.ldm_read);
         let data = self.store.get(&(req.table, req.key.pk)).and_then(|m| m.get(&req.key.suffix)).cloned();
         self.stats.reads_served += 1;
-        let pid = self.view.pmap.partition_of(req.key.pk);
-        let rank = self.view.pmap.replica_rank(self.my_idx, pid).unwrap_or(u8::MAX);
+        let pid = self.pmap.partition_of(req.key.pk);
+        let rank = self.pmap.replica_rank(self.my_idx, pid).unwrap_or(u8::MAX);
         *self.stats.reads_by_partition_rank.entry((req.table, pid.0, rank)).or_insert(0) += 1;
         let bytes = 48 + data.as_ref().map_or(0, |d| d.len() as u64);
         let resp = LdmReadResp { tx: req.tx, token: req.token, data };
@@ -898,8 +1052,8 @@ impl DatanodeActor {
         let cost = costs.ldm_scan_base + costs.ldm_scan_row * rows.len() as u64;
         let done = ctx.execute(lane::LDM, cost);
         self.stats.scans_served += 1;
-        let pid = self.view.pmap.partition_of(m.pk);
-        let rank = self.view.pmap.replica_rank(self.my_idx, pid).unwrap_or(u8::MAX);
+        let pid = self.pmap.partition_of(m.pk);
+        let rank = self.pmap.replica_rank(self.my_idx, pid).unwrap_or(u8::MAX);
         *self.stats.reads_by_partition_rank.entry((m.table, pid.0, rank)).or_insert(0) += 1;
         let bytes = 64 + rows.iter().map(Row::wire_size).sum::<u64>();
         let resp = LdmScanResp { tx: m.tx, token: m.token, rows };
@@ -907,6 +1061,26 @@ impl DatanodeActor {
     }
 
     fn prepare_apply(&mut self, ctx: &mut Ctx<'_>, m: PrepareRow) {
+        if m.epoch < self.epoch {
+            // Second fence: the prepare sat in the lock queue across an
+            // epoch commit. Refuse now rather than apply under a map that
+            // is no longer in force (the TC aborts; the client re-routes).
+            self.stats.epoch_refusals += 1;
+            if let Some((table, key)) = self.row_of_token.remove(&(m.tx, m.token)) {
+                let granted = self.locks.release_row(m.tx, table, &key);
+                self.resume_grants(ctx, granted);
+            }
+            let now = ctx.now();
+            let to = self.dn_node(m.tc_idx);
+            self.send_from(
+                ctx,
+                now,
+                to,
+                48,
+                PrepareRefused { tx: m.tx, token: m.token, epoch: self.epoch },
+            );
+            return;
+        }
         let costs = self.costs().clone();
         let done = ctx.execute(lane::LDM, costs.ldm_write);
         self.stats.rows_prepared += 1;
@@ -924,6 +1098,23 @@ impl DatanodeActor {
     }
 
     fn on_prepare_row(&mut self, ctx: &mut Ctx<'_>, _from: NodeId, m: PrepareRow) {
+        if m.epoch < self.epoch {
+            // Epoch fence: the coordinator routed this write under a
+            // superseded partition map. Refuse before taking any lock; the
+            // TC aborts with `WrongEpoch` and the client retries under the
+            // current map (adopted from the abort response's stamps).
+            self.stats.epoch_refusals += 1;
+            let now = ctx.now();
+            let to = self.dn_node(m.tc_idx);
+            self.send_from(
+                ctx,
+                now,
+                to,
+                48,
+                PrepareRefused { tx: m.tx, token: m.token, epoch: self.epoch },
+            );
+            return;
+        }
         self.tx_coordinator.insert(m.tx, m.tc_idx);
         self.row_of_token.insert((m.tx, m.token), (m.op.table(), m.op.key().clone()));
         let acq = self.locks.acquire(m.tx, m.op.table(), m.op.key().clone(), LockMode::Exclusive, m.token);
@@ -937,9 +1128,9 @@ impl DatanodeActor {
     }
 
     fn apply_write(&mut self, op: &WriteOp) {
-        if self.recovering {
-            // Dual-applied write during resync: the snapshot copy of this
-            // key (taken earlier) must not clobber it.
+        if self.recovering || self.migrate.is_some() {
+            // Dual-applied write during resync or migration: the snapshot
+            // copy of this key (taken earlier) must not clobber it.
             self.resync_dirty.insert((op.table(), op.key().clone()));
         }
         match op {
@@ -962,6 +1153,19 @@ impl DatanodeActor {
         let costs = self.costs().clone();
         let done = ctx.execute(lane::LDM, costs.ldm_write / 2);
         if let Some(op) = self.pending_writes.remove(&(m.tx, m.token)) {
+            // Epoch-routing invariant: every applied write must land on a
+            // node that owns the row's fragment under the committed or the
+            // pending map (or is catching up via node recovery). The
+            // prepare fences plus the stale-prepare GC in `install_epoch`
+            // keep this at zero; the chaos harness asserts it.
+            let pid = self.pmap.partition_of(op.key().pk);
+            let options = self.view.schema.table(op.table()).options;
+            let owned = self.recovering
+                || self.pmap.stores(self.my_idx, pid, options)
+                || self.pending.as_ref().is_some_and(|p| p.map.stores(self.my_idx, pid, options));
+            if !owned {
+                self.stats.epoch_stale_applies += 1;
+            }
             self.apply_write(&op);
             self.stats.rows_committed += 1;
             // Commit evidence for TC take-over: if the coordinator dies,
@@ -1050,6 +1254,12 @@ impl DatanodeActor {
             self.alive[idx] = true;
             self.recheck_cluster_viability();
         }
+        // Epoch gossip: a node that missed an `EpochCommit` (restarted and
+        // reset to the deployment map, or the commit was lost) catches up
+        // from any peer within one heartbeat interval.
+        if m.epoch > self.epoch {
+            self.install_epoch(ctx, m.epoch, m.groups);
+        }
     }
 
     fn on_tick_heartbeat(&mut self, ctx: &mut Ctx<'_>) {
@@ -1063,7 +1273,13 @@ impl DatanodeActor {
                 continue;
             }
             let to = self.dn_node(i as u32);
-            self.send_from(ctx, now, to, 32, Heartbeat { from: my, synced: !self.recovering });
+            let hb = Heartbeat {
+                from: my,
+                synced: !self.recovering,
+                epoch: self.epoch,
+                groups: self.pmap.group_count() as u32,
+            };
+            self.send_from(ctx, now, to, 32, hb);
         }
         let mut newly_dead = Vec::new();
         for i in 0..self.view.datanode_count() {
@@ -1081,7 +1297,9 @@ impl DatanodeActor {
     }
 
     fn recheck_cluster_viability(&mut self) {
-        let groups = self.view.config.node_group_count();
+        // Only groups active under the committed map matter: losing every
+        // node of an idle spare group does not take data offline.
+        let groups = self.pmap.group_count();
         let mut down = false;
         for g in 0..groups {
             let members = self.view.config.group_members(g);
@@ -1336,15 +1554,16 @@ impl DatanodeActor {
             // just-died source does not wedge the resync.
             let src = sources[self.resync_attempts as usize % sources.len()];
             let to = self.dn_node(src as u32);
-            self.send_from(ctx, now, to, 32, CopyFragReq { from: self.my_idx as u32 });
+            self.send_from(ctx, now, to, 32, CopyFragReq { from: self.my_idx as u32, scope: None });
             self.resync_attempts += 1;
         }
         ctx.schedule(self.view.config.timeouts.heartbeat_interval * 2, TickResync);
     }
 
     /// LDM of a live replica: stream a snapshot of every fragment the
-    /// requester should store, then `CopyFragDone`. Fragments are sent in
-    /// sorted order so same-seed runs emit identical message sequences.
+    /// requester should store (node recovery) or exactly the scoped
+    /// fragments (live migration), then `CopyFragDone`. Fragments are sent
+    /// in sorted order so same-seed runs emit identical message sequences.
     fn on_copy_frag_req(&mut self, ctx: &mut Ctx<'_>, from: NodeId, m: CopyFragReq) {
         if self.recovering {
             return; // cannot seed a copy while catching up myself
@@ -1352,13 +1571,24 @@ impl DatanodeActor {
         let costs = self.costs().clone();
         let req_idx = m.from as usize;
         let view = Arc::clone(&self.view);
+        let pmap = self.pmap.clone();
+        let scope: Option<std::collections::HashSet<(TableId, PartitionId)>> =
+            m.scope.map(|s| s.into_iter().collect());
         let mut frags: Vec<(TableId, PartitionKey)> = self
             .store
             .keys()
             .filter(|&&(table, pk)| {
-                let options = view.schema.table(table).options;
-                let pid = view.pmap.partition_of(pk);
-                view.pmap.stores(req_idx, pid, options)
+                let pid = pmap.partition_of(pk);
+                match &scope {
+                    // Migration pull: exactly the requested fragments.
+                    Some(s) => s.contains(&(table, pid)),
+                    // Node recovery: everything the requester stores under
+                    // this node's committed map.
+                    None => {
+                        let options = view.schema.table(table).options;
+                        pmap.stores(req_idx, pid, options)
+                    }
+                }
             })
             .copied()
             .collect();
@@ -1390,7 +1620,9 @@ impl DatanodeActor {
     }
 
     fn on_copy_frag(&mut self, ctx: &mut Ctx<'_>, _from: NodeId, m: CopyFrag) {
-        if !self.recovering {
+        let migrating =
+            !self.recovering && self.migrate.as_ref().is_some_and(|mg| mg.started && !mg.done_sent);
+        if !self.recovering && !migrating {
             return; // late snapshot from a previous attempt
         }
         let costs = self.costs().clone();
@@ -1398,8 +1630,8 @@ impl DatanodeActor {
         ctx.execute(lane::LDM, costs.ldm_scan_base + (costs.ldm_write / 2) * m.rows.len() as u64);
         let CopyFrag { table, pk: _, rows } = m;
         for row in rows {
-            // A key written while recovering already holds a newer value
-            // than the snapshot (dual-apply); keep it.
+            // A key written while recovering or migrating already holds a
+            // newer value than the snapshot (dual-apply); keep it.
             if self.resync_dirty.contains(&(table, row.key.clone())) {
                 continue;
             }
@@ -1408,20 +1640,33 @@ impl DatanodeActor {
         // The restored rows go through the redo log like any other write,
         // so the next GCP tick flushes them to disk.
         self.redo_pending += bytes;
-        self.stats.resync_bytes += bytes;
-        self.resync_frags_recv += 1;
-        self.try_finish_resync(ctx);
+        if migrating {
+            self.stats.migrate_bytes += bytes;
+            let mg = self.migrate.as_mut().expect("migrating checked above");
+            mg.frags_recv += 1;
+            self.try_finish_migration(ctx);
+        } else {
+            self.stats.resync_bytes += bytes;
+            self.resync_frags_recv += 1;
+            self.try_finish_resync(ctx);
+        }
     }
 
     fn on_copy_frag_done(&mut self, ctx: &mut Ctx<'_>, _from: NodeId, m: CopyFragDone) {
-        if !self.recovering {
+        if self.recovering {
+            // The done marker is tiny and can overtake the snapshot
+            // fragments still in flight: record the expected count and only
+            // complete once every fragment has actually been applied.
+            self.resync_expected = Some(m.fragments);
+            self.try_finish_resync(ctx);
             return;
         }
-        // The done marker is tiny and can overtake the snapshot fragments
-        // still in flight: record the expected count and only complete once
-        // every fragment has actually been applied.
-        self.resync_expected = Some(m.fragments);
-        self.try_finish_resync(ctx);
+        if self.migrate.as_ref().is_some_and(|mg| mg.started && !mg.done_sent) {
+            let mg = self.migrate.as_mut().expect("checked above");
+            mg.reqs_outstanding = mg.reqs_outstanding.saturating_sub(1);
+            mg.frags_expected += m.fragments;
+            self.try_finish_migration(ctx);
+        }
     }
 
     fn try_finish_resync(&mut self, ctx: &mut Ctx<'_>) {
@@ -1434,7 +1679,11 @@ impl DatanodeActor {
         }
         self.recovering = false;
         self.synced[self.my_idx] = true;
-        self.resync_dirty.clear();
+        if self.migrate.is_none() {
+            // Keep the dirty set while a migration pull is also in flight:
+            // it guards those snapshots too (cleared at epoch commit).
+            self.resync_dirty.clear();
+        }
         self.resync_frags_recv = 0;
         self.resync_expected = None;
         self.stats.resyncs_completed += 1;
@@ -1447,6 +1696,242 @@ impl DatanodeActor {
             let to = self.dn_node(i as u32);
             self.send_from(ctx, now, to, 32, SyncedAnnounce { from: my });
         }
+    }
+
+    // --- Online node-group reconfiguration --------------------------------
+
+    /// `EpochPrepare` from the active management node: a new partition map
+    /// is pending. From here on mutations dual-apply to the union of both
+    /// maps' chains; if this node gains fragments, it schedules a scoped
+    /// copy-fragment pull after a settle delay (long enough that any
+    /// transaction prepared on an old-only chain has finished).
+    fn on_epoch_prepare(&mut self, ctx: &mut Ctx<'_>, m: EpochPrepare) {
+        if m.epoch <= self.epoch {
+            return; // stale announcement of an epoch already committed
+        }
+        if let Some(p) = &self.pending {
+            if p.epoch == m.epoch {
+                // Re-broadcast (the management node retries until every
+                // new-map-active node reports): re-send a lost done.
+                if self.migrate.as_ref().is_none_or(|mg| mg.done_sent)
+                    && self.my_idx < p.map.active_len()
+                {
+                    self.send_migration_done(ctx, m.epoch);
+                }
+                return;
+            }
+        }
+        let new_map = PartitionMap::with_groups(&self.view.config, m.to_groups as usize);
+        // Fragments this node owns only under the pending map, sorted for
+        // deterministic pull order.
+        let mut scope: Vec<(TableId, PartitionId)> = Vec::new();
+        for t in 0..self.view.schema.len() {
+            let table = TableId(t as u16);
+            let options = self.view.schema.table(table).options;
+            for p in 0..self.pmap.partition_count() as u32 {
+                let pid = PartitionId(p);
+                if new_map.stores(self.my_idx, pid, options)
+                    && !self.pmap.stores(self.my_idx, pid, options)
+                {
+                    scope.push((table, pid));
+                }
+            }
+        }
+        scope.sort_unstable();
+        let new_active = self.my_idx < new_map.active_len();
+        self.pending = Some(PendingEpoch { epoch: m.epoch, map: new_map });
+        if scope.is_empty() {
+            self.migrate = None;
+            if new_active {
+                // Nothing to pull: report immediately.
+                self.send_migration_done(ctx, m.epoch);
+            }
+            return;
+        }
+        self.migrate = Some(MigratePull { scope, ..MigratePull::default() });
+        let t = &self.view.config.timeouts;
+        let settle = t.transaction_inactive + t.heartbeat_interval * 2;
+        ctx.schedule(settle, MigratePullsDue { epoch: m.epoch });
+    }
+
+    fn send_migration_done(&mut self, ctx: &mut Ctx<'_>, epoch: u64) {
+        let now = ctx.now();
+        let msg = MigrationDone { from: self.my_idx as u32, epoch };
+        for &mgmt in &self.view.mgmt_ids.clone() {
+            self.send_from(ctx, now, mgmt, 48, msg);
+        }
+    }
+
+    fn on_migrate_pulls_due(&mut self, ctx: &mut Ctx<'_>, epoch: u64) {
+        let valid = self.pending.as_ref().is_some_and(|p| p.epoch == epoch)
+            && self.migrate.as_ref().is_some_and(|mg| !mg.started && !mg.done_sent);
+        if !valid {
+            return;
+        }
+        if self.recovering {
+            // Node recovery owns the copy-fragment machinery right now;
+            // try again shortly.
+            let t = self.view.config.timeouts.heartbeat_interval * 2;
+            ctx.schedule(t, MigratePullsDue { epoch });
+            return;
+        }
+        self.migrate.as_mut().expect("checked above").started = true;
+        self.issue_migrate_pulls(ctx);
+        ctx.schedule(self.view.config.timeouts.heartbeat_interval * 2, TickMigrate);
+    }
+
+    /// Sends one scoped `CopyFragReq` per snapshot source: each gained
+    /// fragment is pulled from a live, synced replica of its partition
+    /// under the *old* (committed) map, rotating replicas across attempts.
+    fn issue_migrate_pulls(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        let (scope, attempts) = {
+            let mg = self.migrate.as_mut().expect("issue_migrate_pulls without migrate state");
+            mg.frags_recv = 0;
+            mg.frags_expected = 0;
+            mg.progress_mark = 0;
+            let a = mg.attempts;
+            mg.attempts += 1;
+            (mg.scope.clone(), a)
+        };
+        let mut by_source: BTreeMap<usize, Vec<(TableId, PartitionId)>> = BTreeMap::new();
+        for (table, pid) in scope {
+            let sources: Vec<usize> = self
+                .pmap
+                .replicas(pid)
+                .into_iter()
+                .filter(|&i| i != self.my_idx && self.alive[i] && self.synced[i])
+                .collect();
+            if sources.is_empty() {
+                continue; // no live old owner right now; the tick retries
+            }
+            let src = sources[attempts as usize % sources.len()];
+            by_source.entry(src).or_default().push((table, pid));
+        }
+        let n = by_source.len();
+        self.migrate.as_mut().expect("checked above").reqs_outstanding = n;
+        for (src, frags) in by_source {
+            let bytes = 32 + frags.len() as u64 * 8;
+            let to = self.dn_node(src as u32);
+            let req = CopyFragReq { from: self.my_idx as u32, scope: Some(frags) };
+            self.send_from(ctx, now, to, bytes, req);
+        }
+    }
+
+    fn on_tick_migrate(&mut self, ctx: &mut Ctx<'_>) {
+        let live = self.migrate.as_ref().is_some_and(|mg| mg.started && !mg.done_sent);
+        if !live {
+            return; // migration finished or superseded; let the timer die
+        }
+        if !self.recovering {
+            let stalled = {
+                let mg = self.migrate.as_mut().expect("checked above");
+                let s = mg.frags_recv == mg.progress_mark;
+                mg.progress_mark = mg.frags_recv;
+                s
+            };
+            if stalled {
+                // No progress since the last tick (source slow or dead):
+                // restart the pulls against rotated sources. Dual-apply
+                // dirty tracking makes re-pulls idempotent.
+                self.issue_migrate_pulls(ctx);
+            }
+        }
+        ctx.schedule(self.view.config.timeouts.heartbeat_interval * 2, TickMigrate);
+    }
+
+    fn try_finish_migration(&mut self, ctx: &mut Ctx<'_>) {
+        let epoch = match &self.pending {
+            Some(p) => p.epoch,
+            None => return,
+        };
+        {
+            let mg = match &self.migrate {
+                Some(mg) => mg,
+                None => return,
+            };
+            if !mg.started
+                || mg.done_sent
+                || mg.reqs_outstanding > 0
+                || mg.frags_recv < mg.frags_expected
+            {
+                return;
+            }
+        }
+        self.migrate.as_mut().expect("checked above").done_sent = true;
+        self.stats.migrations_completed += 1;
+        self.send_migration_done(ctx, epoch);
+    }
+
+    /// Installs a committed epoch: adopt the new map, drop the pending
+    /// state, GC fragments this node no longer owns, and drop prepared
+    /// writes for rows it no longer stores (their union chains guarantee
+    /// the new owners hold them). Driven by `EpochCommit` and by heartbeat
+    /// epoch gossip.
+    fn install_epoch(&mut self, ctx: &mut Ctx<'_>, epoch: u64, groups: u32) {
+        if epoch <= self.epoch {
+            return;
+        }
+        self.epoch = epoch;
+        self.pmap = PartitionMap::with_groups(&self.view.config, groups as usize);
+        if self.pending.as_ref().is_some_and(|p| p.epoch <= epoch) {
+            self.pending = None;
+            self.migrate = None;
+        }
+        if !self.recovering && self.migrate.is_none() {
+            self.resync_dirty.clear();
+        }
+        let view = Arc::clone(&self.view);
+        let pmap = self.pmap.clone();
+        let my = self.my_idx;
+        // Drop prepared-but-uncommitted writes for rows this node no longer
+        // owns: applying them later would resurrect a GC'd fragment. The
+        // commit chain simply skips the missing entry (`on_commit_row`
+        // applies nothing and keeps forwarding), and the new owners hold
+        // the row via the union chain.
+        if !self.recovering {
+            let mut stale: Vec<(TxId, u64)> = self
+                .pending_writes
+                .iter()
+                .filter(|(_, op)| {
+                    let options = view.schema.table(op.table()).options;
+                    !pmap.stores(my, pmap.partition_of(op.key().pk), options)
+                })
+                .map(|(&k, _)| k)
+                .collect();
+            stale.sort_unstable();
+            for (tx, token) in stale {
+                self.pending_writes.remove(&(tx, token));
+                if let Some((table, key)) = self.row_of_token.remove(&(tx, token)) {
+                    let granted = self.locks.release_row(tx, table, &key);
+                    self.resume_grants(ctx, granted);
+                }
+            }
+        }
+        // GC fragments not owned under the committed map (skipped while
+        // recovering: the resync in flight targets the old ownership and
+        // re-converges via gossip afterwards).
+        if !self.recovering {
+            let mut gc_rows = 0u64;
+            self.store.retain(|&(table, pk), rows| {
+                let options = view.schema.table(table).options;
+                let keep = pmap.stores(my, pmap.partition_of(pk), options);
+                if !keep {
+                    gc_rows += rows.len() as u64;
+                }
+                keep
+            });
+            if gc_rows > 0 {
+                self.stats.gc_rows += gc_rows;
+                let cost = self.costs().ldm_scan_row * gc_rows;
+                ctx.execute(lane::LDM, cost);
+            }
+        }
+        self.recheck_cluster_viability();
+    }
+
+    fn on_epoch_commit(&mut self, ctx: &mut Ctx<'_>, m: EpochCommit) {
+        self.install_epoch(ctx, m.epoch, m.groups);
     }
 
     /// Take-over TC: collect one report about an orphaned transaction.
@@ -1632,6 +2117,10 @@ impl Actor for DatanodeActor {
             Ok(m) => return self.on_prepared_row(ctx, from, *m),
             Err(m) => m,
         };
+        let any = match any.downcast::<PrepareRefused>() {
+            Ok(m) => return self.on_prepare_refused(ctx, from, *m),
+            Err(m) => m,
+        };
         let any = match any.downcast::<CommitRow>() {
             Ok(m) => return self.on_commit_row(ctx, from, *m),
             Err(m) => m,
@@ -1686,6 +2175,22 @@ impl Actor for DatanodeActor {
         };
         let any = match any.downcast::<TakeOverCommit>() {
             Ok(m) => return self.on_takeover_commit(ctx, from, *m),
+            Err(m) => m,
+        };
+        let any = match any.downcast::<EpochPrepare>() {
+            Ok(m) => return self.on_epoch_prepare(ctx, *m),
+            Err(m) => m,
+        };
+        let any = match any.downcast::<EpochCommit>() {
+            Ok(m) => return self.on_epoch_commit(ctx, *m),
+            Err(m) => m,
+        };
+        let any = match any.downcast::<MigratePullsDue>() {
+            Ok(m) => return self.on_migrate_pulls_due(ctx, m.epoch),
+            Err(m) => m,
+        };
+        let any = match any.downcast::<TickMigrate>() {
+            Ok(_) => return self.on_tick_migrate(ctx),
             Err(m) => m,
         };
         let any = match any.downcast::<TickResync>() {

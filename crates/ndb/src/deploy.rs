@@ -67,7 +67,7 @@ pub fn build_cluster(
         })
         .collect();
 
-    let pmap = PartitionMap::new(&cfg);
+    let pmap = PartitionMap::with_groups(&cfg, cfg.active_node_groups());
     let view = ClusterView {
         config: cfg,
         schema,
@@ -85,7 +85,15 @@ pub fn build_cluster(
         let loc = Location { az, host: simnet::HostId(base + rank as u32) };
         let id = sim.add_node(
             NodeSpec::new(format!("ndb-mgmt-{rank}"), loc).with_layer("ndb-mgmt"),
-            Box::new(MgmtActor::new(rank, mgmt_ids.clone(), hb).with_failover_deadline(failover)),
+            Box::new(
+                MgmtActor::new(rank, mgmt_ids.clone(), hb)
+                    .with_failover_deadline(failover)
+                    .with_datanodes(
+                        datanode_ids.clone(),
+                        view.config.replication_factor,
+                        view.config.active_node_groups(),
+                    ),
+            ),
         );
         assert_eq!(id, mgmt_ids[rank], "node id prediction drifted");
     }

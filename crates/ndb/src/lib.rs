@@ -42,7 +42,7 @@ pub use config::{ClusterConfig, CostModel, DatanodeSpec, ThreadConfig, Timeouts}
 pub use datanode::{DatanodeActor, DnStats};
 pub use deploy::{build_cluster, NdbCluster};
 pub use locks::TxId;
-pub use messages::{AbortReason, ReadSpec, WriteOp};
+pub use messages::{AbortReason, ReadSpec, ReconfigReq, WriteOp};
 pub use partition::{PartitionId, PartitionMap};
 pub use schema::{LockMode, PartitionKey, Row, RowKey, Schema, TableDef, TableId, TableOptions};
 pub use view::ClusterView;

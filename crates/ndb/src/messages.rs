@@ -113,6 +113,12 @@ pub enum AbortReason {
     /// The contacted datanode is catching up after a restart and refuses
     /// to coordinate until its fragments are resynchronized.
     NodeRecovering,
+    /// The transaction was routed under a superseded partition-map epoch
+    /// (an online node-group reconfiguration committed mid-flight). The
+    /// response carries the current epoch and group count
+    /// ([`TxResponse::map_epoch`] / [`TxResponse::map_groups`]); clients
+    /// update their map and retry — retryable, never a suspicion.
+    WrongEpoch,
     /// Client aborted voluntarily.
     ClientAbort,
 }
@@ -146,13 +152,26 @@ pub struct TxResponse {
     /// into their own admission/backpressure decisions — the NDB layer never
     /// sheds on its own, it only tells the layer above how deep the water is.
     pub tc_queue_delay: simnet::SimDuration,
+    /// Partition-map epoch the responding datanode has committed, stamped
+    /// at departure like `tc_queue_delay`. Clients adopt newer epochs from
+    /// every response, so the fleet converges on a reconfigured map within
+    /// one round trip instead of discovering it abort-by-abort.
+    pub map_epoch: u64,
+    /// Active node-group count under `map_epoch`.
+    pub map_groups: u32,
 }
 
 impl TxResponse {
     /// A response with no overload signal yet; the coordinator's send path
-    /// stamps `tc_queue_delay` at departure.
+    /// stamps `tc_queue_delay` (and the partition-map epoch) at departure.
     pub fn new(tx: TxId, body: RespBody) -> Self {
-        TxResponse { tx, body, tc_queue_delay: simnet::SimDuration::ZERO }
+        TxResponse {
+            tx,
+            body,
+            tc_queue_delay: simnet::SimDuration::ZERO,
+            map_epoch: 0,
+            map_groups: 0,
+        }
     }
 
     /// Approximate wire size in bytes.
@@ -241,6 +260,25 @@ pub struct PrepareRow {
     pub op: WriteOp,
     /// Datanode index of the coordinator.
     pub tc_idx: u32,
+    /// Partition-map epoch the coordinator routed this write under. A
+    /// replica that has already committed a *newer* epoch refuses the
+    /// prepare ([`PrepareRefused`]) instead of applying under a superseded
+    /// map — the epoch fence of online reconfiguration.
+    pub epoch: u64,
+}
+
+/// Replica → TC: prepare refused — the coordinator's partition-map epoch
+/// is superseded (an online reconfiguration committed between routing and
+/// prepare). The TC aborts the transaction with
+/// [`AbortReason::WrongEpoch`] so the client re-routes under the new map.
+#[derive(Debug, Clone, Copy)]
+pub struct PrepareRefused {
+    /// Transaction.
+    pub tx: TxId,
+    /// Continuation token of the refused prepare.
+    pub token: u64,
+    /// The refusing replica's committed epoch.
+    pub epoch: u64,
 }
 
 /// Last replica → TC: the row is prepared on the whole chain.
@@ -330,6 +368,12 @@ pub struct Heartbeat {
     /// restarted node heartbeats `false` until copy-fragment resync
     /// completes, keeping it out of read routing and TC candidacy.
     pub synced: bool,
+    /// Sender's committed partition-map epoch — gossip that lets a peer
+    /// which missed an `EpochCommit` (e.g. one that restarted and reset to
+    /// the deployment map) catch up within a heartbeat interval.
+    pub epoch: u64,
+    /// Active node-group count under `epoch`.
+    pub groups: u32,
 }
 
 /// Datanode → management node liveness probe.
@@ -391,10 +435,16 @@ pub struct SyncedAnnounce {
 
 /// Recovering datanode → a live node-group peer: send me a snapshot of
 /// every fragment we share (the copy-fragment phase of node restart).
-#[derive(Debug, Clone, Copy)]
+/// During an online reconfiguration the same message, scoped, pulls only
+/// the fragments a node *gains* under the pending partition map.
+#[derive(Debug, Clone)]
 pub struct CopyFragReq {
     /// Requester's datanode index.
     pub from: u32,
+    /// `None` = node-recovery semantics (every fragment the requester
+    /// stores under the sender's current map). `Some` = exactly these
+    /// `(table, partition)` fragments, for live partition migration.
+    pub scope: Option<Vec<(TableId, crate::partition::PartitionId)>>,
 }
 
 /// One fragment's snapshot, streamed from the live replica to the
@@ -461,4 +511,55 @@ pub struct TakeOverReport {
 pub struct TakeOverCommit {
     /// The transaction to commit.
     pub tx: TxId,
+}
+
+// ---------------------------------------------------------------------------
+// Online node-group reconfiguration (management-node-driven).
+// ---------------------------------------------------------------------------
+
+/// Operator/controller → management nodes: change the active node-group
+/// count online. The active arbitrator drives the reconfiguration; inactive
+/// management nodes ignore the request.
+#[derive(Debug, Clone, Copy)]
+pub struct ReconfigReq {
+    /// Desired active node-group count (1..=provisioned groups).
+    pub target_groups: u32,
+}
+
+/// Active management node → all datanodes: a new partition-map epoch is
+/// pending. Coordinators immediately switch mutations to the **union** of
+/// the old and new write chains (dual-apply), and datanodes that gain
+/// fragments under the new map start a scoped copy-fragment pull after a
+/// settle delay (long enough for transactions prepared on old-only chains
+/// to finish).
+#[derive(Debug, Clone, Copy)]
+pub struct EpochPrepare {
+    /// The epoch being installed (committed epoch + 1).
+    pub epoch: u64,
+    /// Active group count under the current (old) map.
+    pub from_groups: u32,
+    /// Active group count under the pending (new) map.
+    pub to_groups: u32,
+}
+
+/// Datanode → active management node: this node holds every fragment it
+/// owns under the pending map (scoped pulls complete, or nothing to gain).
+#[derive(Debug, Clone, Copy)]
+pub struct MigrationDone {
+    /// Sender's datanode index.
+    pub from: u32,
+    /// The pending epoch this completes.
+    pub epoch: u64,
+}
+
+/// Active management node → all datanodes: every gaining node reported
+/// [`MigrationDone`] — commit the epoch. Receivers install the new map,
+/// fence older-epoch prepares, and garbage-collect fragments they no
+/// longer own.
+#[derive(Debug, Clone, Copy)]
+pub struct EpochCommit {
+    /// The committed epoch.
+    pub epoch: u64,
+    /// Active node-group count under the committed map.
+    pub groups: u32,
 }

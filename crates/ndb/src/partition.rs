@@ -33,11 +33,31 @@ fn mix(mut x: u64) -> u64 {
 }
 
 impl PartitionMap {
-    /// Builds the map for a cluster configuration.
+    /// Builds the map for a cluster configuration with every node group
+    /// active.
     pub fn new(cfg: &ClusterConfig) -> Self {
+        Self::with_groups(cfg, cfg.node_group_count())
+    }
+
+    /// Builds the map for a cluster configuration with only the first
+    /// `groups` node groups active — the epoch-versioned maps the online
+    /// reconfiguration protocol installs. `partition_of` is independent of
+    /// the group count (it hashes into a fixed partition space), so two
+    /// maps over the same config disagree only on *ownership* of a
+    /// partition, never on which partition a key lives in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups` is zero or exceeds the provisioned group count.
+    pub fn with_groups(cfg: &ClusterConfig, groups: usize) -> Self {
+        assert!(
+            groups >= 1 && groups <= cfg.node_group_count(),
+            "active group count {groups} outside 1..={}",
+            cfg.node_group_count()
+        );
         PartitionMap {
             partitions: cfg.partitions_per_table,
-            groups: cfg.node_group_count(),
+            groups,
             replication: cfg.replication_factor,
         }
     }
@@ -45,6 +65,17 @@ impl PartitionMap {
     /// Number of partitions per table.
     pub fn partition_count(&self) -> usize {
         self.partitions
+    }
+
+    /// Number of active node groups in this map.
+    pub fn group_count(&self) -> usize {
+        self.groups
+    }
+
+    /// Number of datanodes that own data under this map (`groups` ×
+    /// replication factor); indices at or past this are spares.
+    pub fn active_len(&self) -> usize {
+        self.groups * self.replication
     }
 
     /// Partition that stores a partition key.
@@ -104,10 +135,12 @@ impl PartitionMap {
         self.write_chain(pid, options, alive)
     }
 
-    /// Whether datanode `idx` stores the partition (under the table options).
+    /// Whether datanode `idx` stores the partition (under the table
+    /// options). A fully replicated table lives on every *active* datanode;
+    /// spares beyond [`PartitionMap::active_len`] own nothing.
     pub fn stores(&self, idx: usize, pid: PartitionId, options: TableOptions) -> bool {
         if options.fully_replicated {
-            true
+            idx < self.active_len()
         } else {
             self.replicas(pid).contains(&idx)
         }
@@ -224,6 +257,41 @@ mod tests {
         assert_eq!(m.replica_rank(reps[2], pid), Some(2));
         let outside = (0..6).find(|i| !reps.contains(i)).unwrap();
         assert_eq!(m.replica_rank(outside, pid), None);
+    }
+
+    #[test]
+    fn with_groups_shrinks_ownership_not_partitioning() {
+        let cfg = ClusterConfig::az_aware(6, 3, &[AzId(0), AzId(1), AzId(2)]);
+        let full = PartitionMap::new(&cfg); // 2 groups
+        let half = PartitionMap::with_groups(&cfg, 1);
+        assert_eq!(full.group_count(), 2);
+        assert_eq!(half.group_count(), 1);
+        assert_eq!(half.active_len(), 3);
+        for k in 0..500u64 {
+            // Same key → same partition under both maps.
+            assert_eq!(full.partition_of(PartitionKey(k)), half.partition_of(PartitionKey(k)));
+        }
+        for p in 0..half.partition_count() as u32 {
+            let pid = PartitionId(p);
+            // All ownership collapses into group 0's nodes.
+            assert_eq!(half.group_of(pid), 0);
+            assert!(half.replicas(pid).iter().all(|&i| i < 3));
+            // Spares store nothing, fully replicated or not.
+            let fr = TableOptions { read_backup: false, fully_replicated: true };
+            for idx in 3..6 {
+                assert!(!half.stores(idx, pid, fr));
+                assert!(!half.stores(idx, pid, TableOptions::default()));
+            }
+        }
+        // FR chain under the shrunk map covers only the active group.
+        let chain = half.write_chain(
+            PartitionId(1),
+            TableOptions { read_backup: false, fully_replicated: true },
+            &[true; 6],
+        );
+        let mut sorted = chain.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2]);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! the paper's §IV-A4 (datanode ordering) and §IV-A5 (the four TC-selection
 //! cases).
 
+use crate::partition::PartitionMap;
 use crate::schema::{PartitionKey, TableId};
 use crate::view::ClusterView;
 use rand::rngs::StdRng;
@@ -60,15 +61,23 @@ pub enum TcCase {
 /// With `caller_domain = None` (vanilla deployment), selection degrades to
 /// classic distribution-aware transactions: the primary replica for the hint,
 /// or a uniformly random node without one.
+///
+/// `pmap` is the caller's current partition map — under online node-group
+/// reconfiguration clients route against the epoch they have adopted, so the
+/// map is passed explicitly rather than read from the (static) cluster view.
+/// Hintless and fallback selection only considers datanodes active under the
+/// map: spares own no data and refuse coordination.
 pub fn select_tc(
     view: &ClusterView,
+    pmap: &PartitionMap,
     caller: Location,
     caller_domain: Option<AzId>,
     hint: Option<(TableId, PartitionKey)>,
     alive: &[bool],
     rng: &mut StdRng,
 ) -> Option<(usize, TcCase)> {
-    let any_alive = alive.iter().any(|&a| a);
+    let active_len = pmap.active_len().min(view.datanode_count());
+    let any_alive = alive.iter().take(active_len).any(|&a| a);
     if !any_alive {
         return None;
     }
@@ -96,11 +105,11 @@ pub fn select_tc(
     match hint {
         Some((table, pk)) => {
             let options = view.schema.table(table).options;
-            let pid = view.pmap.partition_of(pk);
-            let candidates = view.pmap.read_replicas(pid, options, alive);
+            let pid = pmap.partition_of(pk);
+            let candidates = pmap.read_replicas(pid, options, alive);
             if candidates.is_empty() {
                 // Case 4 fallback: no (alive) nodes for this partition key.
-                let all: Vec<usize> = (0..view.datanode_count()).collect();
+                let all: Vec<usize> = (0..active_len).collect();
                 return by_proximity(&all, rng).map(|i| (i, TcCase::NoHint));
             }
             if caller_domain.is_none() {
@@ -108,7 +117,7 @@ pub fn select_tc(
                 return Some((candidates[0], TcCase::Default));
             }
             if options.fully_replicated {
-                let all: Vec<usize> = (0..view.datanode_count()).collect();
+                let all: Vec<usize> = (0..active_len).collect();
                 return by_proximity(&all, rng).map(|i| (i, TcCase::FullyReplicated));
             }
             let case = if options.read_backup { TcCase::ReadBackup } else { TcCase::Default };
@@ -116,12 +125,12 @@ pub fn select_tc(
         }
         None => {
             if caller_domain.is_none() {
-                // Vanilla: uniformly random alive datanode.
-                let aliveset: Vec<usize> = (0..view.datanode_count()).filter(|&i| alive[i]).collect();
+                // Vanilla: uniformly random alive (active) datanode.
+                let aliveset: Vec<usize> = (0..active_len).filter(|&i| alive[i]).collect();
                 let pick = aliveset[rng.gen_range(0..aliveset.len())];
                 return Some((pick, TcCase::NoHint));
             }
-            let all: Vec<usize> = (0..view.datanode_count()).collect();
+            let all: Vec<usize> = (0..active_len).collect();
             by_proximity(&all, rng).map(|i| (i, TcCase::NoHint))
         }
     }
@@ -207,6 +216,7 @@ mod tests {
             for pk in 0..32u64 {
                 let (idx, case) = select_tc(
                     &view,
+                    &view.pmap,
                     caller,
                     Some(AzId(az)),
                     Some((table, PartitionKey(pk))),
@@ -230,6 +240,7 @@ mod tests {
         let caller = Location::new(2, 100);
         let (idx, case) = select_tc(
             &view,
+            &view.pmap,
             caller,
             Some(AzId(2)),
             Some((TableId(0), PartitionKey(5))),
@@ -248,6 +259,7 @@ mod tests {
         let caller = Location::new(1, 100);
         let (idx, case) = select_tc(
             &view,
+            &view.pmap,
             caller,
             Some(AzId(1)),
             Some((TableId(0), PartitionKey(3))),
@@ -265,7 +277,7 @@ mod tests {
         let alive = vec![true; 6];
         let caller = Location::new(0, 100);
         let (idx, case) =
-            select_tc(&view, caller, Some(AzId(0)), None, &alive, &mut rng()).unwrap();
+            select_tc(&view, &view.pmap, caller, Some(AzId(0)), None, &alive, &mut rng()).unwrap();
         assert_eq!(case, TcCase::NoHint);
         assert_eq!(view.domain_of(idx), Some(AzId(0)));
     }
@@ -276,8 +288,16 @@ mod tests {
         let alive = vec![true; 6];
         let caller = Location::new(0, 100);
         let pk = PartitionKey(11);
-        let (idx, _) =
-            select_tc(&view, caller, None, Some((TableId(0), pk)), &alive, &mut rng()).unwrap();
+        let (idx, _) = select_tc(
+            &view,
+            &view.pmap,
+            caller,
+            None,
+            Some((TableId(0), pk)),
+            &alive,
+            &mut rng(),
+        )
+        .unwrap();
         let pid = view.pmap.partition_of(pk);
         assert_eq!(idx, view.pmap.replicas(pid)[0], "vanilla DAT picks the primary");
     }
@@ -299,6 +319,7 @@ mod tests {
         alive[local] = false;
         let (idx, _) = select_tc(
             &view,
+            &view.pmap,
             caller,
             Some(AzId(0)),
             Some((TableId(0), pk)),
@@ -316,11 +337,63 @@ mod tests {
         let alive = vec![false; 6];
         assert!(select_tc(
             &view,
+            &view.pmap,
             Location::new(0, 100),
             Some(AzId(0)),
             None,
             &alive,
             &mut rng()
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn shrunk_map_never_selects_spares() {
+        let view = view_3az(false, false);
+        let cfg = ClusterConfig::az_aware(6, 3, &[AzId(0), AzId(1), AzId(2)]);
+        let half = crate::partition::PartitionMap::with_groups(&cfg, 1);
+        let alive = vec![true; 6];
+        let mut r = rng();
+        for pk in 0..64u64 {
+            let (idx, _) = select_tc(
+                &view,
+                &half,
+                Location::new(1, 100),
+                Some(AzId(1)),
+                Some((TableId(0), PartitionKey(pk))),
+                &alive,
+                &mut r,
+            )
+            .unwrap();
+            assert!(idx < 3, "spare {idx} selected under 1-group map");
+        }
+        // Hintless selection is also confined to the active prefix.
+        for _ in 0..32 {
+            let (idx, _) = select_tc(
+                &view,
+                &half,
+                Location::new(2, 100),
+                Some(AzId(2)),
+                None,
+                &alive,
+                &mut r,
+            )
+            .unwrap();
+            assert!(idx < 3, "spare {idx} selected under 1-group map");
+        }
+        // And if only spares are alive, selection reports no candidates.
+        let mut dead_active = vec![false; 6];
+        dead_active[3] = true;
+        dead_active[4] = true;
+        dead_active[5] = true;
+        assert!(select_tc(
+            &view,
+            &half,
+            Location::new(0, 100),
+            Some(AzId(0)),
+            None,
+            &dead_active,
+            &mut r
         )
         .is_none());
     }

@@ -239,7 +239,8 @@ impl Actor for ScriptClient {
         let any = msg.into_any();
         let any = match any.downcast::<TxResponse>() {
             Ok(resp) => {
-                if let Some(ev) = self.kernel.as_mut().expect("started").on_response(*resp) {
+                let now = ctx.now();
+                if let Some(ev) = self.kernel.as_mut().expect("started").on_response(now, *resp) {
                     self.on_event(ctx, ev);
                 }
                 return;

@@ -245,6 +245,113 @@ pub fn poisson_interarrival(rng: &mut StdRng, rate_per_sec: f64) -> SimDuration 
     SimDuration::from_nanos(((secs * 1e9) as u64).max(1))
 }
 
+/// A piecewise-constant **time-varying arrival rate**: a repeating base
+/// profile (diurnal segments over a period) plus absolute-time spikes
+/// layered on top. Generalizes [`poisson_interarrival`] to inhomogeneous
+/// Poisson arrivals via Lewis–Shedler thinning — sampling is deterministic
+/// given the RNG state, so open-loop traffic built on a curve replays
+/// bit-identically for a fixed seed.
+#[derive(Debug, Clone)]
+pub struct RateCurve {
+    /// `(start offset within the period, rate ops/s)`, sorted by offset;
+    /// the first segment starts at offset zero.
+    base: Vec<(SimDuration, f64)>,
+    /// Period after which the base profile repeats (e.g. a simulated day).
+    period: SimDuration,
+    /// Absolute-time spikes: `(start, end, extra rate)` added on top of
+    /// the base profile. Spikes do not repeat.
+    spikes: Vec<(SimTime, SimTime, f64)>,
+    /// Peak of base + concurrently-active spikes, for thinning.
+    max_rate: f64,
+}
+
+impl RateCurve {
+    /// A flat curve: behaves exactly like [`poisson_interarrival`] at
+    /// `rate_per_sec`.
+    pub fn constant(rate_per_sec: f64) -> Self {
+        Self::diurnal(vec![(SimDuration::ZERO, rate_per_sec)], SimDuration::from_secs(1))
+    }
+
+    /// A repeating piecewise-constant profile. Segments are
+    /// `(start offset, rate)`; the profile holds each rate until the next
+    /// segment's offset and wraps modulo `period`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments` is empty, unsorted, does not start at offset
+    /// zero, extends past `period`, or contains a non-positive rate.
+    pub fn diurnal(segments: Vec<(SimDuration, f64)>, period: SimDuration) -> Self {
+        assert!(!segments.is_empty(), "rate curve needs at least one segment");
+        assert!(period > SimDuration::ZERO, "rate curve period must be positive");
+        assert_eq!(segments[0].0, SimDuration::ZERO, "first segment must start at offset zero");
+        let mut max_rate = 0.0f64;
+        for w in segments.windows(2) {
+            assert!(w[0].0 < w[1].0, "segments must be strictly sorted by offset");
+        }
+        for &(off, rate) in &segments {
+            assert!(off < period, "segment offset past the period");
+            assert!(rate.is_finite() && rate > 0.0, "segment rate must be positive, got {rate}");
+            max_rate = max_rate.max(rate);
+        }
+        RateCurve { base: segments, period, spikes: Vec::new(), max_rate }
+    }
+
+    /// Adds a spike of `extra` ops/s on top of the base profile between
+    /// `start` and `start + duration` (absolute simulation time).
+    pub fn with_spike(mut self, start: SimTime, duration: SimDuration, extra: f64) -> Self {
+        assert!(extra.is_finite() && extra > 0.0, "spike rate must be positive");
+        assert!(duration > SimDuration::ZERO, "spike duration must be positive");
+        self.spikes.push((start, start + duration, extra));
+        // Conservative thinning bound: peak base plus every spike (spikes
+        // may overlap; over-estimating only costs extra thinning rolls).
+        self.max_rate += extra;
+        self
+    }
+
+    /// The instantaneous rate at `now` (ops per virtual second).
+    pub fn rate_at(&self, now: SimTime) -> f64 {
+        let off = SimDuration::from_nanos(now.as_nanos() % self.period.as_nanos().max(1));
+        let mut rate = self.base[0].1;
+        for &(start, r) in &self.base {
+            if start <= off {
+                rate = r;
+            } else {
+                break;
+            }
+        }
+        for &(start, end, extra) in &self.spikes {
+            if start <= now && now < end {
+                rate += extra;
+            }
+        }
+        rate
+    }
+
+    /// Upper bound on [`RateCurve::rate_at`] over all times.
+    pub fn max_rate(&self) -> f64 {
+        self.max_rate
+    }
+
+    /// Samples the gap to the next arrival of the inhomogeneous Poisson
+    /// process starting at `now`, by thinning candidate arrivals drawn at
+    /// [`RateCurve::max_rate`]. Deterministic given the RNG state; floored
+    /// at 1 ns so event times strictly advance.
+    pub fn next_arrival(&self, rng: &mut StdRng, now: SimTime) -> SimDuration {
+        let mut t = now;
+        // Base rates are strictly positive, so acceptance probability is
+        // bounded below and the loop terminates with probability 1; the
+        // iteration cap is a belt-and-braces guard, not a tuning knob.
+        for _ in 0..100_000 {
+            t += poisson_interarrival(rng, self.max_rate);
+            let accept: f64 = rng.gen_range(0.0..1.0);
+            if accept * self.max_rate <= self.rate_at(t) {
+                break;
+            }
+        }
+        t.saturating_since(now).max(SimDuration::from_nanos(1))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -362,6 +469,83 @@ mod tests {
         let total: u64 = sample(9).iter().map(|d| d.as_nanos()).sum();
         let mean_ms = total as f64 / 4000.0 / 1e6;
         // λ = 100/s ⇒ mean 10 ms; the seeded sample should land near it.
+        assert!((mean_ms - 10.0).abs() < 1.0, "mean inter-arrival {mean_ms} ms");
+    }
+
+    #[test]
+    fn rate_curve_segments_and_wrap() {
+        let day = SimDuration::from_secs(10);
+        let c = RateCurve::diurnal(
+            vec![
+                (SimDuration::ZERO, 100.0),
+                (SimDuration::from_secs(4), 400.0),
+                (SimDuration::from_secs(8), 50.0),
+            ],
+            day,
+        );
+        assert_eq!(c.rate_at(SimTime::from_secs(1)), 100.0);
+        assert_eq!(c.rate_at(SimTime::from_secs(5)), 400.0);
+        assert_eq!(c.rate_at(SimTime::from_secs(9)), 50.0);
+        // Wraps into the second period.
+        assert_eq!(c.rate_at(SimTime::from_secs(11)), 100.0);
+        assert_eq!(c.rate_at(SimTime::from_secs(15)), 400.0);
+        assert_eq!(c.max_rate(), 400.0);
+    }
+
+    #[test]
+    fn rate_curve_spike_layers_on_top() {
+        let c = RateCurve::constant(100.0).with_spike(
+            SimTime::from_secs(3),
+            SimDuration::from_secs(2),
+            900.0,
+        );
+        assert_eq!(c.rate_at(SimTime::from_secs(2)), 100.0);
+        assert_eq!(c.rate_at(SimTime::from_secs(4)), 1000.0);
+        assert_eq!(c.rate_at(SimTime::from_secs(6)), 100.0);
+        assert_eq!(c.max_rate(), 1000.0);
+    }
+
+    #[test]
+    fn rate_curve_arrivals_track_the_rate_and_replay() {
+        // Count arrivals over [0, 4s) at 200/s and [4s, 8s) at 800/s.
+        let run = |seed: u64| {
+            let c = RateCurve::diurnal(
+                vec![(SimDuration::ZERO, 200.0), (SimDuration::from_secs(4), 800.0)],
+                SimDuration::from_secs(8),
+            );
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut now = SimTime::ZERO;
+            let (mut lo, mut hi) = (0u64, 0u64);
+            while now < SimTime::from_secs(8) {
+                now = now + c.next_arrival(&mut rng, now);
+                if now < SimTime::from_secs(4) {
+                    lo += 1;
+                } else if now < SimTime::from_secs(8) {
+                    hi += 1;
+                }
+            }
+            (lo, hi)
+        };
+        let (lo, hi) = run(5);
+        // 4 s at 200/s ≈ 800 arrivals; 4 s at 800/s ≈ 3200.
+        assert!((600..=1000).contains(&lo), "low-rate window got {lo}");
+        assert!((2800..=3600).contains(&hi), "high-rate window got {hi}");
+        assert_eq!(run(5), run(5), "same seed must replay identically");
+        assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    fn rate_curve_constant_matches_poisson_mean() {
+        let c = RateCurve::constant(100.0);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut now = SimTime::ZERO;
+        let mut total = 0u64;
+        for _ in 0..4000 {
+            let gap = c.next_arrival(&mut rng, now);
+            total += gap.as_nanos();
+            now += gap;
+        }
+        let mean_ms = total as f64 / 4000.0 / 1e6;
         assert!((mean_ms - 10.0).abs() < 1.0, "mean inter-arrival {mean_ms} ms");
     }
 }

@@ -55,7 +55,7 @@ mod wheel;
 
 pub use availability::{AvailabilityRecorder, AvailabilityReport, UnavailabilityWindow};
 pub use cpu::{Batching, Disk, DiskOp, LaneClassSpec, Lanes, UtilizationWindow};
-pub use flow::{poisson_interarrival, Admission, BoundedQueue, Gate, TokenBucket};
+pub use flow::{poisson_interarrival, Admission, BoundedQueue, Gate, RateCurve, TokenBucket};
 pub use metrics::{Counter, Histogram};
 pub use nemesis::{Fault, NemesisTrace, Schedule};
 pub use retry::RetryPolicy;

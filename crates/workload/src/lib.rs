@@ -21,4 +21,8 @@ pub mod spotify;
 pub use micro::{MicroOp, MicroSource};
 pub use namespace::{Namespace, NamespaceSpec};
 pub use openloop::OverloadSource;
+// Time-varying open-loop arrival rates (diurnal + spike profiles) live in
+// `simnet::flow` next to `poisson_interarrival`; re-exported here because
+// workload authors are their main consumer.
+pub use simnet::RateCurve;
 pub use spotify::{Mix, SpotifySource};

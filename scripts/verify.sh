@@ -31,6 +31,12 @@ echo "== sharded-kernel gate (chaos schedules + golden digests invariant at shar
 cargo test -q --test chaos -- shard_count_invariant
 cargo test -q --test stack golden_digests_are_shard_count_invariant
 
+echo "== elastic-serving chaos gate (diurnal pool, mid-drain crash, node-group add, deterministic replay) =="
+cargo test -q --test chaos elastic_pool_rides_diurnal_load_with_mid_drain_crash_and_replays_identically
+
+echo "== elastic gate (>=99% goodput at <=60% of static peak provisioning, 2 node-group events, replayable) =="
+BENCH_SMOKE=1 BENCH_REUSE=0 cargo bench -q -p bench --bench fig_elastic >/dev/null
+
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
@@ -47,7 +53,7 @@ if [ "${VERIFY_TIER2:-0}" = "1" ] || [ "${1:-}" = "--tier2" ]; then
              fig8_latency fig9_latency_pct fig10_cpu_util \
              fig11_ndb_threads_util fig12_storage_util fig13_nn_util \
              fig14_az_local_reads ablation_az_awareness fig_overload fig_az_outage \
-             fig_client_cache"
+             fig_client_cache fig_elastic"
     dir1=$(mktemp -d) && dirN=$(mktemp -d) && dirS=$(mktemp -d)
     trap 'rm -rf "$dir1" "$dirN" "$dirS"' EXIT
     printf '  %-24s %12s %12s %15s\n' "bench (smoke cell)" "threads=1" "threads=4" "t4 + shards=4"

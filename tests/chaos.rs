@@ -985,3 +985,262 @@ fn lease_chaos_outcome_is_shard_count_invariant() {
         assert_eq!(got, reference, "lease-chaos outcome diverged at shards={shards}");
     }
 }
+
+// --- Elastic serving: diurnal load, NN crash mid-drain, node-group add ------
+//
+// The full elastic stack under a diurnal load swing: the controller grows the
+// namenode pool through the peak and drains it in the trough; mid-peak the
+// NDB tier adds a node group online (live partition migration under 2PC
+// traffic), and in the trough it removes it again. The nemesis kills the
+// draining namenode *inside its drain window* (a long-running create holds
+// the window open), so the controller's drain-timeout reconciliation — not
+// the cooperative DrainDone — has to park it. Invariants: no acked mutation
+// lost, every offered op terminates, zero epoch-routing violations across
+// both node-group events, and the whole run replays bit-identically.
+
+use hopsfs::{epoch_routing, ElasticController};
+use ndb::mgmt::MgmtActor;
+use ndb::ReconfigReq;
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// Everything the elastic run produces that must replay identically.
+#[derive(Debug, PartialEq)]
+struct ElasticOutcome {
+    events: u64,
+    ok: u64,
+    err: u64,
+    offered: u64,
+    dropped: u64,
+    acked: usize,
+    completed: u64,
+    scale_ups: u64,
+    scale_downs: u64,
+    forced_parks: u64,
+    membership_epoch: u64,
+    ndb_epoch: u64,
+    migrations: u64,
+    drained_nn: u32,
+}
+
+fn run_elastic_chaos(seed: u64) -> ElasticOutcome {
+    let mut cfg = hopsfs::FsConfig::hopsfs_cl(6, 3, 3).scaled_down(32);
+    cfg.admission.enabled = true;
+    cfg.elastic.enabled = true;
+    cfg.elastic.initial_active = 1;
+    cfg.elastic.boot_delay = SimDuration::from_secs(1);
+    cfg.elastic.cooldown = SimDuration::from_secs(2);
+    cfg.elastic.drain_timeout = SimDuration::from_secs(2);
+    cfg.elastic.drain_grace = SimDuration::from_secs(1);
+    cfg.elastic.scale_up_threshold = SimDuration::from_millis(15);
+    // At peak each of the three namenodes still queues ~1ms; only the trough
+    // falls under this, so the pool is stable at 3 until the load drops.
+    cfg.elastic.scale_down_threshold = SimDuration::from_micros(300);
+    cfg.ndb.initial_node_groups = 1;
+    let mut sim = Simulation::new(seed);
+    sim.set_jitter(0.0);
+    let mut cluster = hopsfs::build_fs_cluster(&mut sim, cfg, 6);
+    let view = cluster.view.clone();
+
+    let ns = Arc::new(Namespace::generate(&NamespaceSpec {
+        users: 2,
+        dirs_per_user: 2,
+        files_per_dir: 5,
+        ..NamespaceSpec::default()
+    }));
+    ns.load_hopsfs(&mut sim, &mut cluster, 0);
+    const SESSIONS: u64 = 3;
+    for s in 0..SESSIONS {
+        cluster.bulk_mkdir_p(&mut sim, &OverloadSource::private_dir_for(s));
+    }
+    cluster.bulk_mkdir_p(&mut sim, "/work");
+    sim.run_until(SimTime::from_secs(3)); // elections settle
+
+    // Tracked closed-loop clients: their create trains span the scale-up,
+    // the node-group add, and the mid-drain crash.
+    let log = ChaosLog::shared();
+    let mut tracked = Vec::new();
+    for (az, name) in [(AzId(0), "c0"), (AzId(1), "c1")] {
+        let source =
+            TrackedSource::new(Box::new(ScriptedSource::new(work_script(name))), log.clone());
+        let id = cluster.add_client(&mut sim, az, Box::new(source), ClientStats::shared());
+        sim.actor_mut::<FsClientActor>(id).think_time = SimDuration::from_millis(900);
+        tracked.push(id);
+    }
+
+    // Open-loop diurnal load: a trough one namenode absorbs, then a peak
+    // that must force the pool to grow, back to the trough at t=26s.
+    let stats = ClientStats::shared();
+    let curve = simnet::RateCurve::diurnal(
+        vec![
+            (SimDuration::ZERO, 40.0),
+            (SimDuration::from_secs(11), 500.0),
+            (SimDuration::from_secs(26), 40.0),
+        ],
+        SimDuration::from_secs(3600),
+    );
+    let mut ol_clients = Vec::new();
+    for s in 0..SESSIONS {
+        let mut src = OverloadSource::new(Arc::clone(&ns), s);
+        src.max_ops = Some(8200);
+        let id = cluster.add_open_loop_client(
+            &mut sim,
+            AzId((s % 3) as u8),
+            Box::new(src),
+            stats.clone(),
+            1.0, // overridden by the curve below
+            64,
+        );
+        sim.actor_mut::<OpenLoopClientActor>(id).curve = Some(curve.clone());
+        ol_clients.push(id);
+    }
+
+    // Mid-peak: the NDB tier grows from one node group to two, migrating
+    // partitions while the 2PC traffic above keeps flowing.
+    let mgmt0 = view.ndb.mgmt_ids[0];
+    sim.at(SimTime::from_secs(13), move |sim| {
+        sim.inject(mgmt0, ReconfigReq { target_groups: 2 });
+    });
+
+    // The mid-drain crash, event-driven: from the trough on, poll the
+    // controller every 20ms and kill the first namenode it starts draining
+    // — the drain grace guarantees the victim is still `Draining` when the
+    // kill lands. The controller must then reconcile it by force-park
+    // (drain-timeout), never by DrainDone.
+    let cid = view.controller_id.expect("elastic deployment has a controller");
+    let drained_nn = Rc::new(Cell::new(u32::MAX));
+    fn arm_mid_drain_kill(
+        sim: &mut Simulation,
+        at: SimTime,
+        cid: NodeId,
+        view: std::sync::Arc<hopsfs::FsView>,
+        drained: Rc<Cell<u32>>,
+    ) {
+        sim.at(at, move |sim| {
+            let pick = (0..view.nn_ids.len()).find(|&i| {
+                sim.actor::<ElasticController>(cid).state_of(i) == hopsfs::NnPoolState::Draining
+            });
+            if let Some(i) = pick {
+                drained.set(i as u32);
+                sim.kill_node(view.nn_ids[i]);
+            } else if at < SimTime::from_secs(40) {
+                arm_mid_drain_kill(sim, at + SimDuration::from_millis(20), cid, view, drained);
+            }
+        });
+    }
+    arm_mid_drain_kill(&mut sim, SimTime::from_millis(26_400), cid, view.clone(), drained_nn.clone());
+
+    // Trough again: the NDB tier shrinks back to one node group.
+    sim.at(SimTime::from_secs(33), move |sim| {
+        sim.inject(mgmt0, ReconfigReq { target_groups: 1 });
+    });
+
+    // Ride through the whole schedule, then drain every session.
+    sim.run_until(SimTime::from_secs(38));
+    let deadline = SimTime::from_secs(150);
+    loop {
+        sim.run_for(SimDuration::from_millis(500));
+        let ol_done = ol_clients.iter().all(|&id| {
+            sim.actor::<OpenLoopClientActor>(id).done
+                && sim.actor::<OpenLoopClientActor>(id).idle()
+        });
+        let tracked_done =
+            tracked.iter().all(|&id| sim.actor::<FsClientActor>(id).done);
+        if ol_done && tracked_done {
+            break;
+        }
+        assert!(sim.now() < deadline, "elastic sessions never drained");
+    }
+    sim.run_for(SimDuration::from_secs(5)); // stale responses settle
+
+    // The pool really moved: grew for the peak, drained in the trough, and
+    // the mid-drain crash was reconciled by force-park, not DrainDone.
+    let (scale_ups, scale_downs, forced_parks, membership_epoch) = {
+        let c = sim.actor::<ElasticController>(cid);
+        (c.stats.scale_ups, c.stats.scale_downs, c.stats.forced_parks, c.epoch())
+    };
+    assert!(scale_ups >= 1, "peak never grew the pool");
+    assert!(scale_downs >= 1, "trough never drained the pool");
+    assert_eq!(forced_parks, 1, "the crashed drainer must be force-parked exactly once");
+    assert_ne!(drained_nn.get(), u32::MAX, "no drain was ever observed to kill");
+
+    // Both node-group events committed while traffic flowed.
+    let mgmt = sim.actor::<MgmtActor>(mgmt0);
+    assert_eq!(mgmt.reconfigs_committed, 2, "a reconfiguration never committed");
+    assert!(!mgmt.reconfig_in_flight(), "reconfiguration stuck at quiesce");
+    assert_eq!(mgmt.committed_groups(), 1, "pool did not shrink back");
+    let ndb_epoch = mgmt.committed_epoch();
+    assert_eq!(ndb_epoch, 2, "two reconfigurations = two epochs");
+    let migrations: u64 = view
+        .ndb
+        .datanode_ids
+        .iter()
+        .map(|&id| sim.actor::<DatanodeActor>(id).stats.migrations_completed)
+        .sum();
+    assert!(migrations >= 1, "the node-group add never migrated a partition");
+
+    // The routing invariant: nothing ever applied under a superseded epoch.
+    assert_eq!(epoch_routing(&sim, &view), 0, "write applied under a stale partition map");
+
+    // Liveness: every offered op terminated.
+    let (offered, dropped) = ol_clients.iter().fold((0, 0), |(o, d), &id| {
+        let c = sim.actor::<OpenLoopClientActor>(id);
+        (o + c.offered, d + c.dropped_arrivals)
+    });
+    let (ok, err) = {
+        let st = stats.lock().unwrap();
+        (st.total_ok(), st.total_err())
+    };
+    assert_eq!(offered, SESSIONS * 8200, "arrival stream was cut short");
+    assert_eq!(ok + err + dropped, offered, "an offered op vanished without a verdict");
+    let (acked, completed) = {
+        let l = log.lock().unwrap();
+        (l.acked_mkdirs.len() + l.acked_creates.len() - l.acked_deletes.len(), l.completed)
+    };
+    assert_eq!(completed, 56, "every tracked op must terminate");
+
+    // Safety: every acked mutation is still visible — across a pool grow,
+    // a pool shrink, a namenode crash, and two NDB epochs.
+    let audit = audit_ops(&log.lock().unwrap());
+    assert_eq!(audit.len(), acked);
+    let n_audit = audit.len();
+    let auditor = cluster.add_client(
+        &mut sim,
+        AzId(0),
+        Box::new(ScriptedSource::new(audit)),
+        ClientStats::shared(),
+    );
+    sim.actor_mut::<FsClientActor>(auditor).keep_results = true;
+    let results = drain(&mut sim, auditor, n_audit);
+    for (i, r) in results.iter().enumerate() {
+        assert!(r.is_ok(), "acked mutation lost: audit op {i} returned {r:?}");
+    }
+
+    // Replica convergence after both migrations.
+    let diverged = fragment_divergence(&sim, &view);
+    assert!(diverged.is_empty(), "fragments diverge after reconfiguration: {diverged:?}");
+
+    ElasticOutcome {
+        events: sim.events_processed(),
+        ok,
+        err,
+        offered,
+        dropped,
+        acked,
+        completed,
+        scale_ups,
+        scale_downs,
+        forced_parks,
+        membership_epoch,
+        ndb_epoch,
+        migrations,
+        drained_nn: drained_nn.get(),
+    }
+}
+
+#[test]
+fn elastic_pool_rides_diurnal_load_with_mid_drain_crash_and_replays_identically() {
+    let a = run_elastic_chaos(11);
+    let b = run_elastic_chaos(11);
+    assert_eq!(a, b, "same-seed elastic-chaos runs must be bit-identical");
+}
